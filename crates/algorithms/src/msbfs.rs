@@ -1,0 +1,181 @@
+//! Multi-source BFS: bit-parallel reachability from up to 64 sources at
+//! once.
+//!
+//! Each vertex carries a 64-bit mask of the sources that have reached it;
+//! Gather ORs the in-neighbors' masks, Apply records newly arrived bits
+//! (and the iteration at which the *first* source arrived). One run
+//! answers 64 reachability queries — the classic MS-BFS trick, and a GAS
+//! program whose reduction (`|`) differs from the min/sum family the
+//! paper's four algorithms use, exercising the framework's generality
+//! claim (Section 2.1).
+
+use graphreduce::{GasProgram, InitialFrontier};
+
+/// Per-vertex MS-BFS state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct MsBfsValue {
+    /// Bit `i` set ⇔ source `i` reaches this vertex.
+    pub reached_by: u64,
+    /// Iteration at which the first source arrived (`u32::MAX` = never).
+    pub first_hit: u32,
+}
+
+/// Multi-source BFS from up to 64 sources.
+#[derive(Clone, Debug)]
+pub struct MsBfs {
+    /// Source vertices (bit `i` of every mask corresponds to
+    /// `sources[i]`). At most 64.
+    pub sources: Vec<u32>,
+}
+
+impl MsBfs {
+    pub fn new(sources: Vec<u32>) -> Self {
+        assert!(
+            (1..=64).contains(&sources.len()),
+            "MS-BFS runs 1..=64 sources per pass"
+        );
+        MsBfs { sources }
+    }
+
+    fn initial_mask(&self, v: u32) -> u64 {
+        let mut m = 0;
+        for (i, &s) in self.sources.iter().enumerate() {
+            if s == v {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+}
+
+impl GasProgram for MsBfs {
+    type VertexValue = MsBfsValue;
+    type EdgeValue = ();
+    type Gather = u64;
+
+    fn name(&self) -> &'static str {
+        "ms-bfs"
+    }
+
+    fn init_vertex(&self, v: u32, _out_degree: u32) -> MsBfsValue {
+        let mask = self.initial_mask(v);
+        MsBfsValue {
+            reached_by: mask,
+            first_hit: if mask != 0 { 0 } else { u32::MAX },
+        }
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        // Multiple seeds: emulate by activating everything for iteration 0;
+        // only seeded vertices report a change there, so iteration 1's
+        // frontier collapses to the true seed neighborhood.
+        InitialFrontier::All
+    }
+
+    fn gather_identity(&self) -> u64 {
+        0
+    }
+
+    fn gather_map(&self, _dst: &MsBfsValue, src: &MsBfsValue, _e: &(), _w: f32) -> u64 {
+        src.reached_by
+    }
+
+    fn gather_reduce(&self, a: u64, b: u64) -> u64 {
+        a | b
+    }
+
+    fn apply(&self, v: &mut MsBfsValue, r: u64, iteration: u32) -> bool {
+        if iteration == 0 {
+            // Seeding round: only the sources propagate.
+            return v.reached_by != 0;
+        }
+        let new_bits = r & !v.reached_by;
+        if new_bits == 0 {
+            return false;
+        }
+        v.reached_by |= new_bits;
+        if v.first_hit == u32::MAX {
+            v.first_hit = iteration;
+        }
+        true
+    }
+
+    fn scatter(&self, _s: &MsBfsValue, _d: &MsBfsValue, _e: &mut ()) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use gr_graph::{gen, GraphLayout};
+    use gr_sim::Platform;
+    use graphreduce::{GraphReduce, Options};
+
+    fn run(layout: &GraphLayout, sources: Vec<u32>) -> Vec<MsBfsValue> {
+        GraphReduce::new(
+            MsBfs::new(sources),
+            layout,
+            Platform::paper_node(),
+            Options::optimized(),
+        )
+        .run()
+        .unwrap()
+        .vertex_values
+    }
+
+    #[test]
+    fn matches_64_individual_bfs_runs() {
+        let layout = GraphLayout::build(&gen::uniform(300, 1800, 21));
+        let sources: Vec<u32> = (0..64).map(|i| i * 4 + 1).collect();
+        let got = run(&layout, sources.clone());
+        for (bit, &s) in sources.iter().enumerate() {
+            let depths = reference::bfs(&layout, s);
+            for v in 0..300usize {
+                let reachable = depths[v] != u32::MAX;
+                assert_eq!(
+                    got[v].reached_by >> bit & 1 == 1,
+                    reachable,
+                    "source {s} vs vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_hit_is_min_depth_over_sources() {
+        let layout = GraphLayout::build(&gen::uniform(200, 1400, 22));
+        let sources = vec![3u32, 77, 150];
+        let got = run(&layout, sources.clone());
+        let per_source: Vec<Vec<u32>> =
+            sources.iter().map(|&s| reference::bfs(&layout, s)).collect();
+        for v in 0..200usize {
+            let best = per_source.iter().map(|d| d[v]).min().unwrap();
+            if best == 0 {
+                // A source itself: first_hit 0 by initialization.
+                assert_eq!(got[v].first_hit, 0);
+            } else if best == u32::MAX {
+                assert_eq!(got[v].first_hit, u32::MAX, "vertex {v}");
+            } else {
+                // Iteration 0 seeds; the wave then advances one hop per
+                // iteration, so depth-d vertices are applied at iteration d.
+                assert_eq!(got[v].first_hit, best, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_degenerates_to_bfs_reachability() {
+        let layout = GraphLayout::build(&gen::grid2d_with_edges(400, 1500, 23));
+        let got = run(&layout, vec![0]);
+        let depths = reference::bfs(&layout, 0);
+        for v in 0..400usize {
+            assert_eq!(got[v].reached_by == 1, depths[v] != u32::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_too_many_sources() {
+        MsBfs::new((0..65).collect());
+    }
+}

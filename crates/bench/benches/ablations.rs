@@ -1,0 +1,170 @@
+//! Ablation benches for the design choices DESIGN.md calls out, reporting
+//! simulated time via `iter_custom`:
+//!
+//! * hybrid vs pure vertex-/edge-centric gather (Section 3.1);
+//! * spray width sweep (Section 5.1);
+//! * concurrent-shard count `K` vs the Equation (1) derivation (Section 4.3);
+//! * CTA load balancing on skewed vs uniform inputs (Section 4.4);
+//! * even-edge vs even-vertex partition logic (Section 4.2).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gr_bench::{layout_for, run_gr, Algo};
+use gr_graph::{gen, Dataset, GraphLayout};
+use gr_sim::{Platform, SimDuration};
+use graphreduce::{GatherMode, Options};
+
+/// Scale a simulated duration by criterion's iteration count without
+/// overflow (warmup can request absurd `iters` for cheap closures; the
+/// linear-regression estimate stays exact since totals remain d x iters).
+fn scaled(d: SimDuration, iters: u64) -> Duration {
+    Duration::try_from_secs_f64(d.as_secs_f64() * iters as f64).unwrap_or(Duration::MAX)
+}
+
+fn bench_opt(
+    c: &mut Criterion,
+    group: &str,
+    id: BenchmarkId,
+    layout: &GraphLayout,
+    plat: &Platform,
+    algo: Algo,
+    opts: Options,
+) {
+    c.benchmark_group(group).bench_function(id, |b| {
+        b.iter_custom(|iters| {
+            let d = run_gr(algo, layout, plat, opts.clone()).unwrap().elapsed;
+            scaled(d, iters)
+        })
+    });
+}
+
+/// Section 3.1: the hybrid model vs pure vertex- or edge-centric gathers,
+/// on a skewed (kron) input where the difference is largest.
+fn gather_mode(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::KronLogn21, Algo::Cc, scale);
+    let plat = Platform::paper_node_scaled(scale);
+    for (name, mode) in [
+        ("hybrid", GatherMode::Hybrid),
+        ("vertex-centric", GatherMode::VertexCentric),
+        ("edge-atomic", GatherMode::EdgeCentricAtomic),
+    ] {
+        bench_opt(
+            c,
+            "ablation/gather-mode",
+            BenchmarkId::from_parameter(name),
+            &layout,
+            &plat,
+            Algo::Cc,
+            Options::optimized().with_gather_mode(mode),
+        );
+    }
+}
+
+/// Section 5.1: spray width sweep. Uses a heavily undersized device so
+/// shards (and their sub-array copies) are small — the regime where copy
+/// issue overheads matter and spraying them across Hyper-Q queues pays.
+fn spray_width(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::CoAuthorsDblp, Algo::Cc, scale);
+    let plat = Platform::paper_node_scaled(1 << 13);
+    bench_opt(
+        c,
+        "ablation/spray",
+        BenchmarkId::from_parameter("off"),
+        &layout,
+        &plat,
+        Algo::Bfs,
+        Options::optimized().with_spray(false),
+    );
+    for w in [2u32, 4, 8, 16] {
+        let mut o = Options::optimized();
+        o.spray_width = w;
+        bench_opt(
+            c,
+            "ablation/spray",
+            BenchmarkId::from_parameter(w),
+            &layout,
+            &plat,
+            Algo::Bfs,
+            o,
+        );
+    }
+}
+
+/// Section 4.3: concurrent shards K = 1, 2 (the paper's derivation), 4.
+fn concurrent_shards(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::Nlpkkt160, Algo::Cc, scale);
+    let plat = Platform::paper_node_scaled(scale);
+    for k in [1u32, 2, 4] {
+        bench_opt(
+            c,
+            "ablation/concurrent-shards",
+            BenchmarkId::from_parameter(k),
+            &layout,
+            &plat,
+            Algo::Cc,
+            Options::optimized().with_concurrent_shards(k),
+        );
+    }
+}
+
+/// Section 4.4: CTA load balancing on a skewed (R-MAT) vs uniform input.
+fn cta_balance(c: &mut Criterion) {
+    let scale = 64;
+    let plat = Platform::paper_node_scaled(scale);
+    let skewed = layout_for(Dataset::KronLogn21, Algo::Cc, scale);
+    let uniform = GraphLayout::build(
+        &gen::uniform(
+            Dataset::KronLogn21.vertices(scale),
+            Dataset::KronLogn21.edges(scale),
+            7,
+        )
+        .symmetrize(),
+    );
+    for (input, layout) in [("skewed", &skewed), ("uniform", &uniform)] {
+        for (mode, on) in [("cta-on", true), ("cta-off", false)] {
+            bench_opt(
+                c,
+                "ablation/cta-balance",
+                BenchmarkId::new(input, mode),
+                layout,
+                &plat,
+                Algo::Cc,
+                Options::optimized().with_cta_load_balance(on),
+            );
+        }
+    }
+}
+
+/// Section 4.2: load-balanced even-edge partitioning vs naive even-vertex
+/// intervals. The engine plans with even-edge internally; we approximate
+/// the naive logic by forcing many more shards than needed (which even-edge
+/// balances and naive splitting would not) — the measurable effect of the
+/// Partition Logic Table plug-in point.
+fn shard_count_sweep(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::Orkut, Algo::Cc, scale);
+    let plat = Platform::paper_node_scaled(scale);
+    for p in [4usize, 8, 16, 64] {
+        bench_opt(
+            c,
+            "ablation/shard-count",
+            BenchmarkId::from_parameter(p),
+            &layout,
+            &plat,
+            Algo::Cc,
+            Options::optimized().with_num_shards(p),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = gather_mode, spray_width, concurrent_shards, cta_balance, shard_count_sweep
+}
+criterion_main!(benches);

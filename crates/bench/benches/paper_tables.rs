@@ -1,0 +1,150 @@
+//! Criterion benches mirroring the paper's tables and figures.
+//!
+//! These report **simulated K20c time** (via `iter_custom`), so `cargo
+//! bench` output is directly comparable across commits: a regression here
+//! means a cost model or an engine's data-movement behaviour changed, i.e.
+//! a figure of the reproduction bent.
+//!
+//! One representative cell per table/figure; the full grids come from the
+//! `table*`/`fig*` binaries.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gr_bench::matmul::{run_matmul, Scheme};
+use gr_bench::{layout_for, run_cusha, run_gr, run_graphchi, run_mapgraph, run_xstream, Algo};
+use gr_graph::Dataset;
+use gr_sim::xfer::{transfer_access_time, AccessPattern, TransferMode};
+use gr_sim::{Platform, SimDuration};
+use graphreduce::Options;
+
+/// Scale a simulated duration by criterion's iteration count without
+/// overflow (warmup can request absurd `iters` for cheap closures; the
+/// linear-regression estimate stays exact since totals remain d x iters).
+fn scaled(d: SimDuration, iters: u64) -> Duration {
+    Duration::try_from_secs_f64(d.as_secs_f64() * iters as f64).unwrap_or(Duration::MAX)
+}
+
+/// Bench a closure that yields a simulated duration.
+fn sim_bench<F: FnMut() -> SimDuration>(c: &mut Criterion, name: &str, id: &str, mut f: F) {
+    c.benchmark_group(name).bench_function(id, |b| {
+        b.iter_custom(|iters| scaled(f(), iters))
+    });
+}
+
+/// Table 2 cell: X-Stream vs CuSha, BFS on kron_g500-logn20.
+fn table2(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::KronLogn20, Algo::Bfs, scale);
+    let plat = Platform::paper_node();
+    sim_bench(c, "table2/kron20-bfs", "x-stream", || {
+        run_xstream(Algo::Bfs, &layout, &plat).elapsed
+    });
+    sim_bench(c, "table2/kron20-bfs", "cusha", || {
+        run_cusha(Algo::Bfs, &layout, &plat).unwrap().elapsed
+    });
+}
+
+/// Figure 4: the six transfer-mode x access-pattern cells.
+fn fig4(c: &mut Criterion) {
+    let p = Platform::paper_node();
+    let n = 100_000_000u64;
+    let mut g = c.benchmark_group("fig4/100M-doubles");
+    for (name, mode) in [
+        ("explicit", TransferMode::Explicit),
+        ("pinned", TransferMode::PinnedUva),
+        ("managed", TransferMode::Managed),
+    ] {
+        for (pat_name, pat) in [
+            ("seq", AccessPattern::Sequential),
+            ("rand", AccessPattern::Random),
+        ] {
+            g.bench_function(BenchmarkId::new(name, pat_name), |b| {
+                b.iter_custom(|iters| {
+                    // Evaluate the model once per requested iteration so
+                    // criterion's wall-clock warmup sees iters-proportional
+                    // cost (a constant-time closure makes it explode iters).
+                    let mut d = SimDuration::ZERO;
+                    for _ in 0..iters {
+                        d = std::hint::black_box(transfer_access_time(
+                            &p.pcie, &p.device, mode, pat, n * 8, n, 8,
+                        ));
+                    }
+                    scaled(d, iters)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 5: the three matmul overlap schemes at n = 2048.
+fn fig5(c: &mut Criterion) {
+    let p = Platform::paper_node();
+    for scheme in Scheme::ALL {
+        sim_bench(c, "fig5/matmul-2048", scheme.name(), || {
+            run_matmul(&p, 2048, 50, scheme)
+        });
+    }
+}
+
+/// Table 3 cell: the three out-of-memory engines, BFS on orkut.
+fn table3(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::Orkut, Algo::Bfs, scale);
+    let plat = Platform::paper_node_scaled(scale);
+    sim_bench(c, "table3/orkut-bfs", "graphreduce", || {
+        run_gr(Algo::Bfs, &layout, &plat, Options::optimized())
+            .unwrap()
+            .elapsed
+    });
+    sim_bench(c, "table3/orkut-bfs", "graphchi", || {
+        run_graphchi(Algo::Bfs, &layout, &plat, scale).elapsed
+    });
+    sim_bench(c, "table3/orkut-bfs", "x-stream", || {
+        run_xstream(Algo::Bfs, &layout, &plat).elapsed
+    });
+}
+
+/// Table 4 cell: the three in-memory engines, PageRank on kron-logn20.
+fn table4(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::KronLogn20, Algo::Pagerank, scale);
+    let plat = Platform::paper_node();
+    sim_bench(c, "table4/kron20-pr", "graphreduce", || {
+        run_gr(Algo::Pagerank, &layout, &plat, Options::optimized())
+            .unwrap()
+            .elapsed
+    });
+    sim_bench(c, "table4/kron20-pr", "cusha", || {
+        run_cusha(Algo::Pagerank, &layout, &plat).unwrap().elapsed
+    });
+    sim_bench(c, "table4/kron20-pr", "mapgraph", || {
+        run_mapgraph(Algo::Pagerank, &layout, &plat).unwrap().elapsed
+    });
+}
+
+/// Figure 15 cell: optimized vs unoptimized GR, CC on cage15 (memcpy time).
+fn fig15(c: &mut Criterion) {
+    let scale = 64;
+    let layout = layout_for(Dataset::Cage15, Algo::Cc, scale);
+    let plat = Platform::paper_node_scaled(scale);
+    sim_bench(c, "fig15/cage15-cc-memcpy", "optimized", || {
+        run_gr(Algo::Cc, &layout, &plat, Options::optimized())
+            .unwrap()
+            .memcpy_time
+    });
+    sim_bench(c, "fig15/cage15-cc-memcpy", "unoptimized", || {
+        run_gr(Algo::Cc, &layout, &plat, Options::unoptimized())
+            .unwrap()
+            .memcpy_time
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = table2, fig4, fig5, table3, table4, fig15
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Wall-clock microbenches of the substrate itself (simulator and graph
+//! containers): these measure the *reproduction's* performance — how fast
+//! the discrete-event scheduler, the layout builder, the partitioner, and
+//! the frontier bitmaps run on the host — to keep the harness usable at
+//! larger `--scale` values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gr_graph::{gen, partition_even_edges, Bitmap, GraphLayout};
+use gr_sim::{Capacity, Scheduler, SimDuration, SimTime};
+
+fn scheduler_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/scheduler");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let mut s = Scheduler::new();
+                let r1 = s.add_resource("h2d", Capacity::Finite(1));
+                let r2 = s.add_resource("k", Capacity::Finite(16));
+                let mut prev = None;
+                for i in 0..n {
+                    let deps: Vec<_> = prev.into_iter().collect();
+                    let r = if i % 2 == 0 { r1 } else { r2 };
+                    prev = Some(s.submit(
+                        r,
+                        SimDuration::from_nanos(100 + (i as u64 % 7) * 13),
+                        deps,
+                        SimTime::ZERO,
+                        "op",
+                    ));
+                }
+                s.flush()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn layout_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/layout-build");
+    for &edges in &[100_000u64, 1_000_000] {
+        let el = gen::rmat_g500(17, edges, 3);
+        g.throughput(Throughput::Elements(edges));
+        g.bench_function(BenchmarkId::from_parameter(edges), |b| {
+            b.iter(|| GraphLayout::build(&el))
+        });
+    }
+    g.finish();
+}
+
+fn partitioner(c: &mut Criterion) {
+    let layout = GraphLayout::build(&gen::rmat_g500(17, 1_000_000, 3));
+    let mut g = c.benchmark_group("substrate/partition");
+    for &p in &[2usize, 16, 128] {
+        g.bench_function(BenchmarkId::from_parameter(p), |b| {
+            b.iter(|| partition_even_edges(&layout, p))
+        });
+    }
+    g.finish();
+}
+
+fn bitmap_ops(c: &mut Criterion) {
+    let n = 1_000_000u32;
+    let mut g = c.benchmark_group("substrate/bitmap");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("set-sweep", |b| {
+        b.iter(|| {
+            let mut bm = Bitmap::new(n);
+            for i in (0..n).step_by(3) {
+                bm.set(i);
+            }
+            bm.count()
+        })
+    });
+    let mut bm = Bitmap::new(n);
+    for i in (0..n).step_by(7) {
+        bm.set(i);
+    }
+    g.bench_function("count-range", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for lo in (0..n).step_by(65_536) {
+                total += bm.count_range(lo, (lo + 50_000).min(n));
+            }
+            total
+        })
+    });
+    g.bench_function("iter-set", |b| b.iter(|| bm.iter_set().sum::<u32>()));
+    g.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/generators");
+    g.throughput(Throughput::Elements(500_000));
+    g.bench_function("rmat-500k", |b| b.iter(|| gen::rmat_g500(16, 500_000, 11)));
+    g.bench_function("stencil3d-500k", |b| b.iter(|| gen::stencil3d(30_000, 500_000, 11)));
+    g.bench_function("grid2d-500k", |b| {
+        b.iter(|| gen::grid2d_with_edges(400_000, 500_000, 11))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = scheduler_throughput, layout_build, partitioner, bitmap_ops, generators
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Run every table/figure harness in paper order. Equivalent to executing
+//! each `table*`/`fig*` binary; used to regenerate EXPERIMENTS.md data in
+//! one go:
+//!
+//! ```sh
+//! cargo run --release -p gr-bench --bin all -- --scale 64 | tee results.txt
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    // Forward --scale only when the user gave one: the in-memory
+    // experiments (table2/table4) default to a finer scale on their own.
+    let explicit_scale = std::env::args()
+        .any(|a| a == "--scale")
+        .then(|| gr_bench::scale_from_args().to_string());
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in [
+        "table1", "table2", "fig3", "fig4", "fig5", "table3", "table4", "fig15", "fig16",
+        "fig17", "ext_multigpu", "ext_ssd", "ext_totem",
+    ] {
+        println!("\n######## {bin} ########");
+        let mut cmd = Command::new(dir.join(bin));
+        if let Some(scale) = &explicit_scale {
+            cmd.args(["--scale", scale]);
+        }
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments completed.");
+}

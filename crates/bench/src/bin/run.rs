@@ -1,0 +1,245 @@
+//! General-purpose CLI: run any evaluated algorithm on any dataset
+//! stand-in (or a graph file) under any engine, with a full stats report.
+//!
+//! ```sh
+//! cargo run --release -p gr-bench --bin run -- \
+//!     --algo bfs --dataset uk-2002 --scale 128 --engine gr
+//! cargo run --release -p gr-bench --bin run -- \
+//!     --algo cc --dataset orkut --engine xstream --unoptimized
+//! cargo run --release -p gr-bench --bin run -- \
+//!     --algo sssp --file mygraph.txt --engine gr --gpus 4
+//! ```
+
+use gr_bench::{default_source, run_cusha, run_graphchi, run_mapgraph, run_xstream, Algo};
+use gr_graph::{Dataset, EdgeList, GraphLayout, GraphStats};
+use gr_sim::Platform;
+use graphreduce::{GraphReduce, MultiGraphReduce, Options};
+
+struct Args {
+    algo: Algo,
+    dataset: Option<Dataset>,
+    file: Option<String>,
+    scale: u64,
+    engine: String,
+    optimized: bool,
+    gpus: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
+         [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N]"
+    );
+    eprintln!("datasets:");
+    for ds in Dataset::IN_MEMORY.iter().chain(Dataset::OUT_OF_MEMORY.iter()) {
+        eprintln!("  {}", ds.name());
+    }
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        algo: Algo::Bfs,
+        dataset: None,
+        file: None,
+        scale: 64,
+        engine: "gr".into(),
+        optimized: true,
+        gpus: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut have_algo = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--algo" => {
+                have_algo = true;
+                args.algo = match it.next().as_deref() {
+                    Some("bfs") => Algo::Bfs,
+                    Some("sssp") => Algo::Sssp,
+                    Some("pagerank") | Some("pr") => Algo::Pagerank,
+                    Some("cc") => Algo::Cc,
+                    _ => usage(),
+                };
+            }
+            "--dataset" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                args.dataset = Dataset::IN_MEMORY
+                    .iter()
+                    .chain(Dataset::OUT_OF_MEMORY.iter())
+                    .find(|d| d.name().eq_ignore_ascii_case(&name))
+                    .copied();
+                if args.dataset.is_none() {
+                    eprintln!("unknown dataset {name}");
+                    usage();
+                }
+            }
+            "--file" => args.file = it.next().or_else(|| usage()),
+            "--scale" => args.scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--engine" => args.engine = it.next().unwrap_or_else(|| usage()),
+            "--unoptimized" => args.optimized = false,
+            "--gpus" => args.gpus = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if !have_algo || (args.dataset.is_none() && args.file.is_none()) {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let el: EdgeList = if let Some(path) = &args.file {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        EdgeList::read_text(f).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let ds = args.dataset.unwrap();
+        match args.algo {
+            Algo::Sssp => ds.generate_weighted(args.scale),
+            Algo::Cc => ds.generate(args.scale).symmetrize(),
+            _ => ds.generate(args.scale),
+        }
+    };
+    let layout = GraphLayout::build(&el);
+    println!("{}", GraphStats::compute(&layout));
+    println!();
+
+    let platform = Platform::paper_node_scaled(args.scale);
+    let opts = if args.optimized {
+        Options::optimized()
+    } else {
+        Options::unoptimized()
+    };
+    let src = default_source(&layout);
+
+    match args.engine.as_str() {
+        "gr" if args.gpus > 1 => {
+            let stats = match args.algo {
+                Algo::Bfs => {
+                    MultiGraphReduce::new(gr_algorithms::Bfs::new(src), &layout, platform, args.gpus)
+                        .run()
+                        .expect("plan fits")
+                        .stats
+                }
+                Algo::Cc => MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus)
+                    .run()
+                    .expect("plan fits")
+                    .stats,
+                Algo::Sssp => MultiGraphReduce::new(
+                    gr_algorithms::Sssp::new(src),
+                    &layout,
+                    platform,
+                    args.gpus,
+                )
+                .run()
+                .expect("plan fits")
+                .stats,
+                Algo::Pagerank => MultiGraphReduce::new(
+                    gr_algorithms::PageRank::default(),
+                    &layout,
+                    platform,
+                    args.gpus,
+                )
+                .run()
+                .expect("plan fits")
+                .stats,
+            };
+            println!(
+                "graphreduce x{} GPUs: {} iterations in {} ({:.1} MB exchanged)",
+                stats.num_gpus,
+                stats.iterations,
+                stats.elapsed,
+                stats.exchange_bytes as f64 / 1e6
+            );
+        }
+        "gr" => {
+            let stats = match args.algo {
+                Algo::Bfs => {
+                    GraphReduce::new(gr_algorithms::Bfs::new(src), &layout, platform, opts)
+                        .run()
+                        .expect("plan fits")
+                        .stats
+                }
+                Algo::Cc => GraphReduce::new(gr_algorithms::Cc, &layout, platform, opts)
+                    .run()
+                    .expect("plan fits")
+                    .stats,
+                Algo::Sssp => {
+                    GraphReduce::new(gr_algorithms::Sssp::new(src), &layout, platform, opts)
+                        .run()
+                        .expect("plan fits")
+                        .stats
+                }
+                Algo::Pagerank => GraphReduce::new(
+                    gr_algorithms::PageRank::default(),
+                    &layout,
+                    platform,
+                    opts,
+                )
+                .run()
+                .expect("plan fits")
+                .stats,
+            };
+            println!("{stats}");
+        }
+        "graphchi" => {
+            let s = run_graphchi(args.algo, &layout, &platform, args.scale);
+            println!("graphchi: {} iterations in {}", s.iterations, s.elapsed);
+        }
+        "xstream" => {
+            let s = run_xstream(args.algo, &layout, &platform);
+            println!("x-stream: {} iterations in {}", s.iterations, s.elapsed);
+        }
+        "cusha" => match run_cusha(args.algo, &layout, &platform) {
+            Ok(s) => println!("cusha: {} iterations in {}", s.iterations, s.elapsed),
+            Err(e) => println!("cusha: {e}"),
+        },
+        "mapgraph" => match run_mapgraph(args.algo, &layout, &platform) {
+            Ok(s) => println!("mapgraph: {} iterations in {}", s.iterations, s.elapsed),
+            Err(e) => println!("mapgraph: {e}"),
+        },
+        "totem" => {
+            use gr_baselines::Totem;
+            let t = Totem::default();
+            let (stats, split) = match args.algo {
+                Algo::Bfs => {
+                    let (r, sp) = t.run(&gr_algorithms::Bfs::new(src), &layout, &platform);
+                    (r.stats, sp)
+                }
+                Algo::Cc => {
+                    let (r, sp) = t.run(&gr_algorithms::Cc, &layout, &platform);
+                    (r.stats, sp)
+                }
+                Algo::Sssp => {
+                    let (r, sp) = t.run(&gr_algorithms::Sssp::new(src), &layout, &platform);
+                    (r.stats, sp)
+                }
+                Algo::Pagerank => {
+                    let (r, sp) = t.run(&gr_algorithms::PageRank::default(), &layout, &platform);
+                    (r.stats, sp)
+                }
+            };
+            println!(
+                "totem: {} iterations in {} (GPU holds {:.1}% of edges, {} boundary edges)",
+                stats.iterations,
+                stats.elapsed,
+                100.0 * split.gpu_fraction(),
+                split.boundary_edges
+            );
+        }
+        other => {
+            eprintln!("unknown engine {other}");
+            usage();
+        }
+    }
+}

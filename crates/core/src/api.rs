@@ -1,0 +1,167 @@
+//! The GraphReduce user interface (Section 4.1, Figure 6).
+//!
+//! Programmers define their graph state data types and up to four device
+//! functions — `gatherMap`, `gatherReduce`, `apply`, `scatter` — and the
+//! framework generates the parallel out-of-core execution. Phases a program
+//! does not define are *eliminated*: the runtime drops their kernels **and
+//! the data movement that would feed them** (Section 5.3); e.g. a program
+//! with no gather never pays for in-edge copies, and a program with no
+//! scatter never copies edge values back.
+//!
+//! The trait below is the Rust rendering of the paper's `UserInfoTuple`
+//! `<gather(), apply(), scatter(), VertexDataType, EdgeDataType>`.
+
+use gr_graph::VertexId;
+
+/// How the computation frontier is seeded (the paper's Initialization
+/// stage: "initializing vertex/edge values and a starting computation
+/// frontier").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InitialFrontier {
+    /// All vertices start active (PageRank, Connected Components).
+    All,
+    /// A single source vertex starts active (BFS, SSSP).
+    Single(VertexId),
+}
+
+/// A Gather-Apply-Scatter program.
+///
+/// All methods take `&self` and must be pure with respect to the program
+/// (the engine invokes them from parallel host threads standing in for GPU
+/// lanes).
+pub trait GasProgram: Sync {
+    /// Per-vertex mutable state (`VertexDataType`).
+    type VertexValue: Copy + Send + Sync;
+    /// Per-edge mutable state (`EdgeDataType`). Use `()` when edges carry
+    /// no mutable state — static weights are passed separately.
+    type EdgeValue: Copy + Send + Sync + Default;
+    /// The gather accumulator produced by `gather_map` and folded by
+    /// `gather_reduce`.
+    type Gather: Copy + Send + Sync;
+
+    /// Human-readable program name (traces, experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Initial value of vertex `v` (receives the vertex's out-degree, which
+    /// PageRank-style programs fold into their state).
+    fn init_vertex(&self, v: VertexId, out_degree: u32) -> Self::VertexValue;
+
+    /// Initial frontier.
+    fn initial_frontier(&self) -> InitialFrontier;
+
+    /// Identity element of [`GasProgram::gather_reduce`]; seeds each
+    /// vertex's accumulator.
+    fn gather_identity(&self) -> Self::Gather;
+
+    /// `G(u, v, e)` — evaluated per in-edge of an active vertex. `dst` is
+    /// the gathering vertex's value, `src` the in-neighbor's, `edge` the
+    /// mutable edge state and `weight` the static edge weight.
+    ///
+    /// Only called when [`GasProgram::has_gather`] is true.
+    fn gather_map(
+        &self,
+        dst: &Self::VertexValue,
+        src: &Self::VertexValue,
+        edge: &Self::EdgeValue,
+        weight: f32,
+    ) -> Self::Gather;
+
+    /// `⊎` — fold two gather accumulators. Must be associative and
+    /// commutative (the reduction order over in-edges is unspecified, as on
+    /// real hardware).
+    fn gather_reduce(&self, a: Self::Gather, b: Self::Gather) -> Self::Gather;
+
+    /// `U(v, R)` — update an active vertex from the reduced gather result;
+    /// returns whether the vertex *changed* (changed vertices activate
+    /// their one-hop out-neighborhood for the next iteration).
+    /// `iteration` is the 0-based iteration number (BFS marks tree depth
+    /// with it, as in Section 5.3).
+    fn apply(&self, v: &mut Self::VertexValue, r: Self::Gather, iteration: u32) -> bool;
+
+    /// `S(v', e)` — update the out-edge state of a changed vertex. `src` is
+    /// the (already applied) vertex value, `dst` the edge's target value.
+    ///
+    /// Only called when [`GasProgram::has_scatter`] is true.
+    fn scatter(
+        &self,
+        src: &Self::VertexValue,
+        dst: &Self::VertexValue,
+        edge: &mut Self::EdgeValue,
+    );
+
+    /// Whether the program defines the Gather phase. Programs without it
+    /// (e.g. BFS) never pay in-edge data movement (phase elimination).
+    fn has_gather(&self) -> bool {
+        true
+    }
+
+    /// Whether the program defines the Scatter phase (mutable edge state).
+    /// Programs without it never copy edge values back to the host.
+    fn has_scatter(&self) -> bool {
+        false
+    }
+
+    /// Upper bound on iterations (safety net; algorithms normally converge
+    /// by frontier exhaustion).
+    fn max_iterations(&self) -> u32 {
+        10_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal program used to check trait defaults: floods a counter.
+    struct Flood;
+
+    impl GasProgram for Flood {
+        type VertexValue = u32;
+        type EdgeValue = ();
+        type Gather = u32;
+
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+
+        fn init_vertex(&self, _v: VertexId, _d: u32) -> u32 {
+            u32::MAX
+        }
+
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::Single(0)
+        }
+
+        fn gather_identity(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn gather_map(&self, _dst: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
+            *src
+        }
+
+        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+
+        fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
+            if r < *v {
+                *v = r;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
+    }
+
+    #[test]
+    fn defaults() {
+        let p = Flood;
+        assert!(p.has_gather());
+        assert!(!p.has_scatter());
+        assert_eq!(p.max_iterations(), 10_000);
+        assert_eq!(p.initial_frontier(), InitialFrontier::Single(0));
+    }
+}

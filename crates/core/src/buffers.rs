@@ -1,0 +1,298 @@
+//! Buffer characterization (Section 3.2: "Characterization of Buffers in
+//! Play").
+//!
+//! The paper classifies every buffer the runtime touches along three axes
+//! and derives its placement and movement policy from them:
+//!
+//! * **movement** — *static* buffers are copied once at initialization and
+//!   stay on the device for the run's lifetime; *streaming* buffers move in
+//!   and out as shards are processed;
+//! * **access** — read-only buffers never need a copy back to the host;
+//!   read-write buffers do (when they are streaming);
+//! * **locality** — buffers with random access must live in fast device
+//!   memory; sequential access could tolerate zero-copy host memory, but
+//!   because every GAS phase mixes both kinds, GraphReduce maps everything
+//!   to explicit transfers into device memory (the Figure 4 analysis).
+//!
+//! This module is the typed rendering of that taxonomy: a catalog of every
+//! buffer class for a given program, with the placement/copy-out decisions
+//! the engine implements. Tests pin the catalog's byte totals to
+//! [`crate::SizeModel`] so the documented model cannot drift from the
+//! engine's actual data movement.
+
+use crate::sizes::SizeModel;
+
+/// The five phases of Figure 12.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    GatherMap,
+    GatherReduce,
+    Apply,
+    Scatter,
+    FrontierActivate,
+}
+
+/// Temporal movement class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Movement {
+    /// Copied once at initialization; device-resident for the whole run.
+    Static,
+    /// Moved per shard as processing progresses.
+    Streaming,
+}
+
+/// Mutability class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    ReadOnly,
+    ReadWrite,
+}
+
+/// Spatial locality of device-side accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Locality {
+    /// Coalesced/streaming (sorted shard layouts make edge scans
+    /// sequential — Section 4.2's reason for sorting).
+    Sequential,
+    /// Uncoalesced (e.g. source-vertex lookups during gatherMap).
+    Random,
+}
+
+/// Where the buffer should live, per the Section 3.2 mapping rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Explicitly transferred into device memory (GR's choice for all
+    /// buffers: random accesses to host memory are catastrophic — Fig. 4).
+    DeviceExplicit,
+}
+
+/// One buffer class of the runtime.
+#[derive(Clone, Debug)]
+pub struct BufferClass {
+    /// Name as used in trace labels.
+    pub name: &'static str,
+    pub movement: Movement,
+    pub access: Access,
+    pub locality: Locality,
+    /// Phases that touch this buffer.
+    pub phases: &'static [Phase],
+    /// Bytes per element (vertex or edge, see `per_edge`).
+    pub bytes_per_element: u64,
+    /// Whether the element unit is an edge (true) or a vertex (false).
+    pub per_edge: bool,
+}
+
+impl BufferClass {
+    /// Section 3.2's placement rule. GR maps everything to explicit device
+    /// transfers: at least one phase randomly accesses each buffer family,
+    /// and random zero-copy access over PCIe is ~100x worse (Figure 4).
+    pub fn placement(&self) -> Placement {
+        Placement::DeviceExplicit
+    }
+
+    /// "Based on these attributes, the GR runtime makes decisions on
+    /// whether or not to transfer certain buffers back to the host":
+    /// only read-write *streaming* buffers copy out (static RW buffers are
+    /// fetched once at finalization).
+    pub fn needs_copy_out(&self) -> bool {
+        self.movement == Movement::Streaming && self.access == Access::ReadWrite
+    }
+}
+
+/// The complete buffer inventory for a program with the given phase set,
+/// mirroring the engine's shard layout (Figure 7).
+pub fn catalog(sizes: &SizeModel) -> Vec<BufferClass> {
+    let mut v = Vec::new();
+    // Static buffers: vertex values + gather temp + frontier bitmaps.
+    v.push(BufferClass {
+        name: "vertex.values",
+        movement: Movement::Static,
+        access: Access::ReadWrite,
+        locality: Locality::Random, // gatherMap reads arbitrary sources
+        phases: &[Phase::GatherMap, Phase::Apply, Phase::Scatter],
+        bytes_per_element: sizes.vertex_value,
+        per_edge: false,
+    });
+    if sizes.has_gather {
+        v.push(BufferClass {
+            name: "gather.temp",
+            movement: Movement::Static,
+            access: Access::ReadWrite,
+            locality: Locality::Sequential, // one slot per interval vertex
+            phases: &[Phase::GatherReduce, Phase::Apply],
+            bytes_per_element: sizes.gather,
+            per_edge: false,
+        });
+        // Streaming in-edge record: topology + per-edge update slot +
+        // per-edge state (+ mutable value).
+        v.push(BufferClass {
+            name: "in.topo",
+            movement: Movement::Streaming,
+            access: Access::ReadOnly,
+            locality: Locality::Sequential,
+            phases: &[Phase::GatherMap],
+            bytes_per_element: 12,
+            per_edge: true,
+        });
+        v.push(BufferClass {
+            name: "in.update",
+            movement: Movement::Streaming,
+            access: Access::ReadWrite,
+            locality: Locality::Sequential, // CSC sort ⇒ consecutive slots
+            phases: &[Phase::GatherMap, Phase::GatherReduce],
+            bytes_per_element: sizes.gather + 4,
+            per_edge: true,
+        });
+        v.push(BufferClass {
+            name: "in.state",
+            movement: Movement::Streaming,
+            access: Access::ReadOnly,
+            locality: Locality::Sequential,
+            phases: &[Phase::GatherMap],
+            bytes_per_element: 16,
+            per_edge: true,
+        });
+        if sizes.edge_value > 0 {
+            v.push(BufferClass {
+                name: "in.value",
+                movement: Movement::Streaming,
+                access: Access::ReadOnly, // gather reads; scatter writes the OUT copy
+                locality: Locality::Sequential,
+                phases: &[Phase::GatherMap],
+                bytes_per_element: sizes.edge_value,
+                per_edge: true,
+            });
+        }
+    }
+    // Out-edge records: FrontierActivate always needs the topology.
+    v.push(BufferClass {
+        name: "out.topo",
+        movement: Movement::Streaming,
+        access: Access::ReadOnly,
+        locality: Locality::Sequential,
+        phases: &[Phase::Scatter, Phase::FrontierActivate],
+        bytes_per_element: 12,
+        per_edge: true,
+    });
+    v.push(BufferClass {
+        name: "out.state",
+        movement: Movement::Streaming,
+        access: Access::ReadOnly,
+        locality: Locality::Sequential,
+        phases: &[Phase::FrontierActivate],
+        bytes_per_element: 8,
+        per_edge: true,
+    });
+    if sizes.has_scatter && sizes.edge_value > 0 {
+        v.push(BufferClass {
+            name: "out.value",
+            movement: Movement::Streaming,
+            access: Access::ReadWrite, // scatter mutates edge state
+            locality: Locality::Sequential,
+            phases: &[Phase::Scatter],
+            bytes_per_element: sizes.edge_value,
+            per_edge: true,
+        });
+    }
+    v.push(BufferClass {
+        name: "frontier.bits",
+        movement: Movement::Static,
+        access: Access::ReadWrite,
+        locality: Locality::Random, // activation scatters into the bitmap
+        phases: &[Phase::GatherMap, Phase::Apply, Phase::FrontierActivate],
+        bytes_per_element: 1, // 3 bitmaps, ~3/8 byte per vertex; modeled coarsely
+        per_edge: false,
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(has_gather: bool, has_scatter: bool, edge_value: u64) -> SizeModel {
+        SizeModel {
+            vertex_value: 8,
+            gather: 4,
+            edge_value,
+            has_gather,
+            has_scatter,
+        }
+    }
+
+    /// The catalog's streaming per-edge byte totals must equal the
+    /// SizeModel the engine actually moves — the documented taxonomy and
+    /// the implementation cannot drift apart.
+    #[test]
+    fn catalog_bytes_match_size_model() {
+        for (g, sc, ev) in [
+            (true, false, 0u64),
+            (true, true, 4),
+            (false, false, 0),
+            (true, false, 4),
+        ] {
+            let s = sizes(g, sc, ev);
+            let cat = catalog(&s);
+            let in_bytes: u64 = cat
+                .iter()
+                .filter(|b| b.per_edge && b.name.starts_with("in."))
+                .map(|b| b.bytes_per_element)
+                .sum();
+            let out_bytes: u64 = cat
+                .iter()
+                .filter(|b| b.per_edge && b.name.starts_with("out."))
+                .map(|b| b.bytes_per_element)
+                .sum();
+            assert_eq!(in_bytes, s.in_edge_bytes(), "in ({g},{sc},{ev})");
+            assert_eq!(out_bytes, s.out_edge_bytes(), "out ({g},{sc},{ev})");
+        }
+    }
+
+    #[test]
+    fn copy_out_rule_matches_section_3_2() {
+        let cat = catalog(&sizes(true, true, 4));
+        // Only streaming read-write buffers copy out.
+        let out: Vec<&str> = cat
+            .iter()
+            .filter(|b| b.needs_copy_out())
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(out, vec!["in.update", "out.value"]);
+        // Static read-write buffers (vertex values) do NOT copy out per
+        // iteration — they are fetched at finalization.
+        let vv = cat.iter().find(|b| b.name == "vertex.values").unwrap();
+        assert!(!vv.needs_copy_out());
+        assert_eq!(vv.movement, Movement::Static);
+    }
+
+    #[test]
+    fn every_buffer_maps_to_explicit_device_memory() {
+        // Section 3.2's conclusion: explicit transfers for everything.
+        for b in catalog(&sizes(true, true, 4)) {
+            assert_eq!(b.placement(), Placement::DeviceExplicit);
+        }
+    }
+
+    #[test]
+    fn elimination_drops_in_edge_buffers() {
+        let cat = catalog(&sizes(false, false, 0));
+        assert!(cat.iter().all(|b| !b.name.starts_with("in.")));
+        assert!(cat.iter().any(|b| b.name == "out.topo"));
+    }
+
+    #[test]
+    fn random_buffers_exist_in_every_phase_mix() {
+        // The reason zero-copy placement is rejected: at least one buffer
+        // with random locality is touched by the gather and activate
+        // phases.
+        let cat = catalog(&sizes(true, false, 0));
+        assert!(cat
+            .iter()
+            .any(|b| b.locality == Locality::Random
+                && b.phases.contains(&Phase::GatherMap)));
+        assert!(cat
+            .iter()
+            .any(|b| b.locality == Locality::Random
+                && b.phases.contains(&Phase::FrontierActivate)));
+    }
+}

@@ -1,0 +1,460 @@
+//! Multi-GPU GraphReduce — the paper's first future-work item (Section 8:
+//! "extending GraphReduce to support multiple on-node GPUs").
+//!
+//! Shards are distributed round-robin across `N` virtual devices, each with
+//! its own PCIe link, streams, and memory pool; the vertex array and the
+//! frontier bitmaps are **replicated** on every device (the paper's static
+//! buffers, now per device). Every iteration:
+//!
+//! 1. each device runs the fused gather stage over *its* active shards;
+//! 2. apply runs on the owner device of each interval;
+//! 3. scatter + FrontierActivate run on the owner, then devices exchange
+//!    the iteration's changed vertex values and activation bits through
+//!    host memory (D2H from each owner, H2D broadcast to the others —
+//!    every device has its own link, so uploads/downloads overlap across
+//!    devices but serialize per link).
+//!
+//! Iteration wall time is the max across devices (devices progress their
+//! own virtual clocks; a global barrier aligns them each stage).
+//! Semantics are unchanged — results stay bit-identical to the
+//! single-device engine and the sequential oracle.
+
+use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_sim::{Gpu, KernelSpec, Platform, SimDuration, StreamId};
+
+use crate::api::{GasProgram, InitialFrontier};
+use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
+use crate::sizes::{plan_partition, PlanError, SizeModel};
+use crate::stats::IterationStats;
+
+/// Multi-GPU run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MultiRunStats {
+    /// Devices used.
+    pub num_gpus: u32,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Global wall time (stage-aligned max across devices).
+    pub elapsed: SimDuration,
+    /// Per-device copy-engine busy time.
+    pub per_gpu_memcpy: Vec<SimDuration>,
+    /// Per-device kernel busy time.
+    pub per_gpu_kernel: Vec<SimDuration>,
+    /// Bytes exchanged between devices (through the host) for vertex/
+    /// frontier synchronization.
+    pub exchange_bytes: u64,
+    /// Shard count.
+    pub num_shards: usize,
+    /// Per-iteration trace.
+    pub per_iteration: Vec<IterationStats>,
+}
+
+/// Result of a multi-GPU run.
+pub struct MultiRunResult<P: GasProgram> {
+    pub vertex_values: Vec<P::VertexValue>,
+    pub edge_values: Vec<P::EdgeValue>,
+    pub stats: MultiRunStats,
+}
+
+/// Multi-GPU engine: `num_gpus` identical devices from `platform`.
+pub struct MultiGraphReduce<'g, P: GasProgram> {
+    program: P,
+    layout: &'g GraphLayout,
+    platform: Platform,
+    num_gpus: u32,
+}
+
+impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
+    pub fn new(program: P, layout: &'g GraphLayout, platform: Platform, num_gpus: u32) -> Self {
+        MultiGraphReduce {
+            program,
+            layout,
+            platform,
+            num_gpus: num_gpus.max(1),
+        }
+    }
+
+    fn size_model(&self) -> SizeModel {
+        SizeModel {
+            vertex_value: std::mem::size_of::<P::VertexValue>() as u64,
+            gather: std::mem::size_of::<P::Gather>() as u64,
+            edge_value: std::mem::size_of::<P::EdgeValue>() as u64,
+            has_gather: self.program.has_gather(),
+            has_scatter: self.program.has_scatter(),
+        }
+    }
+
+    /// Execute to convergence.
+    pub fn run(&self) -> Result<MultiRunResult<P>, PlanError> {
+        let sizes = self.size_model();
+        let n = self.layout.num_vertices();
+        let ngpu = self.num_gpus as usize;
+        // Partition for a single device's memory (each device must hold its
+        // own static buffers + its in-flight shards).
+        let plan = plan_partition(
+            self.layout,
+            &sizes,
+            &self.platform.device,
+            &self.platform.pcie,
+            2,
+            None,
+        )?;
+        let shards = &plan.shards;
+
+        let mut gpus: Vec<Gpu> = (0..ngpu).map(|_| Gpu::new(&self.platform)).collect();
+        let streams: Vec<Vec<StreamId>> = gpus
+            .iter_mut()
+            .map(|g| (0..plan.concurrent as usize).map(|_| g.create_stream()).collect())
+            .collect();
+        // Static buffers replicated per device.
+        let vbytes = n as u64 * sizes.vertex_value;
+        let mut global = SimDuration::ZERO;
+        for g in &mut gpus {
+            let s = g.create_stream();
+            g.h2d(s, vbytes, "multi.init.vertices");
+        }
+        global += barrier(&mut gpus);
+
+        // Host master state (results computed once, exactly).
+        let mut vertex_values: Vec<P::VertexValue> = (0..n)
+            .map(|v| self.program.init_vertex(v, self.layout.csr.degree(v) as u32))
+            .collect();
+        let mut edge_values = vec![P::EdgeValue::default(); self.layout.num_edges() as usize];
+        let mut gather_temp = vec![self.program.gather_identity(); n as usize];
+        let mut frontier = match self.program.initial_frontier() {
+            InitialFrontier::All => Bitmap::full(n),
+            InitialFrontier::Single(v) => {
+                let mut b = Bitmap::new(n);
+                if n > 0 {
+                    b.set(v);
+                }
+                b
+            }
+        };
+
+        let owner = |shard_id: usize| shard_id % ngpu;
+        let mut per_iteration = Vec::new();
+        let mut exchange_bytes = 0u64;
+        let mut iter = 0u32;
+        while iter < self.program.max_iterations() && frontier.count() > 0 {
+            // ---- exact BSP computation (once, on the host) ----
+            let mut work = vec![ShardWork::default(); shards.len()];
+            let mut changed = Bitmap::new(n);
+            let mut next = Bitmap::new(n);
+            if self.program.has_gather() {
+                for (i, sh) in shards.iter().enumerate() {
+                    let (lo, hi) = (sh.interval.start as usize, sh.interval.end as usize);
+                    let (a, e) = gather_shard(
+                        &self.program,
+                        self.layout,
+                        sh,
+                        &vertex_values,
+                        &edge_values,
+                        &self.layout.weights,
+                        &frontier,
+                        &mut gather_temp[lo..hi],
+                    );
+                    work[i].active_vertices = a;
+                    work[i].active_in_edges = e;
+                }
+            } else {
+                for (i, sh) in shards.iter().enumerate() {
+                    work[i].active_vertices =
+                        frontier.count_range(sh.interval.start, sh.interval.end);
+                }
+            }
+            for (i, sh) in shards.iter().enumerate() {
+                let (lo, hi) = (sh.interval.start as usize, sh.interval.end as usize);
+                let ids = apply_shard(
+                    &self.program,
+                    sh,
+                    &mut vertex_values[lo..hi],
+                    &gather_temp[lo..hi],
+                    &frontier,
+                    iter,
+                );
+                work[i].changed_vertices = ids.len() as u64;
+                for v in ids {
+                    changed.set(v);
+                }
+            }
+            if self.program.has_scatter() {
+                for sh in shards.iter() {
+                    scatter_shard(
+                        &self.program,
+                        self.layout,
+                        sh,
+                        &vertex_values,
+                        &mut edge_values,
+                        &changed,
+                    );
+                }
+            }
+            let mut activated = 0;
+            for (i, sh) in shards.iter().enumerate() {
+                let (walked, act) = activate_shard(self.layout, sh, &changed, &mut next);
+                work[i].out_edges_of_changed = walked;
+                activated += act;
+            }
+
+            // ---- device timelines ----
+            // Stage A: gather on each shard's owner device.
+            if self.program.has_gather() {
+                for (i, sh) in shards.iter().enumerate() {
+                    if !work[i].is_active() {
+                        continue;
+                    }
+                    let d = owner(i);
+                    let stream = streams[d][i % streams[d].len()];
+                    let e = sh.num_in_edges();
+                    gpus[d].h2d(stream, e * sizes.in_edge_bytes(), "multi.in-edges");
+                    gpus[d].launch(
+                        stream,
+                        &KernelSpec::balanced(
+                            "multi.gather",
+                            work[i].active_in_edges,
+                            2.0,
+                            work[i].active_in_edges * (sizes.in_edge_bytes() + sizes.gather),
+                            work[i].active_in_edges,
+                        ),
+                    );
+                }
+                global += barrier(&mut gpus);
+            }
+            // Stage B: apply on owners.
+            for (i, _sh) in shards.iter().enumerate() {
+                if !work[i].is_active() {
+                    continue;
+                }
+                let d = owner(i);
+                let stream = streams[d][i % streams[d].len()];
+                gpus[d].launch(
+                    stream,
+                    &KernelSpec::balanced(
+                        "multi.apply",
+                        work[i].active_vertices,
+                        4.0,
+                        work[i].active_vertices * (sizes.vertex_value + sizes.gather),
+                        0,
+                    ),
+                );
+            }
+            global += barrier(&mut gpus);
+            // Stage C: scatter/activate on owners, then cross-device
+            // exchange of changed vertex values + activation bits.
+            for (i, sh) in shards.iter().enumerate() {
+                if work[i].out_edges_of_changed == 0 {
+                    continue;
+                }
+                let d = owner(i);
+                let stream = streams[d][i % streams[d].len()];
+                gpus[d].h2d(stream, sh.num_out_edges() * sizes.out_edge_bytes(), "multi.out-edges");
+                gpus[d].launch(
+                    stream,
+                    &KernelSpec::balanced(
+                        "multi.activate",
+                        work[i].out_edges_of_changed,
+                        1.0,
+                        work[i].out_edges_of_changed * 4,
+                        work[i].out_edges_of_changed,
+                    ),
+                );
+            }
+            // Exchange: each owner downloads its changed values; every
+            // device uploads the union of the *other* owners' changes.
+            let mut changed_per_gpu = vec![0u64; ngpu];
+            for (i, sh) in shards.iter().enumerate() {
+                changed_per_gpu[owner(i)] +=
+                    changed.count_range(sh.interval.start, sh.interval.end);
+            }
+            let total_changed: u64 = changed_per_gpu.iter().sum();
+            if ngpu > 1 {
+                for (d, g) in gpus.iter_mut().enumerate() {
+                    let s = streams[d][0];
+                    let down = changed_per_gpu[d] * (sizes.vertex_value + 4);
+                    let up = (total_changed - changed_per_gpu[d]) * (sizes.vertex_value + 4);
+                    if down > 0 {
+                        g.d2h(s, down, "multi.exchange.down");
+                        exchange_bytes += down;
+                    }
+                    if up > 0 {
+                        g.h2d(s, up, "multi.exchange.up");
+                        exchange_bytes += up;
+                    }
+                }
+            } else {
+                let d2h: u64 = total_changed.div_ceil(8);
+                gpus[0].d2h(streams[0][0], d2h, "multi.frontier.bits");
+            }
+            global += barrier(&mut gpus);
+
+            per_iteration.push(IterationStats {
+                frontier_size: frontier.count(),
+                gathered_edges: work.iter().map(|w| w.active_in_edges).sum(),
+                changed: changed.count(),
+                activated,
+                shards_processed: work.iter().filter(|w| w.is_active()).count() as u32,
+                shards_skipped: (shards.len() - work.iter().filter(|w| w.is_active()).count())
+                    as u32,
+            });
+            frontier = next;
+            iter += 1;
+        }
+
+        // Final download from owners.
+        for (d, g) in gpus.iter_mut().enumerate() {
+            let owned: u64 = shards
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| owner(*i) == d)
+                .map(|(_, sh)| sh.num_vertices())
+                .sum();
+            g.d2h(streams[d][0], owned * sizes.vertex_value, "multi.final");
+        }
+        global += barrier(&mut gpus);
+
+        let stats = MultiRunStats {
+            num_gpus: self.num_gpus,
+            iterations: iter,
+            elapsed: global,
+            per_gpu_memcpy: gpus.iter().map(|g| g.stats().memcpy_busy).collect(),
+            per_gpu_kernel: gpus.iter().map(|g| g.stats().kernel_busy).collect(),
+            exchange_bytes,
+            num_shards: shards.len(),
+            per_iteration,
+        };
+        Ok(MultiRunResult {
+            vertex_values,
+            edge_values,
+            stats,
+        })
+    }
+}
+
+/// Advance all devices to their next barrier; return the stage duration
+/// (the slowest device's progress — devices run concurrently).
+fn barrier(gpus: &mut [Gpu]) -> SimDuration {
+    let mut stage = SimDuration::ZERO;
+    for g in gpus.iter_mut() {
+        let before = g.elapsed();
+        g.synchronize();
+        stage = stage.max(g.elapsed() - before);
+    }
+    stage
+}
+
+/// Helper to assemble one [`Shard`]'s byte volume under a size model (used
+/// by scaling analyses).
+pub fn shard_stream_bytes(sizes: &SizeModel, sh: &Shard) -> u64 {
+    sizes.shard_bytes(sh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GraphReduce;
+    use crate::options::Options;
+    use gr_graph::gen;
+
+    struct Cc;
+
+    impl GasProgram for Cc {
+        type VertexValue = u32;
+        type EdgeValue = ();
+        type Gather = u32;
+
+        fn name(&self) -> &'static str {
+            "cc"
+        }
+
+        fn init_vertex(&self, v: u32, _d: u32) -> u32 {
+            v
+        }
+
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::All
+        }
+
+        fn gather_identity(&self) -> u32 {
+            u32::MAX
+        }
+
+        fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
+            *src
+        }
+
+        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+
+        fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
+            if r < *v {
+                *v = r;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
+    }
+
+    fn layout() -> GraphLayout {
+        GraphLayout::build(&gen::rmat_g500(11, 30_000, 17).symmetrize())
+    }
+
+    #[test]
+    fn multi_gpu_matches_single_device_results() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let single = GraphReduce::new(Cc, &l, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
+        for n in [1u32, 2, 4] {
+            let multi = MultiGraphReduce::new(Cc, &l, plat.clone(), n).run().unwrap();
+            assert_eq!(multi.vertex_values, single.vertex_values, "{n} GPUs");
+            assert_eq!(multi.stats.num_gpus, n);
+            assert_eq!(multi.stats.per_gpu_memcpy.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn more_gpus_reduce_wall_time_on_streaming_runs() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14); // heavy sharding
+        let one = MultiGraphReduce::new(Cc, &l, plat.clone(), 1).run().unwrap();
+        let four = MultiGraphReduce::new(Cc, &l, plat, 4).run().unwrap();
+        assert!(
+            four.stats.elapsed < one.stats.elapsed,
+            "4 GPUs {:?} vs 1 GPU {:?}",
+            four.stats.elapsed,
+            one.stats.elapsed
+        );
+        assert!(four.stats.exchange_bytes > 0, "exchange traffic expected");
+        assert_eq!(one.stats.exchange_bytes, 0, "single device exchanges nothing");
+    }
+
+    #[test]
+    fn scaling_is_sublinear_because_of_exchange() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let one = MultiGraphReduce::new(Cc, &l, plat.clone(), 1).run().unwrap();
+        let eight = MultiGraphReduce::new(Cc, &l, plat, 8).run().unwrap();
+        let speedup = one.stats.elapsed.as_secs_f64() / eight.stats.elapsed.as_secs_f64();
+        assert!(speedup > 1.0 && speedup < 8.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn iteration_counts_match_single_device() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let single = GraphReduce::new(Cc, &l, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
+        let multi = MultiGraphReduce::new(Cc, &l, plat, 3).run().unwrap();
+        assert_eq!(multi.stats.iterations, single.stats.iterations);
+        let s: Vec<u64> = single.stats.frontier_sizes();
+        let m: Vec<u64> = multi.stats.per_iteration.iter().map(|i| i.frontier_size).collect();
+        assert_eq!(s, m);
+    }
+}

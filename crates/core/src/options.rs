@@ -1,0 +1,252 @@
+//! Runtime options: every optimization of Section 5 is independently
+//! toggleable so the Figure 15 ablation (optimized vs unoptimized GR) and
+//! the design-choice benches can isolate each mechanism.
+
+use std::sync::Arc;
+
+use gr_graph::{EvenEdgePartition, PartitionLogic};
+
+/// Shared handle to a partition logic plug-in (Section 4.2's Partition
+/// Logic Table: "GraphReduce is able to take any user-provided
+/// partitioning logic as a plug-in").
+#[derive(Clone)]
+pub struct PartitionLogicHandle(pub Arc<dyn PartitionLogic + Send + Sync>);
+
+impl PartitionLogicHandle {
+    pub fn new<L: PartitionLogic + Send + Sync + 'static>(logic: L) -> Self {
+        PartitionLogicHandle(Arc::new(logic))
+    }
+}
+
+impl Default for PartitionLogicHandle {
+    fn default() -> Self {
+        PartitionLogicHandle::new(EvenEdgePartition)
+    }
+}
+
+impl std::fmt::Debug for PartitionLogicHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PartitionLogic({})", self.0.name())
+    }
+}
+
+impl std::ops::Deref for PartitionLogicHandle {
+    type Target = dyn PartitionLogic + Send + Sync;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+/// Cost-model choice for the Gather phase (Section 3.1's hybrid model
+/// ablation). The *results* are identical; the knob selects which kind of
+/// parallelism the simulated kernels exploit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GatherMode {
+    /// Edge-centric gatherMap + vertex-centric gatherReduce (the paper's
+    /// hybrid default): one lane per in-edge, no atomics, then a contiguous
+    /// per-vertex reduction.
+    Hybrid,
+    /// Pure vertex-centric: one lane per vertex walks its whole in-edge
+    /// list — load-imbalanced on skewed graphs and serializes each list.
+    VertexCentric,
+    /// Pure edge-centric with atomic accumulation into the destination
+    /// vertex — contended random atomics instead of the two-step reduce.
+    EdgeCentricAtomic,
+}
+
+/// How streamed shard buffers cross PCIe (Section 3.2 closes with:
+/// "certain performance benefits may exist through intelligent runtime
+/// buffer-type selecting; we leave this exploration for the future work" —
+/// this knob is that exploration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamingMode {
+    /// Explicit `cudaMemcpyAsync` staging (the paper's choice).
+    Explicit,
+    /// Zero-copy pinned/UVA access for the *sequentially accessed*
+    /// streaming buffers (all of GR's shard buffers are sequential by
+    /// construction — the sorted layout of Section 4.2); random-access
+    /// buffers remain device-resident either way.
+    ZeroCopySequential,
+}
+
+/// GraphReduce runtime configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Use multiple CUDA streams with double buffering so shard transfers
+    /// overlap kernels and each other (Section 5.1). Off = one stream,
+    /// fully serialized (the unoptimized baseline's execution mode).
+    pub async_streams: bool,
+    /// Spray each shard's sub-arrays over dynamically created streams so
+    /// copy issue overheads and DMA latencies pipeline across Hyper-Q
+    /// hardware queues (Section 5.1).
+    pub spray: bool,
+    /// Number of spray streams per shard copy when `spray` is on.
+    pub spray_width: u32,
+    /// Skip data movement and kernel launches for shards with no active
+    /// vertices or edges (Section 5.2, dynamic frontier management).
+    pub frontier_management: bool,
+    /// Merge adjacent surviving GAS phases into one copy-in/copy-out cycle
+    /// and drop phases the program does not define (Section 5.3).
+    pub phase_fusion: bool,
+    /// CTA-style load balancing (ModernGPU): kernels see balanced work
+    /// regardless of degree skew. Off = per-block imbalance inflates
+    /// kernel time on skewed shards.
+    pub cta_load_balance: bool,
+    /// Gather-phase programming model (hybrid is the paper's choice).
+    pub gather_mode: GatherMode,
+    /// Number of shards processed concurrently (the `K` of Equation (1)).
+    /// The paper derives K = 2 for the K20c.
+    pub concurrent_shards: u32,
+    /// Override the shard count `P`; `None` derives the minimal P that
+    /// satisfies Equation (1) for the device's memory.
+    pub num_shards: Option<usize>,
+    /// Keep shard buffers resident on the device when the whole working
+    /// set fits (in-GPU-memory mode — how GR competes in Table 4).
+    pub cache_resident: bool,
+    /// Partition logic plug-in (Section 4.2's Partition Logic Table);
+    /// defaults to the paper's load-balanced even-edge intervals.
+    pub partition_logic: PartitionLogicHandle,
+    /// Transfer technique for streamed shard buffers.
+    pub streaming_mode: StreamingMode,
+}
+
+impl Options {
+    /// Everything on: the configuration evaluated as "GR" in Tables 3-4.
+    pub fn optimized() -> Self {
+        Options {
+            async_streams: true,
+            spray: true,
+            spray_width: 8,
+            frontier_management: true,
+            phase_fusion: true,
+            cta_load_balance: true,
+            gather_mode: GatherMode::Hybrid,
+            concurrent_shards: 2,
+            num_shards: None,
+            cache_resident: true,
+            partition_logic: PartitionLogicHandle::default(),
+            streaming_mode: StreamingMode::Explicit,
+        }
+    }
+
+    /// Everything off: the "unoptimized GR" baseline of Figure 15 —
+    /// synchronous single-stream execution, every phase copies its shard
+    /// in and out, inactive shards still move.
+    pub fn unoptimized() -> Self {
+        Options {
+            async_streams: false,
+            spray: false,
+            spray_width: 1,
+            frontier_management: false,
+            phase_fusion: false,
+            cta_load_balance: false,
+            gather_mode: GatherMode::Hybrid,
+            concurrent_shards: 1,
+            num_shards: None,
+            cache_resident: false,
+            partition_logic: PartitionLogicHandle::default(),
+            streaming_mode: StreamingMode::Explicit,
+        }
+    }
+
+    /// Builder-style toggles (used heavily by the ablation benches).
+    pub fn with_async_streams(mut self, on: bool) -> Self {
+        self.async_streams = on;
+        if !on {
+            self.concurrent_shards = 1;
+        }
+        self
+    }
+
+    pub fn with_spray(mut self, on: bool) -> Self {
+        self.spray = on;
+        self
+    }
+
+    pub fn with_frontier_management(mut self, on: bool) -> Self {
+        self.frontier_management = on;
+        self
+    }
+
+    pub fn with_phase_fusion(mut self, on: bool) -> Self {
+        self.phase_fusion = on;
+        self
+    }
+
+    pub fn with_cta_load_balance(mut self, on: bool) -> Self {
+        self.cta_load_balance = on;
+        self
+    }
+
+    pub fn with_gather_mode(mut self, mode: GatherMode) -> Self {
+        self.gather_mode = mode;
+        self
+    }
+
+    pub fn with_concurrent_shards(mut self, k: u32) -> Self {
+        self.concurrent_shards = k.max(1);
+        self
+    }
+
+    pub fn with_num_shards(mut self, p: usize) -> Self {
+        self.num_shards = Some(p.max(1));
+        self
+    }
+
+    pub fn with_partition_logic<L: PartitionLogic + Send + Sync + 'static>(
+        mut self,
+        logic: L,
+    ) -> Self {
+        self.partition_logic = PartitionLogicHandle::new(logic);
+        self
+    }
+
+    pub fn with_streaming_mode(mut self, mode: StreamingMode) -> Self {
+        self.streaming_mode = mode;
+        self
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_on_every_switch() {
+        let on = Options::optimized();
+        let off = Options::unoptimized();
+        assert!(on.async_streams && !off.async_streams);
+        assert!(on.spray && !off.spray);
+        assert!(on.frontier_management && !off.frontier_management);
+        assert!(on.phase_fusion && !off.phase_fusion);
+        assert!(on.cta_load_balance && !off.cta_load_balance);
+        assert_eq!(off.concurrent_shards, 1);
+        assert_eq!(on.concurrent_shards, 2);
+    }
+
+    #[test]
+    fn disabling_async_forces_one_concurrent_shard() {
+        let o = Options::optimized().with_async_streams(false);
+        assert_eq!(o.concurrent_shards, 1);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let o = Options::unoptimized()
+            .with_spray(true)
+            .with_concurrent_shards(0)
+            .with_num_shards(0)
+            .with_gather_mode(GatherMode::VertexCentric);
+        assert!(o.spray);
+        assert_eq!(o.concurrent_shards, 1); // clamped
+        assert_eq!(o.num_shards, Some(1)); // clamped
+        assert_eq!(o.gather_mode, GatherMode::VertexCentric);
+    }
+}

@@ -1,0 +1,181 @@
+//! Execution statistics: everything the paper's evaluation section reports.
+
+use gr_sim::SimDuration;
+
+/// Per-iteration record (drives Figures 3, 16, 17).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IterationStats {
+    /// Active vertices entering the iteration (the frontier size).
+    pub frontier_size: u64,
+    /// In-edges gathered.
+    pub gathered_edges: u64,
+    /// Vertices whose apply reported a change.
+    pub changed: u64,
+    /// Vertices newly activated for the next iteration.
+    pub activated: u64,
+    /// Shards processed in the gather/apply stage.
+    pub shards_processed: u32,
+    /// Shards skipped by dynamic frontier management.
+    pub shards_skipped: u32,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Program name.
+    pub algorithm: &'static str,
+    /// Iterations executed (until frontier exhaustion or the cap).
+    pub iterations: u32,
+    /// Total virtual wall time, including init and final transfers.
+    pub elapsed: SimDuration,
+    /// Copy-engine busy time (the paper's "memcpy time", Figure 15).
+    pub memcpy_time: SimDuration,
+    /// Kernel-slot busy time.
+    pub kernel_time: SimDuration,
+    /// Bytes moved host-to-device.
+    pub bytes_h2d: u64,
+    /// Bytes moved device-to-host.
+    pub bytes_d2h: u64,
+    /// Copy operations issued.
+    pub copy_ops: u64,
+    /// Kernel launches issued.
+    pub kernel_launches: u64,
+    /// Shard copy cycles avoided by frontier management.
+    pub skipped_shard_copies: u64,
+    /// Kernel launches avoided by frontier management.
+    pub skipped_kernel_launches: u64,
+    /// Shard count `P`.
+    pub num_shards: usize,
+    /// Concurrency `K`.
+    pub concurrent_shards: u32,
+    /// Whether the run executed fully device-resident.
+    pub all_resident: bool,
+    /// Per-iteration trace.
+    pub per_iteration: Vec<IterationStats>,
+}
+
+impl RunStats {
+    /// Frontier size per iteration (Figure 3 / 16 series).
+    pub fn frontier_sizes(&self) -> Vec<u64> {
+        self.per_iteration.iter().map(|i| i.frontier_size).collect()
+    }
+
+    /// Peak frontier size over the run.
+    pub fn max_frontier(&self) -> u64 {
+        self.per_iteration
+            .iter()
+            .map(|i| i.frontier_size)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Figure 17's metric: percentage of iterations whose frontier is below
+    /// 50% of the lifetime maximum.
+    pub fn pct_iterations_below_half_max(&self) -> f64 {
+        if self.per_iteration.is_empty() {
+            return 0.0;
+        }
+        let half = self.max_frontier() as f64 / 2.0;
+        let below = self
+            .per_iteration
+            .iter()
+            .filter(|i| (i.frontier_size as f64) < half)
+            .count();
+        100.0 * below as f64 / self.per_iteration.len() as f64
+    }
+
+    /// Fraction of wall time the copy engines were busy (the paper reports
+    /// ~95% for unoptimized out-of-memory runs).
+    pub fn memcpy_share(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.memcpy_time.as_secs_f64() / self.elapsed.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    /// Multi-line human-readable run report (used by examples and the
+    /// `run` CLI).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} iterations in {} ({} shards, K={}, {})",
+            self.algorithm,
+            self.iterations,
+            self.elapsed,
+            self.num_shards,
+            self.concurrent_shards,
+            if self.all_resident {
+                "device-resident"
+            } else {
+                "streamed out-of-core"
+            }
+        )?;
+        writeln!(
+            f,
+            "  memcpy busy {} ({:.1}% of run) | kernels busy {}",
+            self.memcpy_time,
+            100.0 * self.memcpy_share(),
+            self.kernel_time
+        )?;
+        writeln!(
+            f,
+            "  PCIe: {:.2} MB in / {:.2} MB out over {} copies; {} kernel launches",
+            self.bytes_h2d as f64 / 1e6,
+            self.bytes_d2h as f64 / 1e6,
+            self.copy_ops,
+            self.kernel_launches
+        )?;
+        write!(
+            f,
+            "  frontier: peak {} | {:.0}% of iterations below half-peak | skipped {} copies, {} launches",
+            self.max_frontier(),
+            self.pct_iterations_below_half_max(),
+            self.skipped_shard_copies,
+            self.skipped_kernel_launches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(frontier: u64) -> IterationStats {
+        IterationStats {
+            frontier_size: frontier,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn frontier_metrics() {
+        let s = RunStats {
+            per_iteration: vec![iter(1), iter(10), iter(100), iter(40), iter(4)],
+            ..Default::default()
+        };
+        assert_eq!(s.max_frontier(), 100);
+        assert_eq!(s.frontier_sizes(), vec![1, 10, 100, 40, 4]);
+        // Below 50 (half of 100): 1, 10, 40, 4 -> 4 of 5.
+        assert!((s.pct_iterations_below_half_max() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.max_frontier(), 0);
+        assert_eq!(s.pct_iterations_below_half_max(), 0.0);
+        assert_eq!(s.memcpy_share(), 0.0);
+    }
+
+    #[test]
+    fn memcpy_share() {
+        let s = RunStats {
+            elapsed: SimDuration::from_millis(100),
+            memcpy_time: SimDuration::from_millis(95),
+            ..Default::default()
+        };
+        assert!((s.memcpy_share() - 0.95).abs() < 1e-9);
+    }
+}

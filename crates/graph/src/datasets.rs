@@ -1,0 +1,317 @@
+//! Stand-ins for the paper's datasets (Table 1, plus delaunay_n13 from
+//! Table 2).
+//!
+//! The originals are public downloads the paper pulls from DIMACS10, LAW,
+//! SuiteSparse and SNAP; this reproduction regenerates *class-matched*
+//! synthetic graphs instead, at a configurable scale divisor, so experiments
+//! run in seconds on a laptop while preserving:
+//!
+//! * |V| and |E| ratios (degree, density) of each dataset;
+//! * its structural class (power-law crawl, social network, planar road
+//!   network, 3-D PDE mesh, small-world collaboration graph) — which is
+//!   what drives the frontier dynamics of Figures 3, 16 and 17;
+//! * its side of the in-memory / out-of-memory boundary, because
+//!   `gr_sim::DeviceConfig::k20c_scaled` shrinks device memory by the same
+//!   divisor.
+//!
+//! The in-memory footprint model was fit to Table 1: `bytes = 52.5·|E| +
+//! 60·|V|` reproduces every reported size within ~7% (except belgium_osm,
+//! whose printed "5.4MB" is inconsistent with every other row of the
+//! paper's own table — 1.5 M edges cannot occupy 3.5 bytes each when the
+//! same table charges kron_g500 53 bytes per edge; we reproduce the
+//! formula's 166 MB instead and note the anomaly).
+
+use crate::edgelist::EdgeList;
+use crate::gen;
+
+/// The graphs used in the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dataset {
+    /// DIMACS10 ak2010: Alaska redistricting mesh (planar).
+    Ak2010,
+    /// DIMACS10 coAuthorsDBLP: collaboration small-world network.
+    CoAuthorsDblp,
+    /// kron_g500-logn20: Graph500 Kronecker, scale 20.
+    KronLogn20,
+    /// webbase-1M: web crawl sample.
+    Webbase1M,
+    /// DIMACS10 belgium_osm: road network (planar, huge diameter).
+    BelgiumOsm,
+    /// delaunay_n13: Delaunay triangulation (Table 2 only).
+    DelaunayN13,
+    /// kron_g500-logn21: Graph500 Kronecker, scale 21 (out-of-memory).
+    KronLogn21,
+    /// nlpkkt160: 3-D PDE-constrained optimization matrix (out-of-memory).
+    Nlpkkt160,
+    /// uk-2002: .uk web crawl (out-of-memory).
+    Uk2002,
+    /// orkut: social friendship network (out-of-memory).
+    Orkut,
+    /// cage15: DNA electrophoresis matrix, 3-D mesh-like (out-of-memory).
+    Cage15,
+}
+
+impl Dataset {
+    /// The five small graphs compared against in-GPU-memory frameworks
+    /// (Tables 1 top and 4).
+    pub const IN_MEMORY: [Dataset; 5] = [
+        Dataset::Ak2010,
+        Dataset::CoAuthorsDblp,
+        Dataset::KronLogn20,
+        Dataset::Webbase1M,
+        Dataset::BelgiumOsm,
+    ];
+
+    /// The five large graphs that exceed K20c memory (Tables 1 bottom and 3).
+    pub const OUT_OF_MEMORY: [Dataset; 5] = [
+        Dataset::KronLogn21,
+        Dataset::Nlpkkt160,
+        Dataset::Uk2002,
+        Dataset::Orkut,
+        Dataset::Cage15,
+    ];
+
+    /// The six graphs of the Table 2 motivation experiment.
+    pub const TABLE2: [Dataset; 6] = [
+        Dataset::Ak2010,
+        Dataset::BelgiumOsm,
+        Dataset::CoAuthorsDblp,
+        Dataset::DelaunayN13,
+        Dataset::KronLogn20,
+        Dataset::Webbase1M,
+    ];
+
+    /// Name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Ak2010 => "ak2010",
+            Dataset::CoAuthorsDblp => "coAuthorsDBLP",
+            Dataset::KronLogn20 => "kron_g500-logn20",
+            Dataset::Webbase1M => "webbase-1M",
+            Dataset::BelgiumOsm => "belgium_osm",
+            Dataset::DelaunayN13 => "delaunay_n13",
+            Dataset::KronLogn21 => "kron_g500-logn21",
+            Dataset::Nlpkkt160 => "nlpkkt160",
+            Dataset::Uk2002 => "uk-2002",
+            Dataset::Orkut => "orkut",
+            Dataset::Cage15 => "cage15",
+        }
+    }
+
+    /// Vertex count of the original dataset (Table 1).
+    pub fn paper_vertices(self) -> u64 {
+        match self {
+            Dataset::Ak2010 => 45_292,
+            Dataset::CoAuthorsDblp => 299_067,
+            Dataset::KronLogn20 => 1_048_576,
+            Dataset::Webbase1M => 1_000_005,
+            Dataset::BelgiumOsm => 1_441_295,
+            Dataset::DelaunayN13 => 8_192,
+            Dataset::KronLogn21 => 2_097_152,
+            Dataset::Nlpkkt160 => 8_345_600,
+            Dataset::Uk2002 => 18_520_486,
+            Dataset::Orkut => 3_072_441,
+            Dataset::Cage15 => 5_154_859,
+        }
+    }
+
+    /// Directed edge count of the original dataset (Table 1).
+    pub fn paper_edges(self) -> u64 {
+        match self {
+            Dataset::Ak2010 => 108_549,
+            Dataset::CoAuthorsDblp => 977_676,
+            Dataset::KronLogn20 => 44_620_272,
+            Dataset::Webbase1M => 3_105_536,
+            Dataset::BelgiumOsm => 1_549_970,
+            Dataset::DelaunayN13 => 49_094,
+            Dataset::KronLogn21 => 91_042_010,
+            Dataset::Nlpkkt160 => 221_172_512,
+            Dataset::Uk2002 => 298_113_762,
+            Dataset::Orkut => 117_185_083,
+            Dataset::Cage15 => 99_199_551,
+        }
+    }
+
+    /// Whether the *original* exceeds the K20c's 4.8 GB (Table 1's split).
+    pub fn paper_out_of_memory(self) -> bool {
+        matches!(
+            self,
+            Dataset::KronLogn21
+                | Dataset::Nlpkkt160
+                | Dataset::Uk2002
+                | Dataset::Orkut
+                | Dataset::Cage15
+        )
+    }
+
+    /// Vertex count at scale divisor `scale`.
+    pub fn vertices(self, scale: u64) -> u32 {
+        (self.paper_vertices() / scale).max(16) as u32
+    }
+
+    /// Edge count at scale divisor `scale`.
+    pub fn edges(self, scale: u64) -> u64 {
+        (self.paper_edges() / scale).max(32)
+    }
+
+    /// Generate the class-matched synthetic stand-in at divisor `scale`
+    /// (1 = paper size). Deterministic for a given `(dataset, scale)`.
+    pub fn generate(self, scale: u64) -> EdgeList {
+        let v = self.vertices(scale);
+        let e = self.edges(scale);
+        let seed = 0x5EED_0000 + self as u64;
+        match self {
+            // Kronecker graphs: R-MAT at the scale's vertex budget.
+            Dataset::KronLogn20 | Dataset::KronLogn21 => {
+                let log2v = (v as f64).log2().round() as u32;
+                gen::rmat_g500(log2v, e, seed)
+            }
+            // Web crawls: power-law but less skewed than Graph500, with
+            // symmetrization for webbase (it is stored both ways).
+            Dataset::Uk2002 | Dataset::Webbase1M => {
+                let log2v = (v as f64).log2().ceil() as u32;
+                gen::rmat(log2v, e, 0.50, 0.22, 0.22, seed)
+            }
+            // Social network: skewed and symmetric (undirected friendship).
+            Dataset::Orkut => {
+                let log2v = (v as f64).log2().ceil() as u32;
+                let half = gen::rmat(log2v, e / 2, 0.45, 0.22, 0.22, seed);
+                let mut sym = half.symmetrize();
+                // symmetrize may drop a few self-loop mirrors; top up exactly.
+                let mut k = 0u64;
+                while (sym.edges.len() as u64) < e {
+                    sym.edges.push((
+                        (k % sym.num_vertices as u64) as u32,
+                        ((k + 1) % sym.num_vertices as u64) as u32,
+                    ));
+                    k += 1;
+                }
+                sym.edges.truncate(e as usize);
+                sym
+            }
+            // Planar meshes / road networks.
+            Dataset::Ak2010 | Dataset::BelgiumOsm | Dataset::DelaunayN13 => {
+                gen::grid2d_with_edges(v, e, seed)
+            }
+            // 3-D PDE meshes.
+            Dataset::Nlpkkt160 | Dataset::Cage15 => gen::stencil3d(v, e, seed),
+            // Collaboration network.
+            Dataset::CoAuthorsDblp => gen::smallworld(v, e, 0.15, seed),
+        }
+    }
+
+    /// Generate with pseudo-random SSSP weights in `[1, 64)`.
+    pub fn generate_weighted(self, scale: u64) -> EdgeList {
+        gen::with_random_weights(self.generate(scale), 64.0, 0xACE5 + self as u64)
+    }
+}
+
+/// In-memory footprint model fit to Table 1 (see module docs):
+/// `52.5 bytes/edge + 60 bytes/vertex`.
+pub fn in_memory_bytes(num_vertices: u64, num_edges: u64) -> u64 {
+    num_edges * 105 / 2 + num_vertices * 60
+}
+
+/// Footprint of a dataset at a given scale divisor.
+pub fn dataset_bytes(ds: Dataset, scale: u64) -> u64 {
+    in_memory_bytes(ds.vertices(scale) as u64, ds.edges(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_model_matches_table1() {
+        // (dataset, reported size in bytes, tolerance)
+        let rows: &[(Dataset, f64, f64)] = &[
+            (Dataset::Ak2010, 7.9e6, 0.10),
+            (Dataset::CoAuthorsDblp, 69.5e6, 0.05),
+            (Dataset::KronLogn20, 2.4e9, 0.05),
+            (Dataset::Webbase1M, 211.6e6, 0.08),
+            (Dataset::KronLogn21, 4.84e9, 0.05),
+            (Dataset::Nlpkkt160, 11.9e9, 0.05),
+            (Dataset::Uk2002, 16.4e9, 0.05),
+            (Dataset::Orkut, 6.2e9, 0.05),
+            (Dataset::Cage15, 5.4e9, 0.07),
+        ];
+        for &(ds, reported, tol) in rows {
+            let model = in_memory_bytes(ds.paper_vertices(), ds.paper_edges()) as f64;
+            let err = (model - reported).abs() / reported;
+            assert!(
+                err < tol,
+                "{}: model {model:.3e} vs paper {reported:.3e} (err {err:.3})",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_memory_split_matches_paper_at_full_scale() {
+        let cap = 4_800_000_000u64;
+        for ds in Dataset::IN_MEMORY {
+            assert!(
+                in_memory_bytes(ds.paper_vertices(), ds.paper_edges()) < cap,
+                "{} should fit",
+                ds.name()
+            );
+        }
+        for ds in Dataset::OUT_OF_MEMORY {
+            assert!(
+                in_memory_bytes(ds.paper_vertices(), ds.paper_edges()) > cap,
+                "{} should not fit",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_memory_split_preserved_at_scale_64() {
+        let scale = 64;
+        let cap = 4_800_000_000 / scale;
+        for ds in Dataset::IN_MEMORY {
+            assert!(dataset_bytes(ds, scale) < cap, "{} should fit", ds.name());
+        }
+        for ds in Dataset::OUT_OF_MEMORY {
+            assert!(dataset_bytes(ds, scale) > cap, "{} too small", ds.name());
+        }
+    }
+
+    #[test]
+    fn generators_hit_exact_counts() {
+        for ds in Dataset::IN_MEMORY
+            .into_iter()
+            .chain([Dataset::DelaunayN13])
+        {
+            let g = ds.generate(256);
+            assert_eq!(g.num_edges() as u64, ds.edges(256), "{}", ds.name());
+            assert!(g.num_vertices >= ds.vertices(256), "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Orkut.generate(512);
+        let b = Dataset::Orkut.generate(512);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_variant_has_weights() {
+        let g = Dataset::Ak2010.generate_weighted(64);
+        assert_eq!(g.weights.as_ref().unwrap().len(), g.num_edges());
+    }
+
+    #[test]
+    fn orkut_standin_is_symmetric_mostly() {
+        let g = Dataset::Orkut.generate(512);
+        use std::collections::HashSet;
+        let set: HashSet<(u32, u32)> = g.edges.iter().copied().collect();
+        let mirrored = g
+            .edges
+            .iter()
+            .filter(|&&(s, d)| set.contains(&(d, s)))
+            .count();
+        assert!(mirrored as f64 > 0.9 * g.edges.len() as f64);
+    }
+}

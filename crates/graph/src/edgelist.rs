@@ -1,0 +1,372 @@
+//! Raw directed edge lists: the interchange format produced by generators
+//! and loaders, consumed by the CSR/CSC builder.
+
+use std::io::{self, BufRead, BufWriter, Read, Write};
+
+/// Vertex identifier. 32 bits covers every dataset in the paper (the largest,
+/// uk-2002, has 18.5 M vertices) with headroom.
+pub type VertexId = u32;
+
+/// A directed graph as an unordered list of `(src, dst)` pairs with optional
+/// per-edge weights (aligned with `edges`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeList {
+    /// Number of vertices; all endpoints are `< num_vertices`.
+    pub num_vertices: u32,
+    /// Directed edges in arbitrary order.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional weights, one per edge (used by SSSP).
+    pub weights: Option<Vec<f32>>,
+}
+
+impl EdgeList {
+    /// An empty graph over `num_vertices` isolated vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Build from parts, validating endpoints and weight alignment.
+    pub fn from_edges(num_vertices: u32, edges: Vec<(VertexId, VertexId)>) -> Self {
+        assert!(
+            edges
+                .iter()
+                .all(|&(s, d)| s < num_vertices && d < num_vertices),
+            "edge endpoint out of range"
+        );
+        EdgeList {
+            num_vertices,
+            edges,
+            weights: None,
+        }
+    }
+
+    /// Attach weights (must align 1:1 with edges).
+    pub fn with_weights(mut self, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), self.edges.len(), "weights/edges mismatch");
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices as usize];
+        for &(s, _) in &self.edges {
+            deg[s as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices as usize];
+        for &(_, d) in &self.edges {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Symmetrize: for every `(u, v)` also include `(v, u)`. The paper
+    /// stores undirected inputs (orkut; CC inputs) as pairs of directed
+    /// edges. Self-loops are kept single. Weights are mirrored.
+    pub fn symmetrize(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        let mut weights = self.weights.as_ref().map(|w| {
+            let mut v = Vec::with_capacity(w.len() * 2);
+            v.extend_from_slice(w);
+            v
+        });
+        edges.extend_from_slice(&self.edges);
+        for (i, &(s, d)) in self.edges.iter().enumerate() {
+            if s != d {
+                edges.push((d, s));
+                if let (Some(out), Some(w)) = (weights.as_mut(), self.weights.as_ref()) {
+                    out.push(w[i]);
+                }
+            }
+        }
+        EdgeList {
+            num_vertices: self.num_vertices,
+            edges,
+            weights,
+        }
+    }
+
+    /// Remove duplicate edges and self-loops (weights of kept edges are
+    /// preserved; among duplicates the first occurrence wins).
+    pub fn dedup(&self) -> EdgeList {
+        let mut idx: Vec<u32> = (0..self.edges.len() as u32).collect();
+        idx.sort_unstable_by_key(|&i| self.edges[i as usize]);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        let mut weights = self.weights.as_ref().map(|_| Vec::new());
+        let mut last: Option<(u32, u32)> = None;
+        for i in idx {
+            let e = self.edges[i as usize];
+            if e.0 == e.1 || Some(e) == last {
+                continue;
+            }
+            last = Some(e);
+            edges.push(e);
+            if let (Some(ws), Some(w)) = (weights.as_mut(), self.weights.as_ref()) {
+                ws.push(w[i as usize]);
+            }
+        }
+        EdgeList {
+            num_vertices: self.num_vertices,
+            edges,
+            weights,
+        }
+    }
+
+    /// Write in a simple text format: first line `V E`, then `src dst
+    /// [weight]` per line.
+    pub fn write_text<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut w = BufWriter::new(w);
+        writeln!(w, "{} {}", self.num_vertices, self.edges.len())?;
+        for (i, &(s, d)) in self.edges.iter().enumerate() {
+            match &self.weights {
+                Some(ws) => writeln!(w, "{s} {d} {}", ws[i])?,
+                None => writeln!(w, "{s} {d}")?,
+            }
+        }
+        w.flush()
+    }
+
+    /// Write in a compact little-endian binary format:
+    /// magic `GRED`, version u32, |V| u32, |E| u64, weights-flag u8, then
+    /// `(src u32, dst u32)` pairs and optionally |E| f32 weights.
+    pub fn write_binary<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut w = BufWriter::new(w);
+        w.write_all(b"GRED")?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&self.num_vertices.to_le_bytes())?;
+        w.write_all(&(self.edges.len() as u64).to_le_bytes())?;
+        w.write_all(&[u8::from(self.weights.is_some())])?;
+        for &(s, d) in &self.edges {
+            w.write_all(&s.to_le_bytes())?;
+            w.write_all(&d.to_le_bytes())?;
+        }
+        if let Some(ws) = &self.weights {
+            for &x in ws {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Read the binary format written by [`EdgeList::write_binary`].
+    pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
+        let mut r = io::BufReader::new(r);
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"GRED" {
+            return Err(bad("bad magic"));
+        }
+        let mut u32buf = [0u8; 4];
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u32buf)?;
+        if u32::from_le_bytes(u32buf) != 1 {
+            return Err(bad("unsupported version"));
+        }
+        r.read_exact(&mut u32buf)?;
+        let v = u32::from_le_bytes(u32buf);
+        r.read_exact(&mut u64buf)?;
+        let m = u64::from_le_bytes(u64buf) as usize;
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            r.read_exact(&mut u32buf)?;
+            let s = u32::from_le_bytes(u32buf);
+            r.read_exact(&mut u32buf)?;
+            let d = u32::from_le_bytes(u32buf);
+            if s >= v || d >= v {
+                return Err(bad("edge endpoint out of range"));
+            }
+            edges.push((s, d));
+        }
+        let weights = if flag[0] != 0 {
+            let mut ws = Vec::with_capacity(m);
+            for _ in 0..m {
+                r.read_exact(&mut u32buf)?;
+                ws.push(f32::from_le_bytes(u32buf));
+            }
+            Some(ws)
+        } else {
+            None
+        };
+        Ok(EdgeList {
+            num_vertices: v,
+            edges,
+            weights,
+        })
+    }
+
+    /// Read the text format written by [`EdgeList::write_text`].
+    pub fn read_text<R: Read>(r: R) -> io::Result<EdgeList> {
+        let r = io::BufReader::new(r);
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty input"))??;
+        let mut it = header.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<u64> {
+            s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))
+        };
+        let v = parse(it.next())? as u32;
+        let m = parse(it.next())? as usize;
+        let mut edges = Vec::with_capacity(m);
+        let mut weights: Vec<f32> = Vec::new();
+        let mut any_weight = false;
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let s = parse(it.next())? as u32;
+            let d = parse(it.next())? as u32;
+            if s >= v || d >= v {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("edge ({s},{d}) out of range for {v} vertices"),
+                ));
+            }
+            if let Some(wtok) = it.next() {
+                let w: f32 = wtok
+                    .parse()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+                if !any_weight {
+                    weights.resize(edges.len(), 1.0);
+                    any_weight = true;
+                }
+                weights.push(w);
+            } else if any_weight {
+                weights.push(1.0);
+            }
+            edges.push((s, d));
+        }
+        if edges.len() != m {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("header says {m} edges, found {}", edges.len()),
+            ));
+        }
+        Ok(EdgeList {
+            num_vertices: v,
+            edges,
+            weights: any_weight.then_some(weights),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        assert_eq!(g.out_degrees(), vec![2, 1, 1, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 2, 1]);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn endpoint_validation() {
+        EdgeList::from_edges(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn symmetrize_doubles_non_loops() {
+        let g = EdgeList::from_edges(3, vec![(0, 1), (2, 2)]);
+        let s = g.symmetrize();
+        assert_eq!(s.num_edges(), 3); // (0,1), (2,2), (1,0)
+        assert!(s.edges.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn symmetrize_mirrors_weights() {
+        let g = EdgeList::from_edges(3, vec![(0, 1), (1, 2)]).with_weights(vec![5.0, 7.0]);
+        let s = g.symmetrize();
+        let w = s.weights.unwrap();
+        assert_eq!(s.edges, vec![(0, 1), (1, 2), (1, 0), (2, 1)]);
+        assert_eq!(w, vec![5.0, 7.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_duplicates() {
+        let g = EdgeList::from_edges(3, vec![(0, 1), (0, 1), (1, 1), (2, 0)]);
+        let d = g.dedup();
+        assert_eq!(d.edges, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        g.write_text(&mut buf).unwrap();
+        let g2 = EdgeList::read_text(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_roundtrip_with_weights() {
+        let g = EdgeList::from_edges(3, vec![(0, 1), (1, 2)]).with_weights(vec![1.5, 2.5]);
+        let mut buf = Vec::new();
+        g.write_text(&mut buf).unwrap();
+        let g2 = EdgeList::read_text(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(EdgeList::read_text(&b""[..]).is_err());
+        assert!(EdgeList::read_text(&b"2 1\n0 5\n"[..]).is_err());
+        assert!(EdgeList::read_text(&b"2 2\n0 1\n"[..]).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        g.write_binary(&mut buf).unwrap();
+        assert_eq!(EdgeList::read_binary(&buf[..]).unwrap(), g);
+
+        let gw = EdgeList::from_edges(3, vec![(0, 1), (2, 0)]).with_weights(vec![0.5, -3.25]);
+        let mut buf = Vec::new();
+        gw.write_binary(&mut buf).unwrap();
+        assert_eq!(EdgeList::read_binary(&buf[..]).unwrap(), gw);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        assert!(EdgeList::read_binary(&b"NOPE"[..]).is_err());
+        let g = sample();
+        let mut buf = Vec::new();
+        g.write_binary(&mut buf).unwrap();
+        // Truncated payload.
+        assert!(EdgeList::read_binary(&buf[..buf.len() - 3]).is_err());
+        // Out-of-range endpoint: patch an edge's dst beyond |V|.
+        let mut bad = buf.clone();
+        let edge0_dst = 4 + 4 + 4 + 8 + 1 + 4;
+        bad[edge0_dst..edge0_dst + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(EdgeList::read_binary(&bad[..]).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Load-balanced vertex-interval partitioning (Partition Engine, §4.2).
+//!
+//! The vertex set is divided into disjoint contiguous intervals; each
+//! interval's shard holds every edge with a source *or* destination inside
+//! the interval. The Shard Creator balances intervals so each shard carries
+//! approximately the same number of edges (in-degree + out-degree mass),
+//! which balances both transfer sizes and kernel work across streams.
+
+use crate::csr::GraphLayout;
+use crate::edgelist::VertexId;
+
+/// A half-open vertex interval `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    pub start: VertexId,
+    pub end: VertexId,
+}
+
+impl Interval {
+    /// Number of vertices in the interval.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `v` falls inside the interval.
+    pub fn contains(&self, v: VertexId) -> bool {
+        (self.start..self.end).contains(&v)
+    }
+}
+
+/// Pluggable partitioning logic (the Partition Logic Table takes these as
+/// plug-ins; Section 4.2 notes CuSha-style layouts can be swapped in).
+pub trait PartitionLogic {
+    /// Split `layout`'s vertex set into at most `max_shards` disjoint
+    /// covering intervals.
+    fn partition(&self, layout: &GraphLayout, max_shards: usize) -> Vec<Interval>;
+    /// Name for traces.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's default: balance in+out edge mass per interval.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvenEdgePartition;
+
+impl PartitionLogic for EvenEdgePartition {
+    fn partition(&self, layout: &GraphLayout, max_shards: usize) -> Vec<Interval> {
+        partition_even_edges(layout, max_shards)
+    }
+
+    fn name(&self) -> &'static str {
+        "even-edges"
+    }
+}
+
+/// Naive alternative: equal vertex counts per interval (ignores degree
+/// skew — used by ablation benches to show why edge balancing matters).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvenVertexPartition;
+
+impl PartitionLogic for EvenVertexPartition {
+    fn partition(&self, layout: &GraphLayout, max_shards: usize) -> Vec<Interval> {
+        let n = layout.num_vertices();
+        let max_shards = max_shards.max(1).min(n.max(1) as usize) as u32;
+        let base = n / max_shards;
+        let extra = n % max_shards;
+        let mut out = Vec::with_capacity(max_shards as usize);
+        let mut start = 0;
+        for i in 0..max_shards {
+            let len = base + u32::from(i < extra);
+            if len == 0 {
+                continue;
+            }
+            out.push(Interval {
+                start,
+                end: start + len,
+            });
+            start += len;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "even-vertices"
+    }
+}
+
+/// Split the vertex set into at most `max_shards` contiguous intervals with
+/// approximately equal in+out edge mass each. Returns at least one interval
+/// (the whole set) for any non-empty graph; intervals are non-empty,
+/// disjoint, ordered, and cover `[0, num_vertices)`.
+pub fn partition_even_edges(layout: &GraphLayout, max_shards: usize) -> Vec<Interval> {
+    let n = layout.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = max_shards.max(1).min(n as usize) as u64;
+    // Work mass of vertex v = in_deg + out_deg + 1 (the +1 keeps progress on
+    // isolated vertices and bounds interval length for sparse regions).
+    let total: u64 = layout.num_edges() * 2 + n as u64;
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut acc = 0u64;
+    let mut start = 0u32;
+    let mut next_boundary = total.div_ceil(shards);
+    let mut produced = 0u64;
+    for v in 0..n {
+        acc += layout.csc.degree(v) + layout.csr.degree(v) + 1;
+        let remaining_vertices = n - v - 1;
+        let remaining_shards = shards - produced - 1;
+        // Close the interval when we pass the boundary, but always leave at
+        // least one vertex per remaining shard.
+        if (acc >= next_boundary && remaining_shards > 0 && v + 1 > start)
+            || remaining_vertices == remaining_shards as u32
+        {
+            if remaining_shards == 0 {
+                break;
+            }
+            out.push(Interval {
+                start,
+                end: v + 1,
+            });
+            produced += 1;
+            start = v + 1;
+            next_boundary = total * (produced + 1) / shards;
+        }
+    }
+    out.push(Interval { start, end: n });
+    out
+}
+
+/// Check the partition invariants (used by tests and debug assertions):
+/// non-empty, ordered, disjoint, covering.
+pub fn validate_partition(intervals: &[Interval], num_vertices: u32) -> Result<(), String> {
+    if num_vertices == 0 {
+        return if intervals.is_empty() {
+            Ok(())
+        } else {
+            Err("empty graph must have empty partition".into())
+        };
+    }
+    if intervals.is_empty() {
+        return Err("no intervals".into());
+    }
+    if intervals[0].start != 0 {
+        return Err(format!("first interval starts at {}", intervals[0].start));
+    }
+    for w in intervals.windows(2) {
+        if w[0].end != w[1].start {
+            return Err(format!("gap/overlap between {:?} and {:?}", w[0], w[1]));
+        }
+    }
+    for iv in intervals {
+        if iv.is_empty() {
+            return Err(format!("empty interval {iv:?}"));
+        }
+    }
+    let last = intervals.last().unwrap();
+    if last.end != num_vertices {
+        return Err(format!("last interval ends at {} != {num_vertices}", last.end));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+    use crate::gen;
+
+    fn layout(v: u32, e: u64, seed: u64) -> GraphLayout {
+        GraphLayout::build(&gen::rmat_g500((v as f64).log2().ceil() as u32, e, seed))
+    }
+
+    #[test]
+    fn covers_and_validates() {
+        let g = layout(1024, 10_000, 1);
+        for p in [1, 2, 3, 7, 16, 100] {
+            let ivs = partition_even_edges(&g, p);
+            validate_partition(&ivs, g.num_vertices()).unwrap();
+            assert!(ivs.len() <= p);
+        }
+    }
+
+    #[test]
+    fn single_shard_is_whole_graph() {
+        let g = layout(256, 1000, 2);
+        let ivs = partition_even_edges(&g, 1);
+        assert_eq!(ivs, vec![Interval { start: 0, end: 256 }]);
+    }
+
+    #[test]
+    fn balanced_within_factor() {
+        let g = layout(4096, 100_000, 3);
+        let ivs = partition_even_edges(&g, 8);
+        assert_eq!(ivs.len(), 8);
+        let masses: Vec<u64> = ivs
+            .iter()
+            .map(|iv| {
+                (iv.start..iv.end)
+                    .map(|v| g.csc.degree(v) + g.csr.degree(v))
+                    .sum()
+            })
+            .collect();
+        let avg = masses.iter().sum::<u64>() as f64 / masses.len() as f64;
+        // Power-law graphs can't be perfectly balanced by contiguous
+        // intervals, but no shard should be wildly off.
+        for m in &masses {
+            assert!((*m as f64) < 3.0 * avg, "shard mass {m} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices_clamps() {
+        let g = layout(16, 60, 4);
+        let ivs = partition_even_edges(&g, 64);
+        validate_partition(&ivs, 16).unwrap();
+        assert!(ivs.len() <= 16);
+    }
+
+    #[test]
+    fn empty_graph_has_no_intervals() {
+        let g = GraphLayout::build(&EdgeList::new(0));
+        assert!(partition_even_edges(&g, 4).is_empty());
+        validate_partition(&[], 0).unwrap();
+    }
+
+    #[test]
+    fn even_vertex_partition_has_equal_lengths() {
+        let g = GraphLayout::build(&gen::uniform(100, 500, 5));
+        let p = EvenVertexPartition.partition(&g, 7);
+        validate_partition(&p, 100).unwrap();
+        let lens: Vec<u32> = p.iter().map(|iv| iv.len()).collect();
+        assert!(lens.iter().all(|&l| l == 14 || l == 15), "{lens:?}");
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        assert!(validate_partition(&[], 5).is_err());
+        assert!(validate_partition(&[Interval { start: 1, end: 5 }], 5).is_err());
+        assert!(validate_partition(&[Interval { start: 0, end: 3 }], 5).is_err());
+        assert!(validate_partition(
+            &[Interval { start: 0, end: 2 }, Interval { start: 3, end: 5 }],
+            5
+        )
+        .is_err());
+        assert!(validate_partition(
+            &[
+                Interval { start: 0, end: 2 },
+                Interval { start: 2, end: 2 },
+                Interval { start: 2, end: 5 }
+            ],
+            5
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Structural statistics of a graph layout: the quantities that predict
+//! which engine wins on it (degree skew → CTA balancing and CuSha vs
+//! MapGraph; effective diameter → frontier shapes and iteration counts;
+//! density → in-/out-of-memory classification).
+
+use crate::csr::GraphLayout;
+use crate::edgelist::VertexId;
+
+/// Summary statistics of one graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: u32,
+    pub num_edges: u64,
+    /// Mean directed degree |E| / |V|.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: u64,
+    /// Maximum in-degree.
+    pub max_in_degree: u64,
+    /// Vertices with no edges at all.
+    pub isolated_vertices: u32,
+    /// Gini-style skew of the out-degree distribution in [0, 1):
+    /// 0 = perfectly regular, →1 = a few hubs own everything.
+    pub degree_skew: f64,
+    /// BFS eccentricity from the max-out-degree vertex (a cheap diameter
+    /// proxy; exact diameter is O(V·E)).
+    pub bfs_eccentricity: u32,
+    /// Fraction of vertices that BFS from that vertex reaches.
+    pub bfs_coverage: f64,
+}
+
+impl GraphStats {
+    /// Compute all statistics in O(V + E) plus one BFS.
+    pub fn compute(layout: &GraphLayout) -> GraphStats {
+        let n = layout.num_vertices();
+        let m = layout.num_edges();
+        let mut max_out = 0u64;
+        let mut max_in = 0u64;
+        let mut isolated = 0u32;
+        let mut degrees: Vec<u64> = Vec::with_capacity(n as usize);
+        for v in 0..n {
+            let dout = layout.csr.degree(v);
+            let din = layout.csc.degree(v);
+            max_out = max_out.max(dout);
+            max_in = max_in.max(din);
+            if dout + din == 0 {
+                isolated += 1;
+            }
+            degrees.push(dout);
+        }
+        // Gini coefficient over sorted out-degrees.
+        degrees.sort_unstable();
+        let total: u64 = degrees.iter().sum();
+        let skew = if total == 0 || n == 0 {
+            0.0
+        } else {
+            let mut weighted = 0.0f64;
+            for (i, &d) in degrees.iter().enumerate() {
+                weighted += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * d as f64;
+            }
+            (weighted / (n as f64 * total as f64)).max(0.0)
+        };
+
+        // BFS from the first max-out-degree vertex (first, for a stable
+        // choice under ties).
+        let mut source: VertexId = 0;
+        for v in 1..n {
+            if layout.csr.degree(v) > layout.csr.degree(source) {
+                source = v;
+            }
+        }
+        let (ecc, reached) = if n == 0 {
+            (0, 0)
+        } else {
+            let mut depth = vec![u32::MAX; n as usize];
+            depth[source as usize] = 0;
+            let mut q = std::collections::VecDeque::from([source]);
+            let mut ecc = 0;
+            let mut reached = 0u32;
+            while let Some(v) = q.pop_front() {
+                reached += 1;
+                for (dst, _) in layout.csr.entries(v) {
+                    if depth[dst as usize] == u32::MAX {
+                        depth[dst as usize] = depth[v as usize] + 1;
+                        ecc = ecc.max(depth[dst as usize]);
+                        q.push_back(dst);
+                    }
+                }
+            }
+            (ecc, reached)
+        };
+
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            isolated_vertices: isolated,
+            degree_skew: skew,
+            bfs_eccentricity: ecc,
+            bfs_coverage: if n == 0 { 0.0 } else { reached as f64 / n as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "|V| = {}, |E| = {}", self.num_vertices, self.num_edges)?;
+        writeln!(
+            f,
+            "degree: avg {:.2}, max out {}, max in {}, skew {:.3}",
+            self.avg_degree, self.max_out_degree, self.max_in_degree, self.degree_skew
+        )?;
+        write!(
+            f,
+            "isolated: {} | BFS from hub: eccentricity {}, coverage {:.1}%",
+            self.isolated_vertices,
+            self.bfs_eccentricity,
+            100.0 * self.bfs_coverage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+    use crate::gen;
+
+    #[test]
+    fn path_graph_stats() {
+        let el = EdgeList::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let s = GraphStats::compute(&GraphLayout::build(&el));
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.bfs_eccentricity, 4);
+        assert_eq!(s.bfs_coverage, 1.0);
+        assert_eq!(s.isolated_vertices, 0);
+        assert!(s.degree_skew < 0.25, "near-regular: {}", s.degree_skew);
+    }
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+        let s = GraphStats::compute(&GraphLayout::build(&EdgeList::from_edges(100, edges)));
+        assert_eq!(s.max_out_degree, 99);
+        assert!(s.degree_skew > 0.9, "star skew: {}", s.degree_skew);
+        assert_eq!(s.bfs_eccentricity, 1);
+    }
+
+    #[test]
+    fn rmat_skew_exceeds_stencil_skew() {
+        let rmat = GraphStats::compute(&GraphLayout::build(&gen::rmat_g500(12, 50_000, 3)));
+        let mesh = GraphStats::compute(&GraphLayout::build(&gen::stencil3d(4096, 50_000, 3)));
+        assert!(
+            rmat.degree_skew > 2.0 * mesh.degree_skew,
+            "rmat {} vs mesh {}",
+            rmat.degree_skew,
+            mesh.degree_skew
+        );
+        assert!(rmat.bfs_eccentricity < mesh.bfs_eccentricity);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let el = EdgeList::from_edges(10, vec![(0, 1)]);
+        let s = GraphStats::compute(&GraphLayout::build(&el));
+        assert_eq!(s.isolated_vertices, 8);
+        assert!(s.bfs_coverage < 0.3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::compute(&GraphLayout::build(&EdgeList::new(0)));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.degree_skew, 0.0);
+        let _ = format!("{s}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests over the synthetic generators: exact counts, valid
+//! endpoints, determinism, and class-specific structure for arbitrary
+//! parameters.
+
+use proptest::prelude::*;
+
+use gr_graph::{gen, Dataset};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rmat_exact_and_deterministic(scale in 2u32..13, edges in 1u64..5000, seed in any::<u64>()) {
+        let a = gen::rmat_g500(scale, edges, seed);
+        prop_assert_eq!(a.num_vertices, 1u32 << scale);
+        prop_assert_eq!(a.num_edges() as u64, edges);
+        prop_assert!(a.edges.iter().all(|&(s, d)| s < a.num_vertices && d < a.num_vertices));
+        prop_assert_eq!(a, gen::rmat_g500(scale, edges, seed));
+    }
+
+    #[test]
+    fn uniform_has_no_self_loops(v in 2u32..2000, e in 0u64..5000, seed in any::<u64>()) {
+        let g = gen::uniform(v, e, seed);
+        prop_assert_eq!(g.num_edges() as u64, e);
+        prop_assert!(g.edges.iter().all(|&(s, d)| s != d && s < v && d < v));
+    }
+
+    #[test]
+    fn grid2d_exact_counts(v in 2u32..3000, e in 1u64..8000, seed in any::<u64>()) {
+        let g = gen::grid2d_with_edges(v, e, seed);
+        prop_assert_eq!(g.num_vertices, v);
+        prop_assert_eq!(g.num_edges() as u64, e);
+        prop_assert!(g.edges.iter().all(|&(s, d)| s < v && d < v));
+    }
+
+    #[test]
+    fn stencil3d_exact_counts(v in 8u32..3000, e in 1u64..8000, seed in any::<u64>()) {
+        let g = gen::stencil3d(v, e, seed);
+        prop_assert_eq!(g.num_vertices, v);
+        prop_assert_eq!(g.num_edges() as u64, e);
+        prop_assert!(g.edges.iter().all(|&(s, d)| s < v && d < v));
+    }
+
+    #[test]
+    fn smallworld_exact_counts(v in 3u32..2000, e in 1u64..6000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = gen::smallworld(v, e, p, seed);
+        prop_assert_eq!(g.num_edges() as u64, e);
+        prop_assert!(g.edges.iter().all(|&(s, d)| s != d && s < v && d < v));
+    }
+
+    #[test]
+    fn weights_are_in_range(v in 2u32..500, e in 1u64..2000, w in 1.5f32..100.0, seed in any::<u64>()) {
+        let g = gen::with_random_weights(gen::uniform(v, e, seed), w, seed ^ 1);
+        let ws = g.weights.unwrap();
+        prop_assert_eq!(ws.len() as u64, e);
+        prop_assert!(ws.iter().all(|&x| x >= 1.0 && x < w));
+    }
+
+    /// Every dataset stand-in honours its advertised counts at any
+    /// power-of-two scale that keeps it nontrivial.
+    #[test]
+    fn dataset_standins_hit_counts(scale_log in 8u32..14) {
+        let scale = 1u64 << scale_log;
+        for ds in Dataset::IN_MEMORY.into_iter().chain(Dataset::OUT_OF_MEMORY) {
+            let g = ds.generate(scale);
+            prop_assert_eq!(g.num_edges() as u64, ds.edges(scale), "{}", ds.name());
+            prop_assert!(g.num_vertices >= ds.vertices(scale), "{}", ds.name());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Hardware descriptions for the virtual accelerator, the PCIe link, and the
+//! host CPU.
+//!
+//! Presets mirror the paper's evaluation platform (Section 6.1): an NVIDIA
+//! Tesla K20c (13 SMX, 4.8 GB usable GDDR5, Hyper-Q) attached over PCIe to a
+//! 16-core Intel Xeon E5-2670 with 32 GB DDR3.
+//!
+//! Scaled presets shrink the device memory capacity by the same factor used
+//! to shrink the synthetic datasets, so the paper's in-memory /
+//! out-of-memory split (Table 1) is preserved at laptop scale.
+
+use crate::time::SimDuration;
+
+/// Description of the simulated GPU device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name (reported in experiment output).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Achievable device-memory bandwidth in GB/s (not the marketing peak).
+    pub mem_bandwidth_gbps: f64,
+    /// Usable global memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Maximum number of kernels resident concurrently (compute slots).
+    pub max_concurrent_kernels: u32,
+    /// Number of hardware work queues (Hyper-Q width; 32 on Kepler).
+    pub hyperq_width: u32,
+    /// Dedicated copy engines: one host-to-device and one device-to-host
+    /// DMA engine on Kepler-class parts. `true` means H2D and D2H can
+    /// overlap each other; transfers in the same direction always serialize.
+    pub dual_copy_engines: bool,
+    /// Fixed cost to launch a kernel (driver + dispatch).
+    pub kernel_launch_overhead: SimDuration,
+    /// Average latency of an uncoalesced (random) global-memory access.
+    pub random_access_latency: SimDuration,
+    /// Memory-level parallelism: how many random accesses are in flight at
+    /// once across the whole device (thousands of resident threads).
+    pub mlp: u32,
+    /// Instructions retired per core per cycle for well-behaved kernels.
+    pub ipc: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA Tesla K20c as used in the paper.
+    pub fn k20c() -> Self {
+        DeviceConfig {
+            name: "K20c".to_owned(),
+            sm_count: 13,
+            cores_per_sm: 192,
+            clock_ghz: 0.706,
+            mem_bandwidth_gbps: 150.0,
+            mem_capacity: 4_800_000_000,
+            max_concurrent_kernels: 16,
+            hyperq_width: 32,
+            dual_copy_engines: true,
+            kernel_launch_overhead: SimDuration::from_micros(8),
+            random_access_latency: SimDuration::from_nanos(400),
+            mlp: 4096,
+            ipc: 0.8,
+        }
+    }
+
+    /// A K20c whose memory capacity is shrunk by `scale` (power of two
+    /// recommended). Compute resources are left unchanged: the datasets are
+    /// shrunk by the same factor, so relative compute/transfer balance is
+    /// roughly preserved while runs stay fast.
+    pub fn k20c_scaled(scale: u64) -> Self {
+        assert!(scale >= 1, "scale factor must be >= 1");
+        let mut cfg = Self::k20c();
+        cfg.name = format!("K20c/{scale}");
+        cfg.mem_capacity = (cfg.mem_capacity / scale).max(1);
+        cfg
+    }
+
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> u64 {
+        self.sm_count as u64 * self.cores_per_sm as u64
+    }
+
+    /// Peak arithmetic throughput in operations per second.
+    pub fn flops_per_sec(&self) -> f64 {
+        self.total_cores() as f64 * self.clock_ghz * 1e9 * self.ipc
+    }
+}
+
+/// Description of the PCIe link between host and device, including the cost
+/// characteristics of the three transfer techniques compared in Figure 4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PcieConfig {
+    /// Effective bandwidth of an explicit `cudaMemcpy` in GB/s
+    /// (PCIe 2.0 x16 achieves ~6 GB/s in practice).
+    pub explicit_bandwidth_gbps: f64,
+    /// Fixed latency of any DMA transfer (driver + doorbell + setup).
+    pub transfer_latency: SimDuration,
+    /// Host-driver overhead to *issue* one async copy or kernel launch onto
+    /// a hardware queue. This is what the spray operation pipelines.
+    pub issue_overhead: SimDuration,
+    /// Effective bandwidth of zero-copy (pinned/UVA) *sequential* access in
+    /// GB/s. Slightly better than explicit copies for pure streaming since
+    /// there is no staging (Figure 4, "sequential: pinned best").
+    pub pinned_seq_bandwidth_gbps: f64,
+    /// Round-trip latency of a single zero-copy *random* access over PCIe.
+    pub pinned_random_latency: SimDuration,
+    /// How many zero-copy random accesses can be in flight at once (PCIe
+    /// non-posted read credits; far fewer than on-device MLP).
+    pub pinned_random_mlp: u32,
+    /// Managed (unified) memory page size in bytes.
+    pub managed_page_size: u64,
+    /// Cost to service one managed-memory page fault + migration, excluding
+    /// the page's own transfer time.
+    pub managed_fault_overhead: SimDuration,
+}
+
+impl PcieConfig {
+    /// PCIe 2.0 x16 as on the paper's evaluation node.
+    pub fn gen2_x16() -> Self {
+        PcieConfig {
+            explicit_bandwidth_gbps: 6.0,
+            transfer_latency: SimDuration::from_micros(10),
+            issue_overhead: SimDuration::from_micros(5),
+            pinned_seq_bandwidth_gbps: 6.6,
+            pinned_random_latency: SimDuration::from_nanos(1200),
+            pinned_random_mlp: 8,
+            managed_page_size: 4096,
+            managed_fault_overhead: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// Description of the host CPU used to time the CPU-based baseline engines
+/// (GraphChi- and X-Stream-style) with a model symmetric to the device's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostConfig {
+    /// Human-readable CPU name.
+    pub name: String,
+    /// Physical cores used by the engines (the paper runs 16 threads).
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Achievable DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Average latency of a cache-missing random access.
+    pub random_access_latency: SimDuration,
+    /// Outstanding random accesses across the whole socket (line-fill
+    /// buffers x cores).
+    pub mlp: u32,
+    /// Retired scalar operations per core per cycle for graph codes.
+    pub ipc: f64,
+    /// Fixed per-engine cost of one streaming pass setup (thread fork/join,
+    /// partition bookkeeping). CPU frameworks pay this per phase per
+    /// partition; it is what makes X-Stream slow on tiny graphs (Table 2).
+    pub pass_overhead: SimDuration,
+    /// Host DRAM capacity in bytes. Graphs whose footprint exceeds it must
+    /// stream shards from storage (the paper's second future-work item).
+    pub mem_capacity: u64,
+}
+
+impl HostConfig {
+    /// 16-core Intel Xeon E5-2670 (2 sockets x 8 cores) @2.6 GHz, 32 GB DDR3.
+    pub fn xeon_e5_2670() -> Self {
+        HostConfig {
+            name: "Xeon E5-2670".to_owned(),
+            cores: 16,
+            clock_ghz: 2.6,
+            mem_bandwidth_gbps: 51.2,
+            random_access_latency: SimDuration::from_nanos(90),
+            mlp: 160,
+            ipc: 1.2,
+            pass_overhead: SimDuration::from_micros(200),
+            mem_capacity: 32_000_000_000,
+        }
+    }
+
+    /// Peak arithmetic throughput in operations per second.
+    pub fn flops_per_sec(&self) -> f64 {
+        self.cores as f64 * self.clock_ghz * 1e9 * self.ipc
+    }
+}
+
+/// Secondary-storage description: where shards live when a graph does not
+/// even fit host memory (Section 8's "usage of SSD and other storage
+/// devices" future-work item).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StorageConfig {
+    /// Sustained sequential read bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-request latency.
+    pub latency: SimDuration,
+}
+
+impl StorageConfig {
+    /// A 2012-era SATA SSD like the evaluation node would have carried.
+    pub fn sata_ssd() -> Self {
+        StorageConfig {
+            bandwidth_gbps: 0.5,
+            latency: SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// The complete simulated platform: device + link + host + storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Platform {
+    pub device: DeviceConfig,
+    pub pcie: PcieConfig,
+    pub host: HostConfig,
+    pub storage: StorageConfig,
+}
+
+impl Platform {
+    /// The paper's evaluation node at full scale.
+    pub fn paper_node() -> Self {
+        Platform {
+            device: DeviceConfig::k20c(),
+            pcie: PcieConfig::gen2_x16(),
+            host: HostConfig::xeon_e5_2670(),
+            storage: StorageConfig::sata_ssd(),
+        }
+    }
+
+    /// The paper's node with device memory shrunk by `scale`, matching
+    /// datasets generated at the same scale. Host memory stays at 32 GB:
+    /// the paper deliberately chose datasets that fit host RAM ("to avoid
+    /// I/O (SSD access) overheads", Section 6.2.1), and so do the scaled
+    /// stand-ins. Shrink [`HostConfig::mem_capacity`] explicitly to study
+    /// the SSD-backed out-of-host-core extension.
+    pub fn paper_node_scaled(scale: u64) -> Self {
+        Platform {
+            device: DeviceConfig::k20c_scaled(scale),
+            pcie: PcieConfig::gen2_x16(),
+            host: HostConfig::xeon_e5_2670(),
+            storage: StorageConfig::sata_ssd(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20c_shape() {
+        let d = DeviceConfig::k20c();
+        assert_eq!(d.total_cores(), 13 * 192);
+        assert!(d.flops_per_sec() > 1e12); // > 1 Tops scalar-equivalent
+        assert_eq!(d.mem_capacity, 4_800_000_000);
+    }
+
+    #[test]
+    fn scaling_shrinks_memory_only() {
+        let d = DeviceConfig::k20c_scaled(64);
+        assert_eq!(d.mem_capacity, 4_800_000_000 / 64);
+        assert_eq!(d.sm_count, DeviceConfig::k20c().sm_count);
+        assert_eq!(d.total_cores(), DeviceConfig::k20c().total_cores());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_rejected() {
+        DeviceConfig::k20c_scaled(0);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_raw_throughput() {
+        // Sanity: the simulated device must out-muscle the simulated host on
+        // both flops and bandwidth, as on the real hardware.
+        let p = Platform::paper_node();
+        assert!(p.device.flops_per_sec() > p.host.flops_per_sec());
+        assert!(p.device.mem_bandwidth_gbps > p.host.mem_bandwidth_gbps);
+        assert!(p.device.mlp > p.host.mlp);
+    }
+}

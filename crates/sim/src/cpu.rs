@@ -1,0 +1,165 @@
+//! Host-CPU cost model, symmetric to the device kernel model.
+//!
+//! The CPU baseline engines (GraphChi- and X-Stream-style) execute their
+//! real data movement and computation on the host and account virtual time
+//! with this model, so the CPU-vs-GPU comparison (Tables 2 and 3) is driven
+//! by the same roofline methodology on both sides. The decisive differences
+//! are structural, not fudge factors: the host has ~25x less random-access
+//! memory-level parallelism and ~8x less arithmetic throughput than the
+//! device, while the device pays PCIe for every byte it touches.
+
+use crate::config::HostConfig;
+use crate::time::SimDuration;
+
+/// Work description of one parallel pass on the host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuWork {
+    /// Trace label (e.g. "xstream.scatter").
+    pub label: &'static str,
+    /// Parallel work items.
+    pub items: u64,
+    /// Scalar operations per item (includes branch/bookkeeping overhead —
+    /// graph engines burn tens of ops per edge on dispatch and buffering).
+    pub ops_per_item: f64,
+    /// Streaming (prefetch-friendly) bytes read + written.
+    pub seq_bytes: u64,
+    /// Cache-missing random accesses.
+    pub rand_accesses: u64,
+}
+
+impl CpuWork {
+    pub fn new(
+        label: &'static str,
+        items: u64,
+        ops_per_item: f64,
+        seq_bytes: u64,
+        rand_accesses: u64,
+    ) -> Self {
+        CpuWork {
+            label,
+            items,
+            ops_per_item,
+            seq_bytes,
+            rand_accesses,
+        }
+    }
+}
+
+/// Simulated duration of `work` on `host` using `threads` worker threads.
+pub fn cpu_time(host: &HostConfig, threads: u32, work: &CpuWork) -> SimDuration {
+    if work.items == 0 && work.seq_bytes == 0 && work.rand_accesses == 0 {
+        return SimDuration::ZERO;
+    }
+    let threads = threads.clamp(1, host.cores) as f64;
+    let compute_secs = work.items as f64 * work.ops_per_item
+        / (threads * host.clock_ghz * 1e9 * host.ipc);
+    let seq_secs = work.seq_bytes as f64 / (host.mem_bandwidth_gbps * 1e9);
+    // Random-access MLP scales with the threads actually running, capped by
+    // the socket-wide limit.
+    let mlp = (host.mlp as f64 * threads / host.cores as f64).max(1.0);
+    let rand_secs = work.rand_accesses as f64 * host.random_access_latency.as_secs_f64() / mlp;
+    SimDuration::from_secs_f64(compute_secs.max(seq_secs + rand_secs))
+}
+
+/// Accumulator for a CPU engine's virtual clock: phases execute serially
+/// (each phase is internally parallel), matching the BSP structure of both
+/// CPU baselines.
+#[derive(Clone, Debug, Default)]
+pub struct CpuClock {
+    elapsed: SimDuration,
+    passes: u64,
+}
+
+impl CpuClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one parallel pass, including the fixed fork/join overhead.
+    pub fn charge(&mut self, host: &HostConfig, threads: u32, work: &CpuWork) {
+        self.elapsed += host.pass_overhead + cpu_time(host, threads, work);
+        self.passes += 1;
+    }
+
+    /// Charge a raw duration (e.g. sequential host-side bookkeeping).
+    pub fn charge_raw(&mut self, d: SimDuration) {
+        self.elapsed += d;
+    }
+
+    /// Total virtual time elapsed.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Number of parallel passes charged.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostConfig {
+        HostConfig::xeon_e5_2670()
+    }
+
+    #[test]
+    fn empty_work_is_free() {
+        assert_eq!(
+            cpu_time(&host(), 16, &CpuWork::new("x", 0, 10.0, 0, 0)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn more_threads_speed_up_compute() {
+        let w = CpuWork::new("x", 100_000_000, 20.0, 8, 0);
+        let t1 = cpu_time(&host(), 1, &w);
+        let t16 = cpu_time(&host(), 16, &w);
+        let ratio = t1.as_secs_f64() / t16.as_secs_f64();
+        assert!(ratio > 12.0 && ratio <= 16.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn thread_count_clamped_to_cores() {
+        let w = CpuWork::new("x", 100_000_000, 20.0, 8, 0);
+        assert_eq!(cpu_time(&host(), 16, &w), cpu_time(&host(), 1000, &w));
+        assert_eq!(cpu_time(&host(), 0, &w), cpu_time(&host(), 1, &w));
+    }
+
+    #[test]
+    fn bandwidth_bound_pass() {
+        let h = host();
+        let bytes = 10u64 << 30;
+        let w = CpuWork::new("x", 1, 0.0, bytes, 0);
+        let t = cpu_time(&h, 16, &w);
+        let expect = bytes as f64 / (h.mem_bandwidth_gbps * 1e9);
+        assert!((t.as_secs_f64() - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn random_accesses_dominate_sequential_of_same_volume() {
+        let h = host();
+        let n = 100_000_000u64;
+        let seq = cpu_time(&h, 16, &CpuWork::new("s", n, 1.0, n * 8, 0));
+        let rand = cpu_time(&h, 16, &CpuWork::new("r", n, 1.0, 0, n));
+        assert!(rand > seq * 3);
+    }
+
+    #[test]
+    fn clock_accumulates_passes_and_overhead() {
+        let h = host();
+        let mut c = CpuClock::new();
+        let w = CpuWork::new("x", 1000, 1.0, 8000, 0);
+        c.charge(&h, 16, &w);
+        c.charge(&h, 16, &w);
+        assert_eq!(c.passes(), 2);
+        let two_pass = cpu_time(&h, 16, &w) * 2 + h.pass_overhead * 2;
+        assert_eq!(c.elapsed(), two_pass);
+        c.charge_raw(SimDuration::from_millis(1));
+        assert_eq!(c.elapsed(), two_pass + SimDuration::from_millis(1));
+        assert_eq!(c.passes(), 2);
+    }
+}

@@ -1,0 +1,520 @@
+//! The `Gpu` facade: CUDA-style streams, events, async copies, and kernel
+//! launches on top of the discrete-event scheduler.
+//!
+//! Semantics follow the CUDA execution model the paper relies on:
+//!
+//! * Operations within one stream execute in submission order.
+//! * Operations in different streams may overlap, subject to hardware:
+//!   one H2D DMA engine, one D2H DMA engine (Kepler has both), and a pool of
+//!   concurrent-kernel slots.
+//! * Every async submission pays a host-side *issue* cost on the hardware
+//!   queue its stream maps to. Kepler's Hyper-Q provides 32 such queues;
+//!   streams are assigned round-robin. With a single stream, issue costs
+//!   serialize — this is the overhead the spray operation (Section 5.1)
+//!   pipelines away by spreading a shard's sub-array copies over many
+//!   streams.
+//! * Events capture a point in a stream; other streams can wait on them.
+//! * `synchronize()` is a full-device barrier: it resolves the schedule and
+//!   advances the host's view of virtual time.
+//!
+//! Kernels' *results* are computed eagerly by the caller on the host (the
+//! simulator charges time, not semantics), so host code can inspect outputs
+//! immediately — mirroring how the real framework reads back frontier
+//! feedback after each phase.
+
+use crate::config::{DeviceConfig, PcieConfig, Platform};
+use crate::kernel::{kernel_time, KernelSpec};
+use crate::memory::{Allocation, MemoryPool, OutOfMemory};
+use crate::profile::Profile;
+use crate::schedule::{Capacity, OpId, ResourceId, Scheduler};
+use crate::time::{SimDuration, SimTime};
+use crate::xfer::explicit_copy_time;
+
+/// Handle to a created stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StreamId(usize);
+
+/// A recorded event: a point in some stream other streams can wait on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event(Option<OpId>);
+
+#[derive(Debug)]
+struct StreamState {
+    /// Hardware queue this stream maps to.
+    queue: ResourceId,
+    /// Last issue op in this stream (issues are stream-ordered).
+    last_issue: Option<OpId>,
+    /// Last execution op in this stream (execs are stream-ordered).
+    last_exec: Option<OpId>,
+    /// Event deps to attach to the next exec op.
+    pending_waits: Vec<OpId>,
+}
+
+/// Summary statistics of a finished (synchronized) device timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuStats {
+    /// Virtual time at the last synchronization (the run's wall time).
+    pub elapsed: SimDuration,
+    /// Busy time of the copy engines (both directions).
+    pub memcpy_busy: SimDuration,
+    /// Busy time of the kernel slots (sums overlapped kernels).
+    pub kernel_busy: SimDuration,
+    /// Bytes moved host-to-device.
+    pub bytes_h2d: u64,
+    /// Bytes moved device-to-host.
+    pub bytes_d2h: u64,
+    /// Copy op count (both directions).
+    pub copy_ops: u64,
+    /// Kernel launch count.
+    pub kernel_launches: u64,
+}
+
+/// The virtual accelerator device.
+///
+/// ```
+/// use gr_sim::{Gpu, KernelSpec, Platform};
+///
+/// let mut gpu = Gpu::new(&Platform::paper_node());
+/// let copy_stream = gpu.create_stream();
+/// let exec_stream = gpu.create_stream();
+///
+/// // Upload a buffer, launch a kernel that consumes it, read a result back.
+/// gpu.h2d(copy_stream, 64 << 20, "input");
+/// let ready = gpu.record_event(copy_stream);
+/// gpu.wait_event(exec_stream, ready);
+/// gpu.launch(exec_stream, &KernelSpec::balanced("sum", 1 << 20, 2.0, 64 << 20, 0));
+/// gpu.d2h(exec_stream, 4096, "result");
+///
+/// let elapsed = gpu.synchronize();
+/// assert!(elapsed.as_nanos() > 0);
+/// let stats = gpu.stats();
+/// assert_eq!(stats.copy_ops, 2);
+/// assert_eq!(stats.kernel_launches, 1);
+/// ```
+pub struct Gpu {
+    device: DeviceConfig,
+    pcie: PcieConfig,
+    sched: Scheduler,
+    pool: MemoryPool,
+    queues: Vec<ResourceId>,
+    h2d_engine: ResourceId,
+    d2h_engine: ResourceId,
+    kernel_slots: ResourceId,
+    sync_resource: ResourceId,
+    streams: Vec<StreamState>,
+    next_queue: usize,
+    barrier: SimTime,
+    profile: Profile,
+}
+
+impl Gpu {
+    /// Create a device from a platform description.
+    pub fn new(platform: &Platform) -> Self {
+        Self::with_configs(platform.device.clone(), platform.pcie.clone())
+    }
+
+    /// Create a device from explicit device/link configs.
+    pub fn with_configs(device: DeviceConfig, pcie: PcieConfig) -> Self {
+        let mut sched = Scheduler::new();
+        let queues = (0..device.hyperq_width.max(1))
+            .map(|i| sched.add_resource(format!("hwq{i}"), Capacity::Finite(1)))
+            .collect();
+        let h2d_engine = sched.add_resource("h2d", Capacity::Finite(1));
+        let d2h_engine = if device.dual_copy_engines {
+            sched.add_resource("d2h", Capacity::Finite(1))
+        } else {
+            h2d_engine
+        };
+        let kernel_slots = sched.add_resource(
+            "kernels",
+            Capacity::Finite(device.max_concurrent_kernels.max(1)),
+        );
+        let sync_resource = sched.add_resource("sync", Capacity::Infinite);
+        let pool = MemoryPool::new(device.mem_capacity);
+        Gpu {
+            device,
+            pcie,
+            sched,
+            pool,
+            queues,
+            h2d_engine,
+            d2h_engine,
+            kernel_slots,
+            sync_resource,
+            streams: Vec::new(),
+            next_queue: 0,
+            barrier: SimTime::ZERO,
+            profile: Profile::new(),
+        }
+    }
+
+    /// Device description this GPU was built from.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// PCIe link description.
+    pub fn pcie(&self) -> &PcieConfig {
+        &self.pcie
+    }
+
+    /// Device memory pool (capacity accounting).
+    pub fn memory(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Reserve device memory; fails with OOM past capacity.
+    pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
+        self.pool.alloc(bytes)
+    }
+
+    /// Create a stream, bound round-robin to a hardware queue.
+    pub fn create_stream(&mut self) -> StreamId {
+        let queue = self.queues[self.next_queue % self.queues.len()];
+        self.next_queue += 1;
+        self.streams.push(StreamState {
+            queue,
+            last_issue: None,
+            last_exec: None,
+            pending_waits: Vec::new(),
+        });
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of created streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Submit one stream op as issue (hardware queue) + body (engine) +
+    /// optional latency tail. The tail does not occupy the engine: DMA setup
+    /// latency of queued descriptors pipelines behind the previous
+    /// transfer's data movement, so back-to-back small copies from different
+    /// streams pack at body cadence while a single stream pays
+    /// body+latency per copy (its next op waits for *completion*).
+    fn submit(
+        &mut self,
+        stream: StreamId,
+        engine: ResourceId,
+        body: SimDuration,
+        tail: SimDuration,
+        label: &'static str,
+    ) -> OpId {
+        let s = &mut self.streams[stream.0];
+        // Issue phase: occupies the hardware queue for the issue overhead,
+        // ordered after the stream's previous issue.
+        let issue_deps = s.last_issue.into_iter().collect();
+        let queue = s.queue;
+        let issue = self.sched.submit(
+            queue,
+            self.pcie.issue_overhead,
+            issue_deps,
+            self.barrier,
+            "issue",
+        );
+        // Execution phase: occupies the engine, after the issue, the
+        // stream's previous op completion, and any pending event waits.
+        let s = &mut self.streams[stream.0];
+        s.last_issue = Some(issue);
+        let mut deps = vec![issue];
+        deps.extend(s.last_exec);
+        deps.append(&mut s.pending_waits);
+        let exec = self.sched.submit(engine, body, deps, self.barrier, label);
+        let done = if tail.is_zero() {
+            exec
+        } else {
+            self.sched
+                .submit(self.sync_resource, tail, vec![exec], self.barrier, label)
+        };
+        self.streams[stream.0].last_exec = Some(done);
+        done
+    }
+
+    /// Enqueue an async host-to-device copy of `bytes` on `stream`.
+    pub fn h2d(&mut self, stream: StreamId, bytes: u64, label: &'static str) -> OpId {
+        let dur = explicit_copy_time(&self.pcie, bytes);
+        self.profile.record_h2d(bytes, dur, label);
+        let body = dur - self.pcie.transfer_latency;
+        self.submit(stream, self.h2d_engine, body, self.pcie.transfer_latency, label)
+    }
+
+    /// Enqueue zero-copy (pinned/UVA) sequential streaming of `bytes` on
+    /// `stream`: no staging DMA — the kernel's loads stream over PCIe at
+    /// the pinned-sequential rate (slightly above the explicit-copy rate,
+    /// Figure 4), occupying the H2D engine for the duration. Only valid
+    /// for sequentially-accessed buffers; random zero-copy access is
+    /// modeled by [`crate::xfer::transfer_access_time`] and is
+    /// catastrophic.
+    pub fn h2d_zero_copy(&mut self, stream: StreamId, bytes: u64, label: &'static str) -> OpId {
+        let dur = SimDuration::from_secs_f64(
+            bytes as f64 / (self.pcie.pinned_seq_bandwidth_gbps * 1e9),
+        );
+        self.profile.record_h2d(bytes, dur, label);
+        self.submit(stream, self.h2d_engine, dur, SimDuration::ZERO, label)
+    }
+
+    /// Enqueue an async device-to-host copy of `bytes` on `stream`.
+    pub fn d2h(&mut self, stream: StreamId, bytes: u64, label: &'static str) -> OpId {
+        let dur = explicit_copy_time(&self.pcie, bytes);
+        self.profile.record_d2h(bytes, dur, label);
+        let body = dur - self.pcie.transfer_latency;
+        self.submit(stream, self.d2h_engine, body, self.pcie.transfer_latency, label)
+    }
+
+    /// Enqueue a kernel launch on `stream`; the caller performs the actual
+    /// computation on the host (eagerly), this charges its simulated time.
+    pub fn launch(&mut self, stream: StreamId, spec: &KernelSpec) -> OpId {
+        let dur = kernel_time(&self.device, spec);
+        self.profile.record_kernel(dur, spec.label);
+        self.submit(stream, self.kernel_slots, dur, SimDuration::ZERO, spec.label)
+    }
+
+    /// Enqueue a fixed-duration stall on `stream` (host-side work between
+    /// device operations: iteration management, result inspection, grid
+    /// teardown). Occupies no engine — only the stream's ordering.
+    pub fn stall(&mut self, stream: StreamId, duration: SimDuration, label: &'static str) -> OpId {
+        self.submit(stream, self.sync_resource, duration, SimDuration::ZERO, label)
+    }
+
+    /// Record an event at the current tail of `stream`.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        Event(self.streams[stream.0].last_exec)
+    }
+
+    /// Make the next op submitted to `stream` wait for `event`.
+    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+        if let Event(Some(op)) = event {
+            self.streams[stream.0].pending_waits.push(op);
+        }
+    }
+
+    /// Full-device barrier: resolve the schedule, advance virtual time.
+    /// Returns the device's current virtual clock.
+    pub fn synchronize(&mut self) -> SimTime {
+        let t = self.sched.flush();
+        self.barrier = t;
+        // A barrier orders everything after it; clear stream tails so their
+        // dependency chains don't grow without bound across iterations (the
+        // `earliest = barrier` bound subsumes them).
+        for s in &mut self.streams {
+            s.last_issue = None;
+            s.last_exec = None;
+            s.pending_waits.clear();
+        }
+        t
+    }
+
+    /// Virtual time elapsed up to the last synchronization.
+    pub fn elapsed(&self) -> SimDuration {
+        self.barrier - SimTime::ZERO
+    }
+
+    /// Execution profile counters.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Export the device timeline as Chrome-trace JSON (see
+    /// [`crate::trace`]); call after `synchronize`.
+    pub fn chrome_trace(&self) -> String {
+        crate::trace::chrome_trace(&self.sched)
+    }
+
+    /// Summary statistics (call after `synchronize`).
+    pub fn stats(&self) -> GpuStats {
+        let memcpy_busy = if self.h2d_engine == self.d2h_engine {
+            self.sched.resource_busy(self.h2d_engine)
+        } else {
+            self.sched.resource_busy(self.h2d_engine) + self.sched.resource_busy(self.d2h_engine)
+        };
+        GpuStats {
+            elapsed: self.elapsed(),
+            memcpy_busy,
+            kernel_busy: self.sched.resource_busy(self.kernel_slots),
+            bytes_h2d: self.profile.bytes_h2d,
+            bytes_d2h: self.profile.bytes_d2h,
+            copy_ops: self.profile.h2d_ops + self.profile.d2h_ops,
+            kernel_launches: self.profile.kernel_launches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(&Platform::paper_node())
+    }
+
+    #[test]
+    fn stream_ops_serialize_within_stream() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        let a = g.h2d(s, 1_000_000, "a");
+        let b = g.h2d(s, 1_000_000, "b");
+        g.synchronize();
+        let fa = g.sched.op(a).finish.unwrap();
+        let sb = g.sched.op(b).start.unwrap();
+        assert!(sb >= fa);
+    }
+
+    #[test]
+    fn copies_on_two_streams_still_share_the_h2d_engine() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let s2 = g.create_stream();
+        g.h2d(s1, 10_000_000, "a");
+        g.h2d(s2, 10_000_000, "b");
+        let t2 = g.synchronize();
+
+        let mut g1 = gpu();
+        let s = g1.create_stream();
+        g1.h2d(s, 10_000_000, "a");
+        let t1 = g1.synchronize();
+        // Two same-direction copies serialize on the single DMA engine, so
+        // elapsed is roughly double (issue overheads overlap, bodies don't).
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!(ratio > 1.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn h2d_and_d2h_overlap_with_dual_copy_engines() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let s2 = g.create_stream();
+        let bytes = 60_000_000;
+        g.h2d(s1, bytes, "in");
+        g.d2h(s2, bytes, "out");
+        let both = g.synchronize();
+
+        let mut g1 = gpu();
+        let s = g1.create_stream();
+        g1.h2d(s, bytes, "in");
+        let one = g1.synchronize();
+        // Opposite directions overlap: total ≈ one direction, not two.
+        assert!(both.as_secs_f64() < 1.2 * one.as_secs_f64());
+    }
+
+    #[test]
+    fn copy_and_kernel_overlap_across_streams() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let s2 = g.create_stream();
+        let bytes = 120_000_000u64; // 20 ms on 6 GB/s link
+        let spec = KernelSpec::balanced("k", 50_000_000, 10.0, 2_000_000_000, 0);
+        g.h2d(s1, bytes, "copy");
+        g.launch(s2, &spec);
+        let overlapped = g.synchronize();
+
+        let mut g2 = gpu();
+        let s = g2.create_stream();
+        g2.h2d(s, bytes, "copy");
+        g2.launch(s, &spec);
+        let serial = g2.synchronize();
+        assert!(
+            overlapped.as_secs_f64() < 0.75 * serial.as_secs_f64(),
+            "overlap {overlapped:?} vs serial {serial:?}"
+        );
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let s2 = g.create_stream();
+        let a = g.h2d(s1, 50_000_000, "a");
+        let ev = g.record_event(s1);
+        g.wait_event(s2, ev);
+        let spec = KernelSpec::balanced("k", 1000, 1.0, 8000, 0);
+        let k = g.launch(s2, &spec);
+        g.synchronize();
+        assert!(g.sched.op(k).start.unwrap() >= g.sched.op(a).finish.unwrap());
+    }
+
+    #[test]
+    fn event_on_empty_stream_is_noop() {
+        let mut g = gpu();
+        let s1 = g.create_stream();
+        let s2 = g.create_stream();
+        let ev = g.record_event(s1);
+        g.wait_event(s2, ev);
+        let spec = KernelSpec::balanced("k", 1000, 1.0, 8000, 0);
+        let k = g.launch(s2, &spec);
+        g.synchronize();
+        let op = g.sched.op(k);
+        assert_eq!(op.finish.unwrap() - op.start.unwrap(), op.duration);
+    }
+
+    #[test]
+    fn barrier_orders_iterations() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 1_000_000, "a");
+        let t1 = g.synchronize();
+        let b = g.h2d(s, 1_000_000, "b");
+        g.synchronize();
+        assert!(g.sched.op(b).start.unwrap() >= t1);
+    }
+
+    #[test]
+    fn many_small_copies_on_one_stream_pay_serial_issue() {
+        // Spray motivation: 64 small copies on ONE stream pay 64 serialized
+        // issue overheads; on 32 streams the issues pipeline with transfers.
+        let n = 64u64;
+        let bytes = 30_000u64; // transfer body ~5us, comparable to issue cost
+
+        let mut one = gpu();
+        let s = one.create_stream();
+        for _ in 0..n {
+            one.h2d(s, bytes, "sub");
+        }
+        let t_one = one.synchronize();
+
+        let mut many = gpu();
+        let streams: Vec<_> = (0..32).map(|_| many.create_stream()).collect();
+        for i in 0..n {
+            many.h2d(streams[(i % 32) as usize], bytes, "sub");
+        }
+        let t_many = many.synchronize();
+        assert!(
+            t_many.as_secs_f64() < 0.8 * t_one.as_secs_f64(),
+            "spray {t_many:?} vs single {t_one:?}"
+        );
+    }
+
+    #[test]
+    fn more_streams_than_queues_share_queues() {
+        let mut g = gpu();
+        let width = g.device().hyperq_width as usize;
+        let ids: Vec<_> = (0..width + 3).map(|_| g.create_stream()).collect();
+        // Streams width..width+3 reuse queues 0..3.
+        assert_eq!(g.streams[ids[0].0].queue, g.streams[ids[width].0].queue);
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let g = gpu();
+        let cap = g.memory().capacity();
+        let _a = g.alloc(cap).unwrap();
+        assert!(g.alloc(1).is_err());
+    }
+
+    #[test]
+    fn stats_report_busy_times_and_bytes() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 6_000_000, "in");
+        g.d2h(s, 3_000_000, "out");
+        g.launch(s, &KernelSpec::balanced("k", 1_000_000, 2.0, 8_000_000, 0));
+        g.synchronize();
+        let st = g.stats();
+        assert_eq!(st.bytes_h2d, 6_000_000);
+        assert_eq!(st.bytes_d2h, 3_000_000);
+        assert_eq!(st.copy_ops, 2);
+        assert_eq!(st.kernel_launches, 1);
+        assert!(st.memcpy_busy > SimDuration::ZERO);
+        assert!(st.kernel_busy > SimDuration::ZERO);
+        assert!(st.elapsed >= st.memcpy_busy.max(st.kernel_busy));
+    }
+}

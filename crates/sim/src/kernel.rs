@@ -1,0 +1,158 @@
+//! SIMT kernel cost model.
+//!
+//! A kernel's simulated duration follows a roofline-style model: the kernel
+//! is limited either by arithmetic throughput or by the memory system
+//! (streamed coalesced bytes plus latency-bound uncoalesced accesses), with
+//! two multiplicative corrections:
+//!
+//! * **occupancy** — kernels with fewer work items than the device has
+//!   hardware thread slots cannot saturate it; their duration floors at the
+//!   serial latency of one item's work. This is why small-frontier launches
+//!   waste the GPU (Section 5.2) and why compute-compute overlap pays
+//!   (Figure 5): two half-occupancy kernels can genuinely share the device.
+//! * **imbalance** — without CTA-style load balancing, the longest thread
+//!   block dominates; callers pass the max/mean work ratio (1.0 = balanced).
+
+use crate::config::DeviceConfig;
+use crate::time::SimDuration;
+
+/// Work description of one kernel launch, filled in by the framework from
+/// shard statistics before submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelSpec {
+    /// Trace label (e.g. "gatherMap").
+    pub label: &'static str,
+    /// Parallel work items (edges for edge-centric phases, vertices for
+    /// vertex-centric ones).
+    pub items: u64,
+    /// Arithmetic operations per item.
+    pub flops_per_item: f64,
+    /// Coalesced (streaming) bytes read + written by the whole launch.
+    pub seq_bytes: u64,
+    /// Uncoalesced (random) accesses performed by the whole launch.
+    pub rand_accesses: u64,
+    /// Load-imbalance multiplier (max per-CTA work / mean); `>= 1.0`.
+    pub imbalance: f64,
+}
+
+impl KernelSpec {
+    /// A balanced kernel over `items` items with the given per-item costs.
+    pub fn balanced(
+        label: &'static str,
+        items: u64,
+        flops_per_item: f64,
+        seq_bytes: u64,
+        rand_accesses: u64,
+    ) -> Self {
+        KernelSpec {
+            label,
+            items,
+            flops_per_item,
+            seq_bytes,
+            rand_accesses,
+            imbalance: 1.0,
+        }
+    }
+
+    /// Returns a copy with the given imbalance factor (clamped to >= 1).
+    pub fn with_imbalance(mut self, imbalance: f64) -> Self {
+        self.imbalance = imbalance.max(1.0);
+        self
+    }
+}
+
+/// Simulated execution time of `spec` on `dev`, excluding queue/issue
+/// overheads (those are charged to the hardware queue by the scheduler) but
+/// including the device-side launch overhead.
+pub fn kernel_time(dev: &DeviceConfig, spec: &KernelSpec) -> SimDuration {
+    if spec.items == 0 {
+        // Empty launches still cost the dispatch.
+        return dev.kernel_launch_overhead;
+    }
+    // Occupancy: fraction of the device the launch can fill. Each core needs
+    // several resident items to hide latency; ~4 per core saturates.
+    let slots = (dev.total_cores() * 4) as f64;
+    let occupancy = (spec.items as f64 / slots).clamp(1e-3, 1.0);
+
+    let compute_secs = spec.items as f64 * spec.flops_per_item / dev.flops_per_sec();
+    let seq_secs = spec.seq_bytes as f64 / (dev.mem_bandwidth_gbps * 1e9);
+    let rand_secs =
+        spec.rand_accesses as f64 * dev.random_access_latency.as_secs_f64() / dev.mlp as f64;
+    let body = (compute_secs.max(seq_secs + rand_secs)) / occupancy * spec.imbalance.max(1.0);
+    dev.kernel_launch_overhead + SimDuration::from_secs_f64(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::k20c()
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let t = kernel_time(&dev(), &KernelSpec::balanced("x", 0, 10.0, 0, 0));
+        assert_eq!(t, dev().kernel_launch_overhead);
+    }
+
+    #[test]
+    fn memory_bound_kernel_tracks_bandwidth() {
+        // 1 GiB of streaming on a 150 GB/s device, fully occupied:
+        let d = dev();
+        let items = 100_000_000;
+        let t = kernel_time(&d, &KernelSpec::balanced("x", items, 0.1, 1 << 30, 0));
+        let expect = (1u64 << 30) as f64 / (d.mem_bandwidth_gbps * 1e9);
+        let got = (t - d.kernel_launch_overhead).as_secs_f64();
+        assert!((got - expect).abs() / expect < 0.01, "got {got}, want {expect}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_tracks_flops() {
+        let d = dev();
+        let items = 100_000_000u64;
+        let flops = 100.0;
+        let t = kernel_time(&d, &KernelSpec::balanced("x", items, flops, 8, 0));
+        let expect = items as f64 * flops / d.flops_per_sec();
+        let got = (t - d.kernel_launch_overhead).as_secs_f64();
+        assert!((got - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn low_occupancy_kernel_does_not_speed_up() {
+        // Halving the items of a tiny kernel should NOT halve its time: both
+        // are latency-bound at low occupancy, so per-item time is constant.
+        let d = dev();
+        let small = kernel_time(&d, &KernelSpec::balanced("x", 100, 10.0, 100 * 8, 0));
+        let smaller = kernel_time(&d, &KernelSpec::balanced("x", 50, 10.0, 50 * 8, 0));
+        let s1 = (small - d.kernel_launch_overhead).as_secs_f64();
+        let s2 = (smaller - d.kernel_launch_overhead).as_secs_f64();
+        assert!((s1 - s2).abs() / s1 < 0.02, "latency-bound regime: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn imbalance_scales_duration() {
+        let d = dev();
+        let spec = KernelSpec::balanced("x", 10_000_000, 1.0, 80_000_000, 0);
+        let bal = kernel_time(&d, &spec);
+        let skew = kernel_time(&d, &spec.clone().with_imbalance(4.0));
+        let b = (bal - d.kernel_launch_overhead).as_nanos() as f64;
+        let s = (skew - d.kernel_launch_overhead).as_nanos() as f64;
+        assert!((s / b - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn imbalance_below_one_clamps() {
+        let spec = KernelSpec::balanced("x", 1000, 1.0, 8000, 0).with_imbalance(0.2);
+        assert_eq!(spec.imbalance, 1.0);
+    }
+
+    #[test]
+    fn random_accesses_cost_more_than_sequential() {
+        let d = dev();
+        let n = 50_000_000u64;
+        let seq = kernel_time(&d, &KernelSpec::balanced("s", n, 0.1, n * 4, 0));
+        let rand = kernel_time(&d, &KernelSpec::balanced("r", n, 0.1, 0, n));
+        assert!(rand > seq);
+    }
+}

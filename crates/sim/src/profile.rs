@@ -1,0 +1,137 @@
+//! Execution counters for the virtual accelerator.
+//!
+//! The paper's Section 6.2.3 analysis is driven by exactly these numbers:
+//! how much time the copy engines were busy (memcpy time), how much the
+//! compute side was busy, and how many bytes crossed PCIe. The `Gpu` facade
+//! updates a `Profile` on every submitted op; engines read it back to report
+//! Figure 15 and the "memcpy is ~95% of execution" observation.
+
+use std::collections::HashMap;
+
+use crate::time::SimDuration;
+
+/// Per-label aggregate (e.g. all "gatherMap" launches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Number of ops with this label.
+    pub count: u64,
+    /// Sum of modeled durations.
+    pub total: SimDuration,
+    /// Bytes moved (zero for kernels).
+    pub bytes: u64,
+}
+
+/// Aggregate counters over all submitted device operations.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Bytes copied host-to-device.
+    pub bytes_h2d: u64,
+    /// Bytes copied device-to-host.
+    pub bytes_d2h: u64,
+    /// Number of H2D copy ops.
+    pub h2d_ops: u64,
+    /// Number of D2H copy ops.
+    pub d2h_ops: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Sum of individual H2D durations (not engine busy time; equals it
+    /// since copies in one direction serialize).
+    pub h2d_time: SimDuration,
+    /// Sum of individual D2H durations.
+    pub d2h_time: SimDuration,
+    /// Sum of individual kernel durations (can exceed wall time when kernels
+    /// overlap).
+    pub kernel_time: SimDuration,
+    /// Per-label breakdown.
+    labels: HashMap<&'static str, LabelStats>,
+}
+
+impl Profile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_h2d(&mut self, bytes: u64, dur: SimDuration, label: &'static str) {
+        self.bytes_h2d += bytes;
+        self.h2d_ops += 1;
+        self.h2d_time += dur;
+        self.bump(label, dur, bytes);
+    }
+
+    pub(crate) fn record_d2h(&mut self, bytes: u64, dur: SimDuration, label: &'static str) {
+        self.bytes_d2h += bytes;
+        self.d2h_ops += 1;
+        self.d2h_time += dur;
+        self.bump(label, dur, bytes);
+    }
+
+    pub(crate) fn record_kernel(&mut self, dur: SimDuration, label: &'static str) {
+        self.kernel_launches += 1;
+        self.kernel_time += dur;
+        self.bump(label, dur, 0);
+    }
+
+    fn bump(&mut self, label: &'static str, dur: SimDuration, bytes: u64) {
+        let e = self.labels.entry(label).or_default();
+        e.count += 1;
+        e.total += dur;
+        e.bytes += bytes;
+    }
+
+    /// Total memcpy work (both directions).
+    pub fn memcpy_time(&self) -> SimDuration {
+        self.h2d_time + self.d2h_time
+    }
+
+    /// Total bytes over PCIe in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_h2d + self.bytes_d2h
+    }
+
+    /// Aggregate for one label, if any op carried it.
+    pub fn label(&self, label: &str) -> Option<LabelStats> {
+        self.labels.get(label).copied()
+    }
+
+    /// All labels sorted by total time, descending (for trace dumps).
+    pub fn labels_by_time(&self) -> Vec<(&'static str, LabelStats)> {
+        let mut v: Vec<_> = self.labels.iter().map(|(&k, &s)| (k, s)).collect();
+        v.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = Profile::new();
+        p.record_h2d(100, SimDuration(10), "in-edges");
+        p.record_h2d(200, SimDuration(20), "in-edges");
+        p.record_d2h(50, SimDuration(5), "vertices");
+        p.record_kernel(SimDuration(40), "gatherMap");
+        assert_eq!(p.bytes_h2d, 300);
+        assert_eq!(p.bytes_d2h, 50);
+        assert_eq!(p.h2d_ops, 2);
+        assert_eq!(p.d2h_ops, 1);
+        assert_eq!(p.kernel_launches, 1);
+        assert_eq!(p.memcpy_time(), SimDuration(35));
+        assert_eq!(p.total_bytes(), 350);
+        let l = p.label("in-edges").unwrap();
+        assert_eq!(l.count, 2);
+        assert_eq!(l.bytes, 300);
+        assert_eq!(l.total, SimDuration(30));
+        assert!(p.label("nope").is_none());
+    }
+
+    #[test]
+    fn labels_sorted_by_time() {
+        let mut p = Profile::new();
+        p.record_kernel(SimDuration(5), "small");
+        p.record_kernel(SimDuration(50), "big");
+        let order: Vec<_> = p.labels_by_time().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(order, vec!["big", "small"]);
+    }
+}

@@ -1,0 +1,421 @@
+//! The discrete-event scheduler at the heart of the virtual accelerator.
+//!
+//! Work is described as a DAG of *operations*. Each op names:
+//!
+//! * its dependencies (ops that must finish first — stream predecessors,
+//!   issue ops, recorded events),
+//! * the *resource* it occupies (a hardware queue, the H2D or D2H copy
+//!   engine, a kernel slot), and
+//! * its duration, computed by a cost model before submission.
+//!
+//! Resources have finite capacity; an op holds one capacity slot for its
+//! whole duration. Scheduling is event-driven, earliest-ready-first with a
+//! deterministic tie-break on submission order, which mirrors how GPU
+//! hardware queues drain: whichever queued op's dependencies resolve first
+//! is dispatched first, and a full resource delays dispatch.
+//!
+//! Submission is incremental: clients add ops as the host program runs and
+//! call [`Scheduler::flush`] at synchronization points. Dependencies may only
+//! reference previously submitted ops (streams are in-order; events are
+//! recorded before they are waited on), so each flush schedules a closed
+//! batch against the persistent resource state.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a submitted operation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Raw index (stable across a scheduler's lifetime).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Handle to a registered resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// Raw index (stable across a scheduler's lifetime).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Capacity of a resource: how many ops can occupy it simultaneously.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Capacity {
+    /// At most `n` concurrent ops (`n >= 1`).
+    Finite(u32),
+    /// Unbounded concurrency (used for pure synchronization pseudo-ops).
+    Infinite,
+}
+
+struct ResourceState {
+    name: String,
+    capacity: Capacity,
+    /// Free-at times of the busiest `capacity` slots (min-heap).
+    /// Empty/unused for infinite resources.
+    slots: BinaryHeap<Reverse<u64>>,
+    /// Total busy time accumulated on this resource.
+    busy: SimDuration,
+}
+
+/// A scheduled (or not-yet-scheduled) operation record.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Dependencies by id (all strictly earlier than this op).
+    pub deps: Vec<OpId>,
+    /// Resource the op occupies.
+    pub resource: ResourceId,
+    /// Modeled duration.
+    pub duration: SimDuration,
+    /// Lower bound on start time (e.g. a synchronization barrier).
+    pub earliest: SimTime,
+    /// Free-form label for traces and profiles.
+    pub label: &'static str,
+    /// Assigned start time; `None` until scheduled.
+    pub start: Option<SimTime>,
+    /// Assigned finish time; `None` until scheduled.
+    pub finish: Option<SimTime>,
+}
+
+/// Incremental earliest-ready-first discrete-event scheduler.
+pub struct Scheduler {
+    resources: Vec<ResourceState>,
+    ops: Vec<OpRecord>,
+    first_pending: usize,
+    makespan: SimTime,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Scheduler {
+            resources: Vec::new(),
+            ops: Vec::new(),
+            first_pending: 0,
+            makespan: SimTime::ZERO,
+        }
+    }
+
+    /// Register a resource and return its handle.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: Capacity) -> ResourceId {
+        if let Capacity::Finite(n) = capacity {
+            assert!(n >= 1, "finite resource capacity must be >= 1");
+        }
+        let id = ResourceId(self.resources.len() as u32);
+        let slots = match capacity {
+            Capacity::Finite(n) => {
+                let mut h = BinaryHeap::with_capacity(n as usize);
+                for _ in 0..n {
+                    h.push(Reverse(0));
+                }
+                h
+            }
+            Capacity::Infinite => BinaryHeap::new(),
+        };
+        self.resources.push(ResourceState {
+            name: name.into(),
+            capacity,
+            slots,
+            busy: SimDuration::ZERO,
+        });
+        id
+    }
+
+    /// Submit an operation. Dependencies must reference earlier ops.
+    pub fn submit(
+        &mut self,
+        resource: ResourceId,
+        duration: SimDuration,
+        deps: Vec<OpId>,
+        earliest: SimTime,
+        label: &'static str,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        debug_assert!(
+            deps.iter().all(|d| d.0 < id.0),
+            "dependencies must be earlier ops"
+        );
+        assert!(
+            (resource.0 as usize) < self.resources.len(),
+            "unknown resource"
+        );
+        self.ops.push(OpRecord {
+            deps,
+            resource,
+            duration,
+            earliest,
+            label,
+            start: None,
+            finish: None,
+        });
+        id
+    }
+
+    /// Schedule all pending operations; returns the new makespan (the finish
+    /// time of the latest op ever scheduled).
+    pub fn flush(&mut self) -> SimTime {
+        let base = self.first_pending;
+        let n = self.ops.len() - base;
+        if n == 0 {
+            return self.makespan;
+        }
+
+        // Indegree among pending ops and reverse edges, offset by `base`.
+        let mut indegree = vec![0u32; n];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Ready lower bound from already-scheduled deps and `earliest`.
+        let mut ready = vec![0u64; n];
+        for i in 0..n {
+            let op = &self.ops[base + i];
+            ready[i] = op.earliest.0;
+            for &d in &op.deps {
+                let di = d.0 as usize;
+                if di >= base {
+                    indegree[i] += 1;
+                    dependents[di - base].push(i as u32);
+                } else {
+                    let f = self.ops[di]
+                        .finish
+                        .expect("dependency from earlier batch must be scheduled")
+                        .0;
+                    ready[i] = ready[i].max(f);
+                }
+            }
+        }
+
+        // Min-heap of (ready_time, pending_index): earliest-ready-first with
+        // submission-order tie-break.
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        for i in 0..n {
+            if indegree[i] == 0 {
+                heap.push(Reverse((ready[i], i as u32)));
+            }
+        }
+
+        let mut scheduled = 0usize;
+        while let Some(Reverse((r, i))) = heap.pop() {
+            let idx = base + i as usize;
+            let (start, finish) = {
+                let dur = self.ops[idx].duration;
+                let res = &mut self.resources[self.ops[idx].resource.0 as usize];
+                let start = match res.capacity {
+                    Capacity::Infinite => r,
+                    Capacity::Finite(_) => {
+                        let Reverse(slot_free) = res.slots.pop().expect("resource has slots");
+                        let start = r.max(slot_free);
+                        res.slots.push(Reverse(start + dur.0));
+                        start
+                    }
+                };
+                res.busy += dur;
+                (SimTime(start), SimTime(start + dur.0))
+            };
+            let op = &mut self.ops[idx];
+            op.start = Some(start);
+            op.finish = Some(finish);
+            self.makespan = self.makespan.max(finish);
+            scheduled += 1;
+
+            // Release dependents.
+            let deps_of = std::mem::take(&mut dependents[i as usize]);
+            for j in deps_of {
+                let ji = j as usize;
+                indegree[ji] -= 1;
+                ready[ji] = ready[ji].max(finish.0);
+                if indegree[ji] == 0 {
+                    heap.push(Reverse((ready[ji], j)));
+                }
+            }
+        }
+        assert_eq!(scheduled, n, "dependency cycle among pending ops");
+        self.first_pending = self.ops.len();
+        self.makespan
+    }
+
+    /// Finish time of the latest scheduled op.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Total busy time accumulated on a resource.
+    pub fn resource_busy(&self, r: ResourceId) -> SimDuration {
+        self.resources[r.0 as usize].busy
+    }
+
+    /// Name a resource was registered with.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.0 as usize].name
+    }
+
+    /// Access a (possibly scheduled) op record.
+    pub fn op(&self, id: OpId) -> &OpRecord {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Number of submitted ops.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Iterate over all scheduled op records (for trace dumps and tests).
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpRecord)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (OpId(i as u32), op))
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    #[test]
+    fn serial_chain_on_one_resource() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("copy", Capacity::Finite(1));
+        let a = s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        let b = s.submit(r, d(20), vec![a], SimTime::ZERO, "b");
+        s.flush();
+        assert_eq!(s.op(a).start, Some(SimTime(0)));
+        assert_eq!(s.op(a).finish, Some(SimTime(10)));
+        assert_eq!(s.op(b).start, Some(SimTime(10)));
+        assert_eq!(s.op(b).finish, Some(SimTime(30)));
+        assert_eq!(s.makespan(), SimTime(30));
+        assert_eq!(s.resource_busy(r), d(30));
+    }
+
+    #[test]
+    fn independent_ops_serialize_on_capacity_one() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("copy", Capacity::Finite(1));
+        s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        s.submit(r, d(10), vec![], SimTime::ZERO, "b");
+        assert_eq!(s.flush(), SimTime(20));
+    }
+
+    #[test]
+    fn independent_ops_overlap_on_capacity_two() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("kernels", Capacity::Finite(2));
+        s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        s.submit(r, d(10), vec![], SimTime::ZERO, "b");
+        s.submit(r, d(10), vec![], SimTime::ZERO, "c");
+        assert_eq!(s.flush(), SimTime(20)); // two in parallel, one after
+        assert_eq!(s.resource_busy(r), d(30));
+    }
+
+    #[test]
+    fn infinite_resource_never_delays() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("sync", Capacity::Infinite);
+        for _ in 0..100 {
+            s.submit(r, d(7), vec![], SimTime::ZERO, "x");
+        }
+        assert_eq!(s.flush(), SimTime(7));
+    }
+
+    #[test]
+    fn earliest_ready_wins_over_submission_order() {
+        let mut s = Scheduler::new();
+        let slow = s.add_resource("slow", Capacity::Finite(1));
+        let fast = s.add_resource("fast", Capacity::Finite(1));
+        // a: long op on `slow`; b depends on a, so b is ready late.
+        let a = s.submit(slow, d(100), vec![], SimTime::ZERO, "a");
+        let b = s.submit(fast, d(10), vec![a], SimTime::ZERO, "b");
+        // c: submitted after b but ready immediately — must run first on fast.
+        let c = s.submit(fast, d(10), vec![], SimTime::ZERO, "c");
+        s.flush();
+        assert_eq!(s.op(c).start, Some(SimTime(0)));
+        assert_eq!(s.op(b).start, Some(SimTime(100)));
+    }
+
+    #[test]
+    fn earliest_lower_bound_respected() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("q", Capacity::Finite(1));
+        let a = s.submit(r, d(5), vec![], SimTime(42), "a");
+        s.flush();
+        assert_eq!(s.op(a).start, Some(SimTime(42)));
+    }
+
+    #[test]
+    fn incremental_flush_preserves_resource_state() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("copy", Capacity::Finite(1));
+        let a = s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        assert_eq!(s.flush(), SimTime(10));
+        // Next batch: new op depends on previous batch; resource slot is at 10.
+        let b = s.submit(r, d(5), vec![a], SimTime::ZERO, "b");
+        assert_eq!(s.flush(), SimTime(15));
+        assert_eq!(s.op(b).start, Some(SimTime(10)));
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("k", Capacity::Finite(4));
+        let a = s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        let b = s.submit(r, d(20), vec![a], SimTime::ZERO, "b");
+        let c = s.submit(r, d(5), vec![a], SimTime::ZERO, "c");
+        let e = s.submit(r, d(1), vec![b, c], SimTime::ZERO, "e");
+        s.flush();
+        assert_eq!(s.op(e).start, Some(SimTime(30)));
+        assert_eq!(s.makespan(), SimTime(31));
+    }
+
+    #[test]
+    fn tie_break_is_submission_order() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("q", Capacity::Finite(1));
+        let a = s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        let b = s.submit(r, d(10), vec![], SimTime::ZERO, "b");
+        s.flush();
+        assert!(s.op(a).start.unwrap() < s.op(b).start.unwrap());
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.flush(), SimTime::ZERO);
+        let _r = s.add_resource("q", Capacity::Finite(1));
+        assert_eq!(s.flush(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_ops() {
+        let mut s = Scheduler::new();
+        let sync = s.add_resource("sync", Capacity::Infinite);
+        let r = s.add_resource("q", Capacity::Finite(1));
+        let a = s.submit(r, d(10), vec![], SimTime::ZERO, "a");
+        let ev = s.submit(sync, d(0), vec![a], SimTime::ZERO, "event");
+        let b = s.submit(r, d(10), vec![ev], SimTime::ZERO, "b");
+        s.flush();
+        assert_eq!(s.op(ev).finish, Some(SimTime(10)));
+        assert_eq!(s.op(b).start, Some(SimTime(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_rejected() {
+        let mut s = Scheduler::new();
+        s.submit(ResourceId(3), d(1), vec![], SimTime::ZERO, "bad");
+    }
+}

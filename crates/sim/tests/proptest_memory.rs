@@ -1,0 +1,90 @@
+//! Model-based property tests for the device memory pool: an arbitrary
+//! interleaving of allocations, frees, and resizes must keep accounting
+//! exact and fail with OOM precisely when the request exceeds free space.
+
+use proptest::prelude::*;
+
+use gr_sim::MemoryPool;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Alloc(u64),
+    /// Free the i-th live allocation (modulo current count).
+    Free(usize),
+    /// Resize the i-th live allocation.
+    Resize(usize, u64),
+}
+
+fn actions() -> impl Strategy<Value = (u64, Vec<Action>)> {
+    let action = prop_oneof![
+        (0u64..2000).prop_map(Action::Alloc),
+        (0usize..16).prop_map(Action::Free),
+        ((0usize..16), 0u64..2000).prop_map(|(i, b)| Action::Resize(i, b)),
+    ];
+    (1u64..5000, prop::collection::vec(action, 0..64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn accounting_is_exact((capacity, acts) in actions()) {
+        let pool = MemoryPool::new(capacity);
+        let mut live: Vec<gr_sim::Allocation> = Vec::new();
+        let mut model_used = 0u64;
+        let mut model_peak = 0u64;
+
+        for act in acts {
+            match act {
+                Action::Alloc(bytes) => {
+                    let fits = bytes <= capacity - model_used;
+                    match pool.alloc(bytes) {
+                        Ok(a) => {
+                            prop_assert!(fits, "alloc of {bytes} should have failed");
+                            model_used += bytes;
+                            model_peak = model_peak.max(model_used);
+                            live.push(a);
+                        }
+                        Err(e) => {
+                            prop_assert!(!fits, "alloc of {bytes} should have succeeded");
+                            prop_assert_eq!(e.requested, bytes);
+                            prop_assert_eq!(e.available, capacity - model_used);
+                        }
+                    }
+                }
+                Action::Free(i) => {
+                    if !live.is_empty() {
+                        let a = live.remove(i % live.len());
+                        model_used -= a.bytes();
+                        drop(a);
+                    }
+                }
+                Action::Resize(i, bytes) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let old = live[idx].bytes();
+                        let fits = bytes <= old || bytes - old <= capacity - model_used;
+                        match live[idx].resize(bytes) {
+                            Ok(()) => {
+                                prop_assert!(fits);
+                                model_used = model_used - old + bytes;
+                                model_peak = model_peak.max(model_used);
+                            }
+                            Err(_) => {
+                                prop_assert!(!fits);
+                                prop_assert_eq!(live[idx].bytes(), old);
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(pool.used(), model_used);
+            prop_assert_eq!(pool.available(), capacity - model_used);
+            prop_assert_eq!(pool.live_allocations(), live.len() as u64);
+            prop_assert!(pool.used() <= pool.capacity());
+        }
+        prop_assert_eq!(pool.peak(), model_peak);
+        drop(live);
+        prop_assert_eq!(pool.used(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the discrete-event scheduler: for arbitrary DAGs of
+//! operations over arbitrary resources, the produced schedule must respect
+//! dependencies, never exceed any resource's capacity, and account busy
+//! time exactly.
+
+use proptest::prelude::*;
+
+use gr_sim::{Capacity, OpId, Scheduler, SimDuration, SimTime};
+
+/// A generated workload: resources with capacities, ops with (resource,
+/// duration, dep fan-in drawn from earlier ops, earliest bound).
+#[derive(Clone, Debug)]
+struct Workload {
+    capacities: Vec<u32>,
+    // (resource index, duration ns, dep indices (earlier), earliest ns)
+    ops: Vec<(usize, u64, Vec<usize>, u64)>,
+    // flush after each op index in this set (tests incremental batching)
+    flush_points: Vec<usize>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    let caps = prop::collection::vec(1u32..4, 1..4);
+    caps.prop_flat_map(|capacities| {
+        let nres = capacities.len();
+        let ops = prop::collection::vec(
+            (0..nres, 1u64..200, prop::collection::vec(0usize..1000, 0..4), 0u64..500),
+            1..60,
+        );
+        let flushes = prop::collection::vec(0usize..60, 0..4);
+        (Just(capacities), ops, flushes).prop_map(|(capacities, raw, flush_points)| {
+            let ops = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (r, d, deps, e))| {
+                    // Deps must point at strictly earlier ops.
+                    let deps = deps
+                        .into_iter()
+                        .filter_map(|x| if i > 0 { Some(x % i) } else { None })
+                        .collect();
+                    (r, d, deps, e)
+                })
+                .collect();
+            Workload {
+                capacities,
+                ops,
+                flush_points,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn schedule_is_valid(w in workload()) {
+        let mut s = Scheduler::new();
+        let rids: Vec<_> = w
+            .capacities
+            .iter()
+            .map(|&c| s.add_resource("r", Capacity::Finite(c)))
+            .collect();
+        let mut ids: Vec<OpId> = Vec::new();
+        for (i, (r, d, deps, e)) in w.ops.iter().enumerate() {
+            let dep_ids: Vec<OpId> = deps.iter().map(|&j| ids[j]).collect();
+            ids.push(s.submit(
+                rids[*r],
+                SimDuration::from_nanos(*d),
+                dep_ids,
+                SimTime(*e),
+                "op",
+            ));
+            if w.flush_points.contains(&i) {
+                s.flush();
+            }
+        }
+        let makespan = s.flush();
+
+        // 1. Every op scheduled, with finish = start + duration.
+        for (i, &id) in ids.iter().enumerate() {
+            let op = s.op(id);
+            let (start, finish) = (op.start.unwrap(), op.finish.unwrap());
+            prop_assert_eq!(finish - start, op.duration);
+            // 2. Starts respect the earliest bound.
+            prop_assert!(start >= SimTime(w.ops[i].3));
+            // 3. Starts respect dependencies.
+            for &d in &op.deps {
+                prop_assert!(start >= s.op(d).finish.unwrap());
+            }
+            prop_assert!(finish <= makespan);
+        }
+
+        // 4. Makespan is exactly the max finish.
+        let max_finish = ids.iter().map(|&id| s.op(id).finish.unwrap()).max().unwrap();
+        prop_assert_eq!(makespan, max_finish);
+
+        // 5. Capacity is never exceeded: sweep each resource's intervals.
+        for (ri, &rid) in rids.iter().enumerate() {
+            let mut events: Vec<(u64, i64)> = Vec::new();
+            let mut busy = 0u64;
+            for &id in &ids {
+                let op = s.op(id);
+                if op.resource == rid && !op.duration.is_zero() {
+                    events.push((op.start.unwrap().as_nanos(), 1));
+                    events.push((op.finish.unwrap().as_nanos(), -1));
+                    busy += op.duration.as_nanos();
+                }
+            }
+            events.sort_by_key(|&(t, delta)| (t, delta)); // finish (-1) before start (+1) at ties
+            let mut level = 0i64;
+            for (_, delta) in events {
+                level += delta;
+                prop_assert!(
+                    level <= w.capacities[ri] as i64,
+                    "resource {ri} over capacity"
+                );
+            }
+            // 6. Busy time accounts the sum of durations.
+            prop_assert_eq!(s.resource_busy(rid).as_nanos(), busy);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic(w in workload()) {
+        let run = |w: &Workload| {
+            let mut s = Scheduler::new();
+            let rids: Vec<_> = w
+                .capacities
+                .iter()
+                .map(|&c| s.add_resource("r", Capacity::Finite(c)))
+                .collect();
+            let mut ids = Vec::new();
+            for (r, d, deps, e) in &w.ops {
+                let dep_ids: Vec<OpId> = deps.iter().map(|&j| ids[j]).collect();
+                ids.push(s.submit(
+                    rids[*r],
+                    SimDuration::from_nanos(*d),
+                    dep_ids,
+                    SimTime(*e),
+                    "op",
+                ));
+            }
+            s.flush();
+            ids.iter().map(|&i| s.op(i).start.unwrap()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&w), run(&w));
+    }
+}

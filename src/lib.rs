@@ -1,0 +1,25 @@
+//! # graphreduce-repro — workspace facade
+//!
+//! Re-exports the whole GraphReduce (SC '15) reproduction so examples and
+//! cross-crate integration tests can `use graphreduce_repro::*`:
+//!
+//! * [`sim`] — the virtual accelerator substrate ([`gr_sim`]);
+//! * [`graph`] — graph containers, generators, datasets ([`gr_graph`]);
+//! * [`core`] — the GraphReduce framework itself ([`graphreduce`]);
+//! * [`algorithms`] — BFS / SSSP / PageRank / CC / SpMV / Heat
+//!   ([`gr_algorithms`]);
+//! * [`baselines`] — GraphChi-, X-Stream-, CuSha-, MapGraph-style engines
+//!   ([`gr_baselines`]).
+//!
+//! See README.md for a quickstart and DESIGN.md for the system inventory.
+
+pub use gr_algorithms as algorithms;
+pub use gr_baselines as baselines;
+pub use gr_graph as graph;
+pub use gr_sim as sim;
+pub use graphreduce as core;
+
+pub use gr_algorithms::{Bfs, Cc, Heat, PageRank, Spmv, Sssp};
+pub use gr_graph::{Dataset, EdgeList, GraphLayout};
+pub use gr_sim::Platform;
+pub use graphreduce::{GasProgram, GraphReduce, InitialFrontier, Options, RunStats};

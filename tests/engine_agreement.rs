@@ -1,0 +1,151 @@
+//! Cross-crate integration: every engine (GraphReduce + all four baselines)
+//! must produce identical results on every (dataset, algorithm) cell of the
+//! paper's evaluation matrix, at test scale, and agree with the independent
+//! classical references.
+
+use graphreduce_repro::algorithms::{reference, Bfs, Cc, PageRank, Sssp};
+use graphreduce_repro::baselines::{CuSha, GraphChi, MapGraph, XStream};
+use graphreduce_repro::core::{GraphReduce, Options};
+use graphreduce_repro::graph::{Dataset, GraphLayout};
+use graphreduce_repro::sim::Platform;
+
+const SCALE: u64 = 2048;
+
+fn source(layout: &GraphLayout) -> u32 {
+    (0..layout.num_vertices())
+        .max_by_key(|&v| layout.csr.degree(v))
+        .unwrap_or(0)
+}
+
+/// All datasets at a scale small enough for exhaustive checking.
+fn all_datasets() -> Vec<Dataset> {
+    Dataset::IN_MEMORY
+        .into_iter()
+        .chain(Dataset::OUT_OF_MEMORY)
+        .collect()
+}
+
+#[test]
+fn bfs_agrees_across_all_engines_and_datasets() {
+    let plat = Platform::paper_node();
+    let host = &plat.host;
+    for ds in all_datasets() {
+        let layout = GraphLayout::build(&ds.generate(SCALE));
+        let src = source(&layout);
+        let want = reference::bfs(&layout, src);
+        let gr = GraphReduce::new(Bfs::new(src), &layout, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
+        assert_eq!(gr.vertex_values, want, "GR bfs on {}", ds.name());
+        let chi = GraphChi::scaled(SCALE).run(&Bfs::new(src), &layout, host);
+        assert_eq!(chi.vertex_values, want, "GraphChi bfs on {}", ds.name());
+        let xs = XStream::default().run(&Bfs::new(src), &layout, host);
+        assert_eq!(xs.vertex_values, want, "X-Stream bfs on {}", ds.name());
+        let cu = CuSha::default().run(&Bfs::new(src), &layout, &plat).unwrap();
+        assert_eq!(cu.vertex_values, want, "CuSha bfs on {}", ds.name());
+        let mg = MapGraph::default().run(&Bfs::new(src), &layout, &plat).unwrap();
+        assert_eq!(mg.vertex_values, want, "MapGraph bfs on {}", ds.name());
+    }
+}
+
+#[test]
+fn sssp_agrees_with_bellman_ford_on_every_dataset() {
+    let plat = Platform::paper_node();
+    for ds in all_datasets() {
+        let layout = GraphLayout::build(&ds.generate_weighted(SCALE));
+        let src = source(&layout);
+        let want = reference::sssp(&layout, src);
+        let gr = GraphReduce::new(Sssp::new(src), &layout, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
+        assert_eq!(gr.vertex_values, want, "GR sssp on {}", ds.name());
+        let xs = XStream::default().run(&Sssp::new(src), &layout, &plat.host);
+        assert_eq!(xs.vertex_values, want, "X-Stream sssp on {}", ds.name());
+    }
+}
+
+#[test]
+fn cc_labels_are_component_minima_on_every_dataset() {
+    let plat = Platform::paper_node();
+    for ds in all_datasets() {
+        let layout = GraphLayout::build(&ds.generate(SCALE).symmetrize());
+        let gr = GraphReduce::new(Cc, &layout, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
+        reference::check_cc_labels(&layout, &gr.vertex_values);
+        let cu = CuSha::default().run(&Cc, &layout, &plat).unwrap();
+        assert_eq!(cu.vertex_values, gr.vertex_values, "CuSha cc on {}", ds.name());
+    }
+}
+
+#[test]
+fn pagerank_is_bit_identical_across_every_engine() {
+    let plat = Platform::paper_node();
+    let pr = PageRank {
+        epsilon: 1e-3,
+        max_iters: 40,
+        ..Default::default()
+    };
+    for ds in [Dataset::KronLogn20, Dataset::Orkut, Dataset::BelgiumOsm] {
+        let layout = GraphLayout::build(&ds.generate(SCALE));
+        let gr = GraphReduce::new(pr, &layout, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
+        let want = reference::pagerank_frontier(&layout, pr.damping, pr.epsilon, pr.max_iters);
+        let got: Vec<f32> = gr.vertex_values.iter().map(|v| v.rank).collect();
+        assert_eq!(got, want, "GR pr on {}", ds.name());
+        let chi = GraphChi::scaled(SCALE).run(&pr, &layout, &plat.host);
+        let chi_ranks: Vec<f32> = chi.vertex_values.iter().map(|v| v.rank).collect();
+        assert_eq!(chi_ranks, want, "GraphChi pr on {}", ds.name());
+        let mg = MapGraph::default().run(&pr, &layout, &plat).unwrap();
+        let mg_ranks: Vec<f32> = mg.vertex_values.iter().map(|v| v.rank).collect();
+        assert_eq!(mg_ranks, want, "MapGraph pr on {}", ds.name());
+    }
+}
+
+#[test]
+fn out_of_core_execution_changes_timing_not_results() {
+    // The same workload on a full-size device (resident) and on a tiny
+    // device (heavy sharding + streaming) must agree exactly while moving
+    // very different byte volumes.
+    let layout = GraphLayout::build(&Dataset::Orkut.generate(SCALE).symmetrize());
+    let resident = GraphReduce::new(Cc, &layout, Platform::paper_node(), Options::optimized())
+        .run()
+        .unwrap();
+    let streamed = GraphReduce::new(
+        Cc,
+        &layout,
+        Platform::paper_node_scaled(SCALE * 2),
+        Options::optimized(),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(resident.vertex_values, streamed.vertex_values);
+    assert!(resident.stats.all_resident);
+    assert!(!streamed.stats.all_resident);
+    assert!(streamed.stats.num_shards > resident.stats.num_shards);
+    assert!(streamed.stats.bytes_h2d > resident.stats.bytes_h2d);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let layout = GraphLayout::build(&Dataset::Uk2002.generate(SCALE));
+        let src = source(&layout);
+        let out = GraphReduce::new(
+            Bfs::new(src),
+            &layout,
+            Platform::paper_node_scaled(SCALE),
+            Options::optimized(),
+        )
+        .run()
+        .unwrap();
+        (
+            out.vertex_values,
+            out.stats.elapsed,
+            out.stats.bytes_h2d,
+            out.stats.frontier_sizes(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,122 @@
+//! Facade-level integration tests for the Section 8 future-work
+//! extensions: multi-GPU, SSD-backed out-of-host-core, incremental
+//! processing — plus the Totem-style hybrid comparator.
+
+use graphreduce_repro::algorithms::{reference, Cc, PageRank};
+use graphreduce_repro::baselines::Totem;
+use graphreduce_repro::core::{GraphReduce, MultiGraphReduce, Options, WarmStart};
+use graphreduce_repro::graph::{Dataset, EdgeList, GraphLayout};
+use graphreduce_repro::sim::Platform;
+
+const SCALE: u64 = 1024;
+
+#[test]
+fn multi_gpu_agrees_with_single_gpu_and_scales() {
+    let layout = GraphLayout::build(&Dataset::Orkut.generate(SCALE).symmetrize());
+    let plat = Platform::paper_node_scaled(SCALE);
+    let single = GraphReduce::new(Cc, &layout, plat.clone(), Options::optimized())
+        .run()
+        .unwrap();
+    let mut last = None;
+    for n in [1u32, 2, 4] {
+        let multi = MultiGraphReduce::new(Cc, &layout, plat.clone(), n).run().unwrap();
+        assert_eq!(multi.vertex_values, single.vertex_values, "{n} GPUs");
+        if let Some(prev) = last {
+            assert!(
+                multi.stats.elapsed <= prev,
+                "{n} GPUs should not be slower than {}",
+                n / 2
+            );
+        }
+        last = Some(multi.stats.elapsed);
+    }
+}
+
+#[test]
+fn ssd_tier_changes_time_not_results() {
+    let layout = GraphLayout::build(&Dataset::Cage15.generate(SCALE));
+    let pr = PageRank {
+        epsilon: 1e-3,
+        max_iters: 20,
+        ..Default::default()
+    };
+    let mut plat = Platform::paper_node_scaled(SCALE);
+    let in_ram = GraphReduce::new(pr, &layout, plat.clone(), Options::optimized())
+        .run()
+        .unwrap();
+    plat.host.mem_capacity = 1 << 20; // force the storage tier
+    let from_ssd = GraphReduce::new(pr, &layout, plat, Options::optimized())
+        .run()
+        .unwrap();
+    assert_eq!(in_ram.vertex_values, from_ssd.vertex_values);
+    assert_eq!(in_ram.stats.bytes_h2d, from_ssd.stats.bytes_h2d);
+    assert!(from_ssd.stats.elapsed > in_ram.stats.elapsed);
+}
+
+#[test]
+fn incremental_cc_tracks_edge_insertions() {
+    let mut el = Dataset::CoAuthorsDblp.generate(SCALE).symmetrize();
+    let plat = Platform::paper_node_scaled(SCALE);
+    let layout = GraphLayout::build(&el);
+    let mut state = GraphReduce::new(Cc, &layout, plat.clone(), Options::optimized())
+        .run()
+        .unwrap();
+
+    for step in 0..3 {
+        let u = (step * 37) % el.num_vertices;
+        let v = (step * 113 + el.num_vertices / 2) % el.num_vertices;
+        if u == v {
+            continue;
+        }
+        el.edges.push((u, v));
+        el.edges.push((v, u));
+        let layout = GraphLayout::build(&el);
+        let gr = GraphReduce::new(Cc, &layout, plat.clone(), Options::optimized());
+        let warm = gr
+            .run_warm(WarmStart {
+                vertex_values: state.vertex_values,
+                frontier: vec![u, v],
+            })
+            .unwrap();
+        // Incremental result must equal recomputation and the union-find
+        // ground truth.
+        reference::check_cc_labels(&layout, &warm.vertex_values);
+        let cold = gr.run().unwrap();
+        assert_eq!(warm.vertex_values, cold.vertex_values, "step {step}");
+        state = warm;
+    }
+}
+
+#[test]
+fn totem_handles_out_of_memory_graphs_but_underutilizes() {
+    let layout = GraphLayout::build(&Dataset::Nlpkkt160.generate(SCALE));
+    let plat = Platform::paper_node_scaled(SCALE);
+    let (run, split) = Totem::default().run(&Cc, &layout, &plat);
+    // Never refuses — but the device holds only part of the edge set.
+    assert!(split.gpu_fraction() < 1.0, "share {:.2}", split.gpu_fraction());
+    assert!(split.boundary_edges > 0);
+    // Same results as GraphReduce on the same graph.
+    let gr = GraphReduce::new(Cc, &layout, plat, Options::optimized())
+        .run()
+        .unwrap();
+    assert_eq!(run.vertex_values, gr.vertex_values);
+}
+
+#[test]
+fn warm_start_noop_converges_immediately() {
+    // Re-running warm with no mutation and an empty seed set terminates in
+    // zero iterations and moves almost nothing.
+    let el = EdgeList::from_edges(64, (0..63).map(|i| (i, i + 1)).collect::<Vec<_>>());
+    let layout = GraphLayout::build(&el);
+    let plat = Platform::paper_node();
+    let gr = GraphReduce::new(Cc, &layout, plat, Options::optimized());
+    let first = gr.run().unwrap();
+    let warm = gr
+        .run_warm(WarmStart {
+            vertex_values: first.vertex_values.clone(),
+            frontier: vec![],
+        })
+        .unwrap();
+    assert_eq!(warm.stats.iterations, 0);
+    assert_eq!(warm.vertex_values, first.vertex_values);
+}
