@@ -103,11 +103,9 @@ mod tests {
         // Long path: label 0 must flood hop by hop — many iterations with
         // shrinking frontier (the road-network pattern of Figure 16).
         let n = 300u32;
-        let el = gr_graph::EdgeList::from_edges(
-            n,
-            (0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(),
-        )
-        .symmetrize();
+        let el =
+            gr_graph::EdgeList::from_edges(n, (0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>())
+                .symmetrize();
         let layout = GraphLayout::build(&el);
         let out = GraphReduce::new(Cc, &layout, Platform::paper_node(), Options::optimized())
             .run()

@@ -146,8 +146,10 @@ mod tests {
         let layout = GraphLayout::build(&gen::uniform(200, 1400, 22));
         let sources = vec![3u32, 77, 150];
         let got = run(&layout, sources.clone());
-        let per_source: Vec<Vec<u32>> =
-            sources.iter().map(|&s| reference::bfs(&layout, s)).collect();
+        let per_source: Vec<Vec<u32>> = sources
+            .iter()
+            .map(|&s| reference::bfs(&layout, s))
+            .collect();
         for v in 0..200usize {
             let best = per_source.iter().map(|d| d[v]).min().unwrap();
             if best == 0 {

@@ -153,9 +153,14 @@ mod tests {
     fn identical_across_option_sets() {
         let layout = GraphLayout::build(&gen::rmat_g500(9, 4000, 34));
         let plat = Platform::paper_node_scaled(1 << 15);
-        let a = GraphReduce::new(PageRank::default(), &layout, plat.clone(), Options::optimized())
-            .run()
-            .unwrap();
+        let a = GraphReduce::new(
+            PageRank::default(),
+            &layout,
+            plat.clone(),
+            Options::optimized(),
+        )
+        .run()
+        .unwrap();
         let b = GraphReduce::new(PageRank::default(), &layout, plat, Options::unoptimized())
             .run()
             .unwrap();

@@ -139,7 +139,12 @@ pub fn sssp(layout: &GraphLayout, source: u32) -> Vec<f32> {
 
 /// Frontier-gated PageRank, sequentially (exact oracle for the GAS
 /// programs): identical formula, tolerance, and gating.
-pub fn pagerank_frontier(layout: &GraphLayout, damping: f32, epsilon: f32, max_iters: u32) -> Vec<f32> {
+pub fn pagerank_frontier(
+    layout: &GraphLayout,
+    damping: f32,
+    epsilon: f32,
+    max_iters: u32,
+) -> Vec<f32> {
     let (values, _, _) = run_gas(
         &crate::pagerank::PageRank {
             damping,
@@ -278,9 +283,8 @@ mod tests {
         let layout = GraphLayout::build(&el);
         check_cc_labels(&layout, &[0, 0, 2, 3]); // correct
         let bad = std::panic::catch_unwind(|| {
-            let layout = GraphLayout::build(
-                &gr_graph::EdgeList::from_edges(4, vec![(0, 1)]).symmetrize(),
-            );
+            let layout =
+                GraphLayout::build(&gr_graph::EdgeList::from_edges(4, vec![(0, 1)]).symmetrize());
             check_cc_labels(&layout, &[0, 1, 2, 3]);
         });
         assert!(bad.is_err());

@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn oom_on_graphs_larger_than_device() {
         let layout = GraphLayout::build(&gen::uniform(1000, 20_000, 102));
-        let err = match CuSha::default().run(&Bfs::new(0), &layout, &Platform::paper_node_scaled(1 << 16)) {
+        let err = match CuSha::default().run(
+            &Bfs::new(0),
+            &layout,
+            &Platform::paper_node_scaled(1 << 16),
+        ) {
             Err(e) => e,
             Ok(_) => panic!("graph should not fit"),
         };
@@ -146,11 +150,9 @@ mod tests {
         // Long path: frontier of 1-2 vertices, yet every iteration pays the
         // full shard pass — CuSha's road-network weakness.
         let n = 256u32;
-        let el = gr_graph::EdgeList::from_edges(
-            n,
-            (0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .symmetrize();
+        let el =
+            gr_graph::EdgeList::from_edges(n, (0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .symmetrize();
         let layout = GraphLayout::build(&el);
         let run = CuSha::default()
             .run(&Bfs::new(0), &layout, &Platform::paper_node())

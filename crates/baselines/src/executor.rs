@@ -97,7 +97,14 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
         }
         w.changed = changed.count();
         if program.has_scatter() {
-            scatter_shard(program, layout, &whole, &vertex_values, &mut edge_values, &changed);
+            scatter_shard(
+                program,
+                layout,
+                &whole,
+                &vertex_values,
+                &mut edge_values,
+                &changed,
+            );
         }
         let mut next = Bitmap::new(n);
         let (walked, activated) = activate_shard(layout, &whole, &changed, &mut next);

@@ -64,8 +64,8 @@ impl GraphChi {
 
     /// Shard count for a graph (the PSW `P`).
     pub fn num_shards(&self, layout: &GraphLayout) -> u64 {
-        let graph_bytes = layout.num_edges() * self.edge_record_bytes
-            + layout.num_vertices() as u64 * 8;
+        let graph_bytes =
+            layout.num_edges() * self.edge_record_bytes + layout.num_vertices() as u64 * 8;
         graph_bytes.div_ceil(self.mem_budget).max(1)
     }
 
@@ -81,9 +81,8 @@ impl GraphChi {
         let p = self.num_shards(layout);
         let mut clock = CpuClock::new();
         let mut bytes_streamed = 0u64;
-        let stream = |b: u64| {
-            SimDuration::from_secs_f64(b as f64 / (self.stream_bandwidth_gbps * 1e9))
-        };
+        let stream =
+            |b: u64| SimDuration::from_secs_f64(b as f64 / (self.stream_bandwidth_gbps * 1e9));
         for _w in &trace.iterations {
             // Per iteration: read every shard once (in-edges), read the
             // sliding out-edge windows (≈ the edge set again), and write

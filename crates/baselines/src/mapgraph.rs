@@ -155,14 +155,14 @@ mod tests {
         // Long-path BFS: MapGraph's frontier-proportional work vs CuSha's
         // full passes.
         let n = 1024u32;
-        let el = gr_graph::EdgeList::from_edges(
-            n,
-            (0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .symmetrize();
+        let el =
+            gr_graph::EdgeList::from_edges(n, (0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .symmetrize();
         let layout = GraphLayout::build(&el);
         let plat = Platform::paper_node();
-        let mg = MapGraph::default().run(&Bfs::new(0), &layout, &plat).unwrap();
+        let mg = MapGraph::default()
+            .run(&Bfs::new(0), &layout, &plat)
+            .unwrap();
         let cu = CuSha::default().run(&Bfs::new(0), &layout, &plat).unwrap();
         assert_eq!(mg.vertex_values, cu.vertex_values);
         assert!(

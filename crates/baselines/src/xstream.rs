@@ -78,9 +78,8 @@ impl XStream {
         let e = layout.num_edges();
         let mut clock = CpuClock::new();
         let mut bytes_streamed = 0u64;
-        let stream = |b: u64| {
-            SimDuration::from_secs_f64(b as f64 / (self.stream_bandwidth_gbps * 1e9))
-        };
+        let stream =
+            |b: u64| SimDuration::from_secs_f64(b as f64 / (self.stream_bandwidth_gbps * 1e9));
         for w in &trace.iterations {
             // Scatter: stream ALL edges; produce one update per in-edge of
             // an active destination (≈ edges out of the frontier on the
@@ -102,9 +101,8 @@ impl XStream {
             // read back — bucketed writes miss cache across partitions.
             let upd_bytes = updates * self.update_record_bytes * 2;
             bytes_streamed += upd_bytes;
-            let upd_time = SimDuration::from_secs_f64(
-                upd_bytes as f64 / (self.update_bandwidth_gbps * 1e9),
-            );
+            let upd_time =
+                SimDuration::from_secs_f64(upd_bytes as f64 / (self.update_bandwidth_gbps * 1e9));
             clock.charge_raw(upd_time + self.phase_overhead);
             clock.charge(
                 host,

@@ -28,9 +28,8 @@ fn scaled(d: SimDuration, iters: u64) -> Duration {
 
 /// Bench a closure that yields a simulated duration.
 fn sim_bench<F: FnMut() -> SimDuration>(c: &mut Criterion, name: &str, id: &str, mut f: F) {
-    c.benchmark_group(name).bench_function(id, |b| {
-        b.iter_custom(|iters| scaled(f(), iters))
-    });
+    c.benchmark_group(name)
+        .bench_function(id, |b| b.iter_custom(|iters| scaled(f(), iters)));
 }
 
 /// Table 2 cell: X-Stream vs CuSha, BFS on kron_g500-logn20.
@@ -68,7 +67,13 @@ fn fig4(c: &mut Criterion) {
                     let mut d = SimDuration::ZERO;
                     for _ in 0..iters {
                         d = std::hint::black_box(transfer_access_time(
-                            &p.pcie, &p.device, mode, pat, n * 8, n, 8,
+                            &p.pcie,
+                            &p.device,
+                            mode,
+                            pat,
+                            n * 8,
+                            n,
+                            8,
                         ));
                     }
                     scaled(d, iters)
@@ -121,7 +126,9 @@ fn table4(c: &mut Criterion) {
         run_cusha(Algo::Pagerank, &layout, &plat).unwrap().elapsed
     });
     sim_bench(c, "table4/kron20-pr", "mapgraph", || {
-        run_mapgraph(Algo::Pagerank, &layout, &plat).unwrap().elapsed
+        run_mapgraph(Algo::Pagerank, &layout, &plat)
+            .unwrap()
+            .elapsed
     });
 }
 

@@ -94,7 +94,9 @@ fn generators(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate/generators");
     g.throughput(Throughput::Elements(500_000));
     g.bench_function("rmat-500k", |b| b.iter(|| gen::rmat_g500(16, 500_000, 11)));
-    g.bench_function("stencil3d-500k", |b| b.iter(|| gen::stencil3d(30_000, 500_000, 11)));
+    g.bench_function("stencil3d-500k", |b| {
+        b.iter(|| gen::stencil3d(30_000, 500_000, 11))
+    });
     g.bench_function("grid2d-500k", |b| {
         b.iter(|| gen::grid2d_with_edges(400_000, 500_000, 11))
     });

@@ -17,8 +17,19 @@ fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     for bin in [
-        "table1", "table2", "fig3", "fig4", "fig5", "table3", "table4", "fig15", "fig16",
-        "fig17", "ext_multigpu", "ext_ssd", "ext_totem",
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table3",
+        "table4",
+        "fig15",
+        "fig16",
+        "fig17",
+        "ext_multigpu",
+        "ext_ssd",
+        "ext_totem",
     ] {
         println!("\n######## {bin} ########");
         let mut cmd = Command::new(dir.join(bin));

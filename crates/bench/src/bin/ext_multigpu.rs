@@ -39,19 +39,23 @@ fn main() {
                         .unwrap()
                         .stats
                 }
-                Algo::Bfs => MultiGraphReduce::new(
-                    gr_algorithms::Bfs::new(src),
-                    &layout,
-                    platform.clone(),
-                    n,
-                )
-                .run()
-                .unwrap()
-                .stats,
-                Algo::Cc => MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform.clone(), n)
+                Algo::Bfs => {
+                    MultiGraphReduce::new(
+                        gr_algorithms::Bfs::new(src),
+                        &layout,
+                        platform.clone(),
+                        n,
+                    )
                     .run()
                     .unwrap()
-                    .stats,
+                    .stats
+                }
+                Algo::Cc => {
+                    MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform.clone(), n)
+                        .run()
+                        .unwrap()
+                        .stats
+                }
                 Algo::Sssp => unreachable!(),
             };
             let base_t = *base.get_or_insert(stats.elapsed);

@@ -18,13 +18,20 @@ fn main() {
     let base_scale = scale_from_args();
     // Fixed device: the one matched to `base_scale` datasets.
     let platform = Platform::paper_node_scaled(base_scale);
-    println!("== Extension: Totem-style hybrid vs GraphReduce (device fixed at 1/{base_scale} K20c) ==");
+    println!(
+        "== Extension: Totem-style hybrid vs GraphReduce (device fixed at 1/{base_scale} K20c) =="
+    );
     println!(
         "{:>22} {:>10} {:>12} {:>14} {:>14} {:>9}",
         "kron edges", "GPU share", "boundary", "totem", "graphreduce", "GR gain"
     );
     // Grow the graph past the fixed device: 1/4x, 1x, 2x, 4x the matched size.
-    for div in [base_scale * 4, base_scale, (base_scale / 2).max(1), (base_scale / 4).max(1)] {
+    for div in [
+        base_scale * 4,
+        base_scale,
+        (base_scale / 2).max(1),
+        (base_scale / 4).max(1),
+    ] {
         let ds = Dataset::KronLogn21;
         let layout = layout_for(ds, Algo::Bfs, div.max(1));
         let src = default_source(&layout);

@@ -5,21 +5,46 @@
 //! Paper shape: BFS starts at 1, climbs to a peak, falls; PageRank and CC
 //! start with every vertex active and decay at an input-dependent rate
 //! (sharply for nlpkkt160, slowly for cage15).
+//!
+//! `--csv <path>` writes every series as `algo,graph,iteration,frontier`
+//! rows; `--report` / `--trace <path>` capture the first run (BFS on the
+//! first out-of-memory graph) as a run report / Perfetto trace.
 
-use gr_bench::{frontier_trace, layout_for, scale_from_args, Algo};
+use gr_bench::{flag_value, layout_for, run_gr_observed, scale_from_args, Algo, RunArtifacts};
 use gr_graph::Dataset;
 use gr_sim::Platform;
+use graphreduce::Options;
 
 fn main() {
     let scale = scale_from_args();
     let platform = Platform::paper_node_scaled(scale);
+    let artifacts = RunArtifacts::from_env();
+    let csv_path = flag_value("--csv");
+    let mut csv = String::from("algo,graph,iteration,frontier_size\n");
+    let mut observed_first = false;
     println!("== Figure 16: frontier dynamics on out-of-memory graphs (--scale {scale}) ==");
     for algo in [Algo::Bfs, Algo::Pagerank, Algo::Cc] {
         println!("\n--- {} ---", algo.name());
         println!("graph,iterations,series...");
         for ds in Dataset::OUT_OF_MEMORY {
             let layout = layout_for(ds, algo, scale);
-            let sizes = frontier_trace(algo, &layout, &platform);
+            let observer = if artifacts.enabled() && !observed_first {
+                artifacts.observer()
+            } else {
+                gr_observe::Observer::disabled()
+            };
+            let stats = run_gr_observed(algo, &layout, &platform, Options::optimized(), observer)
+                .expect("plan fits");
+            if artifacts.enabled() && !observed_first {
+                observed_first = true;
+                for path in artifacts.write_or_exit(Some(&stats)) {
+                    eprintln!("wrote {path} ({} {})", ds.name(), algo.name());
+                }
+            }
+            let sizes = stats.frontier_sizes();
+            for (i, s) in sizes.iter().enumerate() {
+                csv.push_str(&format!("{},{},{i},{s}\n", algo.name(), ds.name()));
+            }
             print!("{},{}", ds.name(), sizes.len());
             // Print a bounded series (every iteration up to 60, then every
             // 10th) so road-network runs stay readable.
@@ -41,6 +66,10 @@ fn main() {
                 ),
             }
         }
+    }
+    if let Some(path) = &csv_path {
+        std::fs::write(path, csv).expect("write csv");
+        eprintln!("wrote {path}");
     }
     println!("\nshape check passed: BFS seeds at 1 vertex; PageRank/CC seed at |V|.");
 }

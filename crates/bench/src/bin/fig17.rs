@@ -22,7 +22,10 @@ fn main() {
     let mut sums = [0.0f64; 3];
     for ds in Dataset::OUT_OF_MEMORY {
         print!("{:<18}", ds.name());
-        for (k, algo) in [Algo::Bfs, Algo::Pagerank, Algo::Cc].into_iter().enumerate() {
+        for (k, algo) in [Algo::Bfs, Algo::Pagerank, Algo::Cc]
+            .into_iter()
+            .enumerate()
+        {
             let layout = layout_for(ds, algo, scale);
             let stats = run_gr(algo, &layout, &platform, Options::optimized()).unwrap();
             let pct = stats.pct_iterations_below_half_max();

@@ -25,7 +25,11 @@ fn main() {
 
     let cases = [
         ("(a) cage15 - PageRank", Dataset::Cage15, Algo::Pagerank),
-        ("(b) nlpkkt160 - PageRank", Dataset::Nlpkkt160, Algo::Pagerank),
+        (
+            "(b) nlpkkt160 - PageRank",
+            Dataset::Nlpkkt160,
+            Algo::Pagerank,
+        ),
         ("(c) cage15 - BFS", Dataset::Cage15, Algo::Bfs),
         ("(d) orkut - CC", Dataset::Orkut, Algo::Cc),
     ];
@@ -43,13 +47,20 @@ fn main() {
     );
     assert_eq!(bfs[0], 1, "BFS starts with a single active vertex");
     let peak = bfs.iter().copied().max().unwrap();
-    assert!(peak > bfs[0] && peak > *bfs.last().unwrap(), "BFS frontier must rise then fall");
+    assert!(
+        peak > bfs[0] && peak > *bfs.last().unwrap(),
+        "BFS frontier must rise then fall"
+    );
 
     let nlp = frontier_trace(
         Algo::Pagerank,
         &layout_for(Dataset::Nlpkkt160, Algo::Pagerank, scale),
         &platform,
     );
-    assert_eq!(nlp[0], nlp.iter().copied().max().unwrap(), "PR starts at the peak");
+    assert_eq!(
+        nlp[0],
+        nlp.iter().copied().max().unwrap(),
+        "PR starts at the peak"
+    );
     println!("\nshape check passed: BFS rises-then-falls; PageRank/CC decay from full frontier.");
 }

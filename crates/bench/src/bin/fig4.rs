@@ -14,7 +14,10 @@ fn main() {
     let p = Platform::paper_node();
     let n = 100_000_000u64;
     println!("== Figure 4: transferring + accessing {n} doubles ==");
-    println!("{:<12} {:>18} {:>18}", "technique", "sequential (ms)", "random (ms)");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "technique", "sequential (ms)", "random (ms)"
+    );
     let modes = [
         ("explicit", TransferMode::Explicit),
         ("pinned/UVA", TransferMode::PinnedUva),
@@ -22,9 +25,23 @@ fn main() {
     ];
     let mut t = std::collections::HashMap::new();
     for (name, mode) in modes {
-        let seq = transfer_access_time(&p.pcie, &p.device, mode, AccessPattern::Sequential, n * 8, n, 8);
-        let rand = transfer_access_time(&p.pcie, &p.device, mode, AccessPattern::Random, n * 8, n, 8);
-        println!("{:<12} {:>18.3} {:>18.3}", name, seq.as_millis_f64(), rand.as_millis_f64());
+        let seq = transfer_access_time(
+            &p.pcie,
+            &p.device,
+            mode,
+            AccessPattern::Sequential,
+            n * 8,
+            n,
+            8,
+        );
+        let rand =
+            transfer_access_time(&p.pcie, &p.device, mode, AccessPattern::Random, n * 8, n, 8);
+        println!(
+            "{:<12} {:>18.3} {:>18.3}",
+            name,
+            seq.as_millis_f64(),
+            rand.as_millis_f64()
+        );
         t.insert((name, "seq"), seq);
         t.insert((name, "rand"), rand);
     }
@@ -32,5 +49,7 @@ fn main() {
     assert!(t[&("explicit", "seq")] < t[&("managed", "seq")]);
     assert!(t[&("explicit", "rand")] < t[&("managed", "rand")]);
     assert!(t[&("managed", "rand")] < t[&("pinned/UVA", "rand")]);
-    println!("\nshape check passed: pinned wins sequential, explicit wins random, pinned worst random.");
+    println!(
+        "\nshape check passed: pinned wins sequential, explicit wins random, pinned worst random."
+    );
 }

@@ -10,10 +10,13 @@
 //!     --algo sssp --file mygraph.txt --engine gr --gpus 4
 //! ```
 
-use gr_bench::{default_source, run_cusha, run_graphchi, run_mapgraph, run_xstream, Algo};
+use gr_bench::{
+    default_source, run_cusha, run_gr_observed, run_graphchi, run_mapgraph, run_xstream, Algo,
+    RunArtifacts,
+};
 use gr_graph::{Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
-use graphreduce::{GraphReduce, MultiGraphReduce, Options};
+use graphreduce::{MultiGraphReduce, Options};
 
 struct Args {
     algo: Algo,
@@ -23,15 +26,25 @@ struct Args {
     engine: String,
     optimized: bool,
     gpus: u32,
+    report: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
-         [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N]"
+         [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
+         [--report <path.json>] [--trace <path.json>]"
+    );
+    eprintln!(
+        "  --report writes the versioned run-report JSON; --trace a Chrome/Perfetto trace \
+         (both gr-engine only)"
     );
     eprintln!("datasets:");
-    for ds in Dataset::IN_MEMORY.iter().chain(Dataset::OUT_OF_MEMORY.iter()) {
+    for ds in Dataset::IN_MEMORY
+        .iter()
+        .chain(Dataset::OUT_OF_MEMORY.iter())
+    {
         eprintln!("  {}", ds.name());
     }
     std::process::exit(2);
@@ -46,6 +59,8 @@ fn parse_args() -> Args {
         engine: "gr".into(),
         optimized: true,
         gpus: 1,
+        report: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     let mut have_algo = false;
@@ -74,10 +89,22 @@ fn parse_args() -> Args {
                 }
             }
             "--file" => args.file = it.next().or_else(|| usage()),
-            "--scale" => args.scale = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--engine" => args.engine = it.next().unwrap_or_else(|| usage()),
             "--unoptimized" => args.optimized = false,
-            "--gpus" => args.gpus = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--gpus" => {
+                args.gpus = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--report" => args.report = it.next().or_else(|| usage()),
+            "--trace" => args.trace = it.next().or_else(|| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -121,38 +148,58 @@ fn main() {
         Options::unoptimized()
     };
     let src = default_source(&layout);
+    let artifacts = RunArtifacts::from_paths(args.report.clone(), args.trace.clone());
+    if artifacts.enabled() && args.engine != "gr" {
+        eprintln!("--report/--trace only instrument the gr engine; ignoring");
+    }
 
     match args.engine.as_str() {
         "gr" if args.gpus > 1 => {
+            let obs = artifacts.observer();
             let stats = match args.algo {
                 Algo::Bfs => {
-                    MultiGraphReduce::new(gr_algorithms::Bfs::new(src), &layout, platform, args.gpus)
+                    MultiGraphReduce::new(
+                        gr_algorithms::Bfs::new(src),
+                        &layout,
+                        platform,
+                        args.gpus,
+                    )
+                    .with_observer(obs)
+                    .run()
+                    .expect("plan fits")
+                    .stats
+                }
+                Algo::Cc => {
+                    MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus)
+                        .with_observer(obs)
                         .run()
                         .expect("plan fits")
                         .stats
                 }
-                Algo::Cc => MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus)
+                Algo::Sssp => {
+                    MultiGraphReduce::new(
+                        gr_algorithms::Sssp::new(src),
+                        &layout,
+                        platform,
+                        args.gpus,
+                    )
+                    .with_observer(obs)
                     .run()
                     .expect("plan fits")
-                    .stats,
-                Algo::Sssp => MultiGraphReduce::new(
-                    gr_algorithms::Sssp::new(src),
-                    &layout,
-                    platform,
-                    args.gpus,
-                )
-                .run()
-                .expect("plan fits")
-                .stats,
-                Algo::Pagerank => MultiGraphReduce::new(
-                    gr_algorithms::PageRank::default(),
-                    &layout,
-                    platform,
-                    args.gpus,
-                )
-                .run()
-                .expect("plan fits")
-                .stats,
+                    .stats
+                }
+                Algo::Pagerank => {
+                    MultiGraphReduce::new(
+                        gr_algorithms::PageRank::default(),
+                        &layout,
+                        platform,
+                        args.gpus,
+                    )
+                    .with_observer(obs)
+                    .run()
+                    .expect("plan fits")
+                    .stats
+                }
             };
             println!(
                 "graphreduce x{} GPUs: {} iterations in {} ({:.1} MB exchanged)",
@@ -161,36 +208,19 @@ fn main() {
                 stats.elapsed,
                 stats.exchange_bytes as f64 / 1e6
             );
+            // The multi-GPU engine has no single-device RunStats; the
+            // trace still captures every lane of every device.
+            for path in artifacts.write_or_exit(None) {
+                println!("wrote {path}");
+            }
         }
         "gr" => {
-            let stats = match args.algo {
-                Algo::Bfs => {
-                    GraphReduce::new(gr_algorithms::Bfs::new(src), &layout, platform, opts)
-                        .run()
-                        .expect("plan fits")
-                        .stats
-                }
-                Algo::Cc => GraphReduce::new(gr_algorithms::Cc, &layout, platform, opts)
-                    .run()
-                    .expect("plan fits")
-                    .stats,
-                Algo::Sssp => {
-                    GraphReduce::new(gr_algorithms::Sssp::new(src), &layout, platform, opts)
-                        .run()
-                        .expect("plan fits")
-                        .stats
-                }
-                Algo::Pagerank => GraphReduce::new(
-                    gr_algorithms::PageRank::default(),
-                    &layout,
-                    platform,
-                    opts,
-                )
-                .run()
-                .expect("plan fits")
-                .stats,
-            };
+            let stats = run_gr_observed(args.algo, &layout, &platform, opts, artifacts.observer())
+                .expect("plan fits");
             println!("{stats}");
+            for path in artifacts.write_or_exit(Some(&stats)) {
+                println!("wrote {path}");
+            }
         }
         "graphchi" => {
             let s = run_graphchi(args.algo, &layout, &platform, args.scale);

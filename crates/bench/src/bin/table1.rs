@@ -14,9 +14,17 @@ fn main() {
     let full = DeviceConfig::k20c();
     let scaled = DeviceConfig::k20c_scaled(scale);
 
-    println!("== Table 1: datasets (paper scale, modeled footprint vs K20c {:.1} GB) ==", full.mem_capacity as f64 / 1e9);
-    println!("{:<20} {:>12} {:>13} {:>12} {:>15}", "graph", "vertices", "edges", "size", "classification");
-    let all = Dataset::IN_MEMORY.iter().chain(Dataset::OUT_OF_MEMORY.iter());
+    println!(
+        "== Table 1: datasets (paper scale, modeled footprint vs K20c {:.1} GB) ==",
+        full.mem_capacity as f64 / 1e9
+    );
+    println!(
+        "{:<20} {:>12} {:>13} {:>12} {:>15}",
+        "graph", "vertices", "edges", "size", "classification"
+    );
+    let all = Dataset::IN_MEMORY
+        .iter()
+        .chain(Dataset::OUT_OF_MEMORY.iter());
     for &ds in all {
         let bytes = in_memory_bytes(ds.paper_vertices(), ds.paper_edges());
         println!(
@@ -25,7 +33,11 @@ fn main() {
             ds.paper_vertices(),
             ds.paper_edges(),
             bytes as f64 / 1e9,
-            if bytes > full.mem_capacity { "out-of-memory" } else { "in-memory" }
+            if bytes > full.mem_capacity {
+                "out-of-memory"
+            } else {
+                "in-memory"
+            }
         );
     }
 
@@ -34,11 +46,21 @@ fn main() {
         "== Stand-ins generated at --scale {scale} (device capacity {:.1} MB) ==",
         scaled.mem_capacity as f64 / 1e6
     );
-    println!("{:<20} {:>12} {:>13} {:>12} {:>15}", "graph", "vertices", "edges", "size", "classification");
-    for &ds in Dataset::IN_MEMORY.iter().chain(Dataset::OUT_OF_MEMORY.iter()) {
+    println!(
+        "{:<20} {:>12} {:>13} {:>12} {:>15}",
+        "graph", "vertices", "edges", "size", "classification"
+    );
+    for &ds in Dataset::IN_MEMORY
+        .iter()
+        .chain(Dataset::OUT_OF_MEMORY.iter())
+    {
         let g = ds.generate(scale);
         let bytes = in_memory_bytes(g.num_vertices as u64, g.num_edges() as u64);
-        let class = if bytes > scaled.mem_capacity { "out-of-memory" } else { "in-memory" };
+        let class = if bytes > scaled.mem_capacity {
+            "out-of-memory"
+        } else {
+            "in-memory"
+        };
         println!(
             "{:<20} {:>12} {:>13} {:>11.2}MB {:>15}",
             ds.name(),

@@ -24,7 +24,8 @@ fn main() {
     for ds in Dataset::TABLE2 {
         let layout = layout_for(ds, Algo::Bfs, scale);
         let xs = run_xstream(Algo::Bfs, &layout, &platform);
-        let cu = run_cusha(Algo::Bfs, &layout, &platform).expect("Table 2 graphs fit the full K20c");
+        let cu =
+            run_cusha(Algo::Bfs, &layout, &platform).expect("Table 2 graphs fit the full K20c");
         let ratio = xs.elapsed.as_secs_f64() / cu.elapsed.as_secs_f64();
         println!(
             "{:<20} {:>15} {:>12} {:>9}",

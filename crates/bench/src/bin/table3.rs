@@ -52,8 +52,16 @@ fn main() {
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
     println!("\n== Figures 13/14: GR speedups per (graph, algorithm) ==");
-    println!("vs GraphChi: avg {:.1}x, max {:.1}x   (paper: avg 13.4x, up to 79x)", avg(&speedups_chi), max(&speedups_chi));
-    println!("vs X-Stream: avg {:.1}x, max {:.1}x   (paper: avg 5x, up to 21x)", avg(&speedups_xs), max(&speedups_xs));
+    println!(
+        "vs GraphChi: avg {:.1}x, max {:.1}x   (paper: avg 13.4x, up to 79x)",
+        avg(&speedups_chi),
+        max(&speedups_chi)
+    );
+    println!(
+        "vs X-Stream: avg {:.1}x, max {:.1}x   (paper: avg 5x, up to 21x)",
+        avg(&speedups_xs),
+        max(&speedups_xs)
+    );
     println!("\nper-cell speedup series (Figure 13 = vs GraphChi, Figure 14 = vs X-Stream):");
     println!("graph,algorithm,vs_graphchi,vs_xstream");
     let mut i = 0;

@@ -33,7 +33,8 @@ fn main() {
             let cu = run_cusha(algo, &layout, &platform).expect("in-memory graph fits");
             let gr = run_gr(algo, &layout, &platform, Options::optimized()).unwrap();
             let best_other = mg.elapsed.min(cu.elapsed);
-            gr_worst_ratio = gr_worst_ratio.max(gr.elapsed.as_secs_f64() / best_other.as_secs_f64());
+            gr_worst_ratio =
+                gr_worst_ratio.max(gr.elapsed.as_secs_f64() / best_other.as_secs_f64());
             if gr.elapsed <= best_other {
                 gr_wins += 1;
             }

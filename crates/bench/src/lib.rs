@@ -21,8 +21,11 @@
 //! of Table 1. Absolute times are simulated-K20c virtual time, not
 //! wall-clock; the paper-vs-measured comparison lives in EXPERIMENTS.md.
 
+use std::sync::Arc;
+
 use gr_baselines::{BaselineStats, CuSha, GraphChi, MapGraph, XStream};
 use gr_graph::{Dataset, GraphLayout};
+use gr_observe::{Observer, RecordingSink};
 use gr_sim::{OutOfMemory, Platform, SimDuration};
 use graphreduce::{GraphReduce, Options, PlanError, RunStats};
 
@@ -120,19 +123,160 @@ pub fn run_gr(
                 .stats
         }
         Algo::Sssp => {
-            GraphReduce::new(gr_algorithms::Sssp::new(src), layout, platform.clone(), opts)
+            GraphReduce::new(
+                gr_algorithms::Sssp::new(src),
+                layout,
+                platform.clone(),
+                opts,
+            )
+            .run()?
+            .stats
+        }
+        Algo::Pagerank => {
+            GraphReduce::new(pagerank(), layout, platform.clone(), opts)
                 .run()?
                 .stats
         }
-        Algo::Pagerank => GraphReduce::new(pagerank(), layout, platform.clone(), opts)
-            .run()?
-            .stats,
         Algo::Cc => {
             GraphReduce::new(gr_algorithms::Cc, layout, platform.clone(), opts)
                 .run()?
                 .stats
         }
     })
+}
+
+/// [`run_gr`] with an [`Observer`] attached: spans, decisions, and
+/// metrics flow to the observer's sink during the run.
+pub fn run_gr_observed(
+    algo: Algo,
+    layout: &GraphLayout,
+    platform: &Platform,
+    opts: Options,
+    observer: Observer,
+) -> Result<RunStats, PlanError> {
+    let src = default_source(layout);
+    Ok(match algo {
+        Algo::Bfs => {
+            GraphReduce::new(gr_algorithms::Bfs::new(src), layout, platform.clone(), opts)
+                .with_observer(observer)
+                .run()?
+                .stats
+        }
+        Algo::Sssp => {
+            GraphReduce::new(
+                gr_algorithms::Sssp::new(src),
+                layout,
+                platform.clone(),
+                opts,
+            )
+            .with_observer(observer)
+            .run()?
+            .stats
+        }
+        Algo::Pagerank => {
+            GraphReduce::new(pagerank(), layout, platform.clone(), opts)
+                .with_observer(observer)
+                .run()?
+                .stats
+        }
+        Algo::Cc => {
+            GraphReduce::new(gr_algorithms::Cc, layout, platform.clone(), opts)
+                .with_observer(observer)
+                .run()?
+                .stats
+        }
+    })
+}
+
+/// Value of `--<name> <value>` anywhere on the command line.
+pub fn flag_value(name: &str) -> Option<String> {
+    let mut it = std::env::args();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next();
+        }
+    }
+    None
+}
+
+/// `--report <path>` / `--trace <path>` wiring shared by the bench
+/// binaries and examples: hands out an [`Observer`] (recording only
+/// when an artifact was requested — otherwise the engine keeps the
+/// zero-cost disabled path), then writes the requested files from the
+/// capture after the run.
+pub struct RunArtifacts {
+    pub report_path: Option<String>,
+    pub trace_path: Option<String>,
+    sink: Option<Arc<RecordingSink>>,
+    observer: Observer,
+}
+
+impl RunArtifacts {
+    /// Parse `--report` and `--trace` from the process arguments.
+    pub fn from_env() -> Self {
+        Self::from_paths(flag_value("--report"), flag_value("--trace"))
+    }
+
+    pub fn from_paths(report_path: Option<String>, trace_path: Option<String>) -> Self {
+        let (observer, sink) = if report_path.is_some() || trace_path.is_some() {
+            let (obs, sink) = Observer::recording();
+            (obs, Some(sink))
+        } else {
+            (Observer::disabled(), None)
+        };
+        RunArtifacts {
+            report_path,
+            trace_path,
+            sink,
+            observer,
+        }
+    }
+
+    /// True when any artifact was requested.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The observer to attach to the run (disabled when no artifact was
+    /// requested).
+    pub fn observer(&self) -> Observer {
+        self.observer.clone()
+    }
+
+    /// Write the requested artifacts. `stats` feeds the run report; a
+    /// trace needs only the capture. Returns the written paths.
+    pub fn write(&self, stats: Option<&RunStats>) -> std::io::Result<Vec<String>> {
+        let mut written = Vec::new();
+        let Some(sink) = &self.sink else {
+            return Ok(written);
+        };
+        let rec = sink.recorded();
+        if let Some(path) = &self.report_path {
+            match stats {
+                Some(stats) => {
+                    std::fs::write(path, graphreduce::report::run_report(stats, &rec))?;
+                    written.push(path.clone());
+                }
+                None => eprintln!(
+                    "--report needs single-device RunStats; skipping {path} (use --trace here)"
+                ),
+            }
+        }
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, gr_observe::export::chrome_trace(&rec))?;
+            written.push(path.clone());
+        }
+        Ok(written)
+    }
+
+    /// Like [`RunArtifacts::write`], but exits with a clean CLI error
+    /// instead of bubbling an `io::Error` for the caller to panic on.
+    pub fn write_or_exit(&self, stats: Option<&RunStats>) -> Vec<String> {
+        self.write(stats).unwrap_or_else(|e| {
+            eprintln!("error: failed to write --report/--trace output: {e}");
+            std::process::exit(1);
+        })
+    }
 }
 
 /// Run the GraphChi-style engine.
@@ -145,8 +289,14 @@ pub fn run_graphchi(
     let chi = GraphChi::scaled(scale);
     let src = default_source(layout);
     match algo {
-        Algo::Bfs => chi.run(&gr_algorithms::Bfs::new(src), layout, &platform.host).stats,
-        Algo::Sssp => chi.run(&gr_algorithms::Sssp::new(src), layout, &platform.host).stats,
+        Algo::Bfs => {
+            chi.run(&gr_algorithms::Bfs::new(src), layout, &platform.host)
+                .stats
+        }
+        Algo::Sssp => {
+            chi.run(&gr_algorithms::Sssp::new(src), layout, &platform.host)
+                .stats
+        }
         Algo::Pagerank => chi.run(&pagerank(), layout, &platform.host).stats,
         Algo::Cc => chi.run(&gr_algorithms::Cc, layout, &platform.host).stats,
     }
@@ -157,8 +307,14 @@ pub fn run_xstream(algo: Algo, layout: &GraphLayout, platform: &Platform) -> Bas
     let xs = XStream::default();
     let src = default_source(layout);
     match algo {
-        Algo::Bfs => xs.run(&gr_algorithms::Bfs::new(src), layout, &platform.host).stats,
-        Algo::Sssp => xs.run(&gr_algorithms::Sssp::new(src), layout, &platform.host).stats,
+        Algo::Bfs => {
+            xs.run(&gr_algorithms::Bfs::new(src), layout, &platform.host)
+                .stats
+        }
+        Algo::Sssp => {
+            xs.run(&gr_algorithms::Sssp::new(src), layout, &platform.host)
+                .stats
+        }
         Algo::Pagerank => xs.run(&pagerank(), layout, &platform.host).stats,
         Algo::Cc => xs.run(&gr_algorithms::Cc, layout, &platform.host).stats,
     }
@@ -173,8 +329,14 @@ pub fn run_cusha(
     let cu = CuSha::default();
     let src = default_source(layout);
     Ok(match algo {
-        Algo::Bfs => cu.run(&gr_algorithms::Bfs::new(src), layout, platform)?.stats,
-        Algo::Sssp => cu.run(&gr_algorithms::Sssp::new(src), layout, platform)?.stats,
+        Algo::Bfs => {
+            cu.run(&gr_algorithms::Bfs::new(src), layout, platform)?
+                .stats
+        }
+        Algo::Sssp => {
+            cu.run(&gr_algorithms::Sssp::new(src), layout, platform)?
+                .stats
+        }
         Algo::Pagerank => cu.run(&pagerank(), layout, platform)?.stats,
         Algo::Cc => cu.run(&gr_algorithms::Cc, layout, platform)?.stats,
     })
@@ -189,8 +351,14 @@ pub fn run_mapgraph(
     let mg = MapGraph::default();
     let src = default_source(layout);
     Ok(match algo {
-        Algo::Bfs => mg.run(&gr_algorithms::Bfs::new(src), layout, platform)?.stats,
-        Algo::Sssp => mg.run(&gr_algorithms::Sssp::new(src), layout, platform)?.stats,
+        Algo::Bfs => {
+            mg.run(&gr_algorithms::Bfs::new(src), layout, platform)?
+                .stats
+        }
+        Algo::Sssp => {
+            mg.run(&gr_algorithms::Sssp::new(src), layout, platform)?
+                .stats
+        }
         Algo::Pagerank => mg.run(&pagerank(), layout, platform)?.stats,
         Algo::Cc => mg.run(&gr_algorithms::Cc, layout, platform)?.stats,
     })
@@ -248,8 +416,18 @@ mod tests {
         let gr = run_gr(Algo::Bfs, &layout, &plat, Options::optimized()).unwrap();
         let chi = run_graphchi(Algo::Bfs, &layout, &plat, scale);
         let xs = run_xstream(Algo::Bfs, &layout, &plat);
-        assert!(gr.elapsed < chi.elapsed, "GR {:?} vs GraphChi {:?}", gr.elapsed, chi.elapsed);
-        assert!(gr.elapsed < xs.elapsed, "GR {:?} vs X-Stream {:?}", gr.elapsed, xs.elapsed);
+        assert!(
+            gr.elapsed < chi.elapsed,
+            "GR {:?} vs GraphChi {:?}",
+            gr.elapsed,
+            chi.elapsed
+        );
+        assert!(
+            gr.elapsed < xs.elapsed,
+            "GR {:?} vs X-Stream {:?}",
+            gr.elapsed,
+            xs.elapsed
+        );
     }
 
     #[test]
@@ -268,6 +446,9 @@ mod tests {
             speedup(SimDuration::from_millis(30), SimDuration::from_millis(10)),
             "3.0x"
         );
-        assert_eq!(speedup(SimDuration::from_millis(30), SimDuration::ZERO), "-");
+        assert_eq!(
+            speedup(SimDuration::from_millis(30), SimDuration::ZERO),
+            "-"
+        );
     }
 }

@@ -82,12 +82,7 @@ pub trait GasProgram: Sync {
     /// the (already applied) vertex value, `dst` the edge's target value.
     ///
     /// Only called when [`GasProgram::has_scatter`] is true.
-    fn scatter(
-        &self,
-        src: &Self::VertexValue,
-        dst: &Self::VertexValue,
-        edge: &mut Self::EdgeValue,
-    );
+    fn scatter(&self, src: &Self::VertexValue, dst: &Self::VertexValue, edge: &mut Self::EdgeValue);
 
     /// Whether the program defines the Gather phase. Programs without it
     /// (e.g. BFS) never pay in-edge data movement (phase elimination).

@@ -288,11 +288,11 @@ mod tests {
         let cat = catalog(&sizes(true, false, 0));
         assert!(cat
             .iter()
-            .any(|b| b.locality == Locality::Random
-                && b.phases.contains(&Phase::GatherMap)));
-        assert!(cat
-            .iter()
-            .any(|b| b.locality == Locality::Random
-                && b.phases.contains(&Phase::FrontierActivate)));
+            .any(|b| b.locality == Locality::Random && b.phases.contains(&Phase::GatherMap)));
+        assert!(
+            cat.iter()
+                .any(|b| b.locality == Locality::Random
+                    && b.phases.contains(&Phase::FrontierActivate))
+        );
     }
 }

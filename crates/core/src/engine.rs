@@ -15,7 +15,8 @@
 //! (the optimizations are pure data-movement/scheduling transformations).
 
 use gr_graph::{Bitmap, GraphLayout, Shard};
-use gr_sim::{Allocation, Gpu, KernelSpec, Platform, StreamId};
+use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
+use gr_sim::{Allocation, Gpu, KernelSpec, OpId, Platform, StreamId};
 
 use crate::api::{GasProgram, InitialFrontier};
 use crate::options::{GatherMode, Options, StreamingMode};
@@ -57,6 +58,7 @@ pub struct GraphReduce<'g, P: GasProgram> {
     layout: &'g GraphLayout,
     platform: Platform,
     opts: Options,
+    observer: Observer,
 }
 
 impl<'g, P: GasProgram> GraphReduce<'g, P> {
@@ -66,7 +68,18 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
             layout,
             platform,
             opts,
+            observer: Observer::disabled(),
         }
+    }
+
+    /// Attach a [`gr_observe::Observer`]: the run emits per-shard GAS
+    /// phase spans, iteration spans, shard-skip and phase-fusion/
+    /// elimination decisions, device op spans, and per-iteration
+    /// metrics snapshots into its sink. The default (no observer) costs
+    /// one branch per would-be event.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// The byte model derived from the program's data types and phase set.
@@ -101,8 +114,17 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
             self.opts.num_shards,
             &*self.opts.partition_logic,
         )?;
-        Runner::new(&self.program, self.layout, &self.platform, &self.opts, sizes, plan, warm)?
-            .run()
+        Runner::new(
+            &self.program,
+            self.layout,
+            &self.platform,
+            &self.opts,
+            sizes,
+            plan,
+            warm,
+            self.observer.clone(),
+        )?
+        .run()
     }
 }
 
@@ -140,13 +162,18 @@ struct Runner<'a, P: GasProgram> {
     // storage before they can cross PCIe.
     storage_read_secs_per_byte: Option<f64>,
     storage_latency: gr_sim::SimDuration,
-    // Counters.
-    skipped_copies: u64,
-    skipped_kernels: u64,
+    // Engine-level metrics (skip counters, frontier occupancy) — the
+    // single source RunStats' skip fields derive from.
+    metrics: MetricsRegistry,
+    observer: Observer,
+    // Kernel launches awaiting their resolved virtual-time window
+    // (emitted as engine-track spans after the stage synchronizes).
+    pending_kernels: Vec<(OpId, &'static str, u32, u32)>,
     iterations: Vec<IterationStats>,
 }
 
 impl<'a, P: GasProgram> Runner<'a, P> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         program: &'a P,
         layout: &'a GraphLayout,
@@ -155,8 +182,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         sizes: SizeModel,
         plan: PartitionPlan,
         warm: Option<WarmStart<P>>,
+        observer: Observer,
     ) -> Result<Self, PlanError> {
         let mut gpu = Gpu::new(platform);
+        gpu.set_observer(observer.clone());
         let n = layout.num_vertices();
         let k = plan.concurrent as usize;
 
@@ -226,8 +255,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // Out-of-host-core: if the full graph footprint exceeds host DRAM,
         // every shard fetch pays a storage read first (Section 8, future
         // work (2)).
-        let host_footprint =
-            gr_graph::in_memory_bytes(n as u64, layout.num_edges());
+        let host_footprint = gr_graph::in_memory_bytes(n as u64, layout.num_edges());
         let storage_read_secs_per_byte = (host_footprint > platform.host.mem_capacity)
             .then(|| 1.0 / (platform.storage.bandwidth_gbps * 1e9));
         let storage_latency = platform.storage.latency;
@@ -269,27 +297,109 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             storage_latency,
             skew_in,
             skew_out,
-            skipped_copies: 0,
-            skipped_kernels: 0,
+            metrics: MetricsRegistry::new(),
+            observer,
+            pending_kernels: Vec::new(),
             iterations: Vec::new(),
         })
     }
 
+    /// Record the run's static optimization decisions (made once, from
+    /// the program shape and options, not per iteration).
+    fn emit_plan_decisions(&self) {
+        if self.opts.phase_fusion {
+            self.observer.decision(|| Decision::PhaseFusion {
+                phases: "gatherMap+gatherReduce | scatter+frontierActivate",
+                rationale: "intermediates (edge updates, gather temps) stay device-resident; \
+                            scatter and activate share one out-edge copy",
+            });
+        }
+        if !self.program.has_gather() {
+            self.observer.decision(|| Decision::PhaseElimination {
+                phase: "gather",
+                rationale: "program defines no gather: in-edge sub-arrays never cross PCIe",
+            });
+        }
+        if !self.program.has_scatter() {
+            self.observer.decision(|| Decision::PhaseElimination {
+                phase: "scatter",
+                rationale: "program defines no scatter: out-edge values never move",
+            });
+        }
+    }
+
+    /// Launch a kernel and remember its op so the resolved window can
+    /// be emitted as an engine-track span after the stage barrier.
+    fn launch_tracked(&mut self, stream: StreamId, spec: &KernelSpec, iter: u32, shard: usize) {
+        let op = self.gpu.launch(stream, spec);
+        if self.observer.is_enabled() {
+            self.pending_kernels
+                .push((op, spec.label, iter, shard as u32));
+        }
+    }
+
+    /// Device barrier + emission of every pending kernel's span with
+    /// its real virtual-time window (known only after the flush).
+    fn sync_and_resolve(&mut self) {
+        self.gpu.synchronize();
+        for (op, label, iter, shard) in std::mem::take(&mut self.pending_kernels) {
+            if let Some((start, finish)) = self.gpu.op_window(op) {
+                self.observer.span(|| SpanEvent {
+                    track: "engine",
+                    lane: format!("shard {shard}"),
+                    name: label.to_string(),
+                    start_ns: start,
+                    dur_ns: finish - start,
+                    fields: vec![("iteration", iter.into()), ("shard", shard.into())],
+                });
+            }
+        }
+    }
+
     fn run(mut self) -> Result<RunResult<P>, PlanError> {
+        self.emit_plan_decisions();
         self.emit_init();
         let max_iter = self.program.max_iterations();
         let mut iter = 0u32;
         while iter < max_iter && self.frontier.count() > 0 {
+            let iter_start_ns = self.gpu.elapsed().as_nanos();
             let work = self.compute_iteration(iter);
             if self.opts.phase_fusion {
-                self.emit_fused(&work);
+                self.emit_fused(iter, &work);
             } else {
-                self.emit_unfused(&work);
+                self.emit_unfused(iter, &work);
             }
             self.finish_iteration(&work);
+            let iter_end_ns = self.gpu.elapsed().as_nanos();
+            let st = self.iterations.last().expect("pushed by compute_iteration");
+            self.observer.span(|| SpanEvent {
+                track: "engine",
+                lane: "iterations".into(),
+                name: format!("iteration {iter}"),
+                start_ns: iter_start_ns,
+                dur_ns: iter_end_ns - iter_start_ns,
+                fields: vec![
+                    ("iteration", iter.into()),
+                    ("frontier_size", st.frontier_size.into()),
+                    ("changed", st.changed.into()),
+                    ("shards_processed", st.shards_processed.into()),
+                    ("shards_skipped", st.shards_skipped.into()),
+                ],
+            });
+            let gpu_metrics = self.gpu.metrics();
+            self.observer
+                .snapshot(&format!("iteration {iter}"), || gpu_metrics.snapshot());
             iter += 1;
         }
         self.emit_finalize();
+        let gpu_metrics = self.gpu.metrics();
+        self.observer.snapshot("run", || gpu_metrics.snapshot());
+        let engine_metrics = &self.metrics;
+        self.observer
+            .snapshot("engine", || engine_metrics.snapshot());
+        // Every transfer/time/skip field below reads the device and
+        // engine metric registries — RunStats holds no counters of its
+        // own.
         let gstats = self.gpu.stats();
         let stats = RunStats {
             algorithm: self.program.name(),
@@ -301,8 +411,8 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             bytes_d2h: gstats.bytes_d2h,
             copy_ops: gstats.copy_ops,
             kernel_launches: gstats.kernel_launches,
-            skipped_shard_copies: self.skipped_copies,
-            skipped_kernel_launches: self.skipped_kernels,
+            skipped_shard_copies: self.metrics.counter("engine.skipped_shard_copies"),
+            skipped_kernel_launches: self.metrics.counter("engine.skipped_kernel_launches"),
             num_shards: self.plan.shards.len(),
             concurrent_shards: self.plan.concurrent,
             all_resident: self.resident,
@@ -344,8 +454,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
         } else {
             for (i, sh) in self.plan.shards.iter().enumerate() {
-                work[i].active_vertices =
-                    self.frontier.count_range(sh.interval.start, sh.interval.end);
+                work[i].active_vertices = self
+                    .frontier
+                    .count_range(sh.interval.start, sh.interval.end);
             }
         }
 
@@ -391,10 +502,29 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
 
         let processed = if self.opts.frontier_management {
+            // Log one skip decision per inactive shard: the engine
+            // inspected the shard's slice of the frontier bitmap and
+            // found no active vertex, so the whole shard is elided
+            // this iteration. One decision == one shard counted in
+            // `shards_skipped`.
+            for (i, sh) in self.plan.shards.iter().enumerate() {
+                if !work[i].is_active() {
+                    let active = work[i].active_vertices;
+                    self.observer.decision(|| Decision::ShardSkip {
+                        iteration: iter,
+                        shard: i as u32,
+                        interval_bits: sh.interval.len() as u64,
+                        active_bits: active,
+                    });
+                }
+            }
             work.iter().filter(|w| w.is_active()).count() as u32
         } else {
             num_shards as u32
         };
+        self.metrics.observe("engine.frontier_size", frontier_size);
+        self.metrics
+            .observe("engine.active_shards", processed as u64);
         self.iterations.push(IterationStats {
             frontier_size,
             gathered_edges: work.iter().map(|w| w.active_in_edges).sum(),
@@ -450,8 +580,8 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
         if let Some(per_byte) = self.storage_read_secs_per_byte {
             let bytes: u64 = bufs.iter().map(|b| b.0).sum();
-            let dur = self.storage_latency
-                + gr_sim::SimDuration::from_secs_f64(bytes as f64 * per_byte);
+            let dur =
+                self.storage_latency + gr_sim::SimDuration::from_secs_f64(bytes as f64 * per_byte);
             self.gpu.stall(stream, dur, "ssd.read");
         }
         if self.opts.streaming_mode == StreamingMode::ZeroCopySequential {
@@ -644,7 +774,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     /// Optimized pipeline: fusion + elimination collapse each iteration
     /// into (at most) a gather stage, an apply stage, and a
     /// scatter+activate stage, each copying a shard's data once.
-    fn emit_fused(&mut self, work: &[ShardWork]) {
+    fn emit_fused(&mut self, iter: u32, work: &[ShardWork]) {
         let shards = self.plan.shards.clone();
         // Stage A: gather (eliminated entirely for gather-less programs —
         // no in-edge movement, no kernels).
@@ -653,9 +783,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 let w = &work[i];
                 if self.opts.frontier_management && !w.is_active() {
                     if !self.in_cached[i] {
-                        self.skipped_copies += 1;
+                        self.metrics.inc("engine.skipped_shard_copies", 1);
                     }
-                    self.skipped_kernels += 2;
+                    self.metrics.inc("engine.skipped_kernel_launches", 2);
                     continue;
                 }
                 let stream = self.stream_for(i);
@@ -667,33 +797,36 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     }
                 }
                 for spec in self.gather_specs(i, w) {
-                    self.gpu.launch(stream, &spec);
+                    self.launch_tracked(stream, &spec, iter, i);
                 }
             }
-            self.gpu.synchronize();
+            self.sync_and_resolve();
         }
 
         // Stage B: apply (fused with gather's residency: temps never move).
         for (i, _sh) in shards.iter().enumerate() {
             let w = &work[i];
             if self.opts.frontier_management && !w.is_active() {
-                self.skipped_kernels += 1;
+                self.metrics.inc("engine.skipped_kernel_launches", 1);
                 continue;
             }
             let stream = self.stream_for(i);
             let spec = self.apply_spec(w);
-            self.gpu.launch(stream, &spec);
+            self.launch_tracked(stream, &spec, iter, i);
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
 
         // Stage C: scatter + FrontierActivate share one out-edge copy.
         for (i, sh) in shards.iter().enumerate() {
             let w = &work[i];
             if self.opts.frontier_management && w.out_edges_of_changed == 0 {
                 if !self.out_cached[i] {
-                    self.skipped_copies += 1;
+                    self.metrics.inc("engine.skipped_shard_copies", 1);
                 }
-                self.skipped_kernels += if self.program.has_scatter() { 2 } else { 1 };
+                self.metrics.inc(
+                    "engine.skipped_kernel_launches",
+                    if self.program.has_scatter() { 2 } else { 1 },
+                );
                 continue;
             }
             let stream = self.stream_for(i);
@@ -706,10 +839,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             if self.program.has_scatter() {
                 let spec = self.scatter_spec(i, w);
-                self.gpu.launch(stream, &spec);
+                self.launch_tracked(stream, &spec, iter, i);
             }
             let spec = self.activate_spec(i, w);
-            self.gpu.launch(stream, &spec);
+            self.launch_tracked(stream, &spec, iter, i);
             // Copy-outs: mutated edge values (unless resident — they are
             // fetched once at finalize) and the tiny frontier bitmap.
             let mut outs: Vec<Buf> = Vec::new();
@@ -722,13 +855,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             outs.push((sh.num_vertices().div_ceil(8), "frontier.bits"));
             self.copy_out(stream, &outs);
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
     }
 
     /// Unoptimized mode: five separate phases, each moving the shard data
     /// it touches in *and* out, for every shard, every iteration — the
     /// Figure 15 baseline.
-    fn emit_unfused(&mut self, work: &[ShardWork]) {
+    fn emit_unfused(&mut self, iter: u32, work: &[ShardWork]) {
         let shards = self.plan.shards.clone();
         let has_gather = self.program.has_gather();
         let has_scatter = self.program.has_scatter();
@@ -739,8 +872,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // elimination removes), per-edge update array out.
         for (i, sh) in shards.iter().enumerate() {
             if skip(self, &work[i]) {
-                self.skipped_copies += 1;
-                self.skipped_kernels += 1;
+                self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
@@ -748,20 +880,19 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             self.copy_in(stream, &bufs);
             if has_gather {
                 let specs = self.gather_specs(i, &work[i]);
-                self.gpu.launch(stream, &specs[0]);
+                self.launch_tracked(stream, &specs[0], iter, i);
             }
             let upd = self.edge_update_buf(sh);
             self.copy_out(stream, &[upd]);
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
 
         // Phase 2: gatherReduce — the per-edge update array comes back in,
         // reduced per-vertex temps go out. Fusion makes both moves vanish
         // (the array never leaves the device between the two kernels).
         for (i, sh) in shards.iter().enumerate() {
             if skip(self, &work[i]) {
-                self.skipped_copies += 1;
-                self.skipped_kernels += 1;
+                self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
@@ -769,37 +900,38 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             self.copy_in(stream, &[upd]);
             if has_gather {
                 let specs = self.gather_specs(i, &work[i]);
-                if let Some(reduce) = specs.get(1) {
-                    self.gpu.launch(stream, reduce);
+                if let Some(reduce) = specs.get(1).cloned() {
+                    self.launch_tracked(stream, &reduce, iter, i);
                 }
             }
             let t = self.gather_temp_buf(sh);
             self.copy_out(stream, &[t]);
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
 
         // Phase 3: apply — temps + vertex interval in, vertex interval out.
         for (i, sh) in shards.iter().enumerate() {
             if skip(self, &work[i]) {
-                self.skipped_copies += 1;
-                self.skipped_kernels += 1;
+                self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
-            let vbuf: Buf = (sh.num_vertices() * self.sizes.vertex_value, "apply.vertices");
+            let vbuf: Buf = (
+                sh.num_vertices() * self.sizes.vertex_value,
+                "apply.vertices",
+            );
             let t = self.gather_temp_buf(sh);
             self.copy_in(stream, &[t, vbuf]);
             let spec = self.apply_spec(&work[i]);
-            self.gpu.launch(stream, &spec);
+            self.launch_tracked(stream, &spec, iter, i);
             self.copy_out(stream, &[vbuf]);
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
 
         // Phase 4: scatter — full out-edge arrays in, values out.
         for (i, sh) in shards.iter().enumerate() {
             if skip(self, &work[i]) {
-                self.skipped_copies += 1;
-                self.skipped_kernels += 1;
+                self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
@@ -807,30 +939,33 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             self.copy_in(stream, &bufs);
             if has_scatter {
                 let spec = self.scatter_spec(i, &work[i]);
-                self.gpu.launch(stream, &spec);
-                let vals: Buf = (
-                    sh.num_out_edges() * self.sizes.edge_value,
-                    "out.value.d2h",
-                );
+                self.launch_tracked(stream, &spec, iter, i);
+                let vals: Buf = (sh.num_out_edges() * self.sizes.edge_value, "out.value.d2h");
                 self.copy_out(stream, &[vals]);
             }
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
 
         // Phase 5: FrontierActivate — out-edge topology in (again), bits out.
         for (i, sh) in shards.iter().enumerate() {
             if skip(self, &work[i]) {
-                self.skipped_copies += 1;
-                self.skipped_kernels += 1;
+                self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
             self.copy_in(stream, &[(sh.num_out_edges() * 4, "out.dst")]);
             let spec = self.activate_spec(i, &work[i]);
-            self.gpu.launch(stream, &spec);
+            self.launch_tracked(stream, &spec, iter, i);
             self.copy_out(stream, &[(sh.num_vertices().div_ceil(8), "frontier.bits")]);
         }
-        self.gpu.synchronize();
+        self.sync_and_resolve();
+    }
+
+    /// One skipped phase of the unfused pipeline: one shard copy and one
+    /// kernel launch that never happened.
+    fn skip_phase(&mut self) {
+        self.metrics.inc("engine.skipped_shard_copies", 1);
+        self.metrics.inc("engine.skipped_kernel_launches", 1);
     }
 }
 
@@ -1040,21 +1175,14 @@ mod tests {
     fn frontier_management_skips_shards_for_bfs() {
         // A long path: most shards are inactive most iterations.
         let n = 2048u32;
-        let el = gr_graph::EdgeList::from_edges(
-            n,
-            (0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(),
-        )
-        .symmetrize();
+        let el =
+            gr_graph::EdgeList::from_edges(n, (0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>())
+                .symmetrize();
         let layout = GraphLayout::build(&el);
         let plat = Platform::paper_node_scaled(1 << 16); // tiny device: many shards
-        let with = GraphReduce::new(
-            Bfs(0),
-            &layout,
-            plat.clone(),
-            Options::optimized(),
-        )
-        .run()
-        .unwrap();
+        let with = GraphReduce::new(Bfs(0), &layout, plat.clone(), Options::optimized())
+            .run()
+            .unwrap();
         let without = GraphReduce::new(
             Bfs(0),
             &layout,
@@ -1144,10 +1272,9 @@ mod tests {
         let spray = GraphReduce::new(Cc, &layout, plat.clone(), Options::optimized())
             .run()
             .unwrap();
-        let no_spray =
-            GraphReduce::new(Cc, &layout, plat, Options::optimized().with_spray(false))
-                .run()
-                .unwrap();
+        let no_spray = GraphReduce::new(Cc, &layout, plat, Options::optimized().with_spray(false))
+            .run()
+            .unwrap();
         assert_eq!(spray.vertex_values, no_spray.vertex_values);
         assert!(
             spray.stats.elapsed <= no_spray.stats.elapsed,

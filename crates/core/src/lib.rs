@@ -55,6 +55,7 @@ pub mod engine;
 pub mod multi;
 pub mod options;
 pub mod phases;
+pub mod report;
 pub mod sizes;
 pub mod stats;
 

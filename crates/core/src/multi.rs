@@ -20,6 +20,7 @@
 //! single-device engine and the sequential oracle.
 
 use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_observe::{InstantEvent, Observer, SpanEvent};
 use gr_sim::{Gpu, KernelSpec, Platform, SimDuration, StreamId};
 
 use crate::api::{GasProgram, InitialFrontier};
@@ -62,6 +63,7 @@ pub struct MultiGraphReduce<'g, P: GasProgram> {
     layout: &'g GraphLayout,
     platform: Platform,
     num_gpus: u32,
+    observer: Observer,
 }
 
 impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
@@ -71,7 +73,16 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             layout,
             platform,
             num_gpus: num_gpus.max(1),
+            observer: Observer::disabled(),
         }
+    }
+
+    /// Attach an observer. Device events are tagged per lane (`gpu0/h2d`,
+    /// `gpu1/kernel`, …); BSP barriers and iteration windows are emitted
+    /// on the `"multi"` track.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
     }
 
     fn size_model(&self) -> SizeModel {
@@ -102,9 +113,16 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         let shards = &plan.shards;
 
         let mut gpus: Vec<Gpu> = (0..ngpu).map(|_| Gpu::new(&self.platform)).collect();
+        for (d, g) in gpus.iter_mut().enumerate() {
+            g.set_observer_tagged(self.observer.clone(), format!("gpu{d}/"));
+        }
         let streams: Vec<Vec<StreamId>> = gpus
             .iter_mut()
-            .map(|g| (0..plan.concurrent as usize).map(|_| g.create_stream()).collect())
+            .map(|g| {
+                (0..plan.concurrent as usize)
+                    .map(|_| g.create_stream())
+                    .collect()
+            })
             .collect();
         // Static buffers replicated per device.
         let vbytes = n as u64 * sizes.vertex_value;
@@ -113,11 +131,14 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             let s = g.create_stream();
             g.h2d(s, vbytes, "multi.init.vertices");
         }
-        global += barrier(&mut gpus);
+        barrier_observed(&mut gpus, &mut global, "init", &self.observer);
 
         // Host master state (results computed once, exactly).
         let mut vertex_values: Vec<P::VertexValue> = (0..n)
-            .map(|v| self.program.init_vertex(v, self.layout.csr.degree(v) as u32))
+            .map(|v| {
+                self.program
+                    .init_vertex(v, self.layout.csr.degree(v) as u32)
+            })
             .collect();
         let mut edge_values = vec![P::EdgeValue::default(); self.layout.num_edges() as usize];
         let mut gather_temp = vec![self.program.gather_identity(); n as usize];
@@ -137,6 +158,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         let mut exchange_bytes = 0u64;
         let mut iter = 0u32;
         while iter < self.program.max_iterations() && frontier.count() > 0 {
+            let iter_start = global;
             // ---- exact BSP computation (once, on the host) ----
             let mut work = vec![ShardWork::default(); shards.len()];
             let mut changed = Bitmap::new(n);
@@ -219,7 +241,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                         ),
                     );
                 }
-                global += barrier(&mut gpus);
+                barrier_observed(&mut gpus, &mut global, "gather", &self.observer);
             }
             // Stage B: apply on owners.
             for (i, _sh) in shards.iter().enumerate() {
@@ -239,7 +261,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                     ),
                 );
             }
-            global += barrier(&mut gpus);
+            barrier_observed(&mut gpus, &mut global, "apply", &self.observer);
             // Stage C: scatter/activate on owners, then cross-device
             // exchange of changed vertex values + activation bits.
             for (i, sh) in shards.iter().enumerate() {
@@ -248,7 +270,11 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 }
                 let d = owner(i);
                 let stream = streams[d][i % streams[d].len()];
-                gpus[d].h2d(stream, sh.num_out_edges() * sizes.out_edge_bytes(), "multi.out-edges");
+                gpus[d].h2d(
+                    stream,
+                    sh.num_out_edges() * sizes.out_edge_bytes(),
+                    "multi.out-edges",
+                );
                 gpus[d].launch(
                     stream,
                     &KernelSpec::balanced(
@@ -286,17 +312,32 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 let d2h: u64 = total_changed.div_ceil(8);
                 gpus[0].d2h(streams[0][0], d2h, "multi.frontier.bits");
             }
-            global += barrier(&mut gpus);
+            barrier_observed(&mut gpus, &mut global, "exchange", &self.observer);
 
-            per_iteration.push(IterationStats {
+            let processed = work.iter().filter(|w| w.is_active()).count() as u32;
+            let it = IterationStats {
                 frontier_size: frontier.count(),
                 gathered_edges: work.iter().map(|w| w.active_in_edges).sum(),
                 changed: changed.count(),
                 activated,
-                shards_processed: work.iter().filter(|w| w.is_active()).count() as u32,
-                shards_skipped: (shards.len() - work.iter().filter(|w| w.is_active()).count())
-                    as u32,
+                shards_processed: processed,
+                shards_skipped: shards.len() as u32 - processed,
+            };
+            let (span_start, span_end) = (iter_start.as_nanos(), global.as_nanos());
+            self.observer.span(|| SpanEvent {
+                track: "multi",
+                lane: "iterations".to_string(),
+                name: format!("iteration {iter}"),
+                start_ns: span_start,
+                dur_ns: span_end - span_start,
+                fields: vec![
+                    ("frontier_size", it.frontier_size.into()),
+                    ("changed", it.changed.into()),
+                    ("shards_processed", it.shards_processed.into()),
+                    ("shards_skipped", it.shards_skipped.into()),
+                ],
             });
+            per_iteration.push(it);
             frontier = next;
             iter += 1;
         }
@@ -311,7 +352,11 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 .sum();
             g.d2h(streams[d][0], owned * sizes.vertex_value, "multi.final");
         }
-        global += barrier(&mut gpus);
+        barrier_observed(&mut gpus, &mut global, "final", &self.observer);
+        for (d, g) in gpus.iter().enumerate() {
+            self.observer
+                .snapshot(&format!("gpu{d}"), || g.metrics().snapshot());
+        }
 
         let stats = MultiRunStats {
             num_gpus: self.num_gpus,
@@ -341,6 +386,25 @@ fn barrier(gpus: &mut [Gpu]) -> SimDuration {
         stage = stage.max(g.elapsed() - before);
     }
     stage
+}
+
+/// [`barrier`], plus a `"multi"`-track instant marking where the aligned
+/// global clock lands after the stage.
+fn barrier_observed(
+    gpus: &mut [Gpu],
+    global: &mut SimDuration,
+    stage: &'static str,
+    observer: &Observer,
+) {
+    *global += barrier(gpus);
+    let at = global.as_nanos();
+    observer.instant(|| InstantEvent {
+        track: "multi",
+        lane: "barriers".to_string(),
+        name: format!("barrier {stage}"),
+        at_ns: at,
+        fields: vec![("stage", stage.into())],
+    });
 }
 
 /// Helper to assemble one [`Shard`]'s byte volume under a size model (used
@@ -411,7 +475,9 @@ mod tests {
             .run()
             .unwrap();
         for n in [1u32, 2, 4] {
-            let multi = MultiGraphReduce::new(Cc, &l, plat.clone(), n).run().unwrap();
+            let multi = MultiGraphReduce::new(Cc, &l, plat.clone(), n)
+                .run()
+                .unwrap();
             assert_eq!(multi.vertex_values, single.vertex_values, "{n} GPUs");
             assert_eq!(multi.stats.num_gpus, n);
             assert_eq!(multi.stats.per_gpu_memcpy.len(), n as usize);
@@ -422,7 +488,9 @@ mod tests {
     fn more_gpus_reduce_wall_time_on_streaming_runs() {
         let l = layout();
         let plat = Platform::paper_node_scaled(1 << 14); // heavy sharding
-        let one = MultiGraphReduce::new(Cc, &l, plat.clone(), 1).run().unwrap();
+        let one = MultiGraphReduce::new(Cc, &l, plat.clone(), 1)
+            .run()
+            .unwrap();
         let four = MultiGraphReduce::new(Cc, &l, plat, 4).run().unwrap();
         assert!(
             four.stats.elapsed < one.stats.elapsed,
@@ -431,17 +499,65 @@ mod tests {
             one.stats.elapsed
         );
         assert!(four.stats.exchange_bytes > 0, "exchange traffic expected");
-        assert_eq!(one.stats.exchange_bytes, 0, "single device exchanges nothing");
+        assert_eq!(
+            one.stats.exchange_bytes, 0,
+            "single device exchanges nothing"
+        );
     }
 
     #[test]
     fn scaling_is_sublinear_because_of_exchange() {
         let l = layout();
         let plat = Platform::paper_node_scaled(1 << 14);
-        let one = MultiGraphReduce::new(Cc, &l, plat.clone(), 1).run().unwrap();
+        let one = MultiGraphReduce::new(Cc, &l, plat.clone(), 1)
+            .run()
+            .unwrap();
         let eight = MultiGraphReduce::new(Cc, &l, plat, 8).run().unwrap();
         let speedup = one.stats.elapsed.as_secs_f64() / eight.stats.elapsed.as_secs_f64();
         assert!(speedup > 1.0 && speedup < 8.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn observer_tags_devices_and_marks_barriers() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let (obs, sink) = Observer::recording();
+        let res = MultiGraphReduce::new(Cc, &l, plat, 2)
+            .with_observer(obs)
+            .run()
+            .unwrap();
+        let rec = sink.recorded();
+        // Every device's sim lanes carry its tag.
+        assert!(rec
+            .spans
+            .iter()
+            .any(|s| s.track == "sim" && s.lane.starts_with("gpu0/")));
+        assert!(rec
+            .spans
+            .iter()
+            .any(|s| s.track == "sim" && s.lane.starts_with("gpu1/")));
+        // BSP barriers and iteration windows land on the multi track.
+        let barriers = rec
+            .instants
+            .iter()
+            .filter(|i| i.track == "multi" && i.lane == "barriers")
+            .count();
+        // init + final + (gather, apply, exchange) per iteration.
+        assert_eq!(barriers as u32, 2 + 3 * res.stats.iterations);
+        let iters = rec
+            .spans
+            .iter()
+            .filter(|s| s.track == "multi" && s.lane == "iterations")
+            .count() as u32;
+        assert_eq!(iters, res.stats.iterations);
+        // One end-of-run metrics snapshot per device.
+        assert_eq!(
+            rec.snapshots
+                .iter()
+                .filter(|(scope, _)| scope.starts_with("gpu"))
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -454,7 +570,12 @@ mod tests {
         let multi = MultiGraphReduce::new(Cc, &l, plat, 3).run().unwrap();
         assert_eq!(multi.stats.iterations, single.stats.iterations);
         let s: Vec<u64> = single.stats.frontier_sizes();
-        let m: Vec<u64> = multi.stats.per_iteration.iter().map(|i| i.frontier_size).collect();
+        let m: Vec<u64> = multi
+            .stats
+            .per_iteration
+            .iter()
+            .map(|i| i.frontier_size)
+            .collect();
         assert_eq!(s, m);
     }
 }

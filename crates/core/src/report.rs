@@ -1,0 +1,286 @@
+//! Machine-readable run artifacts: a versioned JSON run report and the
+//! CSV tables behind the paper's figures.
+//!
+//! The report is a superset of [`RunStats`]: everything the `Display`
+//! impl prints, plus the per-iteration trace, a summary of the
+//! engine's recorded [`Decision`]s, and the end-of-run metrics
+//! snapshots — one self-describing JSON document per run, stable under
+//! `report_version`. The CSV exporters produce exactly the series the
+//! paper's evaluation figures plot (Figure 15's memcpy table, Figure
+//! 16/17's frontier dynamics), so regenerating a figure is a run plus
+//! a plot script, not a parse of log text.
+
+use gr_observe::export::snapshot_body;
+use gr_observe::{json, Decision, Recorded};
+
+use crate::stats::RunStats;
+
+/// Format version stamped into every report. Bump when a field changes
+/// meaning or disappears; adding fields is compatible.
+pub const REPORT_VERSION: u32 = 1;
+
+/// The versioned run report: `RunStats` and its derived metrics, the
+/// per-iteration trace, decision summary, and every non-per-iteration
+/// metrics snapshot the observer captured (scopes like `"run"`,
+/// `"engine"`, `"gpu0"`).
+pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"report_version\": {REPORT_VERSION},\n"));
+    out.push_str(&format!(
+        "  \"algorithm\": {},\n",
+        json::string(stats.algorithm)
+    ));
+    out.push_str(&format!("  \"iterations\": {},\n", stats.iterations));
+    out.push_str(&format!(
+        "  \"elapsed_ns\": {},\n",
+        stats.elapsed.as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"memcpy_time_ns\": {},\n",
+        stats.memcpy_time.as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"kernel_time_ns\": {},\n",
+        stats.kernel_time.as_nanos()
+    ));
+    out.push_str(&format!("  \"bytes_h2d\": {},\n", stats.bytes_h2d));
+    out.push_str(&format!("  \"bytes_d2h\": {},\n", stats.bytes_d2h));
+    out.push_str(&format!("  \"copy_ops\": {},\n", stats.copy_ops));
+    out.push_str(&format!(
+        "  \"kernel_launches\": {},\n",
+        stats.kernel_launches
+    ));
+    out.push_str(&format!(
+        "  \"skipped_shard_copies\": {},\n",
+        stats.skipped_shard_copies
+    ));
+    out.push_str(&format!(
+        "  \"skipped_kernel_launches\": {},\n",
+        stats.skipped_kernel_launches
+    ));
+    out.push_str(&format!("  \"num_shards\": {},\n", stats.num_shards));
+    out.push_str(&format!(
+        "  \"concurrent_shards\": {},\n",
+        stats.concurrent_shards
+    ));
+    out.push_str(&format!("  \"all_resident\": {},\n", stats.all_resident));
+    out.push_str(&format!("  \"max_frontier\": {},\n", stats.max_frontier()));
+    out.push_str(&format!(
+        "  \"pct_iterations_below_half_max\": {},\n",
+        json::number(stats.pct_iterations_below_half_max())
+    ));
+    out.push_str(&format!(
+        "  \"memcpy_share\": {},\n",
+        json::number(stats.memcpy_share())
+    ));
+
+    let iters: Vec<String> = stats
+        .per_iteration
+        .iter()
+        .enumerate()
+        .map(|(i, it)| {
+            format!(
+                "    {{\"iteration\":{i},\"frontier_size\":{},\"gathered_edges\":{},\
+                 \"changed\":{},\"activated\":{},\"shards_processed\":{},\"shards_skipped\":{}}}",
+                it.frontier_size,
+                it.gathered_edges,
+                it.changed,
+                it.activated,
+                it.shards_processed,
+                it.shards_skipped
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"per_iteration\": [\n{}\n  ],\n",
+        iters.join(",\n")
+    ));
+
+    let plan: Vec<String> = rec
+        .decisions
+        .iter()
+        .filter_map(|d| match d {
+            Decision::PhaseFusion { phases, rationale } => Some(format!(
+                "      {{\"kind\":\"phase_fusion\",\"phases\":{},\"rationale\":{}}}",
+                json::string(phases),
+                json::string(rationale)
+            )),
+            Decision::PhaseElimination { phase, rationale } => Some(format!(
+                "      {{\"kind\":\"phase_elimination\",\"phase\":{},\"rationale\":{}}}",
+                json::string(phase),
+                json::string(rationale)
+            )),
+            Decision::ShardSkip { .. } => None,
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"decisions\": {{\"shard_skips\": {}, \"plan\": [\n{}\n    ]}},\n",
+        rec.shard_skips(),
+        plan.join(",\n")
+    ));
+
+    let snaps: Vec<String> = rec
+        .snapshots
+        .iter()
+        .filter(|(scope, _)| !scope.starts_with("iteration"))
+        .map(|(scope, snap)| format!("    {}: {{{}}}", json::string(scope), snapshot_body(snap)))
+        .collect();
+    out.push_str(&format!(
+        "  \"snapshots\": {{\n{}\n  }}\n",
+        snaps.join(",\n")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Figure 16/17 series: one row per iteration of one run.
+pub fn frontier_csv(stats: &RunStats) -> String {
+    let mut out = String::from(
+        "iteration,frontier_size,gathered_edges,changed,activated,shards_processed,shards_skipped\n",
+    );
+    for (i, it) in stats.per_iteration.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{},{},{},{},{}\n",
+            it.frontier_size,
+            it.gathered_edges,
+            it.changed,
+            it.activated,
+            it.shards_processed,
+            it.shards_skipped
+        ));
+    }
+    out
+}
+
+/// Figure 15 table: one row per `(graph, algorithm, variant)` run, with
+/// the memcpy/kernel split and transfer volumes the figure compares.
+pub fn memcpy_csv<'a>(rows: impl IntoIterator<Item = (&'a str, &'a str, &'a RunStats)>) -> String {
+    let mut out = String::from(
+        "graph,algo,variant,elapsed_ms,memcpy_ms,kernel_ms,memcpy_share,bytes_h2d,bytes_d2h\n",
+    );
+    for (graph, variant, s) in rows {
+        out.push_str(&format!(
+            "{graph},{},{variant},{:.3},{:.3},{:.3},{:.4},{},{}\n",
+            s.algorithm,
+            s.elapsed.as_millis_f64(),
+            s.memcpy_time.as_millis_f64(),
+            s.kernel_time.as_millis_f64(),
+            s.memcpy_share(),
+            s.bytes_h2d,
+            s.bytes_d2h
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IterationStats;
+    use gr_observe::{MetricsRegistry, Observer};
+    use gr_sim::SimDuration;
+
+    fn stats() -> RunStats {
+        RunStats {
+            algorithm: "bfs",
+            iterations: 2,
+            elapsed: SimDuration::from_micros(10),
+            memcpy_time: SimDuration::from_micros(6),
+            kernel_time: SimDuration::from_micros(3),
+            bytes_h2d: 1000,
+            bytes_d2h: 200,
+            copy_ops: 4,
+            kernel_launches: 6,
+            skipped_shard_copies: 1,
+            skipped_kernel_launches: 2,
+            num_shards: 2,
+            concurrent_shards: 2,
+            all_resident: false,
+            per_iteration: vec![
+                IterationStats {
+                    frontier_size: 1,
+                    gathered_edges: 3,
+                    changed: 2,
+                    activated: 2,
+                    shards_processed: 1,
+                    shards_skipped: 1,
+                },
+                IterationStats {
+                    frontier_size: 2,
+                    gathered_edges: 5,
+                    changed: 0,
+                    activated: 0,
+                    shards_processed: 2,
+                    shards_skipped: 0,
+                },
+            ],
+        }
+    }
+
+    fn recorded() -> Recorded {
+        let (obs, sink) = Observer::recording();
+        obs.decision(|| Decision::ShardSkip {
+            iteration: 0,
+            shard: 1,
+            interval_bits: 64,
+            active_bits: 0,
+        });
+        obs.decision(|| Decision::PhaseElimination {
+            phase: "scatter",
+            rationale: "program defines no scatter",
+        });
+        let mut m = MetricsRegistry::new();
+        m.inc("h2d.bytes", 1000);
+        obs.snapshot("run", || m.snapshot());
+        obs.snapshot("iteration 0", || m.snapshot());
+        sink.recorded()
+    }
+
+    #[test]
+    fn report_is_versioned_and_complete() {
+        let rep = run_report(&stats(), &recorded());
+        assert!(rep.contains("\"report_version\": 1"));
+        assert!(rep.contains("\"algorithm\": \"bfs\""));
+        assert!(rep.contains("\"elapsed_ns\": 10000"));
+        assert!(rep.contains("\"shard_skips\": 1"));
+        assert!(rep.contains("\"phase_elimination\""));
+        assert!(rep.contains("\"frontier_size\":1"));
+        // Snapshots: run-level in, per-iteration filtered out.
+        assert!(rep.contains("\"run\": {\"counters\":{\"h2d.bytes\":1000}"));
+        assert!(!rep.contains("\"iteration 0\""));
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        // Reuse the exporter's escaping; validate with a quick paren/
+        // brace balance plus a parse through the jsonl test helper is
+        // not available here, so check structural invariants instead.
+        let rep = run_report(&stats(), &recorded());
+        assert_eq!(
+            rep.matches('{').count(),
+            rep.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(rep.matches('[').count(), rep.matches(']').count());
+        assert!(!rep.contains(",]") && !rep.contains(",}"));
+    }
+
+    #[test]
+    fn frontier_csv_has_one_row_per_iteration() {
+        let csv = frontier_csv(&stats());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "0,1,3,2,2,1,1");
+        assert_eq!(lines[2], "1,2,5,0,0,2,0");
+    }
+
+    #[test]
+    fn memcpy_csv_rows() {
+        let s = stats();
+        let csv = memcpy_csv([("cage15", "optimized", &s), ("cage15", "unoptimized", &s)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("cage15,bfs,optimized,"));
+        assert!(lines[1].contains(",0.6000,1000,200"));
+    }
+}

@@ -41,8 +41,7 @@ impl SizeModel {
     /// changed, next).
     pub fn static_bytes(&self, num_vertices: u64) -> u64 {
         let bitmaps = 3 * num_vertices.div_ceil(8);
-        num_vertices
-            * (self.vertex_value + if self.has_gather { self.gather } else { 0 } + 24)
+        num_vertices * (self.vertex_value + if self.has_gather { self.gather } else { 0 } + 24)
             + bitmaps
     }
 
@@ -71,12 +70,7 @@ impl SizeModel {
     /// always needs the out-edge records (Section 5.3) — plus the mutable
     /// value when the program scatters.
     pub fn out_edge_bytes(&self) -> u64 {
-        12 + 8
-            + if self.has_scatter {
-                self.edge_value
-            } else {
-                0
-            }
+        12 + 8 + if self.has_scatter { self.edge_value } else { 0 }
     }
 
     /// Full streaming footprint of one shard (Equation (2)'s `B` with
@@ -169,7 +163,15 @@ pub fn plan_partition(
     requested_k: u32,
     override_p: Option<usize>,
 ) -> Result<PartitionPlan, PlanError> {
-    plan_partition_with(layout, sizes, device, pcie, requested_k, override_p, &EvenEdgePartition)
+    plan_partition_with(
+        layout,
+        sizes,
+        device,
+        pcie,
+        requested_k,
+        override_p,
+        &EvenEdgePartition,
+    )
 }
 
 /// [`plan_partition`] with an explicit partition-logic plug-in (Section
@@ -199,7 +201,16 @@ pub fn plan_partition_with(
     // can still run with fewer shards in flight.
     let mut last_err = None;
     for k in (1..=k_wanted).rev() {
-        match try_plan(layout, sizes, device.mem_capacity, budget, k, override_p, logic, v) {
+        match try_plan(
+            layout,
+            sizes,
+            device.mem_capacity,
+            budget,
+            k,
+            override_p,
+            logic,
+            v,
+        ) {
             Ok(plan) => return Ok(plan),
             Err(e) => last_err = Some(e),
         }
@@ -221,14 +232,18 @@ fn try_plan(
     let static_bytes = sizes.static_bytes(v);
     let slot = budget / k as u64;
 
-    let total_stream: u64 = layout.num_edges() * (sizes.in_edge_bytes() + sizes.out_edge_bytes())
-        + v.div_ceil(8) * 2;
+    let total_stream: u64 =
+        layout.num_edges() * (sizes.in_edge_bytes() + sizes.out_edge_bytes()) + v.div_ceil(8) * 2;
 
     let mut p = override_p.unwrap_or_else(|| total_stream.div_ceil(slot.max(1)).max(1) as usize);
     loop {
         let intervals = logic.partition(layout, p);
         let shards = gr_graph::build_shards(layout, &intervals);
-        let max_shard_bytes = shards.iter().map(|s| sizes.shard_bytes(s)).max().unwrap_or(0);
+        let max_shard_bytes = shards
+            .iter()
+            .map(|s| sizes.shard_bytes(s))
+            .max()
+            .unwrap_or(0);
         if max_shard_bytes <= slot || override_p.is_some() {
             let mut k = k;
             if max_shard_bytes > slot && override_p.is_some() {
@@ -247,8 +262,7 @@ fn try_plan(
             // accounting), not the current program's possibly-eliminated
             // working set: the paper's out-of-memory datasets stream on
             // every algorithm, including gather-less BFS.
-            let full_footprint =
-                gr_graph::in_memory_bytes(v, layout.num_edges());
+            let full_footprint = gr_graph::in_memory_bytes(v, layout.num_edges());
             let total: u64 = shards.iter().map(|s| sizes.shard_bytes(s)).sum();
             let all_resident = total <= budget && full_footprint <= capacity;
             return Ok(PartitionPlan {
@@ -317,8 +331,10 @@ mod tests {
         let p = Platform::paper_node_scaled(4096);
         let g = layout();
         let plan = plan_partition(&g, &sizes(), &p.device, &p.pcie, 2, None).unwrap();
-        assert!(plan.max_shard_bytes * plan.concurrent as u64 + plan.static_bytes
-            <= p.device.mem_capacity);
+        assert!(
+            plan.max_shard_bytes * plan.concurrent as u64 + plan.static_bytes
+                <= p.device.mem_capacity
+        );
         assert!(!plan.shards.is_empty());
     }
 

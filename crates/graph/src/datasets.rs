@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn generators_hit_exact_counts() {
-        for ds in Dataset::IN_MEMORY
-            .into_iter()
-            .chain([Dataset::DelaunayN13])
-        {
+        for ds in Dataset::IN_MEMORY.into_iter().chain([Dataset::DelaunayN13]) {
             let g = ds.generate(256);
             assert_eq!(g.num_edges() as u64, ds.edges(256), "{}", ds.name());
             assert!(g.num_vertices >= ds.vertices(256), "{}", ds.name());

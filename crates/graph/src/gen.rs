@@ -103,8 +103,7 @@ fn sample_indices(total: usize, take: usize, r: &mut impl RngExt) -> Vec<u32> {
 /// (a sampled road sub-network with the same |V|, |E| as the target).
 pub fn grid2d_with_edges(num_vertices: u32, num_edges: u64, seed: u64) -> EdgeList {
     assert!(num_vertices >= 2, "need at least two vertices");
-    let v_used = (num_edges / 4)
-        .clamp(2, num_vertices as u64) as u32;
+    let v_used = (num_edges / 4).clamp(2, num_vertices as u64) as u32;
     let w = (v_used as f64).sqrt().ceil() as u32;
     let h = v_used.div_ceil(w.max(1)).max(1);
     let id = |x: u32, y: u32| y * w + x;
@@ -458,7 +457,12 @@ mod tests {
         let g = preferential(2000, 3, 13);
         let mut deg = g.out_degrees();
         deg.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(deg[0] > 3 * deg[1000], "hub degree {} vs median {}", deg[0], deg[1000]);
+        assert!(
+            deg[0] > 3 * deg[1000],
+            "hub degree {} vs median {}",
+            deg[0],
+            deg[1000]
+        );
     }
 
     #[test]

@@ -118,10 +118,7 @@ pub fn partition_even_edges(layout: &GraphLayout, max_shards: usize) -> Vec<Inte
             if remaining_shards == 0 {
                 break;
             }
-            out.push(Interval {
-                start,
-                end: v + 1,
-            });
+            out.push(Interval { start, end: v + 1 });
             produced += 1;
             start = v + 1;
             next_boundary = total * (produced + 1) / shards;
@@ -159,7 +156,10 @@ pub fn validate_partition(intervals: &[Interval], num_vertices: u32) -> Result<(
     }
     let last = intervals.last().unwrap();
     if last.end != num_vertices {
-        return Err(format!("last interval ends at {} != {num_vertices}", last.end));
+        return Err(format!(
+            "last interval ends at {} != {num_vertices}",
+            last.end
+        ));
     }
     Ok(())
 }

@@ -99,7 +99,11 @@ impl GraphStats {
             isolated_vertices: isolated,
             degree_skew: skew,
             bfs_eccentricity: ecc,
-            bfs_coverage: if n == 0 { 0.0 } else { reached as f64 / n as f64 },
+            bfs_coverage: if n == 0 {
+                0.0
+            } else {
+                reached as f64 / n as f64
+            },
         }
     }
 }

@@ -6,8 +6,8 @@ use std::collections::HashSet;
 use proptest::prelude::*;
 
 use gr_graph::{
-    build_shards, validate_partition, Bitmap, EdgeList, EvenEdgePartition,
-    EvenVertexPartition, GraphLayout, PartitionLogic,
+    build_shards, validate_partition, Bitmap, EdgeList, EvenEdgePartition, EvenVertexPartition,
+    GraphLayout, PartitionLogic,
 };
 
 fn edge_list() -> impl Strategy<Value = EdgeList> {

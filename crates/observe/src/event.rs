@@ -1,0 +1,154 @@
+//! Typed event and decision records.
+//!
+//! Timestamps are virtual nanoseconds (`u64`), matching `gr-sim`'s
+//! `SimTime::as_nanos()`; this crate deliberately has no dependency on
+//! the simulator so it can sit below every other crate.
+
+/// A typed key/value attachment on an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// An interval on a timeline: a kernel execution, a copy, a whole
+/// BSP iteration. Grouped by `track` (subsystem) and `lane` (timeline
+/// within the subsystem); lanes are chosen so spans on one lane never
+/// overlap unless they nest.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Subsystem: `"sim"` (hardware resources), `"engine"` (GAS
+    /// phases per shard), `"multi"` (per-GPU BSP lanes).
+    pub track: &'static str,
+    /// Timeline within the track: a resource name, `"shard 3"`, ...
+    pub lane: String,
+    /// What happened, e.g. `"gatherMap"` or `"h2d"`.
+    pub name: String,
+    /// Start in virtual nanoseconds.
+    pub start_ns: u64,
+    /// Duration in virtual nanoseconds.
+    pub dur_ns: u64,
+    /// Typed attachments (iteration, shard, bytes, ...).
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A point on a timeline: an OOM rejection, a BSP barrier release.
+#[derive(Clone, Debug)]
+pub struct InstantEvent {
+    pub track: &'static str,
+    pub lane: String,
+    pub name: String,
+    /// Timestamp in virtual nanoseconds.
+    pub at_ns: u64,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A dynamic choice made by the engine, recorded with enough context
+/// to audit it after the run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Frontier management skipped a shard: none of the vertices in
+    /// its interval were active this iteration.
+    ShardSkip {
+        iteration: u32,
+        shard: u32,
+        /// Frontier bits inspected (= vertices in the shard interval).
+        interval_bits: u64,
+        /// Bits found set (always 0 for a skip; recorded for audit).
+        active_bits: u64,
+    },
+    /// The scheduler fused GAS phases into one launch sequence
+    /// instead of materializing intermediates between them.
+    PhaseFusion {
+        /// Human-readable fusion grouping, e.g.
+        /// `"gatherMap+gatherReduce+apply"`.
+        phases: &'static str,
+        rationale: &'static str,
+    },
+    /// A phase was eliminated entirely for this program.
+    PhaseElimination {
+        phase: &'static str,
+        rationale: &'static str,
+    },
+}
+
+impl Decision {
+    /// True for dynamic-frontier shard skips (the per-iteration,
+    /// per-shard decisions; fusion/elimination are per-run).
+    pub fn is_shard_skip(&self) -> bool {
+        matches!(self, Decision::ShardSkip { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u32), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+    }
+
+    #[test]
+    fn decision_classification() {
+        let skip = Decision::ShardSkip {
+            iteration: 1,
+            shard: 2,
+            interval_bits: 64,
+            active_bits: 0,
+        };
+        assert!(skip.is_shard_skip());
+        let fuse = Decision::PhaseFusion {
+            phases: "apply+scatter",
+            rationale: "r",
+        };
+        assert!(!fuse.is_shard_skip());
+    }
+}

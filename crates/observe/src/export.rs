@@ -1,0 +1,492 @@
+//! Exporters over a [`Recorded`] capture: a JSONL event stream and a
+//! Chrome/Perfetto trace. Both are pure functions from records to
+//! `String`; callers decide where the bytes go.
+
+use crate::event::{Decision, InstantEvent, SpanEvent};
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::sink::Recorded;
+
+/// One JSON object per line: every span, instant, decision, and
+/// metrics snapshot, in emission order within each kind. Suitable for
+/// `grep`/`jq` pipelines and append-only log files.
+pub fn jsonl(rec: &Recorded) -> String {
+    let mut out = String::new();
+    for s in &rec.spans {
+        out.push_str(&span_line(s));
+        out.push('\n');
+    }
+    for i in &rec.instants {
+        out.push_str(&instant_line(i));
+        out.push('\n');
+    }
+    for d in &rec.decisions {
+        out.push_str(&decision_line(d));
+        out.push('\n');
+    }
+    for (scope, snap) in &rec.snapshots {
+        out.push_str(&snapshot_line(scope, snap));
+        out.push('\n');
+    }
+    out
+}
+
+fn fields_json(fields: &[(&'static str, crate::FieldValue)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!(",{}:{}", json::string(k), json::field_value(v)))
+        .collect()
+}
+
+fn span_line(s: &SpanEvent) -> String {
+    format!(
+        "{{\"type\":\"span\",\"track\":{},\"lane\":{},\"name\":{},\"start_ns\":{},\"dur_ns\":{}{}}}",
+        json::string(s.track),
+        json::string(&s.lane),
+        json::string(&s.name),
+        s.start_ns,
+        s.dur_ns,
+        fields_json(&s.fields)
+    )
+}
+
+fn instant_line(i: &InstantEvent) -> String {
+    format!(
+        "{{\"type\":\"instant\",\"track\":{},\"lane\":{},\"name\":{},\"at_ns\":{}{}}}",
+        json::string(i.track),
+        json::string(&i.lane),
+        json::string(&i.name),
+        i.at_ns,
+        fields_json(&i.fields)
+    )
+}
+
+fn decision_line(d: &Decision) -> String {
+    match d {
+        Decision::ShardSkip {
+            iteration,
+            shard,
+            interval_bits,
+            active_bits,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"shard_skip\",\"iteration\":{iteration},\
+             \"shard\":{shard},\"interval_bits\":{interval_bits},\"active_bits\":{active_bits}}}"
+        ),
+        Decision::PhaseFusion { phases, rationale } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"phase_fusion\",\"phases\":{},\"rationale\":{}}}",
+            json::string(phases),
+            json::string(rationale)
+        ),
+        Decision::PhaseElimination { phase, rationale } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"phase_elimination\",\"phase\":{},\"rationale\":{}}}",
+            json::string(phase),
+            json::string(rationale)
+        ),
+    }
+}
+
+fn snapshot_line(scope: &str, snap: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"type\":\"snapshot\",\"scope\":{},{}}}",
+        json::string(scope),
+        snapshot_body(snap)
+    )
+}
+
+/// The `counters`/`gauges`/`histograms` members of a snapshot object
+/// (without surrounding braces), shared with the run-report exporter.
+pub fn snapshot_body(snap: &MetricsSnapshot) -> String {
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json::string(k), v))
+        .collect();
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json::string(k), json::number(*v)))
+        .collect();
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(lb, c)| format!("[{lb},{c}]"))
+                .collect();
+            format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                json::string(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                buckets.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}",
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Chrome trace (the `chrome://tracing` / Perfetto JSON format), with
+/// one *process* per track (`sim`, `engine`, `multi`) and one *thread*
+/// per lane, so resource timelines and GAS-phase timelines load as
+/// separate named groups in one unified view. Spans become complete
+/// (`"X"`) events, instants become instant (`"i"`) events; timestamps
+/// convert from virtual nanoseconds to the format's microseconds.
+pub fn chrome_trace(rec: &Recorded) -> String {
+    let mut tracks: Vec<&'static str> = Vec::new();
+    let mut lanes: Vec<(usize, String)> = Vec::new(); // (pid, lane) -> index = tid order
+    let mut events: Vec<String> = Vec::new();
+
+    let mut ids = |track: &'static str, lane: &str| -> (usize, usize) {
+        let pid = match tracks.iter().position(|t| *t == track) {
+            Some(p) => p,
+            None => {
+                tracks.push(track);
+                tracks.len() - 1
+            }
+        };
+        let tid = match lanes
+            .iter()
+            .filter(|(p, _)| *p == pid)
+            .position(|(_, l)| l == lane)
+        {
+            Some(t) => t,
+            None => {
+                let t = lanes.iter().filter(|(p, _)| *p == pid).count();
+                lanes.push((pid, lane.to_string()));
+                t
+            }
+        };
+        (pid, tid)
+    };
+
+    for s in &rec.spans {
+        let (pid, tid) = ids(s.track, &s.lane);
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+             \"args\":{{{}}}}}",
+            json::string(&s.name),
+            pid,
+            tid,
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            args_json(&s.fields)
+        ));
+    }
+    for i in &rec.instants {
+        let (pid, tid) = ids(i.track, &i.lane);
+        events.push(format!(
+            "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\
+             \"args\":{{{}}}}}",
+            json::string(&i.name),
+            pid,
+            tid,
+            i.at_ns as f64 / 1e3,
+            args_json(&i.fields)
+        ));
+    }
+
+    // Metadata first so viewers name processes/threads before events.
+    let mut meta: Vec<String> = Vec::new();
+    for (pid, track) in tracks.iter().enumerate() {
+        meta.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":{}}}}}",
+            pid,
+            json::string(track)
+        ));
+        meta.push(format!(
+            "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\
+             \"args\":{{\"sort_index\":{pid}}}}}"
+        ));
+    }
+    let mut tid_within = vec![0usize; tracks.len()];
+    for (pid, lane) in &lanes {
+        let tid = tid_within[*pid];
+        tid_within[*pid] += 1;
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+             \"args\":{{\"name\":{}}}}}",
+            pid,
+            tid,
+            json::string(lane)
+        ));
+    }
+
+    let mut all = meta;
+    all.extend(events);
+    format!("{{\"traceEvents\":[{}]}}", all.join(","))
+}
+
+fn args_json(fields: &[(&'static str, crate::FieldValue)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json::string(k), json::field_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+    use crate::metrics::MetricsRegistry;
+    use crate::sink::Observer;
+
+    fn span(track: &'static str, lane: &str, name: &str, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            track,
+            lane: lane.into(),
+            name: name.into(),
+            start_ns: start,
+            dur_ns: dur,
+            fields: vec![("iteration", FieldValue::U64(0))],
+        }
+    }
+
+    /// Minimal JSON parser for validity checks (no serde offline).
+    mod jsonck {
+        pub fn valid(s: &str) -> bool {
+            let b = s.as_bytes();
+            let mut i = 0;
+            value(b, &mut i) && {
+                skip_ws(b, &mut i);
+                i == b.len()
+            }
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> bool {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => lit(b, i, b"true"),
+                Some(b'f') => lit(b, i, b"false"),
+                Some(b'n') => lit(b, i, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                _ => false,
+            }
+        }
+
+        fn lit(b: &[u8], i: &mut usize, l: &[u8]) -> bool {
+            if b[*i..].starts_with(l) {
+                *i += l.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> bool {
+            let start = *i;
+            if b.get(*i) == Some(&b'-') {
+                *i += 1;
+            }
+            while *i < b.len() && (b[*i].is_ascii_digit() || b"+-.eE".contains(&b[*i])) {
+                *i += 1;
+            }
+            *i > start
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> bool {
+            *i += 1; // opening quote
+            while *i < b.len() {
+                match b[*i] {
+                    b'"' => {
+                        *i += 1;
+                        return true;
+                    }
+                    b'\\' => *i += 2,
+                    0x00..=0x1f => return false, // raw control char
+                    _ => *i += 1,
+                }
+            }
+            false
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> bool {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return true;
+            }
+            loop {
+                if !value(b, i) {
+                    return false;
+                }
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> bool {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return true;
+            }
+            loop {
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b'"') || !string(b, i) {
+                    return false;
+                }
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return false;
+                }
+                *i += 1;
+                if !value(b, i) {
+                    return false;
+                }
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+
+        #[test]
+        fn parser_sanity() {
+            assert!(valid(r#"{"a":[1,2.5,"x\"y",true,null],"b":{}}"#));
+            assert!(!valid(r#"{"a":}"#));
+            assert!(!valid(r#"[1,2"#));
+            assert!(!valid("{\"a\":\"\n\"}")); // raw newline in string
+        }
+    }
+
+    #[test]
+    fn empty_capture_exports_valid_empty_trace() {
+        let rec = Recorded::default();
+        let trace = chrome_trace(&rec);
+        assert_eq!(trace, "{\"traceEvents\":[]}");
+        assert!(jsonck::valid(&trace));
+        assert_eq!(jsonl(&rec), "");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_escaped_labels() {
+        let mut rec = Recorded::default();
+        rec.spans.push(SpanEvent {
+            track: "sim",
+            lane: "gpu.copy\"h2d\"".into(),
+            name: "copy \\ back".into(),
+            start_ns: 1500,
+            dur_ns: 500,
+            fields: vec![("label", FieldValue::Str("a\"b".into()))],
+        });
+        let trace = chrome_trace(&rec);
+        assert!(jsonck::valid(&trace), "invalid JSON: {trace}");
+        assert!(trace.contains(r#""name":"copy \\ back""#));
+        assert!(trace.contains(r#"copy\"h2d\""#));
+        // ns → µs with three decimals.
+        assert!(trace.contains("\"ts\":1.500"));
+        assert!(trace.contains("\"dur\":0.500"));
+    }
+
+    #[test]
+    fn chrome_trace_separates_tracks_and_lanes() {
+        let mut rec = Recorded::default();
+        rec.spans.push(span("sim", "gpu.kernel", "apply", 0, 10));
+        rec.spans.push(span("sim", "pcie.h2d", "h2d", 0, 10));
+        rec.spans
+            .push(span("engine", "iterations", "iteration 0", 0, 20));
+        rec.spans.push(span("engine", "shard 0", "gatherMap", 0, 5));
+        rec.instants.push(InstantEvent {
+            track: "engine",
+            lane: "shard 0".into(),
+            name: "skip".into(),
+            at_ns: 7,
+            fields: vec![],
+        });
+        let trace = chrome_trace(&rec);
+        assert!(jsonck::valid(&trace), "invalid JSON: {trace}");
+        // Two processes, named.
+        assert!(trace.contains(r#""process_name","ph":"M","pid":0,"args":{"name":"sim"}"#));
+        assert!(trace.contains(r#""process_name","ph":"M","pid":1,"args":{"name":"engine"}"#));
+        // Lanes get distinct tids within their track, shared across
+        // span and instant events.
+        assert!(trace.contains(
+            r#""name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"pcie.h2d"}"#
+        ));
+        assert!(trace.contains(
+            r#""name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"shard 0"}"#
+        ));
+        assert!(trace.contains(r#""name":"skip","ph":"i","s":"t","pid":1,"tid":1"#));
+    }
+
+    #[test]
+    fn nested_engine_spans_share_a_lane() {
+        // An iteration span and a phase span on the same lane nest by
+        // containment (same tid, phase inside iteration window).
+        let mut rec = Recorded::default();
+        rec.spans
+            .push(span("engine", "shard 1", "shard window", 0, 100));
+        rec.spans
+            .push(span("engine", "shard 1", "gatherMap", 10, 20));
+        let trace = chrome_trace(&rec);
+        assert!(jsonck::valid(&trace));
+        let tid0 = trace.matches("\"tid\":0").count();
+        // metadata + both X events all on tid 0 of pid 0.
+        assert_eq!(tid0, 3);
+    }
+
+    #[test]
+    fn jsonl_lines_are_individually_valid() {
+        let (obs, sink) = Observer::recording();
+        obs.span(|| span("engine", "shard 0", "apply", 5, 5));
+        obs.decision(|| Decision::ShardSkip {
+            iteration: 2,
+            shard: 3,
+            interval_bits: 128,
+            active_bits: 0,
+        });
+        obs.decision(|| Decision::PhaseFusion {
+            phases: "gatherMap+gatherReduce+apply",
+            rationale: "intermediates stay on-device",
+        });
+        let mut m = MetricsRegistry::new();
+        m.inc("h2d.bytes", 42);
+        m.observe("h2d.size_bytes", 42);
+        obs.snapshot("run", || m.snapshot());
+        let rec = sink.recorded();
+        let out = jsonl(&rec);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(jsonck::valid(line), "invalid JSONL line: {line}");
+        }
+        assert!(lines[1].contains("\"kind\":\"shard_skip\""));
+        assert!(lines[1].contains("\"interval_bits\":128"));
+        assert!(lines[3].contains("\"scope\":\"run\""));
+        assert!(lines[3].contains("\"h2d.bytes\":42"));
+        assert!(lines[3].contains("\"buckets\":[[32,1]]"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal hand-rolled JSON writing helpers (the workspace builds
+//! offline, so no serde). Only what the exporters need: escaping,
+//! quoted strings, and float formatting that round-trips cleanly.
+
+use crate::event::FieldValue;
+
+/// Escape a string for inclusion inside JSON quotes: backslash,
+/// double quote, and control characters.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A JSON number for an `f64` (finite values; non-finite become null,
+/// which JSON has no other spelling for).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 never prints an exponent for ordinary magnitudes
+        // and always round-trips; ensure integral floats stay numbers
+        // with a decimal point so consumers see a float type.
+        if s.contains('.') || s.contains('e') || s.contains('-') && s.ends_with("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render a [`FieldValue`] as a JSON value.
+pub fn field_value(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(n) => n.to_string(),
+        FieldValue::F64(f) => number(*f),
+        FieldValue::Str(s) => string(s),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+        assert_eq!(string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3.0");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn field_values_render() {
+        assert_eq!(field_value(&FieldValue::U64(7)), "7");
+        assert_eq!(field_value(&FieldValue::Bool(false)), "false");
+        assert_eq!(field_value(&FieldValue::Str("a\"b".into())), "\"a\\\"b\"");
+    }
+}

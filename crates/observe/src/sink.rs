@@ -1,0 +1,209 @@
+//! The [`Sink`] consumer trait, the cheap-to-pass [`Observer`] handle,
+//! and the in-memory [`RecordingSink`] used by exporters and tests.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::event::{Decision, InstantEvent, SpanEvent};
+use crate::metrics::MetricsSnapshot;
+
+/// Consumer of observability records. Methods take `&self` so one sink
+/// can be shared by every component of a run; implementations handle
+/// their own synchronization.
+pub trait Sink: Send + Sync {
+    fn span(&self, ev: &SpanEvent);
+    fn instant(&self, ev: &InstantEvent);
+    fn decision(&self, d: &Decision);
+    /// Metrics snapshot at a named scope (`"iteration 3"`, `"run"`).
+    fn snapshot(&self, _scope: &str, _snap: &MetricsSnapshot) {}
+}
+
+/// Cheap, cloneable handle the instrumented crates hold. Disabled by
+/// default: every emit method takes a *closure*, so with no sink
+/// attached the event is never constructed — the cost is one branch.
+#[derive(Clone, Default)]
+pub struct Observer {
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl Observer {
+    /// The no-op observer (same as `Observer::default()`).
+    pub fn disabled() -> Self {
+        Observer { sink: None }
+    }
+
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Observer { sink: Some(sink) }
+    }
+
+    /// Convenience: an observer wired to a fresh in-memory recorder.
+    pub fn recording() -> (Self, Arc<RecordingSink>) {
+        let sink = Arc::new(RecordingSink::default());
+        (Observer::new(sink.clone()), sink)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    #[inline]
+    pub fn span(&self, build: impl FnOnce() -> SpanEvent) {
+        if let Some(sink) = &self.sink {
+            sink.span(&build());
+        }
+    }
+
+    #[inline]
+    pub fn instant(&self, build: impl FnOnce() -> InstantEvent) {
+        if let Some(sink) = &self.sink {
+            sink.instant(&build());
+        }
+    }
+
+    #[inline]
+    pub fn decision(&self, build: impl FnOnce() -> Decision) {
+        if let Some(sink) = &self.sink {
+            sink.decision(&build());
+        }
+    }
+
+    #[inline]
+    pub fn snapshot(&self, scope: &str, build: impl FnOnce() -> MetricsSnapshot) {
+        if let Some(sink) = &self.sink {
+            sink.snapshot(scope, &build());
+        }
+    }
+}
+
+/// Everything a [`RecordingSink`] captured, in emission order.
+#[derive(Clone, Debug, Default)]
+pub struct Recorded {
+    pub spans: Vec<SpanEvent>,
+    pub instants: Vec<InstantEvent>,
+    pub decisions: Vec<Decision>,
+    pub snapshots: Vec<(String, MetricsSnapshot)>,
+}
+
+impl Recorded {
+    /// Shard-skip decisions only (the per-iteration frontier calls).
+    pub fn shard_skips(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_shard_skip()).count()
+    }
+}
+
+/// In-memory sink: records everything for later export or assertions.
+#[derive(Default)]
+pub struct RecordingSink {
+    inner: Mutex<Recorded>,
+}
+
+impl RecordingSink {
+    /// Clone out everything recorded so far.
+    pub fn recorded(&self) -> Recorded {
+        self.lock().clone()
+    }
+
+    /// Move everything recorded so far out, leaving the sink empty.
+    pub fn take(&self) -> Recorded {
+        std::mem::take(&mut *self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Recorded> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Sink for RecordingSink {
+    fn span(&self, ev: &SpanEvent) {
+        self.lock().spans.push(ev.clone());
+    }
+
+    fn instant(&self, ev: &InstantEvent) {
+        self.lock().instants.push(ev.clone());
+    }
+
+    fn decision(&self, d: &Decision) {
+        self.lock().decisions.push(d.clone());
+    }
+
+    fn snapshot(&self, scope: &str, snap: &MetricsSnapshot) {
+        self.lock()
+            .snapshots
+            .push((scope.to_string(), snap.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    #[test]
+    fn disabled_observer_never_builds_events() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        // The closures must not run: a disabled observer costs one
+        // branch and zero event construction.
+        obs.span(|| unreachable!("span built on disabled observer"));
+        obs.instant(|| unreachable!("instant built on disabled observer"));
+        obs.decision(|| unreachable!("decision built on disabled observer"));
+        obs.snapshot("run", || {
+            unreachable!("snapshot built on disabled observer")
+        });
+    }
+
+    #[test]
+    fn recording_sink_captures_in_order() {
+        let (obs, rec) = Observer::recording();
+        assert!(obs.is_enabled());
+        obs.span(|| SpanEvent {
+            track: "sim",
+            lane: "gpu.kernel".into(),
+            name: "apply".into(),
+            start_ns: 10,
+            dur_ns: 5,
+            fields: vec![("shard", FieldValue::U64(0))],
+        });
+        obs.decision(|| Decision::ShardSkip {
+            iteration: 0,
+            shard: 1,
+            interval_bits: 32,
+            active_bits: 0,
+        });
+        obs.instant(|| InstantEvent {
+            track: "sim",
+            lane: "mem".into(),
+            name: "oom".into(),
+            at_ns: 20,
+            fields: vec![],
+        });
+        let got = rec.recorded();
+        assert_eq!(got.spans.len(), 1);
+        assert_eq!(got.spans[0].name, "apply");
+        assert_eq!(got.shard_skips(), 1);
+        assert_eq!(got.instants[0].at_ns, 20);
+        // take() drains.
+        assert_eq!(rec.take().spans.len(), 1);
+        assert_eq!(rec.recorded().spans.len(), 0);
+    }
+
+    #[test]
+    fn observer_clones_share_the_sink() {
+        let (obs, rec) = Observer::recording();
+        let obs2 = obs.clone();
+        obs.instant(|| InstantEvent {
+            track: "a",
+            lane: "l".into(),
+            name: "x".into(),
+            at_ns: 0,
+            fields: vec![],
+        });
+        obs2.instant(|| InstantEvent {
+            track: "a",
+            lane: "l".into(),
+            name: "y".into(),
+            at_ns: 1,
+            fields: vec![],
+        });
+        assert_eq!(rec.recorded().instants.len(), 2);
+    }
+}

@@ -51,8 +51,8 @@ pub fn cpu_time(host: &HostConfig, threads: u32, work: &CpuWork) -> SimDuration 
         return SimDuration::ZERO;
     }
     let threads = threads.clamp(1, host.cores) as f64;
-    let compute_secs = work.items as f64 * work.ops_per_item
-        / (threads * host.clock_ghz * 1e9 * host.ipc);
+    let compute_secs =
+        work.items as f64 * work.ops_per_item / (threads * host.clock_ghz * 1e9 * host.ipc);
     let seq_secs = work.seq_bytes as f64 / (host.mem_bandwidth_gbps * 1e9);
     // Random-access MLP scales with the threads actually running, capped by
     // the socket-wide limit.

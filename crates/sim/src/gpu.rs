@@ -22,6 +22,8 @@
 //! immediately — mirroring how the real framework reads back frontier
 //! feedback after each phase.
 
+use gr_observe::{InstantEvent, MetricsRegistry, Observer, SpanEvent};
+
 use crate::config::{DeviceConfig, PcieConfig, Platform};
 use crate::kernel::{kernel_time, KernelSpec};
 use crate::memory::{Allocation, MemoryPool, OutOfMemory};
@@ -104,7 +106,15 @@ pub struct Gpu {
     streams: Vec<StreamState>,
     next_queue: usize,
     barrier: SimTime,
-    profile: Profile,
+    /// Single source of truth for transfer/launch accounting; the
+    /// [`Profile`] view and [`GpuStats`] fields derive from it.
+    metrics: MetricsRegistry,
+    observer: Observer,
+    /// Prefix for event lanes (e.g. `"gpu2/"` in multi-GPU runs).
+    lane_prefix: String,
+    /// Ops already emitted as spans (resolved ops are emitted
+    /// incrementally at each `synchronize`).
+    emitted_ops: usize,
 }
 
 impl Gpu {
@@ -144,8 +154,25 @@ impl Gpu {
             streams: Vec::new(),
             next_queue: 0,
             barrier: SimTime::ZERO,
-            profile: Profile::new(),
+            metrics: MetricsRegistry::new(),
+            observer: Observer::disabled(),
+            lane_prefix: String::new(),
+            emitted_ops: 0,
         }
+    }
+
+    /// Attach an observer: resolved device ops are emitted as `"sim"`
+    /// track spans at every `synchronize`, and OOM rejections as
+    /// instants.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
+    }
+
+    /// Attach an observer with a lane prefix, so several devices can
+    /// share one sink without colliding (lanes become `"gpu0/h2d"`…).
+    pub fn set_observer_tagged(&mut self, observer: Observer, prefix: impl Into<String>) {
+        self.observer = observer;
+        self.lane_prefix = prefix.into();
     }
 
     /// Device description this GPU was built from.
@@ -163,14 +190,44 @@ impl Gpu {
         &self.pool
     }
 
-    /// Reserve device memory; fails with OOM past capacity.
+    /// Reserve device memory; fails with OOM past capacity (emitting
+    /// an `"oom"` instant event when an observer is attached).
     pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
-        self.pool.alloc(bytes)
+        let result = self.pool.alloc(bytes);
+        if let Err(oom) = &result {
+            let at = self.barrier.as_nanos();
+            let lane = format!("{}memory", self.lane_prefix);
+            self.observer.instant(|| InstantEvent {
+                track: "sim",
+                lane,
+                name: "oom".into(),
+                at_ns: at,
+                fields: vec![
+                    ("requested", oom.requested.into()),
+                    ("available", oom.available.into()),
+                ],
+            });
+        }
+        result
     }
 
     /// Create a stream, bound round-robin to a hardware queue.
     pub fn create_stream(&mut self) -> StreamId {
-        let queue = self.queues[self.next_queue % self.queues.len()];
+        let queue_idx = self.next_queue % self.queues.len();
+        let queue = self.queues[queue_idx];
+        let stream_idx = self.streams.len();
+        let at = self.barrier.as_nanos();
+        let lane = format!("{}streams", self.lane_prefix);
+        self.observer.instant(|| InstantEvent {
+            track: "sim",
+            lane,
+            name: "stream.created".into(),
+            at_ns: at,
+            fields: vec![
+                ("stream", stream_idx.into()),
+                ("hw_queue", queue_idx.into()),
+            ],
+        });
         self.next_queue += 1;
         self.streams.push(StreamState {
             queue,
@@ -230,12 +287,46 @@ impl Gpu {
         done
     }
 
+    /// Account one copy/launch in the device registry (the single
+    /// source of truth behind [`Profile`] and [`GpuStats`]).
+    fn account(&mut self, kind: &'static str, bytes: u64, dur: SimDuration, label: &'static str) {
+        let ns = dur.as_nanos();
+        match kind {
+            "h2d" => {
+                self.metrics.inc("h2d.bytes", bytes);
+                self.metrics.inc("h2d.ops", 1);
+                self.metrics.inc("h2d.time_ns", ns);
+                self.metrics.observe("h2d.size_bytes", bytes);
+            }
+            "d2h" => {
+                self.metrics.inc("d2h.bytes", bytes);
+                self.metrics.inc("d2h.ops", 1);
+                self.metrics.inc("d2h.time_ns", ns);
+                self.metrics.observe("d2h.size_bytes", bytes);
+            }
+            _ => {
+                self.metrics.inc("kernel.launches", 1);
+                self.metrics.inc("kernel.time_ns", ns);
+                self.metrics.observe("kernel.duration_ns", ns);
+            }
+        }
+        self.metrics.inc_labeled("op.count", label, 1);
+        self.metrics.inc_labeled("op.time_ns", label, ns);
+        self.metrics.inc_labeled("op.bytes", label, bytes);
+    }
+
     /// Enqueue an async host-to-device copy of `bytes` on `stream`.
     pub fn h2d(&mut self, stream: StreamId, bytes: u64, label: &'static str) -> OpId {
         let dur = explicit_copy_time(&self.pcie, bytes);
-        self.profile.record_h2d(bytes, dur, label);
+        self.account("h2d", bytes, dur, label);
         let body = dur - self.pcie.transfer_latency;
-        self.submit(stream, self.h2d_engine, body, self.pcie.transfer_latency, label)
+        self.submit(
+            stream,
+            self.h2d_engine,
+            body,
+            self.pcie.transfer_latency,
+            label,
+        )
     }
 
     /// Enqueue zero-copy (pinned/UVA) sequential streaming of `bytes` on
@@ -246,34 +337,51 @@ impl Gpu {
     /// modeled by [`crate::xfer::transfer_access_time`] and is
     /// catastrophic.
     pub fn h2d_zero_copy(&mut self, stream: StreamId, bytes: u64, label: &'static str) -> OpId {
-        let dur = SimDuration::from_secs_f64(
-            bytes as f64 / (self.pcie.pinned_seq_bandwidth_gbps * 1e9),
-        );
-        self.profile.record_h2d(bytes, dur, label);
+        let dur =
+            SimDuration::from_secs_f64(bytes as f64 / (self.pcie.pinned_seq_bandwidth_gbps * 1e9));
+        self.account("h2d", bytes, dur, label);
         self.submit(stream, self.h2d_engine, dur, SimDuration::ZERO, label)
     }
 
     /// Enqueue an async device-to-host copy of `bytes` on `stream`.
     pub fn d2h(&mut self, stream: StreamId, bytes: u64, label: &'static str) -> OpId {
         let dur = explicit_copy_time(&self.pcie, bytes);
-        self.profile.record_d2h(bytes, dur, label);
+        self.account("d2h", bytes, dur, label);
         let body = dur - self.pcie.transfer_latency;
-        self.submit(stream, self.d2h_engine, body, self.pcie.transfer_latency, label)
+        self.submit(
+            stream,
+            self.d2h_engine,
+            body,
+            self.pcie.transfer_latency,
+            label,
+        )
     }
 
     /// Enqueue a kernel launch on `stream`; the caller performs the actual
     /// computation on the host (eagerly), this charges its simulated time.
     pub fn launch(&mut self, stream: StreamId, spec: &KernelSpec) -> OpId {
         let dur = kernel_time(&self.device, spec);
-        self.profile.record_kernel(dur, spec.label);
-        self.submit(stream, self.kernel_slots, dur, SimDuration::ZERO, spec.label)
+        self.account("kernel", 0, dur, spec.label);
+        self.submit(
+            stream,
+            self.kernel_slots,
+            dur,
+            SimDuration::ZERO,
+            spec.label,
+        )
     }
 
     /// Enqueue a fixed-duration stall on `stream` (host-side work between
     /// device operations: iteration management, result inspection, grid
     /// teardown). Occupies no engine — only the stream's ordering.
     pub fn stall(&mut self, stream: StreamId, duration: SimDuration, label: &'static str) -> OpId {
-        self.submit(stream, self.sync_resource, duration, SimDuration::ZERO, label)
+        self.submit(
+            stream,
+            self.sync_resource,
+            duration,
+            SimDuration::ZERO,
+            label,
+        )
     }
 
     /// Record an event at the current tail of `stream`.
@@ -293,6 +401,7 @@ impl Gpu {
     pub fn synchronize(&mut self) -> SimTime {
         let t = self.sched.flush();
         self.barrier = t;
+        self.emit_resolved_ops();
         // A barrier orders everything after it; clear stream tails so their
         // dependency chains don't grow without bound across iterations (the
         // `earliest = barrier` bound subsumes them).
@@ -304,14 +413,59 @@ impl Gpu {
         t
     }
 
+    /// Emit every op resolved since the last emission as a `"sim"`
+    /// track span, laned by hardware resource. Flush resolves all
+    /// submitted ops, so after a `synchronize` everything up to
+    /// `op_count` has a start/finish.
+    fn emit_resolved_ops(&mut self) {
+        if !self.observer.is_enabled() {
+            self.emitted_ops = self.sched.op_count();
+            return;
+        }
+        let from = self.emitted_ops;
+        for (_, op) in self.sched.ops().skip(from) {
+            let (Some(start), Some(finish)) = (op.start, op.finish) else {
+                continue;
+            };
+            let lane = format!(
+                "{}{}",
+                self.lane_prefix,
+                self.sched.resource_name(op.resource)
+            );
+            let name = op.label;
+            self.observer.span(|| SpanEvent {
+                track: "sim",
+                lane,
+                name: name.into(),
+                start_ns: start.as_nanos(),
+                dur_ns: finish.since(start).as_nanos(),
+                fields: Vec::new(),
+            });
+        }
+        self.emitted_ops = self.sched.op_count();
+    }
+
+    /// Resolved `(start_ns, finish_ns)` window of an op; `None` until
+    /// the op's schedule has been flushed by a `synchronize`.
+    pub fn op_window(&self, op: OpId) -> Option<(u64, u64)> {
+        let rec = self.sched.op(op);
+        Some((rec.start?.as_nanos(), rec.finish?.as_nanos()))
+    }
+
     /// Virtual time elapsed up to the last synchronization.
     pub fn elapsed(&self) -> SimDuration {
         self.barrier - SimTime::ZERO
     }
 
-    /// Execution profile counters.
-    pub fn profile(&self) -> &Profile {
-        &self.profile
+    /// Execution profile counters (a view derived from [`Gpu::metrics`]).
+    pub fn profile(&self) -> Profile {
+        Profile::from_metrics(&self.metrics)
+    }
+
+    /// The device's metrics registry: transfer/launch counters, size
+    /// and duration histograms, per-label series.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Export the device timeline as Chrome-trace JSON (see
@@ -331,10 +485,10 @@ impl Gpu {
             elapsed: self.elapsed(),
             memcpy_busy,
             kernel_busy: self.sched.resource_busy(self.kernel_slots),
-            bytes_h2d: self.profile.bytes_h2d,
-            bytes_d2h: self.profile.bytes_d2h,
-            copy_ops: self.profile.h2d_ops + self.profile.d2h_ops,
-            kernel_launches: self.profile.kernel_launches,
+            bytes_h2d: self.metrics.counter("h2d.bytes"),
+            bytes_d2h: self.metrics.counter("d2h.bytes"),
+            copy_ops: self.metrics.counter("h2d.ops") + self.metrics.counter("d2h.ops"),
+            kernel_launches: self.metrics.counter("kernel.launches"),
         }
     }
 }
@@ -498,6 +652,96 @@ mod tests {
         let cap = g.memory().capacity();
         let _a = g.alloc(cap).unwrap();
         assert!(g.alloc(1).is_err());
+    }
+
+    #[test]
+    fn observer_sees_resolved_ops_incrementally() {
+        let (obs, rec) = Observer::recording();
+        let mut g = gpu();
+        g.set_observer(obs);
+        let s = g.create_stream();
+        g.h2d(s, 1_000_000, "in");
+        g.synchronize();
+        let first = rec.recorded().spans.len();
+        // issue + copy at minimum, each exactly once.
+        assert!(first >= 2, "{first} spans after first sync");
+        // The copy appears once on the DMA engine lane (its latency
+        // tail is a separate "sync"-lane op).
+        let copies = |r: &gr_observe::Recorded| {
+            r.spans
+                .iter()
+                .filter(|sp| sp.name == "in" && sp.lane == "h2d")
+                .count()
+        };
+        assert_eq!(copies(&rec.recorded()), 1);
+        assert!(rec.recorded().spans.iter().all(|sp| sp.track == "sim"));
+        // Second iteration adds only the new ops.
+        g.launch(s, &KernelSpec::balanced("k", 1_000_000, 2.0, 8_000_000, 0));
+        g.synchronize();
+        let r = rec.recorded();
+        assert_eq!(copies(&r), 1, "old copy op re-emitted");
+        assert_eq!(r.spans.iter().filter(|sp| sp.name == "k").count(), 1);
+        let k = r.spans.iter().find(|sp| sp.name == "k").unwrap();
+        assert_eq!(k.lane, "kernels");
+        assert!(k.dur_ns > 0);
+        // Stream creation was logged as an instant with its hw queue.
+        assert!(r
+            .instants
+            .iter()
+            .any(|i| i.name == "stream.created" && i.lane == "streams"));
+    }
+
+    #[test]
+    fn observer_lane_prefix_tags_devices() {
+        let (obs, rec) = Observer::recording();
+        let mut g = gpu();
+        g.set_observer_tagged(obs, "gpu3/");
+        let s = g.create_stream();
+        g.h2d(s, 1_000, "x");
+        g.synchronize();
+        let r = rec.recorded();
+        assert!(r.spans.iter().all(|sp| sp.lane.starts_with("gpu3/")));
+    }
+
+    #[test]
+    fn oom_emits_instant_event() {
+        let (obs, rec) = Observer::recording();
+        let mut g = gpu();
+        g.set_observer(obs);
+        let cap = g.memory().capacity();
+        let _a = g.alloc(cap).unwrap();
+        assert!(g.alloc(64).is_err());
+        let r = rec.recorded();
+        let oom = r.instants.iter().find(|i| i.name == "oom").unwrap();
+        assert_eq!(oom.lane, "memory");
+        assert!(oom
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "requested" && *v == gr_observe::FieldValue::U64(64)));
+    }
+
+    #[test]
+    fn op_window_resolves_after_synchronize() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        let op = g.h2d(s, 1_000_000, "in");
+        assert!(g.op_window(op).is_none());
+        g.synchronize();
+        let (start, finish) = g.op_window(op).unwrap();
+        assert!(finish > start);
+    }
+
+    #[test]
+    fn profile_is_derived_from_metrics() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 6_000_000, "in");
+        g.d2h(s, 3_000_000, "out");
+        g.synchronize();
+        let p = g.profile();
+        assert_eq!(p.bytes_h2d, g.metrics().counter("h2d.bytes"));
+        assert_eq!(p.label("in").unwrap().bytes, 6_000_000);
+        assert_eq!(g.metrics().histogram("h2d.size_bytes").unwrap().count(), 1);
     }
 
     #[test]

@@ -104,7 +104,10 @@ mod tests {
         let t = kernel_time(&d, &KernelSpec::balanced("x", items, 0.1, 1 << 30, 0));
         let expect = (1u64 << 30) as f64 / (d.mem_bandwidth_gbps * 1e9);
         let got = (t - d.kernel_launch_overhead).as_secs_f64();
-        assert!((got - expect).abs() / expect < 0.01, "got {got}, want {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "got {got}, want {expect}"
+        );
     }
 
     #[test]
@@ -127,7 +130,10 @@ mod tests {
         let smaller = kernel_time(&d, &KernelSpec::balanced("x", 50, 10.0, 50 * 8, 0));
         let s1 = (small - d.kernel_launch_overhead).as_secs_f64();
         let s2 = (smaller - d.kernel_launch_overhead).as_secs_f64();
-        assert!((s1 - s2).abs() / s1 < 0.02, "latency-bound regime: {s1} vs {s2}");
+        assert!(
+            (s1 - s2).abs() / s1 < 0.02,
+            "latency-bound regime: {s1} vs {s2}"
+        );
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! Execution counters for the virtual accelerator.
+//! Execution counters for the virtual accelerator, derived from the
+//! device's `gr-observe` metrics registry.
 //!
 //! The paper's Section 6.2.3 analysis is driven by exactly these numbers:
 //! how much time the copy engines were busy (memcpy time), how much the
-//! compute side was busy, and how many bytes crossed PCIe. The `Gpu` facade
-//! updates a `Profile` on every submitted op; engines read it back to report
-//! Figure 15 and the "memcpy is ~95% of execution" observation.
+//! compute side was busy, and how many bytes crossed PCIe. The `Gpu`
+//! facade accounts every submitted op in its [`MetricsRegistry`]; a
+//! `Profile` is a *view* built from that single source of truth (it no
+//! longer maintains parallel hand-updated counters).
 
 use std::collections::HashMap;
+
+use gr_observe::MetricsRegistry;
 
 use crate::time::SimDuration;
 
@@ -47,35 +51,27 @@ pub struct Profile {
 }
 
 impl Profile {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub(crate) fn record_h2d(&mut self, bytes: u64, dur: SimDuration, label: &'static str) {
-        self.bytes_h2d += bytes;
-        self.h2d_ops += 1;
-        self.h2d_time += dur;
-        self.bump(label, dur, bytes);
-    }
-
-    pub(crate) fn record_d2h(&mut self, bytes: u64, dur: SimDuration, label: &'static str) {
-        self.bytes_d2h += bytes;
-        self.d2h_ops += 1;
-        self.d2h_time += dur;
-        self.bump(label, dur, bytes);
-    }
-
-    pub(crate) fn record_kernel(&mut self, dur: SimDuration, label: &'static str) {
-        self.kernel_launches += 1;
-        self.kernel_time += dur;
-        self.bump(label, dur, 0);
-    }
-
-    fn bump(&mut self, label: &'static str, dur: SimDuration, bytes: u64) {
-        let e = self.labels.entry(label).or_default();
-        e.count += 1;
-        e.total += dur;
-        e.bytes += bytes;
+    /// Build the profile view from a device metrics registry (the
+    /// counter names are the ones `Gpu` writes on every submission).
+    pub fn from_metrics(m: &MetricsRegistry) -> Self {
+        let mut labels: HashMap<&'static str, LabelStats> = HashMap::new();
+        for (label, count) in m.labels("op.count") {
+            let e = labels.entry(label).or_default();
+            e.count = count;
+            e.total = SimDuration(m.counter_labeled("op.time_ns", label));
+            e.bytes = m.counter_labeled("op.bytes", label);
+        }
+        Profile {
+            bytes_h2d: m.counter("h2d.bytes"),
+            bytes_d2h: m.counter("d2h.bytes"),
+            h2d_ops: m.counter("h2d.ops"),
+            d2h_ops: m.counter("d2h.ops"),
+            kernel_launches: m.counter("kernel.launches"),
+            h2d_time: SimDuration(m.counter("h2d.time_ns")),
+            d2h_time: SimDuration(m.counter("d2h.time_ns")),
+            kernel_time: SimDuration(m.counter("kernel.time_ns")),
+            labels,
+        }
     }
 
     /// Total memcpy work (both directions).
@@ -105,13 +101,37 @@ impl Profile {
 mod tests {
     use super::*;
 
+    /// Populate a registry exactly as `Gpu` does per op.
+    fn account(m: &mut MetricsRegistry, kind: &str, bytes: u64, ns: u64, label: &'static str) {
+        match kind {
+            "h2d" => {
+                m.inc("h2d.bytes", bytes);
+                m.inc("h2d.ops", 1);
+                m.inc("h2d.time_ns", ns);
+            }
+            "d2h" => {
+                m.inc("d2h.bytes", bytes);
+                m.inc("d2h.ops", 1);
+                m.inc("d2h.time_ns", ns);
+            }
+            _ => {
+                m.inc("kernel.launches", 1);
+                m.inc("kernel.time_ns", ns);
+            }
+        }
+        m.inc_labeled("op.count", label, 1);
+        m.inc_labeled("op.time_ns", label, ns);
+        m.inc_labeled("op.bytes", label, bytes);
+    }
+
     #[test]
     fn counters_accumulate() {
-        let mut p = Profile::new();
-        p.record_h2d(100, SimDuration(10), "in-edges");
-        p.record_h2d(200, SimDuration(20), "in-edges");
-        p.record_d2h(50, SimDuration(5), "vertices");
-        p.record_kernel(SimDuration(40), "gatherMap");
+        let mut m = MetricsRegistry::new();
+        account(&mut m, "h2d", 100, 10, "in-edges");
+        account(&mut m, "h2d", 200, 20, "in-edges");
+        account(&mut m, "d2h", 50, 5, "vertices");
+        account(&mut m, "kernel", 0, 40, "gatherMap");
+        let p = Profile::from_metrics(&m);
         assert_eq!(p.bytes_h2d, 300);
         assert_eq!(p.bytes_d2h, 50);
         assert_eq!(p.h2d_ops, 2);
@@ -128,10 +148,14 @@ mod tests {
 
     #[test]
     fn labels_sorted_by_time() {
-        let mut p = Profile::new();
-        p.record_kernel(SimDuration(5), "small");
-        p.record_kernel(SimDuration(50), "big");
-        let order: Vec<_> = p.labels_by_time().into_iter().map(|(l, _)| l).collect();
+        let mut m = MetricsRegistry::new();
+        account(&mut m, "kernel", 0, 5, "small");
+        account(&mut m, "kernel", 0, 50, "big");
+        let order: Vec<_> = Profile::from_metrics(&m)
+            .labels_by_time()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
         assert_eq!(order, vec!["big", "small"]);
     }
 }

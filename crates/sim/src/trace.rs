@@ -4,58 +4,42 @@
 //! per-resource swim-lane view of the schedule — the fastest way to *see*
 //! whether spray copies pipeline, where the BSP barriers sit, and which
 //! engine is the bottleneck of an iteration.
+//!
+//! The actual serialization lives in [`gr_observe::export`]; this module
+//! converts a resolved [`Scheduler`] into observe records so a
+//! standalone device trace uses the same format as the unified
+//! engine+sim trace recorded through an [`gr_observe::Observer`].
 
-use std::fmt::Write as _;
+use gr_observe::{Recorded, SpanEvent};
 
 use crate::schedule::Scheduler;
 
-/// Serialize every scheduled op as a Chrome Trace Event (`X` complete
-/// events; microsecond timestamps as the format requires). Ops that have
-/// not been scheduled yet (no flush) are skipped. The `pid` is always 0;
-/// each resource becomes a `tid` lane named via metadata events.
-pub fn chrome_trace(sched: &Scheduler) -> String {
-    let mut out = String::from("[\n");
-    // Lane-name metadata: one per resource.
-    let mut resources: Vec<u32> = sched
-        .ops()
-        .filter(|(_, op)| op.start.is_some())
-        .map(|(_, op)| op.resource.index())
-        .collect();
-    resources.sort_unstable();
-    resources.dedup();
-    for r in &resources {
-        let _ = writeln!(
-            out,
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},",
-            r,
-            escape(sched.resource_name(crate::schedule::ResourceId(*r)))
-        );
-    }
-    let mut first = true;
+/// Convert every resolved op of a schedule into `"sim"`-track span
+/// records, laned by hardware resource. Ops that have not been
+/// scheduled yet (no flush) are skipped.
+pub fn recorded(sched: &Scheduler) -> Recorded {
+    let mut rec = Recorded::default();
     for (id, op) in sched.ops() {
         let (Some(start), Some(finish)) = (op.start, op.finish) else {
             continue;
         };
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        let _ = write!(
-            out,
-            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"op\":{}}}}}",
-            escape(op.label),
-            op.resource.index(),
-            start.as_nanos() as f64 / 1e3,
-            (finish - start).as_nanos() as f64 / 1e3,
-            id.index(),
-        );
+        rec.spans.push(SpanEvent {
+            track: "sim",
+            lane: sched.resource_name(op.resource).to_string(),
+            name: op.label.to_string(),
+            start_ns: start.as_nanos(),
+            dur_ns: (finish - start).as_nanos(),
+            fields: vec![("op", id.index().into())],
+        });
     }
-    out.push_str("\n]\n");
-    out
+    rec
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Serialize every scheduled op as a Chrome Trace Event (`X` complete
+/// events; microsecond timestamps as the format requires), one thread
+/// lane per resource, named via metadata events.
+pub fn chrome_trace(sched: &Scheduler) -> String {
+    gr_observe::export::chrome_trace(&recorded(sched))
 }
 
 #[cfg(test)]
@@ -81,18 +65,25 @@ mod tests {
         assert!(json.contains("\"name\":\"h2d\""));
         assert!(json.contains("kernel \\\"x\\\"")); // quotes escaped
         assert!(json.contains("\"dur\":5.000"));
-        assert!(json.contains("\"name\":\"copy\"")); // lane metadata
-        // Valid-ish JSON: balanced brackets, no trailing comma before ].
-        assert!(json.trim_start().starts_with('['));
-        assert!(json.trim_end().ends_with(']'));
-        assert!(!json.contains(",\n]"));
+        // Lane metadata names the resource.
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"copy\""));
+        assert!(json.trim_start().starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(!json.contains(",]"));
     }
 
     #[test]
     fn unscheduled_ops_are_skipped() {
         let mut s = Scheduler::new();
         let r = s.add_resource("q", Capacity::Finite(1));
-        s.submit(r, SimDuration::from_micros(1), vec![], SimTime::ZERO, "pending");
+        s.submit(
+            r,
+            SimDuration::from_micros(1),
+            vec![],
+            SimTime::ZERO,
+            "pending",
+        );
         // no flush
         let json = chrome_trace(&s);
         assert!(!json.contains("pending"));

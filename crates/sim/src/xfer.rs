@@ -93,11 +93,10 @@ pub fn transfer_access_time(
             // pages in the Figure 4 setup), after which accesses hit device
             // memory.
             let pages = bytes.div_ceil(pcie.managed_page_size).max(1);
-            let fault = SimDuration::from_secs_f64(
-                pages as f64 * pcie.managed_fault_overhead.as_secs_f64(),
-            ) + SimDuration::from_secs_f64(
-                bytes as f64 / (pcie.explicit_bandwidth_gbps * 1e9),
-            );
+            let fault =
+                SimDuration::from_secs_f64(
+                    pages as f64 * pcie.managed_fault_overhead.as_secs_f64(),
+                ) + SimDuration::from_secs_f64(bytes as f64 / (pcie.explicit_bandwidth_gbps * 1e9));
             let access = match pattern {
                 AccessPattern::Sequential => dev_seq(accesses * elem_bytes),
                 AccessPattern::Random => dev_rand(accesses),
@@ -126,7 +125,10 @@ mod tests {
         let managed = fig4(TransferMode::Managed, AccessPattern::Sequential);
         // Figure 4 (sequential): pinned best, explicit close behind, managed worst.
         assert!(pinned < explicit, "pinned {pinned} !< explicit {explicit}");
-        assert!(explicit < managed, "explicit {explicit} !< managed {managed}");
+        assert!(
+            explicit < managed,
+            "explicit {explicit} !< managed {managed}"
+        );
     }
 
     #[test]
@@ -135,7 +137,10 @@ mod tests {
         let pinned = fig4(TransferMode::PinnedUva, AccessPattern::Random);
         let managed = fig4(TransferMode::Managed, AccessPattern::Random);
         // Figure 4 (random): explicit best, pinned worst, managed between.
-        assert!(explicit < managed, "explicit {explicit} !< managed {managed}");
+        assert!(
+            explicit < managed,
+            "explicit {explicit} !< managed {managed}"
+        );
         assert!(managed < pinned, "managed {managed} !< pinned {pinned}");
     }
 

@@ -23,7 +23,12 @@ fn workload() -> impl Strategy<Value = Workload> {
     caps.prop_flat_map(|capacities| {
         let nres = capacities.len();
         let ops = prop::collection::vec(
-            (0..nres, 1u64..200, prop::collection::vec(0usize..1000, 0..4), 0u64..500),
+            (
+                0..nres,
+                1u64..200,
+                prop::collection::vec(0usize..1000, 0..4),
+                0u64..500,
+            ),
             1..60,
         );
         let flushes = prop::collection::vec(0usize..60, 0..4);

@@ -57,8 +57,10 @@ fn main() {
         explicit.edge_values.iter().filter(|&&e| e != 0.0).count()
     );
     println!("\nexplicit staging:  {}", explicit.stats);
-    println!("\nzero-copy streams: {} (same results, {} vs {} memcpy busy)",
-        zero_copy.stats.elapsed, zero_copy.stats.memcpy_time, explicit.stats.memcpy_time);
+    println!(
+        "\nzero-copy streams: {} (same results, {} vs {} memcpy busy)",
+        zero_copy.stats.elapsed, zero_copy.stats.memcpy_time, explicit.stats.memcpy_time
+    );
 
     // Export a small standalone device timeline showing the stream/queue
     // structure (the engine's own runs stay internal; this reconstructs a

@@ -5,8 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use graphreduce_repro::core::{GasProgram, GraphReduce, InitialFrontier, Options};
+use graphreduce_repro::core::{report, GasProgram, GraphReduce, InitialFrontier, Options};
 use graphreduce_repro::graph::{gen, GraphLayout};
+use graphreduce_repro::observe::Observer;
 use graphreduce_repro::sim::Platform;
 
 /// Connected Components: gatherMap forwards the neighbor's label,
@@ -67,16 +68,14 @@ fn main() {
     // A K20c whose memory is 1/4096 of the real card, so this small graph
     // is *out of device memory* and must be streamed in shards.
     let platform = Platform::paper_node_scaled(4096);
-    let gr = GraphReduce::new(
-        ConnectedComponents,
-        &layout,
-        platform,
-        Options::optimized(),
-    );
+    // Record the run: every phase span, frontier decision, and metric
+    // flows to the sink, and becomes a machine-readable report below.
+    let (observer, sink) = Observer::recording();
+    let gr = GraphReduce::new(ConnectedComponents, &layout, platform, Options::optimized())
+        .with_observer(observer);
     let out = gr.run().expect("planning fits this device");
 
-    let components: std::collections::HashSet<u32> =
-        out.vertex_values.iter().copied().collect();
+    let components: std::collections::HashSet<u32> = out.vertex_values.iter().copied().collect();
     println!(
         "components: {} (in {} iterations)",
         components.len(),
@@ -104,4 +103,18 @@ fn main() {
         "frontier management skipped {} shard copies and {} kernel launches",
         out.stats.skipped_shard_copies, out.stats.skipped_kernel_launches
     );
+
+    // Versioned run report (docs/OBSERVABILITY.md documents the schema).
+    let rec = sink.recorded();
+    let path = "results/quickstart_report.json";
+    if std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(path, report::run_report(&out.stats, &rec)))
+        .is_ok()
+    {
+        println!(
+            "run report: {path} ({} decisions, {} spans recorded)",
+            rec.decisions.len(),
+            rec.spans.len()
+        );
+    }
 }

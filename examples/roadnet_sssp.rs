@@ -81,8 +81,6 @@ fn main() {
     println!(
         "frontier management saves {:.1}% of the run on this high-diameter graph",
         100.0
-            * (1.0
-                - with_fm.stats.elapsed.as_secs_f64()
-                    / without_fm.stats.elapsed.as_secs_f64())
+            * (1.0 - with_fm.stats.elapsed.as_secs_f64() / without_fm.stats.elapsed.as_secs_f64())
     );
 }

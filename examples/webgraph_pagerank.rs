@@ -58,9 +58,7 @@ fn main() {
 
     println!(
         "\n{} shards, K={} concurrent | {} iterations",
-        optimized.stats.num_shards,
-        optimized.stats.concurrent_shards,
-        optimized.stats.iterations
+        optimized.stats.num_shards, optimized.stats.concurrent_shards, optimized.stats.iterations
     );
     println!(
         "optimized GR:   {:>12}  (memcpy {:>12}, {:5.1}% of run)",

@@ -9,13 +9,17 @@
 //! * [`algorithms`] — BFS / SSSP / PageRank / CC / SpMV / Heat
 //!   ([`gr_algorithms`]);
 //! * [`baselines`] — GraphChi-, X-Stream-, CuSha-, MapGraph-style engines
-//!   ([`gr_baselines`]).
+//!   ([`gr_baselines`]);
+//! * [`observe`] — structured events, metrics, decision logs, exporters
+//!   ([`gr_observe`]).
 //!
-//! See README.md for a quickstart and DESIGN.md for the system inventory.
+//! See README.md for a quickstart, DESIGN.md for the system inventory,
+//! and docs/OBSERVABILITY.md for the event/metrics layer.
 
 pub use gr_algorithms as algorithms;
 pub use gr_baselines as baselines;
 pub use gr_graph as graph;
+pub use gr_observe as observe;
 pub use gr_sim as sim;
 pub use graphreduce as core;
 

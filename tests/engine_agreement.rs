@@ -41,9 +41,13 @@ fn bfs_agrees_across_all_engines_and_datasets() {
         assert_eq!(chi.vertex_values, want, "GraphChi bfs on {}", ds.name());
         let xs = XStream::default().run(&Bfs::new(src), &layout, host);
         assert_eq!(xs.vertex_values, want, "X-Stream bfs on {}", ds.name());
-        let cu = CuSha::default().run(&Bfs::new(src), &layout, &plat).unwrap();
+        let cu = CuSha::default()
+            .run(&Bfs::new(src), &layout, &plat)
+            .unwrap();
         assert_eq!(cu.vertex_values, want, "CuSha bfs on {}", ds.name());
-        let mg = MapGraph::default().run(&Bfs::new(src), &layout, &plat).unwrap();
+        let mg = MapGraph::default()
+            .run(&Bfs::new(src), &layout, &plat)
+            .unwrap();
         assert_eq!(mg.vertex_values, want, "MapGraph bfs on {}", ds.name());
     }
 }
@@ -74,7 +78,12 @@ fn cc_labels_are_component_minima_on_every_dataset() {
             .unwrap();
         reference::check_cc_labels(&layout, &gr.vertex_values);
         let cu = CuSha::default().run(&Cc, &layout, &plat).unwrap();
-        assert_eq!(cu.vertex_values, gr.vertex_values, "CuSha cc on {}", ds.name());
+        assert_eq!(
+            cu.vertex_values,
+            gr.vertex_values,
+            "CuSha cc on {}",
+            ds.name()
+        );
     }
 }
 

@@ -19,7 +19,9 @@ fn multi_gpu_agrees_with_single_gpu_and_scales() {
         .unwrap();
     let mut last = None;
     for n in [1u32, 2, 4] {
-        let multi = MultiGraphReduce::new(Cc, &layout, plat.clone(), n).run().unwrap();
+        let multi = MultiGraphReduce::new(Cc, &layout, plat.clone(), n)
+            .run()
+            .unwrap();
         assert_eq!(multi.vertex_values, single.vertex_values, "{n} GPUs");
         if let Some(prev) = last {
             assert!(
@@ -93,7 +95,11 @@ fn totem_handles_out_of_memory_graphs_but_underutilizes() {
     let plat = Platform::paper_node_scaled(SCALE);
     let (run, split) = Totem::default().run(&Cc, &layout, &plat);
     // Never refuses — but the device holds only part of the edge set.
-    assert!(split.gpu_fraction() < 1.0, "share {:.2}", split.gpu_fraction());
+    assert!(
+        split.gpu_fraction() < 1.0,
+        "share {:.2}",
+        split.gpu_fraction()
+    );
     assert!(split.boundary_edges > 0);
     // Same results as GraphReduce on the same graph.
     let gr = GraphReduce::new(Cc, &layout, plat, Options::optimized())

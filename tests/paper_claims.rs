@@ -32,7 +32,11 @@ fn gr_outperforms_cpu_frameworks_out_of_core() {
         let xs = XStream::default().run(&Bfs::new(src), &layout, &plat.host);
         let s_chi = chi.stats.elapsed.as_secs_f64() / gr.stats.elapsed.as_secs_f64();
         let s_xs = xs.stats.elapsed.as_secs_f64() / gr.stats.elapsed.as_secs_f64();
-        assert!(s_chi > 2.0, "{}: GR vs GraphChi only {s_chi:.2}x", ds.name());
+        assert!(
+            s_chi > 2.0,
+            "{}: GR vs GraphChi only {s_chi:.2}x",
+            ds.name()
+        );
         assert!(s_xs > 1.5, "{}: GR vs X-Stream only {s_xs:.2}x", ds.name());
         assert!(s_chi > s_xs, "GraphChi must trail X-Stream (Table 3)");
     }
@@ -58,7 +62,8 @@ fn optimizations_cut_memcpy_time() {
         "memcpy must dominate the unoptimized run ({:.1}%)",
         100.0 * unopt.stats.memcpy_share()
     );
-    let reduction = 1.0 - opt.stats.memcpy_time.as_secs_f64() / unopt.stats.memcpy_time.as_secs_f64();
+    let reduction =
+        1.0 - opt.stats.memcpy_time.as_secs_f64() / unopt.stats.memcpy_time.as_secs_f64();
     assert!(
         reduction > 0.4,
         "BFS memcpy reduction only {:.1}%",
@@ -113,12 +118,18 @@ fn transfer_technique_asymmetry() {
     let p = Platform::paper_node();
     let n = 10_000_000u64;
     let t = |m, a| transfer_access_time(&p.pcie, &p.device, m, a, n * 8, n, 8);
-    assert!(t(TransferMode::PinnedUva, AccessPattern::Sequential)
-        < t(TransferMode::Explicit, AccessPattern::Sequential));
-    assert!(t(TransferMode::Explicit, AccessPattern::Random)
-        < t(TransferMode::Managed, AccessPattern::Random));
-    assert!(t(TransferMode::Managed, AccessPattern::Random)
-        < t(TransferMode::PinnedUva, AccessPattern::Random));
+    assert!(
+        t(TransferMode::PinnedUva, AccessPattern::Sequential)
+            < t(TransferMode::Explicit, AccessPattern::Sequential)
+    );
+    assert!(
+        t(TransferMode::Explicit, AccessPattern::Random)
+            < t(TransferMode::Managed, AccessPattern::Random)
+    );
+    assert!(
+        t(TransferMode::Managed, AccessPattern::Random)
+            < t(TransferMode::PinnedUva, AccessPattern::Random)
+    );
 }
 
 /// Section 2.2 / Table 2 motivation: the GPU engines refuse out-of-memory

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `rayon` crate (vendor/README.md).
+//!
+//! Exposes the `par_iter`/`par_iter_mut` adapter surface this workspace
+//! uses, executing **sequentially**. Results are identical to rayon's
+//! (the iteration order of every adapter matches the sequential order);
+//! only the parallel speedup is absent.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter};
+}
+
+/// Sequential stand-in for a parallel iterator. Wraps any std iterator and
+/// mirrors the rayon adapter names (`map`, `filter_map`, `enumerate`,
+/// `reduce`, `collect`, `for_each`, `sum`).
+pub struct ParIter<I>(I);
+
+/// `slice.par_iter()` — sequential fallback.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+/// `slice.par_iter_mut()` — sequential fallback.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter(self.iter_mut())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter(self.iter_mut())
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// rayon-style reduce: identity closure + associative op.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let total = v
+            .par_iter()
+            .map(|&x| (x, 1u64))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(total, (10, 4));
+    }
+
+    #[test]
+    fn filter_map_collect_preserves_order() {
+        let mut v = vec![1u32, 2, 3, 4, 5];
+        let odd: Vec<u32> = v
+            .par_iter_mut()
+            .enumerate()
+            .filter_map(|(i, x)| (*x % 2 == 1).then_some(i as u32))
+            .collect();
+        assert_eq!(odd, vec![0, 2, 4]);
+    }
+}
