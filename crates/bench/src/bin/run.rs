@@ -16,7 +16,7 @@ use gr_bench::{
 };
 use gr_graph::{Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
-use graphreduce::{MultiGraphReduce, Options};
+use graphreduce::{FaultPlan, MultiGraphReduce, Options};
 
 struct Args {
     algo: Algo,
@@ -26,6 +26,7 @@ struct Args {
     engine: String,
     optimized: bool,
     gpus: u32,
+    faults: Option<FaultPlan>,
     report: Option<String>,
     trace: Option<String>,
 }
@@ -34,11 +35,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
-         [--report <path.json>] [--trace <path.json>]"
+         [--faults <profile[:seed]|seed>] [--report <path.json>] [--trace <path.json>]"
     );
     eprintln!(
         "  --report writes the versioned run-report JSON; --trace a Chrome/Perfetto trace \
          (both gr-engine only)"
+    );
+    eprintln!(
+        "  --faults arms deterministic fault injection (gr engine only); profiles: none, \
+         transient-copy, kernel-fault, oom-pressure, ecc-stall, degraded-pcie, device-loss, \
+         chaos[:seed] — or a bare integer seed (see docs/FAULTS.md)"
     );
     eprintln!("datasets:");
     for ds in Dataset::IN_MEMORY
@@ -59,6 +65,7 @@ fn parse_args() -> Args {
         engine: "gr".into(),
         optimized: true,
         gpus: 1,
+        faults: None,
         report: None,
         trace: None,
     };
@@ -103,6 +110,13 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.faults = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--report" => args.report = it.next().or_else(|| usage()),
             "--trace" => args.trace = it.next().or_else(|| usage()),
             "--help" | "-h" => usage(),
@@ -118,6 +132,25 @@ fn parse_args() -> Args {
     args
 }
 
+/// Finish configuring a multi-GPU run (observer, optional fault plan on
+/// device 0), execute it, and exit cleanly on planning/recovery failure.
+fn run_multi<P: graphreduce::GasProgram>(
+    m: MultiGraphReduce<P>,
+    obs: gr_observe::Observer,
+    faults: Option<&FaultPlan>,
+) -> graphreduce::MultiRunStats {
+    let mut m = m.with_observer(obs);
+    if let Some(plan) = faults {
+        m = m.with_fault_plan(0, plan.clone());
+    }
+    m.run()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+        .stats
+}
+
 fn main() {
     let args = parse_args();
     let el: EdgeList = if let Some(path) = &args.file {
@@ -130,7 +163,10 @@ fn main() {
             std::process::exit(1);
         })
     } else {
-        let ds = args.dataset.unwrap();
+        let ds = args.dataset.unwrap_or_else(|| {
+            eprintln!("error: no --dataset or --file given");
+            usage();
+        });
         match args.algo {
             Algo::Sssp => ds.generate_weighted(args.scale),
             Algo::Cc => ds.generate(args.scale).symmetrize(),
@@ -142,11 +178,17 @@ fn main() {
     println!();
 
     let platform = Platform::paper_node_scaled(args.scale);
-    let opts = if args.optimized {
+    let mut opts = if args.optimized {
         Options::optimized()
     } else {
         Options::unoptimized()
     };
+    if let Some(plan) = &args.faults {
+        if args.engine != "gr" {
+            eprintln!("--faults only applies to the gr engine; ignoring");
+        }
+        opts = opts.with_fault_plan(plan.clone());
+    }
     let src = default_source(&layout);
     let artifacts = RunArtifacts::from_paths(args.report.clone(), args.trace.clone());
     if artifacts.enabled() && args.engine != "gr" {
@@ -156,50 +198,43 @@ fn main() {
     match args.engine.as_str() {
         "gr" if args.gpus > 1 => {
             let obs = artifacts.observer();
+            let faults = args.faults.as_ref();
             let stats = match args.algo {
-                Algo::Bfs => {
+                Algo::Bfs => run_multi(
                     MultiGraphReduce::new(
                         gr_algorithms::Bfs::new(src),
                         &layout,
                         platform,
                         args.gpus,
-                    )
-                    .with_observer(obs)
-                    .run()
-                    .expect("plan fits")
-                    .stats
-                }
-                Algo::Cc => {
-                    MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus)
-                        .with_observer(obs)
-                        .run()
-                        .expect("plan fits")
-                        .stats
-                }
-                Algo::Sssp => {
+                    ),
+                    obs,
+                    faults,
+                ),
+                Algo::Cc => run_multi(
+                    MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus),
+                    obs,
+                    faults,
+                ),
+                Algo::Sssp => run_multi(
                     MultiGraphReduce::new(
                         gr_algorithms::Sssp::new(src),
                         &layout,
                         platform,
                         args.gpus,
-                    )
-                    .with_observer(obs)
-                    .run()
-                    .expect("plan fits")
-                    .stats
-                }
-                Algo::Pagerank => {
+                    ),
+                    obs,
+                    faults,
+                ),
+                Algo::Pagerank => run_multi(
                     MultiGraphReduce::new(
                         gr_algorithms::PageRank::default(),
                         &layout,
                         platform,
                         args.gpus,
-                    )
-                    .with_observer(obs)
-                    .run()
-                    .expect("plan fits")
-                    .stats
-                }
+                    ),
+                    obs,
+                    faults,
+                ),
             };
             println!(
                 "graphreduce x{} GPUs: {} iterations in {} ({:.1} MB exchanged)",
@@ -216,7 +251,10 @@ fn main() {
         }
         "gr" => {
             let stats = run_gr_observed(args.algo, &layout, &platform, opts, artifacts.observer())
-                .expect("plan fits");
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
             println!("{stats}");
             for path in artifacts.write_or_exit(Some(&stats)) {
                 println!("wrote {path}");

@@ -27,7 +27,7 @@ use gr_baselines::{BaselineStats, CuSha, GraphChi, MapGraph, XStream};
 use gr_graph::{Dataset, GraphLayout};
 use gr_observe::{Observer, RecordingSink};
 use gr_sim::{OutOfMemory, Platform, SimDuration};
-use graphreduce::{GraphReduce, Options, PlanError, RunStats};
+use graphreduce::{EngineError, GraphReduce, Options, RunStats};
 
 pub mod matmul;
 
@@ -114,7 +114,7 @@ pub fn run_gr(
     layout: &GraphLayout,
     platform: &Platform,
     opts: Options,
-) -> Result<RunStats, PlanError> {
+) -> Result<RunStats, EngineError> {
     let src = default_source(layout);
     Ok(match algo {
         Algo::Bfs => {
@@ -153,7 +153,7 @@ pub fn run_gr_observed(
     platform: &Platform,
     opts: Options,
     observer: Observer,
-) -> Result<RunStats, PlanError> {
+) -> Result<RunStats, EngineError> {
     let src = default_source(layout);
     Ok(match algo {
         Algo::Bfs => {

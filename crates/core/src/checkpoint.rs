@@ -1,0 +1,100 @@
+//! Iteration-boundary checkpoints of the engine's host-resident master
+//! state.
+//!
+//! GraphReduce computes exact results eagerly on the host while the device
+//! timeline is simulated, so a consistent checkpoint is just a copy of the
+//! host master state taken at the BSP iteration boundary. Rollback restores
+//! that copy and replays the iteration: the host recomputation is
+//! deterministic, so a replayed run converges to bit-identical final vertex
+//! state, and the fault plan's monotone per-op counters guarantee a finite
+//! plan eventually stops faulting the replayed ops.
+
+use gr_graph::Bitmap;
+
+use crate::api::GasProgram;
+
+/// Snapshot of everything `compute_iteration` mutates, plus the iteration
+/// trace length, captured before each iteration when a fault plan is armed.
+pub struct Checkpoint<P: GasProgram> {
+    pub(crate) vertex_values: Vec<P::VertexValue>,
+    pub(crate) edge_values: Vec<P::EdgeValue>,
+    pub(crate) gather_temp: Vec<P::Gather>,
+    pub(crate) frontier: Bitmap,
+    pub(crate) changed: Bitmap,
+    pub(crate) next_frontier: Bitmap,
+    pub(crate) iterations_len: usize,
+}
+
+impl<P: GasProgram> Checkpoint<P> {
+    /// Number of completed iterations at capture time.
+    pub fn iterations_completed(&self) -> usize {
+        self.iterations_len
+    }
+
+    /// Vertex count covered by this checkpoint.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::InitialFrontier;
+
+    struct Flood;
+
+    impl GasProgram for Flood {
+        type VertexValue = u32;
+        type EdgeValue = ();
+        type Gather = u32;
+
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+
+        fn init_vertex(&self, _v: u32, _d: u32) -> u32 {
+            0
+        }
+
+        fn initial_frontier(&self) -> InitialFrontier {
+            InitialFrontier::All
+        }
+
+        fn gather_identity(&self) -> u32 {
+            0
+        }
+
+        fn gather_map(&self, _d: &u32, s: &u32, _e: &(), _w: f32) -> u32 {
+            *s
+        }
+
+        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+
+        fn apply(&self, _v: &mut u32, _r: u32, _i: u32) -> bool {
+            false
+        }
+
+        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
+    }
+
+    #[test]
+    fn checkpoint_reports_its_shape() {
+        let mut frontier = Bitmap::new(4);
+        frontier.set(2);
+        let c: Checkpoint<Flood> = Checkpoint {
+            vertex_values: vec![7, 8, 9, 10],
+            edge_values: vec![(); 6],
+            gather_temp: vec![0; 4],
+            frontier,
+            changed: Bitmap::new(4),
+            next_frontier: Bitmap::new(4),
+            iterations_len: 3,
+        };
+        assert_eq!(c.iterations_completed(), 3);
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.frontier.count(), 1);
+    }
+}

@@ -16,13 +16,30 @@
 
 use gr_graph::{Bitmap, GraphLayout, Shard};
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
-use gr_sim::{Allocation, Gpu, KernelSpec, OpId, Platform, StreamId};
+use gr_sim::{
+    cpu_time, Allocation, CpuWork, DeviceFault, Gpu, HostConfig, KernelSpec, OpId, Platform,
+    SimDuration, StreamId,
+};
 
 use crate::api::{GasProgram, InitialFrontier};
+use crate::checkpoint::Checkpoint;
 use crate::options::{GatherMode, Options, StreamingMode};
 use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
-use crate::sizes::{PartitionPlan, PlanError, SizeModel};
+use crate::recovery::{EngineError, RecoveryPolicy};
+use crate::sizes::{PartitionPlan, SizeModel};
 use crate::stats::{IterationStats, RunStats};
+
+/// Iteration replays allowed before a persistent fault becomes
+/// [`EngineError::Unrecoverable`] (guards against pathological hand-built
+/// plans that fault the same op forever).
+const REPLAY_CAP: u32 = 64;
+
+/// A device operation that failed past its retry budget (or hit a lost
+/// device), unwinding the current timeline emission for rollback handling.
+struct Abort {
+    op: &'static str,
+    fault: DeviceFault,
+}
 
 /// Warm-start state for incremental (dynamic-graph) processing — the
 /// paper's third future-work item. After mutating a graph (e.g. appending
@@ -94,16 +111,16 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
     }
 
     /// Execute to convergence; returns final state and statistics.
-    pub fn run(&self) -> Result<RunResult<P>, PlanError> {
+    pub fn run(&self) -> Result<RunResult<P>, EngineError> {
         self.run_inner(None)
     }
 
     /// Execute incrementally from a previous run's state (dynamic graphs).
-    pub fn run_warm(&self, warm: WarmStart<P>) -> Result<RunResult<P>, PlanError> {
+    pub fn run_warm(&self, warm: WarmStart<P>) -> Result<RunResult<P>, EngineError> {
         self.run_inner(Some(warm))
     }
 
-    fn run_inner(&self, warm: Option<WarmStart<P>>) -> Result<RunResult<P>, PlanError> {
+    fn run_inner(&self, warm: Option<WarmStart<P>>) -> Result<RunResult<P>, EngineError> {
         let sizes = self.size_model();
         let plan = crate::sizes::plan_partition_with(
             self.layout,
@@ -161,7 +178,14 @@ struct Runner<'a, P: GasProgram> {
     // Out-of-host-core: graphs beyond host DRAM stream shards from
     // storage before they can cross PCIe.
     storage_read_secs_per_byte: Option<f64>,
-    storage_latency: gr_sim::SimDuration,
+    storage_latency: SimDuration,
+    // Fault recovery: whether a fault plan is armed (gates per-iteration
+    // checkpoints), and the degraded host-CPU mode entered after
+    // permanent device loss.
+    fault_active: bool,
+    host: HostConfig,
+    host_mode: bool,
+    host_time: SimDuration,
     // Engine-level metrics (skip counters, frontier occupancy) — the
     // single source RunStats' skip fields derive from.
     metrics: MetricsRegistry,
@@ -183,29 +207,17 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         plan: PartitionPlan,
         warm: Option<WarmStart<P>>,
         observer: Observer,
-    ) -> Result<Self, PlanError> {
+    ) -> Result<Self, EngineError> {
         let mut gpu = Gpu::new(platform);
         gpu.set_observer(observer.clone());
+        let fault_active = !opts.fault_plan.is_none();
+        gpu.set_fault_plan(opts.fault_plan.clone());
+        let mut metrics = MetricsRegistry::new();
         let n = layout.num_vertices();
         let k = plan.concurrent as usize;
 
-        // Device allocations: static buffers, then either every shard
-        // (resident mode) or K reusable streaming slots.
-        let static_alloc = gpu
-            .alloc(plan.static_bytes)
-            .expect("plan guarantees static fit");
-        let resident = opts.cache_resident && plan.all_resident;
-        let shard_allocs: Vec<Allocation> = if resident {
-            plan.shards
-                .iter()
-                .map(|s| gpu.alloc(sizes.shard_bytes(s)).expect("plan: resident fit"))
-                .collect()
-        } else {
-            (0..k)
-                .map(|_| gpu.alloc(plan.max_shard_bytes).expect("plan: K slots fit"))
-                .collect()
-        };
-
+        // Streams before allocations: allocation-retry backoff stalls are
+        // charged on a stream, so one must exist first.
         let main_streams: Vec<StreamId> = (0..k).map(|_| gpu.create_stream()).collect();
         let spray_streams: Vec<StreamId> = if opts.spray {
             (0..(opts.spray_width.max(1) as usize * k))
@@ -213,6 +225,50 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 .collect()
         } else {
             Vec::new()
+        };
+
+        // Device allocations: static buffers, then either every shard
+        // (resident mode) or K reusable streaming slots. The plan
+        // guarantees these fit, but injected allocation pressure — or a
+        // plan invalidated by a shrunken device — surfaces as an
+        // [`EngineError`] instead of a panic.
+        let s0 = main_streams[0];
+        let static_alloc = alloc_retry(
+            &mut gpu,
+            s0,
+            plan.static_bytes,
+            &opts.recovery,
+            &mut metrics,
+            &observer,
+        )?;
+        let resident = opts.cache_resident && plan.all_resident;
+        let shard_allocs: Vec<Allocation> = if resident {
+            plan.shards
+                .iter()
+                .map(|s| {
+                    alloc_retry(
+                        &mut gpu,
+                        s0,
+                        sizes.shard_bytes(s),
+                        &opts.recovery,
+                        &mut metrics,
+                        &observer,
+                    )
+                })
+                .collect::<Result<_, _>>()?
+        } else {
+            (0..k)
+                .map(|_| {
+                    alloc_retry(
+                        &mut gpu,
+                        s0,
+                        plan.max_shard_bytes,
+                        &opts.recovery,
+                        &mut metrics,
+                        &observer,
+                    )
+                })
+                .collect::<Result<_, _>>()?
         };
 
         let (vertex_values, frontier) = match warm {
@@ -295,9 +351,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             out_cached: vec![false; num_shards],
             storage_read_secs_per_byte,
             storage_latency,
+            fault_active,
+            host: platform.host.clone(),
+            host_mode: false,
+            host_time: SimDuration::ZERO,
             skew_in,
             skew_out,
-            metrics: MetricsRegistry::new(),
+            metrics,
             observer,
             pending_kernels: Vec::new(),
             iterations: Vec::new(),
@@ -328,13 +388,69 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
     }
 
-    /// Launch a kernel and remember its op so the resolved window can
-    /// be emitted as an engine-track span after the stage barrier.
-    fn launch_tracked(&mut self, stream: StreamId, spec: &KernelSpec, iter: u32, shard: usize) {
-        let op = self.gpu.launch(stream, spec);
+    /// Launch a kernel (through the fault-retry path) and remember its op
+    /// so the resolved window can be emitted as an engine-track span after
+    /// the stage barrier.
+    fn launch_tracked(
+        &mut self,
+        stream: StreamId,
+        spec: &KernelSpec,
+        iter: u32,
+        shard: usize,
+    ) -> Result<(), Abort> {
+        let op = self.retry_loop(stream, spec.label, iter, |g| g.try_launch(stream, spec))?;
         if self.observer.is_enabled() {
             self.pending_kernels
                 .push((op, spec.label, iter, shard as u32));
+        }
+        Ok(())
+    }
+
+    /// Run one device op through the recovery policy: each transient fault
+    /// retries after an exponential-backoff stall (charged to `stream` as
+    /// simulated time, logged as [`Decision::FaultRetry`]); exhausted
+    /// retries and device loss unwind as [`Abort`] for rollback handling.
+    /// With no fault plan armed the closure succeeds on the first call and
+    /// this is exactly one extra branch.
+    fn retry_loop<F>(
+        &mut self,
+        stream: StreamId,
+        label: &'static str,
+        iter: u32,
+        mut op: F,
+    ) -> Result<OpId, Abort>
+    where
+        F: FnMut(&mut Gpu) -> Result<OpId, DeviceFault>,
+    {
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut self.gpu) {
+                Ok(id) => return Ok(id),
+                Err(DeviceFault::Lost) => {
+                    return Err(Abort {
+                        op: label,
+                        fault: DeviceFault::Lost,
+                    })
+                }
+                Err(fault) => {
+                    attempt += 1;
+                    if attempt > self.opts.recovery.max_retries {
+                        return Err(Abort { op: label, fault });
+                    }
+                    let backoff = self.opts.recovery.backoff(attempt);
+                    self.gpu.stall(stream, backoff, "recovery.backoff");
+                    self.metrics.inc("engine.fault_retries", 1);
+                    let backoff_ns = backoff.as_nanos();
+                    self.observer.decision(|| Decision::FaultRetry {
+                        iteration: iter,
+                        device: 0,
+                        op: label,
+                        fault: fault.name(),
+                        attempt,
+                        backoff_ns,
+                    });
+                }
+            }
         }
     }
 
@@ -356,21 +472,20 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
     }
 
-    fn run(mut self) -> Result<RunResult<P>, PlanError> {
+    /// Current virtual time: device clock plus any degraded-mode host time.
+    fn now_ns(&self) -> u64 {
+        self.gpu.elapsed().as_nanos() + self.host_time.as_nanos()
+    }
+
+    fn run(mut self) -> Result<RunResult<P>, EngineError> {
         self.emit_plan_decisions();
-        self.emit_init();
+        self.emit_init()?;
         let max_iter = self.program.max_iterations();
         let mut iter = 0u32;
         while iter < max_iter && self.frontier.count() > 0 {
-            let iter_start_ns = self.gpu.elapsed().as_nanos();
-            let work = self.compute_iteration(iter);
-            if self.opts.phase_fusion {
-                self.emit_fused(iter, &work);
-            } else {
-                self.emit_unfused(iter, &work);
-            }
-            self.finish_iteration(&work);
-            let iter_end_ns = self.gpu.elapsed().as_nanos();
+            let iter_start_ns = self.now_ns();
+            self.run_iteration(iter)?;
+            let iter_end_ns = self.now_ns();
             let st = self.iterations.last().expect("pushed by compute_iteration");
             self.observer.span(|| SpanEvent {
                 track: "engine",
@@ -391,7 +506,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 .snapshot(&format!("iteration {iter}"), || gpu_metrics.snapshot());
             iter += 1;
         }
-        self.emit_finalize();
+        self.emit_finalize()?;
         let gpu_metrics = self.gpu.metrics();
         self.observer.snapshot("run", || gpu_metrics.snapshot());
         let engine_metrics = &self.metrics;
@@ -404,7 +519,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         let stats = RunStats {
             algorithm: self.program.name(),
             iterations: iter,
-            elapsed: gstats.elapsed,
+            elapsed: gstats.elapsed + self.host_time,
             memcpy_time: gstats.memcpy_busy,
             kernel_time: gstats.kernel_busy,
             bytes_h2d: gstats.bytes_h2d,
@@ -416,6 +531,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             num_shards: self.plan.shards.len(),
             concurrent_shards: self.plan.concurrent,
             all_resident: self.resident,
+            faults_injected: self.gpu.faults_injected(),
+            recovered_retries: self.metrics.counter("engine.fault_retries"),
+            rollbacks: self.metrics.counter("engine.rollbacks"),
+            host_fallback: self.host_mode,
             per_iteration: self.iterations,
         };
         Ok(RunResult {
@@ -540,43 +659,222 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         std::mem::swap(&mut self.frontier, &mut self.next_frontier);
     }
 
+    // ---------------- checkpoint / rollback / degraded mode ----------------
+
+    /// One BSP iteration with fault recovery: checkpoint (only when a
+    /// fault plan is armed), compute exact results on the host, emit the
+    /// device timeline, and on a persistent fault restore the checkpoint
+    /// and replay. The fault plan's monotone per-op counters guarantee a
+    /// finite plan eventually stops faulting the replayed ops.
+    fn run_iteration(&mut self, iter: u32) -> Result<(), EngineError> {
+        if self.host_mode {
+            return self.host_iteration(iter);
+        }
+        let ckpt = self.fault_active.then(|| self.take_checkpoint());
+        let mut replays = 0u32;
+        loop {
+            let work = self.compute_iteration(iter);
+            let emitted = if self.opts.phase_fusion {
+                self.emit_fused(iter, &work)
+            } else {
+                self.emit_unfused(iter, &work)
+            };
+            match emitted {
+                Ok(()) => {
+                    self.finish_iteration(&work);
+                    return Ok(());
+                }
+                Err(a) => {
+                    replays += 1;
+                    self.handle_abort(a, iter, replays)?;
+                    let c = ckpt
+                        .as_ref()
+                        .expect("device faults require an armed fault plan");
+                    self.restore(c);
+                    if self.host_mode {
+                        return self.host_iteration(iter);
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_checkpoint(&self) -> Checkpoint<P> {
+        Checkpoint {
+            vertex_values: self.vertex_values.clone(),
+            edge_values: self.edge_values.clone(),
+            gather_temp: self.gather_temp.clone(),
+            frontier: self.frontier.clone(),
+            changed: self.changed.clone(),
+            next_frontier: self.next_frontier.clone(),
+            iterations_len: self.iterations.len(),
+        }
+    }
+
+    fn restore(&mut self, c: &Checkpoint<P>) {
+        self.vertex_values.clone_from(&c.vertex_values);
+        self.edge_values.clone_from(&c.edge_values);
+        self.gather_temp.clone_from(&c.gather_temp);
+        self.frontier = c.frontier.clone();
+        self.changed = c.changed.clone();
+        self.next_frontier = c.next_frontier.clone();
+        self.iterations.truncate(c.iterations_len);
+        // The faulted attempt may have moved only part of a shard: drop
+        // all residency claims so the replay re-copies what it touches.
+        self.in_cached.fill(false);
+        self.out_cached.fill(false);
+    }
+
+    /// Central abort handling: device loss switches to host fallback (or
+    /// fails the run when the policy forbids it); a persistent transient
+    /// fault logs a [`Decision::Rollback`] so the caller replays from its
+    /// checkpoint, bounded by [`REPLAY_CAP`].
+    fn handle_abort(&mut self, a: Abort, iter: u32, replays: u32) -> Result<(), EngineError> {
+        // Settle whatever the device finished before the fault; the time
+        // the doomed attempt consumed stays on the clock — that work (and
+        // its replay) is exactly what the counters record.
+        self.sync_and_resolve();
+        match a.fault {
+            DeviceFault::Lost => {
+                if !self.opts.recovery.host_fallback {
+                    return Err(EngineError::DeviceLost);
+                }
+                self.metrics.inc("engine.host_fallback", 1);
+                self.observer.decision(|| Decision::HostFallback {
+                    iteration: iter,
+                    device: 0,
+                    rationale: "device lost: resuming on host CPU from last checkpoint",
+                });
+                self.host_mode = true;
+                Ok(())
+            }
+            fault => {
+                if replays > REPLAY_CAP {
+                    return Err(EngineError::Unrecoverable { op: a.op });
+                }
+                self.metrics.inc("engine.rollbacks", 1);
+                let name = fault.name();
+                self.observer.decision(|| Decision::Rollback {
+                    iteration: iter,
+                    device: 0,
+                    op: a.op,
+                    fault: name,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Degraded mode after device loss: the iteration both computes *and
+    /// is charged* on the host CPU, with the same roofline model the CPU
+    /// baseline engines use. Results stay bit-identical — the host was
+    /// computing them all along.
+    fn host_iteration(&mut self, iter: u32) -> Result<(), EngineError> {
+        let work = self.compute_iteration(iter);
+        let edges: u64 = work
+            .iter()
+            .map(|w| w.active_in_edges + w.out_edges_of_changed)
+            .sum();
+        let vertices: u64 = work
+            .iter()
+            .map(|w| w.active_vertices + w.changed_vertices)
+            .sum();
+        let cw = CpuWork::new(
+            "host.fallback",
+            vertices + edges,
+            8.0,
+            edges * 16 + vertices * (self.sizes.vertex_value + self.sizes.gather),
+            edges,
+        );
+        self.host_time += self.host.pass_overhead + cpu_time(&self.host, self.host.cores, &cw);
+        self.finish_iteration(&work);
+        Ok(())
+    }
+
     // ---------------- device timeline emission ----------------
 
-    fn emit_init(&mut self) {
-        let s = self.main_streams[0];
-        let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
-        self.gpu.h2d(s, vbytes, "init.vertices");
-        // Gather-temp and frontier bitmaps are initialized on-device.
-        self.gpu.launch(
-            s,
-            &KernelSpec::balanced(
-                "init.memset",
-                self.layout.num_vertices() as u64,
-                1.0,
-                self.plan.static_bytes,
-                0,
-            ),
-        );
-        self.gpu.synchronize();
+    fn emit_init(&mut self) -> Result<(), EngineError> {
+        let mut replays = 0u32;
+        loop {
+            match self.try_emit_init() {
+                Ok(()) => return Ok(()),
+                Err(a) => {
+                    // Nothing to roll back before iteration 0: the initial
+                    // host state *is* the checkpoint.
+                    replays += 1;
+                    self.handle_abort(a, 0, replays)?;
+                    if self.host_mode {
+                        return Ok(());
+                    }
+                }
+            }
+        }
     }
 
-    fn emit_finalize(&mut self) {
+    fn try_emit_init(&mut self) -> Result<(), Abort> {
         let s = self.main_streams[0];
         let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
-        self.gpu.d2h(s, vbytes, "final.vertices");
+        self.retry_loop(s, "init.vertices", 0, |g| {
+            g.try_h2d(s, vbytes, "init.vertices")
+        })?;
+        // Gather-temp and frontier bitmaps are initialized on-device.
+        let spec = KernelSpec::balanced(
+            "init.memset",
+            self.layout.num_vertices() as u64,
+            1.0,
+            self.plan.static_bytes,
+            0,
+        );
+        self.retry_loop(s, "init.memset", 0, |g| g.try_launch(s, &spec))?;
+        self.gpu.synchronize();
+        Ok(())
+    }
+
+    fn emit_finalize(&mut self) -> Result<(), EngineError> {
+        // After host fallback the results are host-resident already (and
+        // the device is gone): nothing to download.
+        if self.host_mode {
+            return Ok(());
+        }
+        let iter = self.iterations.len() as u32;
+        let mut replays = 0u32;
+        loop {
+            match self.try_emit_finalize(iter) {
+                Ok(()) => return Ok(()),
+                Err(a) => {
+                    replays += 1;
+                    self.handle_abort(a, iter, replays)?;
+                    if self.host_mode {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_emit_finalize(&mut self, iter: u32) -> Result<(), Abort> {
+        let s = self.main_streams[0];
+        let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
+        self.retry_loop(s, "final.vertices", iter, |g| {
+            g.try_d2h(s, vbytes, "final.vertices")
+        })?;
         if self.program.has_scatter() {
             let ebytes = self.layout.num_edges() * self.sizes.edge_value;
-            self.gpu.d2h(s, ebytes, "final.edges");
+            self.retry_loop(s, "final.edges", iter, |g| {
+                g.try_d2h(s, ebytes, "final.edges")
+            })?;
         }
         self.gpu.synchronize();
+        Ok(())
     }
 
-    /// Copy a shard's buffers host→device on (or sprayed around) `stream`.
-    /// When the graph exceeds host memory, the shard is first read from
-    /// storage into the host's streaming window.
-    fn copy_in(&mut self, stream: StreamId, bufs: &[Buf]) {
+    /// Copy a shard's buffers host→device on (or sprayed around) `stream`,
+    /// each copy routed through the fault-retry path. When the graph
+    /// exceeds host memory, the shard is first read from storage into the
+    /// host's streaming window.
+    fn copy_in(&mut self, stream: StreamId, bufs: &[Buf], iter: u32) -> Result<(), Abort> {
         if bufs.is_empty() {
-            return;
+            return Ok(());
         }
         if let Some(per_byte) = self.storage_read_secs_per_byte {
             let bytes: u64 = bufs.iter().map(|b| b.0).sum();
@@ -592,10 +890,12 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             // pinned-sequential rate applies (Figure 4's best case).
             for &(bytes, label) in bufs {
                 if bytes > 0 {
-                    self.gpu.h2d_zero_copy(stream, bytes, label);
+                    self.retry_loop(stream, label, iter, |g| {
+                        g.try_h2d_zero_copy(stream, bytes, label)
+                    })?;
                 }
             }
-            return;
+            return Ok(());
         }
         if self.opts.spray && !self.spray_streams.is_empty() {
             // Spray: split every sub-array over dynamically cycled streams;
@@ -612,7 +912,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     left -= b;
                     let ss = self.spray_streams[self.spray_cursor % self.spray_streams.len()];
                     self.spray_cursor += 1;
-                    self.gpu.h2d(ss, b, label);
+                    self.retry_loop(ss, label, iter, |g| g.try_h2d(ss, b, label))?;
                     let ev = self.gpu.record_event(ss);
                     self.gpu.wait_event(stream, ev);
                 }
@@ -620,19 +920,21 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         } else {
             for &(bytes, label) in bufs {
                 if bytes > 0 {
-                    self.gpu.h2d(stream, bytes, label);
+                    self.retry_loop(stream, label, iter, |g| g.try_h2d(stream, bytes, label))?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Copy a shard's buffers device→host after the work on `stream`.
-    fn copy_out(&mut self, stream: StreamId, bufs: &[Buf]) {
+    fn copy_out(&mut self, stream: StreamId, bufs: &[Buf], iter: u32) -> Result<(), Abort> {
         for &(bytes, label) in bufs {
             if bytes > 0 {
-                self.gpu.d2h(stream, bytes, label);
+                self.retry_loop(stream, label, iter, |g| g.try_d2h(stream, bytes, label))?;
             }
         }
+        Ok(())
     }
 
     /// In-edge sub-arrays of a shard: source ids, static weights, mutable
@@ -774,7 +1076,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     /// Optimized pipeline: fusion + elimination collapse each iteration
     /// into (at most) a gather stage, an apply stage, and a
     /// scatter+activate stage, each copying a shard's data once.
-    fn emit_fused(&mut self, iter: u32, work: &[ShardWork]) {
+    fn emit_fused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
         let shards = self.plan.shards.clone();
         // Stage A: gather (eliminated entirely for gather-less programs —
         // no in-edge movement, no kernels).
@@ -791,13 +1093,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 let stream = self.stream_for(i);
                 if !self.in_cached[i] {
                     let bufs = self.in_bufs(sh, false);
-                    self.copy_in(stream, &bufs);
+                    self.copy_in(stream, &bufs, iter)?;
                     if self.resident {
                         self.in_cached[i] = true;
                     }
                 }
                 for spec in self.gather_specs(i, w) {
-                    self.launch_tracked(stream, &spec, iter, i);
+                    self.launch_tracked(stream, &spec, iter, i)?;
                 }
             }
             self.sync_and_resolve();
@@ -812,7 +1114,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             let stream = self.stream_for(i);
             let spec = self.apply_spec(w);
-            self.launch_tracked(stream, &spec, iter, i);
+            self.launch_tracked(stream, &spec, iter, i)?;
         }
         self.sync_and_resolve();
 
@@ -832,17 +1134,17 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let stream = self.stream_for(i);
             if !self.out_cached[i] {
                 let bufs = self.out_bufs(sh, false);
-                self.copy_in(stream, &bufs);
+                self.copy_in(stream, &bufs, iter)?;
                 if self.resident {
                     self.out_cached[i] = true;
                 }
             }
             if self.program.has_scatter() {
                 let spec = self.scatter_spec(i, w);
-                self.launch_tracked(stream, &spec, iter, i);
+                self.launch_tracked(stream, &spec, iter, i)?;
             }
             let spec = self.activate_spec(i, w);
-            self.launch_tracked(stream, &spec, iter, i);
+            self.launch_tracked(stream, &spec, iter, i)?;
             // Copy-outs: mutated edge values (unless resident — they are
             // fetched once at finalize) and the tiny frontier bitmap.
             let mut outs: Vec<Buf> = Vec::new();
@@ -853,15 +1155,16 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 ));
             }
             outs.push((sh.num_vertices().div_ceil(8), "frontier.bits"));
-            self.copy_out(stream, &outs);
+            self.copy_out(stream, &outs, iter)?;
         }
         self.sync_and_resolve();
+        Ok(())
     }
 
     /// Unoptimized mode: five separate phases, each moving the shard data
     /// it touches in *and* out, for every shard, every iteration — the
     /// Figure 15 baseline.
-    fn emit_unfused(&mut self, iter: u32, work: &[ShardWork]) {
+    fn emit_unfused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
         let shards = self.plan.shards.clone();
         let has_gather = self.program.has_gather();
         let has_scatter = self.program.has_scatter();
@@ -877,13 +1180,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             let stream = self.stream_for(i);
             let bufs = self.in_bufs(sh, true);
-            self.copy_in(stream, &bufs);
+            self.copy_in(stream, &bufs, iter)?;
             if has_gather {
                 let specs = self.gather_specs(i, &work[i]);
-                self.launch_tracked(stream, &specs[0], iter, i);
+                self.launch_tracked(stream, &specs[0], iter, i)?;
             }
             let upd = self.edge_update_buf(sh);
-            self.copy_out(stream, &[upd]);
+            self.copy_out(stream, &[upd], iter)?;
         }
         self.sync_and_resolve();
 
@@ -897,15 +1200,15 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             let stream = self.stream_for(i);
             let upd = self.edge_update_buf(sh);
-            self.copy_in(stream, &[upd]);
+            self.copy_in(stream, &[upd], iter)?;
             if has_gather {
                 let specs = self.gather_specs(i, &work[i]);
                 if let Some(reduce) = specs.get(1).cloned() {
-                    self.launch_tracked(stream, &reduce, iter, i);
+                    self.launch_tracked(stream, &reduce, iter, i)?;
                 }
             }
             let t = self.gather_temp_buf(sh);
-            self.copy_out(stream, &[t]);
+            self.copy_out(stream, &[t], iter)?;
         }
         self.sync_and_resolve();
 
@@ -921,10 +1224,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 "apply.vertices",
             );
             let t = self.gather_temp_buf(sh);
-            self.copy_in(stream, &[t, vbuf]);
+            self.copy_in(stream, &[t, vbuf], iter)?;
             let spec = self.apply_spec(&work[i]);
-            self.launch_tracked(stream, &spec, iter, i);
-            self.copy_out(stream, &[vbuf]);
+            self.launch_tracked(stream, &spec, iter, i)?;
+            self.copy_out(stream, &[vbuf], iter)?;
         }
         self.sync_and_resolve();
 
@@ -936,12 +1239,12 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             let stream = self.stream_for(i);
             let bufs = self.out_bufs(sh, true);
-            self.copy_in(stream, &bufs);
+            self.copy_in(stream, &bufs, iter)?;
             if has_scatter {
                 let spec = self.scatter_spec(i, &work[i]);
-                self.launch_tracked(stream, &spec, iter, i);
+                self.launch_tracked(stream, &spec, iter, i)?;
                 let vals: Buf = (sh.num_out_edges() * self.sizes.edge_value, "out.value.d2h");
-                self.copy_out(stream, &[vals]);
+                self.copy_out(stream, &[vals], iter)?;
             }
         }
         self.sync_and_resolve();
@@ -953,12 +1256,17 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 continue;
             }
             let stream = self.stream_for(i);
-            self.copy_in(stream, &[(sh.num_out_edges() * 4, "out.dst")]);
+            self.copy_in(stream, &[(sh.num_out_edges() * 4, "out.dst")], iter)?;
             let spec = self.activate_spec(i, &work[i]);
-            self.launch_tracked(stream, &spec, iter, i);
-            self.copy_out(stream, &[(sh.num_vertices().div_ceil(8), "frontier.bits")]);
+            self.launch_tracked(stream, &spec, iter, i)?;
+            self.copy_out(
+                stream,
+                &[(sh.num_vertices().div_ceil(8), "frontier.bits")],
+                iter,
+            )?;
         }
         self.sync_and_resolve();
+        Ok(())
     }
 
     /// One skipped phase of the unfused pipeline: one shard copy and one
@@ -966,6 +1274,44 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     fn skip_phase(&mut self) {
         self.metrics.inc("engine.skipped_shard_copies", 1);
         self.metrics.inc("engine.skipped_kernel_launches", 1);
+    }
+}
+
+/// Allocate device memory through the recovery policy. Injected
+/// allocation pressure and a genuinely full pool look identical here:
+/// back off (charged as simulated time on `stream`), retry, and surface
+/// [`EngineError::Alloc`] once the retry budget is spent.
+fn alloc_retry(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    bytes: u64,
+    recovery: &RecoveryPolicy,
+    metrics: &mut MetricsRegistry,
+    observer: &Observer,
+) -> Result<Allocation, EngineError> {
+    let mut attempt = 0u32;
+    loop {
+        match gpu.try_alloc(bytes) {
+            Ok(a) => return Ok(a),
+            Err(oom) => {
+                attempt += 1;
+                if attempt > recovery.max_retries {
+                    return Err(EngineError::Alloc(oom));
+                }
+                let backoff = recovery.backoff(attempt);
+                gpu.stall(stream, backoff, "recovery.backoff");
+                metrics.inc("engine.fault_retries", 1);
+                let backoff_ns = backoff.as_nanos();
+                observer.decision(|| Decision::FaultRetry {
+                    iteration: 0,
+                    device: 0,
+                    op: "alloc",
+                    fault: "alloc.pressure",
+                    attempt,
+                    backoff_ns,
+                });
+            }
+        }
     }
 }
 

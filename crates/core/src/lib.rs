@@ -51,18 +51,23 @@
 
 pub mod api;
 pub mod buffers;
+pub mod checkpoint;
 pub mod engine;
 pub mod multi;
 pub mod options;
 pub mod phases;
+pub mod recovery;
 pub mod report;
 pub mod sizes;
 pub mod stats;
 
 pub use api::{GasProgram, InitialFrontier};
+pub use checkpoint::Checkpoint;
 pub use engine::{GraphReduce, RunResult, WarmStart};
+pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan};
 pub use multi::{MultiGraphReduce, MultiRunResult, MultiRunStats};
 pub use options::{GatherMode, Options, PartitionLogicHandle, StreamingMode};
+pub use recovery::{EngineError, RecoveryPolicy};
 pub use sizes::{
     optimal_concurrent_shards, pcie_saturating_bytes, plan_partition, plan_partition_with,
     PartitionPlan, PlanError, SizeModel,

@@ -20,13 +20,26 @@
 //! single-device engine and the sequential oracle.
 
 use gr_graph::{Bitmap, GraphLayout, Shard};
-use gr_observe::{InstantEvent, Observer, SpanEvent};
-use gr_sim::{Gpu, KernelSpec, Platform, SimDuration, StreamId};
+use gr_observe::{Decision, InstantEvent, Observer, SpanEvent};
+use gr_sim::{DeviceFault, FaultPlan, Gpu, KernelSpec, OpId, Platform, SimDuration, StreamId};
 
 use crate::api::{GasProgram, InitialFrontier};
 use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
-use crate::sizes::{plan_partition, PlanError, SizeModel};
+use crate::recovery::{EngineError, RecoveryPolicy};
+use crate::sizes::{plan_partition, SizeModel};
 use crate::stats::IterationStats;
+
+/// Timeline replays allowed per BSP stage before a persistent fault
+/// becomes [`EngineError::Unrecoverable`].
+const REPLAY_CAP: u32 = 64;
+
+/// A device op that failed past its retry budget (or hit a lost device)
+/// during multi-GPU timeline emission.
+struct MultiAbort {
+    device: usize,
+    op: &'static str,
+    fault: DeviceFault,
+}
 
 /// Multi-GPU run statistics.
 #[derive(Clone, Debug, Default)]
@@ -46,6 +59,10 @@ pub struct MultiRunStats {
     pub exchange_bytes: u64,
     /// Shard count.
     pub num_shards: usize,
+    /// Devices evicted after permanent loss (shards redistributed).
+    pub evictions: u32,
+    /// Injected device faults, summed over all devices.
+    pub faults_injected: u64,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterationStats>,
 }
@@ -64,6 +81,8 @@ pub struct MultiGraphReduce<'g, P: GasProgram> {
     platform: Platform,
     num_gpus: u32,
     observer: Observer,
+    fault_plans: Vec<(usize, FaultPlan)>,
+    recovery: RecoveryPolicy,
 }
 
 impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
@@ -74,6 +93,8 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             platform,
             num_gpus: num_gpus.max(1),
             observer: Observer::disabled(),
+            fault_plans: Vec::new(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -82,6 +103,19 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
     /// on the `"multi"` track.
     pub fn with_observer(mut self, observer: Observer) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Arm a deterministic fault plan on one device (chaos testing).
+    /// Plans for out-of-range device indices are ignored.
+    pub fn with_fault_plan(mut self, device: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((device, plan));
+        self
+    }
+
+    /// Recovery policy applied to every device's ops.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -96,7 +130,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
     }
 
     /// Execute to convergence.
-    pub fn run(&self) -> Result<MultiRunResult<P>, PlanError> {
+    pub fn run(&self) -> Result<MultiRunResult<P>, EngineError> {
         let sizes = self.size_model();
         let n = self.layout.num_vertices();
         let ngpu = self.num_gpus as usize;
@@ -116,6 +150,11 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         for (d, g) in gpus.iter_mut().enumerate() {
             g.set_observer_tagged(self.observer.clone(), format!("gpu{d}/"));
         }
+        for (d, plan) in &self.fault_plans {
+            if *d < ngpu {
+                gpus[*d].set_fault_plan(plan.clone());
+            }
+        }
         let streams: Vec<Vec<StreamId>> = gpus
             .iter_mut()
             .map(|g| {
@@ -124,12 +163,57 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                     .collect()
             })
             .collect();
+
+        // Shard ownership and device liveness: a lost device is evicted
+        // and its shards redistributed round-robin over the survivors.
+        let mut owners: Vec<usize> = (0..shards.len()).map(|i| i % ngpu).collect();
+        let mut alive = vec![true; ngpu];
+        let mut evictions = 0u32;
+
         // Static buffers replicated per device.
         let vbytes = n as u64 * sizes.vertex_value;
         let mut global = SimDuration::ZERO;
-        for g in &mut gpus {
-            let s = g.create_stream();
-            g.h2d(s, vbytes, "multi.init.vertices");
+        {
+            let mut replays = 0u32;
+            loop {
+                let mut abort = None;
+                for d in 0..ngpu {
+                    if !alive[d] {
+                        continue;
+                    }
+                    let s = streams[d][0];
+                    let r = multi_retry(
+                        &mut gpus[d],
+                        d,
+                        s,
+                        "multi.init.vertices",
+                        0,
+                        &self.recovery,
+                        &self.observer,
+                        |g| g.try_h2d(s, vbytes, "multi.init.vertices"),
+                    );
+                    if let Err(a) = r {
+                        abort = Some(a);
+                        break;
+                    }
+                }
+                match abort {
+                    None => break,
+                    Some(a) => {
+                        replays += 1;
+                        global += barrier(&mut gpus);
+                        handle_multi_abort(
+                            a,
+                            0,
+                            replays,
+                            &mut alive,
+                            &mut owners,
+                            &mut evictions,
+                            &self.observer,
+                        )?;
+                    }
+                }
+            }
         }
         barrier_observed(&mut gpus, &mut global, "init", &self.observer);
 
@@ -153,7 +237,6 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             }
         };
 
-        let owner = |shard_id: usize| shard_id % ngpu;
         let mut per_iteration = Vec::new();
         let mut exchange_bytes = 0u64;
         let mut iter = 0u32;
@@ -219,100 +302,48 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 activated += act;
             }
 
-            // ---- device timelines ----
-            // Stage A: gather on each shard's owner device.
-            if self.program.has_gather() {
-                for (i, sh) in shards.iter().enumerate() {
-                    if !work[i].is_active() {
-                        continue;
-                    }
-                    let d = owner(i);
-                    let stream = streams[d][i % streams[d].len()];
-                    let e = sh.num_in_edges();
-                    gpus[d].h2d(stream, e * sizes.in_edge_bytes(), "multi.in-edges");
-                    gpus[d].launch(
-                        stream,
-                        &KernelSpec::balanced(
-                            "multi.gather",
-                            work[i].active_in_edges,
-                            2.0,
-                            work[i].active_in_edges * (sizes.in_edge_bytes() + sizes.gather),
-                            work[i].active_in_edges,
-                        ),
-                    );
-                }
-                barrier_observed(&mut gpus, &mut global, "gather", &self.observer);
-            }
-            // Stage B: apply on owners.
-            for (i, _sh) in shards.iter().enumerate() {
-                if !work[i].is_active() {
-                    continue;
-                }
-                let d = owner(i);
-                let stream = streams[d][i % streams[d].len()];
-                gpus[d].launch(
-                    stream,
-                    &KernelSpec::balanced(
-                        "multi.apply",
-                        work[i].active_vertices,
-                        4.0,
-                        work[i].active_vertices * (sizes.vertex_value + sizes.gather),
-                        0,
-                    ),
+            // ---- device timelines (replayed on persistent faults) ----
+            // Host results above were computed exactly once; only the
+            // simulated device schedule is re-emitted after a rollback or
+            // an eviction, so final state stays bit-identical.
+            let mut replays = 0u32;
+            let exchanged = loop {
+                let r = emit_multi_iteration(
+                    &mut gpus,
+                    &streams,
+                    &owners,
+                    &alive,
+                    shards,
+                    &sizes,
+                    &work,
+                    &changed,
+                    self.program.has_gather(),
+                    iter,
+                    &mut global,
+                    &self.recovery,
+                    &self.observer,
                 );
-            }
-            barrier_observed(&mut gpus, &mut global, "apply", &self.observer);
-            // Stage C: scatter/activate on owners, then cross-device
-            // exchange of changed vertex values + activation bits.
-            for (i, sh) in shards.iter().enumerate() {
-                if work[i].out_edges_of_changed == 0 {
-                    continue;
-                }
-                let d = owner(i);
-                let stream = streams[d][i % streams[d].len()];
-                gpus[d].h2d(
-                    stream,
-                    sh.num_out_edges() * sizes.out_edge_bytes(),
-                    "multi.out-edges",
-                );
-                gpus[d].launch(
-                    stream,
-                    &KernelSpec::balanced(
-                        "multi.activate",
-                        work[i].out_edges_of_changed,
-                        1.0,
-                        work[i].out_edges_of_changed * 4,
-                        work[i].out_edges_of_changed,
-                    ),
-                );
-            }
-            // Exchange: each owner downloads its changed values; every
-            // device uploads the union of the *other* owners' changes.
-            let mut changed_per_gpu = vec![0u64; ngpu];
-            for (i, sh) in shards.iter().enumerate() {
-                changed_per_gpu[owner(i)] +=
-                    changed.count_range(sh.interval.start, sh.interval.end);
-            }
-            let total_changed: u64 = changed_per_gpu.iter().sum();
-            if ngpu > 1 {
-                for (d, g) in gpus.iter_mut().enumerate() {
-                    let s = streams[d][0];
-                    let down = changed_per_gpu[d] * (sizes.vertex_value + 4);
-                    let up = (total_changed - changed_per_gpu[d]) * (sizes.vertex_value + 4);
-                    if down > 0 {
-                        g.d2h(s, down, "multi.exchange.down");
-                        exchange_bytes += down;
-                    }
-                    if up > 0 {
-                        g.h2d(s, up, "multi.exchange.up");
-                        exchange_bytes += up;
+                match r {
+                    Ok(x) => break x,
+                    Err(a) => {
+                        replays += 1;
+                        // Settle partial work: the doomed attempt's time
+                        // stays on the clock.
+                        global += barrier(&mut gpus);
+                        handle_multi_abort(
+                            a,
+                            iter,
+                            replays,
+                            &mut alive,
+                            &mut owners,
+                            &mut evictions,
+                            &self.observer,
+                        )?;
                     }
                 }
-            } else {
-                let d2h: u64 = total_changed.div_ceil(8);
-                gpus[0].d2h(streams[0][0], d2h, "multi.frontier.bits");
-            }
-            barrier_observed(&mut gpus, &mut global, "exchange", &self.observer);
+            };
+            // Committed only on success so replays never double-count.
+            exchange_bytes += exchanged;
 
             let processed = work.iter().filter(|w| w.is_active()).count() as u32;
             let it = IterationStats {
@@ -342,15 +373,56 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             iter += 1;
         }
 
-        // Final download from owners.
-        for (d, g) in gpus.iter_mut().enumerate() {
-            let owned: u64 = shards
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| owner(*i) == d)
-                .map(|(_, sh)| sh.num_vertices())
-                .sum();
-            g.d2h(streams[d][0], owned * sizes.vertex_value, "multi.final");
+        // Final download from owners (replayed with eviction handling:
+        // a device that dies here hands its shards to the survivors).
+        {
+            let mut replays = 0u32;
+            loop {
+                let mut abort = None;
+                for d in 0..ngpu {
+                    if !alive[d] {
+                        continue;
+                    }
+                    let owned: u64 = shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| owners[*i] == d)
+                        .map(|(_, sh)| sh.num_vertices())
+                        .sum();
+                    let s = streams[d][0];
+                    let bytes = owned * sizes.vertex_value;
+                    let r = multi_retry(
+                        &mut gpus[d],
+                        d,
+                        s,
+                        "multi.final",
+                        iter,
+                        &self.recovery,
+                        &self.observer,
+                        |g| g.try_d2h(s, bytes, "multi.final"),
+                    );
+                    if let Err(a) = r {
+                        abort = Some(a);
+                        break;
+                    }
+                }
+                match abort {
+                    None => break,
+                    Some(a) => {
+                        replays += 1;
+                        global += barrier(&mut gpus);
+                        handle_multi_abort(
+                            a,
+                            iter,
+                            replays,
+                            &mut alive,
+                            &mut owners,
+                            &mut evictions,
+                            &self.observer,
+                        )?;
+                    }
+                }
+            }
         }
         barrier_observed(&mut gpus, &mut global, "final", &self.observer);
         for (d, g) in gpus.iter().enumerate() {
@@ -366,6 +438,8 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             per_gpu_kernel: gpus.iter().map(|g| g.stats().kernel_busy).collect(),
             exchange_bytes,
             num_shards: shards.len(),
+            evictions,
+            faults_injected: gpus.iter().map(|g| g.faults_injected()).sum(),
             per_iteration,
         };
         Ok(MultiRunResult {
@@ -374,6 +448,306 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             stats,
         })
     }
+}
+
+/// One device op through the recovery policy: transient faults retry
+/// after exponential-backoff stalls (charged to the device's stream,
+/// logged as [`Decision::FaultRetry`] with the device index); exhausted
+/// retries and device loss unwind as [`MultiAbort`].
+#[allow(clippy::too_many_arguments)]
+fn multi_retry<F>(
+    gpu: &mut Gpu,
+    device: usize,
+    stream: StreamId,
+    label: &'static str,
+    iter: u32,
+    recovery: &RecoveryPolicy,
+    observer: &Observer,
+    mut op: F,
+) -> Result<OpId, MultiAbort>
+where
+    F: FnMut(&mut Gpu) -> Result<OpId, DeviceFault>,
+{
+    let mut attempt = 0u32;
+    loop {
+        match op(gpu) {
+            Ok(id) => return Ok(id),
+            Err(DeviceFault::Lost) => {
+                return Err(MultiAbort {
+                    device,
+                    op: label,
+                    fault: DeviceFault::Lost,
+                })
+            }
+            Err(fault) => {
+                attempt += 1;
+                if attempt > recovery.max_retries {
+                    return Err(MultiAbort {
+                        device,
+                        op: label,
+                        fault,
+                    });
+                }
+                let backoff = recovery.backoff(attempt);
+                gpu.stall(stream, backoff, "recovery.backoff");
+                let backoff_ns = backoff.as_nanos();
+                observer.decision(|| Decision::FaultRetry {
+                    iteration: iter,
+                    device: device as u32,
+                    op: label,
+                    fault: fault.name(),
+                    attempt,
+                    backoff_ns,
+                });
+            }
+        }
+    }
+}
+
+/// Central multi-GPU abort handling. Device loss evicts the device and
+/// redistributes its shards round-robin over the survivors (logged as
+/// [`Decision::DeviceEvict`]); losing the last device fails the run. A
+/// persistent transient fault logs a [`Decision::Rollback`] so the caller
+/// replays the stage's timeline, bounded by [`REPLAY_CAP`].
+fn handle_multi_abort(
+    a: MultiAbort,
+    iter: u32,
+    replays: u32,
+    alive: &mut [bool],
+    owners: &mut [usize],
+    evictions: &mut u32,
+    observer: &Observer,
+) -> Result<(), EngineError> {
+    match a.fault {
+        DeviceFault::Lost => {
+            alive[a.device] = false;
+            let survivors: Vec<usize> = alive
+                .iter()
+                .enumerate()
+                .filter_map(|(d, &l)| l.then_some(d))
+                .collect();
+            if survivors.is_empty() {
+                return Err(EngineError::DeviceLost);
+            }
+            let mut moved = 0u32;
+            for o in owners.iter_mut() {
+                if *o == a.device {
+                    *o = survivors[moved as usize % survivors.len()];
+                    moved += 1;
+                }
+            }
+            *evictions += 1;
+            let device = a.device as u32;
+            observer.decision(|| Decision::DeviceEvict {
+                iteration: iter,
+                device,
+                shards_moved: moved,
+            });
+            Ok(())
+        }
+        fault => {
+            if replays > REPLAY_CAP {
+                return Err(EngineError::Unrecoverable { op: a.op });
+            }
+            let device = a.device as u32;
+            let name = fault.name();
+            observer.decision(|| Decision::Rollback {
+                iteration: iter,
+                device,
+                op: a.op,
+                fault: name,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// One BSP iteration's device timeline: gather/apply/activate stages on
+/// each shard's owner plus the cross-device exchange, every op routed
+/// through the fault-retry path. Returns the iteration's exchange bytes
+/// (committed by the caller only on success, so replays never
+/// double-count).
+#[allow(clippy::too_many_arguments)]
+fn emit_multi_iteration(
+    gpus: &mut [Gpu],
+    streams: &[Vec<StreamId>],
+    owners: &[usize],
+    alive: &[bool],
+    shards: &[Shard],
+    sizes: &SizeModel,
+    work: &[ShardWork],
+    changed: &Bitmap,
+    has_gather: bool,
+    iter: u32,
+    global: &mut SimDuration,
+    recovery: &RecoveryPolicy,
+    observer: &Observer,
+) -> Result<u64, MultiAbort> {
+    // Stage A: gather on each shard's owner device.
+    if has_gather {
+        for (i, sh) in shards.iter().enumerate() {
+            if !work[i].is_active() {
+                continue;
+            }
+            let d = owners[i];
+            let stream = streams[d][i % streams[d].len()];
+            let bytes = sh.num_in_edges() * sizes.in_edge_bytes();
+            multi_retry(
+                &mut gpus[d],
+                d,
+                stream,
+                "multi.in-edges",
+                iter,
+                recovery,
+                observer,
+                |g| g.try_h2d(stream, bytes, "multi.in-edges"),
+            )?;
+            let spec = KernelSpec::balanced(
+                "multi.gather",
+                work[i].active_in_edges,
+                2.0,
+                work[i].active_in_edges * (sizes.in_edge_bytes() + sizes.gather),
+                work[i].active_in_edges,
+            );
+            multi_retry(
+                &mut gpus[d],
+                d,
+                stream,
+                "multi.gather",
+                iter,
+                recovery,
+                observer,
+                |g| g.try_launch(stream, &spec),
+            )?;
+        }
+        barrier_observed(gpus, global, "gather", observer);
+    }
+    // Stage B: apply on owners.
+    for (i, _sh) in shards.iter().enumerate() {
+        if !work[i].is_active() {
+            continue;
+        }
+        let d = owners[i];
+        let stream = streams[d][i % streams[d].len()];
+        let spec = KernelSpec::balanced(
+            "multi.apply",
+            work[i].active_vertices,
+            4.0,
+            work[i].active_vertices * (sizes.vertex_value + sizes.gather),
+            0,
+        );
+        multi_retry(
+            &mut gpus[d],
+            d,
+            stream,
+            "multi.apply",
+            iter,
+            recovery,
+            observer,
+            |g| g.try_launch(stream, &spec),
+        )?;
+    }
+    barrier_observed(gpus, global, "apply", observer);
+    // Stage C: scatter/activate on owners, then cross-device exchange of
+    // changed vertex values + activation bits.
+    for (i, sh) in shards.iter().enumerate() {
+        if work[i].out_edges_of_changed == 0 {
+            continue;
+        }
+        let d = owners[i];
+        let stream = streams[d][i % streams[d].len()];
+        let bytes = sh.num_out_edges() * sizes.out_edge_bytes();
+        multi_retry(
+            &mut gpus[d],
+            d,
+            stream,
+            "multi.out-edges",
+            iter,
+            recovery,
+            observer,
+            |g| g.try_h2d(stream, bytes, "multi.out-edges"),
+        )?;
+        let spec = KernelSpec::balanced(
+            "multi.activate",
+            work[i].out_edges_of_changed,
+            1.0,
+            work[i].out_edges_of_changed * 4,
+            work[i].out_edges_of_changed,
+        );
+        multi_retry(
+            &mut gpus[d],
+            d,
+            stream,
+            "multi.activate",
+            iter,
+            recovery,
+            observer,
+            |g| g.try_launch(stream, &spec),
+        )?;
+    }
+    // Exchange: each owner downloads its changed values; every live
+    // device uploads the union of the *other* owners' changes.
+    let ngpu = gpus.len();
+    let mut changed_per_gpu = vec![0u64; ngpu];
+    for (i, sh) in shards.iter().enumerate() {
+        changed_per_gpu[owners[i]] += changed.count_range(sh.interval.start, sh.interval.end);
+    }
+    let total_changed: u64 = changed_per_gpu.iter().sum();
+    let live: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .filter_map(|(d, &l)| l.then_some(d))
+        .collect();
+    let mut exchanged = 0u64;
+    if live.len() > 1 {
+        for &d in &live {
+            let s = streams[d][0];
+            let down = changed_per_gpu[d] * (sizes.vertex_value + 4);
+            let up = (total_changed - changed_per_gpu[d]) * (sizes.vertex_value + 4);
+            if down > 0 {
+                multi_retry(
+                    &mut gpus[d],
+                    d,
+                    s,
+                    "multi.exchange.down",
+                    iter,
+                    recovery,
+                    observer,
+                    |g| g.try_d2h(s, down, "multi.exchange.down"),
+                )?;
+                exchanged += down;
+            }
+            if up > 0 {
+                multi_retry(
+                    &mut gpus[d],
+                    d,
+                    s,
+                    "multi.exchange.up",
+                    iter,
+                    recovery,
+                    observer,
+                    |g| g.try_h2d(s, up, "multi.exchange.up"),
+                )?;
+                exchanged += up;
+            }
+        }
+    } else {
+        let d = live[0];
+        let s = streams[d][0];
+        let bits: u64 = total_changed.div_ceil(8);
+        multi_retry(
+            &mut gpus[d],
+            d,
+            s,
+            "multi.frontier.bits",
+            iter,
+            recovery,
+            observer,
+            |g| g.try_d2h(s, bits, "multi.frontier.bits"),
+        )?;
+    }
+    barrier_observed(gpus, global, "exchange", observer);
+    Ok(exchanged)
 }
 
 /// Advance all devices to their next barrier; return the stage duration

@@ -5,6 +5,9 @@
 use std::sync::Arc;
 
 use gr_graph::{EvenEdgePartition, PartitionLogic};
+use gr_sim::FaultPlan;
+
+use crate::recovery::RecoveryPolicy;
 
 /// Shared handle to a partition logic plug-in (Section 4.2's Partition
 /// Logic Table: "GraphReduce is able to take any user-provided
@@ -109,6 +112,12 @@ pub struct Options {
     pub partition_logic: PartitionLogicHandle,
     /// Transfer technique for streamed shard buffers.
     pub streaming_mode: StreamingMode,
+    /// Deterministic fault-injection schedule armed on the device before
+    /// the run. [`FaultPlan::none`] (the default) adds zero ops and zero
+    /// simulated time — the fault machinery costs one branch per device op.
+    pub fault_plan: FaultPlan,
+    /// What the engine does about injected (or real) device faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Options {
@@ -127,6 +136,8 @@ impl Options {
             cache_resident: true,
             partition_logic: PartitionLogicHandle::default(),
             streaming_mode: StreamingMode::Explicit,
+            fault_plan: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -147,6 +158,8 @@ impl Options {
             cache_resident: false,
             partition_logic: PartitionLogicHandle::default(),
             streaming_mode: StreamingMode::Explicit,
+            fault_plan: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -206,6 +219,16 @@ impl Options {
         self.streaming_mode = mode;
         self
     }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
 }
 
 impl Default for Options {
@@ -248,5 +271,17 @@ mod tests {
         assert_eq!(o.concurrent_shards, 1); // clamped
         assert_eq!(o.num_shards, Some(1)); // clamped
         assert_eq!(o.gather_mode, GatherMode::VertexCentric);
+    }
+
+    #[test]
+    fn fault_injection_defaults_off() {
+        let o = Options::optimized();
+        assert!(o.fault_plan.is_none());
+        assert_eq!(o.recovery, RecoveryPolicy::default());
+        let armed = o
+            .with_fault_plan(FaultPlan::none().fail_h2d(0, 1))
+            .with_recovery(RecoveryPolicy::fail_fast());
+        assert!(!armed.fault_plan.is_none());
+        assert_eq!(armed.recovery.max_retries, 0);
     }
 }

@@ -64,6 +64,16 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
         stats.concurrent_shards
     ));
     out.push_str(&format!("  \"all_resident\": {},\n", stats.all_resident));
+    out.push_str(&format!(
+        "  \"faults_injected\": {},\n",
+        stats.faults_injected
+    ));
+    out.push_str(&format!(
+        "  \"recovered_retries\": {},\n",
+        stats.recovered_retries
+    ));
+    out.push_str(&format!("  \"rollbacks\": {},\n", stats.rollbacks));
+    out.push_str(&format!("  \"host_fallback\": {},\n", stats.host_fallback));
     out.push_str(&format!("  \"max_frontier\": {},\n", stats.max_frontier()));
     out.push_str(&format!(
         "  \"pct_iterations_below_half_max\": {},\n",
@@ -110,12 +120,19 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
                 json::string(phase),
                 json::string(rationale)
             )),
-            Decision::ShardSkip { .. } => None,
+            // Per-event decisions are summarized by count here (the full
+            // stream lives in the JSONL decision log).
+            Decision::ShardSkip { .. }
+            | Decision::FaultRetry { .. }
+            | Decision::Rollback { .. }
+            | Decision::DeviceEvict { .. }
+            | Decision::HostFallback { .. } => None,
         })
         .collect();
     out.push_str(&format!(
-        "  \"decisions\": {{\"shard_skips\": {}, \"plan\": [\n{}\n    ]}},\n",
+        "  \"decisions\": {{\"shard_skips\": {}, \"recovery_decisions\": {}, \"plan\": [\n{}\n    ]}},\n",
         rec.shard_skips(),
+        rec.recovery_decisions(),
         plan.join(",\n")
     ));
 
@@ -196,6 +213,10 @@ mod tests {
             num_shards: 2,
             concurrent_shards: 2,
             all_resident: false,
+            faults_injected: 1,
+            recovered_retries: 1,
+            rollbacks: 0,
+            host_fallback: false,
             per_iteration: vec![
                 IterationStats {
                     frontier_size: 1,
@@ -229,6 +250,14 @@ mod tests {
             phase: "scatter",
             rationale: "program defines no scatter",
         });
+        obs.decision(|| Decision::FaultRetry {
+            iteration: 0,
+            device: 0,
+            op: "in.topo",
+            fault: "transient.h2d",
+            attempt: 1,
+            backoff_ns: 50_000,
+        });
         let mut m = MetricsRegistry::new();
         m.inc("h2d.bytes", 1000);
         obs.snapshot("run", || m.snapshot());
@@ -245,6 +274,12 @@ mod tests {
         assert!(rep.contains("\"shard_skips\": 1"));
         assert!(rep.contains("\"phase_elimination\""));
         assert!(rep.contains("\"frontier_size\":1"));
+        // Recovery: counted in the summary, not expanded in the plan list.
+        assert!(rep.contains("\"recovery_decisions\": 1"));
+        assert!(rep.contains("\"faults_injected\": 1"));
+        assert!(rep.contains("\"recovered_retries\": 1"));
+        assert!(rep.contains("\"host_fallback\": false"));
+        assert!(!rep.contains("\"fault_retry\""));
         // Snapshots: run-level in, per-iteration filtered out.
         assert!(rep.contains("\"run\": {\"counters\":{\"h2d.bytes\":1000}"));
         assert!(!rep.contains("\"iteration 0\""));

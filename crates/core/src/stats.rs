@@ -50,6 +50,14 @@ pub struct RunStats {
     pub concurrent_shards: u32,
     /// Whether the run executed fully device-resident.
     pub all_resident: bool,
+    /// Injected device faults encountered (0 without a fault plan).
+    pub faults_injected: u64,
+    /// Per-op retries the recovery policy issued (backoff charged as time).
+    pub recovered_retries: u64,
+    /// Iteration rollback-and-replays after exhausted retries.
+    pub rollbacks: u64,
+    /// Whether the run finished on the host CPU after permanent device loss.
+    pub host_fallback: bool,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterationStats>,
 }
@@ -134,7 +142,24 @@ impl std::fmt::Display for RunStats {
             self.pct_iterations_below_half_max(),
             self.skipped_shard_copies,
             self.skipped_kernel_launches
-        )
+        )?;
+        // Fault-free output stays byte-identical: the recovery line only
+        // appears when something was actually injected or recovered.
+        if self.faults_injected > 0 || self.host_fallback {
+            write!(
+                f,
+                "\n  faults: {} injected | {} retries, {} rollbacks{}",
+                self.faults_injected,
+                self.recovered_retries,
+                self.rollbacks,
+                if self.host_fallback {
+                    " | finished on host CPU"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +192,28 @@ mod tests {
         assert_eq!(s.max_frontier(), 0);
         assert_eq!(s.pct_iterations_below_half_max(), 0.0);
         assert_eq!(s.memcpy_share(), 0.0);
+    }
+
+    #[test]
+    fn fault_line_only_appears_when_faults_were_injected() {
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("faults:"), "{clean}");
+        let faulted = RunStats {
+            faults_injected: 3,
+            recovered_retries: 2,
+            rollbacks: 1,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(faulted.contains("faults: 3 injected | 2 retries, 1 rollbacks"));
+        assert!(!faulted.contains("host CPU"));
+        let fell_back = RunStats {
+            faults_injected: 1,
+            host_fallback: true,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(fell_back.contains("finished on host CPU"));
     }
 
     #[test]

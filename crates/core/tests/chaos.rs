@@ -1,0 +1,311 @@
+//! Chaos harness: every fault profile, injected into real runs, must
+//! leave the final vertex state bit-identical to the fault-free run —
+//! the host computes exact results and the recovery layer replays only
+//! the device timeline — and must leave exactly one recovery decision
+//! in the log per injected fault.
+//!
+//! See docs/FAULTS.md for the fault model and the decision-per-fault
+//! invariant these tests pin down.
+
+use gr_graph::{gen, GraphLayout};
+use gr_observe::Observer;
+use gr_sim::Platform;
+use graphreduce::{
+    EngineError, FaultPlan, GasProgram, GraphReduce, InitialFrontier, MultiGraphReduce, Options,
+    RecoveryPolicy,
+};
+
+/// Connected components (min-label flooding): touches every phase the
+/// engine has — gather, apply, activate — so faults can land anywhere.
+struct Cc;
+
+impl GasProgram for Cc {
+    type VertexValue = u32;
+    type EdgeValue = ();
+    type Gather = u32;
+
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn init_vertex(&self, v: u32, _d: u32) -> u32 {
+        v
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::All
+    }
+
+    fn gather_identity(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
+        *src
+    }
+
+    fn gather_reduce(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
+        if r < *v {
+            *v = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
+}
+
+fn small_graph() -> GraphLayout {
+    GraphLayout::build(&gen::uniform(512, 4096, 3).symmetrize())
+}
+
+/// Out-of-core platform: shards stream over PCIe, so copy/launch/alloc
+/// faults all have real ops to land on.
+fn platform() -> Platform {
+    Platform::paper_node_scaled(16384)
+}
+
+fn baseline() -> Vec<u32> {
+    let layout = small_graph();
+    GraphReduce::new(Cc, &layout, platform(), Options::optimized())
+        .run()
+        .unwrap()
+        .vertex_values
+}
+
+/// Run CC under `plan`, asserting the decision-per-fault invariant, and
+/// return (vertex_values, stats).
+fn run_faulted(plan: FaultPlan) -> (Vec<u32>, graphreduce::RunStats) {
+    let layout = small_graph();
+    let (obs, sink) = Observer::recording();
+    let out = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        Options::optimized().with_fault_plan(plan),
+    )
+    .with_observer(obs)
+    .run()
+    .unwrap();
+    let rec = sink.recorded();
+    assert_eq!(
+        rec.recovery_decisions() as u64,
+        out.stats.faults_injected,
+        "one recovery decision per injected fault"
+    );
+    (out.vertex_values, out.stats)
+}
+
+#[test]
+fn transient_copy_faults_recover_bit_identical() {
+    let want = baseline();
+    let (got, stats) = run_faulted(FaultPlan::profile("transient-copy", 0).unwrap());
+    assert_eq!(got, want);
+    assert!(stats.faults_injected >= 1, "profile must actually fire");
+    assert!(stats.recovered_retries >= 1);
+    assert!(!stats.host_fallback);
+}
+
+#[test]
+fn kernel_faults_recover_bit_identical() {
+    let want = baseline();
+    let (got, stats) = run_faulted(FaultPlan::profile("kernel-fault", 0).unwrap());
+    assert_eq!(got, want);
+    assert!(stats.faults_injected >= 1, "profile must actually fire");
+}
+
+#[test]
+fn alloc_pressure_recovers_bit_identical() {
+    let want = baseline();
+    let (got, stats) = run_faulted(FaultPlan::profile("oom-pressure", 0).unwrap());
+    assert_eq!(got, want);
+    assert_eq!(stats.faults_injected, 2, "fail_alloc(0, 2) fires twice");
+    assert_eq!(stats.recovered_retries, 2);
+}
+
+#[test]
+fn ecc_stalls_and_degraded_pcie_slow_but_never_fault() {
+    let want = baseline();
+    for profile in ["ecc-stall", "degraded-pcie"] {
+        let (got, stats) = run_faulted(FaultPlan::profile(profile, 0).unwrap());
+        assert_eq!(got, want, "{profile}");
+        assert_eq!(stats.faults_injected, 0, "{profile}: slowdowns, not faults");
+        assert_eq!(stats.rollbacks, 0, "{profile}");
+    }
+}
+
+#[test]
+fn exhausted_retries_roll_back_and_replay() {
+    // 6 consecutive failures on one op exceed max_retries=3, forcing a
+    // checkpoint rollback; the monotone fault counters make the replay
+    // converge past the window.
+    let want = baseline();
+    let (got, stats) = run_faulted(FaultPlan::none().fail_h2d(0, 6));
+    assert_eq!(got, want);
+    assert!(stats.rollbacks >= 1, "retry budget must have been exceeded");
+    assert!(!stats.host_fallback);
+}
+
+/// The `device-loss` profile's 2 ms loss time targets full-size runs;
+/// this graph finishes in under 1 ms, so the chaos tests pin the loss
+/// mid-run explicitly (same code path, same sticky-loss semantics).
+fn mid_run_loss() -> FaultPlan {
+    FaultPlan::none().lose_device_at_ns(400_000)
+}
+
+#[test]
+fn device_loss_single_gpu_falls_back_to_host() {
+    let want = baseline();
+    let (got, stats) = run_faulted(mid_run_loss());
+    assert_eq!(got, want, "host fallback preserves exact results");
+    assert_eq!(stats.faults_injected, 1, "loss is one fault, counted once");
+    assert!(stats.host_fallback);
+}
+
+#[test]
+fn device_loss_fail_fast_surfaces_device_lost() {
+    let layout = small_graph();
+    let res = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        Options::optimized()
+            .with_fault_plan(mid_run_loss())
+            .with_recovery(RecoveryPolicy::fail_fast()),
+    )
+    .run();
+    match res {
+        Err(EngineError::DeviceLost) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("fail-fast run must not survive device loss"),
+    }
+}
+
+#[test]
+fn alloc_pressure_past_retry_budget_surfaces_oom() {
+    let layout = small_graph();
+    let res = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        Options::optimized()
+            .with_fault_plan(FaultPlan::none().fail_alloc(0, 64))
+            .with_recovery(RecoveryPolicy::fail_fast()),
+    )
+    .run();
+    match res {
+        Err(EngineError::Alloc(_)) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("fail-fast run must not survive allocation pressure"),
+    }
+}
+
+#[test]
+fn seeded_chaos_recovers_bit_identical() {
+    // Seeded plans mix transient copy/launch/alloc faults, ECC stalls,
+    // and degraded-PCIe windows (never permanent loss); every seed must
+    // converge to the fault-free answer with a fully accounted log.
+    let want = baseline();
+    for seed in [1u64, 7, 42, 1234, 0xdead] {
+        let (got, stats) = run_faulted(FaultPlan::from_seed(seed));
+        assert_eq!(got, want, "seed {seed}");
+        assert!(!stats.host_fallback, "seeded plans never lose the device");
+    }
+}
+
+#[test]
+fn disarmed_fault_plan_adds_zero_overhead() {
+    let layout = small_graph();
+    let clean = GraphReduce::new(Cc, &layout, platform(), Options::optimized())
+        .run()
+        .unwrap();
+    let armed_none = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        Options::optimized().with_fault_plan(FaultPlan::none()),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(clean.vertex_values, armed_none.vertex_values);
+    assert_eq!(clean.stats.elapsed, armed_none.stats.elapsed, "no stalls");
+    assert_eq!(clean.stats.copy_ops, armed_none.stats.copy_ops, "no ops");
+    assert_eq!(
+        clean.stats.kernel_launches,
+        armed_none.stats.kernel_launches
+    );
+    assert_eq!(clean.stats.faults_injected, 0);
+    assert_eq!(armed_none.stats.faults_injected, 0);
+}
+
+fn multi_layout() -> GraphLayout {
+    GraphLayout::build(&gen::rmat_g500(11, 30_000, 17).symmetrize())
+}
+
+#[test]
+fn device_loss_multi_gpu_evicts_and_redistributes() {
+    let l = multi_layout();
+    let plat = Platform::paper_node_scaled(1 << 14);
+    let want = MultiGraphReduce::new(Cc, &l, plat.clone(), 2)
+        .run()
+        .unwrap()
+        .vertex_values;
+    let (obs, sink) = Observer::recording();
+    let res = MultiGraphReduce::new(Cc, &l, plat, 2)
+        .with_observer(obs)
+        .with_fault_plan(0, FaultPlan::profile("device-loss", 0).unwrap())
+        .run()
+        .unwrap();
+    assert_eq!(res.vertex_values, want, "survivor finishes the exact run");
+    assert_eq!(res.stats.evictions, 1, "one device lost, one eviction");
+    assert_eq!(res.stats.faults_injected, 1, "loss counted once");
+    assert_eq!(
+        sink.recorded().recovery_decisions() as u64,
+        res.stats.faults_injected,
+        "one recovery decision per injected fault"
+    );
+}
+
+#[test]
+fn multi_gpu_transient_faults_recover_bit_identical() {
+    let l = multi_layout();
+    let plat = Platform::paper_node_scaled(1 << 14);
+    let want = MultiGraphReduce::new(Cc, &l, plat.clone(), 2)
+        .run()
+        .unwrap()
+        .vertex_values;
+    let (obs, sink) = Observer::recording();
+    let res = MultiGraphReduce::new(Cc, &l, plat, 2)
+        .with_observer(obs)
+        .with_fault_plan(1, FaultPlan::none().fail_h2d(0, 1).fail_d2h(2, 1))
+        .run()
+        .unwrap();
+    assert_eq!(res.vertex_values, want);
+    assert_eq!(res.stats.evictions, 0);
+    assert_eq!(res.stats.faults_injected, 2);
+    assert_eq!(
+        sink.recorded().recovery_decisions() as u64,
+        res.stats.faults_injected
+    );
+}
+
+#[test]
+fn all_devices_lost_surfaces_device_lost() {
+    let l = multi_layout();
+    let plat = Platform::paper_node_scaled(1 << 14);
+    let loss = FaultPlan::profile("device-loss", 0).unwrap();
+    let res = MultiGraphReduce::new(Cc, &l, plat, 2)
+        .with_fault_plan(0, loss.clone())
+        .with_fault_plan(1, loss)
+        .run();
+    match res {
+        Err(EngineError::DeviceLost) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("run must not survive losing every device"),
+    }
+}

@@ -114,6 +114,46 @@ pub enum Decision {
         phase: &'static str,
         rationale: &'static str,
     },
+    /// A device op faulted transiently and the engine retried it after
+    /// a backoff charged to the device timeline.
+    FaultRetry {
+        iteration: u32,
+        /// Device index (0 for the single-GPU engine).
+        device: u32,
+        /// Operation that faulted, e.g. `"h2d"` or `"gatherMap"`.
+        op: &'static str,
+        /// Fault kind, e.g. `"transient.h2d"`.
+        fault: &'static str,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Backoff charged before the retry, in virtual nanoseconds.
+        backoff_ns: u64,
+    },
+    /// Retries were exhausted mid-iteration: host shard state was rolled
+    /// back to the last checkpoint and the iteration replayed.
+    Rollback {
+        iteration: u32,
+        device: u32,
+        /// Operation whose retries were exhausted.
+        op: &'static str,
+        /// Fault kind that forced the rollback.
+        fault: &'static str,
+    },
+    /// Permanent device loss in a multi-GPU run: the dead device was
+    /// evicted and its shards redistributed across the survivors.
+    DeviceEvict {
+        iteration: u32,
+        device: u32,
+        /// Shards reassigned away from the dead device.
+        shards_moved: u32,
+    },
+    /// Permanent device loss in a single-GPU run: execution degraded to
+    /// the host CPU from the last checkpoint.
+    HostFallback {
+        iteration: u32,
+        device: u32,
+        rationale: &'static str,
+    },
 }
 
 impl Decision {
@@ -121,6 +161,18 @@ impl Decision {
     /// per-shard decisions; fusion/elimination are per-run).
     pub fn is_shard_skip(&self) -> bool {
         matches!(self, Decision::ShardSkip { .. })
+    }
+
+    /// True for fault-recovery decisions (retry, rollback, eviction,
+    /// host fallback) — one is recorded per injected fault.
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            Decision::FaultRetry { .. }
+                | Decision::Rollback { .. }
+                | Decision::DeviceEvict { .. }
+                | Decision::HostFallback { .. }
+        )
     }
 }
 
@@ -150,5 +202,39 @@ mod tests {
             rationale: "r",
         };
         assert!(!fuse.is_shard_skip());
+        assert!(!skip.is_recovery());
+        assert!(!fuse.is_recovery());
+    }
+
+    #[test]
+    fn recovery_classification() {
+        let retry = Decision::FaultRetry {
+            iteration: 3,
+            device: 0,
+            op: "h2d",
+            fault: "transient.h2d",
+            attempt: 1,
+            backoff_ns: 50_000,
+        };
+        let rollback = Decision::Rollback {
+            iteration: 3,
+            device: 0,
+            op: "h2d",
+            fault: "transient.h2d",
+        };
+        let evict = Decision::DeviceEvict {
+            iteration: 2,
+            device: 1,
+            shards_moved: 4,
+        };
+        let fallback = Decision::HostFallback {
+            iteration: 2,
+            device: 0,
+            rationale: "device lost",
+        };
+        for d in [&retry, &rollback, &evict, &fallback] {
+            assert!(d.is_recovery());
+            assert!(!d.is_shard_skip());
+        }
     }
 }

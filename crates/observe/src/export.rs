@@ -82,6 +82,48 @@ fn decision_line(d: &Decision) -> String {
             json::string(phase),
             json::string(rationale)
         ),
+        Decision::FaultRetry {
+            iteration,
+            device,
+            op,
+            fault,
+            attempt,
+            backoff_ns,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"fault_retry\",\"iteration\":{iteration},\
+             \"device\":{device},\"op\":{},\"fault\":{},\"attempt\":{attempt},\
+             \"backoff_ns\":{backoff_ns}}}",
+            json::string(op),
+            json::string(fault)
+        ),
+        Decision::Rollback {
+            iteration,
+            device,
+            op,
+            fault,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"rollback\",\"iteration\":{iteration},\
+             \"device\":{device},\"op\":{},\"fault\":{}}}",
+            json::string(op),
+            json::string(fault)
+        ),
+        Decision::DeviceEvict {
+            iteration,
+            device,
+            shards_moved,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"device_evict\",\"iteration\":{iteration},\
+             \"device\":{device},\"shards_moved\":{shards_moved}}}"
+        ),
+        Decision::HostFallback {
+            iteration,
+            device,
+            rationale,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"host_fallback\",\"iteration\":{iteration},\
+             \"device\":{device},\"rationale\":{}}}",
+            json::string(rationale)
+        ),
     }
 }
 

@@ -88,6 +88,12 @@ impl Recorded {
     pub fn shard_skips(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_shard_skip()).count()
     }
+
+    /// Fault-recovery decisions only (retry/rollback/evict/fallback) —
+    /// chaos tests check one of these per injected fault.
+    pub fn recovery_decisions(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_recovery()).count()
+    }
 }
 
 /// In-memory sink: records everything for later export or assertions.

@@ -43,6 +43,10 @@ pub struct DeviceConfig {
     pub mlp: u32,
     /// Instructions retired per core per cycle for well-behaved kernels.
     pub ipc: f64,
+    /// Extra latency a kernel pays when the ECC machinery transparently
+    /// retries a corrupted access burst (used by fault injection; see
+    /// [`crate::fault`]). Zero-cost unless a fault plan schedules a stall.
+    pub ecc_retry_stall: SimDuration,
 }
 
 impl DeviceConfig {
@@ -62,6 +66,7 @@ impl DeviceConfig {
             random_access_latency: SimDuration::from_nanos(400),
             mlp: 4096,
             ipc: 0.8,
+            ecc_retry_stall: SimDuration::from_micros(40),
         }
     }
 

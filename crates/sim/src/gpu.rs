@@ -25,12 +25,13 @@
 use gr_observe::{InstantEvent, MetricsRegistry, Observer, SpanEvent};
 
 use crate::config::{DeviceConfig, PcieConfig, Platform};
+use crate::fault::{DeviceFault, DeviceHealth, FaultOp, FaultPlan, FaultState};
 use crate::kernel::{kernel_time, KernelSpec};
 use crate::memory::{Allocation, MemoryPool, OutOfMemory};
 use crate::profile::Profile;
 use crate::schedule::{Capacity, OpId, ResourceId, Scheduler};
 use crate::time::{SimDuration, SimTime};
-use crate::xfer::explicit_copy_time;
+use crate::xfer::{degraded_copy_time, explicit_copy_time};
 
 /// Handle to a created stream.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -115,6 +116,9 @@ pub struct Gpu {
     /// Ops already emitted as spans (resolved ops are emitted
     /// incrementally at each `synchronize`).
     emitted_ops: usize,
+    /// Fault-injection state; `None` (the default) keeps every op on the
+    /// zero-overhead infallible path.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Gpu {
@@ -158,7 +162,46 @@ impl Gpu {
             observer: Observer::disabled(),
             lane_prefix: String::new(),
             emitted_ops: 0,
+            faults: None,
         }
+    }
+
+    /// Attach a deterministic fault plan (see [`crate::fault`]). The
+    /// default [`FaultPlan::none()`] stores nothing: the fallible
+    /// `try_*` entry points then delegate straight to their infallible
+    /// twins, adding no ops and no stalls.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_none() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(plan)))
+        };
+    }
+
+    /// Current device health, derived from the fault plan and the
+    /// device clock: `Lost` once the scheduled loss time has passed (or
+    /// a loss was already observed by an op), `Degraded` while inside a
+    /// bandwidth-degradation window.
+    pub fn health(&self) -> DeviceHealth {
+        let Some(st) = self.faults.as_deref() else {
+            return DeviceHealth::Healthy;
+        };
+        let now = self.barrier.as_nanos();
+        if st.is_lost() || st.plan().loss_at().is_some_and(|at| now >= at) {
+            DeviceHealth::Lost
+        } else if st.plan().degrade_factor_at(now) > 1.0 {
+            DeviceHealth::Degraded
+        } else {
+            DeviceHealth::Healthy
+        }
+    }
+
+    /// Faults injected so far: transient op faults plus (once) device
+    /// loss. ECC stalls and degraded copies are slowdowns, not faults,
+    /// and live in the `fault.ecc_stalls` / `fault.degraded_ops`
+    /// counters instead.
+    pub fn faults_injected(&self) -> u64 {
+        self.metrics.counter("fault.injected")
     }
 
     /// Attach an observer: resolved device ops are emitted as `"sim"`
@@ -369,6 +412,263 @@ impl Gpu {
             SimDuration::ZERO,
             spec.label,
         )
+    }
+
+    /// Consult the fault plan before an op of class `op`. `Ok(idx)` means
+    /// proceed (with the consumed per-class op index, when a plan is
+    /// attached); `Err` means the op must not be performed. Device loss
+    /// is evaluated against the barrier clock, becomes sticky, and is
+    /// counted/emitted exactly once; allocations never observe loss
+    /// (they are host-side bookkeeping), so a runner can still be built
+    /// on a device that dies at t=0 and then fall back cleanly.
+    fn fault_check(&mut self, op: FaultOp) -> Result<Option<u64>, DeviceFault> {
+        let Some(state) = self.faults.as_deref_mut() else {
+            return Ok(None);
+        };
+        let now = self.barrier.as_nanos();
+        let check_loss = op != FaultOp::Alloc;
+        let mut newly_lost = false;
+        if check_loss && !state.is_lost() {
+            if let Some(at) = state.plan().loss_at() {
+                if now >= at {
+                    state.mark_lost();
+                    newly_lost = true;
+                }
+            }
+        }
+        let outcome = if check_loss && state.is_lost() {
+            Err(DeviceFault::Lost)
+        } else {
+            let idx = state.next_index(op);
+            if state.plan().faults_at(op, idx) {
+                Err(DeviceFault::Transient { op })
+            } else {
+                Ok(Some(idx))
+            }
+        };
+        match outcome {
+            Err(DeviceFault::Lost) if newly_lost => {
+                self.metrics.inc("fault.injected", 1);
+                self.metrics.inc("fault.device_lost", 1);
+                self.emit_fault_instant("fault.device_lost", op, now);
+            }
+            Err(DeviceFault::Transient { .. }) => {
+                self.metrics.inc("fault.injected", 1);
+                self.metrics.inc_labeled("fault.transient", op.name(), 1);
+                self.emit_fault_instant("fault.transient", op, now);
+            }
+            _ => {}
+        }
+        outcome
+    }
+
+    fn emit_fault_instant(&self, name: &'static str, op: FaultOp, at_ns: u64) {
+        let lane = format!("{}faults", self.lane_prefix);
+        self.observer.instant(|| InstantEvent {
+            track: "sim",
+            lane,
+            name: name.into(),
+            at_ns,
+            fields: vec![("op", op.name().into())],
+        });
+    }
+
+    /// Copy slowdown factor at the current barrier clock (1.0 nominal).
+    fn degrade_factor(&self) -> f64 {
+        match self.faults.as_deref() {
+            Some(st) => st.plan().degrade_factor_at(self.barrier.as_nanos()),
+            None => 1.0,
+        }
+    }
+
+    /// Charge the partial transfer an aborted copy performed before the
+    /// engine errored (half the nominal duration), so injected faults
+    /// stay visible on the device timeline and in the byte counters.
+    fn charge_aborted_copy(
+        &mut self,
+        stream: StreamId,
+        engine: ResourceId,
+        kind: &'static str,
+        bytes: u64,
+        label: &'static str,
+    ) {
+        let moved = bytes / 2;
+        let dur = explicit_copy_time(&self.pcie, moved);
+        self.account(kind, moved, dur, label);
+        let body = dur.saturating_sub(self.pcie.transfer_latency);
+        self.submit(stream, engine, body, self.pcie.transfer_latency, label);
+    }
+
+    /// Fallible variant of [`Gpu::h2d`]: consults the fault plan first.
+    /// A transient fault charges a partial (aborted) transfer; inside a
+    /// degradation window the copy runs at the degraded rate. With no
+    /// plan attached this is exactly `h2d`.
+    pub fn try_h2d(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        label: &'static str,
+    ) -> Result<OpId, DeviceFault> {
+        match self.fault_check(FaultOp::H2d) {
+            Err(f) => {
+                if f != DeviceFault::Lost {
+                    self.charge_aborted_copy(stream, self.h2d_engine, "h2d", bytes, "fault.h2d");
+                }
+                Err(f)
+            }
+            Ok(_) => {
+                let factor = self.degrade_factor();
+                if factor > 1.0 {
+                    self.metrics.inc("fault.degraded_ops", 1);
+                    let dur = degraded_copy_time(&self.pcie, bytes, factor);
+                    self.account("h2d", bytes, dur, label);
+                    let body = dur - self.pcie.transfer_latency;
+                    Ok(self.submit(
+                        stream,
+                        self.h2d_engine,
+                        body,
+                        self.pcie.transfer_latency,
+                        label,
+                    ))
+                } else {
+                    Ok(self.h2d(stream, bytes, label))
+                }
+            }
+        }
+    }
+
+    /// Fallible variant of [`Gpu::h2d_zero_copy`] (same fault class as
+    /// H2D copies: both occupy the H2D engine).
+    pub fn try_h2d_zero_copy(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        label: &'static str,
+    ) -> Result<OpId, DeviceFault> {
+        match self.fault_check(FaultOp::H2d) {
+            Err(f) => {
+                if f != DeviceFault::Lost {
+                    self.charge_aborted_copy(stream, self.h2d_engine, "h2d", bytes, "fault.h2d");
+                }
+                Err(f)
+            }
+            Ok(_) => {
+                let factor = self.degrade_factor();
+                if factor > 1.0 {
+                    self.metrics.inc("fault.degraded_ops", 1);
+                    let dur = SimDuration::from_secs_f64(
+                        bytes as f64 * factor / (self.pcie.pinned_seq_bandwidth_gbps * 1e9),
+                    );
+                    self.account("h2d", bytes, dur, label);
+                    Ok(self.submit(stream, self.h2d_engine, dur, SimDuration::ZERO, label))
+                } else {
+                    Ok(self.h2d_zero_copy(stream, bytes, label))
+                }
+            }
+        }
+    }
+
+    /// Fallible variant of [`Gpu::d2h`].
+    pub fn try_d2h(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        label: &'static str,
+    ) -> Result<OpId, DeviceFault> {
+        match self.fault_check(FaultOp::D2h) {
+            Err(f) => {
+                if f != DeviceFault::Lost {
+                    self.charge_aborted_copy(stream, self.d2h_engine, "d2h", bytes, "fault.d2h");
+                }
+                Err(f)
+            }
+            Ok(_) => {
+                let factor = self.degrade_factor();
+                if factor > 1.0 {
+                    self.metrics.inc("fault.degraded_ops", 1);
+                    let dur = degraded_copy_time(&self.pcie, bytes, factor);
+                    self.account("d2h", bytes, dur, label);
+                    let body = dur - self.pcie.transfer_latency;
+                    Ok(self.submit(
+                        stream,
+                        self.d2h_engine,
+                        body,
+                        self.pcie.transfer_latency,
+                        label,
+                    ))
+                } else {
+                    Ok(self.d2h(stream, bytes, label))
+                }
+            }
+        }
+    }
+
+    /// Fallible variant of [`Gpu::launch`]. A faulted launch charges a
+    /// kernel slot for the fixed launch overhead only (the kernel died
+    /// at startup); a launch inside an ECC-stall schedule succeeds but
+    /// pays [`DeviceConfig::ecc_retry_stall`] as a latency tail.
+    pub fn try_launch(&mut self, stream: StreamId, spec: &KernelSpec) -> Result<OpId, DeviceFault> {
+        match self.fault_check(FaultOp::Launch) {
+            Err(f) => {
+                if f != DeviceFault::Lost {
+                    let dur = self.device.kernel_launch_overhead;
+                    self.account("kernel", 0, dur, "fault.kernel");
+                    self.submit(
+                        stream,
+                        self.kernel_slots,
+                        dur,
+                        SimDuration::ZERO,
+                        "fault.kernel",
+                    );
+                }
+                Err(f)
+            }
+            Ok(idx) => {
+                let ecc = match (idx, self.faults.as_deref()) {
+                    (Some(i), Some(st)) => st.plan().ecc_at(i),
+                    _ => false,
+                };
+                if ecc {
+                    let stall = self.device.ecc_retry_stall;
+                    self.metrics.inc("fault.ecc_stalls", 1);
+                    let at = self.barrier.as_nanos();
+                    self.emit_fault_instant("fault.ecc_stall", FaultOp::Launch, at);
+                    let dur = kernel_time(&self.device, spec);
+                    self.account("kernel", 0, dur + stall, spec.label);
+                    Ok(self.submit(stream, self.kernel_slots, dur, stall, spec.label))
+                } else {
+                    Ok(self.launch(stream, spec))
+                }
+            }
+        }
+    }
+
+    /// Fallible variant of [`Gpu::alloc`]: allocation-pressure faults in
+    /// the plan synthesize an [`OutOfMemory`] (capacity from the real
+    /// pool; `available` reported as 0 because the pressure is
+    /// external), emitted as an `"oom"` instant like a real rejection.
+    pub fn try_alloc(&mut self, bytes: u64) -> Result<Allocation, OutOfMemory> {
+        if self.fault_check(FaultOp::Alloc).is_err() {
+            let oom = OutOfMemory {
+                requested: bytes,
+                available: 0,
+                capacity: self.pool.capacity(),
+            };
+            let at = self.barrier.as_nanos();
+            let lane = format!("{}memory", self.lane_prefix);
+            self.observer.instant(|| InstantEvent {
+                track: "sim",
+                lane,
+                name: "oom".into(),
+                at_ns: at,
+                fields: vec![
+                    ("requested", oom.requested.into()),
+                    ("available", oom.available.into()),
+                ],
+            });
+            return Err(oom);
+        }
+        self.alloc(bytes)
     }
 
     /// Enqueue a fixed-duration stall on `stream` (host-side work between
@@ -742,6 +1042,129 @@ mod tests {
         assert_eq!(p.bytes_h2d, g.metrics().counter("h2d.bytes"));
         assert_eq!(p.label("in").unwrap().bytes, 6_000_000);
         assert_eq!(g.metrics().histogram("h2d.size_bytes").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn try_ops_with_no_plan_match_infallible_ops() {
+        let spec = KernelSpec::balanced("k", 1_000_000, 2.0, 8_000_000, 0);
+        let mut a = gpu();
+        let s = a.create_stream();
+        a.h2d(s, 1_000_000, "in");
+        a.launch(s, &spec);
+        a.d2h(s, 1_000, "out");
+        let ta = a.synchronize();
+
+        let mut b = gpu();
+        b.set_fault_plan(FaultPlan::none());
+        let s = b.create_stream();
+        b.try_h2d(s, 1_000_000, "in").unwrap();
+        b.try_launch(s, &spec).unwrap();
+        b.try_d2h(s, 1_000, "out").unwrap();
+        let tb = b.synchronize();
+        assert_eq!(ta, tb, "FaultPlan::none() must be zero-overhead");
+        assert_eq!(b.faults_injected(), 0);
+        assert_eq!(b.health(), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn transient_window_faults_the_scheduled_op_then_clears() {
+        let mut g = gpu();
+        g.set_fault_plan(FaultPlan::none().fail_h2d(1, 1));
+        let s = g.create_stream();
+        g.try_h2d(s, 1_000, "a").unwrap();
+        let err = g.try_h2d(s, 1_000, "b").unwrap_err();
+        assert_eq!(err, DeviceFault::Transient { op: FaultOp::H2d });
+        // The per-class counter advanced, so the retry succeeds.
+        g.try_h2d(s, 1_000, "b").unwrap();
+        assert_eq!(g.faults_injected(), 1);
+        // The aborted attempt charged a partial copy: 3 h2d ops total.
+        assert_eq!(g.metrics().counter("h2d.ops"), 3);
+    }
+
+    #[test]
+    fn device_loss_is_sticky_and_counted_once() {
+        let mut g = gpu();
+        g.set_fault_plan(FaultPlan::none().lose_device_at_ns(0));
+        let s = g.create_stream();
+        let spec = KernelSpec::balanced("k", 1_000, 1.0, 8_000, 0);
+        assert_eq!(g.try_h2d(s, 1_000, "a").unwrap_err(), DeviceFault::Lost);
+        assert_eq!(g.try_launch(s, &spec).unwrap_err(), DeviceFault::Lost);
+        assert_eq!(g.try_d2h(s, 1_000, "b").unwrap_err(), DeviceFault::Lost);
+        assert_eq!(g.health(), DeviceHealth::Lost);
+        assert_eq!(g.faults_injected(), 1, "loss is one fault, not one per op");
+        // Allocations are host-side bookkeeping and still succeed, so an
+        // engine can build its runner and then fall back to the host.
+        assert!(g.try_alloc(1_000).is_ok());
+        // A dead device scheduled nothing.
+        assert_eq!(g.synchronize(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ecc_stall_adds_exactly_the_configured_latency() {
+        let spec = KernelSpec::balanced("k", 1_000_000, 2.0, 8_000_000, 0);
+        let mut a = gpu();
+        let s = a.create_stream();
+        a.try_launch(s, &spec).unwrap();
+        let ta = a.synchronize();
+
+        let mut b = gpu();
+        b.set_fault_plan(FaultPlan::none().ecc_stall_on_launch(0));
+        let s = b.create_stream();
+        b.try_launch(s, &spec).unwrap();
+        let tb = b.synchronize();
+        assert_eq!(tb - ta, b.device().ecc_retry_stall);
+        assert_eq!(b.metrics().counter("fault.ecc_stalls"), 1);
+        assert_eq!(b.faults_injected(), 0, "a stall is a slowdown, not a fault");
+    }
+
+    #[test]
+    fn degradation_window_slows_copies_inside_it() {
+        let bytes = 10_000_000;
+        let mut a = gpu();
+        let s = a.create_stream();
+        a.try_h2d(s, bytes, "x").unwrap();
+        let ta = a.synchronize();
+
+        let mut b = gpu();
+        b.set_fault_plan(FaultPlan::none().degrade_bandwidth(0, u64::MAX, 4.0));
+        assert_eq!(b.health(), DeviceHealth::Degraded);
+        let s = b.create_stream();
+        b.try_h2d(s, bytes, "x").unwrap();
+        let tb = b.synchronize();
+        let ratio = tb.as_secs_f64() / ta.as_secs_f64();
+        assert!(ratio > 3.0, "degraded/nominal ratio {ratio}");
+        assert_eq!(b.metrics().counter("fault.degraded_ops"), 1);
+        assert_eq!(b.faults_injected(), 0);
+    }
+
+    #[test]
+    fn forced_allocation_pressure_synthesizes_oom() {
+        let mut g = gpu();
+        g.set_fault_plan(FaultPlan::none().fail_alloc(0, 1));
+        let err = g.try_alloc(4096).unwrap_err();
+        assert_eq!(err.requested, 4096);
+        assert_eq!(err.available, 0);
+        assert_eq!(err.capacity, g.memory().capacity());
+        assert_eq!(g.memory().used(), 0, "forced OOM must not reserve memory");
+        // Window passed: the retry succeeds and really reserves memory.
+        let a = g.try_alloc(4096).unwrap();
+        assert_eq!(a.bytes(), 4096);
+        assert_eq!(g.faults_injected(), 1);
+    }
+
+    #[test]
+    fn faults_emit_instants_on_the_faults_lane() {
+        let (obs, rec) = Observer::recording();
+        let mut g = gpu();
+        g.set_observer(obs);
+        g.set_fault_plan(FaultPlan::none().fail_h2d(0, 1));
+        let s = g.create_stream();
+        g.try_h2d(s, 1_000, "x").unwrap_err();
+        let r = rec.recorded();
+        assert!(r
+            .instants
+            .iter()
+            .any(|i| i.name == "fault.transient" && i.lane == "faults"));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`kernel`] — roofline SIMT kernel cost model with occupancy and load
 //!   imbalance;
 //! * [`cpu`] — the symmetric host-CPU cost model used by baseline engines;
+//! * [`fault`] — deterministic, seed-driven fault plans (transient op
+//!   failures, ECC stalls, bandwidth degradation, device loss) surfaced
+//!   through the `Gpu::try_*` entry points;
 //! * [`profile`] — byte/time counters behind the paper's Section 6.2.3
 //!   analysis.
 //!
@@ -26,6 +29,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod gpu;
 pub mod kernel;
 pub mod memory;
@@ -37,6 +41,7 @@ pub mod xfer;
 
 pub use config::{DeviceConfig, HostConfig, PcieConfig, Platform, StorageConfig};
 pub use cpu::{cpu_time, CpuClock, CpuWork};
+pub use fault::{BandwidthWindow, DeviceFault, DeviceHealth, FaultOp, FaultPlan, FaultWindow};
 pub use gpu::{Event, Gpu, GpuStats, StreamId};
 pub use kernel::{kernel_time, KernelSpec};
 pub use memory::{Allocation, MemoryPool, OutOfMemory};

@@ -240,5 +240,54 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("requested 20"));
         assert!(msg.contains("10 B free"));
+        assert!(msg.contains("of 10 B"), "capacity missing from {msg:?}");
+    }
+
+    #[test]
+    fn resize_past_capacity_reports_exact_fields() {
+        // The fault paths surface resize/alloc OOMs verbatim; the error
+        // must carry the *delta* requested, the free bytes at the time,
+        // and the pool capacity.
+        let pool = MemoryPool::new(100);
+        let mut a = pool.alloc(30).unwrap();
+        let _b = pool.alloc(50).unwrap();
+        let err = a.resize(90).unwrap_err(); // needs 60 more, 20 free
+        assert_eq!(err.requested, 60);
+        assert_eq!(err.available, 20);
+        assert_eq!(err.capacity, 100);
+        assert_eq!(a.bytes(), 30, "failed resize must not change the size");
+        assert_eq!(pool.used(), 80);
+    }
+
+    #[test]
+    fn zero_byte_operations_never_oom() {
+        // Fault-recovery replays re-allocate whatever the plan asks for,
+        // including empty slots; those must succeed even on a full pool.
+        let pool = MemoryPool::new(10);
+        let _full = pool.alloc(10).unwrap();
+        let z = pool.alloc(0).unwrap();
+        assert_eq!(z.bytes(), 0);
+        assert_eq!(pool.available(), 0);
+        let mut a = z;
+        a.resize(0).unwrap();
+        assert!(a.resize(1).is_err());
+        assert_eq!(pool.live_allocations(), 2);
+    }
+
+    #[test]
+    fn oom_fields_are_copyable_for_error_plumbing() {
+        // EngineError::Alloc carries the struct by value across crates.
+        let pool = MemoryPool::new(5);
+        let err = pool.alloc(7).unwrap_err();
+        let copied: OutOfMemory = err;
+        assert_eq!(copied, err);
+        assert_eq!(
+            copied,
+            OutOfMemory {
+                requested: 7,
+                available: 5,
+                capacity: 5
+            }
+        );
     }
 }

@@ -45,6 +45,16 @@ pub fn explicit_copy_time(pcie: &PcieConfig, bytes: u64) -> SimDuration {
         + SimDuration::from_secs_f64(bytes as f64 / (pcie.explicit_bandwidth_gbps * 1e9))
 }
 
+/// [`explicit_copy_time`] under a link-degradation factor ≥ 1 (fault
+/// injection: contention or retraining windows slow the data phase;
+/// the fixed DMA setup latency is unaffected).
+pub fn degraded_copy_time(pcie: &PcieConfig, bytes: u64, factor: f64) -> SimDuration {
+    pcie.transfer_latency
+        + SimDuration::from_secs_f64(
+            bytes as f64 * factor.max(1.0) / (pcie.explicit_bandwidth_gbps * 1e9),
+        )
+}
+
 /// Time for the device to perform `accesses` reads of `elem_bytes` each over
 /// a buffer of `bytes` total, where the buffer was made available with
 /// `mode`, and accesses follow `pattern`. This models the *whole* exchange:
