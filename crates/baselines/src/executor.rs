@@ -10,7 +10,7 @@
 
 use gr_graph::{Bitmap, GraphLayout, Interval, Shard};
 use graphreduce::phases::{activate_shard, apply_shard, gather_shard, scatter_shard};
-use graphreduce::{GasProgram, InitialFrontier};
+use graphreduce::{GasProgram, HostKernels, InitialFrontier};
 
 /// Work counts of one iteration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -79,6 +79,7 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
                 &layout.weights,
                 &frontier,
                 &mut gather_temp,
+                HostKernels::Adaptive,
             );
             debug_assert_eq!(a, w.frontier);
             w.active_in_edges = e;
@@ -90,6 +91,7 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
             &gather_temp,
             &frontier,
             iter,
+            HostKernels::Adaptive,
         );
         let mut changed = Bitmap::new(n);
         for v in changed_ids {
@@ -104,10 +106,12 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
                 &vertex_values,
                 &mut edge_values,
                 &changed,
+                HostKernels::Adaptive,
             );
         }
         let mut next = Bitmap::new(n);
-        let (walked, activated) = activate_shard(layout, &whole, &changed, &mut next);
+        let (walked, activated) =
+            activate_shard(layout, &whole, &changed, &mut next, HostKernels::Adaptive);
         w.out_edges_of_changed = walked;
         w.activated = activated;
         iterations.push(w);

@@ -148,6 +148,59 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
 /// One buffer of a shard copy: (bytes, trace label).
 type Buf = (u64, &'static str);
 
+/// A shard's fixed buffer list, precomputed once per run (satellite of the
+/// sparse-kernels PR: the per-iteration `Vec<Buf>` rebuilds were pure
+/// allocator churn). Stack-inline and `Copy` so the emit loops can grab a
+/// shard's set without borrowing the `Runner`.
+#[derive(Clone, Copy, Default)]
+struct BufSet {
+    n: usize,
+    bufs: [Buf; 4],
+}
+
+impl BufSet {
+    fn push(&mut self, b: Buf) {
+        self.bufs[self.n] = b;
+        self.n += 1;
+    }
+
+    fn as_slice(&self) -> &[Buf] {
+        &self.bufs[..self.n]
+    }
+}
+
+/// In-edge sub-arrays of a shard: source ids, static weights, mutable
+/// edge values. `force` includes them even when the program has no gather
+/// (the unoptimized mode's behaviour that phase elimination removes).
+fn in_bufs_for(sizes: &SizeModel, sh: &Shard, force: bool) -> BufSet {
+    let mut set = BufSet::default();
+    if !sizes.has_gather && !force {
+        return set;
+    }
+    let e = sh.num_in_edges();
+    set.push((e * 12, "in.topo"));
+    set.push((e * (sizes.gather + 4), "in.update"));
+    set.push((e * 16, "in.state"));
+    if sizes.edge_value > 0 {
+        set.push((e * sizes.edge_value, "in.value"));
+    }
+    set
+}
+
+/// Out-edge sub-arrays: destination ids always (FrontierActivate needs
+/// the topology regardless — Section 5.3), canonical ids + mutable
+/// values when scattering (or when `force`d by unoptimized mode).
+fn out_bufs_for(sizes: &SizeModel, sh: &Shard, force: bool) -> BufSet {
+    let e = sh.num_out_edges();
+    let mut set = BufSet::default();
+    set.push((e * 12, "out.topo"));
+    set.push((e * 8, "out.state"));
+    if (sizes.has_scatter || force) && sizes.edge_value > 0 {
+        set.push((e * sizes.edge_value, "out.value"));
+    }
+    set
+}
+
 struct Runner<'a, P: GasProgram> {
     program: &'a P,
     layout: &'a GraphLayout,
@@ -175,6 +228,15 @@ struct Runner<'a, P: GasProgram> {
     // Per-shard CTA imbalance factors (max/mean degree in the interval).
     skew_in: Vec<f64>,
     skew_out: Vec<f64>,
+    // Per-shard buffer lists, computed once (the emit loops used to
+    // rebuild these Vecs every shard every iteration).
+    in_buf_sets: Vec<BufSet>,
+    out_buf_sets: Vec<BufSet>,
+    gather_temp_bufs: Vec<Buf>,
+    edge_update_bufs: Vec<Buf>,
+    apply_vertex_bufs: Vec<Buf>,
+    out_dst_bufs: Vec<Buf>,
+    frontier_bits_bufs: Vec<Buf>,
     // Out-of-host-core: graphs beyond host DRAM stream shards from
     // storage before they can cross PCIe.
     storage_read_secs_per_byte: Option<f64>,
@@ -327,6 +389,46 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             })
             .unzip();
 
+        // Buffer lists are a pure function of the shard geometry and the
+        // size model: compute them once. `force` mirrors which emit path
+        // this run will take (fused passes force=false, unfused true).
+        let force = !opts.phase_fusion;
+        let in_buf_sets = plan
+            .shards
+            .iter()
+            .map(|sh| in_bufs_for(&sizes, sh, force))
+            .collect();
+        let out_buf_sets = plan
+            .shards
+            .iter()
+            .map(|sh| out_bufs_for(&sizes, sh, force))
+            .collect();
+        let gather_temp_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_vertices() * sizes.gather, "gather.temp"))
+            .collect();
+        let edge_update_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_in_edges() * (sizes.gather + 4), "edge.update"))
+            .collect();
+        let apply_vertex_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_vertices() * sizes.vertex_value, "apply.vertices"))
+            .collect();
+        let out_dst_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_out_edges() * 4, "out.dst"))
+            .collect();
+        let frontier_bits_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_vertices().div_ceil(8), "frontier.bits"))
+            .collect();
+
         let num_shards = plan.shards.len();
         Ok(Runner {
             program,
@@ -357,6 +459,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             host_time: SimDuration::ZERO,
             skew_in,
             skew_out,
+            in_buf_sets,
+            out_buf_sets,
+            gather_temp_bufs,
+            edge_update_bufs,
+            apply_vertex_bufs,
+            out_dst_bufs,
+            frontier_bits_bufs,
             metrics,
             observer,
             pending_kernels: Vec::new(),
@@ -534,6 +643,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             faults_injected: self.gpu.faults_injected(),
             recovered_retries: self.metrics.counter("engine.fault_retries"),
             rollbacks: self.metrics.counter("engine.rollbacks"),
+            checkpoints: self.metrics.counter("engine.checkpoints"),
             host_fallback: self.host_mode,
             per_iteration: self.iterations,
         };
@@ -552,24 +662,73 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         self.next_frontier.clear_all();
         let num_shards = self.plan.shards.len();
         let mut work = vec![ShardWork::default(); num_shards];
+        let mode = self.opts.host_kernels;
+        // Shards are independent within a BSP stage: with host threads
+        // available, gather/apply/activate fan out one task per shard
+        // (the intra-shard kernels may split further). All merge steps
+        // run in shard order, so results are bit-identical to serial.
+        let across_shards = rayon::current_num_threads() > 1 && num_shards > 1;
 
         // Gather (all shards, before any apply — BSP).
         if self.program.has_gather() {
-            for (i, sh) in self.plan.shards.iter().enumerate() {
-                let lo = sh.interval.start as usize;
-                let hi = sh.interval.end as usize;
-                let (a, e) = gather_shard(
-                    self.program,
-                    self.layout,
-                    sh,
-                    &self.vertex_values,
-                    &self.edge_values,
-                    &self.layout.weights,
-                    &self.frontier,
-                    &mut self.gather_temp[lo..hi],
-                );
-                work[i].active_vertices = a;
-                work[i].active_in_edges = e;
+            if across_shards {
+                let program = self.program;
+                let layout = self.layout;
+                let vertex_values = &self.vertex_values;
+                let edge_values = &self.edge_values;
+                let frontier = &self.frontier;
+                let shards = &self.plan.shards;
+                // Carve gather_temp into per-shard slices (intervals are
+                // contiguous, ordered, disjoint).
+                let mut slices: Vec<&mut [P::Gather]> = Vec::with_capacity(num_shards);
+                let mut rest: &mut [P::Gather] = &mut self.gather_temp;
+                let mut offset = 0usize;
+                for sh in shards.iter() {
+                    let lo = sh.interval.start as usize;
+                    let hi = sh.interval.end as usize;
+                    let (_, tail) = rest.split_at_mut(lo - offset);
+                    let (mine, tail) = tail.split_at_mut(hi - lo);
+                    slices.push(mine);
+                    rest = tail;
+                    offset = hi;
+                }
+                rayon::scope(|s| {
+                    for ((sh, slice), w) in shards.iter().zip(slices).zip(work.iter_mut()) {
+                        s.spawn(move |_| {
+                            let (a, e) = gather_shard(
+                                program,
+                                layout,
+                                sh,
+                                vertex_values,
+                                edge_values,
+                                &layout.weights,
+                                frontier,
+                                slice,
+                                mode,
+                            );
+                            w.active_vertices = a;
+                            w.active_in_edges = e;
+                        });
+                    }
+                });
+            } else {
+                for (i, sh) in self.plan.shards.iter().enumerate() {
+                    let lo = sh.interval.start as usize;
+                    let hi = sh.interval.end as usize;
+                    let (a, e) = gather_shard(
+                        self.program,
+                        self.layout,
+                        sh,
+                        &self.vertex_values,
+                        &self.edge_values,
+                        &self.layout.weights,
+                        &self.frontier,
+                        &mut self.gather_temp[lo..hi],
+                        mode,
+                    );
+                    work[i].active_vertices = a;
+                    work[i].active_in_edges = e;
+                }
             }
         } else {
             for (i, sh) in self.plan.shards.iter().enumerate() {
@@ -580,24 +739,71 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
 
         // Apply.
-        for (i, sh) in self.plan.shards.iter().enumerate() {
-            let lo = sh.interval.start as usize;
-            let hi = sh.interval.end as usize;
-            let changed_ids = apply_shard(
-                self.program,
-                sh,
-                &mut self.vertex_values[lo..hi],
-                &self.gather_temp[lo..hi],
-                &self.frontier,
-                iter,
-            );
-            work[i].changed_vertices = changed_ids.len() as u64;
-            for v in changed_ids {
-                self.changed.set(v);
+        if across_shards {
+            let program = self.program;
+            let gather_temp = &self.gather_temp;
+            let frontier = &self.frontier;
+            let shards = &self.plan.shards;
+            let mut slices: Vec<&mut [P::VertexValue]> = Vec::with_capacity(num_shards);
+            let mut rest: &mut [P::VertexValue] = &mut self.vertex_values;
+            let mut offset = 0usize;
+            for sh in shards.iter() {
+                let lo = sh.interval.start as usize;
+                let hi = sh.interval.end as usize;
+                let (_, tail) = rest.split_at_mut(lo - offset);
+                let (mine, tail) = tail.split_at_mut(hi - lo);
+                slices.push(mine);
+                rest = tail;
+                offset = hi;
+            }
+            let mut ids: Vec<Vec<u32>> = (0..num_shards).map(|_| Vec::new()).collect();
+            rayon::scope(|s| {
+                for ((sh, slice), out) in shards.iter().zip(slices).zip(ids.iter_mut()) {
+                    s.spawn(move |_| {
+                        let lo = sh.interval.start as usize;
+                        let hi = sh.interval.end as usize;
+                        *out = apply_shard(
+                            program,
+                            sh,
+                            slice,
+                            &gather_temp[lo..hi],
+                            frontier,
+                            iter,
+                            mode,
+                        );
+                    });
+                }
+            });
+            for (i, changed_ids) in ids.into_iter().enumerate() {
+                work[i].changed_vertices = changed_ids.len() as u64;
+                for v in changed_ids {
+                    self.changed.set(v);
+                }
+            }
+        } else {
+            for (i, sh) in self.plan.shards.iter().enumerate() {
+                let lo = sh.interval.start as usize;
+                let hi = sh.interval.end as usize;
+                let changed_ids = apply_shard(
+                    self.program,
+                    sh,
+                    &mut self.vertex_values[lo..hi],
+                    &self.gather_temp[lo..hi],
+                    &self.frontier,
+                    iter,
+                    mode,
+                );
+                work[i].changed_vertices = changed_ids.len() as u64;
+                for v in changed_ids {
+                    self.changed.set(v);
+                }
             }
         }
 
-        // Scatter (only when defined).
+        // Scatter (only when defined). Serial across shards — the
+        // canonical edge ids of different shards interleave in
+        // `edge_values`, so there is no slice split; each shard's dense
+        // path parallelizes internally instead.
         if self.program.has_scatter() {
             for sh in &self.plan.shards {
                 scatter_shard(
@@ -607,17 +813,48 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     &self.vertex_values,
                     &mut self.edge_values,
                     &self.changed,
+                    mode,
                 );
             }
         }
 
-        // FrontierActivate (always; framework-generated).
+        // FrontierActivate (always; framework-generated). Across shards,
+        // each task marks a private bitmap; merging in shard order keeps
+        // the activation count identical to the serial pass.
         let mut activated_total = 0;
-        for (i, sh) in self.plan.shards.iter().enumerate() {
-            let (walked, activated) =
-                activate_shard(self.layout, sh, &self.changed, &mut self.next_frontier);
-            work[i].out_edges_of_changed = walked;
-            activated_total += activated;
+        if across_shards {
+            let layout = self.layout;
+            let changed = &self.changed;
+            let shards = &self.plan.shards;
+            let n = self.next_frontier.len();
+            let mut locals: Vec<(u64, Bitmap)> =
+                (0..num_shards).map(|_| (0, Bitmap::new(n))).collect();
+            rayon::scope(|s| {
+                for (sh, slot) in shards.iter().zip(locals.iter_mut()) {
+                    s.spawn(move |_| {
+                        let (walked, _) = activate_shard(layout, sh, changed, &mut slot.1, mode);
+                        slot.0 = walked;
+                    });
+                }
+            });
+            for (i, (walked, local)) in locals.iter().enumerate() {
+                work[i].out_edges_of_changed = *walked;
+                let before = self.next_frontier.count();
+                self.next_frontier.or_assign(local);
+                activated_total += self.next_frontier.count() - before;
+            }
+        } else {
+            for (i, sh) in self.plan.shards.iter().enumerate() {
+                let (walked, activated) = activate_shard(
+                    self.layout,
+                    sh,
+                    &self.changed,
+                    &mut self.next_frontier,
+                    mode,
+                );
+                work[i].out_edges_of_changed = walked;
+                activated_total += activated;
+            }
         }
 
         let processed = if self.opts.frontier_management {
@@ -699,7 +936,8 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
     }
 
-    fn take_checkpoint(&self) -> Checkpoint<P> {
+    fn take_checkpoint(&mut self) -> Checkpoint<P> {
+        self.metrics.inc("engine.checkpoints", 1);
         Checkpoint {
             vertex_values: self.vertex_values.clone(),
             edge_values: self.edge_values.clone(),
@@ -937,53 +1175,15 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         Ok(())
     }
 
-    /// In-edge sub-arrays of a shard: source ids, static weights, mutable
-    /// edge values. `force` moves them even when the program has no gather
-    /// (the unoptimized mode's behaviour that phase elimination removes).
-    fn in_bufs(&self, sh: &Shard, force: bool) -> Vec<Buf> {
-        if !self.program.has_gather() && !force {
-            return Vec::new();
-        }
-        let e = sh.num_in_edges();
-        let mut v = vec![
-            (e * 12, "in.topo"),
-            (e * (self.sizes.gather + 4), "in.update"),
-            (e * 16, "in.state"),
-        ];
-        if self.sizes.edge_value > 0 {
-            v.push((e * self.sizes.edge_value, "in.value"));
-        }
-        v
-    }
-
-    /// Out-edge sub-arrays: destination ids always (FrontierActivate needs
-    /// the topology regardless — Section 5.3), canonical ids + mutable
-    /// values when scattering (or when `force`d by unoptimized mode).
-    fn out_bufs(&self, sh: &Shard, force: bool) -> Vec<Buf> {
-        let e = sh.num_out_edges();
-        let mut v = vec![(e * 12, "out.topo"), (e * 8, "out.state")];
-        if (self.program.has_scatter() || force) && self.sizes.edge_value > 0 {
-            v.push((e * self.sizes.edge_value, "out.value"));
-        }
-        v
-    }
-
-    fn gather_temp_buf(&self, sh: &Shard) -> Buf {
-        (sh.num_vertices() * self.sizes.gather, "gather.temp")
-    }
-
-    /// The per-in-edge `edge_update_array` (Figure 7): gatherMap's output,
-    /// gatherReduce's input.
-    fn edge_update_buf(&self, sh: &Shard) -> Buf {
-        (sh.num_in_edges() * (self.sizes.gather + 4), "edge.update")
-    }
-
-    fn gather_specs(&self, i: usize, w: &ShardWork) -> Vec<KernelSpec> {
+    /// The (map, optional reduce) kernel pair of the gather phase. A fixed
+    /// pair instead of a `Vec` — this runs per shard per iteration and
+    /// used to allocate every time.
+    fn gather_specs(&self, i: usize, w: &ShardWork) -> (KernelSpec, Option<KernelSpec>) {
         let ie = self.sizes.in_edge_bytes();
         let g = self.sizes.gather;
         let cta = self.opts.cta_load_balance;
         match self.opts.gather_mode {
-            GatherMode::Hybrid => vec![
+            GatherMode::Hybrid => (
                 KernelSpec::balanced(
                     "gatherMap",
                     w.active_in_edges,
@@ -991,37 +1191,45 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     w.active_in_edges * (ie + g),
                     w.active_in_edges,
                 ),
-                KernelSpec::balanced(
-                    "gatherReduce",
-                    w.active_vertices,
-                    1.0,
-                    w.active_in_edges * g + w.active_vertices * g,
-                    0,
-                )
-                .with_imbalance(if cta { 1.0 } else { self.skew_in[i] }),
-            ],
+                Some(
+                    KernelSpec::balanced(
+                        "gatherReduce",
+                        w.active_vertices,
+                        1.0,
+                        w.active_in_edges * g + w.active_vertices * g,
+                        0,
+                    )
+                    .with_imbalance(if cta { 1.0 } else { self.skew_in[i] }),
+                ),
+            ),
             GatherMode::VertexCentric => {
                 let avg = if w.active_vertices > 0 {
                     w.active_in_edges as f64 / w.active_vertices as f64
                 } else {
                     0.0
                 };
-                vec![KernelSpec::balanced(
-                    "gatherVertexCentric",
-                    w.active_vertices,
-                    2.0 * avg.max(1.0),
-                    w.active_in_edges * (ie + g),
-                    w.active_in_edges,
+                (
+                    KernelSpec::balanced(
+                        "gatherVertexCentric",
+                        w.active_vertices,
+                        2.0 * avg.max(1.0),
+                        w.active_in_edges * (ie + g),
+                        w.active_in_edges,
+                    )
+                    .with_imbalance(self.skew_in[i]),
+                    None,
                 )
-                .with_imbalance(self.skew_in[i])]
             }
-            GatherMode::EdgeCentricAtomic => vec![KernelSpec::balanced(
-                "gatherEdgeAtomic",
-                w.active_in_edges,
-                2.0,
-                w.active_in_edges * ie,
-                2 * w.active_in_edges,
-            )],
+            GatherMode::EdgeCentricAtomic => (
+                KernelSpec::balanced(
+                    "gatherEdgeAtomic",
+                    w.active_in_edges,
+                    2.0,
+                    w.active_in_edges * ie,
+                    2 * w.active_in_edges,
+                ),
+                None,
+            ),
         }
     }
 
@@ -1077,12 +1285,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     /// into (at most) a gather stage, an apply stage, and a
     /// scatter+activate stage, each copying a shard's data once.
     fn emit_fused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
-        let shards = self.plan.shards.clone();
         // Stage A: gather (eliminated entirely for gather-less programs —
         // no in-edge movement, no kernels).
         if self.program.has_gather() {
-            for (i, sh) in shards.iter().enumerate() {
-                let w = &work[i];
+            for (i, w) in work.iter().enumerate() {
                 if self.opts.frontier_management && !w.is_active() {
                     if !self.in_cached[i] {
                         self.metrics.inc("engine.skipped_shard_copies", 1);
@@ -1092,13 +1298,15 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 }
                 let stream = self.stream_for(i);
                 if !self.in_cached[i] {
-                    let bufs = self.in_bufs(sh, false);
-                    self.copy_in(stream, &bufs, iter)?;
+                    let bufs = self.in_buf_sets[i];
+                    self.copy_in(stream, bufs.as_slice(), iter)?;
                     if self.resident {
                         self.in_cached[i] = true;
                     }
                 }
-                for spec in self.gather_specs(i, w) {
+                let (map, reduce) = self.gather_specs(i, w);
+                self.launch_tracked(stream, &map, iter, i)?;
+                if let Some(spec) = reduce {
                     self.launch_tracked(stream, &spec, iter, i)?;
                 }
             }
@@ -1106,8 +1314,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
 
         // Stage B: apply (fused with gather's residency: temps never move).
-        for (i, _sh) in shards.iter().enumerate() {
-            let w = &work[i];
+        for (i, w) in work.iter().enumerate() {
             if self.opts.frontier_management && !w.is_active() {
                 self.metrics.inc("engine.skipped_kernel_launches", 1);
                 continue;
@@ -1119,8 +1326,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         self.sync_and_resolve();
 
         // Stage C: scatter + FrontierActivate share one out-edge copy.
-        for (i, sh) in shards.iter().enumerate() {
-            let w = &work[i];
+        for (i, w) in work.iter().enumerate() {
             if self.opts.frontier_management && w.out_edges_of_changed == 0 {
                 if !self.out_cached[i] {
                     self.metrics.inc("engine.skipped_shard_copies", 1);
@@ -1133,8 +1339,8 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             let stream = self.stream_for(i);
             if !self.out_cached[i] {
-                let bufs = self.out_bufs(sh, false);
-                self.copy_in(stream, &bufs, iter)?;
+                let bufs = self.out_buf_sets[i];
+                self.copy_in(stream, bufs.as_slice(), iter)?;
                 if self.resident {
                     self.out_cached[i] = true;
                 }
@@ -1147,15 +1353,16 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             self.launch_tracked(stream, &spec, iter, i)?;
             // Copy-outs: mutated edge values (unless resident — they are
             // fetched once at finalize) and the tiny frontier bitmap.
-            let mut outs: Vec<Buf> = Vec::new();
+            let bits = self.frontier_bits_bufs[i];
             if self.program.has_scatter() && !self.resident {
-                outs.push((
+                let vals = (
                     w.out_edges_of_changed * self.sizes.edge_value,
                     "out.value.d2h",
-                ));
+                );
+                self.copy_out(stream, &[vals, bits], iter)?;
+            } else {
+                self.copy_out(stream, &[bits], iter)?;
             }
-            outs.push((sh.num_vertices().div_ceil(8), "frontier.bits"));
-            self.copy_out(stream, &outs, iter)?;
         }
         self.sync_and_resolve();
         Ok(())
@@ -1165,7 +1372,6 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     /// it touches in *and* out, for every shard, every iteration — the
     /// Figure 15 baseline.
     fn emit_unfused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
-        let shards = self.plan.shards.clone();
         let has_gather = self.program.has_gather();
         let has_scatter = self.program.has_scatter();
         let skip = |this: &Self, w: &ShardWork| this.opts.frontier_management && !w.is_active();
@@ -1173,19 +1379,19 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // Phase 1: gatherMap — full in-edge sub-arrays in (even for
         // gather-less programs: this is exactly the movement phase
         // elimination removes), per-edge update array out.
-        for (i, sh) in shards.iter().enumerate() {
-            if skip(self, &work[i]) {
+        for (i, w) in work.iter().enumerate() {
+            if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
-            let bufs = self.in_bufs(sh, true);
-            self.copy_in(stream, &bufs, iter)?;
+            let bufs = self.in_buf_sets[i];
+            self.copy_in(stream, bufs.as_slice(), iter)?;
             if has_gather {
-                let specs = self.gather_specs(i, &work[i]);
-                self.launch_tracked(stream, &specs[0], iter, i)?;
+                let (map, _) = self.gather_specs(i, w);
+                self.launch_tracked(stream, &map, iter, i)?;
             }
-            let upd = self.edge_update_buf(sh);
+            let upd = self.edge_update_bufs[i];
             self.copy_out(stream, &[upd], iter)?;
         }
         self.sync_and_resolve();
@@ -1193,77 +1399,75 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // Phase 2: gatherReduce — the per-edge update array comes back in,
         // reduced per-vertex temps go out. Fusion makes both moves vanish
         // (the array never leaves the device between the two kernels).
-        for (i, sh) in shards.iter().enumerate() {
-            if skip(self, &work[i]) {
+        for (i, w) in work.iter().enumerate() {
+            if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
-            let upd = self.edge_update_buf(sh);
+            let upd = self.edge_update_bufs[i];
             self.copy_in(stream, &[upd], iter)?;
             if has_gather {
-                let specs = self.gather_specs(i, &work[i]);
-                if let Some(reduce) = specs.get(1).cloned() {
+                let (_, reduce) = self.gather_specs(i, w);
+                if let Some(reduce) = reduce {
                     self.launch_tracked(stream, &reduce, iter, i)?;
                 }
             }
-            let t = self.gather_temp_buf(sh);
+            let t = self.gather_temp_bufs[i];
             self.copy_out(stream, &[t], iter)?;
         }
         self.sync_and_resolve();
 
         // Phase 3: apply — temps + vertex interval in, vertex interval out.
-        for (i, sh) in shards.iter().enumerate() {
-            if skip(self, &work[i]) {
+        for (i, w) in work.iter().enumerate() {
+            if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
-            let vbuf: Buf = (
-                sh.num_vertices() * self.sizes.vertex_value,
-                "apply.vertices",
-            );
-            let t = self.gather_temp_buf(sh);
+            let vbuf = self.apply_vertex_bufs[i];
+            let t = self.gather_temp_bufs[i];
             self.copy_in(stream, &[t, vbuf], iter)?;
-            let spec = self.apply_spec(&work[i]);
+            let spec = self.apply_spec(w);
             self.launch_tracked(stream, &spec, iter, i)?;
             self.copy_out(stream, &[vbuf], iter)?;
         }
         self.sync_and_resolve();
 
         // Phase 4: scatter — full out-edge arrays in, values out.
-        for (i, sh) in shards.iter().enumerate() {
-            if skip(self, &work[i]) {
+        for (i, w) in work.iter().enumerate() {
+            if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
-            let bufs = self.out_bufs(sh, true);
-            self.copy_in(stream, &bufs, iter)?;
+            let bufs = self.out_buf_sets[i];
+            self.copy_in(stream, bufs.as_slice(), iter)?;
             if has_scatter {
-                let spec = self.scatter_spec(i, &work[i]);
+                let spec = self.scatter_spec(i, w);
                 self.launch_tracked(stream, &spec, iter, i)?;
-                let vals: Buf = (sh.num_out_edges() * self.sizes.edge_value, "out.value.d2h");
+                let vals: Buf = (
+                    self.plan.shards[i].num_out_edges() * self.sizes.edge_value,
+                    "out.value.d2h",
+                );
                 self.copy_out(stream, &[vals], iter)?;
             }
         }
         self.sync_and_resolve();
 
         // Phase 5: FrontierActivate — out-edge topology in (again), bits out.
-        for (i, sh) in shards.iter().enumerate() {
-            if skip(self, &work[i]) {
+        for (i, w) in work.iter().enumerate() {
+            if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
-            self.copy_in(stream, &[(sh.num_out_edges() * 4, "out.dst")], iter)?;
-            let spec = self.activate_spec(i, &work[i]);
+            let dst = self.out_dst_bufs[i];
+            self.copy_in(stream, &[dst], iter)?;
+            let spec = self.activate_spec(i, w);
             self.launch_tracked(stream, &spec, iter, i)?;
-            self.copy_out(
-                stream,
-                &[(sh.num_vertices().div_ceil(8), "frontier.bits")],
-                iter,
-            )?;
+            let bits = self.frontier_bits_bufs[i];
+            self.copy_out(stream, &[bits], iter)?;
         }
         self.sync_and_resolve();
         Ok(())

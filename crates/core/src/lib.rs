@@ -66,7 +66,7 @@ pub use checkpoint::Checkpoint;
 pub use engine::{GraphReduce, RunResult, WarmStart};
 pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan};
 pub use multi::{MultiGraphReduce, MultiRunResult, MultiRunStats};
-pub use options::{GatherMode, Options, PartitionLogicHandle, StreamingMode};
+pub use options::{GatherMode, HostKernels, Options, PartitionLogicHandle, StreamingMode};
 pub use recovery::{EngineError, RecoveryPolicy};
 pub use sizes::{
     optimal_concurrent_shards, pcie_saturating_bytes, plan_partition, plan_partition_with,

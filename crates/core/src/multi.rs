@@ -24,6 +24,7 @@ use gr_observe::{Decision, InstantEvent, Observer, SpanEvent};
 use gr_sim::{DeviceFault, FaultPlan, Gpu, KernelSpec, OpId, Platform, SimDuration, StreamId};
 
 use crate::api::{GasProgram, InitialFrontier};
+use crate::options::HostKernels;
 use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
 use crate::recovery::{EngineError, RecoveryPolicy};
 use crate::sizes::{plan_partition, SizeModel};
@@ -258,6 +259,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                         &self.layout.weights,
                         &frontier,
                         &mut gather_temp[lo..hi],
+                        HostKernels::Adaptive,
                     );
                     work[i].active_vertices = a;
                     work[i].active_in_edges = e;
@@ -277,6 +279,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                     &gather_temp[lo..hi],
                     &frontier,
                     iter,
+                    HostKernels::Adaptive,
                 );
                 work[i].changed_vertices = ids.len() as u64;
                 for v in ids {
@@ -292,12 +295,14 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                         &vertex_values,
                         &mut edge_values,
                         &changed,
+                        HostKernels::Adaptive,
                     );
                 }
             }
             let mut activated = 0;
             for (i, sh) in shards.iter().enumerate() {
-                let (walked, act) = activate_shard(self.layout, sh, &changed, &mut next);
+                let (walked, act) =
+                    activate_shard(self.layout, sh, &changed, &mut next, HostKernels::Adaptive);
                 work[i].out_edges_of_changed = walked;
                 activated += act;
             }

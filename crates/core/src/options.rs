@@ -73,6 +73,31 @@ pub enum StreamingMode {
     ZeroCopySequential,
 }
 
+/// Which host-side kernel implementation computes the *results* (the
+/// simulated device timeline is unaffected — `ShardWork` counts, and
+/// therefore every simulated cost, are identical across all variants).
+///
+/// The adaptive default mirrors Gunrock-style frontier-aware kernel
+/// selection: a phase over a mostly-empty interval iterates only the set
+/// bits of the frontier bitmap (word-skipping, O(active)), while a dense
+/// interval is scanned contiguously (O(interval), parallel across host
+/// threads when available).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HostKernels {
+    /// Pick sparse or dense per shard per phase by comparing the
+    /// interval's active population against its length (the default).
+    #[default]
+    Adaptive,
+    /// Always scan the full interval (parallel when threads are available).
+    Dense,
+    /// Always iterate only the set bits.
+    Sparse,
+    /// The pre-adaptive reference path: serial O(interval) scans probing
+    /// the bitmap per vertex. Kept as the wall-clock benchmark baseline
+    /// and the differential-test oracle.
+    Serial,
+}
+
 /// GraphReduce runtime configuration.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -118,6 +143,9 @@ pub struct Options {
     pub fault_plan: FaultPlan,
     /// What the engine does about injected (or real) device faults.
     pub recovery: RecoveryPolicy,
+    /// Host-side kernel implementation computing the exact results
+    /// (sparse/dense selection + parallelism; results bit-identical).
+    pub host_kernels: HostKernels,
 }
 
 impl Options {
@@ -138,6 +166,7 @@ impl Options {
             streaming_mode: StreamingMode::Explicit,
             fault_plan: FaultPlan::none(),
             recovery: RecoveryPolicy::default(),
+            host_kernels: HostKernels::Adaptive,
         }
     }
 
@@ -160,6 +189,7 @@ impl Options {
             streaming_mode: StreamingMode::Explicit,
             fault_plan: FaultPlan::none(),
             recovery: RecoveryPolicy::default(),
+            host_kernels: HostKernels::Adaptive,
         }
     }
 
@@ -227,6 +257,11 @@ impl Options {
 
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    pub fn with_host_kernels(mut self, kernels: HostKernels) -> Self {
+        self.host_kernels = kernels;
         self
     }
 }

@@ -7,15 +7,64 @@
 //! apply then updates them, scatter reads applied values, and
 //! FrontierActivate marks the one-hop out-neighborhood of changed vertices.
 //!
-//! Gather is data-parallel over each shard's interval (every vertex owns
-//! its accumulator slot — the gatherReduce layout property that consecutive
-//! CSC updates land in consecutive memory). Work statistics are recorded
-//! per shard; the engine turns them into kernel cost specs.
+//! # Sparse/dense kernel selection
+//!
+//! Each phase runs in one of two shapes, mirroring frontier-aware kernel
+//! selection on GPUs (Gunrock's sparse/dense advance, the paper's dynamic
+//! frontier management lifted down to the host kernels):
+//!
+//! - **dense**: scan the shard's whole interval contiguously — O(interval),
+//!   parallel across host threads when the input is large and threads are
+//!   available;
+//! - **sparse**: iterate only the set bits of the frontier/changed bitmap
+//!   with word-skipping ([`Bitmap::iter_set_range`]) — O(active), exactly
+//!   what a BFS tail or SSSP wave needs.
+//!
+//! [`HostKernels::Adaptive`] picks per shard per phase by comparing the
+//! interval's active population against its length (threshold
+//! [`SPARSE_DENSITY_DENOM`]). All variants produce **bit-identical**
+//! results and identical [`ShardWork`] counts — asserted by the
+//! differential tests in `tests/host_kernels.rs`.
+//!
+//! Work statistics are recorded per shard; the engine turns them into
+//! kernel cost specs, so the simulated timeline never depends on which
+//! host variant computed the results.
 
 use gr_graph::{Bitmap, GraphLayout, Shard};
 use rayon::prelude::*;
 
 use crate::api::GasProgram;
+use crate::options::HostKernels;
+
+/// Adaptive mode goes sparse when fewer than 1/8 of the interval's
+/// vertices are active: below that, word-skipping over the bitmap beats a
+/// contiguous scan; above it, the scan's locality wins.
+pub const SPARSE_DENSITY_DENOM: u64 = 8;
+
+/// Concrete shape a phase executes after [`HostKernels`] resolution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Shape {
+    Serial,
+    Dense,
+    Sparse,
+}
+
+/// Resolve the configured kernel mode against an interval's population.
+/// `active` is the number of set bits in `[lo, hi)` of the driving bitmap.
+fn resolve(mode: HostKernels, active: u64, interval_len: u64) -> Shape {
+    match mode {
+        HostKernels::Serial => Shape::Serial,
+        HostKernels::Dense => Shape::Dense,
+        HostKernels::Sparse => Shape::Sparse,
+        HostKernels::Adaptive => {
+            if active.saturating_mul(SPARSE_DENSITY_DENOM) < interval_len {
+                Shape::Sparse
+            } else {
+                Shape::Dense
+            }
+        }
+    }
+}
 
 /// Per-shard, per-iteration work counts (feed the kernel cost model and the
 /// frontier statistics of Figures 3/16/17).
@@ -38,11 +87,46 @@ impl ShardWork {
     }
 }
 
+/// Shared mutable slice for provably disjoint index writes from parallel
+/// workers (scatter: each edge's canonical id appears exactly once in the
+/// CSR, so out-edges of distinct vertices never alias).
+struct SharedSliceMut<T> {
+    ptr: *mut T,
+    #[cfg(debug_assertions)]
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for SharedSliceMut<T> {}
+
+impl<T> SharedSliceMut<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SharedSliceMut {
+            ptr: slice.as_mut_ptr(),
+            #[cfg(debug_assertions)]
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// Callers must never pass the same `i` from two concurrent workers.
+    #[allow(clippy::mut_from_ref)] // the disjointness contract is the point
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        #[cfg(debug_assertions)]
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather
+// ---------------------------------------------------------------------------
+
 /// Gather phase for one shard: edge-centric map + vertex-centric reduce,
 /// computed per destination vertex (the reduction is associative and
 /// commutative, so folding in CSC order is equivalent).
 ///
-/// `gather_out` is the interval's slice of the gather-temp array.
+/// `gather_out` is the interval's slice of the gather-temp array; only the
+/// slots of active vertices are written, in every mode.
 #[allow(clippy::too_many_arguments)] // mirrors the phase's real data flow
 pub fn gather_shard<P: GasProgram>(
     program: &P,
@@ -53,43 +137,82 @@ pub fn gather_shard<P: GasProgram>(
     weights: &[f32],
     frontier: &Bitmap,
     gather_out: &mut [P::Gather],
+    mode: HostKernels,
 ) -> (u64, u64) {
     let start = shard.interval.start;
+    let end = shard.interval.end;
     debug_assert_eq!(gather_out.len(), shard.interval.len() as usize);
-    let (active, in_edges) = gather_out
-        .par_iter_mut()
-        .enumerate()
-        .map(|(i, out)| {
-            let v = start + i as u32;
-            if !frontier.get(v) {
-                return (0u64, 0u64);
+
+    let gather_one = |v: u32| -> (P::Gather, u64) {
+        let mut acc = program.gather_identity();
+        let dst_val = vertex_values[v as usize];
+        let range = layout.csc.range(v);
+        let edges = range.len() as u64;
+        for eid in range {
+            let src = layout.csc.neighbors[eid];
+            acc = program.gather_reduce(
+                acc,
+                program.gather_map(
+                    &dst_val,
+                    &vertex_values[src as usize],
+                    &edge_values[eid],
+                    weights[eid],
+                ),
+            );
+        }
+        (acc, edges)
+    };
+
+    match resolve(mode, frontier.count_range(start, end), (end - start) as u64) {
+        Shape::Serial => {
+            let mut active = 0;
+            let mut in_edges = 0;
+            for (i, out) in gather_out.iter_mut().enumerate() {
+                let v = start + i as u32;
+                if !frontier.get(v) {
+                    continue;
+                }
+                let (acc, edges) = gather_one(v);
+                *out = acc;
+                active += 1;
+                in_edges += edges;
             }
-            let mut acc = program.gather_identity();
-            let dst_val = vertex_values[v as usize];
-            let range = layout.csc.range(v);
-            let edges = range.len() as u64;
-            for eid in range {
-                let src = layout.csc.neighbors[eid];
-                acc = program.gather_reduce(
-                    acc,
-                    program.gather_map(
-                        &dst_val,
-                        &vertex_values[src as usize],
-                        &edge_values[eid],
-                        weights[eid],
-                    ),
-                );
+            (active, in_edges)
+        }
+        Shape::Sparse => {
+            let mut active = 0;
+            let mut in_edges = 0;
+            for v in frontier.iter_set_range(start, end) {
+                let (acc, edges) = gather_one(v);
+                gather_out[(v - start) as usize] = acc;
+                active += 1;
+                in_edges += edges;
             }
-            *out = acc;
-            (1u64, edges)
-        })
-        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-    (active, in_edges)
+            (active, in_edges)
+        }
+        Shape::Dense => gather_out
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, out)| {
+                let v = start + i as u32;
+                if !frontier.get(v) {
+                    return (0u64, 0u64);
+                }
+                let (acc, edges) = gather_one(v);
+                *out = acc;
+                (1u64, edges)
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1)),
+    }
 }
 
+// ---------------------------------------------------------------------------
+// Apply
+// ---------------------------------------------------------------------------
+
 /// Apply phase for one shard: vertex-centric update over the interval's
-/// active vertices. Returns the ids (global) of changed vertices; the
-/// engine sets them in the `changed` bitmap.
+/// active vertices. Returns the ids (global, ascending) of changed
+/// vertices; the engine sets them in the `changed` bitmap.
 pub fn apply_shard<P: GasProgram>(
     program: &P,
     shard: &Shard,
@@ -97,25 +220,60 @@ pub fn apply_shard<P: GasProgram>(
     gather_temp: &[P::Gather],
     frontier: &Bitmap,
     iteration: u32,
+    mode: HostKernels,
 ) -> Vec<u32> {
     let start = shard.interval.start;
+    let end = shard.interval.end;
     debug_assert_eq!(vertex_values.len(), shard.interval.len() as usize);
-    vertex_values
-        .par_iter_mut()
-        .enumerate()
-        .filter_map(|(i, val)| {
-            let v = start + i as u32;
-            if !frontier.get(v) {
-                return None;
+    match resolve(mode, frontier.count_range(start, end), (end - start) as u64) {
+        Shape::Serial => {
+            let mut changed = Vec::new();
+            for (i, val) in vertex_values.iter_mut().enumerate() {
+                let v = start + i as u32;
+                if frontier.get(v) && program.apply(val, gather_temp[i], iteration) {
+                    changed.push(v);
+                }
             }
-            program.apply(val, gather_temp[i], iteration).then_some(v)
-        })
-        .collect()
+            changed
+        }
+        Shape::Sparse => {
+            let mut changed = Vec::new();
+            for v in frontier.iter_set_range(start, end) {
+                let i = (v - start) as usize;
+                if program.apply(&mut vertex_values[i], gather_temp[i], iteration) {
+                    changed.push(v);
+                }
+            }
+            changed
+        }
+        // The parallel collect preserves index order (chunk outputs are
+        // concatenated in chunk order), so the ids come out ascending —
+        // identical to the serial paths.
+        Shape::Dense => vertex_values
+            .par_iter_mut()
+            .enumerate()
+            .filter_map(|(i, val)| {
+                let v = start + i as u32;
+                if !frontier.get(v) {
+                    return None;
+                }
+                program.apply(val, gather_temp[i], iteration).then_some(v)
+            })
+            .collect(),
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Scatter
+// ---------------------------------------------------------------------------
 
 /// Scatter phase for one shard: edge-centric over out-edges of changed
 /// vertices, updating mutable edge state through the canonical edge ids.
 /// Returns the number of edges scattered.
+///
+/// The dense shape parallelizes over the interval: every edge's canonical
+/// id appears exactly once in the CSR, so writes from distinct source
+/// vertices land on disjoint `edge_values` slots.
 pub fn scatter_shard<P: GasProgram>(
     program: &P,
     layout: &GraphLayout,
@@ -123,47 +281,153 @@ pub fn scatter_shard<P: GasProgram>(
     vertex_values: &[P::VertexValue],
     edge_values: &mut [P::EdgeValue],
     changed: &Bitmap,
+    mode: HostKernels,
 ) -> u64 {
-    let mut n = 0;
-    for v in shard.interval.start..shard.interval.end {
-        if !changed.get(v) {
-            continue;
+    let start = shard.interval.start;
+    let end = shard.interval.end;
+
+    match resolve(mode, changed.count_range(start, end), (end - start) as u64) {
+        Shape::Serial => {
+            let mut n = 0;
+            for v in start..end {
+                if !changed.get(v) {
+                    continue;
+                }
+                let src_val = &vertex_values[v as usize];
+                for (dst, eid) in layout.csr.entries(v) {
+                    let dst_val = vertex_values[dst as usize];
+                    program.scatter(src_val, &dst_val, &mut edge_values[eid as usize]);
+                    n += 1;
+                }
+            }
+            n
         }
-        let src_val = &vertex_values[v as usize];
-        for (dst, eid) in layout.csr.entries(v) {
-            let dst_val = vertex_values[dst as usize];
-            program.scatter(src_val, &dst_val, &mut edge_values[eid as usize]);
-            n += 1;
+        Shape::Sparse => {
+            let mut n = 0;
+            for v in changed.iter_set_range(start, end) {
+                let src_val = &vertex_values[v as usize];
+                for (dst, eid) in layout.csr.entries(v) {
+                    let dst_val = vertex_values[dst as usize];
+                    program.scatter(src_val, &dst_val, &mut edge_values[eid as usize]);
+                    n += 1;
+                }
+            }
+            n
+        }
+        Shape::Dense => {
+            let shared = SharedSliceMut::new(edge_values);
+            (start..end)
+                .into_par_iter()
+                .map(|v| {
+                    let v = v as u32;
+                    if !changed.get(v) {
+                        return 0u64;
+                    }
+                    let src_val = &vertex_values[v as usize];
+                    let mut n = 0u64;
+                    for (dst, eid) in layout.csr.entries(v) {
+                        let dst_val = vertex_values[dst as usize];
+                        // SAFETY: canonical edge ids of distinct source
+                        // vertices are disjoint (each edge appears once in
+                        // the CSR), and each `v` is visited exactly once.
+                        program.scatter(src_val, &dst_val, unsafe { shared.get_mut(eid as usize) });
+                        n += 1;
+                    }
+                    n
+                })
+                .sum()
         }
     }
-    n
 }
+
+// ---------------------------------------------------------------------------
+// FrontierActivate
+// ---------------------------------------------------------------------------
 
 /// FrontierActivate for one shard (framework-generated, Section 4.4): mark
 /// the out-neighbors of changed vertices active for the next iteration.
 /// Returns `(out_edges_walked, vertices_newly_activated)`.
+///
+/// The dense shape walks interval chunks on parallel workers, each into a
+/// private [`Bitmap`], then merges them with [`Bitmap::or_assign`] in chunk
+/// order; `activated` falls out as the merge's popcount delta, identical to
+/// the serial count of newly set bits.
 pub fn activate_shard(
     layout: &GraphLayout,
     shard: &Shard,
     changed: &Bitmap,
     next_frontier: &mut Bitmap,
+    mode: HostKernels,
 ) -> (u64, u64) {
-    let mut walked = 0;
-    let mut activated = 0;
-    for v in shard.interval.start..shard.interval.end {
-        if !changed.get(v) {
-            continue;
-        }
-        for (dst, _eid) in layout.csr.entries(v) {
-            walked += 1;
-            // Branch instead of `+= u64::from(..)`: see Bitmap::set for the
-            // rustc 1.95 release-mode miscompile this avoids.
-            if next_frontier.set(dst) {
-                activated += 1;
+    let start = shard.interval.start;
+    let end = shard.interval.end;
+    let shape = resolve(mode, changed.count_range(start, end), (end - start) as u64);
+
+    // Serially marking into `next_frontier` — shared by the serial and
+    // sparse shapes (and the dense shape on a single worker, where private
+    // bitmaps would only cost allocations).
+    let mark = |vertices: &mut dyn Iterator<Item = u32>, next: &mut Bitmap| -> (u64, u64) {
+        let mut walked = 0;
+        let mut activated = 0;
+        for v in vertices {
+            for (dst, _eid) in layout.csr.entries(v) {
+                walked += 1;
+                // Branch instead of `+= u64::from(..)`: see Bitmap::set for
+                // the rustc 1.95 release-mode miscompile this avoids.
+                if next.set(dst) {
+                    activated += 1;
+                }
             }
         }
+        (walked, activated)
+    };
+
+    match shape {
+        Shape::Serial => mark(&mut (start..end).filter(|&v| changed.get(v)), next_frontier),
+        Shape::Sparse => mark(&mut changed.iter_set_range(start, end), next_frontier),
+        Shape::Dense => {
+            if rayon::current_num_threads() <= 1 || (end - start) < 4096 {
+                return mark(&mut (start..end).filter(|&v| changed.get(v)), next_frontier);
+            }
+            let n = next_frontier.len();
+            let workers = rayon::current_num_threads().min(((end - start) / 2048) as usize + 1);
+            let chunk = (end - start).div_ceil(workers as u32).max(1);
+            let ranges: Vec<(u32, u32)> = (0..workers as u32)
+                .map(|c| {
+                    let lo = start + c * chunk;
+                    (lo.min(end), (lo.saturating_add(chunk)).min(end))
+                })
+                .collect();
+            let mut parts: Vec<(u64, Bitmap)> =
+                ranges.iter().map(|_| (0u64, Bitmap::new(n))).collect();
+            rayon::scope(|s| {
+                for (&(lo, hi), part) in ranges.iter().zip(parts.iter_mut()) {
+                    s.spawn(move |_| {
+                        let mut walked = 0u64;
+                        for v in lo..hi {
+                            if !changed.get(v) {
+                                continue;
+                            }
+                            for (dst, _eid) in layout.csr.entries(v) {
+                                walked += 1;
+                                part.1.set(dst);
+                            }
+                        }
+                        part.0 = walked;
+                    });
+                }
+            });
+            let mut walked = 0;
+            let mut activated = 0;
+            for (w, local) in &parts {
+                walked += w;
+                let before = next_frontier.count();
+                next_frontier.or_assign(local);
+                activated += next_frontier.count() - before;
+            }
+            (walked, activated)
+        }
     }
-    (walked, activated)
 }
 
 #[cfg(test)]
@@ -227,100 +491,116 @@ mod tests {
         (layout, shards)
     }
 
+    const ALL_MODES: [HostKernels; 4] = [
+        HostKernels::Adaptive,
+        HostKernels::Dense,
+        HostKernels::Sparse,
+        HostKernels::Serial,
+    ];
+
     #[test]
     fn gather_apply_roundtrip() {
-        let (layout, shards) = path_graph();
-        let p = MinLabel;
-        let mut values: Vec<u32> = (0..4).collect();
-        let edge_vals = vec![(); layout.num_edges() as usize];
-        let weights = vec![1.0; layout.num_edges() as usize];
-        let frontier = Bitmap::full(4);
-        let mut temp = vec![u32::MAX; 4];
+        for mode in ALL_MODES {
+            let (layout, shards) = path_graph();
+            let p = MinLabel;
+            let mut values: Vec<u32> = (0..4).collect();
+            let edge_vals = vec![(); layout.num_edges() as usize];
+            let weights = vec![1.0; layout.num_edges() as usize];
+            let frontier = Bitmap::full(4);
+            let mut temp = vec![u32::MAX; 4];
 
-        let mut total_active = 0;
-        let mut total_edges = 0;
-        for sh in &shards {
-            let iv = sh.interval;
-            let (a, e) = gather_shard(
-                &p,
-                &layout,
-                sh,
-                &values,
-                &edge_vals,
-                &weights,
-                &frontier,
-                &mut temp[iv.start as usize..iv.end as usize],
-            );
-            total_active += a;
-            total_edges += e;
-        }
-        assert_eq!(total_active, 4);
-        assert_eq!(total_edges, 6);
-        // Gather of vertex 1 saw min(label(0), label(2)) = 0.
-        assert_eq!(temp, vec![1, 0, 1, 2]);
+            let mut total_active = 0;
+            let mut total_edges = 0;
+            for sh in &shards {
+                let iv = sh.interval;
+                let (a, e) = gather_shard(
+                    &p,
+                    &layout,
+                    sh,
+                    &values,
+                    &edge_vals,
+                    &weights,
+                    &frontier,
+                    &mut temp[iv.start as usize..iv.end as usize],
+                    mode,
+                );
+                total_active += a;
+                total_edges += e;
+            }
+            assert_eq!(total_active, 4, "{mode:?}");
+            assert_eq!(total_edges, 6, "{mode:?}");
+            // Gather of vertex 1 saw min(label(0), label(2)) = 0.
+            assert_eq!(temp, vec![1, 0, 1, 2], "{mode:?}");
 
-        let mut changed_ids = Vec::new();
-        for sh in &shards {
-            let iv = sh.interval;
-            changed_ids.extend(apply_shard(
-                &p,
-                sh,
-                &mut values[iv.start as usize..iv.end as usize],
-                &temp[iv.start as usize..iv.end as usize],
-                &frontier,
-                0,
-            ));
+            let mut changed_ids = Vec::new();
+            for sh in &shards {
+                let iv = sh.interval;
+                changed_ids.extend(apply_shard(
+                    &p,
+                    sh,
+                    &mut values[iv.start as usize..iv.end as usize],
+                    &temp[iv.start as usize..iv.end as usize],
+                    &frontier,
+                    0,
+                    mode,
+                ));
+            }
+            changed_ids.sort_unstable();
+            assert_eq!(changed_ids, vec![1, 2, 3], "{mode:?}"); // vertex 0 kept label 0
+            assert_eq!(values, vec![0, 0, 1, 2], "{mode:?}");
         }
-        changed_ids.sort_unstable();
-        assert_eq!(changed_ids, vec![1, 2, 3]); // vertex 0 kept label 0
-        assert_eq!(values, vec![0, 0, 1, 2]);
     }
 
     #[test]
     fn gather_skips_inactive_vertices() {
-        let (layout, shards) = path_graph();
-        let p = MinLabel;
-        let values: Vec<u32> = (0..4).collect();
-        let edge_vals = vec![(); 6];
-        let weights = vec![1.0; 6];
-        let mut frontier = Bitmap::new(4);
-        frontier.set(2);
-        let mut temp = vec![99u32; 4];
-        let mut active = 0;
-        for sh in &shards {
-            let iv = sh.interval;
-            let (a, _) = gather_shard(
-                &p,
-                &layout,
-                sh,
-                &values,
-                &edge_vals,
-                &weights,
-                &frontier,
-                &mut temp[iv.start as usize..iv.end as usize],
-            );
-            active += a;
+        for mode in ALL_MODES {
+            let (layout, shards) = path_graph();
+            let p = MinLabel;
+            let values: Vec<u32> = (0..4).collect();
+            let edge_vals = vec![(); 6];
+            let weights = vec![1.0; 6];
+            let mut frontier = Bitmap::new(4);
+            frontier.set(2);
+            let mut temp = vec![99u32; 4];
+            let mut active = 0;
+            for sh in &shards {
+                let iv = sh.interval;
+                let (a, _) = gather_shard(
+                    &p,
+                    &layout,
+                    sh,
+                    &values,
+                    &edge_vals,
+                    &weights,
+                    &frontier,
+                    &mut temp[iv.start as usize..iv.end as usize],
+                    mode,
+                );
+                active += a;
+            }
+            assert_eq!(active, 1, "{mode:?}");
+            assert_eq!(temp, vec![99, 99, 1, 99], "{mode:?}"); // only slot 2 written
         }
-        assert_eq!(active, 1);
-        assert_eq!(temp, vec![99, 99, 1, 99]); // only slot 2 written
     }
 
     #[test]
     fn activate_marks_one_hop_neighborhood() {
-        let (layout, shards) = path_graph();
-        let mut changed = Bitmap::new(4);
-        changed.set(1);
-        let mut next = Bitmap::new(4);
-        let mut walked = 0;
-        let mut activated = 0;
-        for sh in &shards {
-            let (w, a) = activate_shard(&layout, sh, &changed, &mut next);
-            walked += w;
-            activated += a;
+        for mode in ALL_MODES {
+            let (layout, shards) = path_graph();
+            let mut changed = Bitmap::new(4);
+            changed.set(1);
+            let mut next = Bitmap::new(4);
+            let mut walked = 0;
+            let mut activated = 0;
+            for sh in &shards {
+                let (w, a) = activate_shard(&layout, sh, &changed, &mut next, mode);
+                walked += w;
+                activated += a;
+            }
+            assert_eq!(walked, 2, "{mode:?}"); // 1 -> 0 and 1 -> 2
+            assert_eq!(activated, 2, "{mode:?}");
+            assert_eq!(next.iter_set().collect::<Vec<_>>(), vec![0, 2], "{mode:?}");
         }
-        assert_eq!(walked, 2); // 1 -> 0 and 1 -> 2
-        assert_eq!(activated, 2);
-        assert_eq!(next.iter_set().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     /// Program with mutable edge state: scatter writes src value into edges.
@@ -370,21 +650,40 @@ mod tests {
 
     #[test]
     fn scatter_writes_through_canonical_ids() {
-        let (layout, shards) = path_graph();
-        let p = EdgeStamp;
-        let values: Vec<u32> = (0..4).map(|v| v + 10).collect();
-        let mut edge_vals = vec![0u32; 6];
-        let changed = Bitmap::full(4);
-        let mut n = 0;
-        for sh in &shards {
-            n += scatter_shard(&p, &layout, sh, &values, &mut edge_vals, &changed);
-        }
-        assert_eq!(n, 6);
-        // Every edge now stamped with its source's value; verify via CSC.
-        for v in 0..4u32 {
-            for (src, eid) in layout.csc.entries(v) {
-                assert_eq!(edge_vals[eid as usize], src + 10, "edge {src}->{v}");
+        for mode in ALL_MODES {
+            let (layout, shards) = path_graph();
+            let p = EdgeStamp;
+            let values: Vec<u32> = (0..4).map(|v| v + 10).collect();
+            let mut edge_vals = vec![0u32; 6];
+            let changed = Bitmap::full(4);
+            let mut n = 0;
+            for sh in &shards {
+                n += scatter_shard(&p, &layout, sh, &values, &mut edge_vals, &changed, mode);
+            }
+            assert_eq!(n, 6, "{mode:?}");
+            // Every edge now stamped with its source's value; verify via CSC.
+            for v in 0..4u32 {
+                for (src, eid) in layout.csc.entries(v) {
+                    assert_eq!(
+                        edge_vals[eid as usize],
+                        src + 10,
+                        "edge {src}->{v} ({mode:?})"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn adaptive_resolution_tracks_density() {
+        // Empty → sparse; full → dense; the threshold sits at 1/8.
+        assert_eq!(resolve(HostKernels::Adaptive, 0, 1000), Shape::Sparse);
+        assert_eq!(resolve(HostKernels::Adaptive, 1000, 1000), Shape::Dense);
+        assert_eq!(resolve(HostKernels::Adaptive, 124, 1000), Shape::Sparse);
+        assert_eq!(resolve(HostKernels::Adaptive, 125, 1000), Shape::Dense);
+        // Forced modes ignore the population.
+        assert_eq!(resolve(HostKernels::Dense, 0, 1000), Shape::Dense);
+        assert_eq!(resolve(HostKernels::Sparse, 1000, 1000), Shape::Sparse);
+        assert_eq!(resolve(HostKernels::Serial, 0, 1000), Shape::Serial);
     }
 }

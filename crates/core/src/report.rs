@@ -73,6 +73,7 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
         stats.recovered_retries
     ));
     out.push_str(&format!("  \"rollbacks\": {},\n", stats.rollbacks));
+    out.push_str(&format!("  \"checkpoints\": {},\n", stats.checkpoints));
     out.push_str(&format!("  \"host_fallback\": {},\n", stats.host_fallback));
     out.push_str(&format!("  \"max_frontier\": {},\n", stats.max_frontier()));
     out.push_str(&format!(
@@ -216,6 +217,7 @@ mod tests {
             faults_injected: 1,
             recovered_retries: 1,
             rollbacks: 0,
+            checkpoints: 2,
             host_fallback: false,
             per_iteration: vec![
                 IterationStats {

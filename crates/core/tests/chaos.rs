@@ -241,6 +241,25 @@ fn disarmed_fault_plan_adds_zero_overhead() {
     );
     assert_eq!(clean.stats.faults_injected, 0);
     assert_eq!(armed_none.stats.faults_injected, 0);
+    // The rollback checkpoint is a full clone of host state; the engine
+    // must skip it entirely unless a plan can actually inject something.
+    assert_eq!(clean.stats.checkpoints, 0, "no plan, no checkpoint clones");
+    assert_eq!(
+        armed_none.stats.checkpoints, 0,
+        "an empty plan must not pay the per-iteration checkpoint clone"
+    );
+    let armed = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        Options::optimized().with_fault_plan(FaultPlan::profile("transient-copy", 0).unwrap()),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(
+        armed.stats.checkpoints, armed.stats.iterations as u64,
+        "an armed plan checkpoints every iteration"
+    );
 }
 
 fn multi_layout() -> GraphLayout {

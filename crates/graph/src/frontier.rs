@@ -183,6 +183,66 @@ impl Bitmap {
             })
         })
     }
+
+    /// Index of the first set bit at or after `i`, skipping zero words
+    /// (O(words) worst case, O(1) on dense prefixes).
+    pub fn next_set_from(&self, i: u32) -> Option<u32> {
+        if i >= self.len {
+            return None;
+        }
+        let mut wi = (i / 64) as usize;
+        let mut w = self.words[wi] & (!0u64 << (i % 64));
+        loop {
+            if w != 0 {
+                let b = wi as u32 * 64 + w.trailing_zeros();
+                // Bits past `len` only exist transiently in never-written
+                // words; `full`/`set` keep the tail clean, so b < len here.
+                debug_assert!(b < self.len);
+                return Some(b);
+            }
+            wi += 1;
+            if wi == self.words.len() {
+                return None;
+            }
+            w = self.words[wi];
+        }
+    }
+
+    /// Iterate set bits within `[lo, hi)` in ascending order, skipping
+    /// all-zero words — the sparse-mode kernel walk: cost is
+    /// O(words in range + set bits), independent of the interval's size
+    /// when it is mostly empty.
+    pub fn iter_set_range(&self, lo: u32, hi: u32) -> impl Iterator<Item = u32> + '_ {
+        debug_assert!(lo <= hi && hi <= self.len);
+        let wl = (lo / 64) as usize;
+        // One-past-the-last word the range touches (== wl for empty ranges).
+        let wh = if lo < hi {
+            (hi as usize).div_ceil(64)
+        } else {
+            wl
+        };
+        let mut wi = wl;
+        let mut cur = if lo < hi {
+            self.words[wl] & (!0u64 << (lo % 64))
+        } else {
+            0
+        };
+        std::iter::from_fn(move || loop {
+            if cur != 0 {
+                let b = wi as u32 * 64 + cur.trailing_zeros();
+                if b >= hi {
+                    return None;
+                }
+                cur &= cur - 1;
+                return Some(b);
+            }
+            wi += 1;
+            if wi >= wh {
+                return None;
+            }
+            cur = self.words[wi];
+        })
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +352,54 @@ mod tests {
         assert!(b.clear(129));
         assert!(!b.clear(129));
         assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn next_set_from_skips_zero_words() {
+        let mut b = Bitmap::new(1000);
+        for i in [3u32, 64, 700, 999] {
+            b.set(i);
+        }
+        assert_eq!(b.next_set_from(0), Some(3));
+        assert_eq!(b.next_set_from(3), Some(3));
+        assert_eq!(b.next_set_from(4), Some(64));
+        assert_eq!(b.next_set_from(65), Some(700));
+        assert_eq!(b.next_set_from(700), Some(700));
+        assert_eq!(b.next_set_from(701), Some(999));
+        assert_eq!(b.next_set_from(1000), None);
+        let empty = Bitmap::new(256);
+        assert_eq!(empty.next_set_from(0), None);
+    }
+
+    #[test]
+    fn iter_set_range_matches_filtered_iter_set() {
+        let mut b = Bitmap::new(500);
+        for i in [0u32, 1, 63, 64, 65, 127, 200, 255, 256, 440, 499] {
+            b.set(i);
+        }
+        for lo in (0..=500).step_by(37) {
+            for hi in (lo..=500).step_by(41) {
+                let got: Vec<u32> = b.iter_set_range(lo, hi).collect();
+                let want: Vec<u32> = b.iter_set().filter(|&v| v >= lo && v < hi).collect();
+                assert_eq!(got, want, "range {lo}..{hi}");
+            }
+        }
+        // Degenerate and word-aligned edges.
+        assert_eq!(b.iter_set_range(64, 64).count(), 0);
+        assert_eq!(
+            b.iter_set_range(64, 128).collect::<Vec<_>>(),
+            vec![64, 65, 127]
+        );
+        assert_eq!(b.iter_set_range(0, 500).count() as u64, b.count());
+    }
+
+    #[test]
+    fn iter_set_range_on_full_bitmap() {
+        let b = Bitmap::full(130);
+        assert_eq!(
+            b.iter_set_range(100, 130).collect::<Vec<_>>(),
+            (100..130).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,106 +1,483 @@
 //! Offline stand-in for the `rayon` crate (vendor/README.md).
 //!
-//! Exposes the `par_iter`/`par_iter_mut` adapter surface this workspace
-//! uses, executing **sequentially**. Results are identical to rayon's
-//! (the iteration order of every adapter matches the sequential order);
-//! only the parallel speedup is absent.
+//! Unlike the original sequential stub, this version genuinely executes on
+//! multiple OS threads (`std::thread::scope`) while keeping every adapter's
+//! *observable results identical to sequential execution*:
+//!
+//! - items are processed in disjoint contiguous index chunks;
+//! - `collect` concatenates per-chunk outputs in chunk order, so element
+//!   order matches the sequential order exactly;
+//! - `reduce` folds each chunk from the identity and combines chunk results
+//!   left-to-right, which equals the sequential fold for the associative
+//!   operations rayon (and this workspace) require.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like upstream rayon) or
+//! `std::thread::available_parallelism()`. With one thread — or inputs below
+//! the splitting threshold — everything runs inline on the calling thread
+//! with no spawn overhead, preserving the old stub's wall-clock profile on
+//! single-core hosts.
+
+use std::marker::PhantomData;
 
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
-/// Sequential stand-in for a parallel iterator. Wraps any std iterator and
-/// mirrors the rayon adapter names (`map`, `filter_map`, `enumerate`,
-/// `reduce`, `collect`, `for_each`, `sum`).
-pub struct ParIter<I>(I);
+/// Inputs shorter than this are never split across threads: the spawn cost
+/// would dwarf the per-item work this workspace does.
+const MIN_SPLIT_LEN: usize = 2048;
 
-/// `slice.par_iter()` — sequential fallback.
-pub trait IntoParallelRefIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+/// Effective worker count: `RAYON_NUM_THREADS` override (upstream rayon's
+/// env var) or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// `slice.par_iter_mut()` — sequential fallback.
-pub trait IntoParallelRefMutIterator<'a> {
-    type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+/// Near-even split of `0..len` into `chunks` contiguous ranges.
+fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.max(1).min(len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for c in 0..chunks {
+        let hi = lo + base + usize::from(c < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
+/// How many chunks to split `len` items into (1 = run inline).
+fn split_factor(len: usize) -> usize {
+    if len < MIN_SPLIT_LEN {
+        return 1;
+    }
+    current_num_threads().min(len / (MIN_SPLIT_LEN / 2)).max(1)
+}
+
+/// Run `f` over each range on scoped threads; results in range order. The
+/// first range runs on the calling thread.
+fn run_ranges<R: Send>(
+    ranges: &[(usize, usize)],
+    f: &(impl Fn(usize, usize) -> R + Sync),
+) -> Vec<R> {
+    if ranges.len() == 1 {
+        let (lo, hi) = ranges[0];
+        return vec![f(lo, hi)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|&(lo, hi)| s.spawn(move || f(lo, hi)))
+            .collect();
+        let mut out = Vec::with_capacity(ranges.len());
+        out.push(f(ranges[0].0, ranges[0].1));
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sources: index-addressable item producers.
+// ---------------------------------------------------------------------------
+
+/// An index-addressable parallel source.
+///
+/// # Safety
+/// `visit(lo, hi, ..)` may be called concurrently from several threads, but
+/// only with pairwise-disjoint ranges; implementations yielding `&mut`
+/// references rely on that disjointness for soundness.
+#[allow(clippy::len_without_is_empty)] // internal trait; only len is consumed
+pub unsafe trait ParSource: Sync + Sized {
+    type Item;
+    fn len(&self) -> usize;
+    /// Visit items of `[lo, hi)` in ascending index order. `f` receives the
+    /// absolute index and the item.
+    ///
+    /// # Safety
+    /// Concurrent calls must use disjoint ranges (see trait docs).
+    unsafe fn visit<F: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, f: F);
+}
+
+/// Shared-slice source (`par_iter`).
+pub struct ParSlice<'d, T> {
+    data: &'d [T],
+}
+
+unsafe impl<'d, T: Sync> ParSource for ParSlice<'d, T> {
+    type Item = &'d T;
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    unsafe fn visit<F: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, mut f: F) {
+        for (i, item) in self.data[lo..hi].iter().enumerate() {
+            f(lo + i, item);
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
-    type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
-        ParIter(self.iter_mut())
+/// Mutable-slice source (`par_iter_mut`). Stored as raw parts so disjoint
+/// ranges can be visited from several threads.
+pub struct ParSliceMut<'d, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'d mut [T]>,
+}
+
+// Sound: `visit` hands out `&mut T` only inside the caller-guaranteed
+// disjoint ranges, so no two threads alias an element.
+unsafe impl<'d, T: Send> Sync for ParSliceMut<'d, T> {}
+
+unsafe impl<'d, T: Send> ParSource for ParSliceMut<'d, T> {
+    type Item = &'d mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn visit<F: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, mut f: F) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        for i in lo..hi {
+            f(i, &mut *self.ptr.add(i));
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
+/// Integer-range source (`(lo..hi).into_par_iter()`).
+pub struct ParRange {
+    start: u64,
+    len: usize,
+}
+
+unsafe impl ParSource for ParRange {
+    type Item = u64;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn visit<F: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, mut f: F) {
+        for i in lo..hi {
+            f(i, self.start + i as u64);
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
-    type Item = &'a mut T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
-        ParIter(self.iter_mut())
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// `.enumerate()` — pairs each item with its index.
+pub struct Enumerated<S> {
+    inner: S,
+}
+
+unsafe impl<S: ParSource> ParSource for Enumerated<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn visit<F: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, mut f: F) {
+        self.inner.visit(lo, hi, |i, item| f(i, (i, item)));
     }
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+/// `.map(f)`.
+pub struct Mapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+unsafe impl<S: ParSource, B, F: Fn(S::Item) -> B + Sync> ParSource for Mapped<S, F> {
+    type Item = B;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn visit<G: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, mut g: G) {
+        self.inner.visit(lo, hi, |i, item| g(i, (self.f)(item)));
+    }
+}
+
+/// `.filter_map(f)` — visited items whose mapping is `None` are dropped.
+pub struct FilterMapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+unsafe impl<S: ParSource, B, F: Fn(S::Item) -> Option<B> + Sync> ParSource for FilterMapped<S, F> {
+    type Item = B;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn visit<G: FnMut(usize, Self::Item)>(&self, lo: usize, hi: usize, mut g: G) {
+        self.inner.visit(lo, hi, |i, item| {
+            if let Some(b) = (self.f)(item) {
+                g(i, b);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator interface (terminal operations).
+// ---------------------------------------------------------------------------
+
+/// Rayon-style adapter + terminal surface over any [`ParSource`].
+pub trait ParallelIterator: ParSource {
+    fn enumerate(self) -> Enumerated<Self> {
+        Enumerated { inner: self }
     }
 
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+    fn map<B, F: Fn(Self::Item) -> B + Sync>(self, f: F) -> Mapped<Self, F> {
+        Mapped { inner: self, f }
     }
 
-    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
+    fn filter_map<B, F: Fn(Self::Item) -> Option<B> + Sync>(self, f: F) -> FilterMapped<Self, F> {
+        FilterMapped { inner: self, f }
     }
 
     /// rayon-style reduce: identity closure + associative op.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        Self::Item: Send,
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
     {
-        self.0.fold(identity(), op)
+        let ranges = chunk_ranges(self.len(), split_factor(self.len()));
+        let fold = |lo: usize, hi: usize| {
+            let mut acc = identity();
+            // SAFETY: chunk_ranges yields disjoint ranges.
+            unsafe {
+                self.visit(lo, hi, |_, item| {
+                    acc = op(take_replace(&mut acc, &identity), item)
+                })
+            };
+            acc
+        };
+        run_ranges(&ranges, &fold).into_iter().fold(identity(), &op)
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let ranges = chunk_ranges(self.len(), split_factor(self.len()));
+        let body = |lo: usize, hi: usize| {
+            // SAFETY: chunk_ranges yields disjoint ranges.
+            unsafe { self.visit(lo, hi, |_, item| f(item)) };
+        };
+        run_ranges(&ranges, &body);
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    fn sum<S>(self) -> S
+    where
+        Self::Item: Send,
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let ranges = chunk_ranges(self.len(), split_factor(self.len()));
+        let fold = |lo: usize, hi: usize| {
+            let mut part = Vec::new();
+            // SAFETY: chunk_ranges yields disjoint ranges.
+            unsafe { self.visit(lo, hi, |_, item| part.push(item)) };
+            part.into_iter().sum::<S>()
+        };
+        run_ranges(&ranges, &fold).into_iter().sum()
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Collect into any `FromIterator`, preserving sequential order (chunk
+    /// outputs are concatenated in chunk order).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+    {
+        let ranges = chunk_ranges(self.len(), split_factor(self.len()));
+        let fold = |lo: usize, hi: usize| {
+            let mut part = Vec::new();
+            // SAFETY: chunk_ranges yields disjoint ranges.
+            unsafe { self.visit(lo, hi, |_, item| part.push(item)) };
+            part
+        };
+        run_ranges(&ranges, &fold).into_iter().flatten().collect()
+    }
+}
+
+impl<S: ParSource> ParallelIterator for S {}
+
+/// `op` consumes the accumulator by value; swap a fresh identity in while
+/// the fold runs (avoids requiring `Self::Item: Default`).
+fn take_replace<T>(slot: &mut T, identity: &impl Fn() -> T) -> T {
+    std::mem::replace(slot, identity())
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// `slice.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: ParallelIterator;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `slice.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: ParallelIterator;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// `range.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { data: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { data: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start as u64,
+            len: self.end.saturating_sub(self.start) as usize,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            len: usize::try_from(self.end.saturating_sub(self.start)).expect("range too long"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped task spawning (`rayon::scope`).
+// ---------------------------------------------------------------------------
+
+/// Scope handle: `s.spawn(|s| ...)` runs tasks concurrently; all complete
+/// before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    parallel: bool,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        if self.parallel {
+            let child = Scope {
+                scope: self.scope,
+                parallel: true,
+            };
+            self.scope.spawn(move || f(&child));
+        } else {
+            f(self);
+        }
+    }
+}
+
+/// Run `op` with a scope whose spawned tasks all finish before `scope`
+/// returns. With one worker thread, tasks run inline at their spawn site
+/// (sequential order) instead of paying thread spawns.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let parallel = current_num_threads() > 1;
+    std::thread::scope(|s| {
+        let root = Scope { scope: s, parallel };
+        op(&root)
+    })
+}
+
+/// Run two closures, potentially in parallel; returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("join worker panicked"))
+        })
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate `RAYON_NUM_THREADS`.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = ENV_LOCK.lock().unwrap();
+        let old = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        let r = f();
+        match old {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        r
+    }
 
     #[test]
     fn map_reduce_matches_sequential() {
@@ -121,5 +498,99 @@ mod tests {
             .filter_map(|(i, x)| (*x % 2 == 1).then_some(i as u32))
             .collect();
         assert_eq!(odd, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn large_parallel_collect_matches_sequential_order() {
+        // Big enough to split; must still come out in index order.
+        for threads in [1usize, 2, 4, 8] {
+            with_threads(threads, || {
+                let mut v: Vec<u64> = (0..100_000).collect();
+                let picked: Vec<u64> = v
+                    .par_iter_mut()
+                    .enumerate()
+                    .filter_map(|(i, x)| {
+                        *x += 1;
+                        (*x % 3 == 0).then_some(i as u64)
+                    })
+                    .collect();
+                let want: Vec<u64> = (0..100_000u64).filter(|i| (i + 1) % 3 == 0).collect();
+                assert_eq!(picked, want, "threads={threads}");
+                assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+            });
+        }
+    }
+
+    #[test]
+    fn large_parallel_reduce_matches_sequential() {
+        for threads in [1usize, 3, 7] {
+            with_threads(threads, || {
+                let v: Vec<u64> = (0..250_000).collect();
+                let (s, c) = v
+                    .par_iter()
+                    .map(|&x| (x, 1u64))
+                    .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+                assert_eq!(s, 250_000u64 * 249_999 / 2, "threads={threads}");
+                assert_eq!(c, 250_000);
+            });
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_element() {
+        with_threads(4, || {
+            let mut v = vec![0u32; 70_000];
+            v.par_iter_mut()
+                .enumerate()
+                .map(|(i, x)| {
+                    *x = i as u32 * 2;
+                    1u64
+                })
+                .reduce(|| 0, |a, b| a + b);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 * 2));
+        });
+    }
+
+    #[test]
+    fn range_into_par_iter_sums() {
+        with_threads(4, || {
+            let n: u64 = (0u64..100_000).into_par_iter().map(|x| x % 7).sum();
+            let want: u64 = (0u64..100_000).map(|x| x % 7).sum();
+            assert_eq!(n, want);
+        });
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        for threads in [1usize, 4] {
+            with_threads(threads, || {
+                let mut out = vec![0u32; 8];
+                super::scope(|s| {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        s.spawn(move |_| *slot = i as u32 + 1);
+                    }
+                });
+                assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+            });
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for threads in [1usize, 2] {
+            with_threads(threads, || {
+                let (a, b) = super::join(|| 2 + 2, || "ok");
+                assert_eq!((a, b), (4, "ok"));
+            });
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let total: u32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 0);
+        let collected: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(collected.is_empty());
     }
 }
