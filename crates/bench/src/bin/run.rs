@@ -14,7 +14,7 @@ use gr_bench::{
     default_source, run_cusha, run_gr_observed, run_graphchi, run_mapgraph, run_xstream, Algo,
     RunArtifacts,
 };
-use gr_graph::{Dataset, EdgeList, GraphLayout, GraphStats};
+use gr_graph::{gen, Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
 use graphreduce::{FaultPlan, MultiGraphReduce, Options};
 
@@ -26,16 +26,41 @@ struct Args {
     engine: String,
     optimized: bool,
     gpus: u32,
+    quickstart: bool,
     faults: Option<FaultPlan>,
+    mem_cap: Option<String>,
     report: Option<String>,
     trace: Option<String>,
+}
+
+/// Resolve a `--mem-cap` spec against the device's nominal capacity:
+/// either absolute bytes (`2000000`) or a percentage (`25%`).
+fn parse_mem_cap(spec: &str, capacity: u64) -> u64 {
+    let bytes = if let Some(pct) = spec.strip_suffix('%') {
+        pct.parse::<f64>()
+            .ok()
+            .filter(|p| *p > 0.0 && *p <= 100.0)
+            .map(|p| (capacity as f64 * p / 100.0) as u64)
+    } else {
+        spec.parse::<u64>().ok().filter(|b| *b > 0)
+    };
+    bytes.unwrap_or_else(|| {
+        eprintln!("error: bad --mem-cap {spec:?} (expected bytes or a percentage like 25%)");
+        std::process::exit(2);
+    })
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
-         [--faults <profile[:seed]|seed>] [--report <path.json>] [--trace <path.json>]"
+         [--faults <profile[:seed]|seed>] [--mem-cap <bytes|pct%>] [--report <path.json>] \
+         [--trace <path.json>]"
+    );
+    eprintln!(
+        "  --mem-cap caps usable device memory (gr engine only); the memory governor then \
+         degrades gracefully — splitting shards, chunking transfers, or falling back to the \
+         host — with every decision logged (see docs/MEMORY.md)"
     );
     eprintln!(
         "  --report writes the versioned run-report JSON; --trace a Chrome/Perfetto trace \
@@ -65,7 +90,9 @@ fn parse_args() -> Args {
         engine: "gr".into(),
         optimized: true,
         gpus: 1,
+        quickstart: false,
         faults: None,
+        mem_cap: None,
         report: None,
         trace: None,
     };
@@ -85,6 +112,10 @@ fn parse_args() -> Args {
             }
             "--dataset" => {
                 let name = it.next().unwrap_or_else(|| usage());
+                if name.eq_ignore_ascii_case("quickstart") {
+                    args.quickstart = true;
+                    continue;
+                }
                 args.dataset = Dataset::IN_MEMORY
                     .iter()
                     .chain(Dataset::OUT_OF_MEMORY.iter())
@@ -117,6 +148,7 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            "--mem-cap" => args.mem_cap = it.next().or_else(|| usage()),
             "--report" => args.report = it.next().or_else(|| usage()),
             "--trace" => args.trace = it.next().or_else(|| usage()),
             "--help" | "-h" => usage(),
@@ -126,7 +158,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    if !have_algo || (args.dataset.is_none() && args.file.is_none()) {
+    if !have_algo || (args.dataset.is_none() && args.file.is_none() && !args.quickstart) {
         usage();
     }
     args
@@ -138,10 +170,17 @@ fn run_multi<P: graphreduce::GasProgram>(
     m: MultiGraphReduce<P>,
     obs: gr_observe::Observer,
     faults: Option<&FaultPlan>,
+    gpus: u32,
+    mem_cap: Option<u64>,
 ) -> graphreduce::MultiRunStats {
     let mut m = m.with_observer(obs);
     if let Some(plan) = faults {
         m = m.with_fault_plan(0, plan.clone());
+    }
+    if let Some(cap) = mem_cap {
+        for d in 0..gpus as usize {
+            m = m.with_mem_cap(d, cap);
+        }
     }
     m.run()
         .unwrap_or_else(|e| {
@@ -162,6 +201,11 @@ fn main() {
             eprintln!("cannot parse {path}: {e}");
             std::process::exit(1);
         })
+    } else if args.quickstart {
+        // The graph from examples/quickstart.rs: an undirected RMAT
+        // social-network stand-in (pair with --scale 4096 for the same
+        // platform the example uses).
+        gen::rmat_g500(14, 150_000, 42).symmetrize()
     } else {
         let ds = args.dataset.unwrap_or_else(|| {
             eprintln!("error: no --dataset or --file given");
@@ -189,6 +233,15 @@ fn main() {
         }
         opts = opts.with_fault_plan(plan.clone());
     }
+    let mem_cap = args.mem_cap.as_ref().map(|spec| {
+        if args.engine != "gr" {
+            eprintln!("--mem-cap only applies to the gr engine; ignoring");
+        }
+        parse_mem_cap(spec, platform.device.mem_capacity)
+    });
+    if let Some(cap) = mem_cap {
+        opts = opts.with_mem_cap(cap);
+    }
     let src = default_source(&layout);
     let artifacts = RunArtifacts::from_paths(args.report.clone(), args.trace.clone());
     if artifacts.enabled() && args.engine != "gr" {
@@ -209,11 +262,15 @@ fn main() {
                     ),
                     obs,
                     faults,
+                    args.gpus,
+                    mem_cap,
                 ),
                 Algo::Cc => run_multi(
                     MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus),
                     obs,
                     faults,
+                    args.gpus,
+                    mem_cap,
                 ),
                 Algo::Sssp => run_multi(
                     MultiGraphReduce::new(
@@ -224,6 +281,8 @@ fn main() {
                     ),
                     obs,
                     faults,
+                    args.gpus,
+                    mem_cap,
                 ),
                 Algo::Pagerank => run_multi(
                     MultiGraphReduce::new(
@@ -234,6 +293,8 @@ fn main() {
                     ),
                     obs,
                     faults,
+                    args.gpus,
+                    mem_cap,
                 ),
             };
             println!(
@@ -243,6 +304,12 @@ fn main() {
                 stats.elapsed,
                 stats.exchange_bytes as f64 / 1e6
             );
+            if stats.mem_pressure_events + stats.redistributions + stats.shard_splits > 0 {
+                println!(
+                    "  governor: {} pressure events, {} redistributions, {} shard splits",
+                    stats.mem_pressure_events, stats.redistributions, stats.shard_splits
+                );
+            }
             // The multi-GPU engine has no single-device RunStats; the
             // trace still captures every lane of every device.
             for path in artifacts.write_or_exit(None) {

@@ -22,6 +22,46 @@
 
 use crate::sizes::SizeModel;
 
+/// Chunking policy for the memory governor's bounded staging slot: when a
+/// shard's streaming footprint exceeds the per-slot budget even after
+/// adaptive splitting, its sub-arrays are streamed through one reusable
+/// device allocation of `bytes` in `chunks_for(total)` pieces instead of
+/// landing whole. The slot is a plain streaming allocation — the same
+/// RAII [`gr_sim::Allocation`] the engine holds for ordinary shards —
+/// just sized to the governed budget rather than the largest shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StagingBuffer {
+    bytes: u64,
+}
+
+impl StagingBuffer {
+    /// Smallest slot worth chunking through: below one page of staging,
+    /// per-copy latency dominates and host fallback is cheaper.
+    pub const MIN_BYTES: u64 = 4096;
+    /// Most pieces one transfer may be cut into; past this the copy-issue
+    /// overhead swamps any benefit of staying on the device.
+    pub const MAX_CHUNKS: u64 = 4096;
+
+    pub fn new(bytes: u64) -> Self {
+        StagingBuffer { bytes }
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Pieces a `total`-byte transfer splits into through this slot.
+    pub fn chunks_for(&self, total: u64) -> u64 {
+        total.div_ceil(self.bytes.max(1))
+    }
+
+    /// Whether a `total`-byte transfer is worth staging at all, or should
+    /// escalate to the governor's next rung (host fallback).
+    pub fn can_stage(&self, total: u64) -> bool {
+        self.bytes >= Self::MIN_BYTES && self.chunks_for(total) <= Self::MAX_CHUNKS
+    }
+}
+
 /// The five phases of Figure 12.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Phase {
@@ -209,6 +249,28 @@ pub fn catalog(sizes: &SizeModel) -> Vec<BufferClass> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn staging_chunk_math() {
+        let s = StagingBuffer::new(4096);
+        assert_eq!(s.chunks_for(0), 0);
+        assert_eq!(s.chunks_for(1), 1);
+        assert_eq!(s.chunks_for(4096), 1);
+        assert_eq!(s.chunks_for(4097), 2);
+        assert_eq!(s.chunks_for(40960), 10);
+        assert!(s.can_stage(4096 * StagingBuffer::MAX_CHUNKS));
+        assert!(!s.can_stage(4096 * StagingBuffer::MAX_CHUNKS + 1));
+    }
+
+    #[test]
+    fn staging_floor_rejects_tiny_slots() {
+        let tiny = StagingBuffer::new(StagingBuffer::MIN_BYTES - 1);
+        assert!(!tiny.can_stage(1));
+        let zero = StagingBuffer::new(0);
+        // No division panic, and nothing stages through a zero slot.
+        assert_eq!(zero.chunks_for(10), 10);
+        assert!(!zero.can_stage(10));
+    }
 
     fn sizes(has_gather: bool, has_scatter: bool, edge_value: u64) -> SizeModel {
         SizeModel {

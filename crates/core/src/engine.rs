@@ -14,14 +14,15 @@
 //! virtual device copies and launches, which is exactly the paper's claim
 //! (the optimizations are pure data-movement/scheduling transformations).
 
-use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
 use gr_sim::{
-    cpu_time, Allocation, CpuWork, DeviceFault, Gpu, HostConfig, KernelSpec, OpId, Platform,
-    SimDuration, StreamId,
+    cpu_time, Allocation, CpuWork, DeviceFault, Gpu, HostConfig, KernelSpec, OpId, OutOfMemory,
+    Platform, SimDuration, StreamId,
 };
 
 use crate::api::{GasProgram, InitialFrontier};
+use crate::buffers::StagingBuffer;
 use crate::checkpoint::Checkpoint;
 use crate::options::{GatherMode, Options, StreamingMode};
 use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
@@ -212,7 +213,8 @@ struct Runner<'a, P: GasProgram> {
     spray_streams: Vec<StreamId>,
     spray_cursor: usize,
     // Device allocations held for the run (RAII keeps capacity accounted).
-    _static_alloc: Allocation,
+    // `None` only in governor whole-run host mode (nothing device-side).
+    _static_alloc: Option<Allocation>,
     _shard_allocs: Vec<Allocation>,
     // Host master state.
     vertex_values: Vec<P::VertexValue>,
@@ -248,6 +250,13 @@ struct Runner<'a, P: GasProgram> {
     host: HostConfig,
     host_mode: bool,
     host_time: SimDuration,
+    // Memory governor outcome (all-false/zero when unconstrained): shards
+    // streamed in bounded chunks through the staging slot, shards degraded
+    // to host execution, and the per-slot staging size chunks cut to.
+    chunked: Vec<bool>,
+    host_shards: Vec<bool>,
+    any_host_shards: bool,
+    staging_bytes: u64,
     // Engine-level metrics (skip counters, frontier occupancy) — the
     // single source RunStats' skip fields derive from.
     metrics: MetricsRegistry,
@@ -274,7 +283,23 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         gpu.set_observer(observer.clone());
         let fault_active = !opts.fault_plan.is_none();
         gpu.set_fault_plan(opts.fault_plan.clone());
+        // Plan optimistically, govern at runtime: the partition plan was
+        // sized for the nominal device; a memory cap shrinks the pool and
+        // the governor degrades the plan until it fits (or errors).
+        if let Some(cap) = opts.mem_cap {
+            gpu.cap_memory(cap);
+        }
         let mut metrics = MetricsRegistry::new();
+        let mut plan = plan;
+        let governed = govern_plan(
+            &mut plan,
+            &sizes,
+            layout,
+            &gpu,
+            opts,
+            &mut metrics,
+            &observer,
+        )?;
         let n = layout.num_vertices();
         let k = plan.concurrent as usize;
 
@@ -290,21 +315,28 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         };
 
         // Device allocations: static buffers, then either every shard
-        // (resident mode) or K reusable streaming slots. The plan
-        // guarantees these fit, but injected allocation pressure — or a
-        // plan invalidated by a shrunken device — surfaces as an
-        // [`EngineError`] instead of a panic.
+        // (resident mode) or K reusable streaming slots sized to the
+        // governed budget. The governed plan guarantees these fit, but
+        // injected allocation pressure — or a plan invalidated by a
+        // shrunken device — surfaces as an [`EngineError`] instead of a
+        // panic. Whole-run host mode allocates nothing.
         let s0 = main_streams[0];
-        let static_alloc = alloc_retry(
-            &mut gpu,
-            s0,
-            plan.static_bytes,
-            &opts.recovery,
-            &mut metrics,
-            &observer,
-        )?;
-        let resident = opts.cache_resident && plan.all_resident;
-        let shard_allocs: Vec<Allocation> = if resident {
+        let resident = !governed.host_run && opts.cache_resident && plan.all_resident;
+        let static_alloc = if governed.host_run {
+            None
+        } else {
+            Some(alloc_retry(
+                &mut gpu,
+                s0,
+                plan.static_bytes,
+                &opts.recovery,
+                &mut metrics,
+                &observer,
+            )?)
+        };
+        let shard_allocs: Vec<Allocation> = if governed.host_run {
+            Vec::new()
+        } else if resident {
             plan.shards
                 .iter()
                 .map(|s| {
@@ -324,7 +356,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     alloc_retry(
                         &mut gpu,
                         s0,
-                        plan.max_shard_bytes,
+                        governed.slot_bytes,
                         &opts.recovery,
                         &mut metrics,
                         &observer,
@@ -455,8 +487,12 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             storage_latency,
             fault_active,
             host: platform.host.clone(),
-            host_mode: false,
+            host_mode: governed.host_run,
             host_time: SimDuration::ZERO,
+            any_host_shards: governed.host_shards.iter().any(|&h| h),
+            chunked: governed.chunked,
+            host_shards: governed.host_shards,
+            staging_bytes: governed.slot_bytes.max(1),
             skew_in,
             skew_out,
             in_buf_sets,
@@ -645,6 +681,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             rollbacks: self.metrics.counter("engine.rollbacks"),
             checkpoints: self.metrics.counter("engine.checkpoints"),
             host_fallback: self.host_mode,
+            mem_pressure_events: self.metrics.counter("engine.mem_pressure"),
+            shard_splits: self.metrics.counter("engine.shard_splits"),
+            chunked_shards: self.metrics.counter("engine.chunked_shards"),
+            chunked_copies: self.metrics.counter("engine.chunked_copies"),
+            host_shards: self.metrics.counter("engine.host_shards"),
+            mem_peak: self.gpu.memory().peak(),
+            mem_min_headroom: self.gpu.memory().min_headroom(),
             per_iteration: self.iterations,
         };
         Ok(RunResult {
@@ -918,6 +961,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             };
             match emitted {
                 Ok(()) => {
+                    self.charge_host_shards(&work);
                     self.finish_iteration(&work);
                     return Ok(());
                 }
@@ -1003,6 +1047,36 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
     }
 
+    /// Governor-degraded shards: their slice of the iteration's work is
+    /// charged on the host CPU with the same roofline model as full host
+    /// fallback, once per *successful* iteration (replays re-charge the
+    /// device work they redo, not the host's). Results are unaffected —
+    /// the host computes every shard's results regardless.
+    fn charge_host_shards(&mut self, work: &[ShardWork]) {
+        if !self.any_host_shards {
+            return;
+        }
+        let mut edges = 0u64;
+        let mut vertices = 0u64;
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                edges += w.active_in_edges + w.out_edges_of_changed;
+                vertices += w.active_vertices + w.changed_vertices;
+            }
+        }
+        if vertices + edges == 0 {
+            return;
+        }
+        let cw = CpuWork::new(
+            "host.shard",
+            vertices + edges,
+            8.0,
+            edges * 16 + vertices * (self.sizes.vertex_value + self.sizes.gather),
+            edges,
+        );
+        self.host_time += self.host.pass_overhead + cpu_time(&self.host, self.host.cores, &cw);
+    }
+
     /// Degraded mode after device loss: the iteration both computes *and
     /// is charged* on the host CPU, with the same roofline model the CPU
     /// baseline engines use. Results stay bit-identical — the host was
@@ -1032,6 +1106,11 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     // ---------------- device timeline emission ----------------
 
     fn emit_init(&mut self) -> Result<(), EngineError> {
+        // Governor whole-run host mode: nothing lives on the device, so
+        // there is nothing to initialize (mirrors emit_finalize).
+        if self.host_mode {
+            return Ok(());
+        }
         let mut replays = 0u32;
         loop {
             match self.try_emit_init() {
@@ -1109,8 +1188,17 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     /// Copy a shard's buffers host→device on (or sprayed around) `stream`,
     /// each copy routed through the fault-retry path. When the graph
     /// exceeds host memory, the shard is first read from storage into the
-    /// host's streaming window.
-    fn copy_in(&mut self, stream: StreamId, bufs: &[Buf], iter: u32) -> Result<(), Abort> {
+    /// host's streaming window. Governor-chunked shards stream each
+    /// sub-array in bounded pieces through the reusable staging slot
+    /// instead of landing whole (and never spray — the slot is the
+    /// contention point).
+    fn copy_in(
+        &mut self,
+        shard: usize,
+        stream: StreamId,
+        bufs: &[Buf],
+        iter: u32,
+    ) -> Result<(), Abort> {
         if bufs.is_empty() {
             return Ok(());
         }
@@ -1119,6 +1207,18 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let dur =
                 self.storage_latency + gr_sim::SimDuration::from_secs_f64(bytes as f64 * per_byte);
             self.gpu.stall(stream, dur, "ssd.read");
+        }
+        if self.chunked[shard] {
+            for &(bytes, label) in bufs {
+                let mut left = bytes;
+                while left > 0 {
+                    let b = self.staging_bytes.min(left);
+                    left -= b;
+                    self.retry_loop(stream, label, iter, |g| g.try_h2d(stream, b, label))?;
+                    self.metrics.inc("engine.chunked_copies", 1);
+                }
+            }
+            return Ok(());
         }
         if self.opts.streaming_mode == StreamingMode::ZeroCopySequential {
             // Zero-copy: the consuming kernels stream the buffers over
@@ -1165,8 +1265,27 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         Ok(())
     }
 
-    /// Copy a shard's buffers device→host after the work on `stream`.
-    fn copy_out(&mut self, stream: StreamId, bufs: &[Buf], iter: u32) -> Result<(), Abort> {
+    /// Copy a shard's buffers device→host after the work on `stream`,
+    /// chunked through the staging slot for governor-chunked shards.
+    fn copy_out(
+        &mut self,
+        shard: usize,
+        stream: StreamId,
+        bufs: &[Buf],
+        iter: u32,
+    ) -> Result<(), Abort> {
+        if self.chunked[shard] {
+            for &(bytes, label) in bufs {
+                let mut left = bytes;
+                while left > 0 {
+                    let b = self.staging_bytes.min(left);
+                    left -= b;
+                    self.retry_loop(stream, label, iter, |g| g.try_d2h(stream, b, label))?;
+                    self.metrics.inc("engine.chunked_copies", 1);
+                }
+            }
+            return Ok(());
+        }
         for &(bytes, label) in bufs {
             if bytes > 0 {
                 self.retry_loop(stream, label, iter, |g| g.try_d2h(stream, bytes, label))?;
@@ -1289,6 +1408,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // no in-edge movement, no kernels).
         if self.program.has_gather() {
             for (i, w) in work.iter().enumerate() {
+                if self.host_shards[i] {
+                    continue; // computed (and charged) on the host CPU
+                }
                 if self.opts.frontier_management && !w.is_active() {
                     if !self.in_cached[i] {
                         self.metrics.inc("engine.skipped_shard_copies", 1);
@@ -1299,7 +1421,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 let stream = self.stream_for(i);
                 if !self.in_cached[i] {
                     let bufs = self.in_buf_sets[i];
-                    self.copy_in(stream, bufs.as_slice(), iter)?;
+                    self.copy_in(i, stream, bufs.as_slice(), iter)?;
                     if self.resident {
                         self.in_cached[i] = true;
                     }
@@ -1315,6 +1437,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
 
         // Stage B: apply (fused with gather's residency: temps never move).
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if self.opts.frontier_management && !w.is_active() {
                 self.metrics.inc("engine.skipped_kernel_launches", 1);
                 continue;
@@ -1327,6 +1452,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
 
         // Stage C: scatter + FrontierActivate share one out-edge copy.
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if self.opts.frontier_management && w.out_edges_of_changed == 0 {
                 if !self.out_cached[i] {
                     self.metrics.inc("engine.skipped_shard_copies", 1);
@@ -1340,7 +1468,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let stream = self.stream_for(i);
             if !self.out_cached[i] {
                 let bufs = self.out_buf_sets[i];
-                self.copy_in(stream, bufs.as_slice(), iter)?;
+                self.copy_in(i, stream, bufs.as_slice(), iter)?;
                 if self.resident {
                     self.out_cached[i] = true;
                 }
@@ -1359,9 +1487,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     w.out_edges_of_changed * self.sizes.edge_value,
                     "out.value.d2h",
                 );
-                self.copy_out(stream, &[vals, bits], iter)?;
+                self.copy_out(i, stream, &[vals, bits], iter)?;
             } else {
-                self.copy_out(stream, &[bits], iter)?;
+                self.copy_out(i, stream, &[bits], iter)?;
             }
         }
         self.sync_and_resolve();
@@ -1380,19 +1508,22 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // gather-less programs: this is exactly the movement phase
         // elimination removes), per-edge update array out.
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
             let bufs = self.in_buf_sets[i];
-            self.copy_in(stream, bufs.as_slice(), iter)?;
+            self.copy_in(i, stream, bufs.as_slice(), iter)?;
             if has_gather {
                 let (map, _) = self.gather_specs(i, w);
                 self.launch_tracked(stream, &map, iter, i)?;
             }
             let upd = self.edge_update_bufs[i];
-            self.copy_out(stream, &[upd], iter)?;
+            self.copy_out(i, stream, &[upd], iter)?;
         }
         self.sync_and_resolve();
 
@@ -1400,13 +1531,16 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // reduced per-vertex temps go out. Fusion makes both moves vanish
         // (the array never leaves the device between the two kernels).
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
             let upd = self.edge_update_bufs[i];
-            self.copy_in(stream, &[upd], iter)?;
+            self.copy_in(i, stream, &[upd], iter)?;
             if has_gather {
                 let (_, reduce) = self.gather_specs(i, w);
                 if let Some(reduce) = reduce {
@@ -1414,12 +1548,15 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 }
             }
             let t = self.gather_temp_bufs[i];
-            self.copy_out(stream, &[t], iter)?;
+            self.copy_out(i, stream, &[t], iter)?;
         }
         self.sync_and_resolve();
 
         // Phase 3: apply — temps + vertex interval in, vertex interval out.
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if skip(self, w) {
                 self.skip_phase();
                 continue;
@@ -1427,22 +1564,25 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let stream = self.stream_for(i);
             let vbuf = self.apply_vertex_bufs[i];
             let t = self.gather_temp_bufs[i];
-            self.copy_in(stream, &[t, vbuf], iter)?;
+            self.copy_in(i, stream, &[t, vbuf], iter)?;
             let spec = self.apply_spec(w);
             self.launch_tracked(stream, &spec, iter, i)?;
-            self.copy_out(stream, &[vbuf], iter)?;
+            self.copy_out(i, stream, &[vbuf], iter)?;
         }
         self.sync_and_resolve();
 
         // Phase 4: scatter — full out-edge arrays in, values out.
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
             let bufs = self.out_buf_sets[i];
-            self.copy_in(stream, bufs.as_slice(), iter)?;
+            self.copy_in(i, stream, bufs.as_slice(), iter)?;
             if has_scatter {
                 let spec = self.scatter_spec(i, w);
                 self.launch_tracked(stream, &spec, iter, i)?;
@@ -1450,24 +1590,27 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     self.plan.shards[i].num_out_edges() * self.sizes.edge_value,
                     "out.value.d2h",
                 );
-                self.copy_out(stream, &[vals], iter)?;
+                self.copy_out(i, stream, &[vals], iter)?;
             }
         }
         self.sync_and_resolve();
 
         // Phase 5: FrontierActivate — out-edge topology in (again), bits out.
         for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
             if skip(self, w) {
                 self.skip_phase();
                 continue;
             }
             let stream = self.stream_for(i);
             let dst = self.out_dst_bufs[i];
-            self.copy_in(stream, &[dst], iter)?;
+            self.copy_in(i, stream, &[dst], iter)?;
             let spec = self.activate_spec(i, w);
             self.launch_tracked(stream, &spec, iter, i)?;
             let bits = self.frontier_bits_bufs[i];
-            self.copy_out(stream, &[bits], iter)?;
+            self.copy_out(i, stream, &[bits], iter)?;
         }
         self.sync_and_resolve();
         Ok(())
@@ -1481,10 +1624,220 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     }
 }
 
+/// What the memory governor decided for this run. All-default when the
+/// device is unconstrained: the governor makes no decisions and the run
+/// is byte-identical to an ungoverned one.
+struct Governed {
+    /// Rung 6: even per-shard degradation cannot fit the cap — the whole
+    /// run executes on the host CPU and nothing is allocated on-device.
+    host_run: bool,
+    /// Per-slot streaming allocation size (== `plan.max_shard_bytes`
+    /// unless chunking shrank it to the governed budget).
+    slot_bytes: u64,
+    /// Shards streamed in bounded chunks through the staging slot.
+    chunked: Vec<bool>,
+    /// Shards degraded to host-CPU execution.
+    host_shards: Vec<bool>,
+}
+
+/// The device-memory governor: degrade the optimistic partition plan until
+/// it fits the (possibly capped) device pool, escalating through
+///
+/// 1. drop residency (stream instead of caching every shard),
+/// 2. reduce concurrency `K`,
+/// 3. adaptively split oversized shards ([`split_shard`]),
+/// 4. chunk transfers of unsplittable shards through a bounded staging
+///    slot ([`StagingBuffer`]),
+/// 5. per-shard host fallback,
+/// 6. whole-run host execution,
+///
+/// and surfacing [`EngineError::Alloc`] only when the recovery policy
+/// forbids host fallback at a terminal rung. Every degradation emits
+/// exactly one decision ([`Decision::MemoryPressure`],
+/// [`Decision::ShardSplit`], [`Decision::ChunkedXfer`]) and bumps the
+/// matching `engine.*` counter; with no `mem_cap` set this is a single
+/// branch and zero decisions.
+fn govern_plan(
+    plan: &mut PartitionPlan,
+    sizes: &SizeModel,
+    layout: &GraphLayout,
+    gpu: &Gpu,
+    opts: &Options,
+    metrics: &mut MetricsRegistry,
+    observer: &Observer,
+) -> Result<Governed, EngineError> {
+    let num_shards = plan.shards.len();
+    let mut out = Governed {
+        host_run: false,
+        slot_bytes: plan.max_shard_bytes,
+        chunked: vec![false; num_shards],
+        host_shards: vec![false; num_shards],
+    };
+    if opts.mem_cap.is_none() {
+        return Ok(out);
+    }
+    let capacity = gpu.memory().capacity();
+    let oom = |requested: u64, available: u64| OutOfMemory {
+        requested,
+        available,
+        capacity,
+    };
+
+    // Rung 6 first (it gates everything): the static buffers alone exceed
+    // the cap, so no device execution is possible at all.
+    if plan.static_bytes > capacity {
+        if !opts.recovery.host_fallback {
+            return Err(EngineError::Alloc(oom(plan.static_bytes, capacity)));
+        }
+        metrics.inc("engine.mem_pressure", 1);
+        let requested = plan.static_bytes;
+        observer.decision(|| Decision::MemoryPressure {
+            device: 0,
+            requested,
+            available: capacity,
+            capacity,
+            response: "host-run",
+            scope: "run",
+        });
+        out.host_run = true;
+        return Ok(out);
+    }
+    let budget = capacity - plan.static_bytes;
+
+    // Rung 1: residency. Caching every shard needs the whole streaming
+    // working set on-device; under pressure, stream instead.
+    if opts.cache_resident && plan.all_resident {
+        let total: u64 = plan.shards.iter().map(|s| sizes.shard_bytes(s)).sum();
+        if total > budget {
+            metrics.inc("engine.mem_pressure", 1);
+            observer.decision(|| Decision::MemoryPressure {
+                device: 0,
+                requested: total,
+                available: budget,
+                capacity,
+                response: "stream",
+                scope: "plan",
+            });
+            plan.all_resident = false;
+        }
+    }
+
+    // Rung 2: concurrency. K slots of the largest shard must fit the
+    // streaming budget (Equation (1) against the governed capacity).
+    let k0 = plan.concurrent.max(1);
+    let mut k = k0;
+    while k > 1 && k as u64 * plan.max_shard_bytes > budget {
+        k -= 1;
+    }
+    if k < k0 {
+        metrics.inc("engine.mem_pressure", 1);
+        let requested = k0 as u64 * plan.max_shard_bytes;
+        observer.decision(|| Decision::MemoryPressure {
+            device: 0,
+            requested,
+            available: budget,
+            capacity,
+            response: "reduce-concurrency",
+            scope: "plan",
+        });
+        plan.concurrent = k;
+    }
+    let slot_budget = (budget / plan.concurrent.max(1) as u64).max(1);
+
+    // Rung 3: adaptive shard splitting. Repeatedly split the largest
+    // over-budget shard at its edge-mass midpoint; sub-shards execute
+    // sequentially through the same slots with the same merged frontier
+    // accounting, so results are bit-identical. Stops when nothing
+    // over-budget can shrink further (a hub vertex's own edge lists).
+    let mut split_any = false;
+    while let Some((idx, bytes)) = plan
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, sizes.shard_bytes(s)))
+        .filter(|&(_, b)| b > slot_budget)
+        .max_by_key(|&(_, b)| b)
+    {
+        let shard = plan.shards[idx].clone();
+        let Some((left, right)) = split_shard(layout, &shard) else {
+            break;
+        };
+        let worst = sizes.shard_bytes(&left).max(sizes.shard_bytes(&right));
+        if worst >= bytes {
+            // Degenerate split (all mass on one side): no progress.
+            break;
+        }
+        metrics.inc("engine.shard_splits", 1);
+        let vertices = shard.num_vertices();
+        observer.decision(|| Decision::ShardSplit {
+            shard: idx as u32,
+            vertices,
+            bytes,
+        });
+        plan.shards.splice(idx..=idx, [left, right]);
+        split_any = true;
+    }
+    if split_any {
+        for (i, sh) in plan.shards.iter_mut().enumerate() {
+            sh.id = i;
+        }
+        plan.max_shard_bytes = plan
+            .shards
+            .iter()
+            .map(|s| sizes.shard_bytes(s))
+            .max()
+            .unwrap_or(0);
+        out.chunked = vec![false; plan.shards.len()];
+        out.host_shards = vec![false; plan.shards.len()];
+    }
+    out.slot_bytes = plan.max_shard_bytes.min(slot_budget).max(1);
+
+    // Rungs 4-5: shards that still exceed the slot stream through the
+    // bounded staging slot in chunks — or, when even chunking is
+    // unreasonable, degrade to host-CPU execution for that shard alone.
+    if plan.max_shard_bytes > slot_budget {
+        let staging = StagingBuffer::new(slot_budget);
+        for (i, sh) in plan.shards.iter().enumerate() {
+            let bytes = sizes.shard_bytes(sh);
+            if bytes <= slot_budget {
+                continue;
+            }
+            if staging.can_stage(bytes) {
+                metrics.inc("engine.chunked_shards", 1);
+                let chunks = staging.chunks_for(bytes) as u32;
+                observer.decision(|| Decision::ChunkedXfer {
+                    shard: i as u32,
+                    shard_bytes: bytes,
+                    chunk_bytes: slot_budget,
+                    chunks,
+                });
+                out.chunked[i] = true;
+            } else {
+                if !opts.recovery.host_fallback {
+                    return Err(EngineError::Alloc(oom(bytes, slot_budget)));
+                }
+                metrics.inc("engine.mem_pressure", 1);
+                metrics.inc("engine.host_shards", 1);
+                observer.decision(|| Decision::MemoryPressure {
+                    device: 0,
+                    requested: bytes,
+                    available: slot_budget,
+                    capacity,
+                    response: "host-shard",
+                    scope: "shard",
+                });
+                out.host_shards[i] = true;
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Allocate device memory through the recovery policy. Injected
-/// allocation pressure and a genuinely full pool look identical here:
-/// back off (charged as simulated time on `stream`), retry, and surface
-/// [`EngineError::Alloc`] once the retry budget is spent.
+/// allocation pressure backs off (charged as simulated time on `stream`)
+/// and retries; a *real* shortfall — the request exceeds what the pool
+/// can ever grant — will never succeed on retry and surfaces
+/// [`EngineError::Alloc`] immediately instead of burning the budget.
 fn alloc_retry(
     gpu: &mut Gpu,
     stream: StreamId,
@@ -1498,6 +1851,14 @@ fn alloc_retry(
         match gpu.try_alloc(bytes) {
             Ok(a) => return Ok(a),
             Err(oom) => {
+                // Injected pressure synthesizes `available: 0` while the
+                // real pool still has room; when the request genuinely
+                // exceeds the pool's free bytes, no amount of backoff can
+                // help — escalate immediately instead of spinning through
+                // the retry budget.
+                if bytes > gpu.memory().available() {
+                    return Err(EngineError::Alloc(oom));
+                }
                 attempt += 1;
                 if attempt > recovery.max_retries {
                     return Err(EngineError::Alloc(oom));

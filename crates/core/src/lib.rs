@@ -62,6 +62,7 @@ pub mod sizes;
 pub mod stats;
 
 pub use api::{GasProgram, InitialFrontier};
+pub use buffers::StagingBuffer;
 pub use checkpoint::Checkpoint;
 pub use engine::{GraphReduce, RunResult, WarmStart};
 pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan};

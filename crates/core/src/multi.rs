@@ -19,15 +19,17 @@
 //! Semantics are unchanged — results stay bit-identical to the
 //! single-device engine and the sequential oracle.
 
-use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
 use gr_observe::{Decision, InstantEvent, Observer, SpanEvent};
-use gr_sim::{DeviceFault, FaultPlan, Gpu, KernelSpec, OpId, Platform, SimDuration, StreamId};
+use gr_sim::{
+    DeviceFault, FaultPlan, Gpu, KernelSpec, OpId, OutOfMemory, Platform, SimDuration, StreamId,
+};
 
 use crate::api::{GasProgram, InitialFrontier};
 use crate::options::HostKernels;
 use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
 use crate::recovery::{EngineError, RecoveryPolicy};
-use crate::sizes::{plan_partition, SizeModel};
+use crate::sizes::{plan_partition, PartitionPlan, SizeModel};
 use crate::stats::IterationStats;
 
 /// Timeline replays allowed per BSP stage before a persistent fault
@@ -64,6 +66,14 @@ pub struct MultiRunStats {
     pub evictions: u32,
     /// Injected device faults, summed over all devices.
     pub faults_injected: u64,
+    /// Memory-governor pressure responses across all devices (0 when no
+    /// device is capped).
+    pub mem_pressure_events: u64,
+    /// Shards the governor moved off a pressured device onto one with
+    /// headroom (the rung *before* splitting).
+    pub redistributions: u64,
+    /// Adaptive shard splits after redistribution ran out of headroom.
+    pub shard_splits: u64,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterationStats>,
 }
@@ -84,6 +94,7 @@ pub struct MultiGraphReduce<'g, P: GasProgram> {
     observer: Observer,
     fault_plans: Vec<(usize, FaultPlan)>,
     recovery: RecoveryPolicy,
+    mem_caps: Vec<(usize, u64)>,
 }
 
 impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
@@ -96,6 +107,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             observer: Observer::disabled(),
             fault_plans: Vec::new(),
             recovery: RecoveryPolicy::default(),
+            mem_caps: Vec::new(),
         }
     }
 
@@ -120,6 +132,16 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         self
     }
 
+    /// Cap one device's usable memory below its nominal capacity. The
+    /// memory governor then relieves per-GPU pressure at plan time:
+    /// shards are redistributed onto devices with headroom first, and
+    /// split only when no device can take them whole. Caps for
+    /// out-of-range device indices are ignored.
+    pub fn with_mem_cap(mut self, device: usize, bytes: u64) -> Self {
+        self.mem_caps.push((device, bytes));
+        self
+    }
+
     fn size_model(&self) -> SizeModel {
         SizeModel {
             vertex_value: std::mem::size_of::<P::VertexValue>() as u64,
@@ -137,7 +159,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         let ngpu = self.num_gpus as usize;
         // Partition for a single device's memory (each device must hold its
         // own static buffers + its in-flight shards).
-        let plan = plan_partition(
+        let mut plan = plan_partition(
             self.layout,
             &sizes,
             &self.platform.device,
@@ -145,11 +167,15 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             2,
             None,
         )?;
-        let shards = &plan.shards;
 
         let mut gpus: Vec<Gpu> = (0..ngpu).map(|_| Gpu::new(&self.platform)).collect();
         for (d, g) in gpus.iter_mut().enumerate() {
             g.set_observer_tagged(self.observer.clone(), format!("gpu{d}/"));
+        }
+        for (d, cap) in &self.mem_caps {
+            if *d < ngpu {
+                gpus[*d].cap_memory(*cap);
+            }
         }
         for (d, plan) in &self.fault_plans {
             if *d < ngpu {
@@ -167,9 +193,21 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
 
         // Shard ownership and device liveness: a lost device is evicted
         // and its shards redistributed round-robin over the survivors.
-        let mut owners: Vec<usize> = (0..shards.len()).map(|i| i % ngpu).collect();
+        let mut owners: Vec<usize> = (0..plan.shards.len()).map(|i| i % ngpu).collect();
         let mut alive = vec![true; ngpu];
         let mut evictions = 0u32;
+
+        // Per-GPU memory governor (plan-level): relieve capped devices by
+        // redistribution first, splitting only as a last resort.
+        let governed = govern_placement(
+            &mut plan,
+            &mut owners,
+            &gpus,
+            &sizes,
+            self.layout,
+            &self.observer,
+        )?;
+        let shards = &plan.shards;
 
         // Static buffers replicated per device.
         let vbytes = n as u64 * sizes.vertex_value;
@@ -445,6 +483,9 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             num_shards: shards.len(),
             evictions,
             faults_injected: gpus.iter().map(|g| g.faults_injected()).sum(),
+            mem_pressure_events: governed.mem_pressure_events,
+            redistributions: governed.redistributions,
+            shard_splits: governed.shard_splits,
             per_iteration,
         };
         Ok(MultiRunResult {
@@ -453,6 +494,134 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             stats,
         })
     }
+}
+
+/// What the plan-level multi-GPU governor did (all-zero when no device
+/// cap is armed — the uncapped path makes no decisions).
+#[derive(Default)]
+struct MultiGoverned {
+    mem_pressure_events: u64,
+    redistributions: u64,
+    shard_splits: u64,
+}
+
+/// Relieve per-GPU memory pressure at plan time. A device is pressured
+/// when its replicated static buffers plus `K` slots of its largest owned
+/// shard exceed its (possibly capped) pool. Escalation per offending
+/// shard: move it to the least-loaded device with headroom for it
+/// ([`Decision::MemoryPressure`] `response: "redistribute"`), else split
+/// it ([`Decision::ShardSplit`]); a shard that cannot shrink below any
+/// device's budget surfaces [`EngineError::Alloc`]. Runs to a fixed
+/// point: redistribution strictly shrinks the offender's footprint and
+/// splits strictly shrink shards, so the loop terminates.
+fn govern_placement(
+    plan: &mut PartitionPlan,
+    owners: &mut Vec<usize>,
+    gpus: &[Gpu],
+    sizes: &SizeModel,
+    layout: &GraphLayout,
+    observer: &Observer,
+) -> Result<MultiGoverned, EngineError> {
+    let mut out = MultiGoverned::default();
+    let ngpu = gpus.len();
+    let k = plan.concurrent.max(1) as u64;
+    let budgets: Vec<u64> = gpus
+        .iter()
+        .map(|g| g.memory().capacity().saturating_sub(plan.static_bytes))
+        .collect();
+    // The static buffers are replicated on every device; a device that
+    // cannot even hold those cannot participate at all.
+    for (d, g) in gpus.iter().enumerate() {
+        let capacity = g.memory().capacity();
+        if plan.static_bytes > capacity {
+            return Err(EngineError::Alloc(OutOfMemory {
+                requested: plan.static_bytes,
+                available: capacity,
+                capacity,
+            }));
+        }
+        let _ = d;
+    }
+    if budgets.iter().all(|&b| k * plan.max_shard_bytes <= b) {
+        return Ok(out); // every device fits the optimistic plan: no decisions
+    }
+    let mut split_any = false;
+    loop {
+        // Per-device load (total owned bytes) and worst owned shard.
+        let mut load = vec![0u64; ngpu];
+        let mut worst: Vec<u64> = vec![0; ngpu];
+        for (i, sh) in plan.shards.iter().enumerate() {
+            let b = sizes.shard_bytes(sh);
+            load[owners[i]] += b;
+            worst[owners[i]] = worst[owners[i]].max(b);
+        }
+        let Some(d) = (0..ngpu).find(|&d| k * worst[d] > budgets[d]) else {
+            break;
+        };
+        let (idx, bytes) = plan
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| owners[i] == d)
+            .map(|(i, s)| (i, sizes.shard_bytes(s)))
+            .max_by_key(|&(_, b)| b)
+            .expect("a pressured device owns at least one shard");
+        // Rung 1: redistribute to the least-loaded device that can take
+        // the shard whole alongside what it already owns.
+        let target = (0..ngpu)
+            .filter(|&t| t != d && k * bytes.max(worst[t]) <= budgets[t])
+            .min_by_key(|&t| load[t]);
+        if let Some(t) = target {
+            owners[idx] = t;
+            out.mem_pressure_events += 1;
+            out.redistributions += 1;
+            let (requested, available, capacity) =
+                (k * bytes, budgets[d], gpus[d].memory().capacity());
+            observer.decision(|| Decision::MemoryPressure {
+                device: d as u32,
+                requested,
+                available,
+                capacity,
+                response: "redistribute",
+                scope: "device",
+            });
+            continue;
+        }
+        // Rung 2: split the shard in place (both halves stay with `d`;
+        // the next pass may redistribute one of them).
+        let shard = plan.shards[idx].clone();
+        let halves = split_shard(layout, &shard)
+            .filter(|(a, b)| sizes.shard_bytes(a).max(sizes.shard_bytes(b)) < bytes);
+        let Some((left, right)) = halves else {
+            return Err(EngineError::Alloc(OutOfMemory {
+                requested: k * bytes,
+                available: budgets[d],
+                capacity: gpus[d].memory().capacity(),
+            }));
+        };
+        out.shard_splits += 1;
+        let vertices = shard.num_vertices();
+        observer.decision(|| Decision::ShardSplit {
+            shard: idx as u32,
+            vertices,
+            bytes,
+        });
+        plan.shards.splice(idx..=idx, [left, right]);
+        owners.insert(idx + 1, d);
+        split_any = true;
+    }
+    if split_any {
+        for (i, sh) in plan.shards.iter_mut().enumerate() {
+            sh.id = i;
+        }
+        plan.max_shard_bytes = plan
+            .shards
+            .iter()
+            .map(|s| sizes.shard_bytes(s))
+            .max()
+            .unwrap_or(0);
+    }
+    Ok(out)
 }
 
 /// One device op through the recovery policy: transient faults retry
@@ -937,6 +1106,100 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    /// Plan the same partition the multi runner uses so tests can derive
+    /// caps relative to the real static/shard footprints.
+    fn reference_plan(l: &GraphLayout, plat: &Platform) -> PartitionPlan {
+        let sizes = SizeModel {
+            vertex_value: 4,
+            gather: 4,
+            edge_value: 0,
+            has_gather: true,
+            has_scatter: false,
+        };
+        plan_partition(l, &sizes, &plat.device, &plat.pcie, 2, None).unwrap()
+    }
+
+    #[test]
+    fn uncapped_multi_run_makes_no_governor_decisions() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let (obs, sink) = Observer::recording();
+        let res = MultiGraphReduce::new(Cc, &l, plat, 2)
+            .with_observer(obs)
+            .run()
+            .unwrap();
+        assert_eq!(res.stats.mem_pressure_events, 0);
+        assert_eq!(res.stats.redistributions, 0);
+        assert_eq!(res.stats.shard_splits, 0);
+        assert_eq!(sink.recorded().memory_decisions(), 0);
+    }
+
+    #[test]
+    fn capped_device_redistributes_before_splitting() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let plan = reference_plan(&l, &plat);
+        let baseline = MultiGraphReduce::new(Cc, &l, plat.clone(), 2)
+            .run()
+            .unwrap();
+        // Device 0 can hold its static buffers but not a single shard
+        // slot: everything it owned must move to device 1, which has
+        // full headroom. No splits are needed.
+        let (obs, sink) = Observer::recording();
+        let capped = MultiGraphReduce::new(Cc, &l, plat, 2)
+            .with_mem_cap(0, plan.static_bytes + 1)
+            .with_observer(obs)
+            .run()
+            .unwrap();
+        assert_eq!(capped.vertex_values, baseline.vertex_values);
+        assert!(capped.stats.redistributions > 0);
+        assert_eq!(
+            capped.stats.mem_pressure_events,
+            capped.stats.redistributions
+        );
+        assert_eq!(capped.stats.shard_splits, 0);
+        assert_eq!(
+            sink.recorded().memory_decisions() as u64,
+            capped.stats.redistributions
+        );
+    }
+
+    #[test]
+    fn capped_device_splits_when_no_peer_has_headroom() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let plan = reference_plan(&l, &plat);
+        let baseline = MultiGraphReduce::new(Cc, &l, plat.clone(), 1)
+            .run()
+            .unwrap();
+        // A single device just below the plan's requirement has nowhere
+        // to redistribute: the largest shard must split.
+        let k = plan.concurrent.max(1) as u64;
+        let cap = plan.static_bytes + k * plan.max_shard_bytes - 1;
+        let capped = MultiGraphReduce::new(Cc, &l, plat, 1)
+            .with_mem_cap(0, cap)
+            .run()
+            .unwrap();
+        assert_eq!(capped.vertex_values, baseline.vertex_values);
+        assert!(capped.stats.shard_splits > 0);
+        assert_eq!(capped.stats.redistributions, 0);
+    }
+
+    #[test]
+    fn cap_below_static_footprint_is_a_clean_alloc_error() {
+        let l = layout();
+        let plat = Platform::paper_node_scaled(1 << 14);
+        let plan = reference_plan(&l, &plat);
+        let res = MultiGraphReduce::new(Cc, &l, plat, 2)
+            .with_mem_cap(1, plan.static_bytes - 1)
+            .run();
+        match res {
+            Err(EngineError::Alloc(_)) => {}
+            Err(other) => panic!("expected Alloc, got {other:?}"),
+            Ok(_) => panic!("expected Alloc error, run succeeded"),
+        }
     }
 
     #[test]

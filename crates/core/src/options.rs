@@ -146,6 +146,14 @@ pub struct Options {
     /// Host-side kernel implementation computing the exact results
     /// (sparse/dense selection + parallelism; results bit-identical).
     pub host_kernels: HostKernels,
+    /// Cap the device's usable memory below its nominal capacity, in
+    /// bytes. Planning still sizes shards for the nominal device ("plan
+    /// optimistically"); the memory governor then degrades the plan —
+    /// residency drop, concurrency cut, shard splits, chunked transfers,
+    /// host fallback — until it fits the cap ("govern at runtime").
+    /// `None` (the default) leaves the device uncapped and the governor
+    /// idle.
+    pub mem_cap: Option<u64>,
 }
 
 impl Options {
@@ -167,6 +175,7 @@ impl Options {
             fault_plan: FaultPlan::none(),
             recovery: RecoveryPolicy::default(),
             host_kernels: HostKernels::Adaptive,
+            mem_cap: None,
         }
     }
 
@@ -190,6 +199,7 @@ impl Options {
             fault_plan: FaultPlan::none(),
             recovery: RecoveryPolicy::default(),
             host_kernels: HostKernels::Adaptive,
+            mem_cap: None,
         }
     }
 
@@ -262,6 +272,12 @@ impl Options {
 
     pub fn with_host_kernels(mut self, kernels: HostKernels) -> Self {
         self.host_kernels = kernels;
+        self
+    }
+
+    /// Cap usable device memory at `bytes` (see [`Options::mem_cap`]).
+    pub fn with_mem_cap(mut self, bytes: u64) -> Self {
+        self.mem_cap = Some(bytes);
         self
     }
 }

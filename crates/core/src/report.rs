@@ -75,6 +75,25 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
     out.push_str(&format!("  \"rollbacks\": {},\n", stats.rollbacks));
     out.push_str(&format!("  \"checkpoints\": {},\n", stats.checkpoints));
     out.push_str(&format!("  \"host_fallback\": {},\n", stats.host_fallback));
+    out.push_str(&format!(
+        "  \"mem_pressure_events\": {},\n",
+        stats.mem_pressure_events
+    ));
+    out.push_str(&format!("  \"shard_splits\": {},\n", stats.shard_splits));
+    out.push_str(&format!(
+        "  \"chunked_shards\": {},\n",
+        stats.chunked_shards
+    ));
+    out.push_str(&format!(
+        "  \"chunked_copies\": {},\n",
+        stats.chunked_copies
+    ));
+    out.push_str(&format!("  \"host_shards\": {},\n", stats.host_shards));
+    out.push_str(&format!("  \"mem_peak\": {},\n", stats.mem_peak));
+    out.push_str(&format!(
+        "  \"mem_min_headroom\": {},\n",
+        stats.mem_min_headroom
+    ));
     out.push_str(&format!("  \"max_frontier\": {},\n", stats.max_frontier()));
     out.push_str(&format!(
         "  \"pct_iterations_below_half_max\": {},\n",
@@ -127,13 +146,18 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
             | Decision::FaultRetry { .. }
             | Decision::Rollback { .. }
             | Decision::DeviceEvict { .. }
-            | Decision::HostFallback { .. } => None,
+            | Decision::HostFallback { .. }
+            | Decision::MemoryPressure { .. }
+            | Decision::ShardSplit { .. }
+            | Decision::ChunkedXfer { .. } => None,
         })
         .collect();
     out.push_str(&format!(
-        "  \"decisions\": {{\"shard_skips\": {}, \"recovery_decisions\": {}, \"plan\": [\n{}\n    ]}},\n",
+        "  \"decisions\": {{\"shard_skips\": {}, \"recovery_decisions\": {}, \
+         \"memory_decisions\": {}, \"plan\": [\n{}\n    ]}},\n",
         rec.shard_skips(),
         rec.recovery_decisions(),
+        rec.memory_decisions(),
         plan.join(",\n")
     ));
 
@@ -219,6 +243,13 @@ mod tests {
             rollbacks: 0,
             checkpoints: 2,
             host_fallback: false,
+            mem_pressure_events: 1,
+            shard_splits: 2,
+            chunked_shards: 0,
+            chunked_copies: 0,
+            host_shards: 0,
+            mem_peak: 900,
+            mem_min_headroom: 100,
             per_iteration: vec![
                 IterationStats {
                     frontier_size: 1,
@@ -260,6 +291,11 @@ mod tests {
             attempt: 1,
             backoff_ns: 50_000,
         });
+        obs.decision(|| Decision::ShardSplit {
+            shard: 0,
+            vertices: 8,
+            bytes: 512,
+        });
         let mut m = MetricsRegistry::new();
         m.inc("h2d.bytes", 1000);
         obs.snapshot("run", || m.snapshot());
@@ -282,6 +318,13 @@ mod tests {
         assert!(rep.contains("\"recovered_retries\": 1"));
         assert!(rep.contains("\"host_fallback\": false"));
         assert!(!rep.contains("\"fault_retry\""));
+        // Governor: counted in the summary and the flat fields, not
+        // expanded in the plan list.
+        assert!(rep.contains("\"memory_decisions\": 1"));
+        assert!(rep.contains("\"mem_pressure_events\": 1"));
+        assert!(rep.contains("\"shard_splits\": 2"));
+        assert!(rep.contains("\"mem_min_headroom\": 100"));
+        assert!(!rep.contains("\"shard_split\""));
         // Snapshots: run-level in, per-iteration filtered out.
         assert!(rep.contains("\"run\": {\"counters\":{\"h2d.bytes\":1000}"));
         assert!(!rep.contains("\"iteration 0\""));

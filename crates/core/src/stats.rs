@@ -61,6 +61,21 @@ pub struct RunStats {
     pub checkpoints: u64,
     /// Whether the run finished on the host CPU after permanent device loss.
     pub host_fallback: bool,
+    /// Memory-governor pressure responses (host-run, residency drop,
+    /// concurrency cut, per-shard host fallback). 0 when unconstrained.
+    pub mem_pressure_events: u64,
+    /// Adaptive shard splits the governor performed at plan time.
+    pub shard_splits: u64,
+    /// Shards whose transfers stream through the bounded staging slot.
+    pub chunked_shards: u64,
+    /// Individual chunked copy operations issued over the run.
+    pub chunked_copies: u64,
+    /// Shards degraded to host-CPU execution by the governor.
+    pub host_shards: u64,
+    /// Device-memory high-water mark (bytes) over the run.
+    pub mem_peak: u64,
+    /// Low-water mark of free device bytes (headroom) over the run.
+    pub mem_min_headroom: u64,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterationStats>,
 }
@@ -93,6 +108,12 @@ impl RunStats {
             .filter(|i| (i.frontier_size as f64) < half)
             .count();
         100.0 * below as f64 / self.per_iteration.len() as f64
+    }
+
+    /// Total memory-governor decisions over the run (pressure responses +
+    /// shard splits + chunked shards). 0 whenever capacity was ample.
+    pub fn governor_decisions(&self) -> u64 {
+        self.mem_pressure_events + self.shard_splits + self.chunked_shards
     }
 
     /// Fraction of wall time the copy engines were busy (the paper reports
@@ -162,6 +183,21 @@ impl std::fmt::Display for RunStats {
                 }
             )?;
         }
+        // Same rule for the governor: unconstrained output is untouched.
+        if self.governor_decisions() > 0 {
+            write!(
+                f,
+                "\n  memory: {} pressure responses | {} shard splits, {} chunked shards \
+                 ({} chunked copies), {} host shards | peak {} B, min headroom {} B",
+                self.mem_pressure_events,
+                self.shard_splits,
+                self.chunked_shards,
+                self.chunked_copies,
+                self.host_shards,
+                self.mem_peak,
+                self.mem_min_headroom
+            )?;
+        }
         Ok(())
     }
 }
@@ -217,6 +253,25 @@ mod tests {
         }
         .to_string();
         assert!(fell_back.contains("finished on host CPU"));
+    }
+
+    #[test]
+    fn memory_line_only_appears_under_governor_pressure() {
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("memory:"), "{clean}");
+        let governed = RunStats {
+            mem_pressure_events: 1,
+            shard_splits: 2,
+            chunked_shards: 1,
+            chunked_copies: 12,
+            mem_peak: 4096,
+            mem_min_headroom: 128,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(governed.contains("memory: 1 pressure responses"));
+        assert!(governed.contains("2 shard splits, 1 chunked shards"));
+        assert!(governed.contains("peak 4096 B, min headroom 128 B"));
     }
 
     #[test]

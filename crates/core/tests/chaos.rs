@@ -7,12 +7,12 @@
 //! See docs/FAULTS.md for the fault model and the decision-per-fault
 //! invariant these tests pin down.
 
-use gr_graph::{gen, GraphLayout};
-use gr_observe::Observer;
+use gr_graph::{gen, EdgeList, GraphLayout};
+use gr_observe::{Decision, Observer, Recorded};
 use gr_sim::Platform;
 use graphreduce::{
-    EngineError, FaultPlan, GasProgram, GraphReduce, InitialFrontier, MultiGraphReduce, Options,
-    RecoveryPolicy,
+    plan_partition, EngineError, FaultPlan, GasProgram, GraphReduce, InitialFrontier,
+    MultiGraphReduce, Options, PartitionPlan, RecoveryPolicy, RunStats, SizeModel,
 };
 
 /// Connected components (min-label flooding): touches every phase the
@@ -311,6 +311,363 @@ fn multi_gpu_transient_faults_recover_bit_identical() {
         sink.recorded().recovery_decisions() as u64,
         res.stats.faults_injected
     );
+}
+
+// ---------------------------------------------------------------------------
+// Memory pressure: the governor must turn capped device memory into graceful
+// degradation (residency drops, shard splits, chunked transfers, host shards)
+// with bit-identical results and exactly one decision-log entry per response.
+// See docs/MEMORY.md for the escalation ladder these tests pin down.
+// ---------------------------------------------------------------------------
+
+/// BFS: depth labelling, no gather phase (exercises phase elimination
+/// under pressure).
+struct Bfs(u32);
+
+impl GasProgram for Bfs {
+    type VertexValue = u32;
+    type EdgeValue = ();
+    type Gather = ();
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn init_vertex(&self, _v: u32, _d: u32) -> u32 {
+        u32::MAX
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::Single(self.0)
+    }
+
+    fn gather_identity(&self) {}
+
+    fn gather_map(&self, _d: &u32, _s: &u32, _e: &(), _w: f32) {}
+
+    fn gather_reduce(&self, _a: (), _b: ()) {}
+
+    fn apply(&self, v: &mut u32, _r: (), iter: u32) -> bool {
+        if *v == u32::MAX {
+            *v = iter;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
+
+    fn has_gather(&self) -> bool {
+        false
+    }
+}
+
+/// SSSP: Bellman-Ford relaxation over static edge weights.
+struct Sssp(u32);
+
+impl GasProgram for Sssp {
+    type VertexValue = f32;
+    type EdgeValue = ();
+    type Gather = f32;
+
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn init_vertex(&self, v: u32, _d: u32) -> f32 {
+        if v == self.0 {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::Single(self.0)
+    }
+
+    fn gather_identity(&self) -> f32 {
+        f32::INFINITY
+    }
+
+    fn gather_map(&self, _d: &f32, src: &f32, _e: &(), w: f32) -> f32 {
+        src + w
+    }
+
+    fn gather_reduce(&self, a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+
+    fn apply(&self, v: &mut f32, r: f32, iter: u32) -> bool {
+        if r < *v {
+            *v = r;
+            true
+        } else {
+            iter == 0 && *v == 0.0
+        }
+    }
+
+    fn scatter(&self, _s: &f32, _d: &f32, _e: &mut ()) {}
+}
+
+/// PageRank state: rank + out-degree (folded into the gather contribution).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PrValue {
+    rank: f32,
+    out_degree: u32,
+}
+
+/// PageRank with frontier-based convergence (damping 0.85).
+struct Pr;
+
+impl GasProgram for Pr {
+    type VertexValue = PrValue;
+    type EdgeValue = ();
+    type Gather = f32;
+
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn init_vertex(&self, _v: u32, out_degree: u32) -> PrValue {
+        PrValue {
+            rank: 0.15,
+            out_degree,
+        }
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::All
+    }
+
+    fn gather_identity(&self) -> f32 {
+        0.0
+    }
+
+    fn gather_map(&self, _d: &PrValue, src: &PrValue, _e: &(), _w: f32) -> f32 {
+        if src.out_degree == 0 {
+            0.0
+        } else {
+            src.rank / src.out_degree as f32
+        }
+    }
+
+    fn gather_reduce(&self, a: f32, b: f32) -> f32 {
+        a + b
+    }
+
+    fn apply(&self, v: &mut PrValue, r: f32, _i: u32) -> bool {
+        let new_rank = 0.15 + 0.85 * r;
+        let changed = (new_rank - v.rank).abs() > 1e-4;
+        v.rank = new_rank;
+        changed
+    }
+
+    fn scatter(&self, _s: &PrValue, _d: &PrValue, _e: &mut ()) {}
+
+    fn max_iterations(&self) -> u32 {
+        100
+    }
+}
+
+/// The partition the engine computes for `p` on the chaos platform (same
+/// size model, same default K=2), so caps can be derived from the real
+/// static/shard footprints.
+fn engine_plan<P: GasProgram>(p: &P, layout: &GraphLayout) -> PartitionPlan {
+    let plat = platform();
+    let sizes = SizeModel {
+        vertex_value: std::mem::size_of::<P::VertexValue>() as u64,
+        gather: std::mem::size_of::<P::Gather>() as u64,
+        edge_value: std::mem::size_of::<P::EdgeValue>() as u64,
+        has_gather: p.has_gather(),
+        has_scatter: p.has_scatter(),
+    };
+    plan_partition(layout, &sizes, &plat.device, &plat.pcie, 2, None).unwrap()
+}
+
+/// Device capacity granting the static buffers plus `pct`% of the planned
+/// in-flight shard footprint (`K × max_shard_bytes`) — the "largest shard
+/// footprint" profiles of the memory-pressure sweep.
+fn cap_at(plan: &PartitionPlan, pct: u64) -> u64 {
+    plan.static_bytes + plan.concurrent as u64 * plan.max_shard_bytes * pct / 100
+}
+
+/// Run `p` with an optional device-memory cap, recording decisions.
+fn run_capped<P: GasProgram>(
+    p: P,
+    layout: &GraphLayout,
+    cap: Option<u64>,
+) -> (Vec<P::VertexValue>, RunStats, Recorded) {
+    let mut opts = Options::optimized();
+    if let Some(c) = cap {
+        opts = opts.with_mem_cap(c);
+    }
+    let (obs, sink) = Observer::recording();
+    let out = GraphReduce::new(p, layout, platform(), opts)
+        .with_observer(obs)
+        .run()
+        .unwrap();
+    (out.vertex_values, out.stats, sink.recorded())
+}
+
+/// Oracle-vs-capped check for one program at one pressure profile.
+fn assert_capped_bit_identical<P: GasProgram, F: Fn() -> P>(make: F, layout: &GraphLayout, pct: u64)
+where
+    P::VertexValue: PartialEq + std::fmt::Debug,
+{
+    let name = make().name();
+    let plan = engine_plan(&make(), layout);
+    let (want, _, _) = run_capped(make(), layout, None);
+    let (got, stats, rec) = run_capped(make(), layout, Some(cap_at(&plan, pct)));
+    assert_eq!(got, want, "{name} at {pct}% shard footprint");
+    // Governor responses are memory decisions, never recovery decisions:
+    // the chaos invariant (one recovery decision per injected fault) must
+    // hold untouched, here with zero faults.
+    assert_eq!(stats.faults_injected, 0, "{name} at {pct}%");
+    assert_eq!(rec.recovery_decisions(), 0, "{name} at {pct}%");
+    // Exactly one decision-log entry per governor response.
+    assert_eq!(
+        rec.memory_decisions() as u64,
+        stats.governor_decisions(),
+        "{name} at {pct}%: one log entry per response"
+    );
+}
+
+#[test]
+fn memory_pressure_profiles_stay_bit_identical_for_all_algorithms() {
+    let unweighted = small_graph();
+    let weighted = GraphLayout::build(
+        &gen::with_random_weights(gen::uniform(512, 4096, 3), 16.0, 9).symmetrize(),
+    );
+    for pct in [100u64, 50, 25, 10] {
+        assert_capped_bit_identical(|| Cc, &unweighted, pct);
+        assert_capped_bit_identical(|| Bfs(0), &unweighted, pct);
+        assert_capped_bit_identical(|| Pr, &unweighted, pct);
+        assert_capped_bit_identical(|| Sssp(0), &weighted, pct);
+    }
+}
+
+#[test]
+fn unconstrained_runs_make_no_governor_decisions() {
+    let layout = small_graph();
+    let (want, clean, rec) = run_capped(Cc, &layout, None);
+    assert_eq!(clean.governor_decisions(), 0);
+    assert_eq!(rec.memory_decisions(), 0);
+    // A cap at full nominal capacity is indistinguishable from no cap.
+    let cap = platform().device.mem_capacity;
+    let (got, capped, rec) = run_capped(Cc, &layout, Some(cap));
+    assert_eq!(got, want);
+    assert_eq!(
+        capped.governor_decisions(),
+        0,
+        "ample capacity, no responses"
+    );
+    assert_eq!(rec.memory_decisions(), 0);
+    assert_eq!(
+        clean.elapsed, capped.elapsed,
+        "zero cost when unconstrained"
+    );
+}
+
+#[test]
+fn shard_splits_emit_exactly_one_decision_each() {
+    let layout = small_graph();
+    let plan = engine_plan(&Cc, &layout);
+    // Room for the static buffers plus half of one shard slot: the
+    // governor must drop to K=1 and split until every shard fits.
+    let cap = plan.static_bytes + plan.max_shard_bytes / 2;
+    let (want, _, _) = run_capped(Cc, &layout, None);
+    let (got, stats, rec) = run_capped(Cc, &layout, Some(cap));
+    assert_eq!(got, want);
+    assert!(stats.shard_splits > 0, "cap must force splitting");
+    let split_decisions = rec
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Decision::ShardSplit { .. }))
+        .count() as u64;
+    assert_eq!(
+        split_decisions, stats.shard_splits,
+        "one decision per split"
+    );
+    assert_eq!(
+        stats.num_shards as u64,
+        plan.shards.len() as u64 + stats.shard_splits,
+        "every split adds exactly one shard"
+    );
+}
+
+/// A hub graph whose edge mass collapses onto one vertex: the governor can
+/// split the hub off into a single-vertex shard but no further, so a cap
+/// below that shard's footprint must escalate past splitting.
+fn hub_graph() -> GraphLayout {
+    let edges: Vec<(u32, u32)> = (0..4000u32).map(|i| (i % 511 + 1, 0)).collect();
+    GraphLayout::build(&EdgeList::from_edges(512, edges).symmetrize())
+}
+
+#[test]
+fn unsplittable_shards_fall_back_to_chunked_transfers() {
+    let layout = hub_graph();
+    let plan = engine_plan(&Cc, &layout);
+    // Half the largest shard's bytes is still a viable staging buffer, so
+    // the hub shard (unsplittable below its single vertex) must stream
+    // through the bounded staging allocation in pieces.
+    let cap = plan.static_bytes + plan.max_shard_bytes / 2;
+    let (want, _, _) = run_capped(Cc, &layout, None);
+    let (got, stats, rec) = run_capped(Cc, &layout, Some(cap));
+    assert_eq!(got, want);
+    assert!(stats.chunked_shards > 0, "hub shard must be chunked");
+    assert!(stats.chunked_copies > 0, "chunked copies must be counted");
+    let chunk_decisions = rec
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Decision::ChunkedXfer { .. }))
+        .count() as u64;
+    assert_eq!(
+        chunk_decisions, stats.chunked_shards,
+        "one decision per chunked shard"
+    );
+    assert_eq!(rec.memory_decisions() as u64, stats.governor_decisions());
+}
+
+#[test]
+fn terminal_pressure_degrades_to_host_shards() {
+    let layout = hub_graph();
+    let plan = engine_plan(&Cc, &layout);
+    // Leave so little shard headroom that the unsplittable hub shard
+    // cannot even be staged in chunks: the terminal degradation keeps the
+    // shard's work on the host and the run still finishes bit-identical.
+    let cap = plan.static_bytes + 3000;
+    let (want, _, _) = run_capped(Cc, &layout, None);
+    let (got, stats, rec) = run_capped(Cc, &layout, Some(cap));
+    assert_eq!(got, want);
+    assert!(stats.host_shards > 0, "hub shard must stay on the host");
+    assert_eq!(rec.memory_decisions() as u64, stats.governor_decisions());
+}
+
+#[test]
+fn impossible_cap_without_host_fallback_is_a_clean_alloc_error() {
+    let layout = hub_graph();
+    let plan = engine_plan(&Cc, &layout);
+    for cap in [
+        plan.static_bytes.saturating_sub(1),
+        plan.static_bytes + 3000,
+    ] {
+        let res = GraphReduce::new(
+            Cc,
+            &layout,
+            platform(),
+            Options::optimized()
+                .with_mem_cap(cap)
+                .with_recovery(RecoveryPolicy::fail_fast()),
+        )
+        .run();
+        match res {
+            Err(EngineError::Alloc(_)) => {}
+            Err(e) => panic!("cap {cap}: wrong error {e}"),
+            Ok(_) => panic!("cap {cap}: must not fit without host fallback"),
+        }
+    }
 }
 
 #[test]

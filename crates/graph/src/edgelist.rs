@@ -163,42 +163,92 @@ impl EdgeList {
     }
 
     /// Read the binary format written by [`EdgeList::write_binary`].
+    ///
+    /// Every failure is a typed [`io::Error`]: `InvalidData` for malformed
+    /// content (bad magic, out-of-range endpoints, non-finite weights) and
+    /// `UnexpectedEof` for truncation, each carrying the byte offset at
+    /// which the problem was detected.
     pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
         let mut r = io::BufReader::new(r);
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let mut offset: u64 = 0;
+        let bad = |offset: u64, msg: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{msg} (at byte offset {offset})"),
+            )
+        };
+        fn take<R: Read>(
+            r: &mut R,
+            offset: &mut u64,
+            buf: &mut [u8],
+            what: &str,
+        ) -> io::Result<()> {
+            let at = *offset;
+            r.read_exact(buf).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("truncated input reading {what} (at byte offset {at})"),
+                    )
+                } else {
+                    e
+                }
+            })?;
+            *offset += buf.len() as u64;
+            Ok(())
+        }
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        take(&mut r, &mut offset, &mut magic, "magic")?;
         if &magic != b"GRED" {
-            return Err(bad("bad magic"));
+            return Err(bad(0, format!("bad magic {magic:?}, expected \"GRED\"")));
         }
         let mut u32buf = [0u8; 4];
         let mut u64buf = [0u8; 8];
-        r.read_exact(&mut u32buf)?;
-        if u32::from_le_bytes(u32buf) != 1 {
-            return Err(bad("unsupported version"));
+        take(&mut r, &mut offset, &mut u32buf, "version")?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != 1 {
+            return Err(bad(4, format!("unsupported version {version}")));
         }
-        r.read_exact(&mut u32buf)?;
+        take(&mut r, &mut offset, &mut u32buf, "vertex count")?;
         let v = u32::from_le_bytes(u32buf);
-        r.read_exact(&mut u64buf)?;
+        take(&mut r, &mut offset, &mut u64buf, "edge count")?;
         let m = u64::from_le_bytes(u64buf) as usize;
         let mut flag = [0u8; 1];
-        r.read_exact(&mut flag)?;
-        let mut edges = Vec::with_capacity(m);
-        for _ in 0..m {
-            r.read_exact(&mut u32buf)?;
+        take(&mut r, &mut offset, &mut flag, "weights flag")?;
+        if flag[0] > 1 {
+            return Err(bad(
+                20,
+                format!("weights flag must be 0 or 1, got {}", flag[0]),
+            ));
+        }
+        // Grow incrementally past this point: `m` is attacker-controlled and
+        // must not drive a huge up-front allocation before the payload is
+        // proven to exist.
+        let mut edges = Vec::with_capacity(m.min(1 << 20));
+        for i in 0..m {
+            let at = offset;
+            take(&mut r, &mut offset, &mut u32buf, "edge source")?;
             let s = u32::from_le_bytes(u32buf);
-            r.read_exact(&mut u32buf)?;
+            take(&mut r, &mut offset, &mut u32buf, "edge target")?;
             let d = u32::from_le_bytes(u32buf);
             if s >= v || d >= v {
-                return Err(bad("edge endpoint out of range"));
+                return Err(bad(
+                    at,
+                    format!("edge {i} ({s},{d}) out of range for {v} vertices"),
+                ));
             }
             edges.push((s, d));
         }
         let weights = if flag[0] != 0 {
-            let mut ws = Vec::with_capacity(m);
-            for _ in 0..m {
-                r.read_exact(&mut u32buf)?;
-                ws.push(f32::from_le_bytes(u32buf));
+            let mut ws = Vec::with_capacity(m.min(1 << 20));
+            for i in 0..m {
+                let at = offset;
+                take(&mut r, &mut offset, &mut u32buf, "edge weight")?;
+                let w = f32::from_le_bytes(u32buf);
+                if !w.is_finite() {
+                    return Err(bad(at, format!("non-finite weight {w} on edge {i}")));
+                }
+                ws.push(w);
             }
             Some(ws)
         } else {
@@ -212,41 +262,56 @@ impl EdgeList {
     }
 
     /// Read the text format written by [`EdgeList::write_text`].
+    ///
+    /// Every failure is an `InvalidData` [`io::Error`] naming the 1-based
+    /// line it was detected on: missing/garbled header, unparsable
+    /// endpoints, out-of-range endpoints, non-finite weights (`NaN`/`inf`
+    /// are rejected — they silently poison distance algorithms), and a
+    /// header/body edge-count mismatch.
     pub fn read_text<R: Read>(r: R) -> io::Result<EdgeList> {
         let r = io::BufReader::new(r);
+        let bad = |line: usize, msg: String| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{msg} (line {line})"))
+        };
         let mut lines = r.lines();
         let header = lines
             .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty input"))??;
+            .ok_or_else(|| bad(1, "empty input, expected \"V E\" header".to_owned()))??;
         let mut it = header.split_whitespace();
-        let parse = |s: Option<&str>| -> io::Result<u64> {
-            s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad header"))?
-                .parse()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))
+        let parse = |s: Option<&str>, line: usize, what: &str| -> io::Result<u64> {
+            let tok = s.ok_or_else(|| bad(line, format!("missing {what}")))?;
+            tok.parse()
+                .map_err(|e| bad(line, format!("bad {what} {tok:?}: {e}")))
         };
-        let v = parse(it.next())? as u32;
-        let m = parse(it.next())? as usize;
-        let mut edges = Vec::with_capacity(m);
+        let v = parse(it.next(), 1, "vertex count")? as u32;
+        let m = parse(it.next(), 1, "edge count")? as usize;
+        // Grow incrementally: the header's edge count is untrusted input
+        // and must not drive a huge up-front allocation.
+        let mut edges = Vec::with_capacity(m.min(1 << 20));
         let mut weights: Vec<f32> = Vec::new();
         let mut any_weight = false;
-        for line in lines {
+        for (ln, line) in lines.enumerate() {
+            let lineno = ln + 2; // 1-based, after the header
             let line = line?;
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut it = line.split_whitespace();
-            let s = parse(it.next())? as u32;
-            let d = parse(it.next())? as u32;
+            let s = parse(it.next(), lineno, "edge source")? as u32;
+            let d = parse(it.next(), lineno, "edge target")? as u32;
             if s >= v || d >= v {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
+                return Err(bad(
+                    lineno,
                     format!("edge ({s},{d}) out of range for {v} vertices"),
                 ));
             }
             if let Some(wtok) = it.next() {
                 let w: f32 = wtok
                     .parse()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+                    .map_err(|e| bad(lineno, format!("bad weight {wtok:?}: {e}")))?;
+                if !w.is_finite() {
+                    return Err(bad(lineno, format!("non-finite weight {w}")));
+                }
                 if !any_weight {
                     weights.resize(edges.len(), 1.0);
                     any_weight = true;
@@ -340,6 +405,83 @@ mod tests {
         assert!(EdgeList::read_text(&b""[..]).is_err());
         assert!(EdgeList::read_text(&b"2 1\n0 5\n"[..]).is_err());
         assert!(EdgeList::read_text(&b"2 2\n0 1\n"[..]).is_err());
+    }
+
+    #[test]
+    fn text_errors_name_the_offending_line() {
+        let err = EdgeList::read_text(&b"4 2\n0 1\n0 9\n"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+
+        let err = EdgeList::read_text(&b"4 1\nx 1\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("edge source"), "{err}");
+
+        let err = EdgeList::read_text(&b"nope\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn text_rejects_non_finite_weights() {
+        for w in ["NaN", "inf", "-inf"] {
+            let input = format!("3 1\n0 1 {w}\n");
+            let err = EdgeList::read_text(input.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{w}");
+            assert!(err.to_string().contains("non-finite"), "{w}: {err}");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_finite_weights() {
+        let g = EdgeList::from_edges(3, vec![(0, 1), (2, 0)]).with_weights(vec![0.5, 1.0]);
+        let mut buf = Vec::new();
+        g.write_binary(&mut buf).unwrap();
+        let wpos = buf.len() - 4; // last weight
+        buf[wpos..].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = EdgeList::read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        assert!(err.to_string().contains("edge 1"), "{err}");
+    }
+
+    #[test]
+    fn binary_errors_carry_byte_offsets() {
+        let g = sample();
+        let mut buf = Vec::new();
+        g.write_binary(&mut buf).unwrap();
+
+        let err = EdgeList::read_binary(&buf[..buf.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("byte offset"), "{err}");
+
+        let edge0 = 4 + 4 + 4 + 8 + 1;
+        let mut bad = buf.clone();
+        bad[edge0 + 4..edge0 + 8].copy_from_slice(&999u32.to_le_bytes());
+        let err = EdgeList::read_binary(&bad[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains(&format!("byte offset {edge0}")),
+            "{err}"
+        );
+
+        let mut bad = buf.clone();
+        bad[20] = 7; // weights flag must be 0 or 1
+        let err = EdgeList::read_binary(&bad[..]).unwrap_err();
+        assert!(err.to_string().contains("weights flag"), "{err}");
+    }
+
+    #[test]
+    fn binary_truncated_header_is_eof_not_allocation() {
+        // A header promising u64::MAX edges with no payload must fail fast
+        // with EOF rather than attempt a giant allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GRED");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.push(0);
+        let err = EdgeList::read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

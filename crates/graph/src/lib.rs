@@ -34,5 +34,5 @@ pub use partition::{
     partition_even_edges, validate_partition, EvenEdgePartition, EvenVertexPartition, Interval,
     PartitionLogic,
 };
-pub use shard::{build_shards, partition_into_shards, Shard};
+pub use shard::{build_shards, partition_into_shards, split_shard, Shard};
 pub use stats::GraphStats;

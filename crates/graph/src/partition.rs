@@ -30,6 +30,30 @@ impl Interval {
     pub fn contains(&self, v: VertexId) -> bool {
         (self.start..self.end).contains(&v)
     }
+
+    /// Split at `mid` into `[start, mid)` and `[mid, end)`. Returns `None`
+    /// unless both halves are non-empty (the partition invariant).
+    pub fn split_at(&self, mid: VertexId) -> Option<(Interval, Interval)> {
+        if mid <= self.start || mid >= self.end {
+            return None;
+        }
+        Some((
+            Interval {
+                start: self.start,
+                end: mid,
+            },
+            Interval {
+                start: mid,
+                end: self.end,
+            },
+        ))
+    }
+
+    /// Split at the vertex midpoint. `None` for intervals of fewer than two
+    /// vertices — the floor of adaptive shard splitting.
+    pub fn split(&self) -> Option<(Interval, Interval)> {
+        self.split_at(self.start + self.len() / 2)
+    }
 }
 
 /// Pluggable partitioning logic (the Partition Logic Table takes these as
@@ -234,6 +258,21 @@ mod tests {
         validate_partition(&p, 100).unwrap();
         let lens: Vec<u32> = p.iter().map(|iv| iv.len()).collect();
         assert!(lens.iter().all(|&l| l == 14 || l == 15), "{lens:?}");
+    }
+
+    #[test]
+    fn split_balances_and_respects_bounds() {
+        let iv = Interval { start: 10, end: 20 };
+        let (l, r) = iv.split().unwrap();
+        assert_eq!(l, Interval { start: 10, end: 15 });
+        assert_eq!(r, Interval { start: 15, end: 20 });
+        validate_partition(&[l, r], 20).err(); // halves abut
+        assert!(iv.split_at(10).is_none(), "empty left half");
+        assert!(iv.split_at(20).is_none(), "empty right half");
+        assert!(Interval { start: 3, end: 4 }.split().is_none());
+        let odd = Interval { start: 0, end: 3 };
+        let (l, r) = odd.split().unwrap();
+        assert_eq!((l.len(), r.len()), (1, 2));
     }
 
     #[test]

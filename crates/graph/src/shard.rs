@@ -69,6 +69,41 @@ pub fn build_shards(layout: &GraphLayout, intervals: &[Interval]) -> Vec<Shard> 
         .collect()
 }
 
+/// Split `shard` into two sub-shards of approximately equal edge mass —
+/// the memory governor's adaptive response when one shard's buffer set
+/// exceeds device capacity. The cut point walks the interval accumulating
+/// in+out degree and closes the left half once it holds half the mass,
+/// so a skewed interval splits where the bytes are, not at the vertex
+/// midpoint. Returns `None` for single-vertex intervals (the split floor:
+/// a hub vertex's edges cannot be divided by interval surgery). Both
+/// halves inherit `shard.id`; the caller renumbers.
+pub fn split_shard(layout: &GraphLayout, shard: &Shard) -> Option<(Shard, Shard)> {
+    let iv = shard.interval;
+    if iv.len() < 2 {
+        return None;
+    }
+    let total: u64 = (iv.start..iv.end)
+        .map(|v| layout.csc.degree(v) + layout.csr.degree(v) + 1)
+        .sum();
+    let mut acc = 0u64;
+    let mut mid = iv.start + 1;
+    for v in iv.start..iv.end - 1 {
+        acc += layout.csc.degree(v) + layout.csr.degree(v) + 1;
+        if acc * 2 >= total {
+            mid = v + 1;
+            break;
+        }
+    }
+    let (left, right) = iv.split_at(mid)?;
+    let make = |interval: Interval| Shard {
+        id: shard.id,
+        interval,
+        in_edges: layout.csc.interval_range(interval.start, interval.end),
+        out_edges: layout.csr.interval_range(interval.start, interval.end),
+    };
+    Some((make(left), make(right)))
+}
+
 /// Partition `layout` with `logic` into at most `max_shards` shards.
 pub fn partition_into_shards(
     layout: &GraphLayout,
@@ -132,6 +167,44 @@ mod tests {
         for sh in &shards {
             assert!((sh.edge_mass() as f64) < 3.0 * avg);
         }
+    }
+
+    #[test]
+    fn split_shard_conserves_edges_and_balances_mass() {
+        let g = layout();
+        let shards = partition_into_shards(&g, &EvenEdgePartition, 3);
+        for sh in &shards {
+            let (l, r) = split_shard(&g, sh).unwrap();
+            // Halves abut and cover the parent exactly.
+            assert_eq!(l.interval.start, sh.interval.start);
+            assert_eq!(l.interval.end, r.interval.start);
+            assert_eq!(r.interval.end, sh.interval.end);
+            assert_eq!(l.in_edges.start, sh.in_edges.start);
+            assert_eq!(l.in_edges.end, r.in_edges.start);
+            assert_eq!(r.in_edges.end, sh.in_edges.end);
+            assert_eq!(l.out_edges.start, sh.out_edges.start);
+            assert_eq!(l.out_edges.end, r.out_edges.start);
+            assert_eq!(r.out_edges.end, sh.out_edges.end);
+            // The cut lands near the mass midpoint, not just the vertex
+            // midpoint (rmat graphs are heavily skewed).
+            let lm = l.edge_mass() + l.num_vertices();
+            let rm = r.edge_mass() + r.num_vertices();
+            let total = lm + rm;
+            assert!(lm * 2 >= total / 2, "left half too light: {lm} of {total}");
+        }
+    }
+
+    #[test]
+    fn split_shard_floor_is_one_vertex() {
+        let g = layout();
+        let shards = partition_into_shards(&g, &EvenEdgePartition, 2);
+        let mut sh = shards[0].clone();
+        // Split all the way down the left spine; must terminate at 1 vertex.
+        while let Some((l, _)) = split_shard(&g, &sh) {
+            assert!(l.num_vertices() < sh.num_vertices());
+            sh = l;
+        }
+        assert_eq!(sh.num_vertices(), 1);
     }
 
     #[test]

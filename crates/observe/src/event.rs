@@ -154,6 +154,49 @@ pub enum Decision {
         device: u32,
         rationale: &'static str,
     },
+    /// The memory governor degraded the plan in response to device
+    /// memory pressure (shortfall between what the plan needs and what
+    /// the device can reserve). Distinct from fault recovery: no fault
+    /// was injected, so these never count toward the
+    /// decision-per-fault invariant.
+    MemoryPressure {
+        device: u32,
+        /// Bytes the pressured reservation needed.
+        requested: u64,
+        /// Free bytes at decision time.
+        available: u64,
+        /// Device capacity after any runtime cap.
+        capacity: u64,
+        /// Escalation rung taken: `"host-run"`, `"stream"`,
+        /// `"reduce-concurrency"`, `"host-shard"`, `"redistribute"`.
+        response: &'static str,
+        /// What the response applies to: `"run"`, `"plan"`, `"shard"`,
+        /// or `"device"`.
+        scope: &'static str,
+    },
+    /// Adaptive shard splitting: one shard's buffer set exceeded the
+    /// streaming budget, so its vertex interval was split in two at the
+    /// edge-mass midpoint. Exactly one decision per split.
+    ShardSplit {
+        /// Plan-order shard index at the time of the split.
+        shard: u32,
+        /// Vertices in the interval before the split.
+        vertices: u64,
+        /// Buffer footprint in bytes before the split.
+        bytes: u64,
+    },
+    /// Chunked edge transfer: a shard too large even after splitting
+    /// streams through a bounded staging slot in pieces. Exactly one
+    /// decision per chunked shard, at plan time.
+    ChunkedXfer {
+        shard: u32,
+        /// Full buffer footprint of the shard.
+        shard_bytes: u64,
+        /// Staging slot size each piece is bounded by.
+        chunk_bytes: u64,
+        /// Upper bound on pieces per full-shard transfer.
+        chunks: u32,
+    },
 }
 
 impl Decision {
@@ -172,6 +215,17 @@ impl Decision {
                 | Decision::Rollback { .. }
                 | Decision::DeviceEvict { .. }
                 | Decision::HostFallback { .. }
+        )
+    }
+
+    /// True for memory-governor decisions (pressure responses, shard
+    /// splits, chunked transfers) — one is recorded per degradation.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Decision::MemoryPressure { .. }
+                | Decision::ShardSplit { .. }
+                | Decision::ChunkedXfer { .. }
         )
     }
 }
@@ -234,6 +288,35 @@ mod tests {
         };
         for d in [&retry, &rollback, &evict, &fallback] {
             assert!(d.is_recovery());
+            assert!(!d.is_shard_skip());
+            assert!(!d.is_memory());
+        }
+    }
+
+    #[test]
+    fn memory_classification() {
+        let pressure = Decision::MemoryPressure {
+            device: 0,
+            requested: 4096,
+            available: 1024,
+            capacity: 2048,
+            response: "reduce-concurrency",
+            scope: "plan",
+        };
+        let split = Decision::ShardSplit {
+            shard: 3,
+            vertices: 256,
+            bytes: 8192,
+        };
+        let chunked = Decision::ChunkedXfer {
+            shard: 3,
+            shard_bytes: 8192,
+            chunk_bytes: 1024,
+            chunks: 8,
+        };
+        for d in [&pressure, &split, &chunked] {
+            assert!(d.is_memory());
+            assert!(!d.is_recovery(), "governor decisions are not recovery");
             assert!(!d.is_shard_skip());
         }
     }

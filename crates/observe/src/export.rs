@@ -115,6 +115,37 @@ fn decision_line(d: &Decision) -> String {
             "{{\"type\":\"decision\",\"kind\":\"device_evict\",\"iteration\":{iteration},\
              \"device\":{device},\"shards_moved\":{shards_moved}}}"
         ),
+        Decision::MemoryPressure {
+            device,
+            requested,
+            available,
+            capacity,
+            response,
+            scope,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"memory_pressure\",\"device\":{device},\
+             \"requested\":{requested},\"available\":{available},\"capacity\":{capacity},\
+             \"response\":{},\"scope\":{}}}",
+            json::string(response),
+            json::string(scope)
+        ),
+        Decision::ShardSplit {
+            shard,
+            vertices,
+            bytes,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"shard_split\",\"shard\":{shard},\
+             \"vertices\":{vertices},\"bytes\":{bytes}}}"
+        ),
+        Decision::ChunkedXfer {
+            shard,
+            shard_bytes,
+            chunk_bytes,
+            chunks,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"chunked_xfer\",\"shard\":{shard},\
+             \"shard_bytes\":{shard_bytes},\"chunk_bytes\":{chunk_bytes},\"chunks\":{chunks}}}"
+        ),
         Decision::HostFallback {
             iteration,
             device,
@@ -514,6 +545,25 @@ mod tests {
             phases: "gatherMap+gatherReduce+apply",
             rationale: "intermediates stay on-device",
         });
+        obs.decision(|| Decision::MemoryPressure {
+            device: 0,
+            requested: 4096,
+            available: 1024,
+            capacity: 2048,
+            response: "reduce-concurrency",
+            scope: "plan",
+        });
+        obs.decision(|| Decision::ShardSplit {
+            shard: 1,
+            vertices: 64,
+            bytes: 9000,
+        });
+        obs.decision(|| Decision::ChunkedXfer {
+            shard: 1,
+            shard_bytes: 9000,
+            chunk_bytes: 1024,
+            chunks: 9,
+        });
         let mut m = MetricsRegistry::new();
         m.inc("h2d.bytes", 42);
         m.observe("h2d.size_bytes", 42);
@@ -521,14 +571,19 @@ mod tests {
         let rec = sink.recorded();
         let out = jsonl(&rec);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 7);
         for line in &lines {
             assert!(jsonck::valid(line), "invalid JSONL line: {line}");
         }
         assert!(lines[1].contains("\"kind\":\"shard_skip\""));
         assert!(lines[1].contains("\"interval_bits\":128"));
-        assert!(lines[3].contains("\"scope\":\"run\""));
-        assert!(lines[3].contains("\"h2d.bytes\":42"));
-        assert!(lines[3].contains("\"buckets\":[[32,1]]"));
+        assert!(lines[3].contains("\"kind\":\"memory_pressure\""));
+        assert!(lines[3].contains("\"response\":\"reduce-concurrency\""));
+        assert!(lines[4].contains("\"kind\":\"shard_split\""));
+        assert!(lines[5].contains("\"kind\":\"chunked_xfer\""));
+        assert!(lines[5].contains("\"chunks\":9"));
+        assert!(lines[6].contains("\"scope\":\"run\""));
+        assert!(lines[6].contains("\"h2d.bytes\":42"));
+        assert!(lines[6].contains("\"buckets\":[[32,1]]"));
     }
 }

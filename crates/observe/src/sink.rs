@@ -94,6 +94,12 @@ impl Recorded {
     pub fn recovery_decisions(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_recovery()).count()
     }
+
+    /// Memory-governor decisions only (pressure responses, shard splits,
+    /// chunked transfers) — one per degradation, zero when unconstrained.
+    pub fn memory_decisions(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_memory()).count()
+    }
 }
 
 /// In-memory sink: records everything for later export or assertions.

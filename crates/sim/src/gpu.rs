@@ -233,6 +233,14 @@ impl Gpu {
         &self.pool
     }
 
+    /// Cap the device's usable memory below its nominal size — the memory
+    /// governor's model of runtime free-memory shortfall (co-tenants,
+    /// fragmentation, driver reservations). Existing allocations are kept;
+    /// the cap only constrains what can still be reserved.
+    pub fn cap_memory(&mut self, bytes: u64) {
+        self.pool.set_capacity(bytes.min(self.device.mem_capacity));
+    }
+
     /// Reserve device memory; fails with OOM past capacity (emitting
     /// an `"oom"` instant event when an observer is attached).
     pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {

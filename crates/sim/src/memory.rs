@@ -40,8 +40,19 @@ struct PoolState {
     capacity: u64,
     used: u64,
     peak: u64,
+    min_available: u64,
     live_allocs: u64,
     total_allocs: u64,
+    failed_allocs: u64,
+}
+
+impl PoolState {
+    fn note_pressure(&mut self) {
+        self.peak = self.peak.max(self.used);
+        self.min_available = self
+            .min_available
+            .min(self.capacity.saturating_sub(self.used));
+    }
 }
 
 /// A capacity-accounted device memory pool. Cheap to clone (shared handle).
@@ -58,8 +69,10 @@ impl MemoryPool {
                 capacity,
                 used: 0,
                 peak: 0,
+                min_available: capacity,
                 live_allocs: 0,
                 total_allocs: 0,
+                failed_allocs: 0,
             })),
         }
     }
@@ -68,8 +81,9 @@ impl MemoryPool {
     /// consume nothing (matching `cudaMalloc(0)` semantics loosely).
     pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
         let mut s = self.state.lock();
-        let available = s.capacity - s.used;
+        let available = s.capacity.saturating_sub(s.used);
         if bytes > available {
+            s.failed_allocs += 1;
             return Err(OutOfMemory {
                 requested: bytes,
                 available,
@@ -77,7 +91,7 @@ impl MemoryPool {
             });
         }
         s.used += bytes;
-        s.peak = s.peak.max(s.used);
+        s.note_pressure();
         s.live_allocs += 1;
         s.total_allocs += 1;
         Ok(Allocation {
@@ -94,7 +108,7 @@ impl MemoryPool {
     /// Bytes still available.
     pub fn available(&self) -> u64 {
         let s = self.state.lock();
-        s.capacity - s.used
+        s.capacity.saturating_sub(s.used)
     }
 
     /// Total capacity in bytes.
@@ -115,6 +129,29 @@ impl MemoryPool {
     /// Number of allocations ever made.
     pub fn total_allocations(&self) -> u64 {
         self.state.lock().total_allocs
+    }
+
+    /// Number of allocation requests the pool has refused for lack of
+    /// capacity (pressure the memory governor reacts to).
+    pub fn failed_allocations(&self) -> u64 {
+        self.state.lock().failed_allocs
+    }
+
+    /// Low-water mark of free bytes over the pool lifetime: the least
+    /// headroom the device ever had. Starts at `capacity`.
+    pub fn min_headroom(&self) -> u64 {
+        self.state.lock().min_available
+    }
+
+    /// Change the pool's capacity at runtime — the memory governor's model
+    /// of a device with less free memory than its nominal size (other
+    /// tenants, fragmentation, driver reservations). Live allocations are
+    /// untouched; shrinking below `used` simply makes every further
+    /// allocation fail until enough is released.
+    pub fn set_capacity(&self, capacity: u64) {
+        let mut s = self.state.lock();
+        s.capacity = capacity;
+        s.min_available = s.min_available.min(capacity.saturating_sub(s.used));
     }
 }
 
@@ -137,8 +174,9 @@ impl Allocation {
         let mut s = self.pool.lock();
         if new_bytes > self.bytes {
             let extra = new_bytes - self.bytes;
-            let available = s.capacity - s.used;
+            let available = s.capacity.saturating_sub(s.used);
             if extra > available {
+                s.failed_allocs += 1;
                 return Err(OutOfMemory {
                     requested: extra,
                     available,
@@ -146,7 +184,7 @@ impl Allocation {
                 });
             }
             s.used += extra;
-            s.peak = s.peak.max(s.used);
+            s.note_pressure();
         } else {
             s.used -= self.bytes - new_bytes;
         }
@@ -272,6 +310,56 @@ mod tests {
         a.resize(0).unwrap();
         assert!(a.resize(1).is_err());
         assert_eq!(pool.live_allocations(), 2);
+    }
+
+    #[test]
+    fn set_capacity_caps_future_allocations() {
+        let pool = MemoryPool::new(1000);
+        let _a = pool.alloc(300).unwrap();
+        pool.set_capacity(400);
+        assert_eq!(pool.capacity(), 400);
+        assert_eq!(pool.available(), 100);
+        assert!(pool.alloc(200).is_err());
+        let _b = pool.alloc(100).unwrap();
+        assert_eq!(pool.used(), 400);
+    }
+
+    #[test]
+    fn shrinking_below_used_preserves_live_allocations() {
+        let pool = MemoryPool::new(1000);
+        let a = pool.alloc(600).unwrap();
+        pool.set_capacity(100);
+        assert_eq!(pool.used(), 600, "live reservations survive the cap");
+        assert_eq!(pool.available(), 0);
+        assert!(pool.alloc(1).is_err());
+        drop(a);
+        assert_eq!(pool.available(), 100);
+        let _b = pool.alloc(100).unwrap();
+    }
+
+    #[test]
+    fn failed_allocations_count_refusals() {
+        let pool = MemoryPool::new(100);
+        assert_eq!(pool.failed_allocations(), 0);
+        assert!(pool.alloc(200).is_err());
+        assert!(pool.alloc(101).is_err());
+        let _a = pool.alloc(100).unwrap();
+        assert_eq!(pool.failed_allocations(), 2);
+        let mut b = pool.alloc(0).unwrap();
+        assert!(b.resize(1).is_err());
+        assert_eq!(pool.failed_allocations(), 3, "failed grows count too");
+    }
+
+    #[test]
+    fn min_headroom_tracks_low_water_mark() {
+        let pool = MemoryPool::new(100);
+        assert_eq!(pool.min_headroom(), 100);
+        {
+            let _a = pool.alloc(70).unwrap();
+        }
+        assert_eq!(pool.min_headroom(), 30, "low water survives the free");
+        pool.set_capacity(20);
+        assert_eq!(pool.min_headroom(), 20, "capping tightens headroom");
     }
 
     #[test]
