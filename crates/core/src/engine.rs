@@ -1,5 +1,6 @@
-//! The GraphReduce runtime: Partition Engine + Data Movement Engine +
-//! Compute Engine orchestration (Figures 8-12).
+//! The single-GPU GraphReduce frontend: [`GraphReduce`] binds one
+//! [`GasProgram`] to one graph on one platform and runs it through the
+//! layered execution core in [`crate::exec`] (Figures 8-12).
 //!
 //! Execution is Bulk-Synchronous across phases (Section 4.4): every
 //! iteration runs Gather over all shards, then Apply, then
@@ -13,34 +14,21 @@
 //! regardless of the optimization flags — the flags only change what the
 //! virtual device copies and launches, which is exactly the paper's claim
 //! (the optimizations are pure data-movement/scheduling transformations).
+//!
+//! The planning, data-movement, compute-spec, device, and iteration-loop
+//! layers themselves live under [`crate::exec`]; this module holds only
+//! the public API surface.
 
-use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
-use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
-use gr_sim::{
-    cpu_time, Allocation, CpuWork, DeviceFault, Gpu, HostConfig, KernelSpec, OpId, OutOfMemory,
-    Platform, SimDuration, StreamId,
-};
+use gr_graph::GraphLayout;
+use gr_observe::Observer;
+use gr_sim::Platform;
 
-use crate::api::{GasProgram, InitialFrontier};
-use crate::buffers::StagingBuffer;
-use crate::checkpoint::Checkpoint;
-use crate::options::{GatherMode, Options, StreamingMode};
-use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
-use crate::recovery::{EngineError, RecoveryPolicy};
-use crate::sizes::{PartitionPlan, SizeModel};
-use crate::stats::{IterationStats, RunStats};
-
-/// Iteration replays allowed before a persistent fault becomes
-/// [`EngineError::Unrecoverable`] (guards against pathological hand-built
-/// plans that fault the same op forever).
-const REPLAY_CAP: u32 = 64;
-
-/// A device operation that failed past its retry budget (or hit a lost
-/// device), unwinding the current timeline emission for rollback handling.
-struct Abort {
-    op: &'static str,
-    fault: DeviceFault,
-}
+use crate::api::GasProgram;
+use crate::exec::driver::Runner;
+use crate::options::Options;
+use crate::recovery::EngineError;
+use crate::sizes::SizeModel;
+use crate::stats::RunStats;
 
 /// Warm-start state for incremental (dynamic-graph) processing — the
 /// paper's third future-work item. After mutating a graph (e.g. appending
@@ -102,13 +90,7 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
 
     /// The byte model derived from the program's data types and phase set.
     pub fn size_model(&self) -> SizeModel {
-        SizeModel {
-            vertex_value: std::mem::size_of::<P::VertexValue>() as u64,
-            gather: std::mem::size_of::<P::Gather>() as u64,
-            edge_value: std::mem::size_of::<P::EdgeValue>() as u64,
-            has_gather: self.program.has_gather(),
-            has_scatter: self.program.has_scatter(),
-        }
+        SizeModel::for_program(&self.program)
     }
 
     /// Execute to convergence; returns final state and statistics.
@@ -146,1849 +128,12 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
     }
 }
 
-/// One buffer of a shard copy: (bytes, trace label).
-type Buf = (u64, &'static str);
-
-/// A shard's fixed buffer list, precomputed once per run (satellite of the
-/// sparse-kernels PR: the per-iteration `Vec<Buf>` rebuilds were pure
-/// allocator churn). Stack-inline and `Copy` so the emit loops can grab a
-/// shard's set without borrowing the `Runner`.
-#[derive(Clone, Copy, Default)]
-struct BufSet {
-    n: usize,
-    bufs: [Buf; 4],
-}
-
-impl BufSet {
-    fn push(&mut self, b: Buf) {
-        self.bufs[self.n] = b;
-        self.n += 1;
-    }
-
-    fn as_slice(&self) -> &[Buf] {
-        &self.bufs[..self.n]
-    }
-}
-
-/// In-edge sub-arrays of a shard: source ids, static weights, mutable
-/// edge values. `force` includes them even when the program has no gather
-/// (the unoptimized mode's behaviour that phase elimination removes).
-fn in_bufs_for(sizes: &SizeModel, sh: &Shard, force: bool) -> BufSet {
-    let mut set = BufSet::default();
-    if !sizes.has_gather && !force {
-        return set;
-    }
-    let e = sh.num_in_edges();
-    set.push((e * 12, "in.topo"));
-    set.push((e * (sizes.gather + 4), "in.update"));
-    set.push((e * 16, "in.state"));
-    if sizes.edge_value > 0 {
-        set.push((e * sizes.edge_value, "in.value"));
-    }
-    set
-}
-
-/// Out-edge sub-arrays: destination ids always (FrontierActivate needs
-/// the topology regardless — Section 5.3), canonical ids + mutable
-/// values when scattering (or when `force`d by unoptimized mode).
-fn out_bufs_for(sizes: &SizeModel, sh: &Shard, force: bool) -> BufSet {
-    let e = sh.num_out_edges();
-    let mut set = BufSet::default();
-    set.push((e * 12, "out.topo"));
-    set.push((e * 8, "out.state"));
-    if (sizes.has_scatter || force) && sizes.edge_value > 0 {
-        set.push((e * sizes.edge_value, "out.value"));
-    }
-    set
-}
-
-struct Runner<'a, P: GasProgram> {
-    program: &'a P,
-    layout: &'a GraphLayout,
-    opts: &'a Options,
-    sizes: SizeModel,
-    plan: PartitionPlan,
-    gpu: Gpu,
-    main_streams: Vec<StreamId>,
-    spray_streams: Vec<StreamId>,
-    spray_cursor: usize,
-    // Device allocations held for the run (RAII keeps capacity accounted).
-    // `None` only in governor whole-run host mode (nothing device-side).
-    _static_alloc: Option<Allocation>,
-    _shard_allocs: Vec<Allocation>,
-    // Host master state.
-    vertex_values: Vec<P::VertexValue>,
-    edge_values: Vec<P::EdgeValue>,
-    gather_temp: Vec<P::Gather>,
-    frontier: Bitmap,
-    changed: Bitmap,
-    next_frontier: Bitmap,
-    // Residency caching (in-GPU-memory mode).
-    resident: bool,
-    in_cached: Vec<bool>,
-    out_cached: Vec<bool>,
-    // Per-shard CTA imbalance factors (max/mean degree in the interval).
-    skew_in: Vec<f64>,
-    skew_out: Vec<f64>,
-    // Per-shard buffer lists, computed once (the emit loops used to
-    // rebuild these Vecs every shard every iteration).
-    in_buf_sets: Vec<BufSet>,
-    out_buf_sets: Vec<BufSet>,
-    gather_temp_bufs: Vec<Buf>,
-    edge_update_bufs: Vec<Buf>,
-    apply_vertex_bufs: Vec<Buf>,
-    out_dst_bufs: Vec<Buf>,
-    frontier_bits_bufs: Vec<Buf>,
-    // Out-of-host-core: graphs beyond host DRAM stream shards from
-    // storage before they can cross PCIe.
-    storage_read_secs_per_byte: Option<f64>,
-    storage_latency: SimDuration,
-    // Fault recovery: whether a fault plan is armed (gates per-iteration
-    // checkpoints), and the degraded host-CPU mode entered after
-    // permanent device loss.
-    fault_active: bool,
-    host: HostConfig,
-    host_mode: bool,
-    host_time: SimDuration,
-    // Memory governor outcome (all-false/zero when unconstrained): shards
-    // streamed in bounded chunks through the staging slot, shards degraded
-    // to host execution, and the per-slot staging size chunks cut to.
-    chunked: Vec<bool>,
-    host_shards: Vec<bool>,
-    any_host_shards: bool,
-    staging_bytes: u64,
-    // Engine-level metrics (skip counters, frontier occupancy) — the
-    // single source RunStats' skip fields derive from.
-    metrics: MetricsRegistry,
-    observer: Observer,
-    // Kernel launches awaiting their resolved virtual-time window
-    // (emitted as engine-track spans after the stage synchronizes).
-    pending_kernels: Vec<(OpId, &'static str, u32, u32)>,
-    iterations: Vec<IterationStats>,
-}
-
-impl<'a, P: GasProgram> Runner<'a, P> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        program: &'a P,
-        layout: &'a GraphLayout,
-        platform: &Platform,
-        opts: &'a Options,
-        sizes: SizeModel,
-        plan: PartitionPlan,
-        warm: Option<WarmStart<P>>,
-        observer: Observer,
-    ) -> Result<Self, EngineError> {
-        let mut gpu = Gpu::new(platform);
-        gpu.set_observer(observer.clone());
-        let fault_active = !opts.fault_plan.is_none();
-        gpu.set_fault_plan(opts.fault_plan.clone());
-        // Plan optimistically, govern at runtime: the partition plan was
-        // sized for the nominal device; a memory cap shrinks the pool and
-        // the governor degrades the plan until it fits (or errors).
-        if let Some(cap) = opts.mem_cap {
-            gpu.cap_memory(cap);
-        }
-        let mut metrics = MetricsRegistry::new();
-        let mut plan = plan;
-        let governed = govern_plan(
-            &mut plan,
-            &sizes,
-            layout,
-            &gpu,
-            opts,
-            &mut metrics,
-            &observer,
-        )?;
-        let n = layout.num_vertices();
-        let k = plan.concurrent as usize;
-
-        // Streams before allocations: allocation-retry backoff stalls are
-        // charged on a stream, so one must exist first.
-        let main_streams: Vec<StreamId> = (0..k).map(|_| gpu.create_stream()).collect();
-        let spray_streams: Vec<StreamId> = if opts.spray {
-            (0..(opts.spray_width.max(1) as usize * k))
-                .map(|_| gpu.create_stream())
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        // Device allocations: static buffers, then either every shard
-        // (resident mode) or K reusable streaming slots sized to the
-        // governed budget. The governed plan guarantees these fit, but
-        // injected allocation pressure — or a plan invalidated by a
-        // shrunken device — surfaces as an [`EngineError`] instead of a
-        // panic. Whole-run host mode allocates nothing.
-        let s0 = main_streams[0];
-        let resident = !governed.host_run && opts.cache_resident && plan.all_resident;
-        let static_alloc = if governed.host_run {
-            None
-        } else {
-            Some(alloc_retry(
-                &mut gpu,
-                s0,
-                plan.static_bytes,
-                &opts.recovery,
-                &mut metrics,
-                &observer,
-            )?)
-        };
-        let shard_allocs: Vec<Allocation> = if governed.host_run {
-            Vec::new()
-        } else if resident {
-            plan.shards
-                .iter()
-                .map(|s| {
-                    alloc_retry(
-                        &mut gpu,
-                        s0,
-                        sizes.shard_bytes(s),
-                        &opts.recovery,
-                        &mut metrics,
-                        &observer,
-                    )
-                })
-                .collect::<Result<_, _>>()?
-        } else {
-            (0..k)
-                .map(|_| {
-                    alloc_retry(
-                        &mut gpu,
-                        s0,
-                        governed.slot_bytes,
-                        &opts.recovery,
-                        &mut metrics,
-                        &observer,
-                    )
-                })
-                .collect::<Result<_, _>>()?
-        };
-
-        let (vertex_values, frontier) = match warm {
-            Some(w) => {
-                let mut values = w.vertex_values;
-                assert!(
-                    values.len() <= n as usize,
-                    "warm-start values exceed the vertex set"
-                );
-                for v in values.len() as u32..n {
-                    values.push(program.init_vertex(v, layout.csr.degree(v) as u32));
-                }
-                let mut b = Bitmap::new(n);
-                for v in w.frontier {
-                    b.set(v);
-                }
-                (values, b)
-            }
-            None => {
-                let values = (0..n)
-                    .map(|v| program.init_vertex(v, layout.csr.degree(v) as u32))
-                    .collect();
-                let mut frontier = match program.initial_frontier() {
-                    InitialFrontier::All => Bitmap::full(n),
-                    InitialFrontier::Single(v) => {
-                        let mut b = Bitmap::new(n);
-                        b.set(v);
-                        b
-                    }
-                };
-                if n == 0 {
-                    frontier = Bitmap::new(0);
-                }
-                (values, frontier)
-            }
-        };
-        let edge_values = vec![P::EdgeValue::default(); layout.num_edges() as usize];
-        let gather_temp = vec![program.gather_identity(); n as usize];
-
-        // Out-of-host-core: if the full graph footprint exceeds host DRAM,
-        // every shard fetch pays a storage read first (Section 8, future
-        // work (2)).
-        let host_footprint = gr_graph::in_memory_bytes(n as u64, layout.num_edges());
-        let storage_read_secs_per_byte = (host_footprint > platform.host.mem_capacity)
-            .then(|| 1.0 / (platform.storage.bandwidth_gbps * 1e9));
-        let storage_latency = platform.storage.latency;
-
-        let (skew_in, skew_out): (Vec<f64>, Vec<f64>) = plan
-            .shards
-            .iter()
-            .map(|sh| {
-                (
-                    interval_skew(layout, sh, true),
-                    interval_skew(layout, sh, false),
-                )
-            })
-            .unzip();
-
-        // Buffer lists are a pure function of the shard geometry and the
-        // size model: compute them once. `force` mirrors which emit path
-        // this run will take (fused passes force=false, unfused true).
-        let force = !opts.phase_fusion;
-        let in_buf_sets = plan
-            .shards
-            .iter()
-            .map(|sh| in_bufs_for(&sizes, sh, force))
-            .collect();
-        let out_buf_sets = plan
-            .shards
-            .iter()
-            .map(|sh| out_bufs_for(&sizes, sh, force))
-            .collect();
-        let gather_temp_bufs = plan
-            .shards
-            .iter()
-            .map(|sh| (sh.num_vertices() * sizes.gather, "gather.temp"))
-            .collect();
-        let edge_update_bufs = plan
-            .shards
-            .iter()
-            .map(|sh| (sh.num_in_edges() * (sizes.gather + 4), "edge.update"))
-            .collect();
-        let apply_vertex_bufs = plan
-            .shards
-            .iter()
-            .map(|sh| (sh.num_vertices() * sizes.vertex_value, "apply.vertices"))
-            .collect();
-        let out_dst_bufs = plan
-            .shards
-            .iter()
-            .map(|sh| (sh.num_out_edges() * 4, "out.dst"))
-            .collect();
-        let frontier_bits_bufs = plan
-            .shards
-            .iter()
-            .map(|sh| (sh.num_vertices().div_ceil(8), "frontier.bits"))
-            .collect();
-
-        let num_shards = plan.shards.len();
-        Ok(Runner {
-            program,
-            layout,
-            opts,
-            sizes,
-            plan,
-            gpu,
-            main_streams,
-            spray_streams,
-            spray_cursor: 0,
-            _static_alloc: static_alloc,
-            _shard_allocs: shard_allocs,
-            vertex_values,
-            edge_values,
-            gather_temp,
-            frontier,
-            changed: Bitmap::new(n),
-            next_frontier: Bitmap::new(n),
-            resident,
-            in_cached: vec![false; num_shards],
-            out_cached: vec![false; num_shards],
-            storage_read_secs_per_byte,
-            storage_latency,
-            fault_active,
-            host: platform.host.clone(),
-            host_mode: governed.host_run,
-            host_time: SimDuration::ZERO,
-            any_host_shards: governed.host_shards.iter().any(|&h| h),
-            chunked: governed.chunked,
-            host_shards: governed.host_shards,
-            staging_bytes: governed.slot_bytes.max(1),
-            skew_in,
-            skew_out,
-            in_buf_sets,
-            out_buf_sets,
-            gather_temp_bufs,
-            edge_update_bufs,
-            apply_vertex_bufs,
-            out_dst_bufs,
-            frontier_bits_bufs,
-            metrics,
-            observer,
-            pending_kernels: Vec::new(),
-            iterations: Vec::new(),
-        })
-    }
-
-    /// Record the run's static optimization decisions (made once, from
-    /// the program shape and options, not per iteration).
-    fn emit_plan_decisions(&self) {
-        if self.opts.phase_fusion {
-            self.observer.decision(|| Decision::PhaseFusion {
-                phases: "gatherMap+gatherReduce | scatter+frontierActivate",
-                rationale: "intermediates (edge updates, gather temps) stay device-resident; \
-                            scatter and activate share one out-edge copy",
-            });
-        }
-        if !self.program.has_gather() {
-            self.observer.decision(|| Decision::PhaseElimination {
-                phase: "gather",
-                rationale: "program defines no gather: in-edge sub-arrays never cross PCIe",
-            });
-        }
-        if !self.program.has_scatter() {
-            self.observer.decision(|| Decision::PhaseElimination {
-                phase: "scatter",
-                rationale: "program defines no scatter: out-edge values never move",
-            });
-        }
-    }
-
-    /// Launch a kernel (through the fault-retry path) and remember its op
-    /// so the resolved window can be emitted as an engine-track span after
-    /// the stage barrier.
-    fn launch_tracked(
-        &mut self,
-        stream: StreamId,
-        spec: &KernelSpec,
-        iter: u32,
-        shard: usize,
-    ) -> Result<(), Abort> {
-        let op = self.retry_loop(stream, spec.label, iter, |g| g.try_launch(stream, spec))?;
-        if self.observer.is_enabled() {
-            self.pending_kernels
-                .push((op, spec.label, iter, shard as u32));
-        }
-        Ok(())
-    }
-
-    /// Run one device op through the recovery policy: each transient fault
-    /// retries after an exponential-backoff stall (charged to `stream` as
-    /// simulated time, logged as [`Decision::FaultRetry`]); exhausted
-    /// retries and device loss unwind as [`Abort`] for rollback handling.
-    /// With no fault plan armed the closure succeeds on the first call and
-    /// this is exactly one extra branch.
-    fn retry_loop<F>(
-        &mut self,
-        stream: StreamId,
-        label: &'static str,
-        iter: u32,
-        mut op: F,
-    ) -> Result<OpId, Abort>
-    where
-        F: FnMut(&mut Gpu) -> Result<OpId, DeviceFault>,
-    {
-        let mut attempt = 0u32;
-        loop {
-            match op(&mut self.gpu) {
-                Ok(id) => return Ok(id),
-                Err(DeviceFault::Lost) => {
-                    return Err(Abort {
-                        op: label,
-                        fault: DeviceFault::Lost,
-                    })
-                }
-                Err(fault) => {
-                    attempt += 1;
-                    if attempt > self.opts.recovery.max_retries {
-                        return Err(Abort { op: label, fault });
-                    }
-                    let backoff = self.opts.recovery.backoff(attempt);
-                    self.gpu.stall(stream, backoff, "recovery.backoff");
-                    self.metrics.inc("engine.fault_retries", 1);
-                    let backoff_ns = backoff.as_nanos();
-                    self.observer.decision(|| Decision::FaultRetry {
-                        iteration: iter,
-                        device: 0,
-                        op: label,
-                        fault: fault.name(),
-                        attempt,
-                        backoff_ns,
-                    });
-                }
-            }
-        }
-    }
-
-    /// Device barrier + emission of every pending kernel's span with
-    /// its real virtual-time window (known only after the flush).
-    fn sync_and_resolve(&mut self) {
-        self.gpu.synchronize();
-        for (op, label, iter, shard) in std::mem::take(&mut self.pending_kernels) {
-            if let Some((start, finish)) = self.gpu.op_window(op) {
-                self.observer.span(|| SpanEvent {
-                    track: "engine",
-                    lane: format!("shard {shard}"),
-                    name: label.to_string(),
-                    start_ns: start,
-                    dur_ns: finish - start,
-                    fields: vec![("iteration", iter.into()), ("shard", shard.into())],
-                });
-            }
-        }
-    }
-
-    /// Current virtual time: device clock plus any degraded-mode host time.
-    fn now_ns(&self) -> u64 {
-        self.gpu.elapsed().as_nanos() + self.host_time.as_nanos()
-    }
-
-    fn run(mut self) -> Result<RunResult<P>, EngineError> {
-        self.emit_plan_decisions();
-        self.emit_init()?;
-        let max_iter = self.program.max_iterations();
-        let mut iter = 0u32;
-        while iter < max_iter && self.frontier.count() > 0 {
-            let iter_start_ns = self.now_ns();
-            self.run_iteration(iter)?;
-            let iter_end_ns = self.now_ns();
-            let st = self.iterations.last().expect("pushed by compute_iteration");
-            self.observer.span(|| SpanEvent {
-                track: "engine",
-                lane: "iterations".into(),
-                name: format!("iteration {iter}"),
-                start_ns: iter_start_ns,
-                dur_ns: iter_end_ns - iter_start_ns,
-                fields: vec![
-                    ("iteration", iter.into()),
-                    ("frontier_size", st.frontier_size.into()),
-                    ("changed", st.changed.into()),
-                    ("shards_processed", st.shards_processed.into()),
-                    ("shards_skipped", st.shards_skipped.into()),
-                ],
-            });
-            let gpu_metrics = self.gpu.metrics();
-            self.observer
-                .snapshot(&format!("iteration {iter}"), || gpu_metrics.snapshot());
-            iter += 1;
-        }
-        self.emit_finalize()?;
-        let gpu_metrics = self.gpu.metrics();
-        self.observer.snapshot("run", || gpu_metrics.snapshot());
-        let engine_metrics = &self.metrics;
-        self.observer
-            .snapshot("engine", || engine_metrics.snapshot());
-        // Every transfer/time/skip field below reads the device and
-        // engine metric registries — RunStats holds no counters of its
-        // own.
-        let gstats = self.gpu.stats();
-        let stats = RunStats {
-            algorithm: self.program.name(),
-            iterations: iter,
-            elapsed: gstats.elapsed + self.host_time,
-            memcpy_time: gstats.memcpy_busy,
-            kernel_time: gstats.kernel_busy,
-            bytes_h2d: gstats.bytes_h2d,
-            bytes_d2h: gstats.bytes_d2h,
-            copy_ops: gstats.copy_ops,
-            kernel_launches: gstats.kernel_launches,
-            skipped_shard_copies: self.metrics.counter("engine.skipped_shard_copies"),
-            skipped_kernel_launches: self.metrics.counter("engine.skipped_kernel_launches"),
-            num_shards: self.plan.shards.len(),
-            concurrent_shards: self.plan.concurrent,
-            all_resident: self.resident,
-            faults_injected: self.gpu.faults_injected(),
-            recovered_retries: self.metrics.counter("engine.fault_retries"),
-            rollbacks: self.metrics.counter("engine.rollbacks"),
-            checkpoints: self.metrics.counter("engine.checkpoints"),
-            host_fallback: self.host_mode,
-            mem_pressure_events: self.metrics.counter("engine.mem_pressure"),
-            shard_splits: self.metrics.counter("engine.shard_splits"),
-            chunked_shards: self.metrics.counter("engine.chunked_shards"),
-            chunked_copies: self.metrics.counter("engine.chunked_copies"),
-            host_shards: self.metrics.counter("engine.host_shards"),
-            mem_peak: self.gpu.memory().peak(),
-            mem_min_headroom: self.gpu.memory().min_headroom(),
-            per_iteration: self.iterations,
-        };
-        Ok(RunResult {
-            vertex_values: self.vertex_values,
-            edge_values: self.edge_values,
-            stats,
-        })
-    }
-
-    // ---------------- host-side computation (exact, BSP) ----------------
-
-    fn compute_iteration(&mut self, iter: u32) -> Vec<ShardWork> {
-        let frontier_size = self.frontier.count();
-        self.changed.clear_all();
-        self.next_frontier.clear_all();
-        let num_shards = self.plan.shards.len();
-        let mut work = vec![ShardWork::default(); num_shards];
-        let mode = self.opts.host_kernels;
-        // Shards are independent within a BSP stage: with host threads
-        // available, gather/apply/activate fan out one task per shard
-        // (the intra-shard kernels may split further). All merge steps
-        // run in shard order, so results are bit-identical to serial.
-        let across_shards = rayon::current_num_threads() > 1 && num_shards > 1;
-
-        // Gather (all shards, before any apply — BSP).
-        if self.program.has_gather() {
-            if across_shards {
-                let program = self.program;
-                let layout = self.layout;
-                let vertex_values = &self.vertex_values;
-                let edge_values = &self.edge_values;
-                let frontier = &self.frontier;
-                let shards = &self.plan.shards;
-                // Carve gather_temp into per-shard slices (intervals are
-                // contiguous, ordered, disjoint).
-                let mut slices: Vec<&mut [P::Gather]> = Vec::with_capacity(num_shards);
-                let mut rest: &mut [P::Gather] = &mut self.gather_temp;
-                let mut offset = 0usize;
-                for sh in shards.iter() {
-                    let lo = sh.interval.start as usize;
-                    let hi = sh.interval.end as usize;
-                    let (_, tail) = rest.split_at_mut(lo - offset);
-                    let (mine, tail) = tail.split_at_mut(hi - lo);
-                    slices.push(mine);
-                    rest = tail;
-                    offset = hi;
-                }
-                rayon::scope(|s| {
-                    for ((sh, slice), w) in shards.iter().zip(slices).zip(work.iter_mut()) {
-                        s.spawn(move |_| {
-                            let (a, e) = gather_shard(
-                                program,
-                                layout,
-                                sh,
-                                vertex_values,
-                                edge_values,
-                                &layout.weights,
-                                frontier,
-                                slice,
-                                mode,
-                            );
-                            w.active_vertices = a;
-                            w.active_in_edges = e;
-                        });
-                    }
-                });
-            } else {
-                for (i, sh) in self.plan.shards.iter().enumerate() {
-                    let lo = sh.interval.start as usize;
-                    let hi = sh.interval.end as usize;
-                    let (a, e) = gather_shard(
-                        self.program,
-                        self.layout,
-                        sh,
-                        &self.vertex_values,
-                        &self.edge_values,
-                        &self.layout.weights,
-                        &self.frontier,
-                        &mut self.gather_temp[lo..hi],
-                        mode,
-                    );
-                    work[i].active_vertices = a;
-                    work[i].active_in_edges = e;
-                }
-            }
-        } else {
-            for (i, sh) in self.plan.shards.iter().enumerate() {
-                work[i].active_vertices = self
-                    .frontier
-                    .count_range(sh.interval.start, sh.interval.end);
-            }
-        }
-
-        // Apply.
-        if across_shards {
-            let program = self.program;
-            let gather_temp = &self.gather_temp;
-            let frontier = &self.frontier;
-            let shards = &self.plan.shards;
-            let mut slices: Vec<&mut [P::VertexValue]> = Vec::with_capacity(num_shards);
-            let mut rest: &mut [P::VertexValue] = &mut self.vertex_values;
-            let mut offset = 0usize;
-            for sh in shards.iter() {
-                let lo = sh.interval.start as usize;
-                let hi = sh.interval.end as usize;
-                let (_, tail) = rest.split_at_mut(lo - offset);
-                let (mine, tail) = tail.split_at_mut(hi - lo);
-                slices.push(mine);
-                rest = tail;
-                offset = hi;
-            }
-            let mut ids: Vec<Vec<u32>> = (0..num_shards).map(|_| Vec::new()).collect();
-            rayon::scope(|s| {
-                for ((sh, slice), out) in shards.iter().zip(slices).zip(ids.iter_mut()) {
-                    s.spawn(move |_| {
-                        let lo = sh.interval.start as usize;
-                        let hi = sh.interval.end as usize;
-                        *out = apply_shard(
-                            program,
-                            sh,
-                            slice,
-                            &gather_temp[lo..hi],
-                            frontier,
-                            iter,
-                            mode,
-                        );
-                    });
-                }
-            });
-            for (i, changed_ids) in ids.into_iter().enumerate() {
-                work[i].changed_vertices = changed_ids.len() as u64;
-                for v in changed_ids {
-                    self.changed.set(v);
-                }
-            }
-        } else {
-            for (i, sh) in self.plan.shards.iter().enumerate() {
-                let lo = sh.interval.start as usize;
-                let hi = sh.interval.end as usize;
-                let changed_ids = apply_shard(
-                    self.program,
-                    sh,
-                    &mut self.vertex_values[lo..hi],
-                    &self.gather_temp[lo..hi],
-                    &self.frontier,
-                    iter,
-                    mode,
-                );
-                work[i].changed_vertices = changed_ids.len() as u64;
-                for v in changed_ids {
-                    self.changed.set(v);
-                }
-            }
-        }
-
-        // Scatter (only when defined). Serial across shards — the
-        // canonical edge ids of different shards interleave in
-        // `edge_values`, so there is no slice split; each shard's dense
-        // path parallelizes internally instead.
-        if self.program.has_scatter() {
-            for sh in &self.plan.shards {
-                scatter_shard(
-                    self.program,
-                    self.layout,
-                    sh,
-                    &self.vertex_values,
-                    &mut self.edge_values,
-                    &self.changed,
-                    mode,
-                );
-            }
-        }
-
-        // FrontierActivate (always; framework-generated). Across shards,
-        // each task marks a private bitmap; merging in shard order keeps
-        // the activation count identical to the serial pass.
-        let mut activated_total = 0;
-        if across_shards {
-            let layout = self.layout;
-            let changed = &self.changed;
-            let shards = &self.plan.shards;
-            let n = self.next_frontier.len();
-            let mut locals: Vec<(u64, Bitmap)> =
-                (0..num_shards).map(|_| (0, Bitmap::new(n))).collect();
-            rayon::scope(|s| {
-                for (sh, slot) in shards.iter().zip(locals.iter_mut()) {
-                    s.spawn(move |_| {
-                        let (walked, _) = activate_shard(layout, sh, changed, &mut slot.1, mode);
-                        slot.0 = walked;
-                    });
-                }
-            });
-            for (i, (walked, local)) in locals.iter().enumerate() {
-                work[i].out_edges_of_changed = *walked;
-                let before = self.next_frontier.count();
-                self.next_frontier.or_assign(local);
-                activated_total += self.next_frontier.count() - before;
-            }
-        } else {
-            for (i, sh) in self.plan.shards.iter().enumerate() {
-                let (walked, activated) = activate_shard(
-                    self.layout,
-                    sh,
-                    &self.changed,
-                    &mut self.next_frontier,
-                    mode,
-                );
-                work[i].out_edges_of_changed = walked;
-                activated_total += activated;
-            }
-        }
-
-        let processed = if self.opts.frontier_management {
-            // Log one skip decision per inactive shard: the engine
-            // inspected the shard's slice of the frontier bitmap and
-            // found no active vertex, so the whole shard is elided
-            // this iteration. One decision == one shard counted in
-            // `shards_skipped`.
-            for (i, sh) in self.plan.shards.iter().enumerate() {
-                if !work[i].is_active() {
-                    let active = work[i].active_vertices;
-                    self.observer.decision(|| Decision::ShardSkip {
-                        iteration: iter,
-                        shard: i as u32,
-                        interval_bits: sh.interval.len() as u64,
-                        active_bits: active,
-                    });
-                }
-            }
-            work.iter().filter(|w| w.is_active()).count() as u32
-        } else {
-            num_shards as u32
-        };
-        self.metrics.observe("engine.frontier_size", frontier_size);
-        self.metrics
-            .observe("engine.active_shards", processed as u64);
-        self.iterations.push(IterationStats {
-            frontier_size,
-            gathered_edges: work.iter().map(|w| w.active_in_edges).sum(),
-            changed: self.changed.count(),
-            activated: activated_total,
-            shards_processed: processed,
-            shards_skipped: num_shards as u32 - processed,
-        });
-        work
-    }
-
-    fn finish_iteration(&mut self, _work: &[ShardWork]) {
-        std::mem::swap(&mut self.frontier, &mut self.next_frontier);
-    }
-
-    // ---------------- checkpoint / rollback / degraded mode ----------------
-
-    /// One BSP iteration with fault recovery: checkpoint (only when a
-    /// fault plan is armed), compute exact results on the host, emit the
-    /// device timeline, and on a persistent fault restore the checkpoint
-    /// and replay. The fault plan's monotone per-op counters guarantee a
-    /// finite plan eventually stops faulting the replayed ops.
-    fn run_iteration(&mut self, iter: u32) -> Result<(), EngineError> {
-        if self.host_mode {
-            return self.host_iteration(iter);
-        }
-        let ckpt = self.fault_active.then(|| self.take_checkpoint());
-        let mut replays = 0u32;
-        loop {
-            let work = self.compute_iteration(iter);
-            let emitted = if self.opts.phase_fusion {
-                self.emit_fused(iter, &work)
-            } else {
-                self.emit_unfused(iter, &work)
-            };
-            match emitted {
-                Ok(()) => {
-                    self.charge_host_shards(&work);
-                    self.finish_iteration(&work);
-                    return Ok(());
-                }
-                Err(a) => {
-                    replays += 1;
-                    self.handle_abort(a, iter, replays)?;
-                    let c = ckpt
-                        .as_ref()
-                        .expect("device faults require an armed fault plan");
-                    self.restore(c);
-                    if self.host_mode {
-                        return self.host_iteration(iter);
-                    }
-                }
-            }
-        }
-    }
-
-    fn take_checkpoint(&mut self) -> Checkpoint<P> {
-        self.metrics.inc("engine.checkpoints", 1);
-        Checkpoint {
-            vertex_values: self.vertex_values.clone(),
-            edge_values: self.edge_values.clone(),
-            gather_temp: self.gather_temp.clone(),
-            frontier: self.frontier.clone(),
-            changed: self.changed.clone(),
-            next_frontier: self.next_frontier.clone(),
-            iterations_len: self.iterations.len(),
-        }
-    }
-
-    fn restore(&mut self, c: &Checkpoint<P>) {
-        self.vertex_values.clone_from(&c.vertex_values);
-        self.edge_values.clone_from(&c.edge_values);
-        self.gather_temp.clone_from(&c.gather_temp);
-        self.frontier = c.frontier.clone();
-        self.changed = c.changed.clone();
-        self.next_frontier = c.next_frontier.clone();
-        self.iterations.truncate(c.iterations_len);
-        // The faulted attempt may have moved only part of a shard: drop
-        // all residency claims so the replay re-copies what it touches.
-        self.in_cached.fill(false);
-        self.out_cached.fill(false);
-    }
-
-    /// Central abort handling: device loss switches to host fallback (or
-    /// fails the run when the policy forbids it); a persistent transient
-    /// fault logs a [`Decision::Rollback`] so the caller replays from its
-    /// checkpoint, bounded by [`REPLAY_CAP`].
-    fn handle_abort(&mut self, a: Abort, iter: u32, replays: u32) -> Result<(), EngineError> {
-        // Settle whatever the device finished before the fault; the time
-        // the doomed attempt consumed stays on the clock — that work (and
-        // its replay) is exactly what the counters record.
-        self.sync_and_resolve();
-        match a.fault {
-            DeviceFault::Lost => {
-                if !self.opts.recovery.host_fallback {
-                    return Err(EngineError::DeviceLost);
-                }
-                self.metrics.inc("engine.host_fallback", 1);
-                self.observer.decision(|| Decision::HostFallback {
-                    iteration: iter,
-                    device: 0,
-                    rationale: "device lost: resuming on host CPU from last checkpoint",
-                });
-                self.host_mode = true;
-                Ok(())
-            }
-            fault => {
-                if replays > REPLAY_CAP {
-                    return Err(EngineError::Unrecoverable { op: a.op });
-                }
-                self.metrics.inc("engine.rollbacks", 1);
-                let name = fault.name();
-                self.observer.decision(|| Decision::Rollback {
-                    iteration: iter,
-                    device: 0,
-                    op: a.op,
-                    fault: name,
-                });
-                Ok(())
-            }
-        }
-    }
-
-    /// Governor-degraded shards: their slice of the iteration's work is
-    /// charged on the host CPU with the same roofline model as full host
-    /// fallback, once per *successful* iteration (replays re-charge the
-    /// device work they redo, not the host's). Results are unaffected —
-    /// the host computes every shard's results regardless.
-    fn charge_host_shards(&mut self, work: &[ShardWork]) {
-        if !self.any_host_shards {
-            return;
-        }
-        let mut edges = 0u64;
-        let mut vertices = 0u64;
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                edges += w.active_in_edges + w.out_edges_of_changed;
-                vertices += w.active_vertices + w.changed_vertices;
-            }
-        }
-        if vertices + edges == 0 {
-            return;
-        }
-        let cw = CpuWork::new(
-            "host.shard",
-            vertices + edges,
-            8.0,
-            edges * 16 + vertices * (self.sizes.vertex_value + self.sizes.gather),
-            edges,
-        );
-        self.host_time += self.host.pass_overhead + cpu_time(&self.host, self.host.cores, &cw);
-    }
-
-    /// Degraded mode after device loss: the iteration both computes *and
-    /// is charged* on the host CPU, with the same roofline model the CPU
-    /// baseline engines use. Results stay bit-identical — the host was
-    /// computing them all along.
-    fn host_iteration(&mut self, iter: u32) -> Result<(), EngineError> {
-        let work = self.compute_iteration(iter);
-        let edges: u64 = work
-            .iter()
-            .map(|w| w.active_in_edges + w.out_edges_of_changed)
-            .sum();
-        let vertices: u64 = work
-            .iter()
-            .map(|w| w.active_vertices + w.changed_vertices)
-            .sum();
-        let cw = CpuWork::new(
-            "host.fallback",
-            vertices + edges,
-            8.0,
-            edges * 16 + vertices * (self.sizes.vertex_value + self.sizes.gather),
-            edges,
-        );
-        self.host_time += self.host.pass_overhead + cpu_time(&self.host, self.host.cores, &cw);
-        self.finish_iteration(&work);
-        Ok(())
-    }
-
-    // ---------------- device timeline emission ----------------
-
-    fn emit_init(&mut self) -> Result<(), EngineError> {
-        // Governor whole-run host mode: nothing lives on the device, so
-        // there is nothing to initialize (mirrors emit_finalize).
-        if self.host_mode {
-            return Ok(());
-        }
-        let mut replays = 0u32;
-        loop {
-            match self.try_emit_init() {
-                Ok(()) => return Ok(()),
-                Err(a) => {
-                    // Nothing to roll back before iteration 0: the initial
-                    // host state *is* the checkpoint.
-                    replays += 1;
-                    self.handle_abort(a, 0, replays)?;
-                    if self.host_mode {
-                        return Ok(());
-                    }
-                }
-            }
-        }
-    }
-
-    fn try_emit_init(&mut self) -> Result<(), Abort> {
-        let s = self.main_streams[0];
-        let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
-        self.retry_loop(s, "init.vertices", 0, |g| {
-            g.try_h2d(s, vbytes, "init.vertices")
-        })?;
-        // Gather-temp and frontier bitmaps are initialized on-device.
-        let spec = KernelSpec::balanced(
-            "init.memset",
-            self.layout.num_vertices() as u64,
-            1.0,
-            self.plan.static_bytes,
-            0,
-        );
-        self.retry_loop(s, "init.memset", 0, |g| g.try_launch(s, &spec))?;
-        self.gpu.synchronize();
-        Ok(())
-    }
-
-    fn emit_finalize(&mut self) -> Result<(), EngineError> {
-        // After host fallback the results are host-resident already (and
-        // the device is gone): nothing to download.
-        if self.host_mode {
-            return Ok(());
-        }
-        let iter = self.iterations.len() as u32;
-        let mut replays = 0u32;
-        loop {
-            match self.try_emit_finalize(iter) {
-                Ok(()) => return Ok(()),
-                Err(a) => {
-                    replays += 1;
-                    self.handle_abort(a, iter, replays)?;
-                    if self.host_mode {
-                        return Ok(());
-                    }
-                }
-            }
-        }
-    }
-
-    fn try_emit_finalize(&mut self, iter: u32) -> Result<(), Abort> {
-        let s = self.main_streams[0];
-        let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
-        self.retry_loop(s, "final.vertices", iter, |g| {
-            g.try_d2h(s, vbytes, "final.vertices")
-        })?;
-        if self.program.has_scatter() {
-            let ebytes = self.layout.num_edges() * self.sizes.edge_value;
-            self.retry_loop(s, "final.edges", iter, |g| {
-                g.try_d2h(s, ebytes, "final.edges")
-            })?;
-        }
-        self.gpu.synchronize();
-        Ok(())
-    }
-
-    /// Copy a shard's buffers host→device on (or sprayed around) `stream`,
-    /// each copy routed through the fault-retry path. When the graph
-    /// exceeds host memory, the shard is first read from storage into the
-    /// host's streaming window. Governor-chunked shards stream each
-    /// sub-array in bounded pieces through the reusable staging slot
-    /// instead of landing whole (and never spray — the slot is the
-    /// contention point).
-    fn copy_in(
-        &mut self,
-        shard: usize,
-        stream: StreamId,
-        bufs: &[Buf],
-        iter: u32,
-    ) -> Result<(), Abort> {
-        if bufs.is_empty() {
-            return Ok(());
-        }
-        if let Some(per_byte) = self.storage_read_secs_per_byte {
-            let bytes: u64 = bufs.iter().map(|b| b.0).sum();
-            let dur =
-                self.storage_latency + gr_sim::SimDuration::from_secs_f64(bytes as f64 * per_byte);
-            self.gpu.stall(stream, dur, "ssd.read");
-        }
-        if self.chunked[shard] {
-            for &(bytes, label) in bufs {
-                let mut left = bytes;
-                while left > 0 {
-                    let b = self.staging_bytes.min(left);
-                    left -= b;
-                    self.retry_loop(stream, label, iter, |g| g.try_h2d(stream, b, label))?;
-                    self.metrics.inc("engine.chunked_copies", 1);
-                }
-            }
-            return Ok(());
-        }
-        if self.opts.streaming_mode == StreamingMode::ZeroCopySequential {
-            // Zero-copy: the consuming kernels stream the buffers over
-            // PCIe directly; the link is occupied for the access volume
-            // but no staging DMA or per-copy latency is paid. GR's sorted
-            // shard layout makes every streamed buffer sequential, so the
-            // pinned-sequential rate applies (Figure 4's best case).
-            for &(bytes, label) in bufs {
-                if bytes > 0 {
-                    self.retry_loop(stream, label, iter, |g| {
-                        g.try_h2d_zero_copy(stream, bytes, label)
-                    })?;
-                }
-            }
-            return Ok(());
-        }
-        if self.opts.spray && !self.spray_streams.is_empty() {
-            // Spray: split every sub-array over dynamically cycled streams;
-            // the consuming stream waits on each piece's event.
-            let chunks = (self.opts.spray_width.max(1) as usize / bufs.len()).max(1);
-            for &(bytes, label) in bufs {
-                if bytes == 0 {
-                    continue;
-                }
-                let per = bytes.div_ceil(chunks as u64);
-                let mut left = bytes;
-                while left > 0 {
-                    let b = per.min(left);
-                    left -= b;
-                    let ss = self.spray_streams[self.spray_cursor % self.spray_streams.len()];
-                    self.spray_cursor += 1;
-                    self.retry_loop(ss, label, iter, |g| g.try_h2d(ss, b, label))?;
-                    let ev = self.gpu.record_event(ss);
-                    self.gpu.wait_event(stream, ev);
-                }
-            }
-        } else {
-            for &(bytes, label) in bufs {
-                if bytes > 0 {
-                    self.retry_loop(stream, label, iter, |g| g.try_h2d(stream, bytes, label))?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Copy a shard's buffers device→host after the work on `stream`,
-    /// chunked through the staging slot for governor-chunked shards.
-    fn copy_out(
-        &mut self,
-        shard: usize,
-        stream: StreamId,
-        bufs: &[Buf],
-        iter: u32,
-    ) -> Result<(), Abort> {
-        if self.chunked[shard] {
-            for &(bytes, label) in bufs {
-                let mut left = bytes;
-                while left > 0 {
-                    let b = self.staging_bytes.min(left);
-                    left -= b;
-                    self.retry_loop(stream, label, iter, |g| g.try_d2h(stream, b, label))?;
-                    self.metrics.inc("engine.chunked_copies", 1);
-                }
-            }
-            return Ok(());
-        }
-        for &(bytes, label) in bufs {
-            if bytes > 0 {
-                self.retry_loop(stream, label, iter, |g| g.try_d2h(stream, bytes, label))?;
-            }
-        }
-        Ok(())
-    }
-
-    /// The (map, optional reduce) kernel pair of the gather phase. A fixed
-    /// pair instead of a `Vec` — this runs per shard per iteration and
-    /// used to allocate every time.
-    fn gather_specs(&self, i: usize, w: &ShardWork) -> (KernelSpec, Option<KernelSpec>) {
-        let ie = self.sizes.in_edge_bytes();
-        let g = self.sizes.gather;
-        let cta = self.opts.cta_load_balance;
-        match self.opts.gather_mode {
-            GatherMode::Hybrid => (
-                KernelSpec::balanced(
-                    "gatherMap",
-                    w.active_in_edges,
-                    2.0,
-                    w.active_in_edges * (ie + g),
-                    w.active_in_edges,
-                ),
-                Some(
-                    KernelSpec::balanced(
-                        "gatherReduce",
-                        w.active_vertices,
-                        1.0,
-                        w.active_in_edges * g + w.active_vertices * g,
-                        0,
-                    )
-                    .with_imbalance(if cta { 1.0 } else { self.skew_in[i] }),
-                ),
-            ),
-            GatherMode::VertexCentric => {
-                let avg = if w.active_vertices > 0 {
-                    w.active_in_edges as f64 / w.active_vertices as f64
-                } else {
-                    0.0
-                };
-                (
-                    KernelSpec::balanced(
-                        "gatherVertexCentric",
-                        w.active_vertices,
-                        2.0 * avg.max(1.0),
-                        w.active_in_edges * (ie + g),
-                        w.active_in_edges,
-                    )
-                    .with_imbalance(self.skew_in[i]),
-                    None,
-                )
-            }
-            GatherMode::EdgeCentricAtomic => (
-                KernelSpec::balanced(
-                    "gatherEdgeAtomic",
-                    w.active_in_edges,
-                    2.0,
-                    w.active_in_edges * ie,
-                    2 * w.active_in_edges,
-                ),
-                None,
-            ),
-        }
-    }
-
-    fn apply_spec(&self, w: &ShardWork) -> KernelSpec {
-        KernelSpec::balanced(
-            "apply",
-            w.active_vertices,
-            4.0,
-            w.active_vertices * (self.sizes.vertex_value + self.sizes.gather),
-            0,
-        )
-    }
-
-    fn scatter_spec(&self, i: usize, w: &ShardWork) -> KernelSpec {
-        KernelSpec::balanced(
-            "scatter",
-            w.out_edges_of_changed,
-            1.0,
-            w.out_edges_of_changed * (8 + self.sizes.edge_value),
-            w.changed_vertices,
-        )
-        .with_imbalance(if self.opts.cta_load_balance {
-            1.0
-        } else {
-            self.skew_out[i]
-        })
-    }
-
-    fn activate_spec(&self, i: usize, w: &ShardWork) -> KernelSpec {
-        KernelSpec::balanced(
-            "frontierActivate",
-            w.out_edges_of_changed,
-            1.0,
-            w.out_edges_of_changed * 4,
-            w.out_edges_of_changed,
-        )
-        .with_imbalance(if self.opts.cta_load_balance {
-            1.0
-        } else {
-            self.skew_out[i]
-        })
-    }
-
-    fn stream_for(&self, i: usize) -> StreamId {
-        if self.opts.async_streams {
-            self.main_streams[i % self.main_streams.len()]
-        } else {
-            self.main_streams[0]
-        }
-    }
-
-    /// Optimized pipeline: fusion + elimination collapse each iteration
-    /// into (at most) a gather stage, an apply stage, and a
-    /// scatter+activate stage, each copying a shard's data once.
-    fn emit_fused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
-        // Stage A: gather (eliminated entirely for gather-less programs —
-        // no in-edge movement, no kernels).
-        if self.program.has_gather() {
-            for (i, w) in work.iter().enumerate() {
-                if self.host_shards[i] {
-                    continue; // computed (and charged) on the host CPU
-                }
-                if self.opts.frontier_management && !w.is_active() {
-                    if !self.in_cached[i] {
-                        self.metrics.inc("engine.skipped_shard_copies", 1);
-                    }
-                    self.metrics.inc("engine.skipped_kernel_launches", 2);
-                    continue;
-                }
-                let stream = self.stream_for(i);
-                if !self.in_cached[i] {
-                    let bufs = self.in_buf_sets[i];
-                    self.copy_in(i, stream, bufs.as_slice(), iter)?;
-                    if self.resident {
-                        self.in_cached[i] = true;
-                    }
-                }
-                let (map, reduce) = self.gather_specs(i, w);
-                self.launch_tracked(stream, &map, iter, i)?;
-                if let Some(spec) = reduce {
-                    self.launch_tracked(stream, &spec, iter, i)?;
-                }
-            }
-            self.sync_and_resolve();
-        }
-
-        // Stage B: apply (fused with gather's residency: temps never move).
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if self.opts.frontier_management && !w.is_active() {
-                self.metrics.inc("engine.skipped_kernel_launches", 1);
-                continue;
-            }
-            let stream = self.stream_for(i);
-            let spec = self.apply_spec(w);
-            self.launch_tracked(stream, &spec, iter, i)?;
-        }
-        self.sync_and_resolve();
-
-        // Stage C: scatter + FrontierActivate share one out-edge copy.
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if self.opts.frontier_management && w.out_edges_of_changed == 0 {
-                if !self.out_cached[i] {
-                    self.metrics.inc("engine.skipped_shard_copies", 1);
-                }
-                self.metrics.inc(
-                    "engine.skipped_kernel_launches",
-                    if self.program.has_scatter() { 2 } else { 1 },
-                );
-                continue;
-            }
-            let stream = self.stream_for(i);
-            if !self.out_cached[i] {
-                let bufs = self.out_buf_sets[i];
-                self.copy_in(i, stream, bufs.as_slice(), iter)?;
-                if self.resident {
-                    self.out_cached[i] = true;
-                }
-            }
-            if self.program.has_scatter() {
-                let spec = self.scatter_spec(i, w);
-                self.launch_tracked(stream, &spec, iter, i)?;
-            }
-            let spec = self.activate_spec(i, w);
-            self.launch_tracked(stream, &spec, iter, i)?;
-            // Copy-outs: mutated edge values (unless resident — they are
-            // fetched once at finalize) and the tiny frontier bitmap.
-            let bits = self.frontier_bits_bufs[i];
-            if self.program.has_scatter() && !self.resident {
-                let vals = (
-                    w.out_edges_of_changed * self.sizes.edge_value,
-                    "out.value.d2h",
-                );
-                self.copy_out(i, stream, &[vals, bits], iter)?;
-            } else {
-                self.copy_out(i, stream, &[bits], iter)?;
-            }
-        }
-        self.sync_and_resolve();
-        Ok(())
-    }
-
-    /// Unoptimized mode: five separate phases, each moving the shard data
-    /// it touches in *and* out, for every shard, every iteration — the
-    /// Figure 15 baseline.
-    fn emit_unfused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
-        let has_gather = self.program.has_gather();
-        let has_scatter = self.program.has_scatter();
-        let skip = |this: &Self, w: &ShardWork| this.opts.frontier_management && !w.is_active();
-
-        // Phase 1: gatherMap — full in-edge sub-arrays in (even for
-        // gather-less programs: this is exactly the movement phase
-        // elimination removes), per-edge update array out.
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if skip(self, w) {
-                self.skip_phase();
-                continue;
-            }
-            let stream = self.stream_for(i);
-            let bufs = self.in_buf_sets[i];
-            self.copy_in(i, stream, bufs.as_slice(), iter)?;
-            if has_gather {
-                let (map, _) = self.gather_specs(i, w);
-                self.launch_tracked(stream, &map, iter, i)?;
-            }
-            let upd = self.edge_update_bufs[i];
-            self.copy_out(i, stream, &[upd], iter)?;
-        }
-        self.sync_and_resolve();
-
-        // Phase 2: gatherReduce — the per-edge update array comes back in,
-        // reduced per-vertex temps go out. Fusion makes both moves vanish
-        // (the array never leaves the device between the two kernels).
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if skip(self, w) {
-                self.skip_phase();
-                continue;
-            }
-            let stream = self.stream_for(i);
-            let upd = self.edge_update_bufs[i];
-            self.copy_in(i, stream, &[upd], iter)?;
-            if has_gather {
-                let (_, reduce) = self.gather_specs(i, w);
-                if let Some(reduce) = reduce {
-                    self.launch_tracked(stream, &reduce, iter, i)?;
-                }
-            }
-            let t = self.gather_temp_bufs[i];
-            self.copy_out(i, stream, &[t], iter)?;
-        }
-        self.sync_and_resolve();
-
-        // Phase 3: apply — temps + vertex interval in, vertex interval out.
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if skip(self, w) {
-                self.skip_phase();
-                continue;
-            }
-            let stream = self.stream_for(i);
-            let vbuf = self.apply_vertex_bufs[i];
-            let t = self.gather_temp_bufs[i];
-            self.copy_in(i, stream, &[t, vbuf], iter)?;
-            let spec = self.apply_spec(w);
-            self.launch_tracked(stream, &spec, iter, i)?;
-            self.copy_out(i, stream, &[vbuf], iter)?;
-        }
-        self.sync_and_resolve();
-
-        // Phase 4: scatter — full out-edge arrays in, values out.
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if skip(self, w) {
-                self.skip_phase();
-                continue;
-            }
-            let stream = self.stream_for(i);
-            let bufs = self.out_buf_sets[i];
-            self.copy_in(i, stream, bufs.as_slice(), iter)?;
-            if has_scatter {
-                let spec = self.scatter_spec(i, w);
-                self.launch_tracked(stream, &spec, iter, i)?;
-                let vals: Buf = (
-                    self.plan.shards[i].num_out_edges() * self.sizes.edge_value,
-                    "out.value.d2h",
-                );
-                self.copy_out(i, stream, &[vals], iter)?;
-            }
-        }
-        self.sync_and_resolve();
-
-        // Phase 5: FrontierActivate — out-edge topology in (again), bits out.
-        for (i, w) in work.iter().enumerate() {
-            if self.host_shards[i] {
-                continue;
-            }
-            if skip(self, w) {
-                self.skip_phase();
-                continue;
-            }
-            let stream = self.stream_for(i);
-            let dst = self.out_dst_bufs[i];
-            self.copy_in(i, stream, &[dst], iter)?;
-            let spec = self.activate_spec(i, w);
-            self.launch_tracked(stream, &spec, iter, i)?;
-            let bits = self.frontier_bits_bufs[i];
-            self.copy_out(i, stream, &[bits], iter)?;
-        }
-        self.sync_and_resolve();
-        Ok(())
-    }
-
-    /// One skipped phase of the unfused pipeline: one shard copy and one
-    /// kernel launch that never happened.
-    fn skip_phase(&mut self) {
-        self.metrics.inc("engine.skipped_shard_copies", 1);
-        self.metrics.inc("engine.skipped_kernel_launches", 1);
-    }
-}
-
-/// What the memory governor decided for this run. All-default when the
-/// device is unconstrained: the governor makes no decisions and the run
-/// is byte-identical to an ungoverned one.
-struct Governed {
-    /// Rung 6: even per-shard degradation cannot fit the cap — the whole
-    /// run executes on the host CPU and nothing is allocated on-device.
-    host_run: bool,
-    /// Per-slot streaming allocation size (== `plan.max_shard_bytes`
-    /// unless chunking shrank it to the governed budget).
-    slot_bytes: u64,
-    /// Shards streamed in bounded chunks through the staging slot.
-    chunked: Vec<bool>,
-    /// Shards degraded to host-CPU execution.
-    host_shards: Vec<bool>,
-}
-
-/// The device-memory governor: degrade the optimistic partition plan until
-/// it fits the (possibly capped) device pool, escalating through
-///
-/// 1. drop residency (stream instead of caching every shard),
-/// 2. reduce concurrency `K`,
-/// 3. adaptively split oversized shards ([`split_shard`]),
-/// 4. chunk transfers of unsplittable shards through a bounded staging
-///    slot ([`StagingBuffer`]),
-/// 5. per-shard host fallback,
-/// 6. whole-run host execution,
-///
-/// and surfacing [`EngineError::Alloc`] only when the recovery policy
-/// forbids host fallback at a terminal rung. Every degradation emits
-/// exactly one decision ([`Decision::MemoryPressure`],
-/// [`Decision::ShardSplit`], [`Decision::ChunkedXfer`]) and bumps the
-/// matching `engine.*` counter; with no `mem_cap` set this is a single
-/// branch and zero decisions.
-fn govern_plan(
-    plan: &mut PartitionPlan,
-    sizes: &SizeModel,
-    layout: &GraphLayout,
-    gpu: &Gpu,
-    opts: &Options,
-    metrics: &mut MetricsRegistry,
-    observer: &Observer,
-) -> Result<Governed, EngineError> {
-    let num_shards = plan.shards.len();
-    let mut out = Governed {
-        host_run: false,
-        slot_bytes: plan.max_shard_bytes,
-        chunked: vec![false; num_shards],
-        host_shards: vec![false; num_shards],
-    };
-    if opts.mem_cap.is_none() {
-        return Ok(out);
-    }
-    let capacity = gpu.memory().capacity();
-    let oom = |requested: u64, available: u64| OutOfMemory {
-        requested,
-        available,
-        capacity,
-    };
-
-    // Rung 6 first (it gates everything): the static buffers alone exceed
-    // the cap, so no device execution is possible at all.
-    if plan.static_bytes > capacity {
-        if !opts.recovery.host_fallback {
-            return Err(EngineError::Alloc(oom(plan.static_bytes, capacity)));
-        }
-        metrics.inc("engine.mem_pressure", 1);
-        let requested = plan.static_bytes;
-        observer.decision(|| Decision::MemoryPressure {
-            device: 0,
-            requested,
-            available: capacity,
-            capacity,
-            response: "host-run",
-            scope: "run",
-        });
-        out.host_run = true;
-        return Ok(out);
-    }
-    let budget = capacity - plan.static_bytes;
-
-    // Rung 1: residency. Caching every shard needs the whole streaming
-    // working set on-device; under pressure, stream instead.
-    if opts.cache_resident && plan.all_resident {
-        let total: u64 = plan.shards.iter().map(|s| sizes.shard_bytes(s)).sum();
-        if total > budget {
-            metrics.inc("engine.mem_pressure", 1);
-            observer.decision(|| Decision::MemoryPressure {
-                device: 0,
-                requested: total,
-                available: budget,
-                capacity,
-                response: "stream",
-                scope: "plan",
-            });
-            plan.all_resident = false;
-        }
-    }
-
-    // Rung 2: concurrency. K slots of the largest shard must fit the
-    // streaming budget (Equation (1) against the governed capacity).
-    let k0 = plan.concurrent.max(1);
-    let mut k = k0;
-    while k > 1 && k as u64 * plan.max_shard_bytes > budget {
-        k -= 1;
-    }
-    if k < k0 {
-        metrics.inc("engine.mem_pressure", 1);
-        let requested = k0 as u64 * plan.max_shard_bytes;
-        observer.decision(|| Decision::MemoryPressure {
-            device: 0,
-            requested,
-            available: budget,
-            capacity,
-            response: "reduce-concurrency",
-            scope: "plan",
-        });
-        plan.concurrent = k;
-    }
-    let slot_budget = (budget / plan.concurrent.max(1) as u64).max(1);
-
-    // Rung 3: adaptive shard splitting. Repeatedly split the largest
-    // over-budget shard at its edge-mass midpoint; sub-shards execute
-    // sequentially through the same slots with the same merged frontier
-    // accounting, so results are bit-identical. Stops when nothing
-    // over-budget can shrink further (a hub vertex's own edge lists).
-    let mut split_any = false;
-    while let Some((idx, bytes)) = plan
-        .shards
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (i, sizes.shard_bytes(s)))
-        .filter(|&(_, b)| b > slot_budget)
-        .max_by_key(|&(_, b)| b)
-    {
-        let shard = plan.shards[idx].clone();
-        let Some((left, right)) = split_shard(layout, &shard) else {
-            break;
-        };
-        let worst = sizes.shard_bytes(&left).max(sizes.shard_bytes(&right));
-        if worst >= bytes {
-            // Degenerate split (all mass on one side): no progress.
-            break;
-        }
-        metrics.inc("engine.shard_splits", 1);
-        let vertices = shard.num_vertices();
-        observer.decision(|| Decision::ShardSplit {
-            shard: idx as u32,
-            vertices,
-            bytes,
-        });
-        plan.shards.splice(idx..=idx, [left, right]);
-        split_any = true;
-    }
-    if split_any {
-        for (i, sh) in plan.shards.iter_mut().enumerate() {
-            sh.id = i;
-        }
-        plan.max_shard_bytes = plan
-            .shards
-            .iter()
-            .map(|s| sizes.shard_bytes(s))
-            .max()
-            .unwrap_or(0);
-        out.chunked = vec![false; plan.shards.len()];
-        out.host_shards = vec![false; plan.shards.len()];
-    }
-    out.slot_bytes = plan.max_shard_bytes.min(slot_budget).max(1);
-
-    // Rungs 4-5: shards that still exceed the slot stream through the
-    // bounded staging slot in chunks — or, when even chunking is
-    // unreasonable, degrade to host-CPU execution for that shard alone.
-    if plan.max_shard_bytes > slot_budget {
-        let staging = StagingBuffer::new(slot_budget);
-        for (i, sh) in plan.shards.iter().enumerate() {
-            let bytes = sizes.shard_bytes(sh);
-            if bytes <= slot_budget {
-                continue;
-            }
-            if staging.can_stage(bytes) {
-                metrics.inc("engine.chunked_shards", 1);
-                let chunks = staging.chunks_for(bytes) as u32;
-                observer.decision(|| Decision::ChunkedXfer {
-                    shard: i as u32,
-                    shard_bytes: bytes,
-                    chunk_bytes: slot_budget,
-                    chunks,
-                });
-                out.chunked[i] = true;
-            } else {
-                if !opts.recovery.host_fallback {
-                    return Err(EngineError::Alloc(oom(bytes, slot_budget)));
-                }
-                metrics.inc("engine.mem_pressure", 1);
-                metrics.inc("engine.host_shards", 1);
-                observer.decision(|| Decision::MemoryPressure {
-                    device: 0,
-                    requested: bytes,
-                    available: slot_budget,
-                    capacity,
-                    response: "host-shard",
-                    scope: "shard",
-                });
-                out.host_shards[i] = true;
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Allocate device memory through the recovery policy. Injected
-/// allocation pressure backs off (charged as simulated time on `stream`)
-/// and retries; a *real* shortfall — the request exceeds what the pool
-/// can ever grant — will never succeed on retry and surfaces
-/// [`EngineError::Alloc`] immediately instead of burning the budget.
-fn alloc_retry(
-    gpu: &mut Gpu,
-    stream: StreamId,
-    bytes: u64,
-    recovery: &RecoveryPolicy,
-    metrics: &mut MetricsRegistry,
-    observer: &Observer,
-) -> Result<Allocation, EngineError> {
-    let mut attempt = 0u32;
-    loop {
-        match gpu.try_alloc(bytes) {
-            Ok(a) => return Ok(a),
-            Err(oom) => {
-                // Injected pressure synthesizes `available: 0` while the
-                // real pool still has room; when the request genuinely
-                // exceeds the pool's free bytes, no amount of backoff can
-                // help — escalate immediately instead of spinning through
-                // the retry budget.
-                if bytes > gpu.memory().available() {
-                    return Err(EngineError::Alloc(oom));
-                }
-                attempt += 1;
-                if attempt > recovery.max_retries {
-                    return Err(EngineError::Alloc(oom));
-                }
-                let backoff = recovery.backoff(attempt);
-                gpu.stall(stream, backoff, "recovery.backoff");
-                metrics.inc("engine.fault_retries", 1);
-                let backoff_ns = backoff.as_nanos();
-                observer.decision(|| Decision::FaultRetry {
-                    iteration: 0,
-                    device: 0,
-                    op: "alloc",
-                    fault: "alloc.pressure",
-                    attempt,
-                    backoff_ns,
-                });
-            }
-        }
-    }
-}
-
-/// Max/mean degree ratio over an interval: the per-CTA imbalance a
-/// vertex-centric kernel suffers without CTA load balancing. Capped at 16
-/// (blocks internally mitigate extreme skew).
-fn interval_skew(layout: &GraphLayout, sh: &Shard, in_edges: bool) -> f64 {
-    let adj = if in_edges { &layout.csc } else { &layout.csr };
-    let mut max = 0u64;
-    let mut sum = 0u64;
-    for v in sh.interval.start..sh.interval.end {
-        let d = adj.degree(v);
-        max = max.max(d);
-        sum += d;
-    }
-    if sum == 0 {
-        return 1.0;
-    }
-    let mean = sum as f64 / sh.interval.len() as f64;
-    (max as f64 / mean.max(1.0)).clamp(1.0, 16.0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::GatherMode;
+    use crate::testprog::{Bfs, Cc};
     use gr_graph::gen;
-
-    /// Connected components over undirected edges (min-label flooding).
-    struct Cc;
-
-    impl GasProgram for Cc {
-        type VertexValue = u32;
-        type EdgeValue = ();
-        type Gather = u32;
-
-        fn name(&self) -> &'static str {
-            "cc"
-        }
-
-        fn init_vertex(&self, v: u32, _d: u32) -> u32 {
-            v
-        }
-
-        fn initial_frontier(&self) -> InitialFrontier {
-            InitialFrontier::All
-        }
-
-        fn gather_identity(&self) -> u32 {
-            u32::MAX
-        }
-
-        fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
-            *src
-        }
-
-        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
-            a.min(b)
-        }
-
-        fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
-            if r < *v {
-                *v = r;
-                true
-            } else {
-                false
-            }
-        }
-
-        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-    }
-
-    /// BFS with no gather phase (the paper's phase-elimination showcase).
-    struct Bfs(u32);
-
-    impl GasProgram for Bfs {
-        type VertexValue = u32;
-        type EdgeValue = ();
-        type Gather = ();
-
-        fn name(&self) -> &'static str {
-            "bfs"
-        }
-
-        fn init_vertex(&self, _v: u32, _d: u32) -> u32 {
-            u32::MAX
-        }
-
-        fn initial_frontier(&self) -> InitialFrontier {
-            InitialFrontier::Single(self.0)
-        }
-
-        fn gather_identity(&self) {}
-
-        fn gather_map(&self, _d: &u32, _s: &u32, _e: &(), _w: f32) {}
-
-        fn gather_reduce(&self, _a: (), _b: ()) {}
-
-        fn apply(&self, v: &mut u32, _r: (), iter: u32) -> bool {
-            if *v == u32::MAX {
-                *v = iter;
-                true
-            } else {
-                false
-            }
-        }
-
-        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-
-        fn has_gather(&self) -> bool {
-            false
-        }
-    }
 
     fn small_graph() -> GraphLayout {
         GraphLayout::build(&gen::uniform(512, 4096, 3).symmetrize())
@@ -2227,52 +372,8 @@ mod tests {
 #[cfg(test)]
 mod extension_tests {
     use super::*;
+    use crate::testprog::Cc;
     use gr_graph::{gen, EdgeList};
-
-    use crate::api::InitialFrontier;
-
-    struct Cc;
-
-    impl GasProgram for Cc {
-        type VertexValue = u32;
-        type EdgeValue = ();
-        type Gather = u32;
-
-        fn name(&self) -> &'static str {
-            "cc"
-        }
-
-        fn init_vertex(&self, v: u32, _d: u32) -> u32 {
-            v
-        }
-
-        fn initial_frontier(&self) -> InitialFrontier {
-            InitialFrontier::All
-        }
-
-        fn gather_identity(&self) -> u32 {
-            u32::MAX
-        }
-
-        fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
-            *src
-        }
-
-        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
-            a.min(b)
-        }
-
-        fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
-            if r < *v {
-                *v = r;
-                true
-            } else {
-                false
-            }
-        }
-
-        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-    }
 
     #[test]
     fn out_of_host_core_streams_from_storage() {
@@ -2390,52 +491,9 @@ mod extension_tests {
 #[cfg(test)]
 mod streaming_mode_tests {
     use super::*;
-    use crate::api::InitialFrontier;
     use crate::options::StreamingMode;
+    use crate::testprog::Cc;
     use gr_graph::gen;
-
-    struct Cc;
-
-    impl GasProgram for Cc {
-        type VertexValue = u32;
-        type EdgeValue = ();
-        type Gather = u32;
-
-        fn name(&self) -> &'static str {
-            "cc"
-        }
-
-        fn init_vertex(&self, v: u32, _d: u32) -> u32 {
-            v
-        }
-
-        fn initial_frontier(&self) -> InitialFrontier {
-            InitialFrontier::All
-        }
-
-        fn gather_identity(&self) -> u32 {
-            u32::MAX
-        }
-
-        fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
-            *src
-        }
-
-        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
-            a.min(b)
-        }
-
-        fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
-            if r < *v {
-                *v = r;
-                true
-            } else {
-                false
-            }
-        }
-
-        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-    }
 
     #[test]
     fn zero_copy_streaming_matches_results_and_shaves_time() {

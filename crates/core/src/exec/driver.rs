@@ -1,0 +1,1166 @@
+//! The iteration driver: BSP loop, frontier skip, timeline emission,
+//! checkpoint/rollback, and host fallback for one device.
+//!
+//! `Runner` wires the exec layers together for the single-GPU path —
+//! [`super::plan`] derives the governed [`ExecPlan`](super::plan::ExecPlan),
+//! [`super::movement`] moves shard buffers, [`super::compute`] prices the
+//! kernels, and every device op goes through [`super::device::DeviceCtx`].
+//! The host-side exact computation (`HostState`) and the rollback
+//! bookkeeping (`roll_back`) are shared with the multi-GPU orchestrator
+//! so both paths produce bit-identical results and identical recovery
+//! charges for identical fault schedules.
+
+use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
+use gr_sim::{cpu_time, DeviceFault, HostConfig, KernelSpec, Platform, SimDuration, StreamId};
+
+use crate::api::{GasProgram, InitialFrontier};
+use crate::checkpoint::Checkpoint;
+use crate::engine::{RunResult, WarmStart};
+use crate::options::{HostKernels, Options};
+use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
+use crate::recovery::EngineError;
+use crate::sizes::{PartitionPlan, SizeModel};
+use crate::stats::{IterationStats, RunStats};
+
+use super::compute::{host_work, ComputeSpecs};
+use super::device::{Abort, DeviceCtx};
+use super::movement::{in_bufs_for, out_bufs_for, Buf, BufSet, Movement};
+use super::plan;
+
+/// Iteration replays allowed before a persistent fault becomes
+/// [`EngineError::Unrecoverable`] (guards against pathological hand-built
+/// plans that fault the same op forever).
+pub(crate) const REPLAY_CAP: u32 = 64;
+
+/// Handle a persistent transient fault: count the rollback, log the
+/// [`Decision::Rollback`], and let the caller replay from its checkpoint —
+/// or surface [`EngineError::Unrecoverable`] once [`REPLAY_CAP`] replays
+/// have burned. Shared verbatim by the single driver and the multi
+/// orchestrator so both charge and log rollbacks identically.
+pub(crate) fn roll_back(
+    observer: &Observer,
+    metrics: &mut MetricsRegistry,
+    iter: u32,
+    replays: u32,
+    device: u32,
+    op: &'static str,
+    fault: DeviceFault,
+) -> Result<(), EngineError> {
+    if replays > REPLAY_CAP {
+        return Err(EngineError::Unrecoverable { op });
+    }
+    metrics.inc("engine.rollbacks", 1);
+    let name = fault.name();
+    observer.decision(|| Decision::Rollback {
+        iteration: iter,
+        device,
+        op,
+        fault: name,
+    });
+    Ok(())
+}
+
+/// Host master state: the exact, eagerly computed results every run
+/// produces regardless of what the virtual device timeline does. One per
+/// run — the multi orchestrator shares this single copy across its
+/// devices (vertex state is replicated, so host truth is global).
+pub(crate) struct HostState<P: GasProgram> {
+    pub(crate) vertex_values: Vec<P::VertexValue>,
+    pub(crate) edge_values: Vec<P::EdgeValue>,
+    pub(crate) gather_temp: Vec<P::Gather>,
+    pub(crate) frontier: Bitmap,
+    pub(crate) changed: Bitmap,
+    pub(crate) next_frontier: Bitmap,
+    pub(crate) iterations: Vec<IterationStats>,
+}
+
+impl<P: GasProgram> HostState<P> {
+    /// Cold start: `init_vertex` everywhere, frontier from the program.
+    pub(crate) fn cold(program: &P, layout: &GraphLayout) -> Self {
+        let n = layout.num_vertices();
+        let values = (0..n)
+            .map(|v| program.init_vertex(v, layout.csr.degree(v) as u32))
+            .collect();
+        let mut frontier = match program.initial_frontier() {
+            InitialFrontier::All => Bitmap::full(n),
+            InitialFrontier::Single(v) => {
+                let mut b = Bitmap::new(n);
+                if n > 0 {
+                    b.set(v);
+                }
+                b
+            }
+        };
+        if n == 0 {
+            frontier = Bitmap::new(0);
+        }
+        Self::with_frontier(program, layout, values, frontier)
+    }
+
+    /// Warm start: carry a previous run's vertex values (padded with
+    /// `init_vertex` for added vertices), seed the frontier explicitly.
+    pub(crate) fn warm(program: &P, layout: &GraphLayout, w: WarmStart<P>) -> Self {
+        let n = layout.num_vertices();
+        let mut values = w.vertex_values;
+        assert!(
+            values.len() <= n as usize,
+            "warm-start values exceed the vertex set"
+        );
+        for v in values.len() as u32..n {
+            values.push(program.init_vertex(v, layout.csr.degree(v) as u32));
+        }
+        let mut b = Bitmap::new(n);
+        for v in w.frontier {
+            b.set(v);
+        }
+        Self::with_frontier(program, layout, values, b)
+    }
+
+    fn with_frontier(
+        program: &P,
+        layout: &GraphLayout,
+        vertex_values: Vec<P::VertexValue>,
+        frontier: Bitmap,
+    ) -> Self {
+        let n = layout.num_vertices();
+        HostState {
+            vertex_values,
+            edge_values: vec![P::EdgeValue::default(); layout.num_edges() as usize],
+            gather_temp: vec![program.gather_identity(); n as usize],
+            frontier,
+            changed: Bitmap::new(n),
+            next_frontier: Bitmap::new(n),
+            iterations: Vec::new(),
+        }
+    }
+
+    /// One exact BSP iteration: Gather over all shards, Apply, Scatter,
+    /// FrontierActivate, with every merge in shard order so results are
+    /// bit-identical whether shards run serial or fanned out over host
+    /// threads. Pushes this iteration's [`IterationStats`] and logs one
+    /// [`Decision::ShardSkip`] per inactive shard (when frontier
+    /// management is on — one decision == one shard counted skipped).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn compute_iteration(
+        &mut self,
+        program: &P,
+        layout: &GraphLayout,
+        shards: &[Shard],
+        mode: HostKernels,
+        frontier_management: bool,
+        iter: u32,
+        observer: &Observer,
+        metrics: &mut MetricsRegistry,
+    ) -> Vec<ShardWork> {
+        let frontier_size = self.frontier.count();
+        self.changed.clear_all();
+        self.next_frontier.clear_all();
+        let num_shards = shards.len();
+        let mut work = vec![ShardWork::default(); num_shards];
+        // Shards are independent within a BSP stage: with host threads
+        // available, gather/apply/activate fan out one task per shard
+        // (the intra-shard kernels may split further). All merge steps
+        // run in shard order, so results are bit-identical to serial.
+        let across_shards = rayon::current_num_threads() > 1 && num_shards > 1;
+
+        // Gather (all shards, before any apply — BSP).
+        if program.has_gather() {
+            if across_shards {
+                let vertex_values = &self.vertex_values;
+                let edge_values = &self.edge_values;
+                let frontier = &self.frontier;
+                // Carve gather_temp into per-shard slices (intervals are
+                // contiguous, ordered, disjoint).
+                let mut slices: Vec<&mut [P::Gather]> = Vec::with_capacity(num_shards);
+                let mut rest: &mut [P::Gather] = &mut self.gather_temp;
+                let mut offset = 0usize;
+                for sh in shards.iter() {
+                    let lo = sh.interval.start as usize;
+                    let hi = sh.interval.end as usize;
+                    let (_, tail) = rest.split_at_mut(lo - offset);
+                    let (mine, tail) = tail.split_at_mut(hi - lo);
+                    slices.push(mine);
+                    rest = tail;
+                    offset = hi;
+                }
+                rayon::scope(|s| {
+                    for ((sh, slice), w) in shards.iter().zip(slices).zip(work.iter_mut()) {
+                        s.spawn(move |_| {
+                            let (a, e) = gather_shard(
+                                program,
+                                layout,
+                                sh,
+                                vertex_values,
+                                edge_values,
+                                &layout.weights,
+                                frontier,
+                                slice,
+                                mode,
+                            );
+                            w.active_vertices = a;
+                            w.active_in_edges = e;
+                        });
+                    }
+                });
+            } else {
+                for (i, sh) in shards.iter().enumerate() {
+                    let lo = sh.interval.start as usize;
+                    let hi = sh.interval.end as usize;
+                    let (a, e) = gather_shard(
+                        program,
+                        layout,
+                        sh,
+                        &self.vertex_values,
+                        &self.edge_values,
+                        &layout.weights,
+                        &self.frontier,
+                        &mut self.gather_temp[lo..hi],
+                        mode,
+                    );
+                    work[i].active_vertices = a;
+                    work[i].active_in_edges = e;
+                }
+            }
+        } else {
+            for (i, sh) in shards.iter().enumerate() {
+                work[i].active_vertices = self
+                    .frontier
+                    .count_range(sh.interval.start, sh.interval.end);
+            }
+        }
+
+        // Apply.
+        if across_shards {
+            let gather_temp = &self.gather_temp;
+            let frontier = &self.frontier;
+            let mut slices: Vec<&mut [P::VertexValue]> = Vec::with_capacity(num_shards);
+            let mut rest: &mut [P::VertexValue] = &mut self.vertex_values;
+            let mut offset = 0usize;
+            for sh in shards.iter() {
+                let lo = sh.interval.start as usize;
+                let hi = sh.interval.end as usize;
+                let (_, tail) = rest.split_at_mut(lo - offset);
+                let (mine, tail) = tail.split_at_mut(hi - lo);
+                slices.push(mine);
+                rest = tail;
+                offset = hi;
+            }
+            let mut ids: Vec<Vec<u32>> = (0..num_shards).map(|_| Vec::new()).collect();
+            rayon::scope(|s| {
+                for ((sh, slice), out) in shards.iter().zip(slices).zip(ids.iter_mut()) {
+                    s.spawn(move |_| {
+                        let lo = sh.interval.start as usize;
+                        let hi = sh.interval.end as usize;
+                        *out = apply_shard(
+                            program,
+                            sh,
+                            slice,
+                            &gather_temp[lo..hi],
+                            frontier,
+                            iter,
+                            mode,
+                        );
+                    });
+                }
+            });
+            for (i, changed_ids) in ids.into_iter().enumerate() {
+                work[i].changed_vertices = changed_ids.len() as u64;
+                for v in changed_ids {
+                    self.changed.set(v);
+                }
+            }
+        } else {
+            for (i, sh) in shards.iter().enumerate() {
+                let lo = sh.interval.start as usize;
+                let hi = sh.interval.end as usize;
+                let changed_ids = apply_shard(
+                    program,
+                    sh,
+                    &mut self.vertex_values[lo..hi],
+                    &self.gather_temp[lo..hi],
+                    &self.frontier,
+                    iter,
+                    mode,
+                );
+                work[i].changed_vertices = changed_ids.len() as u64;
+                for v in changed_ids {
+                    self.changed.set(v);
+                }
+            }
+        }
+
+        // Scatter (only when defined). Serial across shards — the
+        // canonical edge ids of different shards interleave in
+        // `edge_values`, so there is no slice split; each shard's dense
+        // path parallelizes internally instead.
+        if program.has_scatter() {
+            for sh in shards {
+                scatter_shard(
+                    program,
+                    layout,
+                    sh,
+                    &self.vertex_values,
+                    &mut self.edge_values,
+                    &self.changed,
+                    mode,
+                );
+            }
+        }
+
+        // FrontierActivate (always; framework-generated). Across shards,
+        // each task marks a private bitmap; merging in shard order keeps
+        // the activation count identical to the serial pass.
+        let mut activated_total = 0;
+        if across_shards {
+            let changed = &self.changed;
+            let n = self.next_frontier.len();
+            let mut locals: Vec<(u64, Bitmap)> =
+                (0..num_shards).map(|_| (0, Bitmap::new(n))).collect();
+            rayon::scope(|s| {
+                for (sh, slot) in shards.iter().zip(locals.iter_mut()) {
+                    s.spawn(move |_| {
+                        let (walked, _) = activate_shard(layout, sh, changed, &mut slot.1, mode);
+                        slot.0 = walked;
+                    });
+                }
+            });
+            for (i, (walked, local)) in locals.iter().enumerate() {
+                work[i].out_edges_of_changed = *walked;
+                let before = self.next_frontier.count();
+                self.next_frontier.or_assign(local);
+                activated_total += self.next_frontier.count() - before;
+            }
+        } else {
+            for (i, sh) in shards.iter().enumerate() {
+                let (walked, activated) =
+                    activate_shard(layout, sh, &self.changed, &mut self.next_frontier, mode);
+                work[i].out_edges_of_changed = walked;
+                activated_total += activated;
+            }
+        }
+
+        let processed = if frontier_management {
+            // Log one skip decision per inactive shard: the engine
+            // inspected the shard's slice of the frontier bitmap and
+            // found no active vertex, so the whole shard is elided
+            // this iteration. One decision == one shard counted in
+            // `shards_skipped`.
+            for (i, sh) in shards.iter().enumerate() {
+                if !work[i].is_active() {
+                    let active = work[i].active_vertices;
+                    observer.decision(|| Decision::ShardSkip {
+                        iteration: iter,
+                        shard: i as u32,
+                        interval_bits: sh.interval.len() as u64,
+                        active_bits: active,
+                    });
+                }
+            }
+            work.iter().filter(|w| w.is_active()).count() as u32
+        } else {
+            num_shards as u32
+        };
+        metrics.observe("engine.frontier_size", frontier_size);
+        metrics.observe("engine.active_shards", processed as u64);
+        self.iterations.push(IterationStats {
+            frontier_size,
+            gathered_edges: work.iter().map(|w| w.active_in_edges).sum(),
+            changed: self.changed.count(),
+            activated: activated_total,
+            shards_processed: processed,
+            shards_skipped: num_shards as u32 - processed,
+        });
+        work
+    }
+
+    /// Publish the next frontier (end of the BSP superstep).
+    pub(crate) fn finish_iteration(&mut self) {
+        std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+    }
+
+    /// Snapshot everything an iteration replay must restore.
+    pub(crate) fn checkpoint(&self) -> Checkpoint<P> {
+        Checkpoint {
+            vertex_values: self.vertex_values.clone(),
+            edge_values: self.edge_values.clone(),
+            gather_temp: self.gather_temp.clone(),
+            frontier: self.frontier.clone(),
+            changed: self.changed.clone(),
+            next_frontier: self.next_frontier.clone(),
+            iterations_len: self.iterations.len(),
+        }
+    }
+
+    /// Roll state back to a checkpoint (drops stats of replayed
+    /// iterations; residency caches are the caller's to reset).
+    pub(crate) fn restore(&mut self, c: &Checkpoint<P>) {
+        self.vertex_values.clone_from(&c.vertex_values);
+        self.edge_values.clone_from(&c.edge_values);
+        self.gather_temp.clone_from(&c.gather_temp);
+        self.frontier = c.frontier.clone();
+        self.changed = c.changed.clone();
+        self.next_frontier = c.next_frontier.clone();
+        self.iterations.truncate(c.iterations_len);
+    }
+}
+
+/// The single-GPU iteration driver (Figures 8-12): one [`DeviceCtx`], one
+/// [`Movement`] policy, one [`ComputeSpecs`] table, one [`HostState`].
+pub(crate) struct Runner<'a, P: GasProgram> {
+    program: &'a P,
+    layout: &'a GraphLayout,
+    opts: &'a Options,
+    sizes: SizeModel,
+    plan: PartitionPlan,
+    ctx: DeviceCtx,
+    movement: Movement,
+    specs: ComputeSpecs,
+    host: HostState<P>,
+    // Residency caching (in-GPU-memory mode).
+    resident: bool,
+    in_cached: Vec<bool>,
+    out_cached: Vec<bool>,
+    // Per-shard buffer lists, computed once (the emit loops used to
+    // rebuild these Vecs every shard every iteration).
+    in_buf_sets: Vec<BufSet>,
+    out_buf_sets: Vec<BufSet>,
+    gather_temp_bufs: Vec<Buf>,
+    edge_update_bufs: Vec<Buf>,
+    apply_vertex_bufs: Vec<Buf>,
+    out_dst_bufs: Vec<Buf>,
+    frontier_bits_bufs: Vec<Buf>,
+    // Fault recovery: whether a fault plan is armed (gates per-iteration
+    // checkpoints), and the degraded host-CPU mode entered after
+    // permanent device loss.
+    fault_active: bool,
+    host_cfg: HostConfig,
+    host_mode: bool,
+    host_time: SimDuration,
+    // Memory governor outcome: shards degraded to host execution.
+    host_shards: Vec<bool>,
+    any_host_shards: bool,
+    observer: Observer,
+}
+
+impl<'a, P: GasProgram> Runner<'a, P> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        program: &'a P,
+        layout: &'a GraphLayout,
+        platform: &Platform,
+        opts: &'a Options,
+        sizes: SizeModel,
+        plan: PartitionPlan,
+        warm: Option<WarmStart<P>>,
+        observer: Observer,
+    ) -> Result<Self, EngineError> {
+        let fault_active = !opts.fault_plan.is_none();
+        let mut ctx = DeviceCtx::new(
+            platform,
+            0,
+            observer.clone(),
+            None,
+            opts.fault_plan.clone(),
+            opts.mem_cap,
+            opts.recovery.clone(),
+        );
+        // Plan optimistically, govern at runtime: the partition plan was
+        // sized for the nominal device; a memory cap shrinks the pool and
+        // the governor degrades the plan until it fits (or errors).
+        let capacity = ctx.mem_capacity();
+        let governed = plan::build_exec_plan(
+            plan,
+            &sizes,
+            layout,
+            capacity,
+            opts,
+            &mut ctx.metrics,
+            &observer,
+        )?;
+        let plan = governed.partition;
+        let k = plan.concurrent as usize;
+
+        // Streams before allocations: allocation-retry backoff stalls are
+        // charged on a stream, so one must exist first.
+        ctx.create_main_streams(k);
+        if opts.spray {
+            ctx.create_spray_streams(opts.spray_width.max(1) as usize * k);
+        }
+
+        // Device allocations: static buffers, then either every shard
+        // (resident mode) or K reusable streaming slots sized to the
+        // governed budget. The governed plan guarantees these fit, but
+        // injected allocation pressure — or a plan invalidated by a
+        // shrunken device — surfaces as an [`EngineError`] instead of a
+        // panic. Whole-run host mode allocates nothing.
+        let s0 = ctx.main_streams[0];
+        let resident = !governed.host_run && opts.cache_resident && plan.all_resident;
+        if !governed.host_run {
+            ctx.static_alloc = Some(ctx.alloc_retry(s0, plan.static_bytes)?);
+            ctx.shard_allocs = if resident {
+                plan.shards
+                    .iter()
+                    .map(|s| sizes.shard_bytes(s))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|b| ctx.alloc_retry(s0, b))
+                    .collect::<Result<_, _>>()?
+            } else {
+                (0..k)
+                    .map(|_| ctx.alloc_retry(s0, governed.slot_bytes))
+                    .collect::<Result<_, _>>()?
+            };
+        }
+
+        let host = match warm {
+            Some(w) => HostState::warm(program, layout, w),
+            None => HostState::cold(program, layout),
+        };
+
+        // Out-of-host-core: if the full graph footprint exceeds host DRAM,
+        // every shard fetch pays a storage read first (Section 8, future
+        // work (2)).
+        let n = layout.num_vertices();
+        let host_footprint = gr_graph::in_memory_bytes(n as u64, layout.num_edges());
+        let storage_read_secs_per_byte = (host_footprint > platform.host.mem_capacity)
+            .then(|| 1.0 / (platform.storage.bandwidth_gbps * 1e9));
+        let movement = Movement::new(
+            opts,
+            governed.chunked,
+            governed.slot_bytes.max(1),
+            storage_read_secs_per_byte,
+            platform.storage.latency,
+        );
+        let specs = ComputeSpecs::new(sizes, opts, layout, &plan.shards);
+
+        // Buffer lists are a pure function of the shard geometry and the
+        // size model: compute them once. `force` mirrors which emit path
+        // this run will take (fused passes force=false, unfused true).
+        let force = !opts.phase_fusion;
+        let in_buf_sets = plan
+            .shards
+            .iter()
+            .map(|sh| in_bufs_for(&sizes, sh, force))
+            .collect();
+        let out_buf_sets = plan
+            .shards
+            .iter()
+            .map(|sh| out_bufs_for(&sizes, sh, force))
+            .collect();
+        let gather_temp_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_vertices() * sizes.gather, "gather.temp"))
+            .collect();
+        let edge_update_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_in_edges() * (sizes.gather + 4), "edge.update"))
+            .collect();
+        let apply_vertex_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_vertices() * sizes.vertex_value, "apply.vertices"))
+            .collect();
+        let out_dst_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_out_edges() * 4, "out.dst"))
+            .collect();
+        let frontier_bits_bufs = plan
+            .shards
+            .iter()
+            .map(|sh| (sh.num_vertices().div_ceil(8), "frontier.bits"))
+            .collect();
+
+        let num_shards = plan.shards.len();
+        Ok(Runner {
+            program,
+            layout,
+            opts,
+            sizes,
+            plan,
+            ctx,
+            movement,
+            specs,
+            host,
+            resident,
+            in_cached: vec![false; num_shards],
+            out_cached: vec![false; num_shards],
+            fault_active,
+            host_cfg: platform.host.clone(),
+            host_mode: governed.host_run,
+            host_time: SimDuration::ZERO,
+            any_host_shards: governed.host_shards.iter().any(|&h| h),
+            host_shards: governed.host_shards,
+            in_buf_sets,
+            out_buf_sets,
+            gather_temp_bufs,
+            edge_update_bufs,
+            apply_vertex_bufs,
+            out_dst_bufs,
+            frontier_bits_bufs,
+            observer,
+        })
+    }
+
+    /// Current virtual time: device clock plus any degraded-mode host time.
+    fn now_ns(&self) -> u64 {
+        self.ctx.elapsed().as_nanos() + self.host_time.as_nanos()
+    }
+
+    pub(crate) fn run(mut self) -> Result<RunResult<P>, EngineError> {
+        plan::emit_plan_decisions(
+            &self.observer,
+            self.opts.phase_fusion,
+            self.program.has_gather(),
+            self.program.has_scatter(),
+        );
+        self.emit_init()?;
+        let max_iter = self.program.max_iterations();
+        let mut iter = 0u32;
+        while iter < max_iter && self.host.frontier.count() > 0 {
+            let iter_start_ns = self.now_ns();
+            self.run_iteration(iter)?;
+            let iter_end_ns = self.now_ns();
+            let st = self
+                .host
+                .iterations
+                .last()
+                .expect("pushed by compute_iteration");
+            self.observer.span(|| SpanEvent {
+                track: "engine",
+                lane: "iterations".into(),
+                name: format!("iteration {iter}"),
+                start_ns: iter_start_ns,
+                dur_ns: iter_end_ns - iter_start_ns,
+                fields: vec![
+                    ("iteration", iter.into()),
+                    ("frontier_size", st.frontier_size.into()),
+                    ("changed", st.changed.into()),
+                    ("shards_processed", st.shards_processed.into()),
+                    ("shards_skipped", st.shards_skipped.into()),
+                ],
+            });
+            let gpu_metrics = self.ctx.gpu_metrics();
+            self.observer
+                .snapshot(&format!("iteration {iter}"), || gpu_metrics.snapshot());
+            iter += 1;
+        }
+        self.emit_finalize()?;
+        let gpu_metrics = self.ctx.gpu_metrics();
+        self.observer.snapshot("run", || gpu_metrics.snapshot());
+        let engine_metrics = &self.ctx.metrics;
+        self.observer
+            .snapshot("engine", || engine_metrics.snapshot());
+        // Every transfer/time/skip field below reads the device and
+        // engine metric registries — RunStats holds no counters of its
+        // own.
+        let gstats = self.ctx.stats();
+        let metrics = &self.ctx.metrics;
+        let stats = RunStats {
+            algorithm: self.program.name(),
+            iterations: iter,
+            elapsed: gstats.elapsed + self.host_time,
+            memcpy_time: gstats.memcpy_busy,
+            kernel_time: gstats.kernel_busy,
+            bytes_h2d: gstats.bytes_h2d,
+            bytes_d2h: gstats.bytes_d2h,
+            copy_ops: gstats.copy_ops,
+            kernel_launches: gstats.kernel_launches,
+            skipped_shard_copies: metrics.counter("engine.skipped_shard_copies"),
+            skipped_kernel_launches: metrics.counter("engine.skipped_kernel_launches"),
+            num_shards: self.plan.shards.len(),
+            concurrent_shards: self.plan.concurrent,
+            all_resident: self.resident,
+            faults_injected: self.ctx.faults_injected(),
+            recovered_retries: metrics.counter("engine.fault_retries"),
+            rollbacks: metrics.counter("engine.rollbacks"),
+            checkpoints: metrics.counter("engine.checkpoints"),
+            host_fallback: self.host_mode,
+            mem_pressure_events: metrics.counter("engine.mem_pressure"),
+            shard_splits: metrics.counter("engine.shard_splits"),
+            chunked_shards: metrics.counter("engine.chunked_shards"),
+            chunked_copies: metrics.counter("engine.chunked_copies"),
+            host_shards: metrics.counter("engine.host_shards"),
+            mem_peak: self.ctx.mem_peak(),
+            mem_min_headroom: self.ctx.mem_min_headroom(),
+            per_iteration: self.host.iterations,
+        };
+        Ok(RunResult {
+            vertex_values: self.host.vertex_values,
+            edge_values: self.host.edge_values,
+            stats,
+        })
+    }
+
+    fn compute_iteration(&mut self, iter: u32) -> Vec<ShardWork> {
+        self.host.compute_iteration(
+            self.program,
+            self.layout,
+            &self.plan.shards,
+            self.opts.host_kernels,
+            self.opts.frontier_management,
+            iter,
+            &self.observer,
+            &mut self.ctx.metrics,
+        )
+    }
+
+    // ---------------- checkpoint / rollback / degraded mode ----------------
+
+    /// One BSP iteration with fault recovery: checkpoint (only when a
+    /// fault plan is armed), compute exact results on the host, emit the
+    /// device timeline, and on a persistent fault restore the checkpoint
+    /// and replay. The fault plan's monotone per-op counters guarantee a
+    /// finite plan eventually stops faulting the replayed ops.
+    fn run_iteration(&mut self, iter: u32) -> Result<(), EngineError> {
+        if self.host_mode {
+            return self.host_iteration(iter);
+        }
+        let ckpt = self.fault_active.then(|| self.take_checkpoint());
+        let mut replays = 0u32;
+        loop {
+            let work = self.compute_iteration(iter);
+            let emitted = if self.opts.phase_fusion {
+                self.emit_fused(iter, &work)
+            } else {
+                self.emit_unfused(iter, &work)
+            };
+            match emitted {
+                Ok(()) => {
+                    self.charge_host_shards(&work);
+                    self.host.finish_iteration();
+                    return Ok(());
+                }
+                Err(a) => {
+                    replays += 1;
+                    self.handle_abort(a, iter, replays)?;
+                    let c = ckpt
+                        .as_ref()
+                        .expect("device faults require an armed fault plan");
+                    self.restore(c);
+                    if self.host_mode {
+                        return self.host_iteration(iter);
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_checkpoint(&mut self) -> Checkpoint<P> {
+        self.ctx.metrics.inc("engine.checkpoints", 1);
+        self.host.checkpoint()
+    }
+
+    fn restore(&mut self, c: &Checkpoint<P>) {
+        self.host.restore(c);
+        // The faulted attempt may have moved only part of a shard: drop
+        // all residency claims so the replay re-copies what it touches.
+        self.in_cached.fill(false);
+        self.out_cached.fill(false);
+    }
+
+    /// Central abort handling: device loss switches to host fallback (or
+    /// fails the run when the policy forbids it); a persistent transient
+    /// fault logs a [`Decision::Rollback`] so the caller replays from its
+    /// checkpoint, bounded by [`REPLAY_CAP`].
+    fn handle_abort(&mut self, a: Abort, iter: u32, replays: u32) -> Result<(), EngineError> {
+        // Settle whatever the device finished before the fault; the time
+        // the doomed attempt consumed stays on the clock — that work (and
+        // its replay) is exactly what the counters record.
+        self.ctx.sync_and_resolve();
+        match a.fault {
+            DeviceFault::Lost => {
+                if !self.opts.recovery.host_fallback {
+                    return Err(EngineError::DeviceLost);
+                }
+                self.ctx.metrics.inc("engine.host_fallback", 1);
+                self.observer.decision(|| Decision::HostFallback {
+                    iteration: iter,
+                    device: 0,
+                    rationale: "device lost: resuming on host CPU from last checkpoint",
+                });
+                self.host_mode = true;
+                Ok(())
+            }
+            fault => roll_back(
+                &self.observer,
+                &mut self.ctx.metrics,
+                iter,
+                replays,
+                0,
+                a.op,
+                fault,
+            ),
+        }
+    }
+
+    /// Governor-degraded shards: their slice of the iteration's work is
+    /// charged on the host CPU with the same roofline model as full host
+    /// fallback, once per *successful* iteration (replays re-charge the
+    /// device work they redo, not the host's). Results are unaffected —
+    /// the host computes every shard's results regardless.
+    fn charge_host_shards(&mut self, work: &[ShardWork]) {
+        if !self.any_host_shards {
+            return;
+        }
+        let mut edges = 0u64;
+        let mut vertices = 0u64;
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                edges += w.active_in_edges + w.out_edges_of_changed;
+                vertices += w.active_vertices + w.changed_vertices;
+            }
+        }
+        if vertices + edges == 0 {
+            return;
+        }
+        let cw = host_work("host.shard", vertices, edges, &self.sizes);
+        self.host_time +=
+            self.host_cfg.pass_overhead + cpu_time(&self.host_cfg, self.host_cfg.cores, &cw);
+    }
+
+    /// Degraded mode after device loss: the iteration both computes *and
+    /// is charged* on the host CPU, with the same roofline model the CPU
+    /// baseline engines use. Results stay bit-identical — the host was
+    /// computing them all along.
+    fn host_iteration(&mut self, iter: u32) -> Result<(), EngineError> {
+        let work = self.compute_iteration(iter);
+        let edges: u64 = work
+            .iter()
+            .map(|w| w.active_in_edges + w.out_edges_of_changed)
+            .sum();
+        let vertices: u64 = work
+            .iter()
+            .map(|w| w.active_vertices + w.changed_vertices)
+            .sum();
+        let cw = host_work("host.fallback", vertices, edges, &self.sizes);
+        self.host_time +=
+            self.host_cfg.pass_overhead + cpu_time(&self.host_cfg, self.host_cfg.cores, &cw);
+        self.host.finish_iteration();
+        Ok(())
+    }
+
+    // ---------------- device timeline emission ----------------
+
+    fn emit_init(&mut self) -> Result<(), EngineError> {
+        // Governor whole-run host mode: nothing lives on the device, so
+        // there is nothing to initialize (mirrors emit_finalize).
+        if self.host_mode {
+            return Ok(());
+        }
+        let mut replays = 0u32;
+        loop {
+            match self.try_emit_init() {
+                Ok(()) => return Ok(()),
+                Err(a) => {
+                    // Nothing to roll back before iteration 0: the initial
+                    // host state *is* the checkpoint.
+                    replays += 1;
+                    self.handle_abort(a, 0, replays)?;
+                    if self.host_mode {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_emit_init(&mut self) -> Result<(), Abort> {
+        let s = self.ctx.main_streams[0];
+        let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
+        self.ctx.h2d(s, vbytes, "init.vertices", 0)?;
+        // Gather-temp and frontier bitmaps are initialized on-device.
+        let spec = KernelSpec::balanced(
+            "init.memset",
+            self.layout.num_vertices() as u64,
+            1.0,
+            self.plan.static_bytes,
+            0,
+        );
+        self.ctx.launch(s, &spec, 0)?;
+        self.ctx.synchronize();
+        Ok(())
+    }
+
+    fn emit_finalize(&mut self) -> Result<(), EngineError> {
+        // After host fallback the results are host-resident already (and
+        // the device is gone): nothing to download.
+        if self.host_mode {
+            return Ok(());
+        }
+        let iter = self.host.iterations.len() as u32;
+        let mut replays = 0u32;
+        loop {
+            match self.try_emit_finalize(iter) {
+                Ok(()) => return Ok(()),
+                Err(a) => {
+                    replays += 1;
+                    self.handle_abort(a, iter, replays)?;
+                    if self.host_mode {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_emit_finalize(&mut self, iter: u32) -> Result<(), Abort> {
+        let s = self.ctx.main_streams[0];
+        let vbytes = self.layout.num_vertices() as u64 * self.sizes.vertex_value;
+        self.ctx.d2h(s, vbytes, "final.vertices", iter)?;
+        if self.program.has_scatter() {
+            let ebytes = self.layout.num_edges() * self.sizes.edge_value;
+            self.ctx.d2h(s, ebytes, "final.edges", iter)?;
+        }
+        self.ctx.synchronize();
+        Ok(())
+    }
+
+    fn stream_for(&self, i: usize) -> StreamId {
+        if self.opts.async_streams {
+            self.ctx.main_streams[i % self.ctx.main_streams.len()]
+        } else {
+            self.ctx.main_streams[0]
+        }
+    }
+
+    /// Optimized pipeline: fusion + elimination collapse each iteration
+    /// into (at most) a gather stage, an apply stage, and a
+    /// scatter+activate stage, each copying a shard's data once.
+    fn emit_fused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
+        // Stage A: gather (eliminated entirely for gather-less programs —
+        // no in-edge movement, no kernels).
+        if self.program.has_gather() {
+            for (i, w) in work.iter().enumerate() {
+                if self.host_shards[i] {
+                    continue; // computed (and charged) on the host CPU
+                }
+                if self.opts.frontier_management && !w.is_active() {
+                    if !self.in_cached[i] {
+                        self.ctx.metrics.inc("engine.skipped_shard_copies", 1);
+                    }
+                    self.ctx.metrics.inc("engine.skipped_kernel_launches", 2);
+                    continue;
+                }
+                let stream = self.stream_for(i);
+                if !self.in_cached[i] {
+                    let bufs = self.in_buf_sets[i];
+                    self.movement
+                        .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+                    if self.resident {
+                        self.in_cached[i] = true;
+                    }
+                }
+                let (map, reduce) = self.specs.gather_specs(i, w);
+                self.ctx.launch_tracked(stream, &map, iter, i)?;
+                if let Some(spec) = reduce {
+                    self.ctx.launch_tracked(stream, &spec, iter, i)?;
+                }
+            }
+            self.ctx.sync_and_resolve();
+        }
+
+        // Stage B: apply (fused with gather's residency: temps never move).
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if self.opts.frontier_management && !w.is_active() {
+                self.ctx.metrics.inc("engine.skipped_kernel_launches", 1);
+                continue;
+            }
+            let stream = self.stream_for(i);
+            let spec = self.specs.apply_spec(w);
+            self.ctx.launch_tracked(stream, &spec, iter, i)?;
+        }
+        self.ctx.sync_and_resolve();
+
+        // Stage C: scatter + FrontierActivate share one out-edge copy.
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if self.opts.frontier_management && w.out_edges_of_changed == 0 {
+                if !self.out_cached[i] {
+                    self.ctx.metrics.inc("engine.skipped_shard_copies", 1);
+                }
+                self.ctx.metrics.inc(
+                    "engine.skipped_kernel_launches",
+                    if self.program.has_scatter() { 2 } else { 1 },
+                );
+                continue;
+            }
+            let stream = self.stream_for(i);
+            if !self.out_cached[i] {
+                let bufs = self.out_buf_sets[i];
+                self.movement
+                    .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+                if self.resident {
+                    self.out_cached[i] = true;
+                }
+            }
+            if self.program.has_scatter() {
+                let spec = self.specs.scatter_spec(i, w);
+                self.ctx.launch_tracked(stream, &spec, iter, i)?;
+            }
+            let spec = self.specs.activate_spec(i, w);
+            self.ctx.launch_tracked(stream, &spec, iter, i)?;
+            // Copy-outs: mutated edge values (unless resident — they are
+            // fetched once at finalize) and the tiny frontier bitmap.
+            let bits = self.frontier_bits_bufs[i];
+            if self.program.has_scatter() && !self.resident {
+                let vals = (
+                    w.out_edges_of_changed * self.sizes.edge_value,
+                    "out.value.d2h",
+                );
+                self.movement
+                    .copy_out(&mut self.ctx, i, stream, &[vals, bits], iter)?;
+            } else {
+                self.movement
+                    .copy_out(&mut self.ctx, i, stream, &[bits], iter)?;
+            }
+        }
+        self.ctx.sync_and_resolve();
+        Ok(())
+    }
+
+    /// Unoptimized mode: five separate phases, each moving the shard data
+    /// it touches in *and* out, for every shard, every iteration — the
+    /// Figure 15 baseline.
+    fn emit_unfused(&mut self, iter: u32, work: &[ShardWork]) -> Result<(), Abort> {
+        let has_gather = self.program.has_gather();
+        let has_scatter = self.program.has_scatter();
+        let skip = |this: &Self, w: &ShardWork| this.opts.frontier_management && !w.is_active();
+
+        // Phase 1: gatherMap — full in-edge sub-arrays in (even for
+        // gather-less programs: this is exactly the movement phase
+        // elimination removes), per-edge update array out.
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if skip(self, w) {
+                self.skip_phase();
+                continue;
+            }
+            let stream = self.stream_for(i);
+            let bufs = self.in_buf_sets[i];
+            self.movement
+                .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+            if has_gather {
+                let (map, _) = self.specs.gather_specs(i, w);
+                self.ctx.launch_tracked(stream, &map, iter, i)?;
+            }
+            let upd = self.edge_update_bufs[i];
+            self.movement
+                .copy_out(&mut self.ctx, i, stream, &[upd], iter)?;
+        }
+        self.ctx.sync_and_resolve();
+
+        // Phase 2: gatherReduce — the per-edge update array comes back in,
+        // reduced per-vertex temps go out. Fusion makes both moves vanish
+        // (the array never leaves the device between the two kernels).
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if skip(self, w) {
+                self.skip_phase();
+                continue;
+            }
+            let stream = self.stream_for(i);
+            let upd = self.edge_update_bufs[i];
+            self.movement
+                .copy_in(&mut self.ctx, i, stream, &[upd], iter)?;
+            if has_gather {
+                let (_, reduce) = self.specs.gather_specs(i, w);
+                if let Some(reduce) = reduce {
+                    self.ctx.launch_tracked(stream, &reduce, iter, i)?;
+                }
+            }
+            let t = self.gather_temp_bufs[i];
+            self.movement
+                .copy_out(&mut self.ctx, i, stream, &[t], iter)?;
+        }
+        self.ctx.sync_and_resolve();
+
+        // Phase 3: apply — temps + vertex interval in, vertex interval out.
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if skip(self, w) {
+                self.skip_phase();
+                continue;
+            }
+            let stream = self.stream_for(i);
+            let vbuf = self.apply_vertex_bufs[i];
+            let t = self.gather_temp_bufs[i];
+            self.movement
+                .copy_in(&mut self.ctx, i, stream, &[t, vbuf], iter)?;
+            let spec = self.specs.apply_spec(w);
+            self.ctx.launch_tracked(stream, &spec, iter, i)?;
+            self.movement
+                .copy_out(&mut self.ctx, i, stream, &[vbuf], iter)?;
+        }
+        self.ctx.sync_and_resolve();
+
+        // Phase 4: scatter — full out-edge arrays in, values out.
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if skip(self, w) {
+                self.skip_phase();
+                continue;
+            }
+            let stream = self.stream_for(i);
+            let bufs = self.out_buf_sets[i];
+            self.movement
+                .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+            if has_scatter {
+                let spec = self.specs.scatter_spec(i, w);
+                self.ctx.launch_tracked(stream, &spec, iter, i)?;
+                let vals: Buf = (
+                    self.plan.shards[i].num_out_edges() * self.sizes.edge_value,
+                    "out.value.d2h",
+                );
+                self.movement
+                    .copy_out(&mut self.ctx, i, stream, &[vals], iter)?;
+            }
+        }
+        self.ctx.sync_and_resolve();
+
+        // Phase 5: FrontierActivate — out-edge topology in (again), bits out.
+        for (i, w) in work.iter().enumerate() {
+            if self.host_shards[i] {
+                continue;
+            }
+            if skip(self, w) {
+                self.skip_phase();
+                continue;
+            }
+            let stream = self.stream_for(i);
+            let dst = self.out_dst_bufs[i];
+            self.movement
+                .copy_in(&mut self.ctx, i, stream, &[dst], iter)?;
+            let spec = self.specs.activate_spec(i, w);
+            self.ctx.launch_tracked(stream, &spec, iter, i)?;
+            let bits = self.frontier_bits_bufs[i];
+            self.movement
+                .copy_out(&mut self.ctx, i, stream, &[bits], iter)?;
+        }
+        self.ctx.sync_and_resolve();
+        Ok(())
+    }
+
+    /// One skipped phase of the unfused pipeline: one shard copy and one
+    /// kernel launch that never happened.
+    fn skip_phase(&mut self) {
+        self.ctx.metrics.inc("engine.skipped_shard_copies", 1);
+        self.ctx.metrics.inc("engine.skipped_kernel_launches", 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Partition Engine, planning layer: derive an executable plan from the
+//! byte model, the options, and the device's (possibly capped) capacity.
+//!
+//! Everything here is a pure function of `(SizeModel, Options, caps)` —
+//! no device ops, no streams, no host state. The output is an explicit
+//! [`ExecPlan`]: the (possibly degraded) partition plus the memory
+//! governor's verdict for every shard. The multi-GPU placement governor
+//! lives with its orchestrator in [`crate::multi`]; the static
+//! fusion/elimination decisions ([`emit_plan_decisions`]) are shared by
+//! both paths.
+
+use gr_graph::{split_shard, GraphLayout, Shard};
+use gr_observe::{Decision, MetricsRegistry, Observer};
+use gr_sim::OutOfMemory;
+
+use crate::buffers::StagingBuffer;
+use crate::options::Options;
+use crate::recovery::EngineError;
+use crate::sizes::{PartitionPlan, SizeModel};
+
+/// The executable plan for one device: the partition (after any governor
+/// degradation) plus per-shard movement verdicts. All-default governed
+/// fields when the device is unconstrained: the governor makes no
+/// decisions and the run is byte-identical to an ungoverned one.
+pub struct ExecPlan {
+    /// The partition plan, with shards split/renumbered as governed.
+    pub partition: PartitionPlan,
+    /// Rung 6: even per-shard degradation cannot fit the cap — the whole
+    /// run executes on the host CPU and nothing is allocated on-device.
+    pub host_run: bool,
+    /// Per-slot streaming allocation size (== `partition.max_shard_bytes`
+    /// unless chunking shrank it to the governed budget).
+    pub slot_bytes: u64,
+    /// Shards streamed in bounded chunks through the staging slot.
+    pub chunked: Vec<bool>,
+    /// Shards degraded to host-CPU execution.
+    pub host_shards: Vec<bool>,
+}
+
+// Governed fields under construction, before the (possibly mutated)
+// partition is moved into the final plan.
+struct Governed {
+    host_run: bool,
+    slot_bytes: u64,
+    chunked: Vec<bool>,
+    host_shards: Vec<bool>,
+}
+
+impl Governed {
+    fn into_plan(self, partition: PartitionPlan) -> ExecPlan {
+        ExecPlan {
+            partition,
+            host_run: self.host_run,
+            slot_bytes: self.slot_bytes,
+            chunked: self.chunked,
+            host_shards: self.host_shards,
+        }
+    }
+}
+
+/// The device-memory governor: degrade the optimistic partition plan until
+/// it fits the (possibly capped) device pool, escalating through
+///
+/// 1. drop residency (stream instead of caching every shard),
+/// 2. reduce concurrency `K`,
+/// 3. adaptively split oversized shards ([`split_shard`]),
+/// 4. chunk transfers of unsplittable shards through a bounded staging
+///    slot ([`StagingBuffer`]),
+/// 5. per-shard host fallback,
+/// 6. whole-run host execution,
+///
+/// and surfacing [`EngineError::Alloc`] only when the recovery policy
+/// forbids host fallback at a terminal rung. Every degradation emits
+/// exactly one decision ([`Decision::MemoryPressure`],
+/// [`Decision::ShardSplit`], [`Decision::ChunkedXfer`]) and bumps the
+/// matching `engine.*` counter; with no `mem_cap` set this is a single
+/// branch and zero decisions.
+pub fn build_exec_plan(
+    partition: PartitionPlan,
+    sizes: &SizeModel,
+    layout: &GraphLayout,
+    capacity: u64,
+    opts: &Options,
+    metrics: &mut MetricsRegistry,
+    observer: &Observer,
+) -> Result<ExecPlan, EngineError> {
+    let mut plan = partition;
+    let num_shards = plan.shards.len();
+    let mut out = Governed {
+        host_run: false,
+        slot_bytes: plan.max_shard_bytes,
+        chunked: vec![false; num_shards],
+        host_shards: vec![false; num_shards],
+    };
+    if opts.mem_cap.is_none() {
+        return Ok(out.into_plan(plan));
+    }
+    let oom = |requested: u64, available: u64| OutOfMemory {
+        requested,
+        available,
+        capacity,
+    };
+
+    // Rung 6 first (it gates everything): the static buffers alone exceed
+    // the cap, so no device execution is possible at all.
+    if plan.static_bytes > capacity {
+        if !opts.recovery.host_fallback {
+            return Err(EngineError::Alloc(oom(plan.static_bytes, capacity)));
+        }
+        metrics.inc("engine.mem_pressure", 1);
+        let requested = plan.static_bytes;
+        observer.decision(|| Decision::MemoryPressure {
+            device: 0,
+            requested,
+            available: capacity,
+            capacity,
+            response: "host-run",
+            scope: "run",
+        });
+        out.host_run = true;
+        return Ok(out.into_plan(plan));
+    }
+    let budget = capacity - plan.static_bytes;
+
+    // Rung 1: residency. Caching every shard needs the whole streaming
+    // working set on-device; under pressure, stream instead.
+    if opts.cache_resident && plan.all_resident {
+        let total: u64 = plan.shards.iter().map(|s| sizes.shard_bytes(s)).sum();
+        if total > budget {
+            metrics.inc("engine.mem_pressure", 1);
+            observer.decision(|| Decision::MemoryPressure {
+                device: 0,
+                requested: total,
+                available: budget,
+                capacity,
+                response: "stream",
+                scope: "plan",
+            });
+            plan.all_resident = false;
+        }
+    }
+
+    // Rung 2: concurrency. K slots of the largest shard must fit the
+    // streaming budget (Equation (1) against the governed capacity).
+    let k0 = plan.concurrent.max(1);
+    let mut k = k0;
+    while k > 1 && k as u64 * plan.max_shard_bytes > budget {
+        k -= 1;
+    }
+    if k < k0 {
+        metrics.inc("engine.mem_pressure", 1);
+        let requested = k0 as u64 * plan.max_shard_bytes;
+        observer.decision(|| Decision::MemoryPressure {
+            device: 0,
+            requested,
+            available: budget,
+            capacity,
+            response: "reduce-concurrency",
+            scope: "plan",
+        });
+        plan.concurrent = k;
+    }
+    let slot_budget = (budget / plan.concurrent.max(1) as u64).max(1);
+
+    // Rung 3: adaptive shard splitting. Repeatedly split the largest
+    // over-budget shard at its edge-mass midpoint; sub-shards execute
+    // sequentially through the same slots with the same merged frontier
+    // accounting, so results are bit-identical. Stops when nothing
+    // over-budget can shrink further (a hub vertex's own edge lists).
+    let mut split_any = false;
+    while let Some((idx, bytes)) = plan
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, sizes.shard_bytes(s)))
+        .filter(|&(_, b)| b > slot_budget)
+        .max_by_key(|&(_, b)| b)
+    {
+        let shard = plan.shards[idx].clone();
+        let Some((left, right)) = split_shard(layout, &shard) else {
+            break;
+        };
+        let worst = sizes.shard_bytes(&left).max(sizes.shard_bytes(&right));
+        if worst >= bytes {
+            // Degenerate split (all mass on one side): no progress.
+            break;
+        }
+        metrics.inc("engine.shard_splits", 1);
+        let vertices = shard.num_vertices();
+        observer.decision(|| Decision::ShardSplit {
+            shard: idx as u32,
+            vertices,
+            bytes,
+        });
+        plan.shards.splice(idx..=idx, [left, right]);
+        split_any = true;
+    }
+    if split_any {
+        for (i, sh) in plan.shards.iter_mut().enumerate() {
+            sh.id = i;
+        }
+        plan.max_shard_bytes = plan
+            .shards
+            .iter()
+            .map(|s| sizes.shard_bytes(s))
+            .max()
+            .unwrap_or(0);
+        out.chunked = vec![false; plan.shards.len()];
+        out.host_shards = vec![false; plan.shards.len()];
+    }
+    out.slot_bytes = plan.max_shard_bytes.min(slot_budget).max(1);
+
+    // Rungs 4-5: shards that still exceed the slot stream through the
+    // bounded staging slot in chunks — or, when even chunking is
+    // unreasonable, degrade to host-CPU execution for that shard alone.
+    if plan.max_shard_bytes > slot_budget {
+        let staging = StagingBuffer::new(slot_budget);
+        for (i, sh) in plan.shards.iter().enumerate() {
+            let bytes = sizes.shard_bytes(sh);
+            if bytes <= slot_budget {
+                continue;
+            }
+            if staging.can_stage(bytes) {
+                metrics.inc("engine.chunked_shards", 1);
+                let chunks = staging.chunks_for(bytes) as u32;
+                observer.decision(|| Decision::ChunkedXfer {
+                    shard: i as u32,
+                    shard_bytes: bytes,
+                    chunk_bytes: slot_budget,
+                    chunks,
+                });
+                out.chunked[i] = true;
+            } else {
+                if !opts.recovery.host_fallback {
+                    return Err(EngineError::Alloc(oom(bytes, slot_budget)));
+                }
+                metrics.inc("engine.mem_pressure", 1);
+                metrics.inc("engine.host_shards", 1);
+                observer.decision(|| Decision::MemoryPressure {
+                    device: 0,
+                    requested: bytes,
+                    available: slot_budget,
+                    capacity,
+                    response: "host-shard",
+                    scope: "shard",
+                });
+                out.host_shards[i] = true;
+            }
+        }
+    }
+    Ok(out.into_plan(plan))
+}
+
+/// Record a run's static optimization decisions (made once, from the
+/// program shape and options, not per iteration). Shared by both paths:
+/// the single driver passes its `phase_fusion` option; the multi
+/// orchestrator's pipeline is always fused-shape.
+pub fn emit_plan_decisions(observer: &Observer, fusion: bool, has_gather: bool, has_scatter: bool) {
+    if fusion {
+        observer.decision(|| Decision::PhaseFusion {
+            phases: "gatherMap+gatherReduce | scatter+frontierActivate",
+            rationale: "intermediates (edge updates, gather temps) stay device-resident; \
+                        scatter and activate share one out-edge copy",
+        });
+    }
+    if !has_gather {
+        observer.decision(|| Decision::PhaseElimination {
+            phase: "gather",
+            rationale: "program defines no gather: in-edge sub-arrays never cross PCIe",
+        });
+    }
+    if !has_scatter {
+        observer.decision(|| Decision::PhaseElimination {
+            phase: "scatter",
+            rationale: "program defines no scatter: out-edge values never move",
+        });
+    }
+}
+
+/// Max/mean degree ratio over an interval: the per-CTA imbalance a
+/// vertex-centric kernel suffers without CTA load balancing. Capped at 16
+/// (blocks internally mitigate extreme skew).
+pub(crate) fn interval_skew(layout: &GraphLayout, sh: &Shard, in_edges: bool) -> f64 {
+    let adj = if in_edges { &layout.csc } else { &layout.csr };
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    for v in sh.interval.start..sh.interval.end {
+        let d = adj.degree(v);
+        max = max.max(d);
+        sum += d;
+    }
+    if sum == 0 {
+        return 1.0;
+    }
+    let mean = sum as f64 / sh.interval.len() as f64;
+    (max as f64 / mean.max(1.0)).clamp(1.0, 16.0)
+}

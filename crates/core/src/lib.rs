@@ -53,6 +53,7 @@ pub mod api;
 pub mod buffers;
 pub mod checkpoint;
 pub mod engine;
+pub mod exec;
 pub mod multi;
 pub mod options;
 pub mod phases;
@@ -60,6 +61,8 @@ pub mod recovery;
 pub mod report;
 pub mod sizes;
 pub mod stats;
+#[cfg(any(test, feature = "test-support"))]
+pub mod testprog;
 
 pub use api::{GasProgram, InitialFrontier};
 pub use buffers::StagingBuffer;

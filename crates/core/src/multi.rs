@@ -16,33 +16,32 @@
 //!
 //! Iteration wall time is the max across devices (devices progress their
 //! own virtual clocks; a global barrier aligns them each stage).
-//! Semantics are unchanged — results stay bit-identical to the
-//! single-device engine and the sequential oracle.
+//!
+//! This module is a thin orchestrator over the shared execution core in
+//! [`crate::exec`]: exact host results come from the driver's
+//! `HostState`, every device op goes through a per-device [`DeviceCtx`]
+//! (one retry/backoff policy for both engines), kernels are priced by the
+//! same [`crate::exec::compute`] builders the single-GPU driver uses, and
+//! persistent-fault rollbacks share the driver's `roll_back`.
+//! What remains here is genuinely multi-GPU: shard placement and the
+//! per-GPU memory governor (`govern_placement`), BSP barriers, the
+//! cross-device exchange, and device eviction. Semantics are unchanged —
+//! results stay bit-identical to the single-device engine and the
+//! sequential oracle.
 
 use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
-use gr_observe::{Decision, InstantEvent, Observer, SpanEvent};
-use gr_sim::{
-    DeviceFault, FaultPlan, Gpu, KernelSpec, OpId, OutOfMemory, Platform, SimDuration, StreamId,
-};
+use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
+use gr_sim::{DeviceFault, FaultPlan, OutOfMemory, Platform, SimDuration};
 
-use crate::api::{GasProgram, InitialFrontier};
+use crate::api::GasProgram;
+use crate::exec::compute::{activate_kernel_spec, apply_kernel_spec, gather_map_spec};
+use crate::exec::device::{barrier, barrier_observed, Abort, DeviceCtx};
+use crate::exec::driver::{roll_back, HostState};
+use crate::exec::plan::emit_plan_decisions;
 use crate::options::HostKernels;
-use crate::phases::{activate_shard, apply_shard, gather_shard, scatter_shard, ShardWork};
+use crate::phases::ShardWork;
 use crate::recovery::{EngineError, RecoveryPolicy};
 use crate::sizes::{plan_partition, PartitionPlan, SizeModel};
-use crate::stats::IterationStats;
-
-/// Timeline replays allowed per BSP stage before a persistent fault
-/// becomes [`EngineError::Unrecoverable`].
-const REPLAY_CAP: u32 = 64;
-
-/// A device op that failed past its retry budget (or hit a lost device)
-/// during multi-GPU timeline emission.
-struct MultiAbort {
-    device: usize,
-    op: &'static str,
-    fault: DeviceFault,
-}
 
 /// Multi-GPU run statistics.
 #[derive(Clone, Debug, Default)]
@@ -75,7 +74,7 @@ pub struct MultiRunStats {
     /// Adaptive shard splits after redistribution ran out of headroom.
     pub shard_splits: u64,
     /// Per-iteration trace.
-    pub per_iteration: Vec<IterationStats>,
+    pub per_iteration: Vec<crate::stats::IterationStats>,
 }
 
 /// Result of a multi-GPU run.
@@ -142,19 +141,38 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         self
     }
 
-    fn size_model(&self) -> SizeModel {
-        SizeModel {
-            vertex_value: std::mem::size_of::<P::VertexValue>() as u64,
-            gather: std::mem::size_of::<P::Gather>() as u64,
-            edge_value: std::mem::size_of::<P::EdgeValue>() as u64,
-            has_gather: self.program.has_gather(),
-            has_scatter: self.program.has_scatter(),
-        }
+    /// Bring up one device context, resolving this device's fault plan and
+    /// memory cap (repeated builder calls overwrite, so the last entry
+    /// wins — exactly what repeated `set_fault_plan`/`cap_memory` calls
+    /// used to do).
+    fn device_ctx(&self, d: usize) -> DeviceCtx {
+        let fault_plan = self
+            .fault_plans
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == d)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(FaultPlan::none);
+        let cap = self
+            .mem_caps
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == d)
+            .map(|&(_, c)| c);
+        DeviceCtx::new(
+            &self.platform,
+            d,
+            self.observer.clone(),
+            Some(format!("gpu{d}/")),
+            fault_plan,
+            cap,
+            self.recovery.clone(),
+        )
     }
 
     /// Execute to convergence.
     pub fn run(&self) -> Result<MultiRunResult<P>, EngineError> {
-        let sizes = self.size_model();
+        let sizes = SizeModel::for_program(&self.program);
         let n = self.layout.num_vertices();
         let ngpu = self.num_gpus as usize;
         // Partition for a single device's memory (each device must hold its
@@ -168,28 +186,10 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             None,
         )?;
 
-        let mut gpus: Vec<Gpu> = (0..ngpu).map(|_| Gpu::new(&self.platform)).collect();
-        for (d, g) in gpus.iter_mut().enumerate() {
-            g.set_observer_tagged(self.observer.clone(), format!("gpu{d}/"));
+        let mut ctxs: Vec<DeviceCtx> = (0..ngpu).map(|d| self.device_ctx(d)).collect();
+        for c in ctxs.iter_mut() {
+            c.create_main_streams(plan.concurrent as usize);
         }
-        for (d, cap) in &self.mem_caps {
-            if *d < ngpu {
-                gpus[*d].cap_memory(*cap);
-            }
-        }
-        for (d, plan) in &self.fault_plans {
-            if *d < ngpu {
-                gpus[*d].set_fault_plan(plan.clone());
-            }
-        }
-        let streams: Vec<Vec<StreamId>> = gpus
-            .iter_mut()
-            .map(|g| {
-                (0..plan.concurrent as usize)
-                    .map(|_| g.create_stream())
-                    .collect()
-            })
-            .collect();
 
         // Shard ownership and device liveness: a lost device is evicted
         // and its shards redistributed round-robin over the survivors.
@@ -202,12 +202,23 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         let governed = govern_placement(
             &mut plan,
             &mut owners,
-            &gpus,
+            &ctxs,
             &sizes,
             self.layout,
             &self.observer,
         )?;
         let shards = &plan.shards;
+
+        // Orchestrator-level registry: feeds the shared exec helpers
+        // (rollback counts, frontier gauges). `MultiRunStats` reads none
+        // of it — multi statistics stay explicitly assembled below.
+        let mut metrics = MetricsRegistry::new();
+        emit_plan_decisions(
+            &self.observer,
+            true,
+            self.program.has_gather(),
+            self.program.has_scatter(),
+        );
 
         // Static buffers replicated per device.
         let vbytes = n as u64 * sizes.vertex_value;
@@ -216,22 +227,12 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             let mut replays = 0u32;
             loop {
                 let mut abort = None;
-                for d in 0..ngpu {
+                for (d, c) in ctxs.iter_mut().enumerate() {
                     if !alive[d] {
                         continue;
                     }
-                    let s = streams[d][0];
-                    let r = multi_retry(
-                        &mut gpus[d],
-                        d,
-                        s,
-                        "multi.init.vertices",
-                        0,
-                        &self.recovery,
-                        &self.observer,
-                        |g| g.try_h2d(s, vbytes, "multi.init.vertices"),
-                    );
-                    if let Err(a) = r {
+                    let s = c.main_streams[0];
+                    if let Err(a) = c.h2d(s, vbytes, "multi.init.vertices", 0) {
                         abort = Some(a);
                         break;
                     }
@@ -240,8 +241,8 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                     None => break,
                     Some(a) => {
                         replays += 1;
-                        global += barrier(&mut gpus);
-                        handle_multi_abort(
+                        global += barrier(&mut ctxs);
+                        handle_abort(
                             a,
                             0,
                             replays,
@@ -249,101 +250,34 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                             &mut owners,
                             &mut evictions,
                             &self.observer,
+                            &mut metrics,
                         )?;
                     }
                 }
             }
         }
-        barrier_observed(&mut gpus, &mut global, "init", &self.observer);
+        barrier_observed(&mut ctxs, &mut global, "init", &self.observer);
 
-        // Host master state (results computed once, exactly).
-        let mut vertex_values: Vec<P::VertexValue> = (0..n)
-            .map(|v| {
-                self.program
-                    .init_vertex(v, self.layout.csr.degree(v) as u32)
-            })
-            .collect();
-        let mut edge_values = vec![P::EdgeValue::default(); self.layout.num_edges() as usize];
-        let mut gather_temp = vec![self.program.gather_identity(); n as usize];
-        let mut frontier = match self.program.initial_frontier() {
-            InitialFrontier::All => Bitmap::full(n),
-            InitialFrontier::Single(v) => {
-                let mut b = Bitmap::new(n);
-                if n > 0 {
-                    b.set(v);
-                }
-                b
-            }
-        };
+        // Host master state (results computed once, exactly) — the same
+        // [`HostState`] the single-GPU driver runs, shared across devices
+        // because vertex state is replicated.
+        let mut host = HostState::<P>::cold(&self.program, self.layout);
 
-        let mut per_iteration = Vec::new();
         let mut exchange_bytes = 0u64;
         let mut iter = 0u32;
-        while iter < self.program.max_iterations() && frontier.count() > 0 {
+        while iter < self.program.max_iterations() && host.frontier.count() > 0 {
             let iter_start = global;
             // ---- exact BSP computation (once, on the host) ----
-            let mut work = vec![ShardWork::default(); shards.len()];
-            let mut changed = Bitmap::new(n);
-            let mut next = Bitmap::new(n);
-            if self.program.has_gather() {
-                for (i, sh) in shards.iter().enumerate() {
-                    let (lo, hi) = (sh.interval.start as usize, sh.interval.end as usize);
-                    let (a, e) = gather_shard(
-                        &self.program,
-                        self.layout,
-                        sh,
-                        &vertex_values,
-                        &edge_values,
-                        &self.layout.weights,
-                        &frontier,
-                        &mut gather_temp[lo..hi],
-                        HostKernels::Adaptive,
-                    );
-                    work[i].active_vertices = a;
-                    work[i].active_in_edges = e;
-                }
-            } else {
-                for (i, sh) in shards.iter().enumerate() {
-                    work[i].active_vertices =
-                        frontier.count_range(sh.interval.start, sh.interval.end);
-                }
-            }
-            for (i, sh) in shards.iter().enumerate() {
-                let (lo, hi) = (sh.interval.start as usize, sh.interval.end as usize);
-                let ids = apply_shard(
-                    &self.program,
-                    sh,
-                    &mut vertex_values[lo..hi],
-                    &gather_temp[lo..hi],
-                    &frontier,
-                    iter,
-                    HostKernels::Adaptive,
-                );
-                work[i].changed_vertices = ids.len() as u64;
-                for v in ids {
-                    changed.set(v);
-                }
-            }
-            if self.program.has_scatter() {
-                for sh in shards.iter() {
-                    scatter_shard(
-                        &self.program,
-                        self.layout,
-                        sh,
-                        &vertex_values,
-                        &mut edge_values,
-                        &changed,
-                        HostKernels::Adaptive,
-                    );
-                }
-            }
-            let mut activated = 0;
-            for (i, sh) in shards.iter().enumerate() {
-                let (walked, act) =
-                    activate_shard(self.layout, sh, &changed, &mut next, HostKernels::Adaptive);
-                work[i].out_edges_of_changed = walked;
-                activated += act;
-            }
+            let work = host.compute_iteration(
+                &self.program,
+                self.layout,
+                shards,
+                HostKernels::Adaptive,
+                true,
+                iter,
+                &self.observer,
+                &mut metrics,
+            );
 
             // ---- device timelines (replayed on persistent faults) ----
             // Host results above were computed exactly once; only the
@@ -351,19 +285,17 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             // an eviction, so final state stays bit-identical.
             let mut replays = 0u32;
             let exchanged = loop {
-                let r = emit_multi_iteration(
-                    &mut gpus,
-                    &streams,
+                let r = emit_iteration(
+                    &mut ctxs,
                     &owners,
                     &alive,
                     shards,
                     &sizes,
                     &work,
-                    &changed,
+                    &host.changed,
                     self.program.has_gather(),
                     iter,
                     &mut global,
-                    &self.recovery,
                     &self.observer,
                 );
                 match r {
@@ -372,8 +304,8 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                         replays += 1;
                         // Settle partial work: the doomed attempt's time
                         // stays on the clock.
-                        global += barrier(&mut gpus);
-                        handle_multi_abort(
+                        global += barrier(&mut ctxs);
+                        handle_abort(
                             a,
                             iter,
                             replays,
@@ -381,6 +313,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                             &mut owners,
                             &mut evictions,
                             &self.observer,
+                            &mut metrics,
                         )?;
                     }
                 }
@@ -388,15 +321,9 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             // Committed only on success so replays never double-count.
             exchange_bytes += exchanged;
 
-            let processed = work.iter().filter(|w| w.is_active()).count() as u32;
-            let it = IterationStats {
-                frontier_size: frontier.count(),
-                gathered_edges: work.iter().map(|w| w.active_in_edges).sum(),
-                changed: changed.count(),
-                activated,
-                shards_processed: processed,
-                shards_skipped: shards.len() as u32 - processed,
-            };
+            let it = host.iterations.last().expect("pushed by compute_iteration");
+            let (frontier_size, changed_count) = (it.frontier_size, it.changed);
+            let (processed, skipped) = (it.shards_processed, it.shards_skipped);
             let (span_start, span_end) = (iter_start.as_nanos(), global.as_nanos());
             self.observer.span(|| SpanEvent {
                 track: "multi",
@@ -405,14 +332,13 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 start_ns: span_start,
                 dur_ns: span_end - span_start,
                 fields: vec![
-                    ("frontier_size", it.frontier_size.into()),
-                    ("changed", it.changed.into()),
-                    ("shards_processed", it.shards_processed.into()),
-                    ("shards_skipped", it.shards_skipped.into()),
+                    ("frontier_size", frontier_size.into()),
+                    ("changed", changed_count.into()),
+                    ("shards_processed", processed.into()),
+                    ("shards_skipped", skipped.into()),
                 ],
             });
-            per_iteration.push(it);
-            frontier = next;
+            host.finish_iteration();
             iter += 1;
         }
 
@@ -432,19 +358,9 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                         .filter(|(i, _)| owners[*i] == d)
                         .map(|(_, sh)| sh.num_vertices())
                         .sum();
-                    let s = streams[d][0];
+                    let s = ctxs[d].main_streams[0];
                     let bytes = owned * sizes.vertex_value;
-                    let r = multi_retry(
-                        &mut gpus[d],
-                        d,
-                        s,
-                        "multi.final",
-                        iter,
-                        &self.recovery,
-                        &self.observer,
-                        |g| g.try_d2h(s, bytes, "multi.final"),
-                    );
-                    if let Err(a) = r {
+                    if let Err(a) = ctxs[d].d2h(s, bytes, "multi.final", iter) {
                         abort = Some(a);
                         break;
                     }
@@ -453,8 +369,8 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                     None => break,
                     Some(a) => {
                         replays += 1;
-                        global += barrier(&mut gpus);
-                        handle_multi_abort(
+                        global += barrier(&mut ctxs);
+                        handle_abort(
                             a,
                             iter,
                             replays,
@@ -462,35 +378,36 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                             &mut owners,
                             &mut evictions,
                             &self.observer,
+                            &mut metrics,
                         )?;
                     }
                 }
             }
         }
-        barrier_observed(&mut gpus, &mut global, "final", &self.observer);
-        for (d, g) in gpus.iter().enumerate() {
+        barrier_observed(&mut ctxs, &mut global, "final", &self.observer);
+        for (d, c) in ctxs.iter().enumerate() {
             self.observer
-                .snapshot(&format!("gpu{d}"), || g.metrics().snapshot());
+                .snapshot(&format!("gpu{d}"), || c.gpu_metrics().snapshot());
         }
 
         let stats = MultiRunStats {
             num_gpus: self.num_gpus,
             iterations: iter,
             elapsed: global,
-            per_gpu_memcpy: gpus.iter().map(|g| g.stats().memcpy_busy).collect(),
-            per_gpu_kernel: gpus.iter().map(|g| g.stats().kernel_busy).collect(),
+            per_gpu_memcpy: ctxs.iter().map(|c| c.stats().memcpy_busy).collect(),
+            per_gpu_kernel: ctxs.iter().map(|c| c.stats().kernel_busy).collect(),
             exchange_bytes,
             num_shards: shards.len(),
             evictions,
-            faults_injected: gpus.iter().map(|g| g.faults_injected()).sum(),
+            faults_injected: ctxs.iter().map(|c| c.faults_injected()).sum(),
             mem_pressure_events: governed.mem_pressure_events,
             redistributions: governed.redistributions,
             shard_splits: governed.shard_splits,
-            per_iteration,
+            per_iteration: host.iterations,
         };
         Ok(MultiRunResult {
-            vertex_values,
-            edge_values,
+            vertex_values: host.vertex_values,
+            edge_values: host.edge_values,
             stats,
         })
     }
@@ -517,22 +434,22 @@ struct MultiGoverned {
 fn govern_placement(
     plan: &mut PartitionPlan,
     owners: &mut Vec<usize>,
-    gpus: &[Gpu],
+    ctxs: &[DeviceCtx],
     sizes: &SizeModel,
     layout: &GraphLayout,
     observer: &Observer,
 ) -> Result<MultiGoverned, EngineError> {
     let mut out = MultiGoverned::default();
-    let ngpu = gpus.len();
+    let ngpu = ctxs.len();
     let k = plan.concurrent.max(1) as u64;
-    let budgets: Vec<u64> = gpus
+    let budgets: Vec<u64> = ctxs
         .iter()
-        .map(|g| g.memory().capacity().saturating_sub(plan.static_bytes))
+        .map(|c| c.mem_capacity().saturating_sub(plan.static_bytes))
         .collect();
     // The static buffers are replicated on every device; a device that
     // cannot even hold those cannot participate at all.
-    for (d, g) in gpus.iter().enumerate() {
-        let capacity = g.memory().capacity();
+    for c in ctxs.iter() {
+        let capacity = c.mem_capacity();
         if plan.static_bytes > capacity {
             return Err(EngineError::Alloc(OutOfMemory {
                 requested: plan.static_bytes,
@@ -540,7 +457,6 @@ fn govern_placement(
                 capacity,
             }));
         }
-        let _ = d;
     }
     if budgets.iter().all(|&b| k * plan.max_shard_bytes <= b) {
         return Ok(out); // every device fits the optimistic plan: no decisions
@@ -575,8 +491,7 @@ fn govern_placement(
             owners[idx] = t;
             out.mem_pressure_events += 1;
             out.redistributions += 1;
-            let (requested, available, capacity) =
-                (k * bytes, budgets[d], gpus[d].memory().capacity());
+            let (requested, available, capacity) = (k * bytes, budgets[d], ctxs[d].mem_capacity());
             observer.decision(|| Decision::MemoryPressure {
                 device: d as u32,
                 requested,
@@ -596,7 +511,7 @@ fn govern_placement(
             return Err(EngineError::Alloc(OutOfMemory {
                 requested: k * bytes,
                 available: budgets[d],
-                capacity: gpus[d].memory().capacity(),
+                capacity: ctxs[d].mem_capacity(),
             }));
         };
         out.shard_splits += 1;
@@ -624,73 +539,22 @@ fn govern_placement(
     Ok(out)
 }
 
-/// One device op through the recovery policy: transient faults retry
-/// after exponential-backoff stalls (charged to the device's stream,
-/// logged as [`Decision::FaultRetry`] with the device index); exhausted
-/// retries and device loss unwind as [`MultiAbort`].
-#[allow(clippy::too_many_arguments)]
-fn multi_retry<F>(
-    gpu: &mut Gpu,
-    device: usize,
-    stream: StreamId,
-    label: &'static str,
-    iter: u32,
-    recovery: &RecoveryPolicy,
-    observer: &Observer,
-    mut op: F,
-) -> Result<OpId, MultiAbort>
-where
-    F: FnMut(&mut Gpu) -> Result<OpId, DeviceFault>,
-{
-    let mut attempt = 0u32;
-    loop {
-        match op(gpu) {
-            Ok(id) => return Ok(id),
-            Err(DeviceFault::Lost) => {
-                return Err(MultiAbort {
-                    device,
-                    op: label,
-                    fault: DeviceFault::Lost,
-                })
-            }
-            Err(fault) => {
-                attempt += 1;
-                if attempt > recovery.max_retries {
-                    return Err(MultiAbort {
-                        device,
-                        op: label,
-                        fault,
-                    });
-                }
-                let backoff = recovery.backoff(attempt);
-                gpu.stall(stream, backoff, "recovery.backoff");
-                let backoff_ns = backoff.as_nanos();
-                observer.decision(|| Decision::FaultRetry {
-                    iteration: iter,
-                    device: device as u32,
-                    op: label,
-                    fault: fault.name(),
-                    attempt,
-                    backoff_ns,
-                });
-            }
-        }
-    }
-}
-
 /// Central multi-GPU abort handling. Device loss evicts the device and
 /// redistributes its shards round-robin over the survivors (logged as
 /// [`Decision::DeviceEvict`]); losing the last device fails the run. A
-/// persistent transient fault logs a [`Decision::Rollback`] so the caller
-/// replays the stage's timeline, bounded by [`REPLAY_CAP`].
-fn handle_multi_abort(
-    a: MultiAbort,
+/// persistent transient fault rolls back through the shared
+/// [`roll_back`] bookkeeping so the caller replays the stage's timeline,
+/// bounded by the same replay cap as the single-GPU driver.
+#[allow(clippy::too_many_arguments)]
+fn handle_abort(
+    a: Abort,
     iter: u32,
     replays: u32,
     alive: &mut [bool],
     owners: &mut [usize],
     evictions: &mut u32,
     observer: &Observer,
+    metrics: &mut MetricsRegistry,
 ) -> Result<(), EngineError> {
     match a.fault {
         DeviceFault::Lost => {
@@ -719,32 +583,26 @@ fn handle_multi_abort(
             });
             Ok(())
         }
-        fault => {
-            if replays > REPLAY_CAP {
-                return Err(EngineError::Unrecoverable { op: a.op });
-            }
-            let device = a.device as u32;
-            let name = fault.name();
-            observer.decision(|| Decision::Rollback {
-                iteration: iter,
-                device,
-                op: a.op,
-                fault: name,
-            });
-            Ok(())
-        }
+        fault => roll_back(
+            observer,
+            metrics,
+            iter,
+            replays,
+            a.device as u32,
+            a.op,
+            fault,
+        ),
     }
 }
 
 /// One BSP iteration's device timeline: gather/apply/activate stages on
 /// each shard's owner plus the cross-device exchange, every op routed
-/// through the fault-retry path. Returns the iteration's exchange bytes
-/// (committed by the caller only on success, so replays never
-/// double-count).
+/// through the shared [`DeviceCtx`] fault-retry path. Returns the
+/// iteration's exchange bytes (committed by the caller only on success,
+/// so replays never double-count).
 #[allow(clippy::too_many_arguments)]
-fn emit_multi_iteration(
-    gpus: &mut [Gpu],
-    streams: &[Vec<StreamId>],
+fn emit_iteration(
+    ctxs: &mut [DeviceCtx],
     owners: &[usize],
     alive: &[bool],
     shards: &[Shard],
@@ -754,9 +612,8 @@ fn emit_multi_iteration(
     has_gather: bool,
     iter: u32,
     global: &mut SimDuration,
-    recovery: &RecoveryPolicy,
     observer: &Observer,
-) -> Result<u64, MultiAbort> {
+) -> Result<u64, Abort> {
     // Stage A: gather on each shard's owner device.
     if has_gather {
         for (i, sh) in shards.iter().enumerate() {
@@ -764,37 +621,13 @@ fn emit_multi_iteration(
                 continue;
             }
             let d = owners[i];
-            let stream = streams[d][i % streams[d].len()];
+            let stream = ctxs[d].main_streams[i % ctxs[d].main_streams.len()];
             let bytes = sh.num_in_edges() * sizes.in_edge_bytes();
-            multi_retry(
-                &mut gpus[d],
-                d,
-                stream,
-                "multi.in-edges",
-                iter,
-                recovery,
-                observer,
-                |g| g.try_h2d(stream, bytes, "multi.in-edges"),
-            )?;
-            let spec = KernelSpec::balanced(
-                "multi.gather",
-                work[i].active_in_edges,
-                2.0,
-                work[i].active_in_edges * (sizes.in_edge_bytes() + sizes.gather),
-                work[i].active_in_edges,
-            );
-            multi_retry(
-                &mut gpus[d],
-                d,
-                stream,
-                "multi.gather",
-                iter,
-                recovery,
-                observer,
-                |g| g.try_launch(stream, &spec),
-            )?;
+            ctxs[d].h2d(stream, bytes, "multi.in-edges", iter)?;
+            let spec = gather_map_spec(sizes, &work[i], "multi.gather");
+            ctxs[d].launch(stream, &spec, iter)?;
         }
-        barrier_observed(gpus, global, "gather", observer);
+        barrier_observed(ctxs, global, "gather", observer);
     }
     // Stage B: apply on owners.
     for (i, _sh) in shards.iter().enumerate() {
@@ -802,26 +635,11 @@ fn emit_multi_iteration(
             continue;
         }
         let d = owners[i];
-        let stream = streams[d][i % streams[d].len()];
-        let spec = KernelSpec::balanced(
-            "multi.apply",
-            work[i].active_vertices,
-            4.0,
-            work[i].active_vertices * (sizes.vertex_value + sizes.gather),
-            0,
-        );
-        multi_retry(
-            &mut gpus[d],
-            d,
-            stream,
-            "multi.apply",
-            iter,
-            recovery,
-            observer,
-            |g| g.try_launch(stream, &spec),
-        )?;
+        let stream = ctxs[d].main_streams[i % ctxs[d].main_streams.len()];
+        let spec = apply_kernel_spec(sizes, &work[i], "multi.apply");
+        ctxs[d].launch(stream, &spec, iter)?;
     }
-    barrier_observed(gpus, global, "apply", observer);
+    barrier_observed(ctxs, global, "apply", observer);
     // Stage C: scatter/activate on owners, then cross-device exchange of
     // changed vertex values + activation bits.
     for (i, sh) in shards.iter().enumerate() {
@@ -829,39 +647,15 @@ fn emit_multi_iteration(
             continue;
         }
         let d = owners[i];
-        let stream = streams[d][i % streams[d].len()];
+        let stream = ctxs[d].main_streams[i % ctxs[d].main_streams.len()];
         let bytes = sh.num_out_edges() * sizes.out_edge_bytes();
-        multi_retry(
-            &mut gpus[d],
-            d,
-            stream,
-            "multi.out-edges",
-            iter,
-            recovery,
-            observer,
-            |g| g.try_h2d(stream, bytes, "multi.out-edges"),
-        )?;
-        let spec = KernelSpec::balanced(
-            "multi.activate",
-            work[i].out_edges_of_changed,
-            1.0,
-            work[i].out_edges_of_changed * 4,
-            work[i].out_edges_of_changed,
-        );
-        multi_retry(
-            &mut gpus[d],
-            d,
-            stream,
-            "multi.activate",
-            iter,
-            recovery,
-            observer,
-            |g| g.try_launch(stream, &spec),
-        )?;
+        ctxs[d].h2d(stream, bytes, "multi.out-edges", iter)?;
+        let spec = activate_kernel_spec(sizes, &work[i], "multi.activate");
+        ctxs[d].launch(stream, &spec, iter)?;
     }
     // Exchange: each owner downloads its changed values; every live
     // device uploads the union of the *other* owners' changes.
-    let ngpu = gpus.len();
+    let ngpu = ctxs.len();
     let mut changed_per_gpu = vec![0u64; ngpu];
     for (i, sh) in shards.iter().enumerate() {
         changed_per_gpu[owners[i]] += changed.count_range(sh.interval.start, sh.interval.end);
@@ -875,84 +669,26 @@ fn emit_multi_iteration(
     let mut exchanged = 0u64;
     if live.len() > 1 {
         for &d in &live {
-            let s = streams[d][0];
+            let s = ctxs[d].main_streams[0];
             let down = changed_per_gpu[d] * (sizes.vertex_value + 4);
             let up = (total_changed - changed_per_gpu[d]) * (sizes.vertex_value + 4);
             if down > 0 {
-                multi_retry(
-                    &mut gpus[d],
-                    d,
-                    s,
-                    "multi.exchange.down",
-                    iter,
-                    recovery,
-                    observer,
-                    |g| g.try_d2h(s, down, "multi.exchange.down"),
-                )?;
+                ctxs[d].d2h(s, down, "multi.exchange.down", iter)?;
                 exchanged += down;
             }
             if up > 0 {
-                multi_retry(
-                    &mut gpus[d],
-                    d,
-                    s,
-                    "multi.exchange.up",
-                    iter,
-                    recovery,
-                    observer,
-                    |g| g.try_h2d(s, up, "multi.exchange.up"),
-                )?;
+                ctxs[d].h2d(s, up, "multi.exchange.up", iter)?;
                 exchanged += up;
             }
         }
     } else {
         let d = live[0];
-        let s = streams[d][0];
+        let s = ctxs[d].main_streams[0];
         let bits: u64 = total_changed.div_ceil(8);
-        multi_retry(
-            &mut gpus[d],
-            d,
-            s,
-            "multi.frontier.bits",
-            iter,
-            recovery,
-            observer,
-            |g| g.try_d2h(s, bits, "multi.frontier.bits"),
-        )?;
+        ctxs[d].d2h(s, bits, "multi.frontier.bits", iter)?;
     }
-    barrier_observed(gpus, global, "exchange", observer);
+    barrier_observed(ctxs, global, "exchange", observer);
     Ok(exchanged)
-}
-
-/// Advance all devices to their next barrier; return the stage duration
-/// (the slowest device's progress — devices run concurrently).
-fn barrier(gpus: &mut [Gpu]) -> SimDuration {
-    let mut stage = SimDuration::ZERO;
-    for g in gpus.iter_mut() {
-        let before = g.elapsed();
-        g.synchronize();
-        stage = stage.max(g.elapsed() - before);
-    }
-    stage
-}
-
-/// [`barrier`], plus a `"multi"`-track instant marking where the aligned
-/// global clock lands after the stage.
-fn barrier_observed(
-    gpus: &mut [Gpu],
-    global: &mut SimDuration,
-    stage: &'static str,
-    observer: &Observer,
-) {
-    *global += barrier(gpus);
-    let at = global.as_nanos();
-    observer.instant(|| InstantEvent {
-        track: "multi",
-        lane: "barriers".to_string(),
-        name: format!("barrier {stage}"),
-        at_ns: at,
-        fields: vec![("stage", stage.into())],
-    });
 }
 
 /// Helper to assemble one [`Shard`]'s byte volume under a size model (used
@@ -966,50 +702,8 @@ mod tests {
     use super::*;
     use crate::engine::GraphReduce;
     use crate::options::Options;
+    use crate::testprog::Cc;
     use gr_graph::gen;
-
-    struct Cc;
-
-    impl GasProgram for Cc {
-        type VertexValue = u32;
-        type EdgeValue = ();
-        type Gather = u32;
-
-        fn name(&self) -> &'static str {
-            "cc"
-        }
-
-        fn init_vertex(&self, v: u32, _d: u32) -> u32 {
-            v
-        }
-
-        fn initial_frontier(&self) -> InitialFrontier {
-            InitialFrontier::All
-        }
-
-        fn gather_identity(&self) -> u32 {
-            u32::MAX
-        }
-
-        fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
-            *src
-        }
-
-        fn gather_reduce(&self, a: u32, b: u32) -> u32 {
-            a.min(b)
-        }
-
-        fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
-            if r < *v {
-                *v = r;
-                true
-            } else {
-                false
-            }
-        }
-
-        fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-    }
 
     fn layout() -> GraphLayout {
         GraphLayout::build(&gen::rmat_g500(11, 30_000, 17).symmetrize())

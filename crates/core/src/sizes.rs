@@ -35,6 +35,19 @@ pub struct SizeModel {
 }
 
 impl SizeModel {
+    /// The byte model derived from a program's data types and phase set —
+    /// the single definition both the single-GPU and multi-GPU frontends
+    /// build their plans from.
+    pub fn for_program<P: crate::api::GasProgram>(program: &P) -> Self {
+        SizeModel {
+            vertex_value: std::mem::size_of::<P::VertexValue>() as u64,
+            gather: std::mem::size_of::<P::Gather>() as u64,
+            edge_value: std::mem::size_of::<P::EdgeValue>() as u64,
+            has_gather: program.has_gather(),
+            has_scatter: program.has_scatter(),
+        }
+    }
+
     /// Static (resident for the whole run) device bytes: the vertex value
     /// array, the gather-temp array, per-vertex layout metadata (CSC/CSR
     /// offsets and degrees, 24 B), and three frontier bitmaps (current,

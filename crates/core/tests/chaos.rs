@@ -10,55 +10,11 @@
 use gr_graph::{gen, EdgeList, GraphLayout};
 use gr_observe::{Decision, Observer, Recorded};
 use gr_sim::Platform;
+use graphreduce::testprog::{Bfs, Cc, Pr, Sssp};
 use graphreduce::{
-    plan_partition, EngineError, FaultPlan, GasProgram, GraphReduce, InitialFrontier,
-    MultiGraphReduce, Options, PartitionPlan, RecoveryPolicy, RunStats, SizeModel,
+    plan_partition, EngineError, FaultPlan, GasProgram, GraphReduce, MultiGraphReduce, Options,
+    PartitionPlan, RecoveryPolicy, RunStats, SizeModel,
 };
-
-/// Connected components (min-label flooding): touches every phase the
-/// engine has — gather, apply, activate — so faults can land anywhere.
-struct Cc;
-
-impl GasProgram for Cc {
-    type VertexValue = u32;
-    type EdgeValue = ();
-    type Gather = u32;
-
-    fn name(&self) -> &'static str {
-        "cc"
-    }
-
-    fn init_vertex(&self, v: u32, _d: u32) -> u32 {
-        v
-    }
-
-    fn initial_frontier(&self) -> InitialFrontier {
-        InitialFrontier::All
-    }
-
-    fn gather_identity(&self) -> u32 {
-        u32::MAX
-    }
-
-    fn gather_map(&self, _d: &u32, src: &u32, _e: &(), _w: f32) -> u32 {
-        *src
-    }
-
-    fn gather_reduce(&self, a: u32, b: u32) -> u32 {
-        a.min(b)
-    }
-
-    fn apply(&self, v: &mut u32, r: u32, _i: u32) -> bool {
-        if r < *v {
-            *v = r;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-}
 
 fn small_graph() -> GraphLayout {
     GraphLayout::build(&gen::uniform(512, 4096, 3).symmetrize())
@@ -319,157 +275,6 @@ fn multi_gpu_transient_faults_recover_bit_identical() {
 // with bit-identical results and exactly one decision-log entry per response.
 // See docs/MEMORY.md for the escalation ladder these tests pin down.
 // ---------------------------------------------------------------------------
-
-/// BFS: depth labelling, no gather phase (exercises phase elimination
-/// under pressure).
-struct Bfs(u32);
-
-impl GasProgram for Bfs {
-    type VertexValue = u32;
-    type EdgeValue = ();
-    type Gather = ();
-
-    fn name(&self) -> &'static str {
-        "bfs"
-    }
-
-    fn init_vertex(&self, _v: u32, _d: u32) -> u32 {
-        u32::MAX
-    }
-
-    fn initial_frontier(&self) -> InitialFrontier {
-        InitialFrontier::Single(self.0)
-    }
-
-    fn gather_identity(&self) {}
-
-    fn gather_map(&self, _d: &u32, _s: &u32, _e: &(), _w: f32) {}
-
-    fn gather_reduce(&self, _a: (), _b: ()) {}
-
-    fn apply(&self, v: &mut u32, _r: (), iter: u32) -> bool {
-        if *v == u32::MAX {
-            *v = iter;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn scatter(&self, _s: &u32, _d: &u32, _e: &mut ()) {}
-
-    fn has_gather(&self) -> bool {
-        false
-    }
-}
-
-/// SSSP: Bellman-Ford relaxation over static edge weights.
-struct Sssp(u32);
-
-impl GasProgram for Sssp {
-    type VertexValue = f32;
-    type EdgeValue = ();
-    type Gather = f32;
-
-    fn name(&self) -> &'static str {
-        "sssp"
-    }
-
-    fn init_vertex(&self, v: u32, _d: u32) -> f32 {
-        if v == self.0 {
-            0.0
-        } else {
-            f32::INFINITY
-        }
-    }
-
-    fn initial_frontier(&self) -> InitialFrontier {
-        InitialFrontier::Single(self.0)
-    }
-
-    fn gather_identity(&self) -> f32 {
-        f32::INFINITY
-    }
-
-    fn gather_map(&self, _d: &f32, src: &f32, _e: &(), w: f32) -> f32 {
-        src + w
-    }
-
-    fn gather_reduce(&self, a: f32, b: f32) -> f32 {
-        a.min(b)
-    }
-
-    fn apply(&self, v: &mut f32, r: f32, iter: u32) -> bool {
-        if r < *v {
-            *v = r;
-            true
-        } else {
-            iter == 0 && *v == 0.0
-        }
-    }
-
-    fn scatter(&self, _s: &f32, _d: &f32, _e: &mut ()) {}
-}
-
-/// PageRank state: rank + out-degree (folded into the gather contribution).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct PrValue {
-    rank: f32,
-    out_degree: u32,
-}
-
-/// PageRank with frontier-based convergence (damping 0.85).
-struct Pr;
-
-impl GasProgram for Pr {
-    type VertexValue = PrValue;
-    type EdgeValue = ();
-    type Gather = f32;
-
-    fn name(&self) -> &'static str {
-        "pagerank"
-    }
-
-    fn init_vertex(&self, _v: u32, out_degree: u32) -> PrValue {
-        PrValue {
-            rank: 0.15,
-            out_degree,
-        }
-    }
-
-    fn initial_frontier(&self) -> InitialFrontier {
-        InitialFrontier::All
-    }
-
-    fn gather_identity(&self) -> f32 {
-        0.0
-    }
-
-    fn gather_map(&self, _d: &PrValue, src: &PrValue, _e: &(), _w: f32) -> f32 {
-        if src.out_degree == 0 {
-            0.0
-        } else {
-            src.rank / src.out_degree as f32
-        }
-    }
-
-    fn gather_reduce(&self, a: f32, b: f32) -> f32 {
-        a + b
-    }
-
-    fn apply(&self, v: &mut PrValue, r: f32, _i: u32) -> bool {
-        let new_rank = 0.15 + 0.85 * r;
-        let changed = (new_rank - v.rank).abs() > 1e-4;
-        v.rank = new_rank;
-        changed
-    }
-
-    fn scatter(&self, _s: &PrValue, _d: &PrValue, _e: &mut ()) {}
-
-    fn max_iterations(&self) -> u32 {
-        100
-    }
-}
 
 /// The partition the engine computes for `p` on the chaos platform (same
 /// size model, same default K=2), so caps can be derived from the real

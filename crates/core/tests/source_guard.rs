@@ -1,0 +1,49 @@
+//! Source-size guard: the engine monolith was decomposed into layered
+//! modules under `src/exec/`, and no file in this crate may regrow past
+//! the cap. If this test fails, split the offending module instead of
+//! raising the limit.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAX_LINES: usize = 1_200;
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_core_source_file_exceeds_line_cap() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    rust_sources(&src, &mut files);
+    assert!(
+        files.len() >= 10,
+        "expected the decomposed module tree, found {} files",
+        files.len()
+    );
+
+    let mut oversized: Vec<String> = files
+        .iter()
+        .filter_map(|f| {
+            let lines = fs::read_to_string(f)
+                .expect("readable source")
+                .lines()
+                .count();
+            (lines > MAX_LINES).then(|| format!("{} ({lines} lines)", f.display()))
+        })
+        .collect();
+    oversized.sort();
+    assert!(
+        oversized.is_empty(),
+        "source files exceed the {MAX_LINES}-line cap; split them into \
+         focused modules (see docs/ARCHITECTURE.md): {oversized:?}"
+    );
+}

@@ -14,6 +14,7 @@
 //!   ([`gr_observe`]).
 //!
 //! See README.md for a quickstart, DESIGN.md for the system inventory,
+//! docs/ARCHITECTURE.md for the core crate's layered execution core,
 //! and docs/OBSERVABILITY.md for the event/metrics layer.
 
 pub use gr_algorithms as algorithms;
@@ -26,4 +27,6 @@ pub use graphreduce as core;
 pub use gr_algorithms::{Bfs, Cc, Heat, PageRank, Spmv, Sssp};
 pub use gr_graph::{Dataset, EdgeList, GraphLayout};
 pub use gr_sim::Platform;
-pub use graphreduce::{GasProgram, GraphReduce, InitialFrontier, Options, RunStats};
+pub use graphreduce::{
+    GasProgram, GraphReduce, InitialFrontier, MultiGraphReduce, Options, RunStats,
+};
