@@ -11,12 +11,12 @@
 //! ```
 
 use gr_bench::{
-    default_source, run_cusha, run_gr_observed, run_graphchi, run_mapgraph, run_xstream, Algo,
-    RunArtifacts,
+    default_source, run_cusha, run_gr_wall, run_graphchi, run_mapgraph, run_xstream,
+    set_host_threads, Algo, RunArtifacts,
 };
 use gr_graph::{gen, Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
-use graphreduce::{FaultPlan, MultiGraphReduce, Options};
+use graphreduce::{FaultPlan, MultiGraphReduce, Options, WallProfiler};
 
 struct Args {
     algo: Algo,
@@ -31,6 +31,8 @@ struct Args {
     mem_cap: Option<String>,
     report: Option<String>,
     trace: Option<String>,
+    threads: Option<usize>,
+    wall: bool,
 }
 
 /// Resolve a `--mem-cap` spec against the device's nominal capacity:
@@ -55,7 +57,12 @@ fn usage() -> ! {
         "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
          [--faults <profile[:seed]|seed>] [--mem-cap <bytes|pct%>] [--report <path.json>] \
-         [--trace <path.json>]"
+         [--trace <path.json>] [--threads N] [--wall]"
+    );
+    eprintln!(
+        "  --threads pins the host worker-thread count (RAYON_NUM_THREADS); --wall arms the \
+         wall-clock profiler — the report gains a `host wall:` line and real per-phase host \
+         times (gr engine only; see docs/PERFORMANCE.md)"
     );
     eprintln!(
         "  --mem-cap caps usable device memory (gr engine only); the memory governor then \
@@ -95,6 +102,8 @@ fn parse_args() -> Args {
         mem_cap: None,
         report: None,
         trace: None,
+        threads: None,
+        wall: false,
     };
     let mut it = std::env::args().skip(1);
     let mut have_algo = false;
@@ -151,6 +160,14 @@ fn parse_args() -> Args {
             "--mem-cap" => args.mem_cap = it.next().or_else(|| usage()),
             "--report" => args.report = it.next().or_else(|| usage()),
             "--trace" => args.trace = it.next().or_else(|| usage()),
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--wall" => args.wall = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -169,11 +186,12 @@ fn parse_args() -> Args {
 fn run_multi<P: graphreduce::GasProgram>(
     m: MultiGraphReduce<P>,
     obs: gr_observe::Observer,
+    wall: WallProfiler,
     faults: Option<&FaultPlan>,
     gpus: u32,
     mem_cap: Option<u64>,
 ) -> graphreduce::MultiRunStats {
-    let mut m = m.with_observer(obs);
+    let mut m = m.with_observer(obs).with_wall_profiler(wall);
     if let Some(plan) = faults {
         m = m.with_fault_plan(0, plan.clone());
     }
@@ -192,6 +210,9 @@ fn run_multi<P: graphreduce::GasProgram>(
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        set_host_threads(n);
+    }
     let el: EdgeList = if let Some(path) = &args.file {
         let f = std::fs::File::open(path).unwrap_or_else(|e| {
             eprintln!("cannot open {path}: {e}");
@@ -251,6 +272,11 @@ fn main() {
     match args.engine.as_str() {
         "gr" if args.gpus > 1 => {
             let obs = artifacts.observer();
+            let wall = if args.wall {
+                WallProfiler::armed()
+            } else {
+                WallProfiler::disarmed()
+            };
             let faults = args.faults.as_ref();
             let stats = match args.algo {
                 Algo::Bfs => run_multi(
@@ -261,6 +287,7 @@ fn main() {
                         args.gpus,
                     ),
                     obs,
+                    wall.clone(),
                     faults,
                     args.gpus,
                     mem_cap,
@@ -268,6 +295,7 @@ fn main() {
                 Algo::Cc => run_multi(
                     MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus),
                     obs,
+                    wall.clone(),
                     faults,
                     args.gpus,
                     mem_cap,
@@ -280,6 +308,7 @@ fn main() {
                         args.gpus,
                     ),
                     obs,
+                    wall.clone(),
                     faults,
                     args.gpus,
                     mem_cap,
@@ -292,6 +321,7 @@ fn main() {
                         args.gpus,
                     ),
                     obs,
+                    wall.clone(),
                     faults,
                     args.gpus,
                     mem_cap,
@@ -310,20 +340,52 @@ fn main() {
                     stats.mem_pressure_events, stats.redistributions, stats.shard_splits
                 );
             }
-            // The multi-GPU engine has no single-device RunStats; the
-            // trace still captures every lane of every device.
-            for path in artifacts.write_or_exit(None) {
+            // The multi-GPU engine has no single-device RunStats (so no
+            // `wall` stats field either) — print the host-wall rollup
+            // directly from the profiler.
+            let profile = wall.is_armed().then(|| wall.profile());
+            if let Some(p) = &profile {
+                println!("  host wall: {}", p.summary());
+            }
+            // The trace still captures every lane of every device, plus
+            // the wall track when profiled.
+            for path in artifacts
+                .write_with_wall(None, profile.as_ref())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: failed to write --report/--trace output: {e}");
+                    std::process::exit(1);
+                })
+            {
                 println!("wrote {path}");
             }
         }
         "gr" => {
-            let stats = run_gr_observed(args.algo, &layout, &platform, opts, artifacts.observer())
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                });
+            let wall = if args.wall {
+                WallProfiler::armed()
+            } else {
+                WallProfiler::disarmed()
+            };
+            let stats = run_gr_wall(
+                args.algo,
+                &layout,
+                &platform,
+                opts,
+                artifacts.observer(),
+                wall.clone(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
             println!("{stats}");
-            for path in artifacts.write_or_exit(Some(&stats)) {
+            let profile = wall.is_armed().then(|| wall.profile());
+            for path in artifacts
+                .write_with_wall(Some(&stats), profile.as_ref())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: failed to write --report/--trace output: {e}");
+                    std::process::exit(1);
+                })
+            {
                 println!("wrote {path}");
             }
         }

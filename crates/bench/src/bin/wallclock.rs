@@ -8,32 +8,53 @@
 //! ```sh
 //! cargo run --release -p gr-bench --bin wallclock            # full run
 //! cargo run --release -p gr-bench --bin wallclock -- --tiny --trials 1
-//! cargo run --release -p gr-bench --bin wallclock -- --out BENCH_wallclock.json
+//! cargo run --release -p gr-bench --bin wallclock -- --threads 2 \
+//!     --compare results/bench_trajectory.jsonl
 //! ```
 //!
-//! Each algorithm runs to convergence under `HostKernels::Serial` (the
-//! pre-adaptive reference kernels) and `HostKernels::Adaptive` (sparse/
-//! dense selection), warmup + N timed trials, reporting median and p95
-//! milliseconds. A targeted microbenchmark times one BFS-shaped iteration
-//! (apply + frontierActivate) at a ≤1% frontier density, where the sparse
-//! path's O(active) iteration shows its largest win. Results land in
-//! `BENCH_wallclock.json` (schema `gr-wallclock-v1`) at the repo root so
-//! future changes have a perf trajectory to compare against.
+//! One invocation produces (schema `gr-wallclock-v2`):
+//!
+//! - **runs** — each algorithm to convergence under `HostKernels::Serial`
+//!   and `HostKernels::Adaptive` at the effective thread count, warmup +
+//!   N timed trials, median/p95/min milliseconds;
+//! - **scaling** — a thread sweep (1/2/4/8, or just `--threads N`) of an
+//!   out-of-core CC run under an armed [`WallProfiler`]: total and
+//!   in-kernel wall time, per-GAS-phase breakdown, and the across-shard
+//!   fan-out imbalance at every point;
+//! - **sparse_bfs_iteration** — the targeted microbenchmark of one
+//!   BFS-tail iteration at ~0.1% frontier density;
+//! - one appended line in `results/bench_trajectory.jsonl` keyed by the
+//!   git commit (disable with `--no-trajectory`), giving every commit a
+//!   perf trajectory to compare against;
+//! - with `--compare <baseline>`: per-row deltas against a previous
+//!   report or trajectory file, exiting nonzero when the median delta
+//!   regresses by more than 10% (the CI gate);
+//! - with `--profile <path>`: a Chrome/Perfetto trace of the last profiled
+//!   run carrying the real-time `wall` track.
 
 use std::time::Instant;
 
 use gr_algorithms::{Bfs, Cc, PageRank, Sssp};
+use gr_bench::trajectory::{self, BenchRow, TrajectoryEntry};
+use gr_bench::{effective_host_threads, run_gr_wall, set_host_threads, Algo};
 use gr_graph::{build_shards, gen, Bitmap, GraphLayout, Interval};
+use gr_observe::Observer;
 use gr_sim::Platform;
 use graphreduce::phases::{activate_shard, apply_shard};
-use graphreduce::{GasProgram, GraphReduce, HostKernels, Options};
+use graphreduce::sizes::SizeModel;
+use graphreduce::{GasProgram, GraphReduce, HostKernels, Options, WallProfiler, WallSummary};
 
 struct Args {
     scale: u32,
     edges: u64,
     trials: usize,
     warmup: usize,
+    tiny: bool,
+    threads: Option<usize>,
     out: String,
+    compare: Option<String>,
+    profile: Option<String>,
+    trajectory: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -42,7 +63,12 @@ fn parse_args() -> Args {
         edges: 1 << 20,
         trials: 5,
         warmup: 1,
+        tiny: false,
+        threads: None,
         out: "BENCH_wallclock.json".to_string(),
+        compare: None,
+        profile: None,
+        trajectory: Some(trajectory::TRAJECTORY_PATH.to_string()),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,12 +77,20 @@ fn parse_args() -> Args {
                 args.scale = 10;
                 args.edges = 1 << 13;
                 args.warmup = 0;
+                args.tiny = true;
             }
             "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
             "--trials" => {
                 args.trials = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage)
             }
+            "--threads" => {
+                args.threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage))
+            }
             "--out" => args.out = it.next().unwrap_or_else(usage),
+            "--compare" => args.compare = Some(it.next().unwrap_or_else(usage)),
+            "--profile" => args.profile = Some(it.next().unwrap_or_else(usage)),
+            "--trajectory" => args.trajectory = Some(it.next().unwrap_or_else(usage)),
+            "--no-trajectory" => args.trajectory = None,
             _ => usage(),
         }
     }
@@ -65,7 +99,11 @@ fn parse_args() -> Args {
 }
 
 fn usage<T>() -> T {
-    eprintln!("usage: wallclock [--tiny] [--scale N] [--trials N] [--out path.json]");
+    eprintln!(
+        "usage: wallclock [--tiny] [--scale N] [--trials N] [--threads N] [--out path.json] \
+         [--compare baseline.json|trajectory.jsonl] [--profile trace.json] \
+         [--trajectory path.jsonl | --no-trajectory]"
+    );
     std::process::exit(2);
 }
 
@@ -100,17 +138,8 @@ fn time_trials<F: FnMut()>(warmup: usize, trials: usize, mut f: F) -> Vec<f64> {
     ms
 }
 
-struct RunRow {
-    algo: &'static str,
-    mode: &'static str,
-    iterations: u32,
-    median_ms: f64,
-    p95_ms: f64,
-    min_ms: f64,
-}
-
 fn bench_run<P: GasProgram + Clone>(
-    rows: &mut Vec<RunRow>,
+    rows: &mut Vec<BenchRow>,
     program: P,
     layout: &GraphLayout,
     platform: &Platform,
@@ -128,10 +157,11 @@ fn bench_run<P: GasProgram + Clone>(
                 .expect("fault-free run");
             iterations = out.stats.iterations;
         });
-        let row = RunRow {
-            algo: program.name(),
-            mode: label,
-            iterations,
+        let row = BenchRow {
+            algo: program.name().to_string(),
+            mode: label.to_string(),
+            threads: effective_host_threads() as u64,
+            iterations: iterations as u64,
             median_ms: median(&ms),
             p95_ms: p95(&ms),
             min_ms: ms[0],
@@ -144,6 +174,118 @@ fn bench_run<P: GasProgram + Clone>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep.
+// ---------------------------------------------------------------------------
+
+/// One thread-sweep point: an out-of-core CC run profiled for real time.
+struct ScalingPoint {
+    threads: usize,
+    /// Worker threads that actually recorded kernel time.
+    workers: usize,
+    shards: usize,
+    total_median_ms: f64,
+    kernel_median_ms: f64,
+    imbalance: f64,
+    /// (phase, median milliseconds over trials), zero phases dropped.
+    phases: Vec<(&'static str, f64)>,
+}
+
+/// A platform whose device memory forces the benched graph out-of-core
+/// (streamed in several shards), so the across-shard rayon fan-out — the
+/// thing thread scaling measures — actually engages.
+fn sweep_platform(layout: &GraphLayout) -> Platform {
+    let model = SizeModel::for_program(&Cc);
+    let streamed = layout.num_edges() * (model.in_edge_bytes() + model.out_edge_bytes());
+    // Budget: all static buffers plus about a quarter of the streamed
+    // footprint — the plan lands at a handful of shards at any scale.
+    let budget = model.static_bytes(layout.num_vertices() as u64) + streamed / 4;
+    let nominal = Platform::paper_node().device.mem_capacity;
+    Platform::paper_node_scaled((nominal / budget.max(1)).max(1))
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    median(&xs)
+}
+
+/// Profile one CC run per trial at `threads` workers and reduce the
+/// per-trial [`WallSummary`]s to medians.
+fn sweep_point(
+    layout: &GraphLayout,
+    platform: &Platform,
+    threads: usize,
+    args: &Args,
+) -> ScalingPoint {
+    set_host_threads(threads);
+    let wall = WallProfiler::armed();
+    let mut summaries: Vec<WallSummary> = Vec::with_capacity(args.trials);
+    let mut workers = 0usize;
+    let mut shards = 0usize;
+    for t in 0..args.warmup + args.trials {
+        wall.reset();
+        let stats = run_gr_wall(
+            Algo::Cc,
+            layout,
+            platform,
+            Options::optimized(),
+            Observer::disabled(),
+            wall.clone(),
+        )
+        .expect("fault-free sweep run");
+        shards = stats.num_shards;
+        if t >= args.warmup {
+            let profile = wall.profile();
+            workers = workers.max(profile.thread_count());
+            summaries.push(profile.summary());
+        }
+    }
+    let ms = |f: fn(&WallSummary) -> u64| {
+        median_of(summaries.iter().map(|s| f(s) as f64 / 1e6).collect())
+    };
+    let mut phases: Vec<(&'static str, f64)> = Vec::new();
+    for (phase, _) in &summaries[0].phases {
+        let med = median_of(
+            summaries
+                .iter()
+                .map(|s| {
+                    s.phases
+                        .iter()
+                        .find(|(p, _)| p == phase)
+                        .map_or(0.0, |(_, ns)| *ns as f64 / 1e6)
+                })
+                .collect(),
+        );
+        if med > 0.0 {
+            phases.push((phase, med));
+        }
+    }
+    let point = ScalingPoint {
+        threads,
+        workers,
+        shards,
+        total_median_ms: ms(|s| s.total_ns),
+        kernel_median_ms: ms(|s| s.kernel_ns),
+        imbalance: median_of(summaries.iter().map(|s| s.imbalance).collect()),
+        phases,
+    };
+    eprintln!(
+        "scaling {} thread(s): total {:.3} ms, kernels {:.3} ms, imbalance {:.2} \
+         ({} shards, {} workers busy)",
+        point.threads,
+        point.total_median_ms,
+        point.kernel_median_ms,
+        point.imbalance,
+        point.shards,
+        point.workers
+    );
+    point
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-iteration microbenchmark (unchanged from v1).
+// ---------------------------------------------------------------------------
+
 struct SparseIter {
     density: f64,
     active: u64,
@@ -153,9 +295,9 @@ struct SparseIter {
 }
 
 /// One BFS-shaped iteration (apply over the frontier + frontierActivate
-/// over the changed set) at a sparse frontier: every 256th vertex active
-/// (~0.4% density). This isolates exactly the O(interval)-vs-O(active)
-/// difference the adaptive kernels exist for.
+/// over the changed set) at a sparse frontier: every 1021st vertex active.
+/// This isolates exactly the O(interval)-vs-O(active) difference the
+/// adaptive kernels exist for.
 fn bench_sparse_iteration(layout: &GraphLayout, args: &Args) -> SparseIter {
     let n = layout.num_vertices();
     let shards = build_shards(layout, &[Interval { start: 0, end: n }]);
@@ -235,13 +377,159 @@ fn bench_sparse_iteration(layout: &GraphLayout, args: &Args) -> SparseIter {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Output, trajectory, comparison.
+// ---------------------------------------------------------------------------
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn v2_json(
+    args: &Args,
+    commit: &str,
+    layout: &GraphLayout,
+    rows: &[BenchRow],
+    scaling: &[ScalingPoint],
+    sparse: &SparseIter,
+) -> String {
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"gr-wallclock-v2\",\n");
+    json.push_str(&format!("  \"commit\": \"{commit}\",\n"));
+    json.push_str(&format!(
+        "  \"graph\": {{\"generator\": \"rmat_g500\", \"scale\": {}, \"vertices\": {}, \"edges\": {}, \"symmetrized\": true}},\n",
+        args.scale,
+        layout.num_vertices(),
+        layout.num_edges()
+    ));
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n  \"trials\": {},\n  \"warmup\": {},\n",
+        effective_host_threads(),
+        args.trials,
+        args.warmup
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"iterations\": {}, \"median_ms\": {:.4}, \"p95_ms\": {:.4}, \"min_ms\": {:.4}}}{}\n",
+            r.algo,
+            r.mode,
+            r.threads,
+            r.iterations,
+            r.median_ms,
+            r.p95_ms,
+            r.min_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let phases: Vec<String> = p
+            .phases
+            .iter()
+            .map(|(phase, ms)| format!("{{\"phase\": \"{phase}\", \"median_ms\": {ms:.4}}}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"workers_busy\": {}, \"shards\": {}, \"total_median_ms\": {:.4}, \"kernel_median_ms\": {:.4}, \"imbalance\": {:.4}, \"phases\": [{}]}}{}\n",
+            p.threads,
+            p.workers,
+            p.shards,
+            p.total_median_ms,
+            p.kernel_median_ms,
+            p.imbalance,
+            phases.join(", "),
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sparse_bfs_iteration\": {{\"density\": {:.6}, \"active_vertices\": {}, \"serial_median_ms\": {:.6}, \"adaptive_median_ms\": {:.6}, \"speedup\": {:.2}}}\n",
+        sparse.density,
+        sparse.active,
+        sparse.serial_median_ms,
+        sparse.adaptive_median_ms,
+        sparse.speedup
+    ));
+    json.push_str("}\n");
+    json
+}
+
+/// Append this run's rows to the trajectory file (created on first use).
+fn append_trajectory(path: &str, entry: &TrajectoryEntry) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    use std::io::Write;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{}", entry.to_line()));
+    match result {
+        Ok(()) => eprintln!("appended trajectory entry ({}) to {path}", entry.commit),
+        Err(e) => eprintln!("warning: cannot append trajectory to {path}: {e}"),
+    }
+}
+
+/// The `--compare` gate: exits 1 on a median regression beyond the
+/// threshold, 2 when the baseline cannot gate this run at all.
+fn run_compare(baseline_path: &str, rows: &[BenchRow], scale: u64) -> ! {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = trajectory::baseline_rows(&text, scale).unwrap_or_else(|e| {
+        eprintln!("error: unusable baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let cmp = trajectory::compare(&baseline, rows).unwrap_or_else(|e| {
+        eprintln!("error: cannot compare against {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("comparison against {baseline_path}:");
+    for d in &cmp.deltas {
+        eprintln!(
+            "  {:>8} {:>8} @{} thread(s): {:.3} -> {:.3} ms ({:+.1}%)",
+            d.algo, d.mode, d.threads, d.baseline_ms, d.current_ms, d.delta_pct
+        );
+    }
+    for (algo, mode, threads) in &cmp.unmatched {
+        eprintln!("  {algo:>8} {mode:>8} @{threads} thread(s): no baseline row (not gated)");
+    }
+    eprintln!(
+        "  median delta {:+.1}% (gate: > +{:.0}% fails)",
+        cmp.median_delta_pct,
+        trajectory::REGRESSION_PCT
+    );
+    if cmp.regressed() {
+        eprintln!("REGRESSION: median wall time is more than 10% above the baseline");
+        std::process::exit(1);
+    }
+    eprintln!("ok: within the regression budget");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        set_host_threads(n);
+    }
     eprintln!(
         "graph: rmat_g500 scale {} ({} edges requested), {} host thread(s), {} trial(s)",
         args.scale,
         args.edges,
-        rayon::current_num_threads(),
+        effective_host_threads(),
         args.trials
     );
     let el =
@@ -256,43 +544,64 @@ fn main() {
     bench_run(&mut rows, Cc, &layout, &platform, &args);
     let sparse = bench_sparse_iteration(&layout, &args);
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"gr-wallclock-v1\",\n");
-    json.push_str(&format!(
-        "  \"graph\": {{\"generator\": \"rmat_g500\", \"scale\": {}, \"vertices\": {}, \"edges\": {}, \"symmetrized\": true}},\n",
-        args.scale,
-        layout.num_vertices(),
-        layout.num_edges()
-    ));
-    json.push_str(&format!(
-        "  \"host_threads\": {},\n  \"trials\": {},\n  \"warmup\": {},\n",
-        rayon::current_num_threads(),
-        args.trials,
-        args.warmup
-    ));
-    json.push_str("  \"runs\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"mode\": \"{}\", \"iterations\": {}, \"median_ms\": {:.4}, \"p95_ms\": {:.4}, \"min_ms\": {:.4}}}{}\n",
-            r.algo,
-            r.mode,
-            r.iterations,
-            r.median_ms,
-            r.p95_ms,
-            r.min_ms,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    // Thread sweep: pinned runs at 1/2/4/8 workers (just N under
+    // `--threads N`; 1/2 under `--tiny` to keep CI smoke fast), then the
+    // ambient pinning is restored for the rest of the process.
+    let sweep_plat = sweep_platform(&layout);
+    let sweep_threads: Vec<usize> = match args.threads {
+        Some(n) => vec![n],
+        None if args.tiny => vec![1, 2],
+        None => vec![1, 2, 4, 8],
+    };
+    let saved_pin = std::env::var("RAYON_NUM_THREADS").ok();
+    let scaling: Vec<ScalingPoint> = sweep_threads
+        .iter()
+        .map(|&t| sweep_point(&layout, &sweep_plat, t, &args))
+        .collect();
+    match (&saved_pin, args.threads) {
+        (Some(v), _) => std::env::set_var("RAYON_NUM_THREADS", v),
+        (None, Some(n)) => set_host_threads(n),
+        (None, None) => std::env::remove_var("RAYON_NUM_THREADS"),
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"sparse_bfs_iteration\": {{\"density\": {:.6}, \"active_vertices\": {}, \"serial_median_ms\": {:.6}, \"adaptive_median_ms\": {:.6}, \"speedup\": {:.2}}}\n",
-        sparse.density,
-        sparse.active,
-        sparse.serial_median_ms,
-        sparse.adaptive_median_ms,
-        sparse.speedup
-    ));
-    json.push_str("}\n");
+
+    // Optional wall-track trace: one more profiled run, virtual timeline
+    // and real time side by side.
+    if let Some(path) = &args.profile {
+        let wall = WallProfiler::armed();
+        let (observer, sink) = Observer::recording();
+        run_gr_wall(
+            Algo::Cc,
+            &layout,
+            &sweep_plat,
+            Options::optimized(),
+            observer,
+            wall.clone(),
+        )
+        .expect("fault-free profiled run");
+        let trace =
+            gr_observe::export::chrome_trace_with_wall(&sink.recorded(), Some(&wall.profile()));
+        std::fs::write(path, trace).expect("write profile trace");
+        eprintln!("wrote {path}");
+    }
+
+    let commit = git_commit();
+    let json = v2_json(&args, &commit, &layout, &rows, &scaling, &sparse);
     std::fs::write(&args.out, &json).expect("write benchmark json");
     eprintln!("wrote {}", args.out);
+
+    if let Some(path) = &args.trajectory {
+        append_trajectory(
+            path,
+            &TrajectoryEntry {
+                commit,
+                schema: "gr-wallclock-v2".into(),
+                scale: args.scale as u64,
+                rows: rows.clone(),
+            },
+        );
+    }
+
+    if let Some(baseline) = &args.compare {
+        run_compare(baseline, &rows, args.scale as u64);
+    }
 }

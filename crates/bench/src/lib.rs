@@ -25,11 +25,13 @@ use std::sync::Arc;
 
 use gr_baselines::{BaselineStats, CuSha, GraphChi, MapGraph, XStream};
 use gr_graph::{Dataset, GraphLayout};
+use gr_observe::WallProfile;
 use gr_observe::{Observer, RecordingSink};
 use gr_sim::{OutOfMemory, Platform, SimDuration};
-use graphreduce::{EngineError, GraphReduce, Options, RunStats};
+use graphreduce::{EngineError, GraphReduce, Options, RunStats, WallProfiler};
 
 pub mod matmul;
+pub mod trajectory;
 
 /// The four evaluated algorithms (Section 6.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -115,34 +117,14 @@ pub fn run_gr(
     platform: &Platform,
     opts: Options,
 ) -> Result<RunStats, EngineError> {
-    let src = default_source(layout);
-    Ok(match algo {
-        Algo::Bfs => {
-            GraphReduce::new(gr_algorithms::Bfs::new(src), layout, platform.clone(), opts)
-                .run()?
-                .stats
-        }
-        Algo::Sssp => {
-            GraphReduce::new(
-                gr_algorithms::Sssp::new(src),
-                layout,
-                platform.clone(),
-                opts,
-            )
-            .run()?
-            .stats
-        }
-        Algo::Pagerank => {
-            GraphReduce::new(pagerank(), layout, platform.clone(), opts)
-                .run()?
-                .stats
-        }
-        Algo::Cc => {
-            GraphReduce::new(gr_algorithms::Cc, layout, platform.clone(), opts)
-                .run()?
-                .stats
-        }
-    })
+    run_gr_wall(
+        algo,
+        layout,
+        platform,
+        opts,
+        Observer::disabled(),
+        WallProfiler::disarmed(),
+    )
 }
 
 /// [`run_gr`] with an [`Observer`] attached: spans, decisions, and
@@ -154,11 +136,33 @@ pub fn run_gr_observed(
     opts: Options,
     observer: Observer,
 ) -> Result<RunStats, EngineError> {
+    run_gr_wall(
+        algo,
+        layout,
+        platform,
+        opts,
+        observer,
+        WallProfiler::disarmed(),
+    )
+}
+
+/// The fully instrumented run: an [`Observer`] for the virtual timeline
+/// and a [`WallProfiler`] for real host time. Pass the disabled/disarmed
+/// handles to keep the zero-cost paths.
+pub fn run_gr_wall(
+    algo: Algo,
+    layout: &GraphLayout,
+    platform: &Platform,
+    opts: Options,
+    observer: Observer,
+    wall: WallProfiler,
+) -> Result<RunStats, EngineError> {
     let src = default_source(layout);
     Ok(match algo {
         Algo::Bfs => {
             GraphReduce::new(gr_algorithms::Bfs::new(src), layout, platform.clone(), opts)
                 .with_observer(observer)
+                .with_wall_profiler(wall)
                 .run()?
                 .stats
         }
@@ -170,22 +174,39 @@ pub fn run_gr_observed(
                 opts,
             )
             .with_observer(observer)
+            .with_wall_profiler(wall)
             .run()?
             .stats
         }
         Algo::Pagerank => {
             GraphReduce::new(pagerank(), layout, platform.clone(), opts)
                 .with_observer(observer)
+                .with_wall_profiler(wall)
                 .run()?
                 .stats
         }
         Algo::Cc => {
             GraphReduce::new(gr_algorithms::Cc, layout, platform.clone(), opts)
                 .with_observer(observer)
+                .with_wall_profiler(wall)
                 .run()?
                 .stats
         }
     })
+}
+
+/// Pin the host worker-thread count for this process: the vendored rayon
+/// reads `RAYON_NUM_THREADS` at every fan-out, so this takes effect for
+/// all subsequent parallel work (`--threads N` on the CLIs).
+pub fn set_host_threads(n: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", n.max(1).to_string());
+}
+
+/// The thread count parallel host kernels will actually fan out to —
+/// `--threads`/`RAYON_NUM_THREADS` if pinned, else the machine's
+/// available parallelism. This is what benchmark reports must record.
+pub fn effective_host_threads() -> usize {
+    rayon::current_num_threads()
 }
 
 /// Value of `--<name> <value>` anywhere on the command line.
@@ -246,6 +267,17 @@ impl RunArtifacts {
     /// Write the requested artifacts. `stats` feeds the run report; a
     /// trace needs only the capture. Returns the written paths.
     pub fn write(&self, stats: Option<&RunStats>) -> std::io::Result<Vec<String>> {
+        self.write_with_wall(stats, None)
+    }
+
+    /// [`RunArtifacts::write`] plus an optional wall profile: when given,
+    /// the Chrome trace gains the real-time `"wall"` track beside the
+    /// virtual sim/engine tracks.
+    pub fn write_with_wall(
+        &self,
+        stats: Option<&RunStats>,
+        wall: Option<&WallProfile>,
+    ) -> std::io::Result<Vec<String>> {
         let mut written = Vec::new();
         let Some(sink) = &self.sink else {
             return Ok(written);
@@ -263,7 +295,7 @@ impl RunArtifacts {
             }
         }
         if let Some(path) = &self.trace_path {
-            std::fs::write(path, gr_observe::export::chrome_trace(&rec))?;
+            std::fs::write(path, gr_observe::export::chrome_trace_with_wall(&rec, wall))?;
             written.push(path.clone());
         }
         Ok(written)

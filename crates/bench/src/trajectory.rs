@@ -1,0 +1,655 @@
+//! Benchmark trajectory: parse, append, and compare wall-clock results.
+//!
+//! The `wallclock` bin emits one `BENCH_wallclock.json` per invocation
+//! (schema `gr-wallclock-v2`, with `gr-wallclock-v1` still readable) and
+//! appends one line per run to `results/bench_trajectory.jsonl`, keyed by
+//! the git commit it measured. This module owns both formats:
+//!
+//! - [`Value`] — a minimal JSON reader (the workspace vendors no serde);
+//! - [`BenchRow`] — one (algorithm, kernel mode, thread count) timing row;
+//! - [`TrajectoryEntry`] — one JSONL line: commit + context + rows;
+//! - [`baseline_rows`] — rows from *either* format, for `--compare`;
+//! - [`compare`] — the regression gate: current rows vs a baseline,
+//!   matched on (algo, mode, threads); the run regressed when the median
+//!   of the per-row `median_ms` deltas exceeds [`REGRESSION_PCT`].
+//!
+//! Wall time is noisy, so the gate is deliberately coarse: per-row medians
+//! (not minima, which hide steady-state slowdowns), a median across rows
+//! (one outlier row cannot fail the gate alone), and a 10% threshold.
+
+use std::collections::BTreeMap;
+
+/// Median regression (percent) beyond which [`compare`] fails the gate.
+pub const REGRESSION_PCT: f64 = 10.0;
+
+/// Default trajectory path, relative to the working directory.
+pub const TRAJECTORY_PATH: &str = "results/bench_trajectory.jsonl";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are `f64` (every number the bench formats
+/// fits exactly or is a measurement where 53 bits dwarf the noise floor).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse one complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Value::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        *pos += 4;
+                        // Surrogates never appear in the bench formats
+                        // (ASCII identifiers and git hashes throughout).
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Re-sync to char boundaries for multi-byte UTF-8.
+                let start = *pos - 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid UTF-8 in string")?,
+                );
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------------
+// Rows and trajectory entries.
+// ---------------------------------------------------------------------------
+
+/// One timing row: an algorithm under one kernel mode at one host thread
+/// count. The unit every comparison works in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub algo: String,
+    pub mode: String,
+    pub threads: u64,
+    pub iterations: u64,
+    pub median_ms: f64,
+    pub p95_ms: f64,
+    pub min_ms: f64,
+}
+
+impl BenchRow {
+    /// The identity rows are matched on across runs.
+    pub fn key(&self) -> (String, String, u64) {
+        (self.algo.clone(), self.mode.clone(), self.threads)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"algo\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"iterations\": {}, \
+             \"median_ms\": {:.4}, \"p95_ms\": {:.4}, \"min_ms\": {:.4}}}",
+            self.algo,
+            self.mode,
+            self.threads,
+            self.iterations,
+            self.median_ms,
+            self.p95_ms,
+            self.min_ms
+        )
+    }
+
+    fn from_json(v: &Value, default_threads: u64) -> Result<BenchRow, String> {
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("run row lacks numeric {k:?}"))
+        };
+        Ok(BenchRow {
+            algo: v
+                .get("algo")
+                .and_then(Value::as_str)
+                .ok_or("run row lacks \"algo\"")?
+                .to_string(),
+            mode: v
+                .get("mode")
+                .and_then(Value::as_str)
+                .ok_or("run row lacks \"mode\"")?
+                .to_string(),
+            // v1 rows carry no thread count; the file-level host_threads
+            // applies to every row.
+            threads: v
+                .get("threads")
+                .and_then(Value::as_u64)
+                .unwrap_or(default_threads),
+            iterations: v.get("iterations").and_then(Value::as_u64).unwrap_or(0),
+            median_ms: f("median_ms")?,
+            p95_ms: f("p95_ms")?,
+            min_ms: f("min_ms")?,
+        })
+    }
+}
+
+/// One trajectory line: every row of one `wallclock` invocation, keyed by
+/// the commit and graph scale it measured (comparisons only ever match
+/// rows measured on the same graph).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryEntry {
+    pub commit: String,
+    pub schema: String,
+    /// RMAT scale of the benched graph (log2 vertices).
+    pub scale: u64,
+    pub rows: Vec<BenchRow>,
+}
+
+impl TrajectoryEntry {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(BenchRow::to_json).collect();
+        format!(
+            "{{\"commit\": \"{}\", \"schema\": \"{}\", \"scale\": {}, \"rows\": [{}]}}",
+            self.commit,
+            self.schema,
+            self.scale,
+            rows.join(", ")
+        )
+    }
+
+    pub fn from_line(line: &str) -> Result<TrajectoryEntry, String> {
+        let v = Value::parse(line)?;
+        let rows = v
+            .get("rows")
+            .and_then(Value::as_arr)
+            .ok_or("trajectory line lacks \"rows\"")?
+            .iter()
+            .map(|r| BenchRow::from_json(r, 1))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TrajectoryEntry {
+            commit: v
+                .get("commit")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            schema: v
+                .get("schema")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            scale: v.get("scale").and_then(Value::as_u64).unwrap_or(0),
+            rows,
+        })
+    }
+}
+
+/// Rows of one `BENCH_wallclock.json` report, v1 or v2. Returns the rows
+/// and the graph scale they were measured at.
+pub fn report_rows(text: &str) -> Result<(Vec<BenchRow>, u64), String> {
+    let v = Value::parse(text)?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+    if !schema.starts_with("gr-wallclock-v") {
+        return Err(format!("not a wallclock report (schema {schema:?})"));
+    }
+    let host_threads = v.get("host_threads").and_then(Value::as_u64).unwrap_or(1);
+    let scale = v
+        .get("graph")
+        .and_then(|g| g.get("scale"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let rows = v
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("report lacks \"runs\"")?
+        .iter()
+        .map(|r| BenchRow::from_json(r, host_threads))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((rows, scale))
+}
+
+/// Baseline rows for `--compare <path>`: the file is either a wallclock
+/// report (a single JSON object) or a trajectory JSONL. From a trajectory,
+/// the baseline is the union of all entries at the matching `scale`,
+/// later entries overriding earlier ones per row key — so a file holding
+/// 1-thread and 2-thread entries gates both CI configurations.
+pub fn baseline_rows(text: &str, scale: u64) -> Result<Vec<BenchRow>, String> {
+    let trimmed = text.trim();
+    if let Ok((rows, base_scale)) = report_rows(trimmed) {
+        if base_scale != scale {
+            return Err(format!(
+                "baseline measured at scale {base_scale}, current run at scale {scale}"
+            ));
+        }
+        return Ok(rows);
+    }
+    let mut pool: BTreeMap<(String, String, u64), BenchRow> = BTreeMap::new();
+    let mut entries = 0usize;
+    for line in trimmed.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let entry = TrajectoryEntry::from_line(line)?;
+        if entry.scale != scale {
+            continue;
+        }
+        entries += 1;
+        for row in entry.rows {
+            pool.insert(row.key(), row);
+        }
+    }
+    if entries == 0 {
+        return Err(format!("baseline holds no entries at scale {scale}"));
+    }
+    Ok(pool.into_values().collect())
+}
+
+// ---------------------------------------------------------------------------
+// The comparison gate.
+// ---------------------------------------------------------------------------
+
+/// One matched row's delta.
+#[derive(Clone, Debug)]
+pub struct RowDelta {
+    pub algo: String,
+    pub mode: String,
+    pub threads: u64,
+    pub baseline_ms: f64,
+    pub current_ms: f64,
+    /// Signed percent change of `median_ms` (positive = slower).
+    pub delta_pct: f64,
+}
+
+/// Outcome of [`compare`].
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Per-row deltas, in baseline row order.
+    pub deltas: Vec<RowDelta>,
+    /// Current rows with no baseline counterpart (new configurations —
+    /// reported, never gated on).
+    pub unmatched: Vec<(String, String, u64)>,
+    /// Median of the per-row `delta_pct` values.
+    pub median_delta_pct: f64,
+}
+
+impl Comparison {
+    /// The gate: true when the median delta exceeds [`REGRESSION_PCT`].
+    pub fn regressed(&self) -> bool {
+        self.median_delta_pct > REGRESSION_PCT
+    }
+}
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = xs.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Compare current rows against a baseline, matching on (algo, mode,
+/// threads). Errs when no row matches — a gate with nothing to gate on is
+/// a configuration mistake, not a pass.
+pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Comparison, String> {
+    let pool: BTreeMap<(String, String, u64), &BenchRow> =
+        current.iter().map(|r| (r.key(), r)).collect();
+    let mut deltas = Vec::new();
+    for base in baseline {
+        if let Some(cur) = pool.get(&base.key()) {
+            let delta_pct = if base.median_ms > 0.0 {
+                100.0 * (cur.median_ms - base.median_ms) / base.median_ms
+            } else {
+                0.0
+            };
+            deltas.push(RowDelta {
+                algo: base.algo.clone(),
+                mode: base.mode.clone(),
+                threads: base.threads,
+                baseline_ms: base.median_ms,
+                current_ms: cur.median_ms,
+                delta_pct,
+            });
+        }
+    }
+    if deltas.is_empty() {
+        return Err(format!(
+            "no current row matches any of the {} baseline rows (algo/mode/threads)",
+            baseline.len()
+        ));
+    }
+    let matched: std::collections::BTreeSet<_> = deltas
+        .iter()
+        .map(|d| (d.algo.clone(), d.mode.clone(), d.threads))
+        .collect();
+    let unmatched = current
+        .iter()
+        .map(BenchRow::key)
+        .filter(|k| !matched.contains(k))
+        .collect();
+    let median_delta_pct = median_of(deltas.iter().map(|d| d.delta_pct).collect());
+    Ok(Comparison {
+        deltas,
+        unmatched,
+        median_delta_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(algo: &str, mode: &str, threads: u64, median_ms: f64) -> BenchRow {
+        BenchRow {
+            algo: algo.into(),
+            mode: mode.into(),
+            threads,
+            iterations: 3,
+            median_ms,
+            p95_ms: median_ms * 1.2,
+            min_ms: median_ms * 0.9,
+        }
+    }
+
+    #[test]
+    fn json_reader_handles_the_bench_shapes() {
+        let v =
+            Value::parse(r#"{"a": [1, 2.5, -3e2], "s": "x\"y\\z", "t": true, "n": null, "o": {}}"#)
+                .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2], Value::Num(-300.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\"y\\z"));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+        assert_eq!(v.get("o"), Some(&Value::Obj(vec![])));
+        assert!(Value::parse("{\"a\": 1} trailing").is_err());
+        assert!(Value::parse("{\"a\"").is_err());
+    }
+
+    #[test]
+    fn committed_v1_report_still_parses() {
+        // Backward-compat contract: the v1 baseline committed at the repo
+        // root stays readable after the v2 schema change.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_wallclock.json"
+        ))
+        .expect("committed baseline exists");
+        let (rows, scale) = report_rows(&text).expect("v1 parses");
+        assert_eq!(scale, 16);
+        assert_eq!(rows.len(), 8, "4 algorithms x serial/adaptive");
+        for r in &rows {
+            assert_eq!(r.threads, 1, "v1 rows inherit host_threads");
+            assert!(r.median_ms > 0.0 && r.min_ms <= r.median_ms);
+            assert!(r.iterations > 0);
+        }
+        let modes: std::collections::BTreeSet<_> = rows.iter().map(|r| r.mode.as_str()).collect();
+        assert_eq!(
+            modes.into_iter().collect::<Vec<_>>(),
+            ["adaptive", "serial"]
+        );
+    }
+
+    #[test]
+    fn trajectory_lines_round_trip() {
+        let entry = TrajectoryEntry {
+            commit: "abc123".into(),
+            schema: "gr-wallclock-v2".into(),
+            scale: 10,
+            rows: vec![
+                row("bfs", "serial", 1, 12.5),
+                row("bfs", "adaptive", 2, 4.25),
+            ],
+        };
+        let line = entry.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(TrajectoryEntry::from_line(&line).unwrap(), entry);
+    }
+
+    #[test]
+    fn baseline_pools_trajectory_entries_by_scale() {
+        let lines = [
+            TrajectoryEntry {
+                commit: "old".into(),
+                schema: "gr-wallclock-v2".into(),
+                scale: 10,
+                rows: vec![row("bfs", "serial", 1, 20.0), row("cc", "serial", 1, 9.0)],
+            },
+            TrajectoryEntry {
+                commit: "other-scale".into(),
+                schema: "gr-wallclock-v2".into(),
+                scale: 16,
+                rows: vec![row("bfs", "serial", 1, 999.0)],
+            },
+            TrajectoryEntry {
+                commit: "new".into(),
+                schema: "gr-wallclock-v2".into(),
+                scale: 10,
+                rows: vec![row("bfs", "serial", 1, 10.0), row("bfs", "serial", 2, 6.0)],
+            },
+        ]
+        .iter()
+        .map(TrajectoryEntry::to_line)
+        .collect::<Vec<_>>()
+        .join("\n");
+        let pool = baseline_rows(&lines, 10).unwrap();
+        // Later entries override per key; the scale-16 entry is ignored.
+        assert_eq!(pool.len(), 3);
+        let bfs1 = pool
+            .iter()
+            .find(|r| r.key() == row("bfs", "serial", 1, 0.0).key());
+        assert_eq!(bfs1.unwrap().median_ms, 10.0);
+        assert!(baseline_rows(&lines, 12).is_err(), "no entry at scale 12");
+    }
+
+    #[test]
+    fn compare_gates_on_the_median_row_delta() {
+        let base = vec![
+            row("bfs", "serial", 1, 10.0),
+            row("bfs", "adaptive", 1, 5.0),
+            row("cc", "serial", 1, 8.0),
+        ];
+        // One row 50% slower, two unchanged: median delta 0 — no gate.
+        let mut cur = base.clone();
+        cur[0].median_ms = 15.0;
+        let cmp = compare(&base, &cur).unwrap();
+        assert_eq!(cmp.deltas.len(), 3);
+        assert!(cmp.median_delta_pct.abs() < 1e-9);
+        assert!(!cmp.regressed(), "one outlier row must not fail the gate");
+
+        // Every row 20% slower: median delta 20% > 10% — regression.
+        let slower: Vec<BenchRow> = base
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.median_ms *= 1.2;
+                r
+            })
+            .collect();
+        let cmp = compare(&base, &slower).unwrap();
+        assert!((cmp.median_delta_pct - 20.0).abs() < 1e-9);
+        assert!(cmp.regressed());
+
+        // Uniformly faster: negative median, no regression.
+        let faster: Vec<BenchRow> = base
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.median_ms *= 0.5;
+                r
+            })
+            .collect();
+        assert!(!compare(&base, &faster).unwrap().regressed());
+    }
+
+    #[test]
+    fn compare_refuses_an_unmatchable_baseline() {
+        let base = vec![row("bfs", "serial", 1, 10.0)];
+        let cur = vec![row("bfs", "serial", 4, 3.0)];
+        assert!(compare(&base, &cur).is_err(), "thread counts differ");
+        let cmp = compare(&base, &[row("bfs", "serial", 1, 10.0), cur[0].clone()]).unwrap();
+        assert_eq!(
+            cmp.unmatched,
+            vec![("bfs".to_string(), "serial".to_string(), 4)]
+        );
+    }
+}

@@ -20,7 +20,7 @@
 //! the public API surface.
 
 use gr_graph::GraphLayout;
-use gr_observe::Observer;
+use gr_observe::{Observer, WallProfiler};
 use gr_sim::Platform;
 
 use crate::api::GasProgram;
@@ -65,6 +65,7 @@ pub struct GraphReduce<'g, P: GasProgram> {
     platform: Platform,
     opts: Options,
     observer: Observer,
+    wall: WallProfiler,
 }
 
 impl<'g, P: GasProgram> GraphReduce<'g, P> {
@@ -75,6 +76,7 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
             platform,
             opts,
             observer: Observer::disabled(),
+            wall: WallProfiler::disarmed(),
         }
     }
 
@@ -85,6 +87,18 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
     /// one branch per would-be event.
     pub fn with_observer(mut self, observer: Observer) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Attach a wall-clock profiler (armed or disarmed). Armed, the run
+    /// attributes real host milliseconds per (iteration, shard, GAS
+    /// phase, resolved kernel shape) — read back via
+    /// [`WallProfiler::profile`](gr_observe::WallProfiler::profile) and
+    /// summarized in [`RunStats::wall`](crate::stats::RunStats::wall).
+    /// The default disarmed profiler costs one branch per would-be scope
+    /// and changes nothing else.
+    pub fn with_wall_profiler(mut self, wall: WallProfiler) -> Self {
+        self.wall = wall;
         self
     }
 
@@ -123,6 +137,7 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
             plan,
             warm,
             self.observer.clone(),
+            self.wall.clone(),
         )?
         .run()
     }

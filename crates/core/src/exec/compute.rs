@@ -9,6 +9,8 @@
 //! governor host-shard execution identically on both paths.
 
 use gr_graph::{GraphLayout, Shard};
+use gr_observe::profiler::WALL_NO_SHARD;
+use gr_observe::{WallKey, WallProfiler};
 use gr_sim::{CpuWork, KernelSpec};
 
 use crate::options::{GatherMode, Options};
@@ -80,13 +82,22 @@ pub struct ComputeSpecs {
 
 impl ComputeSpecs {
     /// Precompute the per-shard skew factors and capture the spec-shaping
-    /// options.
+    /// options. The skew scan walks every edge of the graph once — the
+    /// dominant real-time setup cost — so it carries a wall scope
+    /// (`phase: "setup"`, outside any iteration).
     pub(crate) fn new(
         sizes: SizeModel,
         opts: &Options,
         layout: &GraphLayout,
         shards: &[Shard],
+        wall: &WallProfiler,
     ) -> Self {
+        let _w = wall.scope(|| WallKey {
+            iteration: 0,
+            shard: WALL_NO_SHARD,
+            phase: "setup",
+            shape: "skew",
+        });
         let (skew_in, skew_out): (Vec<f64>, Vec<f64>) = shards
             .iter()
             .map(|sh| {

@@ -11,7 +11,10 @@
 //!    resolution. The *only* module that calls `gr-sim` operations.
 //! 4. [`movement`] — shard copy-in/copy-out policy (spray, zero-copy,
 //!    chunking, storage stalls), issuing ops through [`device`].
-//! 5. [`driver`] — the single-device BSP iteration loop: frontier skip,
+//! 5. [`host`] — the host master state: the exact GAS computation every
+//!    run performs (fanned out over host threads when available), with
+//!    real wall-clock attribution via `gr_observe`'s `WallProfiler`.
+//! 6. [`driver`] — the single-device BSP iteration loop: frontier skip,
 //!    checkpoint/rollback, host fallback, timeline emission.
 //!
 //! The multi-GPU orchestrator ([`crate::multi`]) sits beside [`driver`]:
@@ -22,5 +25,6 @@
 pub mod compute;
 pub mod device;
 pub mod driver;
+pub mod host;
 pub mod movement;
 pub mod plan;

@@ -68,6 +68,7 @@ pub use api::{GasProgram, InitialFrontier};
 pub use buffers::StagingBuffer;
 pub use checkpoint::Checkpoint;
 pub use engine::{GraphReduce, RunResult, WarmStart};
+pub use gr_observe::{WallProfile, WallProfiler, WallSummary};
 pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan};
 pub use multi::{MultiGraphReduce, MultiRunResult, MultiRunStats};
 pub use options::{GatherMode, HostKernels, Options, PartitionLogicHandle, StreamingMode};

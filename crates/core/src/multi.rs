@@ -30,13 +30,14 @@
 //! sequential oracle.
 
 use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
-use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent};
+use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};
 use gr_sim::{DeviceFault, FaultPlan, OutOfMemory, Platform, SimDuration};
 
 use crate::api::GasProgram;
 use crate::exec::compute::{activate_kernel_spec, apply_kernel_spec, gather_map_spec};
 use crate::exec::device::{barrier, barrier_observed, Abort, DeviceCtx};
-use crate::exec::driver::{roll_back, HostState};
+use crate::exec::driver::roll_back;
+use crate::exec::host::HostState;
 use crate::exec::plan::emit_plan_decisions;
 use crate::options::HostKernels;
 use crate::phases::ShardWork;
@@ -91,6 +92,7 @@ pub struct MultiGraphReduce<'g, P: GasProgram> {
     platform: Platform,
     num_gpus: u32,
     observer: Observer,
+    wall: WallProfiler,
     fault_plans: Vec<(usize, FaultPlan)>,
     recovery: RecoveryPolicy,
     mem_caps: Vec<(usize, u64)>,
@@ -104,6 +106,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             platform,
             num_gpus: num_gpus.max(1),
             observer: Observer::disabled(),
+            wall: WallProfiler::disarmed(),
             fault_plans: Vec::new(),
             recovery: RecoveryPolicy::default(),
             mem_caps: Vec::new(),
@@ -115,6 +118,16 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
     /// on the `"multi"` track.
     pub fn with_observer(mut self, observer: Observer) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Attach a wall-clock profiler (armed or disarmed). Armed, it
+    /// attributes the host-side GAS computation's real milliseconds per
+    /// (iteration, shard, phase, kernel shape) exactly as the single-GPU
+    /// engine does; read it back with
+    /// [`WallProfiler::profile`](gr_observe::WallProfiler::profile).
+    pub fn with_wall_profiler(mut self, wall: WallProfiler) -> Self {
+        self.wall = wall;
         self
     }
 
@@ -172,6 +185,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
 
     /// Execute to convergence.
     pub fn run(&self) -> Result<MultiRunResult<P>, EngineError> {
+        self.wall.set_algorithm(self.program.name());
         let sizes = SizeModel::for_program(&self.program);
         let n = self.layout.num_vertices();
         let ngpu = self.num_gpus as usize;
@@ -277,6 +291,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 iter,
                 &self.observer,
                 &mut metrics,
+                &self.wall,
             );
 
             // ---- device timelines (replayed on persistent faults) ----

@@ -66,6 +66,21 @@ fn resolve(mode: HostKernels, active: u64, interval_len: u64) -> Shape {
     }
 }
 
+/// Name of the concrete shape the phase kernels will execute for these
+/// inputs — the same resolution `resolve` performs inside
+/// [`gather_shard`]/[`apply_shard`]/[`scatter_shard`]/[`activate_shard`],
+/// exposed so wall-clock instrumentation (`gr_observe::profiler`) can
+/// attribute real time to the shape that actually ran. `active` is the
+/// set-bit count of the phase's driving bitmap over the interval
+/// (frontier for gather/apply, changed for scatter/activate).
+pub fn shape_name(mode: HostKernels, active: u64, interval_len: u64) -> &'static str {
+    match resolve(mode, active, interval_len) {
+        Shape::Serial => "serial",
+        Shape::Dense => "dense",
+        Shape::Sparse => "sparse",
+    }
+}
+
 /// Per-shard, per-iteration work counts (feed the kernel cost model and the
 /// frontier statistics of Figures 3/16/17).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -104,6 +104,26 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
         json::number(stats.memcpy_share())
     ));
 
+    // Real wall-clock section: present only when a profiler was armed
+    // (adding a field is compatible under `report_version` 1; disarmed
+    // runs emit the byte-identical report they always did).
+    if let Some(w) = &stats.wall {
+        let phases: Vec<String> = w
+            .phases
+            .iter()
+            .map(|(p, ns)| format!("{{\"phase\":{},\"self_ns\":{ns}}}", json::string(p)))
+            .collect();
+        out.push_str(&format!(
+            "  \"wall\": {{\"total_ns\": {}, \"kernel_ns\": {}, \"threads\": {}, \
+             \"imbalance\": {}, \"phases\": [{}]}},\n",
+            w.total_ns,
+            w.kernel_ns,
+            w.threads,
+            json::number(w.imbalance),
+            phases.join(",")
+        ));
+    }
+
     let iters: Vec<String> = stats
         .per_iteration
         .iter()
@@ -250,6 +270,7 @@ mod tests {
             host_shards: 0,
             mem_peak: 900,
             mem_min_headroom: 100,
+            wall: None,
             per_iteration: vec![
                 IterationStats {
                     frontier_size: 1,
@@ -328,6 +349,27 @@ mod tests {
         // Snapshots: run-level in, per-iteration filtered out.
         assert!(rep.contains("\"run\": {\"counters\":{\"h2d.bytes\":1000}"));
         assert!(!rep.contains("\"iteration 0\""));
+    }
+
+    #[test]
+    fn wall_section_only_appears_when_a_profiler_was_armed() {
+        let rec = recorded();
+        let clean = run_report(&stats(), &rec);
+        assert!(!clean.contains("\"wall\""), "disarmed report unchanged");
+        let mut s = stats();
+        s.wall = Some(gr_observe::WallSummary {
+            total_ns: 5_000_000,
+            kernel_ns: 4_000_000,
+            phases: vec![("gather", 3_000_000), ("apply", 1_000_000)],
+            threads: 2,
+            imbalance: 1.5,
+        });
+        let rep = run_report(&s, &rec);
+        assert!(rep.contains("\"wall\": {\"total_ns\": 5000000, \"kernel_ns\": 4000000"));
+        assert!(rep.contains("\"threads\": 2"));
+        assert!(rep.contains("\"imbalance\": 1.5"));
+        assert!(rep.contains("{\"phase\":\"gather\",\"self_ns\":3000000}"));
+        assert_eq!(rep.matches('{').count(), rep.matches('}').count());
     }
 
     #[test]

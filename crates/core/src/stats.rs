@@ -1,5 +1,6 @@
 //! Execution statistics: everything the paper's evaluation section reports.
 
+use gr_observe::WallSummary;
 use gr_sim::SimDuration;
 
 /// Per-iteration record (drives Figures 3, 16, 17).
@@ -76,6 +77,11 @@ pub struct RunStats {
     pub mem_peak: u64,
     /// Low-water mark of free device bytes (headroom) over the run.
     pub mem_min_headroom: u64,
+    /// Real host wall-clock attribution (`None` unless a
+    /// [`WallProfiler`](gr_observe::WallProfiler) was armed via
+    /// `GraphReduce::with_wall_profiler` — the simulated numbers above
+    /// are unaffected either way).
+    pub wall: Option<WallSummary>,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterationStats>,
 }
@@ -198,6 +204,11 @@ impl std::fmt::Display for RunStats {
                 self.mem_min_headroom
             )?;
         }
+        // And for the wall profile: runs without an armed profiler print
+        // exactly what they always printed.
+        if let Some(w) = &self.wall {
+            write!(f, "\n  host wall: {w}")?;
+        }
         Ok(())
     }
 }
@@ -272,6 +283,31 @@ mod tests {
         assert!(governed.contains("memory: 1 pressure responses"));
         assert!(governed.contains("2 shard splits, 1 chunked shards"));
         assert!(governed.contains("peak 4096 B, min headroom 128 B"));
+    }
+
+    #[test]
+    fn wall_line_only_appears_when_a_profiler_was_armed() {
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("host wall:"), "{clean}");
+        let profiled = RunStats {
+            wall: Some(WallSummary {
+                total_ns: 2_500_000,
+                kernel_ns: 2_000_000,
+                phases: vec![("gather", 1_500_000), ("apply", 500_000), ("scatter", 0)],
+                threads: 4,
+                imbalance: 1.25,
+            }),
+            ..Default::default()
+        }
+        .to_string();
+        assert!(
+            profiled.contains("host wall: 2.500 ms total (2.000 ms in kernels)"),
+            "{profiled}"
+        );
+        assert!(profiled.contains("4 threads, imbalance 1.25"));
+        assert!(profiled.contains("gather 1.500 ms"));
+        assert!(profiled.contains("apply 0.500 ms"));
+        assert!(!profiled.contains("scatter"), "zero phases stay silent");
     }
 
     #[test]

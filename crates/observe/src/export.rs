@@ -298,6 +298,25 @@ pub fn chrome_trace(rec: &Recorded) -> String {
     format!("{{\"traceEvents\":[{}]}}", all.join(","))
 }
 
+/// [`chrome_trace`] with a wall-clock profile appended as its own
+/// `"wall"` process: the profile's samples (real nanoseconds since the
+/// profiler was armed, one lane per worker thread) render beside the
+/// virtual-time tracks. `None` degrades to plain [`chrome_trace`], so
+/// callers can pass an optional profile unconditionally.
+pub fn chrome_trace_with_wall(
+    rec: &Recorded,
+    wall: Option<&crate::profiler::WallProfile>,
+) -> String {
+    match wall {
+        None => chrome_trace(rec),
+        Some(profile) => {
+            let mut merged = rec.clone();
+            merged.spans.extend(profile.to_span_events());
+            chrome_trace(&merged)
+        }
+    }
+}
+
 fn args_json(fields: &[(&'static str, crate::FieldValue)]) -> String {
     fields
         .iter()
@@ -529,6 +548,66 @@ mod tests {
         let tid0 = trace.matches("\"tid\":0").count();
         // metadata + both X events all on tid 0 of pid 0.
         assert_eq!(tid0, 3);
+    }
+
+    #[test]
+    fn wall_track_round_trips_through_the_chrome_exporter() {
+        use crate::profiler::{WallKey, WallProfile, WallSample, WALL_ITERATION, WALL_NO_SHARD};
+        let mut rec = Recorded::default();
+        rec.spans.push(span("sim", "gpu.kernel", "apply", 0, 10));
+        rec.spans
+            .push(span("engine", "iterations", "iteration 0", 0, 20));
+        let wall = WallProfile::from_samples(
+            "bfs".into(),
+            vec![
+                WallSample {
+                    key: WallKey {
+                        iteration: 0,
+                        shard: WALL_NO_SHARD,
+                        phase: WALL_ITERATION,
+                        shape: "",
+                    },
+                    start_ns: 1000,
+                    dur_ns: 4500,
+                    thread: 0,
+                },
+                WallSample {
+                    key: WallKey {
+                        iteration: 0,
+                        shard: 2,
+                        phase: "apply",
+                        shape: "sparse",
+                    },
+                    start_ns: 1500,
+                    dur_ns: 2000,
+                    thread: 1,
+                },
+            ],
+        );
+        let trace = chrome_trace_with_wall(&rec, Some(&wall));
+        assert!(jsonck::valid(&trace), "invalid JSON: {trace}");
+        // The wall samples land in their own named process, after the
+        // existing tracks, with one lane per worker thread.
+        assert!(trace.contains(r#""process_name","ph":"M","pid":2,"args":{"name":"wall"}"#));
+        assert!(trace.contains(
+            r#""name":"thread_name","ph":"M","pid":2,"tid":1,"args":{"name":"thread 1"}"#
+        ));
+        // Timestamps round-trip ns → µs with three decimals preserved.
+        assert!(trace.contains("\"ts\":1.500") && trace.contains("\"dur\":2.000"));
+        assert!(trace.contains("\"shape\":\"sparse\""));
+        assert!(trace.contains("\"algorithm\":\"bfs\""));
+        // None is exactly the plain exporter; the sim/engine events are
+        // byte-identical either way.
+        let plain = chrome_trace_with_wall(&rec, None);
+        assert_eq!(plain, chrome_trace(&rec));
+        assert!(!plain.contains("\"wall\""));
+        for ev in plain
+            .trim_start_matches("{\"traceEvents\":[")
+            .trim_end_matches("]}")
+            .split("},{")
+        {
+            assert!(trace.contains(ev), "wall export altered event {ev}");
+        }
     }
 
     #[test]

@@ -23,13 +23,20 @@
 //! The default [`Observer`] is disabled: emission costs one branch on
 //! an `Option` and the event is *never constructed* (emit methods take
 //! closures). Enabling costs one `Arc` clone per component.
+//!
+//! All of the above records **virtual** time. The [`profiler`] module is
+//! the real-time counterpart: a scoped wall-clock profiler
+//! ([`WallProfiler`]) with the same zero-cost-when-off contract, whose
+//! aggregated [`WallProfile`] exports onto a dedicated `"wall"` track.
 
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profiler;
 pub mod sink;
 
 pub use event::{Decision, FieldValue, InstantEvent, SpanEvent};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profiler::{WallKey, WallProfile, WallProfiler, WallSample, WallSummary};
 pub use sink::{Observer, Recorded, RecordingSink, Sink};

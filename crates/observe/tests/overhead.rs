@@ -1,0 +1,111 @@
+//! The disarmed-profiler overhead contract: instrumenting a hot loop
+//! with `WallProfiler::scope` must allocate **nothing** and cost <1% of
+//! the uninstrumented loop when the profiler is disarmed (documented in
+//! docs/OBSERVABILITY.md). The allocation half is asserted exactly via a
+//! counting global allocator; the timing half is asserted with paired
+//! minimum-of-rounds measurements under a generous threshold so the test
+//! never flakes on a noisy machine.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gr_observe::{WallKey, WallProfiler};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The simulated "hot kernel": enough real work per iteration that one
+/// branch on an `Option` is far below 1% of it.
+fn kernel(data: &[u64]) -> u64 {
+    data.iter().fold(0u64, |a, &x| a.wrapping_add(x ^ (a >> 3)))
+}
+
+fn instrumented_pass(p: &WallProfiler, data: &[u64], iters: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        let _scope = p.scope(|| WallKey {
+            iteration: i as u32,
+            shard: 0,
+            phase: "apply",
+            shape: "dense",
+        });
+        acc = acc.wrapping_add(kernel(black_box(data)));
+    }
+    acc
+}
+
+fn bare_pass(data: &[u64], iters: usize) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(kernel(black_box(data)));
+    }
+    acc
+}
+
+#[test]
+fn disarmed_hot_loop_allocates_nothing() {
+    let p = WallProfiler::disarmed();
+    let data: Vec<u64> = (0..256).collect();
+    // Warm up (and fault in) everything outside the measured region.
+    black_box(instrumented_pass(&p, &data, 8));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    black_box(instrumented_pass(&p, &data, 10_000));
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disarmed scopes must not allocate in the hot loop"
+    );
+    assert_eq!(p.sample_count(), 0);
+}
+
+#[test]
+fn disarmed_scope_cost_is_within_the_overhead_budget() {
+    let p = WallProfiler::disarmed();
+    let data: Vec<u64> = (0..1024).map(|i| i * 2654435761).collect();
+    let iters = 2_000;
+    // Warm up both paths.
+    black_box(bare_pass(&data, iters));
+    black_box(instrumented_pass(&p, &data, iters));
+    // Paired min-of-rounds: the minimum is the stable statistic on a
+    // shared machine; interleaving the pairs cancels drift.
+    let mut best_bare = f64::INFINITY;
+    let mut best_inst = f64::INFINITY;
+    for _ in 0..7 {
+        let t = Instant::now();
+        black_box(bare_pass(&data, iters));
+        best_bare = best_bare.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(instrumented_pass(&p, &data, iters));
+        best_inst = best_inst.min(t.elapsed().as_secs_f64());
+    }
+    // Contract: <1% on this workload. Guarded at 15% so scheduler noise
+    // can never fail the suite; a real regression (building keys or
+    // reading clocks while disarmed) costs far more than that.
+    assert!(
+        best_inst <= best_bare * 1.15,
+        "disarmed instrumentation overhead too high: bare {best_bare:.6}s vs instrumented {best_inst:.6}s"
+    );
+}

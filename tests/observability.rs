@@ -7,7 +7,7 @@
 
 use std::collections::BTreeSet;
 
-use graphreduce_repro::core::{GraphReduce, Options, RunStats};
+use graphreduce_repro::core::{report, GraphReduce, Options, RunStats, WallProfiler};
 use graphreduce_repro::graph::{gen, EdgeList, GraphLayout};
 use graphreduce_repro::observe::{export, FieldValue, Observer, Recorded};
 use graphreduce_repro::sim::Platform;
@@ -133,6 +133,58 @@ fn decision_log_skips_match_iteration_stats() {
         skipped,
         "one ShardSkip decision per skipped shard per iteration"
     );
+}
+
+#[test]
+fn armed_wall_profiler_attributes_real_time_without_changing_results() {
+    let layout = GraphLayout::build(&gen::rmat_g500(12, 40_000, 7).symmetrize());
+    let plat = Platform::paper_node_scaled(1 << 13);
+    let base = GraphReduce::new(Heat::default(), &layout, plat.clone(), Options::optimized())
+        .run()
+        .unwrap();
+    assert!(base.stats.wall.is_none(), "no profiler, no wall section");
+    assert!(!base.stats.to_string().contains("host wall:"));
+
+    let wall = WallProfiler::armed();
+    let (observer, sink) = Observer::recording();
+    let out = GraphReduce::new(Heat::default(), &layout, plat, Options::optimized())
+        .with_wall_profiler(wall.clone())
+        .with_observer(observer)
+        .run()
+        .unwrap();
+    // Profiling is read-only: results and every simulated number are
+    // untouched.
+    assert_eq!(out.vertex_values, base.vertex_values);
+    assert_eq!(out.stats.elapsed, base.stats.elapsed);
+    assert_eq!(out.stats.bytes_h2d, base.stats.bytes_h2d);
+
+    let summary = out.stats.wall.clone().expect("armed profiler fills wall");
+    assert!(summary.total_ns > 0, "real time must accumulate");
+    assert!(summary.kernel_ns > 0 && summary.kernel_ns <= summary.total_ns);
+    assert!(summary.threads >= 1);
+    assert!(summary.imbalance >= 1.0);
+    assert!(out.stats.to_string().contains("host wall:"));
+
+    // The profile tree attributes every GAS phase of this all-phase
+    // program, labeled with the algorithm.
+    let profile = wall.profile();
+    assert_eq!(profile.algorithm, out.stats.algorithm);
+    let phases: BTreeSet<&str> = profile.rows.iter().map(|r| r.key.phase).collect();
+    for p in ["gather", "apply", "scatter", "activate", "setup"] {
+        assert!(phases.contains(p), "profile lacks phase {p}");
+    }
+
+    // The run report grows a wall section; the baseline report has none.
+    let rec = sink.recorded();
+    let rep = report::run_report(&out.stats, &rec);
+    assert!(rep.contains("\"wall\": {\"total_ns\":"));
+    let base_rep = report::run_report(&base.stats, &rec);
+    assert!(!base_rep.contains("\"wall\""));
+
+    // And the unified trace gains a wall-clock track beside sim/engine.
+    let trace = export::chrome_trace_with_wall(&rec, Some(&profile));
+    assert!(trace.contains("\"args\":{\"name\":\"wall\"}"));
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
 }
 
 #[test]
