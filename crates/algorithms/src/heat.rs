@@ -18,6 +18,11 @@ pub struct HeatGather {
     pub count: u32,
 }
 
+graphreduce::impl_state_bytes!(HeatGather {
+    sum: f32,
+    count: u32
+});
+
 /// Heat diffusion program.
 #[derive(Clone, Copy, Debug)]
 pub struct Heat {

@@ -20,6 +20,11 @@ pub struct MsBfsValue {
     pub first_hit: u32,
 }
 
+graphreduce::impl_state_bytes!(MsBfsValue {
+    reached_by: u64,
+    first_hit: u32,
+});
+
 /// Multi-source BFS from up to 64 sources.
 #[derive(Clone, Debug)]
 pub struct MsBfs {

@@ -18,6 +18,11 @@ pub struct PrValue {
     pub out_degree: u32,
 }
 
+graphreduce::impl_state_bytes!(PrValue {
+    rank: f32,
+    out_degree: u32
+});
+
 /// PageRank program.
 #[derive(Clone, Copy, Debug)]
 pub struct PageRank {

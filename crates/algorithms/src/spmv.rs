@@ -14,6 +14,8 @@ pub struct SpmvValue {
     pub y: f32,
 }
 
+graphreduce::impl_state_bytes!(SpmvValue { x: f32, y: f32 });
+
 /// `y = A·x` where `A[v][u] = weight(u → v)`. The input vector is supplied
 /// by a function of the vertex id so the program stays `Sync` + cheap.
 pub struct Spmv<F: Fn(u32) -> f32 + Sync> {

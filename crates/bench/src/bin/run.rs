@@ -11,12 +11,19 @@
 //! ```
 
 use gr_bench::{
-    default_source, run_cusha, run_gr_wall, run_graphchi, run_mapgraph, run_xstream,
-    set_host_threads, Algo, RunArtifacts,
+    default_source, resume_gr_wall, run_cusha, run_gr_wall, run_graphchi, run_mapgraph,
+    run_xstream, set_host_threads, Algo, RunArtifacts,
 };
 use gr_graph::{gen, Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
-use graphreduce::{FaultPlan, MultiGraphReduce, Options, WallProfiler};
+use graphreduce::{
+    CheckpointPolicy, EngineError, FaultPlan, MultiGraphReduce, Options, WallProfiler,
+};
+
+/// Exit code for a run killed by an armed `kill:<iteration>` fault plan:
+/// distinguishable from real errors so restart harnesses (and the CI
+/// chaos job) can assert the kill happened, then `--resume`.
+const EXIT_KILLED: i32 = 9;
 
 struct Args {
     algo: Algo,
@@ -33,6 +40,11 @@ struct Args {
     trace: Option<String>,
     threads: Option<usize>,
     wall: bool,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: Option<u32>,
+    resume: bool,
+    spill_dir: Option<String>,
+    host_mem_cap: Option<String>,
 }
 
 /// Resolve a `--mem-cap` spec against the device's nominal capacity:
@@ -57,7 +69,15 @@ fn usage() -> ! {
         "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
          [--faults <profile[:seed]|seed>] [--mem-cap <bytes|pct%>] [--report <path.json>] \
-         [--trace <path.json>] [--threads N] [--wall]"
+         [--trace <path.json>] [--threads N] [--wall] [--checkpoint-dir <dir>] \
+         [--checkpoint-every N] [--resume] [--spill-dir <dir>] [--host-mem-cap <bytes|pct%>]"
+    );
+    eprintln!(
+        "  --checkpoint-dir arms durable snapshots (gr engine, single GPU); --checkpoint-every \
+         sets the interval in iterations (default 1); --resume restarts from the newest intact \
+         snapshot in --checkpoint-dir; --spill-dir arms the out-of-host-core shard store and \
+         --host-mem-cap caps host RAM to force it (see docs/DURABILITY.md). A run killed by \
+         --faults kill:<iteration> exits with code 9"
     );
     eprintln!(
         "  --threads pins the host worker-thread count (RAYON_NUM_THREADS); --wall arms the \
@@ -104,6 +124,11 @@ fn parse_args() -> Args {
         trace: None,
         threads: None,
         wall: false,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
+        spill_dir: None,
+        host_mem_cap: None,
     };
     let mut it = std::env::args().skip(1);
     let mut have_algo = false;
@@ -168,6 +193,18 @@ fn parse_args() -> Args {
                 )
             }
             "--wall" => args.wall = true,
+            "--checkpoint-dir" => args.checkpoint_dir = it.next().or_else(|| usage()),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--resume" => args.resume = true,
+            "--spill-dir" => args.spill_dir = it.next().or_else(|| usage()),
+            "--host-mem-cap" => args.host_mem_cap = it.next().or_else(|| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -242,7 +279,13 @@ fn main() {
     println!("{}", GraphStats::compute(&layout));
     println!();
 
-    let platform = Platform::paper_node_scaled(args.scale);
+    let mut platform = Platform::paper_node_scaled(args.scale);
+    if let Some(spec) = &args.host_mem_cap {
+        if args.engine != "gr" {
+            eprintln!("--host-mem-cap only applies to the gr engine; ignoring");
+        }
+        platform.host.mem_capacity = parse_mem_cap(spec, platform.host.mem_capacity);
+    }
     let mut opts = if args.optimized {
         Options::optimized()
     } else {
@@ -262,6 +305,33 @@ fn main() {
     });
     if let Some(cap) = mem_cap {
         opts = opts.with_mem_cap(cap);
+    }
+    // Durability flags: validate combinations before any work happens.
+    if args.checkpoint_every.is_some() && args.checkpoint_dir.is_none() {
+        eprintln!("error: --checkpoint-every needs --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if args.resume && args.checkpoint_dir.is_none() {
+        eprintln!("error: --resume needs --checkpoint-dir (where would I resume from?)");
+        std::process::exit(2);
+    }
+    if (args.checkpoint_dir.is_some() || args.spill_dir.is_some())
+        && (args.engine != "gr" || args.gpus > 1)
+    {
+        eprintln!(
+            "error: --checkpoint-dir/--checkpoint-every/--resume/--spill-dir apply to the \
+             single-GPU gr engine only"
+        );
+        std::process::exit(2);
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        opts = opts.with_checkpoint_policy(CheckpointPolicy::durable(
+            dir.as_str(),
+            args.checkpoint_every.unwrap_or(1),
+        ));
+    }
+    if let Some(dir) = &args.spill_dir {
+        opts = opts.with_spill_dir(dir.as_str());
     }
     let src = default_source(&layout);
     let artifacts = RunArtifacts::from_paths(args.report.clone(), args.trace.clone());
@@ -365,15 +435,32 @@ fn main() {
             } else {
                 WallProfiler::disarmed()
             };
-            let stats = run_gr_wall(
-                args.algo,
-                &layout,
-                &platform,
-                opts,
-                artifacts.observer(),
-                wall.clone(),
-            )
-            .unwrap_or_else(|e| {
+            let result = if args.resume {
+                let dir = args.checkpoint_dir.as_deref().expect("validated above");
+                resume_gr_wall(
+                    args.algo,
+                    &layout,
+                    &platform,
+                    opts,
+                    std::path::Path::new(dir),
+                    artifacts.observer(),
+                    wall.clone(),
+                )
+            } else {
+                run_gr_wall(
+                    args.algo,
+                    &layout,
+                    &platform,
+                    opts,
+                    artifacts.observer(),
+                    wall.clone(),
+                )
+            };
+            let stats = result.unwrap_or_else(|e| {
+                if let EngineError::Killed { iteration } = e {
+                    eprintln!("killed at iteration boundary {iteration} (restart with --resume)");
+                    std::process::exit(EXIT_KILLED);
+                }
                 eprintln!("error: {e}");
                 std::process::exit(1);
             });

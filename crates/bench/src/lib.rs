@@ -157,42 +157,90 @@ pub fn run_gr_wall(
     observer: Observer,
     wall: WallProfiler,
 ) -> Result<RunStats, EngineError> {
+    gr_with_resume(algo, layout, platform, opts, None, observer, wall)
+}
+
+/// [`run_gr_wall`], but resuming from the newest durable snapshot in
+/// `dir` (see `GraphReduce::resume`) instead of starting cold.
+pub fn resume_gr_wall(
+    algo: Algo,
+    layout: &GraphLayout,
+    platform: &Platform,
+    opts: Options,
+    dir: &std::path::Path,
+    observer: Observer,
+    wall: WallProfiler,
+) -> Result<RunStats, EngineError> {
+    gr_with_resume(algo, layout, platform, opts, Some(dir), observer, wall)
+}
+
+fn gr_result<P: graphreduce::GasProgram>(
+    program: P,
+    layout: &GraphLayout,
+    platform: &Platform,
+    opts: Options,
+    resume_dir: Option<&std::path::Path>,
+    observer: Observer,
+    wall: WallProfiler,
+) -> Result<RunStats, EngineError> {
+    let gr = GraphReduce::new(program, layout, platform.clone(), opts)
+        .with_observer(observer)
+        .with_wall_profiler(wall);
+    Ok(match resume_dir {
+        Some(dir) => gr.resume(dir)?,
+        None => gr.run()?,
+    }
+    .stats)
+}
+
+fn gr_with_resume(
+    algo: Algo,
+    layout: &GraphLayout,
+    platform: &Platform,
+    opts: Options,
+    resume_dir: Option<&std::path::Path>,
+    observer: Observer,
+    wall: WallProfiler,
+) -> Result<RunStats, EngineError> {
     let src = default_source(layout);
-    Ok(match algo {
-        Algo::Bfs => {
-            GraphReduce::new(gr_algorithms::Bfs::new(src), layout, platform.clone(), opts)
-                .with_observer(observer)
-                .with_wall_profiler(wall)
-                .run()?
-                .stats
-        }
-        Algo::Sssp => {
-            GraphReduce::new(
-                gr_algorithms::Sssp::new(src),
-                layout,
-                platform.clone(),
-                opts,
-            )
-            .with_observer(observer)
-            .with_wall_profiler(wall)
-            .run()?
-            .stats
-        }
-        Algo::Pagerank => {
-            GraphReduce::new(pagerank(), layout, platform.clone(), opts)
-                .with_observer(observer)
-                .with_wall_profiler(wall)
-                .run()?
-                .stats
-        }
-        Algo::Cc => {
-            GraphReduce::new(gr_algorithms::Cc, layout, platform.clone(), opts)
-                .with_observer(observer)
-                .with_wall_profiler(wall)
-                .run()?
-                .stats
-        }
-    })
+    match algo {
+        Algo::Bfs => gr_result(
+            gr_algorithms::Bfs::new(src),
+            layout,
+            platform,
+            opts,
+            resume_dir,
+            observer,
+            wall,
+        ),
+        Algo::Sssp => gr_result(
+            gr_algorithms::Sssp::new(src),
+            layout,
+            platform,
+            opts,
+            resume_dir,
+            observer,
+            wall,
+        ),
+        Algo::Pagerank => gr_result(
+            pagerank(),
+            layout,
+            platform,
+            opts,
+            resume_dir,
+            observer,
+            wall,
+        ),
+        Algo::Cc => gr_result(
+            gr_algorithms::Cc,
+            layout,
+            platform,
+            opts,
+            resume_dir,
+            observer,
+            wall,
+        ),
+    }
 }
 
 /// Pin the host worker-thread count for this process: the vendored rayon

@@ -13,6 +13,8 @@
 
 use gr_graph::VertexId;
 
+use crate::snapshot::StateBytes;
+
 /// How the computation frontier is seeded (the paper's Initialization
 /// stage: "initializing vertex/edge values and a starting computation
 /// frontier").
@@ -30,14 +32,17 @@ pub enum InitialFrontier {
 /// (the engine invokes them from parallel host threads standing in for GPU
 /// lanes).
 pub trait GasProgram: Sync {
-    /// Per-vertex mutable state (`VertexDataType`).
-    type VertexValue: Copy + Send + Sync;
+    /// Per-vertex mutable state (`VertexDataType`). The [`StateBytes`]
+    /// bound gives every value type a fixed little-endian byte layout so
+    /// durable checkpoints restore bit-identically; derive it for custom
+    /// structs with [`impl_state_bytes!`](crate::impl_state_bytes).
+    type VertexValue: Copy + Send + Sync + StateBytes;
     /// Per-edge mutable state (`EdgeDataType`). Use `()` when edges carry
     /// no mutable state — static weights are passed separately.
-    type EdgeValue: Copy + Send + Sync + Default;
+    type EdgeValue: Copy + Send + Sync + Default + StateBytes;
     /// The gather accumulator produced by `gather_map` and folded by
     /// `gather_reduce`.
-    type Gather: Copy + Send + Sync;
+    type Gather: Copy + Send + Sync + StateBytes;
 
     /// Human-readable program name (traces, experiment tables).
     fn name(&self) -> &'static str;

@@ -109,15 +109,35 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
 
     /// Execute to convergence; returns final state and statistics.
     pub fn run(&self) -> Result<RunResult<P>, EngineError> {
-        self.run_inner(None)
+        self.run_inner(None, None)
     }
 
     /// Execute incrementally from a previous run's state (dynamic graphs).
     pub fn run_warm(&self, warm: WarmStart<P>) -> Result<RunResult<P>, EngineError> {
-        self.run_inner(Some(warm))
+        self.run_inner(Some(warm), None)
     }
 
-    fn run_inner(&self, warm: Option<WarmStart<P>>) -> Result<RunResult<P>, EngineError> {
+    /// Resume a killed or interrupted run from the newest intact durable
+    /// snapshot in `dir` (see [`crate::snapshot::CheckpointPolicy`]).
+    ///
+    /// The snapshot's fingerprint must match this instance's program and
+    /// graph — a mismatch fails fast with
+    /// [`SnapshotError::FingerprintMismatch`](crate::SnapshotError::FingerprintMismatch)
+    /// rather than replaying the wrong state. A corrupt newest snapshot
+    /// (failed checksum, truncation) silently falls back to the previous
+    /// intact one. Replay continues from the restored iteration boundary
+    /// and converges bit-identically to an uninterrupted run.
+    pub fn resume(&self, dir: impl AsRef<std::path::Path>) -> Result<RunResult<P>, EngineError> {
+        let fp = crate::snapshot::fingerprint_for(&self.program, self.layout);
+        let (state, _path, bytes) = crate::snapshot::load_latest::<P>(dir.as_ref(), &fp)?;
+        self.run_inner(None, Some((state, bytes)))
+    }
+
+    fn run_inner(
+        &self,
+        warm: Option<WarmStart<P>>,
+        restored: Option<(crate::snapshot::RestoredState<P>, u64)>,
+    ) -> Result<RunResult<P>, EngineError> {
         let sizes = self.size_model();
         let plan = crate::sizes::plan_partition_with(
             self.layout,
@@ -136,6 +156,7 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
             sizes,
             plan,
             warm,
+            restored,
             self.observer.clone(),
             self.wall.clone(),
         )?

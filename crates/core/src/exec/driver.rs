@@ -10,6 +10,8 @@
 //! orchestrator so both paths produce bit-identical results and identical
 //! recovery charges for identical fault schedules.
 
+use std::path::PathBuf;
+
 use gr_graph::GraphLayout;
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};
 use gr_sim::{cpu_time, DeviceFault, HostConfig, KernelSpec, Platform, SimDuration, StreamId};
@@ -21,7 +23,9 @@ use crate::options::Options;
 use crate::phases::ShardWork;
 use crate::recovery::EngineError;
 use crate::sizes::{PartitionPlan, SizeModel};
+use crate::snapshot::{self, CheckpointPolicy, RestoredState};
 use crate::stats::RunStats;
+use crate::store::{shard_payload, ShardStoreHandle};
 
 use super::compute::{host_work, ComputeSpecs};
 use super::device::{Abort, DeviceCtx};
@@ -97,6 +101,21 @@ pub(crate) struct Runner<'a, P: GasProgram> {
     // Memory governor outcome: shards degraded to host execution.
     host_shards: Vec<bool>,
     any_host_shards: bool,
+    // Durable checkpoints: (dir, every) when the policy is Durable, the
+    // run fingerprint (computed only when durability is armed), and the
+    // iteration boundary the newest on-disk snapshot covers.
+    durable: Option<(PathBuf, u32)>,
+    ckpt_off: bool,
+    fingerprint: Option<snapshot::Fingerprint>,
+    durable_at: Option<u32>,
+    // Out-of-host-core spill: the store (if any), which shards were
+    // evicted to it, and which have been verified back in already.
+    store: Option<ShardStoreHandle>,
+    spilled: Vec<bool>,
+    spill_loaded: Vec<bool>,
+    any_spilled: bool,
+    // Process-kill fault: iteration boundary at which the run dies.
+    kill_at: Option<u32>,
     observer: Observer,
     // Real wall-clock attribution (disarmed by default — one branch per
     // scope; see `gr_observe::profiler`).
@@ -113,6 +132,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         sizes: SizeModel,
         plan: PartitionPlan,
         warm: Option<WarmStart<P>>,
+        restored: Option<(RestoredState<P>, u64)>,
         observer: Observer,
         wall: WallProfiler,
     ) -> Result<Self, EngineError> {
@@ -174,25 +194,88 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             };
         }
 
-        let host = match warm {
-            Some(w) => HostState::warm(program, layout, w),
-            None => HostState::cold(program, layout),
+        let restored_boundary = restored.as_ref().map(|(r, _)| r.iterations_completed());
+        let host = match restored {
+            Some((r, bytes)) => {
+                let b = r.iterations_completed();
+                ctx.metrics.inc("engine.checkpoint_restores", 1);
+                observer.decision(|| Decision::CheckpointRestore {
+                    iteration: b,
+                    bytes,
+                });
+                HostState::restored(r)
+            }
+            None => match warm {
+                Some(w) => HostState::warm(program, layout, w),
+                None => HostState::cold(program, layout),
+            },
         };
 
         // Out-of-host-core: if the full graph footprint exceeds host DRAM,
         // every shard fetch pays a storage read first (Section 8, future
-        // work (2)).
+        // work (2)). With a shard store configured the blanket stall is
+        // replaced by precise per-shard spill charges below.
         let n = layout.num_vertices();
         let host_footprint = gr_graph::in_memory_bytes(n as u64, layout.num_edges());
-        let storage_read_secs_per_byte = (host_footprint > platform.host.mem_capacity)
+        let over_host_ram = host_footprint > platform.host.mem_capacity;
+        let storage_read_secs_per_byte = (over_host_ram && opts.shard_store.is_none())
             .then(|| 1.0 / (platform.storage.bandwidth_gbps * 1e9));
-        let movement = Movement::new(
+
+        // Spill rung: evict shards to the store. The governor already
+        // marked unstageable shards; a graph beyond host DRAM evicts every
+        // streamed shard (GraphChi-style out-of-host-core). Each eviction
+        // writes the shard's topology payload and logs one ShardSpill.
+        let mut spilled = governed.spilled;
+        if let Some(h) = &opts.shard_store {
+            if !governed.host_run && over_host_ram {
+                for (i, s) in spilled.iter_mut().enumerate() {
+                    if !governed.host_shards[i] {
+                        *s = true;
+                    }
+                }
+            }
+            for (i, sh) in plan.shards.iter().enumerate() {
+                if !spilled[i] {
+                    continue;
+                }
+                let payload = shard_payload(layout, sh);
+                let bytes = payload.len() as u64;
+                h.put(i as u32, &payload)?;
+                ctx.metrics.inc("engine.spilled_shards", 1);
+                ctx.metrics.inc("engine.spilled_bytes", bytes);
+                let store_name = h.name();
+                observer.decision(|| Decision::ShardSpill {
+                    shard: i as u32,
+                    bytes,
+                    store: store_name,
+                });
+            }
+        }
+        let any_spilled = spilled.iter().any(|&s| s);
+        let mut movement = Movement::new(
             opts,
             governed.chunked,
             governed.slot_bytes.max(1),
             storage_read_secs_per_byte,
             platform.storage.latency,
         );
+        if any_spilled {
+            movement.set_spilled(
+                spilled.clone(),
+                1.0 / (platform.storage.bandwidth_gbps * 1e9),
+            );
+        }
+
+        // Durable checkpoints: armed only by CheckpointPolicy::Durable.
+        // The fingerprint (also needed to validate spill-era state hashes)
+        // is computed once up front.
+        let durable = match &opts.checkpoint_policy {
+            CheckpointPolicy::Durable { dir, every } => Some((dir.clone(), (*every).max(1))),
+            _ => None,
+        };
+        let ckpt_off = matches!(opts.checkpoint_policy, CheckpointPolicy::Off);
+        let fingerprint = (durable.is_some() || restored_boundary.is_some() || any_spilled)
+            .then(|| snapshot::fingerprint_for(program, layout));
         let specs = ComputeSpecs::new(sizes, opts, layout, &plan.shards, &wall);
 
         // Buffer lists are a pure function of the shard geometry and the
@@ -255,6 +338,15 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             host_time: SimDuration::ZERO,
             any_host_shards: governed.host_shards.iter().any(|&h| h),
             host_shards: governed.host_shards,
+            durable,
+            ckpt_off,
+            fingerprint,
+            durable_at: restored_boundary,
+            store: opts.shard_store.clone(),
+            spilled,
+            spill_loaded: vec![false; num_shards],
+            any_spilled,
+            kill_at: opts.fault_plan.kill_at(),
             in_buf_sets,
             out_buf_sets,
             gather_temp_bufs,
@@ -282,10 +374,18 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         );
         self.emit_init()?;
         let max_iter = self.program.max_iterations();
-        let mut iter = 0u32;
+        // Resume continues from the restored boundary (0 on a cold start);
+        // a forced snapshot first makes even a kill at iteration 0
+        // restartable.
+        let mut iter = self.host.iterations.len() as u32;
+        self.write_durable(true)?;
         while iter < max_iter && self.host.frontier.count() > 0 {
+            if self.kill_at == Some(iter) {
+                return Err(EngineError::Killed { iteration: iter });
+            }
             let iter_start_ns = self.now_ns();
             self.run_iteration(iter)?;
+            self.write_durable(false)?;
             let iter_end_ns = self.now_ns();
             let st = self
                 .host
@@ -311,6 +411,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 .snapshot(&format!("iteration {iter}"), || gpu_metrics.snapshot());
             iter += 1;
         }
+        // Converged: force a final snapshot so a completed run's durable
+        // state is the answer, not the last periodic boundary.
+        self.write_durable(true)?;
         self.emit_finalize()?;
         let gpu_metrics = self.ctx.gpu_metrics();
         self.observer.snapshot("run", || gpu_metrics.snapshot());
@@ -349,6 +452,17 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             host_shards: metrics.counter("engine.host_shards"),
             mem_peak: self.ctx.mem_peak(),
             mem_min_headroom: self.ctx.mem_min_headroom(),
+            checkpoint_writes: metrics.counter("engine.checkpoint_writes"),
+            checkpoint_bytes_written: metrics.counter("engine.checkpoint_bytes"),
+            checkpoint_restores: metrics.counter("engine.checkpoint_restores"),
+            spilled_shards: metrics.counter("engine.spilled_shards"),
+            spilled_bytes: metrics.counter("engine.spilled_bytes"),
+            spill_loads: metrics.counter("engine.spill_loads"),
+            spill_load_bytes: metrics.counter("engine.spill_load_bytes"),
+            state_fingerprint: self
+                .fingerprint
+                .is_some()
+                .then(|| snapshot::values_fingerprint(&self.host.vertex_values)),
             wall: self.wall.is_armed().then(|| self.wall.profile().summary()),
             per_iteration: self.host.iterations,
         };
@@ -384,7 +498,14 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         if self.host_mode {
             return self.host_iteration(iter);
         }
-        let ckpt = self.fault_active.then(|| self.take_checkpoint());
+        self.load_spilled(iter)?;
+        // In-memory checkpoint before the attempt — skipped when a durable
+        // snapshot already covers this exact boundary (the full-state
+        // clone would duplicate what is safely on disk) and never taken
+        // under CheckpointPolicy::Off.
+        let durable_covers = self.durable.is_some() && self.durable_at == Some(iter);
+        let ckpt = (self.fault_active && !durable_covers && !self.ckpt_off)
+            .then(|| self.take_checkpoint());
         let mut replays = 0u32;
         loop {
             let work = self.compute_iteration(iter);
@@ -402,16 +523,115 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 Err(a) => {
                     replays += 1;
                     self.handle_abort(a, iter, replays)?;
-                    let c = ckpt
-                        .as_ref()
-                        .expect("device faults require an armed fault plan");
-                    self.restore(c);
+                    if let Some(c) = ckpt.as_ref() {
+                        self.restore(c);
+                    } else if durable_covers {
+                        self.restore_from_disk()?;
+                    } else {
+                        // CheckpointPolicy::Off with an armed fault plan:
+                        // nothing to replay from.
+                        return Err(EngineError::Unrecoverable { op: "checkpoint" });
+                    }
                     if self.host_mode {
                         return self.host_iteration(iter);
                     }
                 }
             }
         }
+    }
+
+    /// Write a durable snapshot of the current iteration boundary — every
+    /// `every` completed iterations, or unconditionally when `force`d (the
+    /// initial boundary and convergence). Disk time is host-side and off
+    /// the device timeline, so durable runs stay time-identical to
+    /// in-memory-only runs.
+    fn write_durable(&mut self, force: bool) -> Result<(), EngineError> {
+        let Some((dir, every)) = self.durable.clone() else {
+            return Ok(());
+        };
+        let boundary = self.host.iterations.len() as u32;
+        if self.durable_at == Some(boundary) || (!force && !boundary.is_multiple_of(every)) {
+            return Ok(());
+        }
+        let fp = self
+            .fingerprint
+            .as_ref()
+            .expect("fingerprint computed whenever durable is armed");
+        let bytes = snapshot::encode_snapshot::<P>(
+            fp,
+            &self.host.vertex_values,
+            &self.host.edge_values,
+            &self.host.gather_temp,
+            &self.host.frontier,
+            &self.host.changed,
+            &self.host.next_frontier,
+            &self.host.iterations,
+        );
+        let written = snapshot::write_snapshot_file(&dir, boundary, &bytes)?;
+        self.ctx.metrics.inc("engine.checkpoint_writes", 1);
+        self.ctx.metrics.inc("engine.checkpoint_bytes", written);
+        self.observer.decision(|| Decision::CheckpointWrite {
+            iteration: boundary,
+            bytes: written,
+        });
+        self.durable_at = Some(boundary);
+        Ok(())
+    }
+
+    /// Replay-restore from the newest intact on-disk snapshot (taken when
+    /// the in-memory clone was elided because a durable snapshot covers
+    /// the boundary). Not a resume: no CheckpointRestore decision — the
+    /// Rollback decision already records the replay.
+    fn restore_from_disk(&mut self) -> Result<(), EngineError> {
+        let (dir, _) = self.durable.as_ref().expect("durable covers this boundary");
+        let fp = self
+            .fingerprint
+            .as_ref()
+            .expect("fingerprint computed whenever durable is armed");
+        let (state, _, _) = snapshot::load_latest::<P>(dir, fp)?;
+        self.host = HostState::restored(state);
+        self.in_cached.fill(false);
+        self.out_cached.fill(false);
+        Ok(())
+    }
+
+    /// First touch of a spilled shard: read its payload back from the
+    /// store (verifying frame integrity) and log one ShardLoad. Shards the
+    /// frontier never activates are never read back — the point of
+    /// spilling.
+    fn load_spilled(&mut self, iter: u32) -> Result<(), EngineError> {
+        if !self.any_spilled {
+            return Ok(());
+        }
+        let store = self.store.clone().expect("spilled shards imply a store");
+        for i in 0..self.plan.shards.len() {
+            if !self.spilled[i] || self.spill_loaded[i] || self.host_shards[i] {
+                continue;
+            }
+            if self.opts.frontier_management {
+                let sh = &self.plan.shards[i];
+                if !self
+                    .host
+                    .frontier
+                    .any_in_range(sh.interval.start, sh.interval.end)
+                {
+                    continue;
+                }
+            }
+            let payload = store.get(i as u32)?;
+            let bytes = payload.len() as u64;
+            self.ctx.metrics.inc("engine.spill_loads", 1);
+            self.ctx.metrics.inc("engine.spill_load_bytes", bytes);
+            let store_name = store.name();
+            self.observer.decision(|| Decision::ShardLoad {
+                iteration: iter,
+                shard: i as u32,
+                bytes,
+                store: store_name,
+            });
+            self.spill_loaded[i] = true;
+        }
+        Ok(())
     }
 
     fn take_checkpoint(&mut self) -> Checkpoint<P> {

@@ -85,6 +85,12 @@ pub struct Movement {
     // the staging slot, and the per-slot staging size chunks cut to.
     chunked: Vec<bool>,
     staging_bytes: u64,
+    // Out-of-host-core spill: shards whose topology was evicted to the
+    // shard store pay a storage read per stream-in. Takes precedence over
+    // the blanket `storage_read_secs_per_byte` (which models a host that
+    // mmaps the whole graph from storage with no store configured).
+    spilled: Vec<bool>,
+    spill_read_secs_per_byte: Option<f64>,
 }
 
 impl Movement {
@@ -97,6 +103,7 @@ impl Movement {
         storage_read_secs_per_byte: Option<f64>,
         storage_latency: SimDuration,
     ) -> Self {
+        let num_shards = chunked.len();
         Movement {
             spray: opts.spray,
             spray_width: opts.spray_width,
@@ -105,7 +112,18 @@ impl Movement {
             storage_latency,
             chunked,
             staging_bytes,
+            spilled: vec![false; num_shards],
+            spill_read_secs_per_byte: None,
         }
+    }
+
+    /// Arm the spill rung: `spilled` shards charge a storage read per
+    /// stream-in, and the blanket whole-graph storage stall (if any) is
+    /// dropped — spilled shards are charged precisely instead.
+    pub(crate) fn set_spilled(&mut self, spilled: Vec<bool>, read_secs_per_byte: f64) {
+        self.spilled = spilled;
+        self.spill_read_secs_per_byte = Some(read_secs_per_byte);
+        self.storage_read_secs_per_byte = None;
     }
 
     /// Copy a shard's buffers host→device on (or sprayed around) `stream`,
@@ -126,7 +144,14 @@ impl Movement {
         if bufs.is_empty() {
             return Ok(());
         }
-        if let Some(per_byte) = self.storage_read_secs_per_byte {
+        if self.spilled[shard] {
+            if let Some(per_byte) = self.spill_read_secs_per_byte {
+                let bytes: u64 = bufs.iter().map(|b| b.0).sum();
+                let dur =
+                    self.storage_latency + SimDuration::from_secs_f64(bytes as f64 * per_byte);
+                ctx.stall(stream, dur, "spill.read");
+            }
+        } else if let Some(per_byte) = self.storage_read_secs_per_byte {
             let bytes: u64 = bufs.iter().map(|b| b.0).sum();
             let dur = self.storage_latency + SimDuration::from_secs_f64(bytes as f64 * per_byte);
             ctx.stall(stream, dur, "ssd.read");

@@ -35,6 +35,13 @@ pub struct ExecPlan {
     pub chunked: Vec<bool>,
     /// Shards degraded to host-CPU execution.
     pub host_shards: Vec<bool>,
+    /// Shards evicted to the configured [`ShardStore`]
+    /// (out-of-host-core): their topology lives in the store, and every
+    /// stream-in pays a storage read instead of a host-RAM read. Always
+    /// all-false without a store.
+    ///
+    /// [`ShardStore`]: crate::store::ShardStore
+    pub spilled: Vec<bool>,
 }
 
 // Governed fields under construction, before the (possibly mutated)
@@ -44,6 +51,7 @@ struct Governed {
     slot_bytes: u64,
     chunked: Vec<bool>,
     host_shards: Vec<bool>,
+    spilled: Vec<bool>,
 }
 
 impl Governed {
@@ -54,6 +62,7 @@ impl Governed {
             slot_bytes: self.slot_bytes,
             chunked: self.chunked,
             host_shards: self.host_shards,
+            spilled: self.spilled,
         }
     }
 }
@@ -66,7 +75,9 @@ impl Governed {
 /// 3. adaptively split oversized shards ([`split_shard`]),
 /// 4. chunk transfers of unsplittable shards through a bounded staging
 ///    slot ([`StagingBuffer`]),
-/// 5. per-shard host fallback,
+/// 5. per-shard host fallback — or, when a shard store is configured,
+///    spill the shard to storage and stream it back chunked (the
+///    out-of-host-core rung; see [`crate::store`]),
 /// 6. whole-run host execution,
 ///
 /// and surfacing [`EngineError::Alloc`] only when the recovery policy
@@ -91,6 +102,7 @@ pub fn build_exec_plan(
         slot_bytes: plan.max_shard_bytes,
         chunked: vec![false; num_shards],
         host_shards: vec![false; num_shards],
+        spilled: vec![false; num_shards],
     };
     if opts.mem_cap.is_none() {
         return Ok(out.into_plan(plan));
@@ -207,6 +219,7 @@ pub fn build_exec_plan(
             .unwrap_or(0);
         out.chunked = vec![false; plan.shards.len()];
         out.host_shards = vec![false; plan.shards.len()];
+        out.spilled = vec![false; plan.shards.len()];
     }
     out.slot_bytes = plan.max_shard_bytes.min(slot_budget).max(1);
 
@@ -230,6 +243,23 @@ pub fn build_exec_plan(
                     chunks,
                 });
                 out.chunked[i] = true;
+            } else if opts.shard_store.is_some() {
+                // Spill rung: with a shard store configured, an
+                // unstageable shard streams from storage in bounded
+                // chunks instead of abandoning the device. One governor
+                // decision (it *is* a chunked transfer); the matching
+                // ShardSpill decision is emitted by the runner when the
+                // bytes actually move to the store.
+                metrics.inc("engine.chunked_shards", 1);
+                let chunks = bytes.div_ceil(slot_budget) as u32;
+                observer.decision(|| Decision::ChunkedXfer {
+                    shard: i as u32,
+                    shard_bytes: bytes,
+                    chunk_bytes: slot_budget,
+                    chunks,
+                });
+                out.chunked[i] = true;
+                out.spilled[i] = true;
             } else {
                 if !opts.recovery.host_fallback {
                     return Err(EngineError::Alloc(oom(bytes, slot_budget)));

@@ -60,7 +60,9 @@ pub mod phases;
 pub mod recovery;
 pub mod report;
 pub mod sizes;
+pub mod snapshot;
 pub mod stats;
+pub mod store;
 #[cfg(any(test, feature = "test-support"))]
 pub mod testprog;
 
@@ -77,4 +79,6 @@ pub use sizes::{
     optimal_concurrent_shards, pcie_saturating_bytes, plan_partition, plan_partition_with,
     PartitionPlan, PlanError, SizeModel,
 };
+pub use snapshot::{CheckpointPolicy, SnapshotError, StateBytes};
 pub use stats::{IterationStats, RunStats};
+pub use store::{FileShardStore, MemShardStore, ShardStore, ShardStoreHandle, StoreError};

@@ -28,6 +28,12 @@
 //! cross-device exchange, and device eviction. Semantics are unchanged —
 //! results stay bit-identical to the single-device engine and the
 //! sequential oracle.
+//!
+//! Durable checkpoints and the out-of-host-core shard store (see
+//! `docs/DURABILITY.md`) are single-GPU features: this orchestrator
+//! ignores [`crate::Options::checkpoint_policy`] and
+//! [`crate::Options::shard_store`], and the bench CLI rejects the
+//! corresponding flags for multi-GPU runs.
 
 use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};

@@ -8,6 +8,8 @@ use gr_graph::{EvenEdgePartition, PartitionLogic};
 use gr_sim::FaultPlan;
 
 use crate::recovery::RecoveryPolicy;
+use crate::snapshot::CheckpointPolicy;
+use crate::store::{FileShardStore, ShardStore, ShardStoreHandle};
 
 /// Shared handle to a partition logic plug-in (Section 4.2's Partition
 /// Logic Table: "GraphReduce is able to take any user-provided
@@ -154,6 +156,15 @@ pub struct Options {
     /// `None` (the default) leaves the device uncapped and the governor
     /// idle.
     pub mem_cap: Option<u64>,
+    /// When (and whether) rollback checkpoints are persisted to disk.
+    /// [`CheckpointPolicy::InMemoryOnly`] (the default) is exactly the
+    /// pre-durability behavior: zero disk traffic, zero extra cost when no
+    /// fault plan is armed.
+    pub checkpoint_policy: CheckpointPolicy,
+    /// Out-of-host-core spill target, the rung *below* host fallback on
+    /// the memory ladder. `None` (the default) keeps the blanket
+    /// storage-stall model for graphs that exceed host RAM.
+    pub shard_store: Option<ShardStoreHandle>,
 }
 
 impl Options {
@@ -176,6 +187,8 @@ impl Options {
             recovery: RecoveryPolicy::default(),
             host_kernels: HostKernels::Adaptive,
             mem_cap: None,
+            checkpoint_policy: CheckpointPolicy::InMemoryOnly,
+            shard_store: None,
         }
     }
 
@@ -200,6 +213,8 @@ impl Options {
             recovery: RecoveryPolicy::default(),
             host_kernels: HostKernels::Adaptive,
             mem_cap: None,
+            checkpoint_policy: CheckpointPolicy::InMemoryOnly,
+            shard_store: None,
         }
     }
 
@@ -280,6 +295,27 @@ impl Options {
         self.mem_cap = Some(bytes);
         self
     }
+
+    /// Set the checkpoint persistence policy (see
+    /// [`Options::checkpoint_policy`]).
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
+        self
+    }
+
+    /// Plug in a shard store as the out-of-host-core spill target (see
+    /// [`Options::shard_store`]).
+    pub fn with_shard_store<S: ShardStore + 'static>(mut self, store: S) -> Self {
+        self.shard_store = Some(ShardStoreHandle::new(store));
+        self
+    }
+
+    /// Convenience: spill evicted shards to checksummed files under `dir`
+    /// (a [`FileShardStore`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.shard_store = Some(ShardStoreHandle::new(FileShardStore::new(dir.into())));
+        self
+    }
 }
 
 impl Default for Options {
@@ -322,6 +358,24 @@ mod tests {
         assert_eq!(o.concurrent_shards, 1); // clamped
         assert_eq!(o.num_shards, Some(1)); // clamped
         assert_eq!(o.gather_mode, GatherMode::VertexCentric);
+    }
+
+    #[test]
+    fn durability_defaults_off_in_both_presets() {
+        for o in [Options::optimized(), Options::unoptimized()] {
+            assert_eq!(o.checkpoint_policy, CheckpointPolicy::InMemoryOnly);
+            assert!(o.shard_store.is_none());
+        }
+        let o = Options::optimized()
+            .with_checkpoint_policy(CheckpointPolicy::durable("/tmp/ck", 3))
+            .with_spill_dir("/tmp/spill");
+        assert!(matches!(
+            o.checkpoint_policy,
+            CheckpointPolicy::Durable { every: 3, .. }
+        ));
+        assert_eq!(o.shard_store.as_ref().unwrap().name(), "file");
+        let o = o.with_shard_store(crate::store::MemShardStore::new());
+        assert_eq!(o.shard_store.as_ref().unwrap().name(), "mem");
     }
 
     #[test]

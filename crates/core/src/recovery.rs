@@ -15,6 +15,8 @@ use std::fmt;
 use gr_sim::{OutOfMemory, SimDuration};
 
 use crate::sizes::PlanError;
+use crate::snapshot::SnapshotError;
+use crate::store::StoreError;
 
 /// How the engine reacts to injected (or real) device faults.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +79,16 @@ pub enum EngineError {
     /// A transient fault persisted past every retry and replay the policy
     /// allows; `op` is the trace label of the operation that kept failing.
     Unrecoverable { op: &'static str },
+    /// A durable checkpoint could not be written, or no usable snapshot
+    /// could be read back on resume.
+    Snapshot(SnapshotError),
+    /// A spilled shard could not be stored or loaded back intact.
+    Store(StoreError),
+    /// The process was hard-killed (fault-injected `ProcessKill`) at this
+    /// iteration boundary. A real SIGKILL never surfaces as an error — the
+    /// process just dies — but the simulated kind must unwind cleanly so
+    /// chaos tests can resume in the same process.
+    Killed { iteration: u32 },
 }
 
 impl fmt::Display for EngineError {
@@ -88,6 +100,11 @@ impl fmt::Display for EngineError {
             EngineError::Unrecoverable { op } => {
                 write!(f, "fault on '{op}' persisted past retry/replay budget")
             }
+            EngineError::Snapshot(e) => write!(f, "durable checkpoint failed: {e}"),
+            EngineError::Store(e) => write!(f, "shard spill failed: {e}"),
+            EngineError::Killed { iteration } => {
+                write!(f, "process killed at iteration boundary {iteration}")
+            }
         }
     }
 }
@@ -97,6 +114,8 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Plan(e) => Some(e),
             EngineError::Alloc(e) => Some(e),
+            EngineError::Snapshot(e) => Some(e),
+            EngineError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -111,6 +130,18 @@ impl From<PlanError> for EngineError {
 impl From<OutOfMemory> for EngineError {
     fn from(e: OutOfMemory) -> Self {
         EngineError::Alloc(e)
+    }
+}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
     }
 }
 

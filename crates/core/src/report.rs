@@ -94,6 +94,27 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
         "  \"mem_min_headroom\": {},\n",
         stats.mem_min_headroom
     ));
+    // Durability section: present only when durable checkpoints, a
+    // resume, or the spill store actually did work (same compatibility
+    // rule as the wall section — absent means byte-identical to pre-
+    // durability reports).
+    if stats.checkpoint_writes > 0 || stats.checkpoint_restores > 0 || stats.spilled_shards > 0 {
+        out.push_str(&format!(
+            "  \"durability\": {{\"checkpoint_writes\": {}, \"checkpoint_bytes_written\": {}, \
+             \"checkpoint_restores\": {}, \"spilled_shards\": {}, \"spilled_bytes\": {}, \
+             \"spill_loads\": {}, \"spill_load_bytes\": {}}},\n",
+            stats.checkpoint_writes,
+            stats.checkpoint_bytes_written,
+            stats.checkpoint_restores,
+            stats.spilled_shards,
+            stats.spilled_bytes,
+            stats.spill_loads,
+            stats.spill_load_bytes
+        ));
+    }
+    if let Some(fp) = stats.state_fingerprint {
+        out.push_str(&format!("  \"state_fingerprint\": \"{fp:#018x}\",\n"));
+    }
     out.push_str(&format!("  \"max_frontier\": {},\n", stats.max_frontier()));
     out.push_str(&format!(
         "  \"pct_iterations_below_half_max\": {},\n",
@@ -169,15 +190,28 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
             | Decision::HostFallback { .. }
             | Decision::MemoryPressure { .. }
             | Decision::ShardSplit { .. }
-            | Decision::ChunkedXfer { .. } => None,
+            | Decision::ChunkedXfer { .. }
+            | Decision::ShardSpill { .. }
+            | Decision::ShardLoad { .. }
+            | Decision::CheckpointWrite { .. }
+            | Decision::CheckpointRestore { .. } => None,
         })
         .collect();
+    // Durability decisions appear in the summary only when any were made
+    // (keeps durability-off reports byte-identical).
+    let durability = rec.durability_decisions();
+    let durability_field = if durability > 0 {
+        format!("\"durability_decisions\": {durability}, ")
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
         "  \"decisions\": {{\"shard_skips\": {}, \"recovery_decisions\": {}, \
-         \"memory_decisions\": {}, \"plan\": [\n{}\n    ]}},\n",
+         \"memory_decisions\": {}, {}\"plan\": [\n{}\n    ]}},\n",
         rec.shard_skips(),
         rec.recovery_decisions(),
         rec.memory_decisions(),
+        durability_field,
         plan.join(",\n")
     ));
 
@@ -289,6 +323,7 @@ mod tests {
                     shards_skipped: 0,
                 },
             ],
+            ..Default::default()
         }
     }
 

@@ -1,0 +1,1017 @@
+//! Durable checkpoints: versioned, checksummed binary snapshots of the
+//! engine's host-resident master state, written atomically at iteration
+//! boundaries so a killed run can resume from disk.
+//!
+//! The host computes exact results deterministically (see
+//! [`crate::checkpoint`]), so a snapshot of the host master state at a BSP
+//! iteration boundary is a complete resume point: replaying the remaining
+//! iterations converges bit-identically to the uninterrupted run. The
+//! format is fixed-width little-endian ("GRCK" magic, version, algorithm /
+//! graph / state fingerprints, value arrays via [`StateBytes`], frontier
+//! bitmap words, the full iteration trace, trailing FNV-1a checksum) and
+//! every write goes temp-file + rename so a crash mid-write never leaves a
+//! half snapshot under a valid name. See `docs/DURABILITY.md`.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use gr_graph::{Bitmap, GraphLayout};
+
+use crate::api::GasProgram;
+use crate::stats::IterationStats;
+
+/// Snapshot format version (bump on any layout change; readers reject
+/// mismatches with [`SnapshotError::VersionMismatch`]).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"GRCK";
+
+/// How many intact snapshots a checkpoint directory retains: the latest
+/// plus one fallback in case the latest is detected corrupt on resume.
+pub const SNAPSHOTS_RETAINED: usize = 2;
+
+/// When (and whether) the engine persists checkpoints to disk.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// Rollback checkpoints stay in memory, exactly as before durable
+    /// checkpoints existed: an armed fault plan clones host state each
+    /// iteration, nothing touches disk. The default.
+    #[default]
+    InMemoryOnly,
+    /// Never checkpoint, not even in memory. A rollback that would need a
+    /// checkpoint then surfaces as [`EngineError::Unrecoverable`]
+    /// (fail-stop); use only when replay-on-fault is unwanted.
+    ///
+    /// [`EngineError::Unrecoverable`]: crate::recovery::EngineError::Unrecoverable
+    Off,
+    /// Write a durable snapshot into `dir` at iteration boundary 0 and
+    /// after every `every`-th completed iteration (and on convergence).
+    /// [`GraphReduce::resume`](crate::GraphReduce::resume) restarts from
+    /// the latest intact snapshot in `dir`.
+    Durable { dir: PathBuf, every: u32 },
+}
+
+impl CheckpointPolicy {
+    /// Convenience constructor for [`CheckpointPolicy::Durable`].
+    pub fn durable(dir: impl Into<PathBuf>, every: u32) -> Self {
+        CheckpointPolicy::Durable {
+            dir: dir.into(),
+            every: every.max(1),
+        }
+    }
+}
+
+/// Why a snapshot could not be written or read back. Every variant carries
+/// the file (or directory) involved; read-side variants add the byte
+/// offset at which decoding failed, mirroring the edge-list loader's
+/// hardened errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An OS-level I/O operation failed; `op` says which one, `detail` is
+    /// the rendered `io::Error`.
+    Io {
+        path: PathBuf,
+        op: &'static str,
+        detail: String,
+    },
+    /// The file ended before `needed` more bytes for `what` (truncation).
+    ShortRead {
+        path: PathBuf,
+        offset: u64,
+        needed: u64,
+        what: &'static str,
+    },
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic { path: PathBuf },
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    VersionMismatch {
+        path: PathBuf,
+        found: u32,
+        expected: u32,
+    },
+    /// The trailing checksum does not match the content (bit rot or a
+    /// torn write that slipped past the rename barrier).
+    ChecksumMismatch {
+        path: PathBuf,
+        stored: u64,
+        computed: u64,
+    },
+    /// The snapshot was taken for a different algorithm, graph, or state
+    /// layout than the resuming run; `field` names the mismatch.
+    FingerprintMismatch {
+        path: PathBuf,
+        field: &'static str,
+        found: String,
+        expected: String,
+    },
+    /// A decoded field is internally inconsistent (e.g. frontier words
+    /// with tail bits past the vertex count).
+    Corrupt {
+        path: PathBuf,
+        offset: u64,
+        what: &'static str,
+    },
+    /// No intact snapshot exists under the directory.
+    NoSnapshot { dir: PathBuf },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, op, detail } => {
+                write!(f, "snapshot {op} failed for {}: {detail}", path.display())
+            }
+            SnapshotError::ShortRead {
+                path,
+                offset,
+                needed,
+                what,
+            } => write!(
+                f,
+                "truncated snapshot {}: needed {needed} more bytes reading {what} \
+                 (at byte offset {offset})",
+                path.display()
+            ),
+            SnapshotError::BadMagic { path } => {
+                write!(f, "{} is not a GraphReduce snapshot (bad magic)", path.display())
+            }
+            SnapshotError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "snapshot {} has format version {found}, this build reads {expected}",
+                path.display()
+            ),
+            SnapshotError::ChecksumMismatch {
+                path,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "snapshot {} is corrupt: stored checksum {stored:#018x} != computed {computed:#018x}",
+                path.display()
+            ),
+            SnapshotError::FingerprintMismatch {
+                path,
+                field,
+                found,
+                expected,
+            } => write!(
+                f,
+                "snapshot {} was taken for a different run: {field} is {found}, expected {expected}",
+                path.display()
+            ),
+            SnapshotError::Corrupt { path, offset, what } => write!(
+                f,
+                "snapshot {} is corrupt: invalid {what} (at byte offset {offset})",
+                path.display()
+            ),
+            SnapshotError::NoSnapshot { dir } => {
+                write!(f, "no intact snapshot found under {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------------
+// StateBytes: fixed-width, endian-stable value serialization
+// ---------------------------------------------------------------------------
+
+/// Fixed-width little-endian serialization for GAS state values.
+///
+/// Every [`GasProgram`] value type (vertex, edge, gather) implements this
+/// so checkpoints and spilled shards have a defined on-disk layout that is
+/// independent of struct padding and host endianness. Floats round-trip by
+/// bit pattern (`to_le_bytes`/`from_le_bytes`), so restored state is
+/// bit-identical, NaNs included.
+///
+/// Composite value structs can implement it one field at a time with
+/// [`impl_state_bytes!`](crate::impl_state_bytes).
+pub trait StateBytes: Sized {
+    /// Serialized width in bytes (fixed per type).
+    const BYTES: usize;
+
+    /// Write exactly [`Self::BYTES`] bytes into `out`.
+    fn write_bytes(&self, out: &mut [u8]);
+
+    /// Read a value back from exactly [`Self::BYTES`] bytes.
+    fn read_bytes(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_state_bytes_prim {
+    ($($t:ty),+) => {$(
+        impl StateBytes for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            fn write_bytes(&self, out: &mut [u8]) {
+                out[..Self::BYTES].copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_bytes(src: &[u8]) -> Self {
+                <$t>::from_le_bytes(src[..Self::BYTES].try_into().unwrap())
+            }
+        }
+    )+};
+}
+
+impl_state_bytes_prim!(u32, u64, i32, i64, f32, f64);
+
+impl StateBytes for () {
+    const BYTES: usize = 0;
+
+    fn write_bytes(&self, _out: &mut [u8]) {}
+
+    fn read_bytes(_src: &[u8]) -> Self {}
+}
+
+/// Implement [`StateBytes`] for a plain struct by concatenating its fields
+/// in declaration order:
+///
+/// ```
+/// #[derive(Clone, Copy)]
+/// pub struct PrValue { pub rank: f32, pub out_degree: u32 }
+/// graphreduce::impl_state_bytes!(PrValue { rank: f32, out_degree: u32 });
+/// ```
+#[macro_export]
+macro_rules! impl_state_bytes {
+    ($ty:ty { $($field:ident: $fty:ty),+ $(,)? }) => {
+        impl $crate::StateBytes for $ty {
+            const BYTES: usize = 0 $(+ <$fty as $crate::StateBytes>::BYTES)+;
+
+            fn write_bytes(&self, out: &mut [u8]) {
+                let mut at = 0usize;
+                $(
+                    let w = <$fty as $crate::StateBytes>::BYTES;
+                    <$fty as $crate::StateBytes>::write_bytes(&self.$field, &mut out[at..at + w]);
+                    at += w;
+                )+
+                let _ = at;
+            }
+
+            fn read_bytes(src: &[u8]) -> Self {
+                let mut at = 0usize;
+                $(
+                    let w = <$fty as $crate::StateBytes>::BYTES;
+                    let $field = <$fty as $crate::StateBytes>::read_bytes(&src[at..at + w]);
+                    at += w;
+                )+
+                let _ = at;
+                Self { $($field),+ }
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a checksums and fingerprints
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64 (dependency-free; snapshot files are read fully
+/// into memory anyway, so a cryptographic hash buys nothing here).
+#[derive(Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// What makes a snapshot resumable by exactly one (program, graph, state
+/// layout): the algorithm name, a structural hash of the graph, and a hash
+/// of the value-type widths and phase set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Fingerprint {
+    pub(crate) algorithm: String,
+    pub(crate) graph: u64,
+    pub(crate) state: u64,
+}
+
+/// Edges hashed exhaustively up to this count; larger graphs are
+/// stride-sampled (still covering first/last edges) so fingerprinting
+/// stays O(1M) however big the graph is.
+const FP_EDGE_SAMPLES: u64 = 1 << 20;
+
+/// Structural graph fingerprint: vertex/edge counts plus (sampled) edge
+/// endpoints. Deterministic for a given layout; any re-partitioning or
+/// edge edit changes it.
+pub(crate) fn graph_fingerprint(layout: &GraphLayout) -> u64 {
+    let n = layout.num_vertices();
+    let m = layout.num_edges();
+    let mut h = Fnv::new();
+    h.update(&n.to_le_bytes());
+    h.update(&m.to_le_bytes());
+    let stride = (m / FP_EDGE_SAMPLES).max(1);
+    let mut e = 0u64;
+    while e < m {
+        let (src, dst) = layout.edge_endpoints(e as u32);
+        h.update(&src.to_le_bytes());
+        h.update(&dst.to_le_bytes());
+        e += stride;
+    }
+    if m > 0 {
+        let (src, dst) = layout.edge_endpoints((m - 1) as u32);
+        h.update(&src.to_le_bytes());
+        h.update(&dst.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// The fingerprint a run stamps into (and a resume validates against)
+/// every snapshot.
+pub(crate) fn fingerprint_for<P: GasProgram>(program: &P, layout: &GraphLayout) -> Fingerprint {
+    let mut h = Fnv::new();
+    for width in [P::VertexValue::BYTES, P::EdgeValue::BYTES, P::Gather::BYTES] {
+        h.update(&(width as u64).to_le_bytes());
+    }
+    h.update(&[program.has_gather() as u8, program.has_scatter() as u8]);
+    Fingerprint {
+        algorithm: program.name().to_string(),
+        graph: graph_fingerprint(layout),
+        state: h.finish(),
+    }
+}
+
+/// FNV-1a over the serialized form of a value slice — the run report's
+/// `state_fingerprint`, which the CI kill-restart smoke diffs between a
+/// resumed run and its uninterrupted oracle.
+pub(crate) fn values_fingerprint<V: StateBytes>(values: &[V]) -> u64 {
+    let mut h = Fnv::new();
+    let mut buf = vec![0u8; V::BYTES];
+    for v in values {
+        v.write_bytes(&mut buf);
+        h.update(&buf);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot encode / decode
+// ---------------------------------------------------------------------------
+
+/// Host master state restored from a durable snapshot: everything
+/// [`crate::exec::host::HostState`] holds, including the full iteration
+/// trace (the in-memory [`crate::checkpoint::Checkpoint`] stores only its
+/// length — a resumed run must reconstruct the whole trace so its
+/// per-iteration report matches the uninterrupted oracle's).
+pub(crate) struct RestoredState<P: GasProgram> {
+    pub(crate) vertex_values: Vec<P::VertexValue>,
+    pub(crate) edge_values: Vec<P::EdgeValue>,
+    pub(crate) gather_temp: Vec<P::Gather>,
+    pub(crate) frontier: Bitmap,
+    pub(crate) changed: Bitmap,
+    pub(crate) next_frontier: Bitmap,
+    pub(crate) trace: Vec<IterationStats>,
+}
+
+impl<P: GasProgram> RestoredState<P> {
+    /// Completed iterations at capture time; the resumed loop starts here.
+    pub(crate) fn iterations_completed(&self) -> u32 {
+        self.trace.len() as u32
+    }
+}
+
+// Manual impl: the value types carry no Debug bound, so summarize sizes.
+impl<P: GasProgram> std::fmt::Debug for RestoredState<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RestoredState")
+            .field("vertices", &self.vertex_values.len())
+            .field("edges", &self.edge_values.len())
+            .field("iterations", &self.trace.len())
+            .finish()
+    }
+}
+
+const TRACE_ENTRY_BYTES: usize = 40;
+
+fn put_values<V: StateBytes>(out: &mut Vec<u8>, values: &[V]) {
+    let start = out.len();
+    out.resize(start + values.len() * V::BYTES, 0);
+    for (i, v) in values.iter().enumerate() {
+        v.write_bytes(&mut out[start + i * V::BYTES..start + (i + 1) * V::BYTES]);
+    }
+}
+
+fn put_bitmap(out: &mut Vec<u8>, b: &Bitmap) {
+    for w in b.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Serialize one consistent snapshot (checksum included) to bytes.
+#[allow(clippy::too_many_arguments)] // mirrors the HostState fields 1:1
+pub(crate) fn encode_snapshot<P: GasProgram>(
+    fp: &Fingerprint,
+    vertex_values: &[P::VertexValue],
+    edge_values: &[P::EdgeValue],
+    gather_temp: &[P::Gather],
+    frontier: &Bitmap,
+    changed: &Bitmap,
+    next_frontier: &Bitmap,
+    trace: &[IterationStats],
+) -> Vec<u8> {
+    let n = vertex_values.len() as u32;
+    let m = edge_values.len() as u64;
+    let words = (n as usize).div_ceil(64);
+    let mut out = Vec::with_capacity(
+        64 + fp.algorithm.len()
+            + vertex_values.len() * P::VertexValue::BYTES
+            + edge_values.len() * P::EdgeValue::BYTES
+            + gather_temp.len() * P::Gather::BYTES
+            + 3 * words * 8
+            + trace.len() * TRACE_ENTRY_BYTES,
+    );
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(fp.algorithm.len() as u32).to_le_bytes());
+    out.extend_from_slice(fp.algorithm.as_bytes());
+    out.extend_from_slice(&fp.graph.to_le_bytes());
+    out.extend_from_slice(&fp.state.to_le_bytes());
+    out.extend_from_slice(&n.to_le_bytes());
+    out.extend_from_slice(&m.to_le_bytes());
+    out.extend_from_slice(&(trace.len() as u32).to_le_bytes());
+    put_values(&mut out, vertex_values);
+    put_values(&mut out, edge_values);
+    put_values(&mut out, gather_temp);
+    put_bitmap(&mut out, frontier);
+    put_bitmap(&mut out, changed);
+    put_bitmap(&mut out, next_frontier);
+    for it in trace {
+        out.extend_from_slice(&it.frontier_size.to_le_bytes());
+        out.extend_from_slice(&it.gathered_edges.to_le_bytes());
+        out.extend_from_slice(&it.changed.to_le_bytes());
+        out.extend_from_slice(&it.activated.to_le_bytes());
+        out.extend_from_slice(&it.shards_processed.to_le_bytes());
+        out.extend_from_slice(&it.shards_skipped.to_le_bytes());
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Bounded little-endian reader with byte-offset error context.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SnapshotError::ShortRead {
+                path: self.path.to_path_buf(),
+                offset: self.pos as u64,
+                needed: (n - (self.buf.len() - self.pos)) as u64,
+                what,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn values<V: StateBytes>(
+        &mut self,
+        count: usize,
+        what: &'static str,
+    ) -> Result<Vec<V>, SnapshotError> {
+        let raw = self.take(count * V::BYTES, what)?;
+        Ok((0..count)
+            .map(|i| V::read_bytes(&raw[i * V::BYTES..(i + 1) * V::BYTES]))
+            .collect())
+    }
+
+    fn bitmap(&mut self, len: u32, what: &'static str) -> Result<Bitmap, SnapshotError> {
+        let words = (len as usize).div_ceil(64);
+        let offset = self.pos as u64;
+        let raw = self.take(words * 8, what)?;
+        let words: Vec<u64> = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Bitmap::from_words(len, words).ok_or(SnapshotError::Corrupt {
+            path: self.path.to_path_buf(),
+            offset,
+            what,
+        })
+    }
+
+    fn mismatch(&self, field: &'static str, found: String, expected: String) -> SnapshotError {
+        SnapshotError::FingerprintMismatch {
+            path: self.path.to_path_buf(),
+            field,
+            found,
+            expected,
+        }
+    }
+}
+
+/// Decode and fully validate one snapshot buffer: magic, version,
+/// checksum, fingerprint, then state. Checksum runs before any field is
+/// trusted, so bit flips anywhere in the file surface as
+/// [`SnapshotError::ChecksumMismatch`], not as garbage state.
+pub(crate) fn decode_snapshot<P: GasProgram>(
+    path: &Path,
+    buf: &[u8],
+    fp: &Fingerprint,
+) -> Result<RestoredState<P>, SnapshotError> {
+    let mut r = Reader { buf, pos: 0, path };
+    let magic = r.take(4, "magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = r.u32("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            path: path.to_path_buf(),
+            found: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    // Whole-file integrity before anything else is believed.
+    if buf.len() < 8 {
+        return Err(SnapshotError::ShortRead {
+            path: path.to_path_buf(),
+            offset: buf.len() as u64,
+            needed: 8,
+            what: "checksum",
+        });
+    }
+    let body = &buf[..buf.len() - 8];
+    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            stored,
+            computed,
+        });
+    }
+    let mut r = Reader {
+        buf: body,
+        pos: r.pos,
+        path,
+    };
+    let algo_len = r.u32("algorithm name length")? as usize;
+    if algo_len > 4096 {
+        return Err(SnapshotError::Corrupt {
+            path: path.to_path_buf(),
+            offset: r.pos as u64 - 4,
+            what: "algorithm name length",
+        });
+    }
+    let algo = String::from_utf8_lossy(r.take(algo_len, "algorithm name")?).into_owned();
+    if algo != fp.algorithm {
+        return Err(r.mismatch("algorithm", algo, fp.algorithm.clone()));
+    }
+    let graph = r.u64("graph fingerprint")?;
+    if graph != fp.graph {
+        return Err(r.mismatch(
+            "graph fingerprint",
+            format!("{graph:#018x}"),
+            format!("{:#018x}", fp.graph),
+        ));
+    }
+    let state = r.u64("state fingerprint")?;
+    if state != fp.state {
+        return Err(r.mismatch(
+            "state-layout fingerprint",
+            format!("{state:#018x}"),
+            format!("{:#018x}", fp.state),
+        ));
+    }
+    let n = r.u32("vertex count")?;
+    let m = r.u64("edge count")?;
+    let iters = r.u32("iteration count")? as usize;
+    let vertex_values = r.values::<P::VertexValue>(n as usize, "vertex values")?;
+    let edge_values = r.values::<P::EdgeValue>(m as usize, "edge values")?;
+    let gather_temp = r.values::<P::Gather>(n as usize, "gather temps")?;
+    let frontier = r.bitmap(n, "frontier bitmap")?;
+    let changed = r.bitmap(n, "changed bitmap")?;
+    let next_frontier = r.bitmap(n, "next-frontier bitmap")?;
+    let mut trace = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        trace.push(IterationStats {
+            frontier_size: r.u64("trace: frontier size")?,
+            gathered_edges: r.u64("trace: gathered edges")?,
+            changed: r.u64("trace: changed count")?,
+            activated: r.u64("trace: activated count")?,
+            shards_processed: r.u32("trace: shards processed")?,
+            shards_skipped: r.u32("trace: shards skipped")?,
+        });
+    }
+    Ok(RestoredState {
+        vertex_values,
+        edge_values,
+        gather_temp,
+        frontier,
+        changed,
+        next_frontier,
+        trace,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Files: atomic write, retention, latest-intact scan
+// ---------------------------------------------------------------------------
+
+fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.to_path_buf(),
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// Snapshot filename for a given completed-iteration count (zero-padded so
+/// lexicographic order == iteration order).
+pub(crate) fn snapshot_name(iterations: u32) -> String {
+    format!("ckpt-{iterations:08}.grck")
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u32> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".grck")?
+        .parse()
+        .ok()
+}
+
+/// Write encoded snapshot bytes atomically (`.tmp` + fsync + rename) and
+/// prune snapshots beyond [`SNAPSHOTS_RETAINED`]. Returns bytes written.
+pub(crate) fn write_snapshot_file(
+    dir: &Path,
+    iterations: u32,
+    bytes: &[u8],
+) -> Result<u64, SnapshotError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, "create directory", e))?;
+    let finalp = dir.join(snapshot_name(iterations));
+    let tmp = dir.join(format!("{}.tmp", snapshot_name(iterations)));
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, "write", e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, "sync", e))?;
+    }
+    fs::rename(&tmp, &finalp).map_err(|e| io_err(&finalp, "rename into place", e))?;
+    prune_old(dir)?;
+    Ok(bytes.len() as u64)
+}
+
+/// All snapshot files under `dir`, newest (highest iteration) first.
+fn snapshot_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, SnapshotError> {
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, "read directory", e))?;
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, "read directory entry", e))?;
+        let name = entry.file_name();
+        if let Some(iters) = name.to_str().and_then(parse_snapshot_name) {
+            found.push((iters, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(iters, _)| std::cmp::Reverse(iters));
+    Ok(found)
+}
+
+fn prune_old(dir: &Path) -> Result<(), SnapshotError> {
+    for (_, path) in snapshot_files(dir)?.into_iter().skip(SNAPSHOTS_RETAINED) {
+        fs::remove_file(&path).map_err(|e| io_err(&path, "prune", e))?;
+    }
+    Ok(())
+}
+
+/// Load the newest intact snapshot under `dir` for the given fingerprint.
+///
+/// Corruption (bad checksum, truncation, unreadable file) falls back to
+/// the next-older snapshot; a *fingerprint* mismatch fails fast instead —
+/// resuming a different graph's checkpoint silently would be the worst
+/// possible outcome. Returns the restored state, the file it came from,
+/// and its size in bytes.
+pub(crate) fn load_latest<P: GasProgram>(
+    dir: &Path,
+    fp: &Fingerprint,
+) -> Result<(RestoredState<P>, PathBuf, u64), SnapshotError> {
+    let candidates = snapshot_files(dir)?;
+    let mut last_err: Option<SnapshotError> = None;
+    for (_, path) in &candidates {
+        let buf = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                last_err = Some(io_err(path, "read", e));
+                continue;
+            }
+        };
+        match decode_snapshot::<P>(path, &buf, fp) {
+            Ok(state) => return Ok((state, path.clone(), buf.len() as u64)),
+            Err(e @ SnapshotError::FingerprintMismatch { .. })
+            | Err(e @ SnapshotError::VersionMismatch { .. }) => return Err(e),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or(SnapshotError::NoSnapshot {
+        dir: dir.to_path_buf(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testprog::{Cc, Pr, PrValue};
+    use gr_graph::{gen, GraphLayout};
+
+    fn layout() -> GraphLayout {
+        GraphLayout::build(&gen::uniform(96, 400, 5).symmetrize())
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("gr-snap-{tag}-{}-{seq}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_state(fp: &Fingerprint) -> Vec<u8> {
+        let mut frontier = Bitmap::new(96);
+        frontier.set(3);
+        frontier.set(77);
+        let trace = vec![IterationStats {
+            frontier_size: 96,
+            gathered_edges: 400,
+            changed: 12,
+            activated: 2,
+            shards_processed: 2,
+            shards_skipped: 0,
+        }];
+        encode_snapshot::<Cc>(
+            fp,
+            &(0u32..96).collect::<Vec<_>>(),
+            &[(); 800],
+            &vec![u32::MAX; 96],
+            &frontier,
+            &Bitmap::new(96),
+            &Bitmap::new(96),
+            &trace,
+        )
+    }
+
+    #[test]
+    fn state_bytes_round_trip_primitives_and_structs() {
+        let mut buf = [0u8; 8];
+        42u32.write_bytes(&mut buf);
+        assert_eq!(u32::read_bytes(&buf), 42);
+        f32::NAN.write_bytes(&mut buf);
+        assert!(f32::read_bytes(&buf).is_nan());
+        (-1.5f64).write_bytes(&mut buf);
+        assert_eq!(f64::read_bytes(&buf), -1.5);
+        assert_eq!(<() as StateBytes>::BYTES, 0);
+        // Struct via the macro (PrValue from the shared test programs).
+        assert_eq!(PrValue::BYTES, 8);
+        let v = PrValue {
+            rank: 0.25,
+            out_degree: 7,
+        };
+        v.write_bytes(&mut buf);
+        let back = PrValue::read_bytes(&buf);
+        assert_eq!(back.rank, 0.25);
+        assert_eq!(back.out_degree, 7);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let buf = sample_state(&fp);
+        let path = Path::new("mem");
+        let got = decode_snapshot::<Cc>(path, &buf, &fp).unwrap();
+        assert_eq!(got.vertex_values, (0u32..96).collect::<Vec<_>>());
+        assert_eq!(got.edge_values.len(), 800);
+        assert_eq!(got.frontier.count(), 2);
+        assert!(got.frontier.get(3) && got.frontier.get(77));
+        assert_eq!(got.trace.len(), 1);
+        assert_eq!(got.trace[0].gathered_edges, 400);
+        assert_eq!(got.iterations_completed(), 1);
+    }
+
+    #[test]
+    fn bit_flips_anywhere_fail_the_checksum() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let buf = sample_state(&fp);
+        let path = Path::new("mem");
+        // Flip one bit in several regions: header, values, bitmap, trace.
+        for at in [9, 40, 200, buf.len() - 20] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x10;
+            match decode_snapshot::<Cc>(path, &bad, &fp) {
+                Err(SnapshotError::ChecksumMismatch { .. }) => {}
+                other => panic!("flip at {at}: expected checksum mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_short_read_with_offset() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let buf = sample_state(&fp);
+        let path = Path::new("mem");
+        // A file cut before the header ends can't even reach the checksum:
+        // the reader reports exactly which field ran dry and where.
+        match decode_snapshot::<Cc>(path, &buf[..6], &fp) {
+            Err(SnapshotError::ShortRead {
+                offset,
+                needed,
+                what,
+                ..
+            }) => {
+                assert_eq!(offset, 4, "version field starts after the magic");
+                assert_eq!(needed, 2, "4-byte version, 2 bytes left");
+                assert_eq!(what, "version");
+            }
+            other => panic!("expected short read, got {other:?}"),
+        }
+        // A cut past the header leaves >= 8 trailing bytes, which the
+        // checksum-before-trust pass interprets as the (now wrong)
+        // checksum — truncation inside the body is an integrity failure,
+        // never silently-short state.
+        let cut = 60;
+        match decode_snapshot::<Cc>(path, &buf[..cut], &fp) {
+            Err(SnapshotError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // Cut off only part of the checksum: still typed, still located.
+        let e = decode_snapshot::<Cc>(path, &buf[..buf.len() - 3], &fp).unwrap_err();
+        assert!(matches!(e, SnapshotError::ChecksumMismatch { .. }));
+        assert!(e.to_string().contains("corrupt"), "{e}");
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let mut buf = sample_state(&fp);
+        let path = Path::new("mem");
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_snapshot::<Cc>(path, &bad, &fp),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        buf[4] = 99; // version byte
+        match decode_snapshot::<Cc>(path, &buf, &fp) {
+            Err(SnapshotError::VersionMismatch {
+                found, expected, ..
+            }) => {
+                assert_eq!(found, 99);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatches_fail_fast_with_field_context() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let buf = sample_state(&fp);
+        let path = Path::new("mem");
+        // Different algorithm.
+        let other = Fingerprint {
+            algorithm: "pagerank".into(),
+            ..fp.clone()
+        };
+        let e = decode_snapshot::<Cc>(path, &buf, &other).unwrap_err();
+        assert!(e.to_string().contains("algorithm"), "{e}");
+        // Different graph.
+        let l2 = GraphLayout::build(&gen::uniform(96, 420, 6).symmetrize());
+        let fp2 = fingerprint_for(&Cc, &l2);
+        assert_ne!(
+            fp.graph, fp2.graph,
+            "distinct graphs must fingerprint apart"
+        );
+        let e = decode_snapshot::<Cc>(path, &buf, &fp2).unwrap_err();
+        assert!(
+            matches!(e, SnapshotError::FingerprintMismatch { field, .. } if field == "graph fingerprint"),
+        );
+        // Different state layout (Pr has an 8-byte vertex value).
+        let fp3 = fingerprint_for(&Pr, &l);
+        assert_ne!(fp.state, fp3.state);
+    }
+
+    #[test]
+    fn atomic_write_retention_and_latest_scan() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let dir = tmpdir("retain");
+        for iters in [0u32, 2, 4, 6] {
+            let buf = sample_state(&fp);
+            write_snapshot_file(&dir, iters, &buf).unwrap();
+        }
+        let files = snapshot_files(&dir).unwrap();
+        assert_eq!(files.len(), SNAPSHOTS_RETAINED, "older snapshots pruned");
+        assert_eq!(files[0].0, 6);
+        assert_eq!(files[1].0, 4);
+        // No temp litter survives a completed write.
+        assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        let (_, from, bytes) = load_latest::<Cc>(&dir, &fp).unwrap();
+        assert!(from.ends_with(snapshot_name(6)));
+        assert!(bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_latest_falls_back_to_previous_intact() {
+        let l = layout();
+        let fp = fingerprint_for(&Cc, &l);
+        let dir = tmpdir("fallback");
+        write_snapshot_file(&dir, 4, &sample_state(&fp)).unwrap();
+        write_snapshot_file(&dir, 6, &sample_state(&fp)).unwrap();
+        // Flip a byte in the newest file.
+        let latest = dir.join(snapshot_name(6));
+        let mut raw = fs::read(&latest).unwrap();
+        raw[100] ^= 0xff;
+        fs::write(&latest, &raw).unwrap();
+        let (_, from, _) = load_latest::<Cc>(&dir, &fp).unwrap();
+        assert!(from.ends_with(snapshot_name(4)), "fell back to {from:?}");
+        // Both corrupt -> typed error, not garbage state.
+        let prev = dir.join(snapshot_name(4));
+        let mut raw = fs::read(&prev).unwrap();
+        let at = raw.len() - 1;
+        raw.truncate(at);
+        fs::write(&prev, &raw).unwrap();
+        assert!(load_latest::<Cc>(&dir, &fp).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_a_clean_no_snapshot() {
+        let dir = tmpdir("empty");
+        let fp = Fingerprint {
+            algorithm: "cc".into(),
+            graph: 1,
+            state: 2,
+        };
+        assert!(matches!(
+            load_latest::<Cc>(&dir, &fp),
+            Err(SnapshotError::NoSnapshot { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(
+            load_latest::<Cc>(&dir, &fp),
+            Err(SnapshotError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_policy_defaults_and_clamps() {
+        assert_eq!(CheckpointPolicy::default(), CheckpointPolicy::InMemoryOnly);
+        match CheckpointPolicy::durable("/tmp/x", 0) {
+            CheckpointPolicy::Durable { every, .. } => assert_eq!(every, 1, "0 clamps to 1"),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -77,6 +77,26 @@ pub struct RunStats {
     pub mem_peak: u64,
     /// Low-water mark of free device bytes (headroom) over the run.
     pub mem_min_headroom: u64,
+    /// Durable snapshots written to disk (0 unless
+    /// [`CheckpointPolicy::Durable`](crate::CheckpointPolicy) is armed).
+    pub checkpoint_writes: u64,
+    /// Total bytes of durable snapshots written.
+    pub checkpoint_bytes_written: u64,
+    /// Durable snapshot restores (1 on a resumed run, else 0).
+    pub checkpoint_restores: u64,
+    /// Shards evicted to the configured [`ShardStore`](crate::ShardStore)
+    /// (out-of-host-core spill). 0 without a store.
+    pub spilled_shards: u64,
+    /// Total payload bytes spilled to the store.
+    pub spilled_bytes: u64,
+    /// Spilled-shard payloads read back (first touch per shard).
+    pub spill_loads: u64,
+    /// Total payload bytes read back from the store.
+    pub spill_load_bytes: u64,
+    /// Order-independent FNV-1a hash of the final vertex values, for
+    /// cheap bit-identity comparison across kill-restart and spill runs.
+    /// `None` unless durability or spill was armed.
+    pub state_fingerprint: Option<u64>,
     /// Real host wall-clock attribution (`None` unless a
     /// [`WallProfiler`](gr_observe::WallProfiler) was armed via
     /// `GraphReduce::with_wall_profiler` — the simulated numbers above
@@ -204,6 +224,25 @@ impl std::fmt::Display for RunStats {
                 self.mem_min_headroom
             )?;
         }
+        // Durability is opt-in twice over: the line appears only when a
+        // durable policy, a resume, or a spill store actually did work.
+        if self.checkpoint_writes > 0 || self.checkpoint_restores > 0 || self.spilled_shards > 0 {
+            write!(
+                f,
+                "\n  durability: {} snapshots ({:.2} MB) written, {} restored | \
+                 {} shards spilled ({:.2} MB), {} loaded back ({:.2} MB)",
+                self.checkpoint_writes,
+                self.checkpoint_bytes_written as f64 / 1e6,
+                self.checkpoint_restores,
+                self.spilled_shards,
+                self.spilled_bytes as f64 / 1e6,
+                self.spill_loads,
+                self.spill_load_bytes as f64 / 1e6
+            )?;
+            if let Some(fp) = self.state_fingerprint {
+                write!(f, "\n  state fingerprint: {fp:#018x}")?;
+            }
+        }
         // And for the wall profile: runs without an armed profiler print
         // exactly what they always printed.
         if let Some(w) = &self.wall {
@@ -283,6 +322,30 @@ mod tests {
         assert!(governed.contains("memory: 1 pressure responses"));
         assert!(governed.contains("2 shard splits, 1 chunked shards"));
         assert!(governed.contains("peak 4096 B, min headroom 128 B"));
+    }
+
+    #[test]
+    fn durability_line_only_appears_when_durability_did_work() {
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("durability:"), "{clean}");
+        let durable = RunStats {
+            checkpoint_writes: 3,
+            checkpoint_bytes_written: 2_000_000,
+            checkpoint_restores: 1,
+            spilled_shards: 4,
+            spilled_bytes: 8_000_000,
+            spill_loads: 2,
+            spill_load_bytes: 4_000_000,
+            state_fingerprint: Some(0xdead_beef),
+            ..Default::default()
+        }
+        .to_string();
+        assert!(
+            durable.contains("durability: 3 snapshots (2.00 MB) written, 1 restored"),
+            "{durable}"
+        );
+        assert!(durable.contains("4 shards spilled (8.00 MB), 2 loaded back (4.00 MB)"));
+        assert!(durable.contains("state fingerprint: 0x00000000deadbeef"));
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Out-of-host-core shard storage: the rung *below* host fallback on the
+//! memory governor's ladder.
+//!
+//! When the working set exceeds even host RAM, the governor evicts shard
+//! topology to a [`ShardStore`] and streams it back GraphChi-style through
+//! the chunked-transfer staging path, charging the cost model a storage
+//! read per load instead of pretending the host holds everything. Two
+//! implementations ship: [`MemShardStore`] (tests, and a stand-in for a
+//! fast object cache) and [`FileShardStore`] (one checksummed file per
+//! shard). See `docs/DURABILITY.md` and `docs/MEMORY.md`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use gr_graph::GraphLayout;
+use gr_graph::Shard;
+
+use crate::snapshot::fnv1a;
+
+/// Magic bytes opening every file-backed shard blob.
+pub const SHARD_MAGIC: [u8; 4] = *b"GRSH";
+
+/// Why a shard could not be spilled or loaded. Like
+/// [`SnapshotError`](crate::snapshot::SnapshotError), every variant names
+/// the location involved and read-side failures carry byte offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level I/O operation failed for a shard blob.
+    Io {
+        shard: u32,
+        path: PathBuf,
+        op: &'static str,
+        detail: String,
+    },
+    /// A shard blob ended early (`offset` = where decoding stopped).
+    ShortRead {
+        shard: u32,
+        path: PathBuf,
+        offset: u64,
+        needed: u64,
+    },
+    /// A shard blob failed its header or checksum validation.
+    Corrupt {
+        shard: u32,
+        path: PathBuf,
+        what: &'static str,
+    },
+    /// The store has no blob for this shard (a load before any spill —
+    /// always an engine bug, never user error).
+    Missing { shard: u32 },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                shard,
+                path,
+                op,
+                detail,
+            } => write!(
+                f,
+                "shard {shard} store {op} failed for {}: {detail}",
+                path.display()
+            ),
+            StoreError::ShortRead {
+                shard,
+                path,
+                offset,
+                needed,
+            } => write!(
+                f,
+                "shard {shard} blob {} truncated: needed {needed} more bytes \
+                 (at byte offset {offset})",
+                path.display()
+            ),
+            StoreError::Corrupt { shard, path, what } => {
+                write!(
+                    f,
+                    "shard {shard} blob {} corrupt: bad {what}",
+                    path.display()
+                )
+            }
+            StoreError::Missing { shard } => {
+                write!(f, "shard {shard} was never spilled to the store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Where evicted shards live when the graph does not fit in host memory.
+///
+/// Implementations must be safe to call from the single-threaded engine
+/// loop but are `Send + Sync` so one store can back a future multi-device
+/// run. Payloads are opaque bytes to the store; the engine frames them
+/// (`shard_payload`) and verifies integrity on the way back in.
+pub trait ShardStore: Send + Sync {
+    /// Short human tag for decision logs and reports ("mem", "file").
+    fn name(&self) -> &'static str;
+
+    /// Persist `payload` for `shard`, replacing any previous blob.
+    fn put(&self, shard: u32, payload: &[u8]) -> Result<(), StoreError>;
+
+    /// Fetch the blob previously stored for `shard`.
+    fn get(&self, shard: u32) -> Result<Vec<u8>, StoreError>;
+
+    /// Whether a blob exists for `shard`.
+    fn contains(&self, shard: u32) -> bool;
+}
+
+/// Cloneable handle wrapping a [`ShardStore`], mirroring
+/// [`PartitionLogicHandle`](crate::options::PartitionLogicHandle) so
+/// `Options` stays `Clone`.
+#[derive(Clone)]
+pub struct ShardStoreHandle(pub Arc<dyn ShardStore>);
+
+impl ShardStoreHandle {
+    pub fn new<S: ShardStore + 'static>(store: S) -> Self {
+        ShardStoreHandle(Arc::new(store))
+    }
+}
+
+impl fmt::Debug for ShardStoreHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardStoreHandle({})", self.0.name())
+    }
+}
+
+impl std::ops::Deref for ShardStoreHandle {
+    type Target = dyn ShardStore;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+/// In-memory store: a mutexed map. Useful in tests and as the model
+/// implementation — it exercises every engine spill path with zero disk.
+#[derive(Default)]
+pub struct MemShardStore {
+    blobs: Mutex<HashMap<u32, Vec<u8>>>,
+}
+
+impl MemShardStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ShardStore for MemShardStore {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn put(&self, shard: u32, payload: &[u8]) -> Result<(), StoreError> {
+        self.blobs
+            .lock()
+            .expect("shard store poisoned")
+            .insert(shard, payload.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, shard: u32) -> Result<Vec<u8>, StoreError> {
+        self.blobs
+            .lock()
+            .expect("shard store poisoned")
+            .get(&shard)
+            .cloned()
+            .ok_or(StoreError::Missing { shard })
+    }
+
+    fn contains(&self, shard: u32) -> bool {
+        self.blobs
+            .lock()
+            .expect("shard store poisoned")
+            .contains_key(&shard)
+    }
+}
+
+/// File-backed store: one blob per shard under a directory, each framed
+/// `GRSH | shard u32 | len u64 | payload | fnv1a u64` and written
+/// temp-file + rename like snapshots, so a crash mid-spill never leaves a
+/// readable-but-wrong blob.
+pub struct FileShardStore {
+    dir: PathBuf,
+}
+
+impl FileShardStore {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FileShardStore { dir: dir.into() }
+    }
+
+    fn path_for(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard:06}.grsh"))
+    }
+
+    fn io(&self, shard: u32, path: &Path, op: &'static str, e: std::io::Error) -> StoreError {
+        let _ = self;
+        StoreError::Io {
+            shard,
+            path: path.to_path_buf(),
+            op,
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl ShardStore for FileShardStore {
+    fn name(&self) -> &'static str {
+        "file"
+    }
+
+    fn put(&self, shard: u32, payload: &[u8]) -> Result<(), StoreError> {
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| self.io(shard, &self.dir, "create directory", e))?;
+        let finalp = self.path_for(shard);
+        let tmp = finalp.with_extension("grsh.tmp");
+        let mut framed = Vec::with_capacity(payload.len() + 24);
+        framed.extend_from_slice(&SHARD_MAGIC);
+        framed.extend_from_slice(&shard.to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(payload);
+        let checksum = fnv1a(&framed);
+        framed.extend_from_slice(&checksum.to_le_bytes());
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| self.io(shard, &tmp, "create", e))?;
+            f.write_all(&framed)
+                .map_err(|e| self.io(shard, &tmp, "write", e))?;
+            f.sync_all().map_err(|e| self.io(shard, &tmp, "sync", e))?;
+        }
+        fs::rename(&tmp, &finalp).map_err(|e| self.io(shard, &finalp, "rename into place", e))?;
+        Ok(())
+    }
+
+    fn get(&self, shard: u32) -> Result<Vec<u8>, StoreError> {
+        let path = self.path_for(shard);
+        let buf = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::Missing { shard })
+            }
+            Err(e) => return Err(self.io(shard, &path, "read", e)),
+        };
+        // Frame: 4 magic + 4 shard + 8 len + payload + 8 checksum.
+        if buf.len() < 24 {
+            return Err(StoreError::ShortRead {
+                shard,
+                path,
+                offset: buf.len() as u64,
+                needed: (24 - buf.len()) as u64,
+            });
+        }
+        if buf[..4] != SHARD_MAGIC {
+            return Err(StoreError::Corrupt {
+                shard,
+                path,
+                what: "magic",
+            });
+        }
+        let stored_shard = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if stored_shard != shard {
+            return Err(StoreError::Corrupt {
+                shard,
+                path,
+                what: "shard id",
+            });
+        }
+        let len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        let total = 16usize.checked_add(len).and_then(|t| t.checked_add(8));
+        match total {
+            Some(t) if t == buf.len() => {}
+            Some(t) if t > buf.len() => {
+                return Err(StoreError::ShortRead {
+                    shard,
+                    path,
+                    offset: buf.len() as u64,
+                    needed: (t - buf.len()) as u64,
+                })
+            }
+            _ => {
+                return Err(StoreError::Corrupt {
+                    shard,
+                    path,
+                    what: "payload length",
+                })
+            }
+        }
+        let body = &buf[..buf.len() - 8];
+        let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(StoreError::Corrupt {
+                shard,
+                path,
+                what: "checksum",
+            });
+        }
+        Ok(body[16..].to_vec())
+    }
+
+    fn contains(&self, shard: u32) -> bool {
+        self.path_for(shard).exists()
+    }
+}
+
+/// Serialize a shard's topology — its slice of the CSC/CSR adjacency as
+/// `(neighbor, edge id)` pairs over the owned vertex interval — into the
+/// bytes the store holds. This is what a real out-of-core engine would
+/// evict; sizes track the size model's per-shard footprint, so spilled
+/// bytes in reports are honest.
+pub(crate) fn shard_payload(layout: &GraphLayout, shard: &Shard) -> Vec<u8> {
+    let in_count = shard.in_edges.len();
+    let out_count = shard.out_edges.len();
+    let mut out = Vec::with_capacity(16 + (in_count + out_count) * 8);
+    out.extend_from_slice(&(in_count as u64).to_le_bytes());
+    out.extend_from_slice(&(out_count as u64).to_le_bytes());
+    for v in shard.interval.start..shard.interval.end {
+        for (nbr, eid) in layout.csc.entries(v) {
+            out.extend_from_slice(&nbr.to_le_bytes());
+            out.extend_from_slice(&eid.to_le_bytes());
+        }
+        for (nbr, eid) in layout.csr.entries(v) {
+            out.extend_from_slice(&nbr.to_le_bytes());
+            out.extend_from_slice(&eid.to_le_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("gr-store-{tag}-{}-{seq}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn mem_store_round_trips_and_reports_missing() {
+        let s = MemShardStore::new();
+        assert!(!s.contains(3));
+        assert_eq!(s.get(3), Err(StoreError::Missing { shard: 3 }));
+        s.put(3, b"topology").unwrap();
+        assert!(s.contains(3));
+        assert_eq!(s.get(3).unwrap(), b"topology");
+        s.put(3, b"replaced").unwrap();
+        assert_eq!(s.get(3).unwrap(), b"replaced");
+    }
+
+    #[test]
+    fn file_store_round_trips_through_disk() {
+        let dir = tmpdir("rt");
+        let s = FileShardStore::new(&dir);
+        assert_eq!(s.get(0), Err(StoreError::Missing { shard: 0 }));
+        s.put(0, &[7u8; 1000]).unwrap();
+        s.put(1, &[]).unwrap();
+        assert!(s.contains(0) && s.contains(1) && !s.contains(2));
+        assert_eq!(s.get(0).unwrap(), vec![7u8; 1000]);
+        assert_eq!(s.get(1).unwrap(), Vec::<u8>::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_detects_corruption_truncation_and_id_swaps() {
+        let dir = tmpdir("corrupt");
+        let s = FileShardStore::new(&dir);
+        s.put(5, b"payload bytes here").unwrap();
+        let path = dir.join("shard-000005.grsh");
+        let good = fs::read(&path).unwrap();
+
+        // Bit flip in the payload -> checksum.
+        let mut bad = good.clone();
+        bad[18] ^= 1;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            s.get(5),
+            Err(StoreError::Corrupt {
+                what: "checksum",
+                ..
+            })
+        ));
+
+        // Truncation -> short read with offsets.
+        fs::write(&path, &good[..good.len() - 4]).unwrap();
+        match s.get(5) {
+            Err(StoreError::ShortRead { needed, .. }) => assert_eq!(needed, 4),
+            other => panic!("expected short read, got {other:?}"),
+        }
+
+        // A blob renamed over another shard's slot -> id mismatch.
+        fs::write(&path, &good).unwrap();
+        fs::copy(&path, dir.join("shard-000009.grsh")).unwrap();
+        assert!(matches!(
+            s.get(9),
+            Err(StoreError::Corrupt {
+                what: "shard id",
+                ..
+            })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn handle_is_cloneable_and_debuggable() {
+        let h = ShardStoreHandle::new(MemShardStore::new());
+        let h2 = h.clone();
+        h.put(1, b"x").unwrap();
+        assert!(h2.contains(1), "clones share the underlying store");
+        assert_eq!(format!("{h:?}"), "ShardStoreHandle(mem)");
+    }
+}

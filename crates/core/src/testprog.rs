@@ -54,6 +54,7 @@ impl GasProgram for Cc {
 
 /// BFS depth labelling from a source vertex, with no gather phase (the
 /// paper's phase-elimination showcase).
+#[derive(Clone, Copy)]
 pub struct Bfs(pub u32);
 
 impl GasProgram for Bfs {
@@ -152,7 +153,13 @@ pub struct PrValue {
     pub out_degree: u32,
 }
 
+crate::impl_state_bytes!(PrValue {
+    rank: f32,
+    out_degree: u32
+});
+
 /// PageRank with frontier-based convergence (damping 0.85).
+#[derive(Clone, Copy)]
 pub struct Pr;
 
 impl GasProgram for Pr {

@@ -475,6 +475,363 @@ fn impossible_cap_without_host_fallback_is_a_clean_alloc_error() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durability: kill-restart resume from durable snapshots, corruption
+// fallback, the clone-skip optimization, and the out-of-host-core spill
+// rung. See docs/DURABILITY.md for the snapshot format and resume
+// semantics these tests pin down.
+// ---------------------------------------------------------------------------
+
+use graphreduce::{CheckpointPolicy, MemShardStore, SnapshotError};
+
+/// Fresh scratch directory (no tempfile crate in the workspace).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("gr-chaos-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn durable_opts(dir: &std::path::Path, every: u32) -> Options {
+    Options::optimized().with_checkpoint_policy(CheckpointPolicy::durable(dir, every))
+}
+
+/// Kill `p` at iteration `kill_at` (durable snapshots every iteration),
+/// then resume from the snapshot directory and return the finished run
+/// plus the decision log of the resumed leg.
+fn kill_then_resume<P: GasProgram + Clone>(
+    p: &P,
+    layout: &GraphLayout,
+    kill_at: u32,
+    tag: &str,
+) -> (graphreduce::RunResult<P>, Recorded) {
+    let dir = scratch(tag);
+    let res = GraphReduce::new(
+        p.clone(),
+        layout,
+        platform(),
+        durable_opts(&dir, 1).with_fault_plan(FaultPlan::none().kill_at_iteration(kill_at)),
+    )
+    .run();
+    match res {
+        Err(EngineError::Killed { iteration }) => {
+            assert_eq!(iteration, kill_at, "killed at the requested boundary")
+        }
+        Err(e) => panic!("kill at {kill_at}: wrong error {e}"),
+        Ok(_) => panic!("kill at {kill_at}: run must not survive the kill"),
+    }
+    let (obs, sink) = Observer::recording();
+    let out = GraphReduce::new(p.clone(), layout, platform(), durable_opts(&dir, 1))
+        .with_observer(obs)
+        .resume(&dir)
+        .unwrap();
+    (out, sink.recorded())
+}
+
+/// The full kill-restart family for one program: kill at the first, a
+/// middle, and the last iteration boundary; every resumed run must be
+/// bit-identical to the uninterrupted oracle — values, iteration trace,
+/// and state fingerprint — with exactly one restore decision logged.
+fn assert_kill_restart_family<P: GasProgram + Clone>(p: P, layout: &GraphLayout, tag: &str)
+where
+    P::VertexValue: PartialEq + std::fmt::Debug,
+{
+    let oracle_dir = scratch(&format!("{tag}-oracle"));
+    let oracle = GraphReduce::new(p.clone(), layout, platform(), durable_opts(&oracle_dir, 1))
+        .run()
+        .unwrap();
+    let iters = oracle.stats.iterations;
+    assert!(
+        iters >= 3,
+        "{tag}: graph too easy to kill mid-run ({iters})"
+    );
+    let fp = oracle
+        .stats
+        .state_fingerprint
+        .expect("durable runs fingerprint state");
+    for kill_at in [0, iters / 2, iters - 1] {
+        let (out, rec) = kill_then_resume(&p, layout, kill_at, &format!("{tag}-k{kill_at}"));
+        assert_eq!(
+            out.vertex_values, oracle.vertex_values,
+            "{tag} kill@{kill_at}"
+        );
+        assert_eq!(
+            out.stats.iterations, iters,
+            "{tag} kill@{kill_at}: full trace restored"
+        );
+        assert_eq!(
+            out.stats.frontier_sizes(),
+            oracle.stats.frontier_sizes(),
+            "{tag} kill@{kill_at}: per-iteration trace bit-identical"
+        );
+        assert_eq!(
+            out.stats.state_fingerprint,
+            Some(fp),
+            "{tag} kill@{kill_at}"
+        );
+        assert_eq!(out.stats.checkpoint_restores, 1, "{tag} kill@{kill_at}");
+        let restores = rec
+            .decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::CheckpointRestore { .. }))
+            .count() as u64;
+        assert_eq!(
+            restores, 1,
+            "{tag} kill@{kill_at}: exactly one restore decision"
+        );
+        let writes = rec
+            .decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::CheckpointWrite { .. }))
+            .count() as u64;
+        assert_eq!(
+            writes, out.stats.checkpoint_writes,
+            "{tag} kill@{kill_at}: one decision per snapshot written"
+        );
+        assert!(
+            out.stats.checkpoint_bytes_written > 0,
+            "{tag} kill@{kill_at}"
+        );
+    }
+}
+
+#[test]
+fn bfs_kill_restart_resumes_bit_identical() {
+    assert_kill_restart_family(Bfs(0), &small_graph(), "bfs");
+}
+
+#[test]
+fn pagerank_kill_restart_resumes_bit_identical() {
+    assert_kill_restart_family(Pr, &small_graph(), "pr");
+}
+
+#[test]
+fn corrupted_latest_snapshot_falls_back_to_previous_intact_one() {
+    let layout = small_graph();
+    let dir = scratch("corrupt");
+    let oracle = GraphReduce::new(Cc, &layout, platform(), durable_opts(&dir, 1))
+        .run()
+        .unwrap();
+    // Flip one bit in the newest snapshot: resume must silently fall back
+    // to the previous intact file and still replay to the exact answer.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "grck"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 2, "retention must keep a fallback snapshot");
+    let newest = files.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(newest, &bytes).unwrap();
+    let out = GraphReduce::new(Cc, &layout, platform(), durable_opts(&dir, 1))
+        .resume(&dir)
+        .unwrap();
+    assert_eq!(out.vertex_values, oracle.vertex_values);
+    assert_eq!(out.stats.state_fingerprint, oracle.stats.state_fingerprint);
+    assert_eq!(out.stats.checkpoint_restores, 1);
+}
+
+#[test]
+fn wrong_graph_fingerprint_fails_fast_on_resume() {
+    let dir = scratch("wrong-graph");
+    GraphReduce::new(Cc, &small_graph(), platform(), durable_opts(&dir, 1))
+        .run()
+        .unwrap();
+    // Same algorithm, different graph: the snapshot must be rejected
+    // before any state is trusted, not silently replayed onto the wrong
+    // topology.
+    let other = GraphLayout::build(&gen::uniform(512, 4096, 99).symmetrize());
+    let res = GraphReduce::new(Cc, &other, platform(), durable_opts(&dir, 1)).resume(&dir);
+    match res {
+        Err(EngineError::Snapshot(SnapshotError::FingerprintMismatch { field, .. })) => {
+            assert_eq!(field, "graph fingerprint");
+        }
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("resume must reject a snapshot of a different graph"),
+    }
+}
+
+#[test]
+fn resume_from_empty_directory_is_a_typed_no_snapshot_error() {
+    let dir = scratch("empty");
+    let res = GraphReduce::new(Cc, &small_graph(), platform(), durable_opts(&dir, 1)).resume(&dir);
+    match res {
+        Err(EngineError::Snapshot(SnapshotError::NoSnapshot { .. })) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("resume needs a snapshot to resume from"),
+    }
+}
+
+#[test]
+fn durable_checkpoints_replace_the_per_iteration_clone() {
+    // The rollback safety net under an armed fault plan used to be an
+    // in-memory full-state clone every iteration; a durable snapshot that
+    // was just written covers the same iteration, so the clone is skipped
+    // and rollback restores from disk instead.
+    let layout = small_graph();
+    let want = baseline();
+    let dir = scratch("clone-skip");
+    // Start the fault window at the 5th H2D so it lands on a mid-iteration
+    // shard copy (`emit_init`'s single upload replays without any
+    // checkpoint) and a real state restore is forced.
+    let out = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        durable_opts(&dir, 1).with_fault_plan(FaultPlan::none().fail_h2d(5, 6)),
+    )
+    .run()
+    .unwrap();
+    assert_eq!(out.vertex_values, want, "disk rollback replays exactly");
+    assert!(
+        out.stats.rollbacks >= 1,
+        "retry budget must have been exceeded"
+    );
+    assert_eq!(
+        out.stats.checkpoints, 0,
+        "durable snapshots written every iteration make the clone redundant"
+    );
+    assert!(out.stats.checkpoint_bytes_written > 0);
+    // Contrast: the same plan under the in-memory-only policy still pays
+    // the clone (pinned by disarmed_fault_plan_adds_zero_overhead above).
+}
+
+#[test]
+fn checkpoints_off_with_armed_faults_is_unrecoverable_at_rollback() {
+    let layout = small_graph();
+    let res = GraphReduce::new(
+        Cc,
+        &layout,
+        platform(),
+        Options::optimized()
+            .with_checkpoint_policy(CheckpointPolicy::Off)
+            // Window starts mid-iteration: init replays checkpoint-free,
+            // but an in-iteration rollback has nothing to replay from.
+            .with_fault_plan(FaultPlan::none().fail_h2d(5, 6)),
+    )
+    .run();
+    match res {
+        Err(EngineError::Unrecoverable { op }) => assert_eq!(op, "checkpoint"),
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("no checkpoint of any kind means rollback must fail"),
+    }
+}
+
+#[test]
+fn durable_checkpointing_leaves_results_and_timeline_untouched() {
+    // Snapshot writes happen on the host side of the wall: the simulated
+    // device timeline, op counts, and results must be byte-identical to a
+    // run without durability.
+    let layout = small_graph();
+    let clean = GraphReduce::new(Cc, &layout, platform(), Options::optimized())
+        .run()
+        .unwrap();
+    let dir = scratch("timeline");
+    let durable = GraphReduce::new(Cc, &layout, platform(), durable_opts(&dir, 2))
+        .run()
+        .unwrap();
+    assert_eq!(clean.vertex_values, durable.vertex_values);
+    assert_eq!(
+        clean.stats.elapsed, durable.stats.elapsed,
+        "no sim-time cost"
+    );
+    assert_eq!(clean.stats.copy_ops, durable.stats.copy_ops);
+    assert_eq!(clean.stats.kernel_launches, durable.stats.kernel_launches);
+    assert!(
+        durable.stats.checkpoint_writes > 0,
+        "snapshots were written"
+    );
+    assert_eq!(clean.stats.checkpoint_writes, 0);
+    assert_eq!(clean.stats.state_fingerprint, None, "zero cost when off");
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-host-core: with a shard store plugged in, shards that exceed host
+// RAM spill to the store and stream back on demand — bit-identical to the
+// unconstrained run, with exactly one decision per spill and per load.
+// ---------------------------------------------------------------------------
+
+/// Platform whose host RAM is far below the graph's host footprint, with
+/// a device small enough to force sharding.
+fn host_capped_platform() -> Platform {
+    let mut plat = platform();
+    plat.host.mem_capacity = 100_000;
+    plat
+}
+
+fn assert_spill_run_bit_identical(opts: Options, tag: &str) {
+    let layout = small_graph();
+    let want = baseline();
+    let (obs, sink) = Observer::recording();
+    let out = GraphReduce::new(Cc, &layout, host_capped_platform(), opts)
+        .with_observer(obs)
+        .run()
+        .unwrap();
+    assert_eq!(
+        out.vertex_values, want,
+        "{tag}: spill must not change results"
+    );
+    assert!(
+        out.stats.spilled_shards > 0,
+        "{tag}: host cap must force spilling"
+    );
+    assert!(out.stats.spilled_bytes > 0, "{tag}");
+    assert!(
+        out.stats.spill_loads > 0,
+        "{tag}: spilled shards must stream back"
+    );
+    let rec = sink.recorded();
+    let spills = rec
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Decision::ShardSpill { .. }))
+        .count() as u64;
+    let loads = rec
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Decision::ShardLoad { .. }))
+        .count() as u64;
+    assert_eq!(
+        spills, out.stats.spilled_shards,
+        "{tag}: one decision per spill"
+    );
+    assert_eq!(loads, out.stats.spill_loads, "{tag}: one decision per load");
+    // Durability decisions are a separate class: the governor invariant
+    // (one memory decision per response) and the chaos invariant (one
+    // recovery decision per fault) both hold untouched.
+    assert_eq!(
+        rec.memory_decisions() as u64,
+        out.stats.governor_decisions(),
+        "{tag}"
+    );
+    assert_eq!(rec.recovery_decisions(), 0, "{tag}");
+}
+
+#[test]
+fn host_capped_run_spills_through_memory_store_bit_identical() {
+    assert_spill_run_bit_identical(
+        Options::optimized().with_shard_store(MemShardStore::new()),
+        "mem-store",
+    );
+}
+
+#[test]
+fn host_capped_run_spills_through_file_store_bit_identical() {
+    let dir = scratch("spill");
+    assert_spill_run_bit_identical(Options::optimized().with_spill_dir(&dir), "file-store");
+    // The spill rung really hit disk: framed shard blobs exist.
+    let blobs = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "grsh"))
+        .count();
+    assert!(blobs > 0, "file store must leave shard blobs on disk");
+}
+
 #[test]
 fn all_devices_lost_surfaces_device_lost() {
     let l = multi_layout();

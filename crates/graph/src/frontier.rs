@@ -107,6 +107,30 @@ impl Bitmap {
         self.count
     }
 
+    /// The backing 64-bit words, low bit = low vertex id (serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstruct a bitmap from serialized words. Returns `None` when the
+    /// word count does not match `len` or a tail bit past `len` is set —
+    /// both indicate corrupted input, never a valid bitmap.
+    pub fn from_words(len: u32, words: Vec<u64>) -> Option<Self> {
+        if words.len() != (len as usize).div_ceil(64) {
+            return None;
+        }
+        let tail = (len % 64) as u64;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        let count = words.iter().map(|w| w.count_ones() as u64).sum();
+        Some(Bitmap { words, len, count })
+    }
+
     /// Clear all bits.
     pub fn clear_all(&mut self) {
         self.words.fill(0);
@@ -400,6 +424,23 @@ mod tests {
             b.iter_set_range(100, 130).collect::<Vec<_>>(),
             (100..130).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let mut b = Bitmap::new(130);
+        for i in [0u32, 64, 129] {
+            b.set(i);
+        }
+        let rebuilt = Bitmap::from_words(130, b.words().to_vec()).unwrap();
+        assert_eq!(rebuilt, b);
+        assert_eq!(rebuilt.count(), 3);
+        // Wrong word count and dirty tail bits are both rejected.
+        assert!(Bitmap::from_words(130, vec![0; 2]).is_none());
+        assert!(Bitmap::from_words(130, vec![0, 0, 1 << 2]).is_none());
+        // Word-aligned lengths have no tail to validate.
+        assert!(Bitmap::from_words(128, vec![!0, !0]).is_some());
+        assert!(Bitmap::from_words(0, vec![]).is_some());
     }
 
     #[test]

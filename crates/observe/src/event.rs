@@ -197,6 +197,41 @@ pub enum Decision {
         /// Upper bound on pieces per full-shard transfer.
         chunks: u32,
     },
+    /// Out-of-host-core spill: a shard's topology was evicted to the
+    /// shard store because the working set exceeds host memory (or the
+    /// governor forced eviction). Exactly one decision per spilled shard.
+    ShardSpill {
+        shard: u32,
+        /// Bytes evicted to the store.
+        bytes: u64,
+        /// Store kind, e.g. `"file"` or `"mem"`.
+        store: &'static str,
+    },
+    /// First load of a spilled shard back from the store into the
+    /// streaming path. Exactly one decision per spilled shard per run.
+    ShardLoad {
+        iteration: u32,
+        shard: u32,
+        /// Bytes read back and verified.
+        bytes: u64,
+        store: &'static str,
+    },
+    /// A durable checkpoint snapshot was written (atomically) to disk.
+    /// Exactly one decision per snapshot file.
+    CheckpointWrite {
+        /// Completed iterations the snapshot covers.
+        iteration: u32,
+        /// Snapshot file size in bytes (checksum included).
+        bytes: u64,
+    },
+    /// A run resumed from a durable snapshot instead of starting cold.
+    /// Exactly one decision per resumed run.
+    CheckpointRestore {
+        /// Completed iterations restored; execution replays from here.
+        iteration: u32,
+        /// Snapshot file size read back.
+        bytes: u64,
+    },
 }
 
 impl Decision {
@@ -226,6 +261,21 @@ impl Decision {
             Decision::MemoryPressure { .. }
                 | Decision::ShardSplit { .. }
                 | Decision::ChunkedXfer { .. }
+        )
+    }
+
+    /// True for durability decisions (shard spill/load, checkpoint
+    /// write/restore). A separate class from [`Decision::is_memory`] and
+    /// [`Decision::is_recovery`] so the one-decision-per-fault and
+    /// one-decision-per-degradation audit invariants stay exact when
+    /// durability is armed.
+    pub fn is_durability(&self) -> bool {
+        matches!(
+            self,
+            Decision::ShardSpill { .. }
+                | Decision::ShardLoad { .. }
+                | Decision::CheckpointWrite { .. }
+                | Decision::CheckpointRestore { .. }
         )
     }
 }
@@ -317,6 +367,36 @@ mod tests {
         for d in [&pressure, &split, &chunked] {
             assert!(d.is_memory());
             assert!(!d.is_recovery(), "governor decisions are not recovery");
+            assert!(!d.is_shard_skip());
+            assert!(!d.is_durability());
+        }
+    }
+
+    #[test]
+    fn durability_classification() {
+        let spill = Decision::ShardSpill {
+            shard: 2,
+            bytes: 4096,
+            store: "file",
+        };
+        let load = Decision::ShardLoad {
+            iteration: 1,
+            shard: 2,
+            bytes: 4096,
+            store: "file",
+        };
+        let write = Decision::CheckpointWrite {
+            iteration: 3,
+            bytes: 65536,
+        };
+        let restore = Decision::CheckpointRestore {
+            iteration: 3,
+            bytes: 65536,
+        };
+        for d in [&spill, &load, &write, &restore] {
+            assert!(d.is_durability());
+            assert!(!d.is_memory(), "durability is not governor pressure");
+            assert!(!d.is_recovery(), "durability is not fault recovery");
             assert!(!d.is_shard_skip());
         }
     }

@@ -155,6 +155,33 @@ fn decision_line(d: &Decision) -> String {
              \"device\":{device},\"rationale\":{}}}",
             json::string(rationale)
         ),
+        Decision::ShardSpill {
+            shard,
+            bytes,
+            store,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"shard_spill\",\"shard\":{shard},\
+             \"bytes\":{bytes},\"store\":{}}}",
+            json::string(store)
+        ),
+        Decision::ShardLoad {
+            iteration,
+            shard,
+            bytes,
+            store,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"shard_load\",\"iteration\":{iteration},\
+             \"shard\":{shard},\"bytes\":{bytes},\"store\":{}}}",
+            json::string(store)
+        ),
+        Decision::CheckpointWrite { iteration, bytes } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"checkpoint_write\",\"iteration\":{iteration},\
+             \"bytes\":{bytes}}}"
+        ),
+        Decision::CheckpointRestore { iteration, bytes } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"checkpoint_restore\",\"iteration\":{iteration},\
+             \"bytes\":{bytes}}}"
+        ),
     }
 }
 
@@ -643,6 +670,25 @@ mod tests {
             chunk_bytes: 1024,
             chunks: 9,
         });
+        obs.decision(|| Decision::ShardSpill {
+            shard: 1,
+            bytes: 9000,
+            store: "file",
+        });
+        obs.decision(|| Decision::ShardLoad {
+            iteration: 0,
+            shard: 1,
+            bytes: 9000,
+            store: "file",
+        });
+        obs.decision(|| Decision::CheckpointWrite {
+            iteration: 2,
+            bytes: 65536,
+        });
+        obs.decision(|| Decision::CheckpointRestore {
+            iteration: 2,
+            bytes: 65536,
+        });
         let mut m = MetricsRegistry::new();
         m.inc("h2d.bytes", 42);
         m.observe("h2d.size_bytes", 42);
@@ -650,7 +696,7 @@ mod tests {
         let rec = sink.recorded();
         let out = jsonl(&rec);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 7);
+        assert_eq!(lines.len(), 11);
         for line in &lines {
             assert!(jsonck::valid(line), "invalid JSONL line: {line}");
         }
@@ -661,8 +707,14 @@ mod tests {
         assert!(lines[4].contains("\"kind\":\"shard_split\""));
         assert!(lines[5].contains("\"kind\":\"chunked_xfer\""));
         assert!(lines[5].contains("\"chunks\":9"));
-        assert!(lines[6].contains("\"scope\":\"run\""));
-        assert!(lines[6].contains("\"h2d.bytes\":42"));
-        assert!(lines[6].contains("\"buckets\":[[32,1]]"));
+        assert!(lines[6].contains("\"kind\":\"shard_spill\""));
+        assert!(lines[6].contains("\"store\":\"file\""));
+        assert!(lines[7].contains("\"kind\":\"shard_load\""));
+        assert!(lines[8].contains("\"kind\":\"checkpoint_write\""));
+        assert!(lines[8].contains("\"bytes\":65536"));
+        assert!(lines[9].contains("\"kind\":\"checkpoint_restore\""));
+        assert!(lines[10].contains("\"scope\":\"run\""));
+        assert!(lines[10].contains("\"h2d.bytes\":42"));
+        assert!(lines[10].contains("\"buckets\":[[32,1]]"));
     }
 }

@@ -100,6 +100,13 @@ impl Recorded {
     pub fn memory_decisions(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_memory()).count()
     }
+
+    /// Durability decisions only (shard spill/load, checkpoint
+    /// write/restore) — zero unless a checkpoint policy or shard store
+    /// is armed.
+    pub fn durability_decisions(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_durability()).count()
+    }
 }
 
 /// In-memory sink: records everything for later export or assertions.

@@ -7,19 +7,30 @@
 //! never flakes on a noisy machine.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use gr_observe::{WallKey, WallProfiler};
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Per-thread, not global: the harness runs both tests concurrently, and a
+// process-wide counter would pick up the sibling test's allocations. The
+// const initializer keeps first access allocation-free, and Cell<u64> has
+// no destructor to register, so the counter itself never recurses into
+// the allocator.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -28,7 +39,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -70,9 +81,9 @@ fn disarmed_hot_loop_allocates_nothing() {
     let data: Vec<u64> = (0..256).collect();
     // Warm up (and fault in) everything outside the measured region.
     black_box(instrumented_pass(&p, &data, 8));
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = allocations_on_this_thread();
     black_box(instrumented_pass(&p, &data, 10_000));
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = allocations_on_this_thread();
     assert_eq!(
         after - before,
         0,

@@ -17,6 +17,10 @@
 //! * **Permanent device loss** — once the barrier clock reaches
 //!   `lose_device_at_ns`, every subsequent copy/launch fails with
 //!   [`DeviceFault::Lost`], forever.
+//! * **Process kill** — `kill_at_iteration(K)` hard-aborts the whole run
+//!   at iteration boundary `K` (the chaos stand-in for SIGKILL). Not a
+//!   device fault at all: nothing retries it, the engine unwinds, and only
+//!   a durable checkpoint makes the work resumable.
 //!
 //! Plans are either built explicitly (chaos tests pin exact schedules) or
 //! derived from a seed via an inline SplitMix64 generator — same seed, same
@@ -136,6 +140,7 @@ pub struct FaultPlan {
     ecc_launches: Vec<u64>,
     degraded: Vec<BandwidthWindow>,
     lose_at_ns: Option<u64>,
+    kill_at_iteration: Option<u32>,
 }
 
 impl FaultPlan {
@@ -150,6 +155,7 @@ impl FaultPlan {
             && self.ecc_launches.is_empty()
             && self.degraded.is_empty()
             && self.lose_at_ns.is_none()
+            && self.kill_at_iteration.is_none()
     }
 
     /// Fail `count` consecutive ops of class `op` starting at index `start`.
@@ -203,6 +209,21 @@ impl FaultPlan {
     pub fn lose_device_at_ns(mut self, at_ns: u64) -> Self {
         self.lose_at_ns = Some(at_ns);
         self
+    }
+
+    /// Hard-kill the whole *process* at iteration boundary `iteration`
+    /// (0-based: kill at 0 means not a single iteration survives). Unlike
+    /// device faults this is not retryable or recoverable in-run — the
+    /// engine unwinds immediately; only a durable checkpoint directory
+    /// makes the work survivable, via resume.
+    pub fn kill_at_iteration(mut self, iteration: u32) -> Self {
+        self.kill_at_iteration = Some(iteration);
+        self
+    }
+
+    /// Scheduled process-kill iteration boundary, if any.
+    pub fn kill_at(&self) -> Option<u32> {
+        self.kill_at_iteration
     }
 
     /// Does the `index`-th op of class `op` fault?
@@ -285,9 +306,12 @@ impl FaultPlan {
             "degraded-pcie" => Ok(FaultPlan::none().degrade_bandwidth(0, 5_000_000, 4.0)),
             "device-loss" => Ok(FaultPlan::none().lose_device_at_ns(2_000_000)),
             "chaos" => Ok(FaultPlan::from_seed(seed)),
+            // `kill:<K>` reuses the seed slot as the iteration boundary.
+            "kill" => Ok(FaultPlan::none().kill_at_iteration(seed as u32)),
             other => Err(format!(
                 "unknown fault profile '{other}' (expected none, transient-copy, kernel-fault, \
-                 oom-pressure, ecc-stall, degraded-pcie, device-loss, chaos, or a bare seed)"
+                 oom-pressure, ecc-stall, degraded-pcie, device-loss, chaos, kill:<iteration>, \
+                 or a bare seed)"
             )),
         }
     }
@@ -442,6 +466,17 @@ mod tests {
             .faults_at(FaultOp::Alloc, 0));
         assert!(FaultPlan::parse("bogus").is_err());
         assert!(FaultPlan::parse("chaos:notanumber").is_err());
+    }
+
+    #[test]
+    fn process_kill_arms_the_plan_and_parses() {
+        let p = FaultPlan::none().kill_at_iteration(3);
+        assert!(!p.is_none(), "a kill-armed plan is not the empty plan");
+        assert_eq!(p.kill_at(), Some(3));
+        assert_eq!(p.transient_fault_count(), 0);
+        assert_eq!(FaultPlan::parse("kill:0").unwrap().kill_at(), Some(0));
+        assert_eq!(FaultPlan::parse("kill:7").unwrap().kill_at(), Some(7));
+        assert_eq!(FaultPlan::parse("kill").unwrap().kill_at(), Some(0));
     }
 
     #[test]
