@@ -8,7 +8,7 @@
 //! oracles) and records the per-iteration work counts each engine's cost
 //! model consumes.
 
-use gr_graph::{Bitmap, GraphLayout, Interval, Shard};
+use gr_graph::{Bitmap, GraphLayout, Interval, Shard, TopoView};
 use graphreduce::phases::{activate_shard, apply_shard, gather_shard, scatter_shard};
 use graphreduce::{GasProgram, HostKernels, InitialFrontier};
 
@@ -72,7 +72,7 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
         if program.has_gather() {
             let (a, e) = gather_shard(
                 program,
-                layout,
+                TopoView::raw(layout),
                 &whole,
                 &vertex_values,
                 &edge_values,
@@ -101,7 +101,7 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
         if program.has_scatter() {
             scatter_shard(
                 program,
-                layout,
+                TopoView::raw(layout),
                 &whole,
                 &vertex_values,
                 &mut edge_values,
@@ -110,8 +110,13 @@ pub fn execute<P: GasProgram>(program: &P, layout: &GraphLayout) -> WorkloadTrac
             );
         }
         let mut next = Bitmap::new(n);
-        let (walked, activated) =
-            activate_shard(layout, &whole, &changed, &mut next, HostKernels::Adaptive);
+        let (walked, activated) = activate_shard(
+            TopoView::raw(layout),
+            &whole,
+            &changed,
+            &mut next,
+            HostKernels::Adaptive,
+        );
         w.out_edges_of_changed = walked;
         w.activated = activated;
         iterations.push(w);

@@ -14,7 +14,7 @@ use gr_bench::{
     default_source, resume_gr_wall, run_cusha, run_gr_wall, run_graphchi, run_mapgraph,
     run_xstream, set_host_threads, Algo, RunArtifacts,
 };
-use gr_graph::{gen, Dataset, EdgeList, GraphLayout, GraphStats};
+use gr_graph::{gen, CompressionCodec, Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
 use graphreduce::{
     CheckpointPolicy, EngineError, FaultPlan, MultiGraphReduce, Options, WallProfiler,
@@ -45,6 +45,7 @@ struct Args {
     resume: bool,
     spill_dir: Option<String>,
     host_mem_cap: Option<String>,
+    compress: Option<CompressionCodec>,
 }
 
 /// Resolve a `--mem-cap` spec against the device's nominal capacity:
@@ -70,7 +71,13 @@ fn usage() -> ! {
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
          [--faults <profile[:seed]|seed>] [--mem-cap <bytes|pct%>] [--report <path.json>] \
          [--trace <path.json>] [--threads N] [--wall] [--checkpoint-dir <dir>] \
-         [--checkpoint-every N] [--resume] [--spill-dir <dir>] [--host-mem-cap <bytes|pct%>]"
+         [--checkpoint-every N] [--resume] [--spill-dir <dir>] [--host-mem-cap <bytes|pct%>] \
+         [--compress <varint|zeta|zeta1..4>]"
+    );
+    eprintln!(
+        "  --compress streams shard topology gap+entropy-coded over PCIe and through the spill \
+         store (gr engine, single GPU); results are bit-identical, the report gains a \
+         `compression` object (see docs/COMPRESSION.md)"
     );
     eprintln!(
         "  --checkpoint-dir arms durable snapshots (gr engine, single GPU); --checkpoint-every \
@@ -129,6 +136,7 @@ fn parse_args() -> Args {
         resume: false,
         spill_dir: None,
         host_mem_cap: None,
+        compress: None,
     };
     let mut it = std::env::args().skip(1);
     let mut have_algo = false;
@@ -205,6 +213,15 @@ fn parse_args() -> Args {
             "--resume" => args.resume = true,
             "--spill-dir" => args.spill_dir = it.next().or_else(|| usage()),
             "--host-mem-cap" => args.host_mem_cap = it.next().or_else(|| usage()),
+            "--compress" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.compress = Some(CompressionCodec::parse(&spec).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: bad --compress {spec:?} (expected varint, zeta, or zeta1..zeta4)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -315,12 +332,12 @@ fn main() {
         eprintln!("error: --resume needs --checkpoint-dir (where would I resume from?)");
         std::process::exit(2);
     }
-    if (args.checkpoint_dir.is_some() || args.spill_dir.is_some())
+    if (args.checkpoint_dir.is_some() || args.spill_dir.is_some() || args.compress.is_some())
         && (args.engine != "gr" || args.gpus > 1)
     {
         eprintln!(
-            "error: --checkpoint-dir/--checkpoint-every/--resume/--spill-dir apply to the \
-             single-GPU gr engine only"
+            "error: --checkpoint-dir/--checkpoint-every/--resume/--spill-dir/--compress apply \
+             to the single-GPU gr engine only"
         );
         std::process::exit(2);
     }
@@ -332,6 +349,9 @@ fn main() {
     }
     if let Some(dir) = &args.spill_dir {
         opts = opts.with_spill_dir(dir.as_str());
+    }
+    if let Some(codec) = args.compress {
+        opts = opts.with_shard_compression(codec);
     }
     let src = default_source(&layout);
     let artifacts = RunArtifacts::from_paths(args.report.clone(), args.trace.clone());

@@ -37,7 +37,7 @@ use std::time::Instant;
 use gr_algorithms::{Bfs, Cc, PageRank, Sssp};
 use gr_bench::trajectory::{self, BenchRow, TrajectoryEntry};
 use gr_bench::{effective_host_threads, run_gr_wall, set_host_threads, Algo};
-use gr_graph::{build_shards, gen, Bitmap, GraphLayout, Interval};
+use gr_graph::{build_shards, gen, Bitmap, CompressionCodec, GraphLayout, Interval, TopoView};
 use gr_observe::Observer;
 use gr_sim::Platform;
 use graphreduce::phases::{activate_shard, apply_shard};
@@ -283,6 +283,85 @@ fn sweep_point(
 }
 
 // ---------------------------------------------------------------------------
+// Compressed-shard benchmark: transfer ratio + wall delta, RMAT vs grid.
+// ---------------------------------------------------------------------------
+
+/// One graph's compressed-vs-raw comparison: the simulated host↔device
+/// transfer volumes of an out-of-core CC run and the real host wall time
+/// paid to decode rows lazily through the gap streams.
+struct CompressionRow {
+    graph: &'static str,
+    codec: &'static str,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    transfer_ratio: f64,
+    raw_median_ms: f64,
+    compressed_median_ms: f64,
+    wall_delta_pct: f64,
+}
+
+/// Bench one layout compressed and raw on its out-of-core platform. RMAT
+/// (power-law gaps — the codecs' home turf) and a 2D grid (near-constant
+/// small gaps) bracket the ratio a real graph lands in.
+fn bench_compression_on(
+    rows: &mut Vec<BenchRow>,
+    graph: &'static str,
+    layout: &GraphLayout,
+    args: &Args,
+) -> CompressionRow {
+    let codec = CompressionCodec::Zeta(3);
+    let platform = sweep_platform(layout);
+    let mut measure = |opts: Options, mode: &str| {
+        let mut bytes = 0u64;
+        let mut iterations = 0u64;
+        let ms = time_trials(args.warmup, args.trials, || {
+            let out = GraphReduce::new(Cc, layout, platform.clone(), opts.clone())
+                .run()
+                .expect("fault-free compression bench run");
+            bytes = out.stats.bytes_h2d + out.stats.bytes_d2h;
+            iterations = out.stats.iterations as u64;
+        });
+        rows.push(BenchRow {
+            algo: format!("cc@{graph}"),
+            mode: mode.to_string(),
+            threads: effective_host_threads() as u64,
+            iterations,
+            median_ms: median(&ms),
+            p95_ms: p95(&ms),
+            min_ms: ms[0],
+        });
+        (bytes, median(&ms))
+    };
+    let (raw_bytes, raw_ms) = measure(Options::optimized(), "raw");
+    let (z_bytes, z_ms) = measure(
+        Options::optimized().with_shard_compression(codec),
+        codec.name(),
+    );
+    let row = CompressionRow {
+        graph,
+        codec: codec.name(),
+        raw_bytes,
+        compressed_bytes: z_bytes,
+        transfer_ratio: raw_bytes as f64 / (z_bytes as f64).max(1.0),
+        raw_median_ms: raw_ms,
+        compressed_median_ms: z_ms,
+        wall_delta_pct: 100.0 * (z_ms - raw_ms) / raw_ms.max(1e-12),
+    };
+    eprintln!(
+        "compression {graph:>5} ({}): transfers {:.2} -> {:.2} MB ({:.2}x), \
+         wall {:.3} -> {:.3} ms ({:+.1}%)",
+        row.codec,
+        row.raw_bytes as f64 / 1e6,
+        row.compressed_bytes as f64 / 1e6,
+        row.transfer_ratio,
+        row.raw_median_ms,
+        row.compressed_median_ms,
+        row.wall_delta_pct
+    );
+    row
+}
+
+// ---------------------------------------------------------------------------
 // Sparse-iteration microbenchmark (unchanged from v1).
 // ---------------------------------------------------------------------------
 
@@ -346,7 +425,7 @@ fn bench_sparse_iteration(layout: &GraphLayout, args: &Args) -> SparseIter {
                 changed_bits.set(c);
             }
             let t1 = Instant::now();
-            activate_shard(layout, shard, &changed_bits, &mut next, mode);
+            activate_shard(TopoView::raw(layout), shard, &changed_bits, &mut next, mode);
             let activate_elapsed = t1.elapsed();
             if t >= args.warmup {
                 ms.push((apply_elapsed + activate_elapsed).as_secs_f64() * 1e3);
@@ -399,6 +478,7 @@ fn v2_json(
     layout: &GraphLayout,
     rows: &[BenchRow],
     scaling: &[ScalingPoint],
+    compression: &[CompressionRow],
     sparse: &SparseIter,
 ) -> String {
     let mut json = String::from("{\n");
@@ -448,6 +528,22 @@ fn v2_json(
             p.imbalance,
             phases.join(", "),
             if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"compression\": [\n");
+    for (i, c) in compression.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"codec\": \"{}\", \"raw_bytes\": {}, \"compressed_bytes\": {}, \"transfer_ratio\": {:.4}, \"raw_median_ms\": {:.4}, \"compressed_median_ms\": {:.4}, \"wall_delta_pct\": {:.2}}}{}\n",
+            c.graph,
+            c.codec,
+            c.raw_bytes,
+            c.compressed_bytes,
+            c.transfer_ratio,
+            c.raw_median_ms,
+            c.compressed_median_ms,
+            c.wall_delta_pct,
+            if i + 1 < compression.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
@@ -547,6 +643,18 @@ fn main() {
     // Thread sweep: pinned runs at 1/2/4/8 workers (just N under
     // `--threads N`; 1/2 under `--tiny` to keep CI smoke fast), then the
     // ambient pinning is restored for the rest of the process.
+    // Compression bracket: the benched RMAT plus a 2D grid of the same
+    // edge budget, each compressed and raw on its out-of-core platform.
+    let grid_layout = GraphLayout::build(&gen::grid2d_with_edges(
+        layout.num_vertices(),
+        args.edges,
+        7,
+    ));
+    let compression = vec![
+        bench_compression_on(&mut rows, "rmat", &layout, &args),
+        bench_compression_on(&mut rows, "grid", &grid_layout, &args),
+    ];
+
     let sweep_plat = sweep_platform(&layout);
     let sweep_threads: Vec<usize> = match args.threads {
         Some(n) => vec![n],
@@ -585,7 +693,15 @@ fn main() {
     }
 
     let commit = git_commit();
-    let json = v2_json(&args, &commit, &layout, &rows, &scaling, &sparse);
+    let json = v2_json(
+        &args,
+        &commit,
+        &layout,
+        &rows,
+        &scaling,
+        &compression,
+        &sparse,
+    );
     std::fs::write(&args.out, &json).expect("write benchmark json");
     eprintln!("wrote {}", args.out);
 

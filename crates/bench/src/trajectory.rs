@@ -526,26 +526,31 @@ mod tests {
     }
 
     #[test]
-    fn committed_v1_report_still_parses() {
-        // Backward-compat contract: the v1 baseline committed at the repo
-        // root stays readable after the v2 schema change.
+    fn committed_report_still_parses() {
+        // Backward-compat contract: the baseline committed at the repo
+        // root stays readable across schema growth (v1 -> v2 -> the
+        // compression rows).
         let text = std::fs::read_to_string(concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../BENCH_wallclock.json"
         ))
         .expect("committed baseline exists");
-        let (rows, scale) = report_rows(&text).expect("v1 parses");
+        let (rows, scale) = report_rows(&text).expect("committed report parses");
         assert_eq!(scale, 16);
-        assert_eq!(rows.len(), 8, "4 algorithms x serial/adaptive");
+        assert_eq!(
+            rows.len(),
+            12,
+            "4 algorithms x serial/adaptive + 2 graphs x raw/zeta3"
+        );
         for r in &rows {
-            assert_eq!(r.threads, 1, "v1 rows inherit host_threads");
+            assert_eq!(r.threads, 1, "rows inherit host_threads");
             assert!(r.median_ms > 0.0 && r.min_ms <= r.median_ms);
             assert!(r.iterations > 0);
         }
         let modes: std::collections::BTreeSet<_> = rows.iter().map(|r| r.mode.as_str()).collect();
         assert_eq!(
             modes.into_iter().collect::<Vec<_>>(),
-            ["adaptive", "serial"]
+            ["adaptive", "raw", "serial", "zeta3"]
         );
     }
 

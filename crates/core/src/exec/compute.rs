@@ -17,6 +17,7 @@ use crate::options::{GatherMode, Options};
 use crate::phases::ShardWork;
 use crate::sizes::SizeModel;
 
+use super::compress::RAW_TOPO_ENTRY_BYTES;
 use super::plan::interval_skew;
 
 /// The edge-centric gather-map kernel over a shard's active in-edges.
@@ -185,6 +186,34 @@ impl ComputeSpecs {
         } else {
             self.skew_out[i]
         })
+    }
+
+    /// The per-stream-in decode kernel over a shard's gap-coded topology:
+    /// the compute half of the compression tradeoff. Sequential traffic is
+    /// the compressed bits read plus the decoded entries written through
+    /// on-chip memory to the consumers; a bit-serial prefix decode is
+    /// branchy, hence the high flop weight. Gap rows inherit the
+    /// interval's degree skew exactly like the kernels that consume them.
+    pub(crate) fn decompress_spec(
+        &self,
+        i: usize,
+        edges: u64,
+        z_bytes: u64,
+        in_edges: bool,
+    ) -> KernelSpec {
+        let skew = if in_edges {
+            self.skew_in[i]
+        } else {
+            self.skew_out[i]
+        };
+        KernelSpec::balanced(
+            "decompress",
+            edges,
+            8.0,
+            z_bytes + edges * RAW_TOPO_ENTRY_BYTES,
+            0,
+        )
+        .with_imbalance(if self.cta_load_balance { 1.0 } else { skew })
     }
 
     pub(crate) fn activate_spec(&self, i: usize, w: &ShardWork) -> KernelSpec {

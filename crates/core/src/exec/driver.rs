@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 
-use gr_graph::GraphLayout;
+use gr_graph::{GraphLayout, TopoView};
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};
 use gr_sim::{cpu_time, DeviceFault, HostConfig, KernelSpec, Platform, SimDuration, StreamId};
 
@@ -27,6 +27,7 @@ use crate::snapshot::{self, CheckpointPolicy, RestoredState};
 use crate::stats::RunStats;
 use crate::store::{shard_payload, ShardStoreHandle};
 
+use super::compress::{ShardCompression, RAW_TOPO_ENTRY_BYTES};
 use super::compute::{host_work, ComputeSpecs};
 use super::device::{Abort, DeviceCtx};
 use super::host::HostState;
@@ -108,6 +109,9 @@ pub(crate) struct Runner<'a, P: GasProgram> {
     ckpt_off: bool,
     fingerprint: Option<snapshot::Fingerprint>,
     durable_at: Option<u32>,
+    // Shard compression: the gap-coded topology (if armed) the host
+    // kernels decode through and the movement layer ships.
+    comp: Option<ShardCompression>,
     // Out-of-host-core spill: the store (if any), which shards were
     // evicted to it, and which have been verified back in already.
     store: Option<ShardStoreHandle>,
@@ -146,6 +150,11 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             opts.mem_cap,
             opts.recovery.clone(),
         );
+        // Shard compression: build the gap-coded topology once, before
+        // planning — the governor budgets compressed bytes.
+        let comp = opts
+            .shard_compression
+            .map(|codec| ShardCompression::new(layout, codec));
         // Plan optimistically, govern at runtime: the partition plan was
         // sized for the nominal device; a memory cap shrinks the pool and
         // the governor degrades the plan until it fits (or errors).
@@ -156,11 +165,42 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             layout,
             capacity,
             opts,
+            comp.as_ref(),
             &mut ctx.metrics,
             &observer,
         )?;
         let plan = governed.partition;
         let k = plan.concurrent as usize;
+        // One CompressShard decision per governed shard, with the honest
+        // ratio the run will see on the wire (full raw buffer set vs
+        // compressed set); totals land in RunStats via engine counters.
+        if let Some(c) = &comp {
+            let codec_name = c.codec().name();
+            let force = !opts.phase_fusion;
+            for (i, sh) in plan.shards.iter().enumerate() {
+                let raw: u64 = in_bufs_for(&sizes, sh, force)
+                    .as_slice()
+                    .iter()
+                    .chain(out_bufs_for(&sizes, sh, force).as_slice())
+                    .map(|b| b.0)
+                    .sum();
+                let z: u64 = c
+                    .in_bufs(&sizes, sh, force)
+                    .as_slice()
+                    .iter()
+                    .chain(c.out_bufs(&sizes, sh, force).as_slice())
+                    .map(|b| b.0)
+                    .sum();
+                ctx.metrics.inc("engine.compressed_raw_bytes", raw);
+                ctx.metrics.inc("engine.compressed_bytes", z);
+                observer.decision(|| Decision::CompressShard {
+                    shard: i as u32,
+                    raw_bytes: raw,
+                    compressed_bytes: z,
+                    codec: codec_name,
+                });
+            }
+        }
 
         // Streams before allocations: allocation-retry backoff stalls are
         // charged on a stream, so one must exist first.
@@ -182,7 +222,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             ctx.shard_allocs = if resident {
                 plan.shards
                     .iter()
-                    .map(|s| sizes.shard_bytes(s))
+                    .map(|s| match &comp {
+                        Some(c) => c.shard_bytes(&sizes, s),
+                        None => sizes.shard_bytes(s),
+                    })
                     .collect::<Vec<_>>()
                     .into_iter()
                     .map(|b| ctx.alloc_retry(s0, b))
@@ -238,9 +281,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 if !spilled[i] {
                     continue;
                 }
+                // `put` reports the bytes that actually hit the store —
+                // smaller than the payload when the store compresses.
                 let payload = shard_payload(layout, sh);
-                let bytes = payload.len() as u64;
-                h.put(i as u32, &payload)?;
+                let bytes = h.put(i as u32, &payload)?;
                 ctx.metrics.inc("engine.spilled_shards", 1);
                 ctx.metrics.inc("engine.spilled_bytes", bytes);
                 let store_name = h.name();
@@ -285,12 +329,18 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         let in_buf_sets = plan
             .shards
             .iter()
-            .map(|sh| in_bufs_for(&sizes, sh, force))
+            .map(|sh| match &comp {
+                Some(c) => c.in_bufs(&sizes, sh, force),
+                None => in_bufs_for(&sizes, sh, force),
+            })
             .collect();
         let out_buf_sets = plan
             .shards
             .iter()
-            .map(|sh| out_bufs_for(&sizes, sh, force))
+            .map(|sh| match &comp {
+                Some(c) => c.out_bufs(&sizes, sh, force),
+                None => out_bufs_for(&sizes, sh, force),
+            })
             .collect();
         let gather_temp_bufs = plan
             .shards
@@ -310,7 +360,12 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         let out_dst_bufs = plan
             .shards
             .iter()
-            .map(|sh| (sh.num_out_edges() * 4, "out.dst"))
+            .map(|sh| match &comp {
+                // Unfused FrontierActivate re-reads the out topology; under
+                // compression that is the CSR gap stream again.
+                Some(c) => (c.csr_bytes(sh), "out.topo.z"),
+                None => (sh.num_out_edges() * 4, "out.dst"),
+            })
             .collect();
         let frontier_bits_bufs = plan
             .shards
@@ -342,6 +397,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             ckpt_off,
             fingerprint,
             durable_at: restored_boundary,
+            comp,
             store: opts.shard_store.clone(),
             spilled,
             spill_loaded: vec![false; num_shards],
@@ -459,6 +515,10 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             spilled_bytes: metrics.counter("engine.spilled_bytes"),
             spill_loads: metrics.counter("engine.spill_loads"),
             spill_load_bytes: metrics.counter("engine.spill_load_bytes"),
+            compression_codec: self.comp.as_ref().map(|c| c.codec().name()),
+            compressed_bytes: metrics.counter("engine.compressed_bytes"),
+            compressed_raw_bytes: metrics.counter("engine.compressed_raw_bytes"),
+            decompress_launches: metrics.counter("engine.decompress_launches"),
             state_fingerprint: self
                 .fingerprint
                 .is_some()
@@ -474,9 +534,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     }
 
     fn compute_iteration(&mut self, iter: u32) -> Vec<ShardWork> {
+        let view = match &self.comp {
+            Some(c) => c.view(self.layout),
+            None => TopoView::raw(self.layout),
+        };
         self.host.compute_iteration(
             self.program,
-            self.layout,
+            view,
             &self.plan.shards,
             self.opts.host_kernels,
             self.opts.frontier_management,
@@ -835,6 +899,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     let bufs = self.in_buf_sets[i];
                     self.movement
                         .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+                    self.decompress(i, stream, iter, true)?;
                     if self.resident {
                         self.in_cached[i] = true;
                     }
@@ -883,6 +948,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 let bufs = self.out_buf_sets[i];
                 self.movement
                     .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+                self.decompress(i, stream, iter, false)?;
                 if self.resident {
                     self.out_cached[i] = true;
                 }
@@ -935,6 +1001,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let bufs = self.in_buf_sets[i];
             self.movement
                 .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+            self.decompress(i, stream, iter, true)?;
             if has_gather {
                 let (map, _) = self.specs.gather_specs(i, w);
                 self.ctx.launch_tracked(stream, &map, iter, i)?;
@@ -1006,6 +1073,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let bufs = self.out_buf_sets[i];
             self.movement
                 .copy_in(&mut self.ctx, i, stream, bufs.as_slice(), iter)?;
+            self.decompress(i, stream, iter, false)?;
             if has_scatter {
                 let spec = self.specs.scatter_spec(i, w);
                 self.ctx.launch_tracked(stream, &spec, iter, i)?;
@@ -1032,6 +1100,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             let dst = self.out_dst_bufs[i];
             self.movement
                 .copy_in(&mut self.ctx, i, stream, &[dst], iter)?;
+            self.decompress(i, stream, iter, false)?;
             let spec = self.specs.activate_spec(i, w);
             self.ctx.launch_tracked(stream, &spec, iter, i)?;
             let bits = self.frontier_bits_bufs[i];
@@ -1039,6 +1108,43 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 .copy_out(&mut self.ctx, i, stream, &[bits], iter)?;
         }
         self.ctx.sync_and_resolve();
+        Ok(())
+    }
+
+    /// Price the on-device decode of a just-streamed topology gap stream:
+    /// one `decompress` kernel reading the compressed bits and feeding the
+    /// decoded entries to the consuming kernels through on-chip memory,
+    /// plus one DecompressShard decision. No-op without compression — the
+    /// raw paths stay op-for-op identical.
+    fn decompress(
+        &mut self,
+        i: usize,
+        stream: StreamId,
+        iter: u32,
+        in_edges: bool,
+    ) -> Result<(), Abort> {
+        let Some(c) = &self.comp else {
+            return Ok(());
+        };
+        let sh = &self.plan.shards[i];
+        let (edges, z) = if in_edges {
+            (sh.num_in_edges(), c.csc_bytes(sh))
+        } else {
+            (sh.num_out_edges(), c.csr_bytes(sh))
+        };
+        if edges == 0 {
+            return Ok(());
+        }
+        let spec = self.specs.decompress_spec(i, edges, z, in_edges);
+        self.ctx.launch_tracked(stream, &spec, iter, i)?;
+        self.ctx.metrics.inc("engine.decompress_launches", 1);
+        let raw = edges * RAW_TOPO_ENTRY_BYTES;
+        self.observer.decision(|| Decision::DecompressShard {
+            iteration: iter,
+            shard: i as u32,
+            compressed_bytes: z,
+            raw_bytes: raw,
+        });
         Ok(())
     }
 

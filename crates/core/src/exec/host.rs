@@ -11,7 +11,7 @@
 //! milliseconds to the Serial/Dense/Sparse choices — disarmed, each
 //! scope is one branch (see `gr-observe`'s overhead guard).
 
-use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_graph::{Bitmap, GraphLayout, Shard, TopoView};
 use gr_observe::profiler::{WALL_ITERATION, WALL_NO_SHARD};
 use gr_observe::{Decision, MetricsRegistry, Observer, WallKey, WallProfiler};
 
@@ -144,7 +144,7 @@ impl<P: GasProgram> HostState<P> {
     pub(crate) fn compute_iteration(
         &mut self,
         program: &P,
-        layout: &GraphLayout,
+        view: TopoView<'_>,
         shards: &[Shard],
         mode: HostKernels,
         frontier_management: bool,
@@ -159,6 +159,7 @@ impl<P: GasProgram> HostState<P> {
             phase: WALL_ITERATION,
             shape: "",
         });
+        let layout = view.layout();
         let frontier_size = self.frontier.count();
         self.changed.clear_all();
         self.next_frontier.clear_all();
@@ -199,7 +200,7 @@ impl<P: GasProgram> HostState<P> {
                                 .scope(|| phase_key(iter, si as u32, "gather", mode, frontier, sh));
                             let (a, e) = gather_shard(
                                 program,
-                                layout,
+                                view,
                                 sh,
                                 vertex_values,
                                 edge_values,
@@ -221,7 +222,7 @@ impl<P: GasProgram> HostState<P> {
                         .scope(|| phase_key(iter, i as u32, "gather", mode, &self.frontier, sh));
                     let (a, e) = gather_shard(
                         program,
-                        layout,
+                        view,
                         sh,
                         &self.vertex_values,
                         &self.edge_values,
@@ -319,7 +320,7 @@ impl<P: GasProgram> HostState<P> {
                     wall.scope(|| phase_key(iter, i as u32, "scatter", mode, &self.changed, sh));
                 scatter_shard(
                     program,
-                    layout,
+                    view,
                     sh,
                     &self.vertex_values,
                     &mut self.edge_values,
@@ -343,7 +344,7 @@ impl<P: GasProgram> HostState<P> {
                     s.spawn(move |_| {
                         let _w = wall
                             .scope(|| phase_key(iter, si as u32, "activate", mode, changed, sh));
-                        let (walked, _) = activate_shard(layout, sh, changed, &mut slot.1, mode);
+                        let (walked, _) = activate_shard(view, sh, changed, &mut slot.1, mode);
                         slot.0 = walked;
                     });
                 }
@@ -359,7 +360,7 @@ impl<P: GasProgram> HostState<P> {
                 let _w =
                     wall.scope(|| phase_key(iter, i as u32, "activate", mode, &self.changed, sh));
                 let (walked, activated) =
-                    activate_shard(layout, sh, &self.changed, &mut self.next_frontier, mode);
+                    activate_shard(view, sh, &self.changed, &mut self.next_frontier, mode);
                 work[i].out_edges_of_changed = walked;
                 activated_total += activated;
             }

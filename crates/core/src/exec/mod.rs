@@ -17,11 +17,16 @@
 //! 6. [`driver`] — the single-device BSP iteration loop: frontier skip,
 //!    checkpoint/rollback, host fallback, timeline emission.
 //!
+//! [`compress`] sits beside [`plan`] and [`compute`]: pure per-shard byte
+//! accounting over the gap-coded topology (no device state), consumed by
+//! the governor, the movement buffer sets, and the decompress pricing.
+//!
 //! The multi-GPU orchestrator ([`crate::multi`]) sits beside [`driver`]:
 //! it owns N [`device::DeviceCtx`]s plus the exchange/placement logic and
 //! reuses layers 1-4 (and the driver's host-state/rollback helpers)
 //! instead of re-implementing them. See `docs/ARCHITECTURE.md`.
 
+pub mod compress;
 pub mod compute;
 pub mod device;
 pub mod driver;

@@ -86,10 +86,15 @@ pub struct Movement {
     chunked: Vec<bool>,
     staging_bytes: u64,
     // Out-of-host-core spill: shards whose topology was evicted to the
-    // shard store pay a storage read per stream-in. Takes precedence over
-    // the blanket `storage_read_secs_per_byte` (which models a host that
-    // mmaps the whole graph from storage with no store configured).
+    // shard store pay a storage read on their *first* stream-in — the
+    // driver reads each spilled blob back exactly once per run
+    // (`load_spilled`), after which the shard is host-resident, so later
+    // stream-ins are plain PCIe copies. Takes precedence over the blanket
+    // `storage_read_secs_per_byte` (which models a host that mmaps the
+    // whole graph from storage with no store configured and re-reads on
+    // every pass).
     spilled: Vec<bool>,
+    spill_charged: Vec<bool>,
     spill_read_secs_per_byte: Option<f64>,
 }
 
@@ -113,13 +118,16 @@ impl Movement {
             chunked,
             staging_bytes,
             spilled: vec![false; num_shards],
+            spill_charged: vec![false; num_shards],
             spill_read_secs_per_byte: None,
         }
     }
 
-    /// Arm the spill rung: `spilled` shards charge a storage read per
-    /// stream-in, and the blanket whole-graph storage stall (if any) is
-    /// dropped — spilled shards are charged precisely instead.
+    /// Arm the spill rung: `spilled` shards charge one storage read on
+    /// first stream-in, and the blanket whole-graph storage stall (if
+    /// any) is dropped — spilled shards are charged precisely instead.
+    /// A shard therefore pays exactly one of `spill.read` or `ssd.read`
+    /// per load, never both and never twice.
     pub(crate) fn set_spilled(&mut self, spilled: Vec<bool>, read_secs_per_byte: f64) {
         self.spilled = spilled;
         self.spill_read_secs_per_byte = Some(read_secs_per_byte);
@@ -134,7 +142,7 @@ impl Movement {
     /// instead of landing whole (and never spray — the slot is the
     /// contention point).
     pub(crate) fn copy_in(
-        &self,
+        &mut self,
         ctx: &mut DeviceCtx,
         shard: usize,
         stream: StreamId,
@@ -145,16 +153,25 @@ impl Movement {
             return Ok(());
         }
         if self.spilled[shard] {
-            if let Some(per_byte) = self.spill_read_secs_per_byte {
-                let bytes: u64 = bufs.iter().map(|b| b.0).sum();
-                let dur =
-                    self.storage_latency + SimDuration::from_secs_f64(bytes as f64 * per_byte);
-                ctx.stall(stream, dur, "spill.read");
+            // One stall per run: the store read happens once; after it
+            // the payload sits in host RAM (the latch mirrors the
+            // driver's `spill_loaded`). Charging it per stream-in
+            // double-counted the spill on every revisit.
+            if !self.spill_charged[shard] {
+                if let Some(per_byte) = self.spill_read_secs_per_byte {
+                    let bytes: u64 = bufs.iter().map(|b| b.0).sum();
+                    let dur =
+                        self.storage_latency + SimDuration::from_secs_f64(bytes as f64 * per_byte);
+                    ctx.stall(stream, dur, "spill.read");
+                    ctx.metrics.inc("engine.spill_stalls", 1);
+                    self.spill_charged[shard] = true;
+                }
             }
         } else if let Some(per_byte) = self.storage_read_secs_per_byte {
             let bytes: u64 = bufs.iter().map(|b| b.0).sum();
             let dur = self.storage_latency + SimDuration::from_secs_f64(bytes as f64 * per_byte);
             ctx.stall(stream, dur, "ssd.read");
+            ctx.metrics.inc("engine.ssd_stalls", 1);
         }
         if self.chunked[shard] {
             for &(bytes, label) in bufs {

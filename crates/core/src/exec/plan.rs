@@ -18,6 +18,8 @@ use crate::options::Options;
 use crate::recovery::EngineError;
 use crate::sizes::{PartitionPlan, SizeModel};
 
+use super::compress::ShardCompression;
+
 /// The executable plan for one device: the partition (after any governor
 /// degradation) plus per-shard movement verdicts. All-default governed
 /// fields when the device is unconstrained: the governor makes no
@@ -86,16 +88,33 @@ impl Governed {
 /// [`Decision::ShardSplit`], [`Decision::ChunkedXfer`]) and bumps the
 /// matching `engine.*` counter; with no `mem_cap` set this is a single
 /// branch and zero decisions.
+///
+/// With shard compression armed (`comp`), every per-shard cost the ladder
+/// compares against the budget is the *compressed* footprint — compressed
+/// shards stay resident, keep concurrency, or stage whole where raw ones
+/// would split, chunk, or spill. Partitioning itself stays optimistic and
+/// raw ("plan optimistically, govern at runtime").
+#[allow(clippy::too_many_arguments)] // the planning context really is this wide
 pub fn build_exec_plan(
     partition: PartitionPlan,
     sizes: &SizeModel,
     layout: &GraphLayout,
     capacity: u64,
     opts: &Options,
+    comp: Option<&ShardCompression>,
     metrics: &mut MetricsRegistry,
     observer: &Observer,
 ) -> Result<ExecPlan, EngineError> {
     let mut plan = partition;
+    let cost = |s: &Shard| match comp {
+        Some(c) => c.shard_bytes(sizes, s),
+        None => sizes.shard_bytes(s),
+    };
+    if comp.is_some() {
+        // Streaming slots and every rung below budget what actually
+        // crosses PCIe and lands on the device: compressed bytes.
+        plan.max_shard_bytes = plan.shards.iter().map(cost).max().unwrap_or(0);
+    }
     let num_shards = plan.shards.len();
     let mut out = Governed {
         host_run: false,
@@ -137,7 +156,7 @@ pub fn build_exec_plan(
     // Rung 1: residency. Caching every shard needs the whole streaming
     // working set on-device; under pressure, stream instead.
     if opts.cache_resident && plan.all_resident {
-        let total: u64 = plan.shards.iter().map(|s| sizes.shard_bytes(s)).sum();
+        let total: u64 = plan.shards.iter().map(cost).sum();
         if total > budget {
             metrics.inc("engine.mem_pressure", 1);
             observer.decision(|| Decision::MemoryPressure {
@@ -184,7 +203,7 @@ pub fn build_exec_plan(
         .shards
         .iter()
         .enumerate()
-        .map(|(i, s)| (i, sizes.shard_bytes(s)))
+        .map(|(i, s)| (i, cost(s)))
         .filter(|&(_, b)| b > slot_budget)
         .max_by_key(|&(_, b)| b)
     {
@@ -192,7 +211,7 @@ pub fn build_exec_plan(
         let Some((left, right)) = split_shard(layout, &shard) else {
             break;
         };
-        let worst = sizes.shard_bytes(&left).max(sizes.shard_bytes(&right));
+        let worst = cost(&left).max(cost(&right));
         if worst >= bytes {
             // Degenerate split (all mass on one side): no progress.
             break;
@@ -211,12 +230,7 @@ pub fn build_exec_plan(
         for (i, sh) in plan.shards.iter_mut().enumerate() {
             sh.id = i;
         }
-        plan.max_shard_bytes = plan
-            .shards
-            .iter()
-            .map(|s| sizes.shard_bytes(s))
-            .max()
-            .unwrap_or(0);
+        plan.max_shard_bytes = plan.shards.iter().map(cost).max().unwrap_or(0);
         out.chunked = vec![false; plan.shards.len()];
         out.host_shards = vec![false; plan.shards.len()];
         out.spilled = vec![false; plan.shards.len()];
@@ -229,7 +243,7 @@ pub fn build_exec_plan(
     if plan.max_shard_bytes > slot_budget {
         let staging = StagingBuffer::new(slot_budget);
         for (i, sh) in plan.shards.iter().enumerate() {
-            let bytes = sizes.shard_bytes(sh);
+            let bytes = cost(sh);
             if bytes <= slot_budget {
                 continue;
             }

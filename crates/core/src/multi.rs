@@ -29,13 +29,15 @@
 //! results stay bit-identical to the single-device engine and the
 //! sequential oracle.
 //!
-//! Durable checkpoints and the out-of-host-core shard store (see
-//! `docs/DURABILITY.md`) are single-GPU features: this orchestrator
-//! ignores [`crate::Options::checkpoint_policy`] and
-//! [`crate::Options::shard_store`], and the bench CLI rejects the
+//! Durable checkpoints, the out-of-host-core shard store (see
+//! `docs/DURABILITY.md`), and compressed shards (see
+//! `docs/COMPRESSION.md`) are single-GPU features: this orchestrator
+//! ignores [`crate::Options::checkpoint_policy`],
+//! [`crate::Options::shard_store`], and
+//! [`crate::Options::shard_compression`], and the bench CLI rejects the
 //! corresponding flags for multi-GPU runs.
 
-use gr_graph::{split_shard, Bitmap, GraphLayout, Shard};
+use gr_graph::{split_shard, Bitmap, GraphLayout, Shard, TopoView};
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};
 use gr_sim::{DeviceFault, FaultPlan, OutOfMemory, Platform, SimDuration};
 
@@ -290,7 +292,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             // ---- exact BSP computation (once, on the host) ----
             let work = host.compute_iteration(
                 &self.program,
-                self.layout,
+                TopoView::raw(self.layout),
                 shards,
                 HostKernels::Adaptive,
                 true,

@@ -2,9 +2,10 @@
 //! toggleable so the Figure 15 ablation (optimized vs unoptimized GR) and
 //! the design-choice benches can isolate each mechanism.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use gr_graph::{EvenEdgePartition, PartitionLogic};
+use gr_graph::{CompressionCodec, EvenEdgePartition, PartitionLogic};
 use gr_sim::FaultPlan;
 
 use crate::recovery::RecoveryPolicy;
@@ -165,6 +166,17 @@ pub struct Options {
     /// the memory ladder. `None` (the default) keeps the blanket
     /// storage-stall model for graphs that exceed host RAM.
     pub shard_store: Option<ShardStoreHandle>,
+    /// Gap + varint/ζ compression for shard topology on the PCIe and
+    /// spill paths (`docs/COMPRESSION.md`). `None` (the default) ships raw
+    /// `(neighbor, edge id)` buffers; `Some(codec)` ships bit-packed gap
+    /// streams, charges a `decompress` kernel per shard-load, and lets the
+    /// memory governor budget in compressed bytes. Results are
+    /// bit-identical either way. Single-GPU path only.
+    pub shard_compression: Option<CompressionCodec>,
+    /// Directory behind [`Options::with_spill_dir`], remembered so a later
+    /// [`Options::with_shard_compression`] can rebuild the
+    /// [`FileShardStore`] with the codec regardless of builder order.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Options {
@@ -189,6 +201,8 @@ impl Options {
             mem_cap: None,
             checkpoint_policy: CheckpointPolicy::InMemoryOnly,
             shard_store: None,
+            shard_compression: None,
+            spill_dir: None,
         }
     }
 
@@ -215,6 +229,8 @@ impl Options {
             mem_cap: None,
             checkpoint_policy: CheckpointPolicy::InMemoryOnly,
             shard_store: None,
+            shard_compression: None,
+            spill_dir: None,
         }
     }
 
@@ -311,10 +327,32 @@ impl Options {
     }
 
     /// Convenience: spill evicted shards to checksummed files under `dir`
-    /// (a [`FileShardStore`]).
-    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
-        self.shard_store = Some(ShardStoreHandle::new(FileShardStore::new(dir.into())));
+    /// (a [`FileShardStore`], GRS2-framed through the active codec when
+    /// compression is on).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self.rebuild_spill_store();
         self
+    }
+
+    /// Compress shard topology with `codec` on the PCIe and spill paths
+    /// (see [`Options::shard_compression`]).
+    pub fn with_shard_compression(mut self, codec: CompressionCodec) -> Self {
+        self.shard_compression = Some(codec);
+        self.rebuild_spill_store();
+        self
+    }
+
+    /// Re-derive the [`FileShardStore`] from `spill_dir` + the active
+    /// codec, so `with_spill_dir` and `with_shard_compression` compose in
+    /// either order. A custom [`Options::with_shard_store`] is left alone.
+    fn rebuild_spill_store(&mut self) {
+        if let Some(dir) = &self.spill_dir {
+            self.shard_store = Some(ShardStoreHandle::new(FileShardStore::with_codec(
+                dir.clone(),
+                self.shard_compression,
+            )));
+        }
     }
 }
 
@@ -376,6 +414,24 @@ mod tests {
         assert_eq!(o.shard_store.as_ref().unwrap().name(), "file");
         let o = o.with_shard_store(crate::store::MemShardStore::new());
         assert_eq!(o.shard_store.as_ref().unwrap().name(), "mem");
+    }
+
+    #[test]
+    fn compression_composes_with_spill_dir_in_either_order() {
+        for o in [Options::optimized(), Options::unoptimized()] {
+            assert!(o.shard_compression.is_none());
+            assert!(o.spill_dir.is_none());
+        }
+        let a = Options::optimized()
+            .with_spill_dir("/tmp/gr-spill")
+            .with_shard_compression(CompressionCodec::Varint);
+        let b = Options::optimized()
+            .with_shard_compression(CompressionCodec::Varint)
+            .with_spill_dir("/tmp/gr-spill");
+        for o in [a, b] {
+            assert_eq!(o.shard_compression, Some(CompressionCodec::Varint));
+            assert_eq!(o.shard_store.as_ref().unwrap().name(), "file");
+        }
     }
 
     #[test]

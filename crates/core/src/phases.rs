@@ -30,7 +30,7 @@
 //! kernel cost specs, so the simulated timeline never depends on which
 //! host variant computed the results.
 
-use gr_graph::{Bitmap, GraphLayout, Shard};
+use gr_graph::{Bitmap, Shard, TopoView};
 use rayon::prelude::*;
 
 use crate::api::GasProgram;
@@ -140,12 +140,15 @@ impl<T> SharedSliceMut<T> {
 /// computed per destination vertex (the reduction is associative and
 /// commutative, so folding in CSC order is equivalent).
 ///
+/// Topology is read through `view` — raw CSC slices or lazily decoded
+/// compressed rows; both yield entries in identical order.
+///
 /// `gather_out` is the interval's slice of the gather-temp array; only the
 /// slots of active vertices are written, in every mode.
 #[allow(clippy::too_many_arguments)] // mirrors the phase's real data flow
 pub fn gather_shard<P: GasProgram>(
     program: &P,
-    layout: &GraphLayout,
+    view: TopoView<'_>,
     shard: &Shard,
     vertex_values: &[P::VertexValue],
     edge_values: &[P::EdgeValue],
@@ -161,10 +164,10 @@ pub fn gather_shard<P: GasProgram>(
     let gather_one = |v: u32| -> (P::Gather, u64) {
         let mut acc = program.gather_identity();
         let dst_val = vertex_values[v as usize];
-        let range = layout.csc.range(v);
-        let edges = range.len() as u64;
-        for eid in range {
-            let src = layout.csc.neighbors[eid];
+        let mut edges = 0u64;
+        for (src, eid) in view.csc_entries(v) {
+            let eid = eid as usize;
+            edges += 1;
             acc = program.gather_reduce(
                 acc,
                 program.gather_map(
@@ -291,7 +294,7 @@ pub fn apply_shard<P: GasProgram>(
 /// vertices land on disjoint `edge_values` slots.
 pub fn scatter_shard<P: GasProgram>(
     program: &P,
-    layout: &GraphLayout,
+    view: TopoView<'_>,
     shard: &Shard,
     vertex_values: &[P::VertexValue],
     edge_values: &mut [P::EdgeValue],
@@ -309,7 +312,7 @@ pub fn scatter_shard<P: GasProgram>(
                     continue;
                 }
                 let src_val = &vertex_values[v as usize];
-                for (dst, eid) in layout.csr.entries(v) {
+                for (dst, eid) in view.csr_entries(v) {
                     let dst_val = vertex_values[dst as usize];
                     program.scatter(src_val, &dst_val, &mut edge_values[eid as usize]);
                     n += 1;
@@ -321,7 +324,7 @@ pub fn scatter_shard<P: GasProgram>(
             let mut n = 0;
             for v in changed.iter_set_range(start, end) {
                 let src_val = &vertex_values[v as usize];
-                for (dst, eid) in layout.csr.entries(v) {
+                for (dst, eid) in view.csr_entries(v) {
                     let dst_val = vertex_values[dst as usize];
                     program.scatter(src_val, &dst_val, &mut edge_values[eid as usize]);
                     n += 1;
@@ -340,7 +343,7 @@ pub fn scatter_shard<P: GasProgram>(
                     }
                     let src_val = &vertex_values[v as usize];
                     let mut n = 0u64;
-                    for (dst, eid) in layout.csr.entries(v) {
+                    for (dst, eid) in view.csr_entries(v) {
                         let dst_val = vertex_values[dst as usize];
                         // SAFETY: canonical edge ids of distinct source
                         // vertices are disjoint (each edge appears once in
@@ -368,7 +371,7 @@ pub fn scatter_shard<P: GasProgram>(
 /// order; `activated` falls out as the merge's popcount delta, identical to
 /// the serial count of newly set bits.
 pub fn activate_shard(
-    layout: &GraphLayout,
+    view: TopoView<'_>,
     shard: &Shard,
     changed: &Bitmap,
     next_frontier: &mut Bitmap,
@@ -385,7 +388,7 @@ pub fn activate_shard(
         let mut walked = 0;
         let mut activated = 0;
         for v in vertices {
-            for (dst, _eid) in layout.csr.entries(v) {
+            for (dst, _eid) in view.csr_entries(v) {
                 walked += 1;
                 // Branch instead of `+= u64::from(..)`: see Bitmap::set for
                 // the rustc 1.95 release-mode miscompile this avoids.
@@ -423,7 +426,7 @@ pub fn activate_shard(
                             if !changed.get(v) {
                                 continue;
                             }
-                            for (dst, _eid) in layout.csr.entries(v) {
+                            for (dst, _eid) in view.csr_entries(v) {
                                 walked += 1;
                                 part.1.set(dst);
                             }
@@ -449,7 +452,7 @@ pub fn activate_shard(
 mod tests {
     use super::*;
     use crate::api::InitialFrontier;
-    use gr_graph::{build_shards, EdgeList, Interval, VertexId};
+    use gr_graph::{build_shards, EdgeList, GraphLayout, Interval, VertexId};
 
     /// Min-label propagation (Connected Components core).
     struct MinLabel;
@@ -530,7 +533,7 @@ mod tests {
                 let iv = sh.interval;
                 let (a, e) = gather_shard(
                     &p,
-                    &layout,
+                    TopoView::raw(&layout),
                     sh,
                     &values,
                     &edge_vals,
@@ -582,7 +585,7 @@ mod tests {
                 let iv = sh.interval;
                 let (a, _) = gather_shard(
                     &p,
-                    &layout,
+                    TopoView::raw(&layout),
                     sh,
                     &values,
                     &edge_vals,
@@ -608,7 +611,7 @@ mod tests {
             let mut walked = 0;
             let mut activated = 0;
             for sh in &shards {
-                let (w, a) = activate_shard(&layout, sh, &changed, &mut next, mode);
+                let (w, a) = activate_shard(TopoView::raw(&layout), sh, &changed, &mut next, mode);
                 walked += w;
                 activated += a;
             }
@@ -673,7 +676,15 @@ mod tests {
             let changed = Bitmap::full(4);
             let mut n = 0;
             for sh in &shards {
-                n += scatter_shard(&p, &layout, sh, &values, &mut edge_vals, &changed, mode);
+                n += scatter_shard(
+                    &p,
+                    TopoView::raw(&layout),
+                    sh,
+                    &values,
+                    &mut edge_vals,
+                    &changed,
+                    mode,
+                );
             }
             assert_eq!(n, 6, "{mode:?}");
             // Every edge now stamped with its source's value; verify via CSC.

@@ -112,6 +112,19 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
             stats.spill_load_bytes
         ));
     }
+    // Compression section: present only when a shard codec was armed
+    // (uncompressed runs emit the byte-identical report they always did).
+    if let Some(codec) = stats.compression_codec {
+        out.push_str(&format!(
+            "  \"compression\": {{\"codec\": {}, \"compressed_bytes\": {}, \
+             \"raw_bytes\": {}, \"ratio\": {}, \"decompress_launches\": {}}},\n",
+            json::string(codec),
+            stats.compressed_bytes,
+            stats.compressed_raw_bytes,
+            json::number(stats.compression_ratio().unwrap_or(0.0)),
+            stats.decompress_launches
+        ));
+    }
     if let Some(fp) = stats.state_fingerprint {
         out.push_str(&format!("  \"state_fingerprint\": \"{fp:#018x}\",\n"));
     }
@@ -194,7 +207,9 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
             | Decision::ShardSpill { .. }
             | Decision::ShardLoad { .. }
             | Decision::CheckpointWrite { .. }
-            | Decision::CheckpointRestore { .. } => None,
+            | Decision::CheckpointRestore { .. }
+            | Decision::CompressShard { .. }
+            | Decision::DecompressShard { .. } => None,
         })
         .collect();
     // Durability decisions appear in the summary only when any were made
@@ -205,13 +220,21 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
     } else {
         String::new()
     };
+    // Same rule for compression: counted only when a codec was armed.
+    let compression = rec.compression_decisions();
+    let compression_field = if compression > 0 {
+        format!("\"compression_decisions\": {compression}, ")
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
         "  \"decisions\": {{\"shard_skips\": {}, \"recovery_decisions\": {}, \
-         \"memory_decisions\": {}, {}\"plan\": [\n{}\n    ]}},\n",
+         \"memory_decisions\": {}, {}{}\"plan\": [\n{}\n    ]}},\n",
         rec.shard_skips(),
         rec.recovery_decisions(),
         rec.memory_decisions(),
         durability_field,
+        compression_field,
         plan.join(",\n")
     ));
 
@@ -404,6 +427,24 @@ mod tests {
         assert!(rep.contains("\"threads\": 2"));
         assert!(rep.contains("\"imbalance\": 1.5"));
         assert!(rep.contains("{\"phase\":\"gather\",\"self_ns\":3000000}"));
+        assert_eq!(rep.matches('{').count(), rep.matches('}').count());
+    }
+
+    #[test]
+    fn compression_section_only_appears_when_a_codec_was_armed() {
+        let rec = recorded();
+        let clean = run_report(&stats(), &rec);
+        assert!(!clean.contains("\"compression\""), "uncompressed unchanged");
+        let mut s = stats();
+        s.compression_codec = Some("zeta3");
+        s.compressed_bytes = 250;
+        s.compressed_raw_bytes = 1000;
+        s.decompress_launches = 8;
+        let rep = run_report(&s, &rec);
+        assert!(rep.contains(
+            "\"compression\": {\"codec\": \"zeta3\", \"compressed_bytes\": 250, \
+             \"raw_bytes\": 1000, \"ratio\": 4.0, \"decompress_launches\": 8}"
+        ));
         assert_eq!(rep.matches('{').count(), rep.matches('}').count());
     }
 

@@ -93,6 +93,17 @@ pub struct RunStats {
     pub spill_loads: u64,
     /// Total payload bytes read back from the store.
     pub spill_load_bytes: u64,
+    /// Codec name when shard compression was armed
+    /// ([`Options::with_shard_compression`](crate::Options)), else `None`.
+    pub compression_codec: Option<&'static str>,
+    /// Total compressed buffer-set bytes across shards (what actually
+    /// ships per full sweep). 0 without compression.
+    pub compressed_bytes: u64,
+    /// What the raw buffer sets would have shipped instead — the
+    /// numerator of [`RunStats::compression_ratio`].
+    pub compressed_raw_bytes: u64,
+    /// On-device decode kernels launched (one per topology stream-in).
+    pub decompress_launches: u64,
     /// Order-independent FNV-1a hash of the final vertex values, for
     /// cheap bit-identity comparison across kill-restart and spill runs.
     /// `None` unless durability or spill was armed.
@@ -140,6 +151,14 @@ impl RunStats {
     /// shard splits + chunked shards). 0 whenever capacity was ample.
     pub fn governor_decisions(&self) -> u64 {
         self.mem_pressure_events + self.shard_splits + self.chunked_shards
+    }
+
+    /// Raw-over-compressed shard byte ratio (e.g. 4.0 = shards shrank
+    /// 4x on the wire). `None` when compression was off or shipped
+    /// nothing.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        (self.compression_codec.is_some() && self.compressed_bytes > 0)
+            .then(|| self.compressed_raw_bytes as f64 / self.compressed_bytes as f64)
     }
 
     /// Fraction of wall time the copy engines were busy (the paper reports
@@ -242,6 +261,20 @@ impl std::fmt::Display for RunStats {
             if let Some(fp) = self.state_fingerprint {
                 write!(f, "\n  state fingerprint: {fp:#018x}")?;
             }
+        }
+        // Compression is opt-in: uncompressed output stays byte-identical.
+        if let Some(codec) = self.compression_codec {
+            write!(
+                f,
+                "\n  compression: {codec} | shards {:.2} MB -> {:.2} MB{} | {} decompress launches",
+                self.compressed_raw_bytes as f64 / 1e6,
+                self.compressed_bytes as f64 / 1e6,
+                match self.compression_ratio() {
+                    Some(r) => format!(" ({r:.2}x)"),
+                    None => String::new(),
+                },
+                self.decompress_launches
+            )?;
         }
         // And for the wall profile: runs without an armed profiler print
         // exactly what they always printed.
@@ -346,6 +379,27 @@ mod tests {
         );
         assert!(durable.contains("4 shards spilled (8.00 MB), 2 loaded back (4.00 MB)"));
         assert!(durable.contains("state fingerprint: 0x00000000deadbeef"));
+    }
+
+    #[test]
+    fn compression_line_only_appears_when_compression_was_armed() {
+        let clean = RunStats::default().to_string();
+        assert!(!clean.contains("compression:"), "{clean}");
+        assert_eq!(RunStats::default().compression_ratio(), None);
+        let compressed = RunStats {
+            compression_codec: Some("zeta3"),
+            compressed_raw_bytes: 12_000_000,
+            compressed_bytes: 3_000_000,
+            decompress_launches: 16,
+            ..Default::default()
+        };
+        assert!((compressed.compression_ratio().unwrap() - 4.0).abs() < 1e-9);
+        let line = compressed.to_string();
+        assert!(
+            line.contains("compression: zeta3 | shards 12.00 MB -> 3.00 MB (4.00x)"),
+            "{line}"
+        );
+        assert!(line.contains("16 decompress launches"));
     }
 
     #[test]

@@ -16,13 +16,18 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use gr_graph::compress::{unzigzag, zigzag, BitReader, BitWriter};
+use gr_graph::CompressionCodec;
 use gr_graph::GraphLayout;
 use gr_graph::Shard;
 
 use crate::snapshot::fnv1a;
 
-/// Magic bytes opening every file-backed shard blob.
+/// Magic bytes opening every v1 (uncompressed) file-backed shard blob.
 pub const SHARD_MAGIC: [u8; 4] = *b"GRSH";
+
+/// Magic bytes opening every v2 (codec-framed) file-backed shard blob.
+pub const SHARD_MAGIC_V2: [u8; 4] = *b"GRS2";
 
 /// Why a shard could not be spilled or loaded. Like
 /// [`SnapshotError`](crate::snapshot::SnapshotError), every variant names
@@ -105,7 +110,10 @@ pub trait ShardStore: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Persist `payload` for `shard`, replacing any previous blob.
-    fn put(&self, shard: u32, payload: &[u8]) -> Result<(), StoreError>;
+    /// Returns the payload bytes actually held by the store — smaller
+    /// than `payload.len()` when the store compresses, so spilled-byte
+    /// accounting reflects what really hit the medium.
+    fn put(&self, shard: u32, payload: &[u8]) -> Result<u64, StoreError>;
 
     /// Fetch the blob previously stored for `shard`.
     fn get(&self, shard: u32) -> Result<Vec<u8>, StoreError>;
@@ -158,12 +166,12 @@ impl ShardStore for MemShardStore {
         "mem"
     }
 
-    fn put(&self, shard: u32, payload: &[u8]) -> Result<(), StoreError> {
+    fn put(&self, shard: u32, payload: &[u8]) -> Result<u64, StoreError> {
         self.blobs
             .lock()
             .expect("shard store poisoned")
             .insert(shard, payload.to_vec());
-        Ok(())
+        Ok(payload.len() as u64)
     }
 
     fn get(&self, shard: u32) -> Result<Vec<u8>, StoreError> {
@@ -183,17 +191,40 @@ impl ShardStore for MemShardStore {
     }
 }
 
-/// File-backed store: one blob per shard under a directory, each framed
-/// `GRSH | shard u32 | len u64 | payload | fnv1a u64` and written
+/// File-backed store: one blob per shard under a directory, written
 /// temp-file + rename like snapshots, so a crash mid-spill never leaves a
-/// readable-but-wrong blob.
+/// readable-but-wrong blob. Two frame versions coexist:
+///
+/// - v1 (no codec): `GRSH | shard u32 | len u64 | payload | fnv1a u64`;
+/// - v2 (codec armed): `GRS2 | shard u32 | clen u64 | rawlen u64 |
+///   codec u8 | zpayload | fnv1a u64`, where `zpayload` is the payload's
+///   u32 little-endian words stride-2 delta-coded (shard payloads
+///   interleave `(neighbor, edge id)` pairs, so same-lane deltas are
+///   small), zig-zagged, and run through the named [`CompressionCodec`].
+///
+/// Reads dispatch on the magic, so a store armed with a codec still
+/// loads blobs an uncompressed run left behind.
 pub struct FileShardStore {
     dir: PathBuf,
+    codec: Option<CompressionCodec>,
 }
 
 impl FileShardStore {
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        FileShardStore { dir: dir.into() }
+        FileShardStore {
+            dir: dir.into(),
+            codec: None,
+        }
+    }
+
+    /// A store writing v2 codec frames (`None` behaves like [`new`]).
+    ///
+    /// [`new`]: FileShardStore::new
+    pub fn with_codec(dir: impl Into<PathBuf>, codec: Option<CompressionCodec>) -> Self {
+        FileShardStore {
+            dir: dir.into(),
+            codec,
+        }
     }
 
     fn path_for(&self, shard: u32) -> PathBuf {
@@ -216,16 +247,33 @@ impl ShardStore for FileShardStore {
         "file"
     }
 
-    fn put(&self, shard: u32, payload: &[u8]) -> Result<(), StoreError> {
+    fn put(&self, shard: u32, payload: &[u8]) -> Result<u64, StoreError> {
         fs::create_dir_all(&self.dir)
             .map_err(|e| self.io(shard, &self.dir, "create directory", e))?;
         let finalp = self.path_for(shard);
         let tmp = finalp.with_extension("grsh.tmp");
-        let mut framed = Vec::with_capacity(payload.len() + 24);
-        framed.extend_from_slice(&SHARD_MAGIC);
-        framed.extend_from_slice(&shard.to_le_bytes());
-        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        framed.extend_from_slice(payload);
+        let (mut framed, stored_len) = match self.codec {
+            None => {
+                let mut framed = Vec::with_capacity(payload.len() + 24);
+                framed.extend_from_slice(&SHARD_MAGIC);
+                framed.extend_from_slice(&shard.to_le_bytes());
+                framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                framed.extend_from_slice(payload);
+                (framed, payload.len() as u64)
+            }
+            Some(codec) => {
+                let z = compress_payload(codec, payload);
+                let mut framed = Vec::with_capacity(z.len() + 33);
+                framed.extend_from_slice(&SHARD_MAGIC_V2);
+                framed.extend_from_slice(&shard.to_le_bytes());
+                framed.extend_from_slice(&(z.len() as u64).to_le_bytes());
+                framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                framed.push(codec_tag(codec));
+                let stored = z.len() as u64;
+                framed.extend_from_slice(&z);
+                (framed, stored)
+            }
+        };
         let checksum = fnv1a(&framed);
         framed.extend_from_slice(&checksum.to_le_bytes());
         {
@@ -235,7 +283,7 @@ impl ShardStore for FileShardStore {
             f.sync_all().map_err(|e| self.io(shard, &tmp, "sync", e))?;
         }
         fs::rename(&tmp, &finalp).map_err(|e| self.io(shard, &finalp, "rename into place", e))?;
-        Ok(())
+        Ok(stored_len)
     }
 
     fn get(&self, shard: u32) -> Result<Vec<u8>, StoreError> {
@@ -247,7 +295,8 @@ impl ShardStore for FileShardStore {
             }
             Err(e) => return Err(self.io(shard, &path, "read", e)),
         };
-        // Frame: 4 magic + 4 shard + 8 len + payload + 8 checksum.
+        // Both frames open `magic(4) | shard(4)` and close `fnv1a(8)`;
+        // dispatch on the magic so either vintage reads back.
         if buf.len() < 24 {
             return Err(StoreError::ShortRead {
                 shard,
@@ -256,13 +305,17 @@ impl ShardStore for FileShardStore {
                 needed: (24 - buf.len()) as u64,
             });
         }
-        if buf[..4] != SHARD_MAGIC {
+        let v2 = if buf[..4] == SHARD_MAGIC {
+            false
+        } else if buf[..4] == SHARD_MAGIC_V2 {
+            true
+        } else {
             return Err(StoreError::Corrupt {
                 shard,
                 path,
                 what: "magic",
             });
-        }
+        };
         let stored_shard = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         if stored_shard != shard {
             return Err(StoreError::Corrupt {
@@ -271,8 +324,19 @@ impl ShardStore for FileShardStore {
                 what: "shard id",
             });
         }
+        // Header past the shard id: v1 is `len u64`; v2 is
+        // `clen u64 | rawlen u64 | codec u8`.
+        let header = if v2 { 25usize } else { 16 };
+        if buf.len() < header + 8 {
+            return Err(StoreError::ShortRead {
+                shard,
+                path,
+                offset: buf.len() as u64,
+                needed: (header + 8 - buf.len()) as u64,
+            });
+        }
         let len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
-        let total = 16usize.checked_add(len).and_then(|t| t.checked_add(8));
+        let total = header.checked_add(len).and_then(|t| t.checked_add(8));
         match total {
             Some(t) if t == buf.len() => {}
             Some(t) if t > buf.len() => {
@@ -300,12 +364,89 @@ impl ShardStore for FileShardStore {
                 what: "checksum",
             });
         }
-        Ok(body[16..].to_vec())
+        if !v2 {
+            return Ok(body[16..].to_vec());
+        }
+        let rawlen = u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize;
+        let Some(codec) = codec_from_tag(buf[24]) else {
+            return Err(StoreError::Corrupt {
+                shard,
+                path,
+                what: "codec tag",
+            });
+        };
+        Ok(decompress_payload(codec, &body[header..], rawlen))
     }
 
     fn contains(&self, shard: u32) -> bool {
         self.path_for(shard).exists()
     }
+}
+
+/// Frame byte naming the v2 codec: 0 = varint, `k` = ζ_k.
+fn codec_tag(codec: CompressionCodec) -> u8 {
+    match codec {
+        CompressionCodec::Varint => 0,
+        CompressionCodec::Zeta(k) => k.clamp(1, 8) as u8,
+    }
+}
+
+fn codec_from_tag(tag: u8) -> Option<CompressionCodec> {
+    match tag {
+        0 => Some(CompressionCodec::Varint),
+        k @ 1..=8 => Some(CompressionCodec::Zeta(k as u32)),
+        _ => None,
+    }
+}
+
+/// Compress an opaque shard payload for a v2 frame: the payload's u32
+/// little-endian words stride-2 delta-coded against the previous word in
+/// the same lane (payloads interleave `(neighbor, eid)` pairs, so lane
+/// deltas are the same small gaps the shard codecs were built for),
+/// zig-zagged, and written through `codec`. A non-multiple-of-4 tail
+/// rides as raw bytes after the coded words.
+fn compress_payload(codec: CompressionCodec, payload: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let words = payload.len() / 4;
+    let mut prev = [0u32; 2];
+    for i in 0..words {
+        let word = u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap());
+        codec.write(&mut w, zigzag(word as i64 - prev[i % 2] as i64));
+        prev[i % 2] = word;
+    }
+    for &b in &payload[words * 4..] {
+        w.write_bits(b as u64, 8);
+    }
+    let bit_len = w.bit_len();
+    let mut out = Vec::with_capacity(bit_len.div_ceil(8) as usize);
+    for word in w.finish() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.truncate(bit_len.div_ceil(8) as usize);
+    out
+}
+
+/// Exact inverse of [`compress_payload`]; `rawlen` comes from the frame
+/// header (the checksum has already vouched for both by the time this
+/// runs).
+fn decompress_payload(codec: CompressionCodec, z: &[u8], rawlen: usize) -> Vec<u8> {
+    let mut bits = vec![0u64; z.len().div_ceil(8)];
+    for (i, &b) in z.iter().enumerate() {
+        bits[i / 8] |= (b as u64) << ((i % 8) * 8);
+    }
+    let mut r = BitReader::new(&bits, 0);
+    let words = rawlen / 4;
+    let mut out = Vec::with_capacity(rawlen);
+    let mut prev = [0u32; 2];
+    for i in 0..words {
+        let word = (prev[i % 2] as i64 + unzigzag(codec.read(&mut r))) as u32;
+        out.extend_from_slice(&word.to_le_bytes());
+        prev[i % 2] = word;
+    }
+    for _ in 0..rawlen % 4 {
+        out.push(r.read_bits(8) as u8);
+    }
+    out
 }
 
 /// Serialize a shard's topology — its slice of the CSC/CSR adjacency as
@@ -406,6 +547,94 @@ mod tests {
                 ..
             })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_frames_round_trip_and_shrink_real_payloads() {
+        let layout = GraphLayout::build(&gr_graph::gen::rmat_g500(9, 4096, 7).symmetrize());
+        let shards = gr_graph::partition_into_shards(&layout, &gr_graph::EvenEdgePartition, 4);
+        let dir = tmpdir("v2");
+        for codec in [CompressionCodec::Varint, CompressionCodec::Zeta(3)] {
+            let s = FileShardStore::with_codec(&dir, Some(codec));
+            for (i, sh) in shards.iter().enumerate() {
+                let payload = shard_payload(&layout, sh);
+                let stored = s.put(i as u32, &payload).unwrap();
+                assert!(
+                    stored < payload.len() as u64,
+                    "{}: stored {stored} >= raw {}",
+                    codec.name(),
+                    payload.len()
+                );
+                assert_eq!(s.get(i as u32).unwrap(), payload, "{}", codec.name());
+            }
+        }
+        // Odd-length payloads (raw tail bytes) survive too.
+        let s = FileShardStore::with_codec(&dir, Some(CompressionCodec::Varint));
+        for odd in [b"x".as_slice(), b"seven by", b"payload bytes here!"] {
+            s.put(9, odd).unwrap();
+            assert_eq!(s.get(9).unwrap(), odd);
+        }
+        s.put(9, &[]).unwrap();
+        assert_eq!(s.get(9).unwrap(), Vec::<u8>::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn codec_armed_store_still_reads_v1_blobs() {
+        let dir = tmpdir("compat");
+        let v1 = FileShardStore::new(&dir);
+        assert_eq!(v1.put(2, b"written before the codec era").unwrap(), 28);
+        let v2 = FileShardStore::with_codec(&dir, Some(CompressionCodec::Zeta(3)));
+        assert!(v2.contains(2));
+        assert_eq!(v2.get(2).unwrap(), b"written before the codec era");
+        // And the reverse: a codec-less store reads v2 frames (the codec
+        // rides in the frame, not the store config).
+        v2.put(3, b"compressed frame").unwrap();
+        assert_eq!(v1.get(3).unwrap(), b"compressed frame");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_frames_detect_truncation_and_bit_flips() {
+        let dir = tmpdir("v2corrupt");
+        let s = FileShardStore::with_codec(&dir, Some(CompressionCodec::Zeta(3)));
+        s.put(5, b"payload bytes here, long enough to damage")
+            .unwrap();
+        let path = dir.join("shard-000005.grsh");
+        let good = fs::read(&path).unwrap();
+
+        // Bit flip inside the compressed payload -> checksum, never a
+        // garbage decode.
+        let mut bad = good.clone();
+        bad[28] ^= 0x10;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            s.get(5),
+            Err(StoreError::Corrupt {
+                what: "checksum",
+                ..
+            })
+        ));
+
+        // Flip the codec tag (byte 24) -> checksum catches that too.
+        let mut bad = good.clone();
+        bad[24] ^= 0xff;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(s.get(5), Err(StoreError::Corrupt { .. })));
+
+        // Truncation -> short read with offsets.
+        fs::write(&path, &good[..good.len() - 3]).unwrap();
+        match s.get(5) {
+            Err(StoreError::ShortRead { needed, .. }) => assert_eq!(needed, 3),
+            other => panic!("expected short read, got {other:?}"),
+        }
+
+        fs::write(&path, &good).unwrap();
+        assert_eq!(
+            s.get(5).unwrap(),
+            b"payload bytes here, long enough to damage"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

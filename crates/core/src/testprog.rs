@@ -9,6 +9,7 @@ use crate::api::{GasProgram, InitialFrontier};
 
 /// Connected components (min-label flooding): touches every phase the
 /// engine has — gather, apply, activate — so faults can land anywhere.
+#[derive(Clone, Copy)]
 pub struct Cc;
 
 impl GasProgram for Cc {
@@ -97,6 +98,7 @@ impl GasProgram for Bfs {
 }
 
 /// SSSP: Bellman-Ford relaxation over static edge weights, from a source.
+#[derive(Clone, Copy)]
 pub struct Sssp(pub u32);
 
 impl GasProgram for Sssp {

@@ -800,6 +800,25 @@ fn assert_spill_run_bit_identical(opts: Options, tag: &str) {
         "{tag}: one decision per spill"
     );
     assert_eq!(loads, out.stats.spill_loads, "{tag}: one decision per load");
+    // Stall accounting: a streamed-back shard is charged exactly one
+    // spill.read per load — never one per stream-in (the old
+    // double-count) and never the blanket ssd.read on top.
+    let engine = rec
+        .snapshots
+        .iter()
+        .find(|(scope, _)| scope == "engine")
+        .map(|(_, snap)| snap)
+        .expect("engine metrics snapshot");
+    assert_eq!(
+        engine.counter("engine.spill_stalls"),
+        out.stats.spill_loads,
+        "{tag}: one spill.read stall per load"
+    );
+    assert_eq!(
+        engine.counter("engine.ssd_stalls"),
+        0,
+        "{tag}: spill-armed runs never also pay the blanket ssd.read"
+    );
     // Durability decisions are a separate class: the governor invariant
     // (one memory decision per response) and the chaos invariant (one
     // recovery decision per fault) both hold untouched.

@@ -17,6 +17,7 @@
 //! * [`frontier`] — dense bitmaps with ranged popcounts for frontier
 //!   tracking.
 
+pub mod compress;
 pub mod csr;
 pub mod datasets;
 pub mod edgelist;
@@ -26,6 +27,7 @@ pub mod partition;
 pub mod shard;
 pub mod stats;
 
+pub use compress::{CompressedTopology, CompressionCodec, TopoView};
 pub use csr::{Adjacency, GraphLayout};
 pub use datasets::{dataset_bytes, in_memory_bytes, Dataset};
 pub use edgelist::{EdgeList, VertexId};

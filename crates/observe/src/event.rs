@@ -216,6 +216,30 @@ pub enum Decision {
         bytes: u64,
         store: &'static str,
     },
+    /// A shard's topology was gap-coded under the run's codec: raw
+    /// `(neighbor, edge id)` sub-arrays replaced by a bit-packed stream
+    /// on the PCIe and spill paths. Exactly one decision per shard, at
+    /// plan time.
+    CompressShard {
+        shard: u32,
+        /// What the full raw buffer set would have shipped.
+        raw_bytes: u64,
+        /// What the compressed buffer set ships instead.
+        compressed_bytes: u64,
+        /// Codec name, e.g. `"varint"` or `"zeta3"`.
+        codec: &'static str,
+    },
+    /// A just-streamed gap stream was decoded on-device: the compute
+    /// half of the compression tradeoff, one decision per topology
+    /// stream-in (so resident runs log one per shard per direction).
+    DecompressShard {
+        iteration: u32,
+        shard: u32,
+        /// Gap-stream bytes the decode kernel read.
+        compressed_bytes: u64,
+        /// Decoded entry bytes it produced for the consuming kernels.
+        raw_bytes: u64,
+    },
     /// A durable checkpoint snapshot was written (atomically) to disk.
     /// Exactly one decision per snapshot file.
     CheckpointWrite {
@@ -276,6 +300,17 @@ impl Decision {
                 | Decision::ShardLoad { .. }
                 | Decision::CheckpointWrite { .. }
                 | Decision::CheckpointRestore { .. }
+        )
+    }
+
+    /// True for shard-compression decisions (plan-time encode accounting
+    /// and per-stream-in decode charges). A class of its own so the
+    /// durability and governor audit invariants stay exact when
+    /// compression is armed.
+    pub fn is_compression(&self) -> bool {
+        matches!(
+            self,
+            Decision::CompressShard { .. } | Decision::DecompressShard { .. }
         )
     }
 }
@@ -397,6 +432,30 @@ mod tests {
             assert!(d.is_durability());
             assert!(!d.is_memory(), "durability is not governor pressure");
             assert!(!d.is_recovery(), "durability is not fault recovery");
+            assert!(!d.is_shard_skip());
+            assert!(!d.is_compression());
+        }
+    }
+
+    #[test]
+    fn compression_classification() {
+        let compress = Decision::CompressShard {
+            shard: 1,
+            raw_bytes: 12_000,
+            compressed_bytes: 3_000,
+            codec: "zeta3",
+        };
+        let decompress = Decision::DecompressShard {
+            iteration: 2,
+            shard: 1,
+            compressed_bytes: 3_000,
+            raw_bytes: 12_000,
+        };
+        for d in [&compress, &decompress] {
+            assert!(d.is_compression());
+            assert!(!d.is_memory(), "compression is not governor pressure");
+            assert!(!d.is_durability(), "compression is not durability");
+            assert!(!d.is_recovery());
             assert!(!d.is_shard_skip());
         }
     }

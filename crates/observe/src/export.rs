@@ -174,6 +174,25 @@ fn decision_line(d: &Decision) -> String {
              \"shard\":{shard},\"bytes\":{bytes},\"store\":{}}}",
             json::string(store)
         ),
+        Decision::CompressShard {
+            shard,
+            raw_bytes,
+            compressed_bytes,
+            codec,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"compress_shard\",\"shard\":{shard},\
+             \"raw_bytes\":{raw_bytes},\"compressed_bytes\":{compressed_bytes},\"codec\":{}}}",
+            json::string(codec)
+        ),
+        Decision::DecompressShard {
+            iteration,
+            shard,
+            compressed_bytes,
+            raw_bytes,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"decompress_shard\",\"iteration\":{iteration},\
+             \"shard\":{shard},\"compressed_bytes\":{compressed_bytes},\"raw_bytes\":{raw_bytes}}}"
+        ),
         Decision::CheckpointWrite { iteration, bytes } => format!(
             "{{\"type\":\"decision\",\"kind\":\"checkpoint_write\",\"iteration\":{iteration},\
              \"bytes\":{bytes}}}"

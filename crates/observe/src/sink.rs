@@ -107,6 +107,12 @@ impl Recorded {
     pub fn durability_decisions(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_durability()).count()
     }
+
+    /// Compression decisions only (per-shard encode accounting, per
+    /// stream-in decode charges) — zero unless shard compression is armed.
+    pub fn compression_decisions(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_compression()).count()
+    }
 }
 
 /// In-memory sink: records everything for later export or assertions.

@@ -8,7 +8,7 @@
 //! whole engine runs for all four evaluated algorithms.
 
 use gr_algorithms::{Bfs, Cc, PageRank, Sssp};
-use gr_graph::{build_shards, gen, Bitmap, GraphLayout, Interval, Shard};
+use gr_graph::{build_shards, gen, Bitmap, GraphLayout, Interval, Shard, TopoView};
 use gr_sim::Platform;
 use graphreduce::phases::{activate_shard, apply_shard, gather_shard, scatter_shard};
 use graphreduce::{GasProgram, GraphReduce, HostKernels, Options};
@@ -83,7 +83,7 @@ fn run_phases<P: GasProgram>(
             let slice = &mut gather_temp[lo..hi];
             gather.push(gather_shard(
                 program,
-                layout,
+                TopoView::raw(layout),
                 sh,
                 &values,
                 &edge_values,
@@ -122,7 +122,7 @@ fn run_phases<P: GasProgram>(
         .map(|sh| {
             scatter_shard(
                 program,
-                layout,
+                TopoView::raw(layout),
                 sh,
                 &values,
                 &mut edge_values,
@@ -135,7 +135,7 @@ fn run_phases<P: GasProgram>(
     let mut next = Bitmap::new(n);
     let activate = shards
         .iter()
-        .map(|sh| activate_shard(layout, sh, &changed, &mut next, mode))
+        .map(|sh| activate_shard(TopoView::raw(layout), sh, &changed, &mut next, mode))
         .collect();
 
     PhaseOutcome {
