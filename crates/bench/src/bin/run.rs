@@ -42,6 +42,8 @@ struct Args {
     wall: bool,
     checkpoint_dir: Option<String>,
     checkpoint_every: Option<u32>,
+    checkpoint_delta: bool,
+    checkpoint_full_every: Option<u32>,
     resume: bool,
     spill_dir: Option<String>,
     host_mem_cap: Option<String>,
@@ -71,8 +73,8 @@ fn usage() -> ! {
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
          [--faults <profile[:seed]|seed>] [--mem-cap <bytes|pct%>] [--report <path.json>] \
          [--trace <path.json>] [--threads N] [--wall] [--checkpoint-dir <dir>] \
-         [--checkpoint-every N] [--resume] [--spill-dir <dir>] [--host-mem-cap <bytes|pct%>] \
-         [--compress <varint|zeta|zeta1..4>]"
+         [--checkpoint-every N] [--checkpoint-delta] [--checkpoint-full-every N] [--resume] \
+         [--spill-dir <dir>] [--host-mem-cap <bytes|pct%>] [--compress <varint|zeta|zeta1..4>]"
     );
     eprintln!(
         "  --compress streams shard topology gap+entropy-coded over PCIe and through the spill \
@@ -80,11 +82,14 @@ fn usage() -> ! {
          `compression` object (see docs/COMPRESSION.md)"
     );
     eprintln!(
-        "  --checkpoint-dir arms durable snapshots (gr engine, single GPU); --checkpoint-every \
-         sets the interval in iterations (default 1); --resume restarts from the newest intact \
-         snapshot in --checkpoint-dir; --spill-dir arms the out-of-host-core shard store and \
-         --host-mem-cap caps host RAM to force it (see docs/DURABILITY.md). A run killed by \
-         --faults kill:<iteration> exits with code 9"
+        "  --checkpoint-dir arms durable snapshots (gr engine, single or multi GPU); \
+         --checkpoint-every sets the interval in iterations (default 1); --checkpoint-delta \
+         writes dirty-state deltas between fulls and --checkpoint-full-every sets the full \
+         cadence in durable boundaries (default 4); --resume restarts from the newest intact \
+         snapshot in --checkpoint-dir (a multi-GPU run may resume on fewer GPUs); --spill-dir \
+         arms the out-of-host-core shard store (single GPU) and --host-mem-cap caps host RAM \
+         to force it (see docs/DURABILITY.md). A run killed by --faults kill:<iteration> exits \
+         with code 9"
     );
     eprintln!(
         "  --threads pins the host worker-thread count (RAYON_NUM_THREADS); --wall arms the \
@@ -133,6 +138,8 @@ fn parse_args() -> Args {
         wall: false,
         checkpoint_dir: None,
         checkpoint_every: None,
+        checkpoint_delta: false,
+        checkpoint_full_every: None,
         resume: false,
         spill_dir: None,
         host_mem_cap: None,
@@ -210,6 +217,15 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--checkpoint-delta" => args.checkpoint_delta = true,
+            "--checkpoint-full-every" => {
+                args.checkpoint_full_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--resume" => args.resume = true,
             "--spill-dir" => args.spill_dir = it.next().or_else(|| usage()),
             "--host-mem-cap" => args.host_mem_cap = it.next().or_else(|| usage()),
@@ -235,27 +251,50 @@ fn parse_args() -> Args {
     args
 }
 
+/// Everything beyond the engine itself that shapes a multi-GPU run:
+/// fault plan, per-device memory caps, durable-checkpoint policy, and
+/// the resume directory. Built once from the parsed args, shared by
+/// every algorithm arm.
+struct MultiCfg<'a> {
+    faults: Option<&'a FaultPlan>,
+    gpus: u32,
+    mem_cap: Option<u64>,
+    checkpoint_policy: Option<&'a CheckpointPolicy>,
+    resume_dir: Option<&'a str>,
+}
+
 /// Finish configuring a multi-GPU run (observer, optional fault plan on
-/// device 0), execute it, and exit cleanly on planning/recovery failure.
+/// device 0, optional durable-checkpoint policy), execute it — resuming
+/// from disk when asked — and exit cleanly on planning/recovery failure
+/// (or with code 9 when an armed `kill:<iteration>` fault fires).
 fn run_multi<P: graphreduce::GasProgram>(
     m: MultiGraphReduce<P>,
     obs: gr_observe::Observer,
     wall: WallProfiler,
-    faults: Option<&FaultPlan>,
-    gpus: u32,
-    mem_cap: Option<u64>,
+    cfg: &MultiCfg<'_>,
 ) -> graphreduce::MultiRunStats {
     let mut m = m.with_observer(obs).with_wall_profiler(wall);
-    if let Some(plan) = faults {
+    if let Some(plan) = cfg.faults {
         m = m.with_fault_plan(0, plan.clone());
     }
-    if let Some(cap) = mem_cap {
-        for d in 0..gpus as usize {
+    if let Some(cap) = cfg.mem_cap {
+        for d in 0..cfg.gpus as usize {
             m = m.with_mem_cap(d, cap);
         }
     }
-    m.run()
+    if let Some(policy) = cfg.checkpoint_policy {
+        m = m.with_checkpoint_policy(policy.clone());
+    }
+    let result = match cfg.resume_dir {
+        Some(dir) => m.resume(dir),
+        None => m.run(),
+    };
+    result
         .unwrap_or_else(|e| {
+            if let EngineError::Killed { iteration } = e {
+                eprintln!("killed at iteration boundary {iteration} (restart with --resume)");
+                std::process::exit(EXIT_KILLED);
+            }
             eprintln!("error: {e}");
             std::process::exit(1);
         })
@@ -328,24 +367,45 @@ fn main() {
         eprintln!("error: --checkpoint-every needs --checkpoint-dir");
         std::process::exit(2);
     }
+    if args.checkpoint_delta && args.checkpoint_dir.is_none() {
+        eprintln!("error: --checkpoint-delta needs --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if args.checkpoint_full_every.is_some() && !args.checkpoint_delta {
+        eprintln!("error: --checkpoint-full-every needs --checkpoint-delta");
+        std::process::exit(2);
+    }
     if args.resume && args.checkpoint_dir.is_none() {
         eprintln!("error: --resume needs --checkpoint-dir (where would I resume from?)");
         std::process::exit(2);
     }
-    if (args.checkpoint_dir.is_some() || args.spill_dir.is_some() || args.compress.is_some())
-        && (args.engine != "gr" || args.gpus > 1)
-    {
+    if args.checkpoint_dir.is_some() && args.engine != "gr" {
         eprintln!(
-            "error: --checkpoint-dir/--checkpoint-every/--resume/--spill-dir/--compress apply \
-             to the single-GPU gr engine only"
+            "error: --checkpoint-dir/--checkpoint-every/--checkpoint-delta/--resume apply to \
+             the gr engine only"
         );
         std::process::exit(2);
     }
-    if let Some(dir) = &args.checkpoint_dir {
-        opts = opts.with_checkpoint_policy(CheckpointPolicy::durable(
-            dir.as_str(),
-            args.checkpoint_every.unwrap_or(1),
-        ));
+    if (args.spill_dir.is_some() || args.compress.is_some())
+        && (args.engine != "gr" || args.gpus > 1)
+    {
+        eprintln!("error: --spill-dir/--compress apply to the single-GPU gr engine only");
+        std::process::exit(2);
+    }
+    let checkpoint_policy = args.checkpoint_dir.as_ref().map(|dir| {
+        let every = args.checkpoint_every.unwrap_or(1);
+        if args.checkpoint_delta {
+            CheckpointPolicy::durable_delta(
+                dir.as_str(),
+                every,
+                args.checkpoint_full_every.unwrap_or(4),
+            )
+        } else {
+            CheckpointPolicy::durable(dir.as_str(), every)
+        }
+    });
+    if let Some(policy) = &checkpoint_policy {
+        opts = opts.with_checkpoint_policy(policy.clone());
     }
     if let Some(dir) = &args.spill_dir {
         opts = opts.with_spill_dir(dir.as_str());
@@ -367,7 +427,17 @@ fn main() {
             } else {
                 WallProfiler::disarmed()
             };
-            let faults = args.faults.as_ref();
+            let cfg = MultiCfg {
+                faults: args.faults.as_ref(),
+                gpus: args.gpus,
+                mem_cap,
+                checkpoint_policy: checkpoint_policy.as_ref(),
+                resume_dir: if args.resume {
+                    args.checkpoint_dir.as_deref()
+                } else {
+                    None
+                },
+            };
             let stats = match args.algo {
                 Algo::Bfs => run_multi(
                     MultiGraphReduce::new(
@@ -378,17 +448,13 @@ fn main() {
                     ),
                     obs,
                     wall.clone(),
-                    faults,
-                    args.gpus,
-                    mem_cap,
+                    &cfg,
                 ),
                 Algo::Cc => run_multi(
                     MultiGraphReduce::new(gr_algorithms::Cc, &layout, platform, args.gpus),
                     obs,
                     wall.clone(),
-                    faults,
-                    args.gpus,
-                    mem_cap,
+                    &cfg,
                 ),
                 Algo::Sssp => run_multi(
                     MultiGraphReduce::new(
@@ -399,9 +465,7 @@ fn main() {
                     ),
                     obs,
                     wall.clone(),
-                    faults,
-                    args.gpus,
-                    mem_cap,
+                    &cfg,
                 ),
                 Algo::Pagerank => run_multi(
                     MultiGraphReduce::new(
@@ -412,24 +476,13 @@ fn main() {
                     ),
                     obs,
                     wall.clone(),
-                    faults,
-                    args.gpus,
-                    mem_cap,
+                    &cfg,
                 ),
             };
-            println!(
-                "graphreduce x{} GPUs: {} iterations in {} ({:.1} MB exchanged)",
-                stats.num_gpus,
-                stats.iterations,
-                stats.elapsed,
-                stats.exchange_bytes as f64 / 1e6
-            );
-            if stats.mem_pressure_events + stats.redistributions + stats.shard_splits > 0 {
-                println!(
-                    "  governor: {} pressure events, {} redistributions, {} shard splits",
-                    stats.mem_pressure_events, stats.redistributions, stats.shard_splits
-                );
-            }
+            // `MultiRunStats` renders the full report: headline, then
+            // conditional governor / durability / storage-fault lines —
+            // byte-identical to the old inline print for plain runs.
+            println!("{stats}");
             // The multi-GPU engine has no single-device RunStats (so no
             // `wall` stats field either) — print the host-wall rollup
             // directly from the profiler.

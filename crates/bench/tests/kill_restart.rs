@@ -210,6 +210,217 @@ fn real_sigkill_mid_run_resumes_to_oracle_fingerprint() {
     );
 }
 
+/// The `state fingerprint: 0x…` line a durable run prints to stdout
+/// (the multi-GPU path has no single-device run report, so the CLI
+/// summary is the machine-readable surface).
+fn stdout_fingerprint(out: &std::process::Output) -> String {
+    let text = String::from_utf8_lossy(&out.stdout);
+    text.lines()
+        .find(|l| l.trim_start().starts_with("state fingerprint:"))
+        .unwrap_or_else(|| panic!("no state fingerprint line in stdout: {text}"))
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn multi_gpu_kill_exits_9_and_resume_matches_oracle() {
+    let dir = scratch("multikill");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap().to_string();
+    let base = [
+        "--algo",
+        "pagerank",
+        "--dataset",
+        "ak2010",
+        "--scale",
+        "64",
+        "--engine",
+        "gr",
+        "--gpus",
+        "2",
+    ];
+    let mut kill_args: Vec<&str> = base.to_vec();
+    kill_args.extend(["--checkpoint-dir", &ckpt_s, "--faults", "kill:2"]);
+    let killed = run_cli(&kill_args);
+    assert_eq!(
+        killed.status.code(),
+        Some(EXIT_KILLED),
+        "stderr: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&killed.stderr).contains("--resume"),
+        "the kill message must point at the restart path"
+    );
+    assert!(
+        snapshot_count(&ckpt) >= 1,
+        "the killed multi run must leave snapshots to resume from"
+    );
+
+    let mut resume_args: Vec<&str> = base.to_vec();
+    resume_args.extend(["--checkpoint-dir", &ckpt_s, "--resume"]);
+    let resumed = run_cli(&resume_args);
+    assert!(
+        resumed.status.success(),
+        "multi resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&resumed.stdout).contains("1 restored"),
+        "the durability line must count the restore"
+    );
+
+    let oracle_ckpt = dir.join("oracle-ckpt");
+    let oracle_ckpt_s = oracle_ckpt.to_str().unwrap().to_string();
+    let mut oracle_args: Vec<&str> = base.to_vec();
+    oracle_args.extend(["--checkpoint-dir", &oracle_ckpt_s]);
+    let oracle = run_cli(&oracle_args);
+    assert!(
+        oracle.status.success(),
+        "oracle failed: {}",
+        String::from_utf8_lossy(&oracle.stderr)
+    );
+    assert_eq!(
+        stdout_fingerprint(&resumed),
+        stdout_fingerprint(&oracle),
+        "multi resume must converge bit-identically to the oracle"
+    );
+}
+
+#[test]
+fn multi_gpu_resume_on_fewer_gpus_matches_that_width() {
+    // Checkpoint on 4 GPUs, SIGKILL-free fault kill, resume on 2:
+    // placement is re-derived, and the answer matches an uninterrupted
+    // 2-GPU run.
+    let dir = scratch("multishrink");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap().to_string();
+    let killed = run_cli(&[
+        "--algo",
+        "cc",
+        "--dataset",
+        "ak2010",
+        "--scale",
+        "64",
+        "--engine",
+        "gr",
+        "--gpus",
+        "4",
+        "--checkpoint-dir",
+        &ckpt_s,
+        "--faults",
+        "kill:2",
+    ]);
+    assert_eq!(killed.status.code(), Some(EXIT_KILLED));
+    let resumed = run_cli(&[
+        "--algo",
+        "cc",
+        "--dataset",
+        "ak2010",
+        "--scale",
+        "64",
+        "--engine",
+        "gr",
+        "--gpus",
+        "2",
+        "--checkpoint-dir",
+        &ckpt_s,
+        "--resume",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "fewer-GPU resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let oracle_ckpt_s = dir.join("oracle-ckpt").to_str().unwrap().to_string();
+    let oracle = run_cli(&[
+        "--algo",
+        "cc",
+        "--dataset",
+        "ak2010",
+        "--scale",
+        "64",
+        "--engine",
+        "gr",
+        "--gpus",
+        "2",
+        "--checkpoint-dir",
+        &oracle_ckpt_s,
+    ]);
+    assert!(oracle.status.success());
+    assert_eq!(
+        stdout_fingerprint(&resumed),
+        stdout_fingerprint(&oracle),
+        "resuming on fewer devices must match that device count's oracle"
+    );
+}
+
+#[test]
+fn delta_checkpoints_resume_and_write_fewer_bytes() {
+    let dir = scratch("delta");
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap().to_string();
+    let base = [
+        "--algo",
+        "bfs",
+        "--dataset",
+        "ak2010",
+        "--scale",
+        "64",
+        "--engine",
+        "gr",
+        "--gpus",
+        "2",
+    ];
+    let mut kill_args: Vec<&str> = base.to_vec();
+    kill_args.extend([
+        "--checkpoint-dir",
+        &ckpt_s,
+        "--checkpoint-delta",
+        "--checkpoint-full-every",
+        "3",
+        "--faults",
+        "kill:3",
+    ]);
+    let killed = run_cli(&kill_args);
+    assert_eq!(
+        killed.status.code(),
+        Some(EXIT_KILLED),
+        "stderr: {}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    let mut resume_args: Vec<&str> = base.to_vec();
+    resume_args.extend([
+        "--checkpoint-dir",
+        &ckpt_s,
+        "--checkpoint-delta",
+        "--checkpoint-full-every",
+        "3",
+        "--resume",
+    ]);
+    let resumed = run_cli(&resume_args);
+    assert!(
+        resumed.status.success(),
+        "delta resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("deltas ("),
+        "the durability line must split full vs delta bytes: {stdout}"
+    );
+    let oracle_ckpt_s = dir.join("oracle-ckpt").to_str().unwrap().to_string();
+    let mut oracle_args: Vec<&str> = base.to_vec();
+    oracle_args.extend(["--checkpoint-dir", &oracle_ckpt_s]);
+    let oracle = run_cli(&oracle_args);
+    assert!(oracle.status.success());
+    assert_eq!(
+        stdout_fingerprint(&resumed),
+        stdout_fingerprint(&oracle),
+        "delta-chain resume must land on the full-snapshot oracle's fingerprint"
+    );
+}
+
 #[test]
 fn invalid_flag_combinations_are_usage_errors() {
     let dir = scratch("usage");
@@ -249,7 +460,7 @@ fn invalid_flag_combinations_are_usage_errors() {
             "--checkpoint-every",
             "0",
         ],
-        // Durability is a single-GPU gr-engine feature.
+        // Durability is a gr-engine feature (any GPU count).
         vec![
             "--algo",
             "bfs",
@@ -258,6 +469,56 @@ fn invalid_flag_combinations_are_usage_errors() {
             "--engine",
             "xstream",
             "--checkpoint-dir",
+            &ckpt_s,
+        ],
+        // --checkpoint-delta without a directory to write into.
+        vec![
+            "--algo",
+            "bfs",
+            "--dataset",
+            "ak2010",
+            "--engine",
+            "gr",
+            "--checkpoint-delta",
+        ],
+        // --checkpoint-full-every modifies delta mode; alone it's noise.
+        vec![
+            "--algo",
+            "bfs",
+            "--dataset",
+            "ak2010",
+            "--engine",
+            "gr",
+            "--checkpoint-dir",
+            &ckpt_s,
+            "--checkpoint-full-every",
+            "3",
+        ],
+        // A zero full cadence is meaningless.
+        vec![
+            "--algo",
+            "bfs",
+            "--dataset",
+            "ak2010",
+            "--engine",
+            "gr",
+            "--checkpoint-dir",
+            &ckpt_s,
+            "--checkpoint-delta",
+            "--checkpoint-full-every",
+            "0",
+        ],
+        // The spill store stays single-GPU.
+        vec![
+            "--algo",
+            "bfs",
+            "--dataset",
+            "ak2010",
+            "--engine",
+            "gr",
+            "--gpus",
+            "2",
+            "--spill-dir",
             &ckpt_s,
         ],
     ];

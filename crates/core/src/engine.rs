@@ -125,18 +125,21 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
     /// [`SnapshotError::FingerprintMismatch`](crate::SnapshotError::FingerprintMismatch)
     /// rather than replaying the wrong state. A corrupt newest snapshot
     /// (failed checksum, truncation) silently falls back to the previous
-    /// intact one. Replay continues from the restored iteration boundary
-    /// and converges bit-identically to an uninterrupted run.
+    /// intact one. Full (GRCK), delta (GRCD — restored as its base full
+    /// plus the newest delta), compressed (GRCZ) and multi-GPU (GRCM)
+    /// snapshots are all accepted. Replay continues from the restored
+    /// iteration boundary and converges bit-identically to an
+    /// uninterrupted run.
     pub fn resume(&self, dir: impl AsRef<std::path::Path>) -> Result<RunResult<P>, EngineError> {
         let fp = crate::snapshot::fingerprint_for(&self.program, self.layout);
-        let (state, _path, bytes) = crate::snapshot::load_latest::<P>(dir.as_ref(), &fp)?;
-        self.run_inner(None, Some((state, bytes)))
+        let restored = crate::snapshot_delta::load_newest::<P>(dir.as_ref(), &fp)?;
+        self.run_inner(None, Some(restored))
     }
 
     fn run_inner(
         &self,
         warm: Option<WarmStart<P>>,
-        restored: Option<(crate::snapshot::RestoredState<P>, u64)>,
+        restored: Option<crate::snapshot_delta::RestoredFromDisk<P>>,
     ) -> Result<RunResult<P>, EngineError> {
         let sizes = self.size_model();
         let plan = crate::sizes::plan_partition_with(

@@ -10,7 +10,7 @@
 //! mutable per-edge values, real (non-unit) static weights, and the
 //! frontier bitmaps. The decode work is charged honestly as a
 //! `decompress` kernel per topology stream-in (see
-//! [`super::compute::ComputeSpecs::decompress_spec`] and
+//! `ComputeSpecs::decompress_spec` in [`super::compute`] and
 //! `docs/COMPRESSION.md`).
 
 use gr_graph::{CompressedTopology, CompressionCodec, GraphLayout, Shard, TopoView};

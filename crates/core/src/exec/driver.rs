@@ -10,8 +10,6 @@
 //! orchestrator so both paths produce bit-identical results and identical
 //! recovery charges for identical fault schedules.
 
-use std::path::PathBuf;
-
 use gr_graph::{GraphLayout, TopoView};
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};
 use gr_sim::{cpu_time, DeviceFault, HostConfig, KernelSpec, Platform, SimDuration, StreamId};
@@ -23,13 +21,16 @@ use crate::options::Options;
 use crate::phases::ShardWork;
 use crate::recovery::EngineError;
 use crate::sizes::{PartitionPlan, SizeModel};
-use crate::snapshot::{self, CheckpointPolicy, RestoredState};
+use crate::snapshot::{self, CheckpointPolicy};
+use crate::snapshot_delta::{self, RestoredFromDisk};
 use crate::stats::RunStats;
+use crate::storage::StorageCtx;
 use crate::store::{shard_payload, ShardStoreHandle};
 
 use super::compress::{ShardCompression, RAW_TOPO_ENTRY_BYTES};
 use super::compute::{host_work, ComputeSpecs};
 use super::device::{Abort, DeviceCtx};
+use super::durable::{DurableConfig, DurableWriter};
 use super::host::HostState;
 use super::movement::{in_bufs_for, out_bufs_for, Buf, BufSet, Movement};
 use super::plan;
@@ -102,13 +103,15 @@ pub(crate) struct Runner<'a, P: GasProgram> {
     // Memory governor outcome: shards degraded to host execution.
     host_shards: Vec<bool>,
     any_host_shards: bool,
-    // Durable checkpoints: (dir, every) when the policy is Durable, the
-    // run fingerprint (computed only when durability is armed), and the
-    // iteration boundary the newest on-disk snapshot covers.
-    durable: Option<(PathBuf, u32)>,
+    // Durable checkpoints: the writer (full/delta schedule + snapshot
+    // framing) when the policy is durable, and the run fingerprint
+    // (computed only when durability or spill is armed).
+    durable: Option<DurableWriter>,
     ckpt_off: bool,
     fingerprint: Option<snapshot::Fingerprint>,
-    durable_at: Option<u32>,
+    // Fault-hardened storage plane: every spill/checkpoint I/O goes
+    // through it so injected I/O faults retry and degrade gracefully.
+    storage: StorageCtx,
     // Shard compression: the gap-coded topology (if armed) the host
     // kernels decode through and the movement layer ships.
     comp: Option<ShardCompression>,
@@ -136,7 +139,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         sizes: SizeModel,
         plan: PartitionPlan,
         warm: Option<WarmStart<P>>,
-        restored: Option<(RestoredState<P>, u64)>,
+        restored: Option<RestoredFromDisk<P>>,
         observer: Observer,
         wall: WallProfiler,
     ) -> Result<Self, EngineError> {
@@ -237,14 +240,18 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             };
         }
 
-        let restored_boundary = restored.as_ref().map(|(r, _)| r.iterations_completed());
-        let host = match restored {
-            Some((r, bytes)) => {
+        let (restored_state, restored_bytes, restored_chain) = match restored {
+            Some(r) => (Some(r.state), r.bytes, r.delta),
+            None => (None, 0, None),
+        };
+        let restored_boundary = restored_state.as_ref().map(|r| r.iterations_completed());
+        let host = match restored_state {
+            Some(r) => {
                 let b = r.iterations_completed();
                 ctx.metrics.inc("engine.checkpoint_restores", 1);
                 observer.decision(|| Decision::CheckpointRestore {
                     iteration: b,
-                    bytes,
+                    bytes: restored_bytes,
                 });
                 HostState::restored(r)
             }
@@ -253,6 +260,12 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                 None => HostState::cold(program, layout),
             },
         };
+
+        // Fault-hardened storage plane: spill and checkpoint I/O below
+        // retries injected faults with logged backoff and degrades
+        // gracefully after exhaustion instead of failing the run.
+        let mut storage =
+            StorageCtx::new(&opts.fault_plan, opts.recovery.clone(), observer.clone());
 
         // Out-of-host-core: if the full graph footprint exceeds host DRAM,
         // every shard fetch pays a storage read first (Section 8, future
@@ -277,22 +290,28 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     }
                 }
             }
-            for (i, sh) in plan.shards.iter().enumerate() {
-                if !spilled[i] {
+            for (i, flag) in spilled.iter_mut().enumerate() {
+                if !*flag {
                     continue;
                 }
                 // `put` reports the bytes that actually hit the store —
-                // smaller than the payload when the store compresses.
-                let payload = shard_payload(layout, sh);
-                let bytes = h.put(i as u32, &payload)?;
-                ctx.metrics.inc("engine.spilled_shards", 1);
-                ctx.metrics.inc("engine.spilled_bytes", bytes);
-                let store_name = h.name();
-                observer.decision(|| Decision::ShardSpill {
-                    shard: i as u32,
-                    bytes,
-                    store: store_name,
-                });
+                // smaller than the payload when the store compresses. A
+                // put whose retries are exhausted by injected I/O faults
+                // leaves the shard host-resident instead of failing.
+                let payload = shard_payload(layout, &plan.shards[i]);
+                match storage.spill_put(h, i as u32, &payload, 0)? {
+                    Some(bytes) => {
+                        ctx.metrics.inc("engine.spilled_shards", 1);
+                        ctx.metrics.inc("engine.spilled_bytes", bytes);
+                        let store_name = h.name();
+                        observer.decision(|| Decision::ShardSpill {
+                            shard: i as u32,
+                            bytes,
+                            store: store_name,
+                        });
+                    }
+                    None => *flag = false,
+                }
             }
         }
         let any_spilled = spilled.iter().any(|&s| s);
@@ -310,16 +329,25 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             );
         }
 
-        // Durable checkpoints: armed only by CheckpointPolicy::Durable.
+        // Durable checkpoints: armed by CheckpointPolicy::Durable{,Delta}.
         // The fingerprint (also needed to validate spill-era state hashes)
-        // is computed once up front.
-        let durable = match &opts.checkpoint_policy {
-            CheckpointPolicy::Durable { dir, every } => Some((dir.clone(), (*every).max(1))),
-            _ => None,
-        };
+        // is computed once up front. A resume seeds the writer's schedule
+        // (and delta dirty chain) so it continues exactly where the killed
+        // run left off.
+        let durable_cfg = DurableConfig::from_policy(&opts.checkpoint_policy);
         let ckpt_off = matches!(opts.checkpoint_policy, CheckpointPolicy::Off);
-        let fingerprint = (durable.is_some() || restored_boundary.is_some() || any_spilled)
+        let fingerprint = (durable_cfg.is_some() || restored_boundary.is_some() || any_spilled)
             .then(|| snapshot::fingerprint_for(program, layout));
+        let durable = durable_cfg.map(|cfg| {
+            let fp = fingerprint
+                .clone()
+                .expect("fingerprint computed whenever durable is armed");
+            let mut w = DurableWriter::new(cfg, fp, layout.num_vertices(), opts.shard_compression);
+            if let Some(b) = restored_boundary {
+                w.note_restored(b, restored_chain);
+            }
+            w
+        });
         let specs = ComputeSpecs::new(sizes, opts, layout, &plan.shards, &wall);
 
         // Buffer lists are a pure function of the shard geometry and the
@@ -396,7 +424,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             durable,
             ckpt_off,
             fingerprint,
-            durable_at: restored_boundary,
+            storage,
             comp,
             store: opts.shard_store.clone(),
             spilled,
@@ -441,6 +469,9 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             }
             let iter_start_ns = self.now_ns();
             self.run_iteration(iter)?;
+            if let Some(w) = self.durable.as_mut() {
+                w.record_iteration(&self.host.changed);
+            }
             self.write_durable(false)?;
             let iter_end_ns = self.now_ns();
             let st = self
@@ -510,7 +541,14 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             mem_min_headroom: self.ctx.mem_min_headroom(),
             checkpoint_writes: metrics.counter("engine.checkpoint_writes"),
             checkpoint_bytes_written: metrics.counter("engine.checkpoint_bytes"),
+            checkpoint_full_bytes: metrics.counter("engine.checkpoint_full_bytes"),
+            checkpoint_delta_writes: metrics.counter("engine.checkpoint_delta_writes"),
+            checkpoint_delta_bytes: metrics.counter("engine.checkpoint_delta_bytes"),
+            checkpoint_raw_bytes: metrics.counter("engine.checkpoint_raw_bytes"),
             checkpoint_restores: metrics.counter("engine.checkpoint_restores"),
+            checkpoints_skipped: self.storage.counters.skipped,
+            storage_retries: self.storage.counters.retries,
+            spill_restreams: self.storage.counters.restreams,
             spilled_shards: metrics.counter("engine.spilled_shards"),
             spilled_bytes: metrics.counter("engine.spilled_bytes"),
             spill_loads: metrics.counter("engine.spill_loads"),
@@ -567,7 +605,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         // snapshot already covers this exact boundary (the full-state
         // clone would duplicate what is safely on disk) and never taken
         // under CheckpointPolicy::Off.
-        let durable_covers = self.durable.is_some() && self.durable_at == Some(iter);
+        let durable_covers = self.durable.as_ref().is_some_and(|w| w.covers(iter));
         let ckpt = (self.fault_active && !durable_covers && !self.ckpt_off)
             .then(|| self.take_checkpoint());
         let mut replays = 0u32;
@@ -604,42 +642,21 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         }
     }
 
-    /// Write a durable snapshot of the current iteration boundary — every
-    /// `every` completed iterations, or unconditionally when `force`d (the
-    /// initial boundary and convergence). Disk time is host-side and off
-    /// the device timeline, so durable runs stay time-identical to
-    /// in-memory-only runs.
+    /// Delegate a durable snapshot of the current iteration boundary to
+    /// the [`DurableWriter`] (no-op without a durable policy). Disk time
+    /// is host-side and off the device timeline, so durable runs stay
+    /// time-identical to in-memory-only runs.
     fn write_durable(&mut self, force: bool) -> Result<(), EngineError> {
-        let Some((dir, every)) = self.durable.clone() else {
+        let Some(w) = self.durable.as_mut() else {
             return Ok(());
         };
-        let boundary = self.host.iterations.len() as u32;
-        if self.durable_at == Some(boundary) || (!force && !boundary.is_multiple_of(every)) {
-            return Ok(());
-        }
-        let fp = self
-            .fingerprint
-            .as_ref()
-            .expect("fingerprint computed whenever durable is armed");
-        let bytes = snapshot::encode_snapshot::<P>(
-            fp,
-            &self.host.vertex_values,
-            &self.host.edge_values,
-            &self.host.gather_temp,
-            &self.host.frontier,
-            &self.host.changed,
-            &self.host.next_frontier,
-            &self.host.iterations,
-        );
-        let written = snapshot::write_snapshot_file(&dir, boundary, &bytes)?;
-        self.ctx.metrics.inc("engine.checkpoint_writes", 1);
-        self.ctx.metrics.inc("engine.checkpoint_bytes", written);
-        self.observer.decision(|| Decision::CheckpointWrite {
-            iteration: boundary,
-            bytes: written,
-        });
-        self.durable_at = Some(boundary);
-        Ok(())
+        w.maybe_write(
+            &self.host,
+            force,
+            &mut self.storage,
+            &self.observer,
+            &mut self.ctx.metrics,
+        )
     }
 
     /// Replay-restore from the newest intact on-disk snapshot (taken when
@@ -647,13 +664,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
     /// the boundary). Not a resume: no CheckpointRestore decision — the
     /// Rollback decision already records the replay.
     fn restore_from_disk(&mut self) -> Result<(), EngineError> {
-        let (dir, _) = self.durable.as_ref().expect("durable covers this boundary");
+        let w = self.durable.as_ref().expect("durable covers this boundary");
         let fp = self
             .fingerprint
             .as_ref()
             .expect("fingerprint computed whenever durable is armed");
-        let (state, _, _) = snapshot::load_latest::<P>(dir, fp)?;
-        self.host = HostState::restored(state);
+        let r = snapshot_delta::load_newest::<P>(w.dir(), fp)?;
+        self.host = HostState::restored(r.state);
         self.in_cached.fill(false);
         self.out_cached.fill(false);
         Ok(())
@@ -682,7 +699,13 @@ impl<'a, P: GasProgram> Runner<'a, P> {
                     continue;
                 }
             }
-            let payload = store.get(i as u32)?;
+            let Some(payload) = self.storage.spill_get(&store, i as u32, iter)? else {
+                // Retries exhausted: re-stream the shard from the source
+                // graph (the host-resident layout) — results unaffected,
+                // the StorageDegraded decision records the detour.
+                self.spill_loaded[i] = true;
+                continue;
+            };
             let bytes = payload.len() as u64;
             self.ctx.metrics.inc("engine.spill_loads", 1);
             self.ctx.metrics.inc("engine.spill_load_bytes", bytes);

@@ -20,6 +20,9 @@
 //! [`compress`] sits beside [`plan`] and [`compute`]: pure per-shard byte
 //! accounting over the gap-coded topology (no device state), consumed by
 //! the governor, the movement buffer sets, and the decompress pricing.
+//! [`durable`] sits beside [`driver`]: the durable-checkpoint writer
+//! (full/delta schedule, GRCM/GRCZ framing, fault-hardened writes) shared
+//! by the driver and the multi-GPU orchestrator.
 //!
 //! The multi-GPU orchestrator ([`crate::multi`]) sits beside [`driver`]:
 //! it owns N [`device::DeviceCtx`]s plus the exchange/placement logic and
@@ -30,6 +33,7 @@ pub mod compress;
 pub mod compute;
 pub mod device;
 pub mod driver;
+pub mod durable;
 pub mod host;
 pub mod movement;
 pub mod plan;

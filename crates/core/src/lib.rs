@@ -61,7 +61,10 @@ pub mod recovery;
 pub mod report;
 pub mod sizes;
 pub mod snapshot;
+pub mod snapshot_delta;
+pub mod snapshot_multi;
 pub mod stats;
+pub mod storage;
 pub mod store;
 #[cfg(any(test, feature = "test-support"))]
 pub mod testprog;
@@ -71,7 +74,7 @@ pub use buffers::StagingBuffer;
 pub use checkpoint::Checkpoint;
 pub use engine::{GraphReduce, RunResult, WarmStart};
 pub use gr_observe::{WallProfile, WallProfiler, WallSummary};
-pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan};
+pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan, IoFault, IoOp};
 pub use multi::{MultiGraphReduce, MultiRunResult, MultiRunStats};
 pub use options::{GatherMode, HostKernels, Options, PartitionLogicHandle, StreamingMode};
 pub use recovery::{EngineError, RecoveryPolicy};

@@ -29,11 +29,21 @@
 //! results stay bit-identical to the single-device engine and the
 //! sequential oracle.
 //!
-//! Durable checkpoints, the out-of-host-core shard store (see
-//! `docs/DURABILITY.md`), and compressed shards (see
-//! `docs/COMPRESSION.md`) are single-GPU features: this orchestrator
-//! ignores [`crate::Options::checkpoint_policy`],
-//! [`crate::Options::shard_store`], and
+//! Durable checkpoints extend to this orchestrator: arm them with
+//! [`MultiGraphReduce::with_checkpoint_policy`] (`Durable` or
+//! `DurableDelta`) and restart a killed run with
+//! [`MultiGraphReduce::resume`]. Because results live in one
+//! host-resident master state, a multi-GPU snapshot is that state
+//! wrapped in a GRCM container recording the device count and shard
+//! placement at capture time; on resume the placement is informational —
+//! the orchestrator re-derives it for the *current* device set (a node
+//! may come back short a GPU) and lets the governor redistribute, so
+//! replay stays bit-identical across device counts. Checkpoint writes
+//! happen at BSP barrier boundaries on the host and add no barriers and
+//! no device time. The out-of-host-core shard store and compressed
+//! shards (see `docs/DURABILITY.md`, `docs/COMPRESSION.md`) remain
+//! single-GPU features: this orchestrator ignores
+//! [`crate::Options::shard_store`] and
 //! [`crate::Options::shard_compression`], and the bench CLI rejects the
 //! corresponding flags for multi-GPU runs.
 
@@ -45,12 +55,16 @@ use crate::api::GasProgram;
 use crate::exec::compute::{activate_kernel_spec, apply_kernel_spec, gather_map_spec};
 use crate::exec::device::{barrier, barrier_observed, Abort, DeviceCtx};
 use crate::exec::driver::roll_back;
+use crate::exec::durable::{DurableConfig, DurableWriter};
 use crate::exec::host::HostState;
 use crate::exec::plan::emit_plan_decisions;
 use crate::options::HostKernels;
 use crate::phases::ShardWork;
 use crate::recovery::{EngineError, RecoveryPolicy};
 use crate::sizes::{plan_partition, PartitionPlan, SizeModel};
+use crate::snapshot::{self, CheckpointPolicy};
+use crate::snapshot_delta::{self, RestoredFromDisk};
+use crate::storage::StorageCtx;
 
 /// Multi-GPU run statistics.
 #[derive(Clone, Debug, Default)]
@@ -82,8 +96,89 @@ pub struct MultiRunStats {
     pub redistributions: u64,
     /// Adaptive shard splits after redistribution ran out of headroom.
     pub shard_splits: u64,
+    /// Durable snapshots written (0 unless a durable policy is armed via
+    /// [`MultiGraphReduce::with_checkpoint_policy`]).
+    pub checkpoint_writes: u64,
+    /// Total on-disk bytes of durable snapshots written.
+    pub checkpoint_bytes_written: u64,
+    /// On-disk bytes of *full* snapshots (all of
+    /// [`MultiRunStats::checkpoint_bytes_written`] unless delta mode is on).
+    pub checkpoint_full_bytes: u64,
+    /// Delta snapshots written (0 unless
+    /// [`CheckpointPolicy::DurableDelta`](crate::CheckpointPolicy) is armed).
+    pub checkpoint_delta_writes: u64,
+    /// On-disk bytes of delta snapshots.
+    pub checkpoint_delta_bytes: u64,
+    /// Durable snapshot restores (1 on a resumed run, else 0).
+    pub checkpoint_restores: u64,
+    /// Checkpoint writes skipped after storage-retry exhaustion (the run
+    /// continues, covered by the previous snapshot).
+    pub checkpoints_skipped: u64,
+    /// Storage-op retries after injected I/O faults on the checkpoint
+    /// path (0 without I/O faults).
+    pub storage_retries: u64,
+    /// Order-independent FNV-1a hash of the final vertex values, for
+    /// cheap bit-identity comparison across kill-restart runs and device
+    /// counts. `None` unless durability was armed or the run resumed.
+    pub state_fingerprint: Option<u64>,
     /// Per-iteration trace.
     pub per_iteration: Vec<crate::stats::IterationStats>,
+}
+
+impl std::fmt::Display for MultiRunStats {
+    /// Human-readable multi-GPU run report (used by the `run` CLI). The
+    /// headline and governor lines are exactly what the CLI always
+    /// printed; durability and storage-fault lines are conditional so
+    /// non-durable runs stay byte-identical.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graphreduce x{} GPUs: {} iterations in {} ({:.1} MB exchanged)",
+            self.num_gpus,
+            self.iterations,
+            self.elapsed,
+            self.exchange_bytes as f64 / 1e6
+        )?;
+        if self.mem_pressure_events + self.redistributions + self.shard_splits > 0 {
+            write!(
+                f,
+                "\n  governor: {} pressure events, {} redistributions, {} shard splits",
+                self.mem_pressure_events, self.redistributions, self.shard_splits
+            )?;
+        }
+        if self.checkpoint_writes > 0
+            || self.checkpoint_restores > 0
+            || self.checkpoints_skipped > 0
+        {
+            write!(
+                f,
+                "\n  durability: {} snapshots ({:.2} MB) written, {} restored",
+                self.checkpoint_writes,
+                self.checkpoint_bytes_written as f64 / 1e6,
+                self.checkpoint_restores
+            )?;
+            if self.checkpoint_delta_writes > 0 {
+                write!(
+                    f,
+                    " | {:.2} MB full + {} deltas ({:.2} MB)",
+                    self.checkpoint_full_bytes as f64 / 1e6,
+                    self.checkpoint_delta_writes,
+                    self.checkpoint_delta_bytes as f64 / 1e6
+                )?;
+            }
+            if let Some(fp) = self.state_fingerprint {
+                write!(f, "\n  state fingerprint: {fp:#018x}")?;
+            }
+        }
+        if self.storage_retries > 0 || self.checkpoints_skipped > 0 {
+            write!(
+                f,
+                "\n  storage faults: {} retries | {} checkpoints skipped",
+                self.storage_retries, self.checkpoints_skipped
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Result of a multi-GPU run.
@@ -104,6 +199,7 @@ pub struct MultiGraphReduce<'g, P: GasProgram> {
     fault_plans: Vec<(usize, FaultPlan)>,
     recovery: RecoveryPolicy,
     mem_caps: Vec<(usize, u64)>,
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
@@ -118,6 +214,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             fault_plans: Vec::new(),
             recovery: RecoveryPolicy::default(),
             mem_caps: Vec::new(),
+            checkpoint_policy: CheckpointPolicy::default(),
         }
     }
 
@@ -149,6 +246,20 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
     /// Recovery policy applied to every device's ops.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Arm durable checkpoints ([`CheckpointPolicy::Durable`] or
+    /// [`CheckpointPolicy::DurableDelta`]): one versioned, checksummed
+    /// snapshot of the master state — wrapped in a GRCM container
+    /// recording the device count and shard placement — is written
+    /// atomically at iteration boundary 0, every `every` completed
+    /// iterations, and at convergence. Restart a killed run with
+    /// [`MultiGraphReduce::resume`]. The in-memory policies
+    /// (`InMemoryOnly`, `Off`) change nothing here: multi-GPU replays
+    /// re-emit device timelines from the always-intact host state.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
         self
     }
 
@@ -193,6 +304,35 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
 
     /// Execute to convergence.
     pub fn run(&self) -> Result<MultiRunResult<P>, EngineError> {
+        self.run_inner(None)
+    }
+
+    /// Resume a previously killed (or completed) run from the newest
+    /// intact snapshot in `dir`, then execute to convergence.
+    ///
+    /// Accepts every snapshot family the single-GPU engine accepts
+    /// (GRCK full, GRCD delta chain, GRCZ compressed), plus the GRCM
+    /// multi container the orchestrator writes. A GRCM placement map is
+    /// honored only when it fits the current device set exactly (same
+    /// width, same shard count); otherwise ownership is re-derived for
+    /// the *current* devices, so a run checkpointed on N GPUs can resume
+    /// on fewer — the governor redistributes the orphaned shards exactly
+    /// as it does after an eviction. Vertex state, per-iteration stats
+    /// and the final fingerprint stay bit-identical to an uninterrupted
+    /// run on the resumed device count.
+    pub fn resume(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<MultiRunResult<P>, EngineError> {
+        let fp = snapshot::fingerprint_for(&self.program, self.layout);
+        let restored = snapshot_delta::load_newest::<P>(dir.as_ref(), &fp)?;
+        self.run_inner(Some(restored))
+    }
+
+    fn run_inner(
+        &self,
+        restored: Option<RestoredFromDisk<P>>,
+    ) -> Result<MultiRunResult<P>, EngineError> {
         self.wall.set_algorithm(self.program.name());
         let sizes = SizeModel::for_program(&self.program);
         let n = self.layout.num_vertices();
@@ -215,7 +355,21 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
 
         // Shard ownership and device liveness: a lost device is evicted
         // and its shards redistributed round-robin over the survivors.
-        let mut owners: Vec<usize> = (0..plan.shards.len()).map(|i| i % ngpu).collect();
+        // A resumed run checkpointed at the *same* width restores the
+        // recorded GRCM placement (it may reflect earlier evictions or
+        // governor moves); any width change re-derives round-robin for
+        // the current device set and lets the governor redistribute.
+        let recorded = restored.as_ref().and_then(|r| r.placement.as_ref());
+        let mut owners: Vec<usize> = match recorded {
+            Some(p)
+                if p.num_gpus == self.num_gpus
+                    && p.owners.len() == plan.shards.len()
+                    && p.owners.iter().all(|&o| (o as usize) < ngpu) =>
+            {
+                p.owners.iter().map(|&o| o as usize).collect()
+            }
+            _ => (0..plan.shards.len()).map(|i| i % ngpu).collect(),
+        };
         let mut alive = vec![true; ngpu];
         let mut evictions = 0u32;
 
@@ -232,9 +386,27 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         let shards = &plan.shards;
 
         // Orchestrator-level registry: feeds the shared exec helpers
-        // (rollback counts, frontier gauges). `MultiRunStats` reads none
-        // of it — multi statistics stay explicitly assembled below.
+        // (rollback counts, frontier gauges) and accumulates the durable
+        // writer's checkpoint counters, which the stats assembly below
+        // reads back out.
         let mut metrics = MetricsRegistry::new();
+
+        // Process-kill faults are device-agnostic (the whole process
+        // dies): the earliest armed boundary across all plans wins. I/O
+        // faults target host-side storage, which is shared — the first
+        // plan carrying any drives the single StorageCtx.
+        let kill_at = self
+            .fault_plans
+            .iter()
+            .filter_map(|(_, p)| p.kill_at())
+            .min();
+        let io_plan = self
+            .fault_plans
+            .iter()
+            .find(|(_, p)| p.has_io_faults())
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(FaultPlan::none);
+        let mut storage = StorageCtx::new(&io_plan, self.recovery.clone(), self.observer.clone());
         emit_plan_decisions(
             &self.observer,
             true,
@@ -282,12 +454,53 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
 
         // Host master state (results computed once, exactly) — the same
         // [`HostState`] the single-GPU driver runs, shared across devices
-        // because vertex state is replicated.
-        let mut host = HostState::<P>::cold(&self.program, self.layout);
+        // because vertex state is replicated. Resume swaps in the
+        // restored master state; device buffers were already primed by
+        // the init upload above (state is replicated, so the upload cost
+        // is the same whether the values are cold or restored).
+        let mut checkpoint_restores = 0u64;
+        let mut restored_chain = None;
+        let mut host = match restored {
+            Some(r) => {
+                let b = r.state.iterations_completed();
+                checkpoint_restores = 1;
+                restored_chain = r.delta;
+                let bytes = r.bytes;
+                self.observer.decision(|| Decision::CheckpointRestore {
+                    iteration: b,
+                    bytes,
+                });
+                HostState::restored(r.state)
+            }
+            None => HostState::<P>::cold(&self.program, self.layout),
+        };
+
+        // Durable checkpoint writer (single-GPU machinery reused whole):
+        // the orchestrator only adds the GRCM placement frame, refreshed
+        // before every write because eviction mutates `owners`.
+        let mut durable = DurableConfig::from_policy(&self.checkpoint_policy).map(|cfg| {
+            let fp = snapshot::fingerprint_for(&self.program, self.layout);
+            let mut w = DurableWriter::new(cfg, fp, n, None);
+            if checkpoint_restores > 0 {
+                w.note_restored(host.iterations.len() as u32, restored_chain.take());
+            }
+            w
+        });
+        let fp_armed = durable.is_some() || checkpoint_restores > 0;
 
         let mut exchange_bytes = 0u64;
-        let mut iter = 0u32;
+        // Resume continues from the restored boundary (0 on a cold
+        // start); a forced snapshot first makes even a kill at the very
+        // first boundary restartable.
+        let mut iter = host.iterations.len() as u32;
+        if let Some(w) = durable.as_mut() {
+            w.set_placement(self.num_gpus, &owners);
+            w.maybe_write(&host, true, &mut storage, &self.observer, &mut metrics)?;
+        }
         while iter < self.program.max_iterations() && host.frontier.count() > 0 {
+            if kill_at == Some(iter) {
+                return Err(EngineError::Killed { iteration: iter });
+            }
             let iter_start = global;
             // ---- exact BSP computation (once, on the host) ----
             let work = host.compute_iteration(
@@ -363,6 +576,22 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             });
             host.finish_iteration();
             iter += 1;
+            // Durable boundary: host-side only (tmp+fsync+rename), so it
+            // adds no barriers and no device time. `changed` survives
+            // `finish_iteration` (which only swaps frontiers), so delta
+            // dirty-tracking sees exactly this iteration's writes.
+            if let Some(w) = durable.as_mut() {
+                w.record_iteration(&host.changed);
+                w.set_placement(self.num_gpus, &owners);
+                w.maybe_write(&host, false, &mut storage, &self.observer, &mut metrics)?;
+            }
+        }
+
+        // Converged: force a final snapshot so a completed run's durable
+        // state is the answer, not the last periodic boundary.
+        if let Some(w) = durable.as_mut() {
+            w.set_placement(self.num_gpus, &owners);
+            w.maybe_write(&host, true, &mut storage, &self.observer, &mut metrics)?;
         }
 
         // Final download from owners (replayed with eviction handling:
@@ -426,6 +655,15 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             mem_pressure_events: governed.mem_pressure_events,
             redistributions: governed.redistributions,
             shard_splits: governed.shard_splits,
+            checkpoint_writes: metrics.counter("engine.checkpoint_writes"),
+            checkpoint_bytes_written: metrics.counter("engine.checkpoint_bytes"),
+            checkpoint_full_bytes: metrics.counter("engine.checkpoint_full_bytes"),
+            checkpoint_delta_writes: metrics.counter("engine.checkpoint_delta_writes"),
+            checkpoint_delta_bytes: metrics.counter("engine.checkpoint_delta_bytes"),
+            checkpoint_restores,
+            checkpoints_skipped: storage.counters.skipped,
+            storage_retries: storage.counters.retries,
+            state_fingerprint: fp_armed.then(|| snapshot::values_fingerprint(&host.vertex_values)),
             per_iteration: host.iterations,
         };
         Ok(MultiRunResult {

@@ -98,18 +98,34 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
     // resume, or the spill store actually did work (same compatibility
     // rule as the wall section — absent means byte-identical to pre-
     // durability reports).
-    if stats.checkpoint_writes > 0 || stats.checkpoint_restores > 0 || stats.spilled_shards > 0 {
+    if stats.checkpoint_writes > 0
+        || stats.checkpoint_restores > 0
+        || stats.spilled_shards > 0
+        || stats.checkpoints_skipped > 0
+        || stats.storage_retries > 0
+    {
         out.push_str(&format!(
             "  \"durability\": {{\"checkpoint_writes\": {}, \"checkpoint_bytes_written\": {}, \
-             \"checkpoint_restores\": {}, \"spilled_shards\": {}, \"spilled_bytes\": {}, \
-             \"spill_loads\": {}, \"spill_load_bytes\": {}}},\n",
+             \"checkpoint_full_bytes\": {}, \"checkpoint_delta_writes\": {}, \
+             \"checkpoint_delta_bytes\": {}, \"checkpoint_raw_bytes\": {}, \
+             \"checkpoint_restores\": {}, \"checkpoints_skipped\": {}, \
+             \"spilled_shards\": {}, \"spilled_bytes\": {}, \
+             \"spill_loads\": {}, \"spill_load_bytes\": {}, \
+             \"storage_retries\": {}, \"spill_restreams\": {}}},\n",
             stats.checkpoint_writes,
             stats.checkpoint_bytes_written,
+            stats.checkpoint_full_bytes,
+            stats.checkpoint_delta_writes,
+            stats.checkpoint_delta_bytes,
+            stats.checkpoint_raw_bytes,
             stats.checkpoint_restores,
+            stats.checkpoints_skipped,
             stats.spilled_shards,
             stats.spilled_bytes,
             stats.spill_loads,
-            stats.spill_load_bytes
+            stats.spill_load_bytes,
+            stats.storage_retries,
+            stats.spill_restreams
         ));
     }
     // Compression section: present only when a shard codec was armed
@@ -209,7 +225,10 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
             | Decision::CheckpointWrite { .. }
             | Decision::CheckpointRestore { .. }
             | Decision::CompressShard { .. }
-            | Decision::DecompressShard { .. } => None,
+            | Decision::DecompressShard { .. }
+            | Decision::StorageRetry { .. }
+            | Decision::StorageDegraded { .. }
+            | Decision::CheckpointSkipped { .. } => None,
         })
         .collect();
     // Durability decisions appear in the summary only when any were made
@@ -227,14 +246,22 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
     } else {
         String::new()
     };
+    // And for storage faults: counted only when I/O faults did fire.
+    let storage = rec.storage_decisions();
+    let storage_field = if storage > 0 {
+        format!("\"storage_decisions\": {storage}, ")
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
         "  \"decisions\": {{\"shard_skips\": {}, \"recovery_decisions\": {}, \
-         \"memory_decisions\": {}, {}{}\"plan\": [\n{}\n    ]}},\n",
+         \"memory_decisions\": {}, {}{}{}\"plan\": [\n{}\n    ]}},\n",
         rec.shard_skips(),
         rec.recovery_decisions(),
         rec.memory_decisions(),
         durability_field,
         compression_field,
+        storage_field,
         plan.join(",\n")
     ));
 

@@ -52,6 +52,17 @@ pub enum CheckpointPolicy {
     /// [`GraphReduce::resume`](crate::GraphReduce::resume) restarts from
     /// the latest intact snapshot in `dir`.
     Durable { dir: PathBuf, every: u32 },
+    /// Like [`CheckpointPolicy::Durable`], but between full snapshots the
+    /// engine writes *delta* snapshots holding only the vertices whose
+    /// state changed since the last full one (plus the bitmaps and trace,
+    /// which are cheap). Every `full_every`-th durable boundary is
+    /// promoted to a full snapshot so the restore chain stays at most one
+    /// delta long. Restores are bit-identical to `Durable`.
+    DurableDelta {
+        dir: PathBuf,
+        every: u32,
+        full_every: u32,
+    },
 }
 
 impl CheckpointPolicy {
@@ -60,6 +71,18 @@ impl CheckpointPolicy {
         CheckpointPolicy::Durable {
             dir: dir.into(),
             every: every.max(1),
+        }
+    }
+
+    /// Convenience constructor for [`CheckpointPolicy::DurableDelta`]:
+    /// durable boundary every `every` iterations, a full snapshot every
+    /// `full_every` durable boundaries, deltas in between. Both clamp
+    /// to at least 1.
+    pub fn durable_delta(dir: impl Into<PathBuf>, every: u32, full_every: u32) -> Self {
+        CheckpointPolicy::DurableDelta {
+            dir: dir.into(),
+            every: every.max(1),
+            full_every: full_every.max(1),
         }
     }
 }
@@ -411,9 +434,9 @@ impl<P: GasProgram> std::fmt::Debug for RestoredState<P> {
     }
 }
 
-const TRACE_ENTRY_BYTES: usize = 40;
+pub(crate) const TRACE_ENTRY_BYTES: usize = 40;
 
-fn put_values<V: StateBytes>(out: &mut Vec<u8>, values: &[V]) {
+pub(crate) fn put_values<V: StateBytes>(out: &mut Vec<u8>, values: &[V]) {
     let start = out.len();
     out.resize(start + values.len() * V::BYTES, 0);
     for (i, v) in values.iter().enumerate() {
@@ -421,7 +444,7 @@ fn put_values<V: StateBytes>(out: &mut Vec<u8>, values: &[V]) {
     }
 }
 
-fn put_bitmap(out: &mut Vec<u8>, b: &Bitmap) {
+pub(crate) fn put_bitmap(out: &mut Vec<u8>, b: &Bitmap) {
     for w in b.words() {
         out.extend_from_slice(&w.to_le_bytes());
     }
@@ -450,12 +473,7 @@ pub(crate) fn encode_snapshot<P: GasProgram>(
             + 3 * words * 8
             + trace.len() * TRACE_ENTRY_BYTES,
     );
-    out.extend_from_slice(&SNAPSHOT_MAGIC);
-    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-    out.extend_from_slice(&(fp.algorithm.len() as u32).to_le_bytes());
-    out.extend_from_slice(fp.algorithm.as_bytes());
-    out.extend_from_slice(&fp.graph.to_le_bytes());
-    out.extend_from_slice(&fp.state.to_le_bytes());
+    encode_envelope_header(&mut out, &SNAPSHOT_MAGIC, fp);
     out.extend_from_slice(&n.to_le_bytes());
     out.extend_from_slice(&m.to_le_bytes());
     out.extend_from_slice(&(trace.len() as u32).to_le_bytes());
@@ -478,15 +496,26 @@ pub(crate) fn encode_snapshot<P: GasProgram>(
     out
 }
 
+/// Push the shared snapshot-family prefix: magic, format version, and the
+/// run fingerprint (algorithm name, graph hash, state-layout hash).
+pub(crate) fn encode_envelope_header(out: &mut Vec<u8>, magic: &[u8; 4], fp: &Fingerprint) {
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(fp.algorithm.len() as u32).to_le_bytes());
+    out.extend_from_slice(fp.algorithm.as_bytes());
+    out.extend_from_slice(&fp.graph.to_le_bytes());
+    out.extend_from_slice(&fp.state.to_le_bytes());
+}
+
 /// Bounded little-endian reader with byte-offset error context.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-    path: &'a Path,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) path: &'a Path,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
         if self.buf.len() - self.pos < n {
             return Err(SnapshotError::ShortRead {
                 path: self.path.to_path_buf(),
@@ -500,15 +529,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn values<V: StateBytes>(
+    pub(crate) fn values<V: StateBytes>(
         &mut self,
         count: usize,
         what: &'static str,
@@ -519,7 +548,7 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
-    fn bitmap(&mut self, len: u32, what: &'static str) -> Result<Bitmap, SnapshotError> {
+    pub(crate) fn bitmap(&mut self, len: u32, what: &'static str) -> Result<Bitmap, SnapshotError> {
         let words = (len as usize).div_ceil(64);
         let offset = self.pos as u64;
         let raw = self.take(words * 8, what)?;
@@ -534,7 +563,12 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn mismatch(&self, field: &'static str, found: String, expected: String) -> SnapshotError {
+    pub(crate) fn mismatch(
+        &self,
+        field: &'static str,
+        found: String,
+        expected: String,
+    ) -> SnapshotError {
         SnapshotError::FingerprintMismatch {
             path: self.path.to_path_buf(),
             field,
@@ -553,73 +587,8 @@ pub(crate) fn decode_snapshot<P: GasProgram>(
     buf: &[u8],
     fp: &Fingerprint,
 ) -> Result<RestoredState<P>, SnapshotError> {
-    let mut r = Reader { buf, pos: 0, path };
-    let magic = r.take(4, "magic")?;
-    if magic != SNAPSHOT_MAGIC {
-        return Err(SnapshotError::BadMagic {
-            path: path.to_path_buf(),
-        });
-    }
-    let version = r.u32("version")?;
-    if version != SNAPSHOT_VERSION {
-        return Err(SnapshotError::VersionMismatch {
-            path: path.to_path_buf(),
-            found: version,
-            expected: SNAPSHOT_VERSION,
-        });
-    }
-    // Whole-file integrity before anything else is believed.
-    if buf.len() < 8 {
-        return Err(SnapshotError::ShortRead {
-            path: path.to_path_buf(),
-            offset: buf.len() as u64,
-            needed: 8,
-            what: "checksum",
-        });
-    }
-    let body = &buf[..buf.len() - 8];
-    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
-    let computed = fnv1a(body);
-    if stored != computed {
-        return Err(SnapshotError::ChecksumMismatch {
-            path: path.to_path_buf(),
-            stored,
-            computed,
-        });
-    }
-    let mut r = Reader {
-        buf: body,
-        pos: r.pos,
-        path,
-    };
-    let algo_len = r.u32("algorithm name length")? as usize;
-    if algo_len > 4096 {
-        return Err(SnapshotError::Corrupt {
-            path: path.to_path_buf(),
-            offset: r.pos as u64 - 4,
-            what: "algorithm name length",
-        });
-    }
-    let algo = String::from_utf8_lossy(r.take(algo_len, "algorithm name")?).into_owned();
-    if algo != fp.algorithm {
-        return Err(r.mismatch("algorithm", algo, fp.algorithm.clone()));
-    }
-    let graph = r.u64("graph fingerprint")?;
-    if graph != fp.graph {
-        return Err(r.mismatch(
-            "graph fingerprint",
-            format!("{graph:#018x}"),
-            format!("{:#018x}", fp.graph),
-        ));
-    }
-    let state = r.u64("state fingerprint")?;
-    if state != fp.state {
-        return Err(r.mismatch(
-            "state-layout fingerprint",
-            format!("{state:#018x}"),
-            format!("{:#018x}", fp.state),
-        ));
-    }
+    let mut r = check_envelope(path, buf, &SNAPSHOT_MAGIC)?;
+    check_fingerprint(&mut r, fp)?;
     let n = r.u32("vertex count")?;
     let m = r.u64("edge count")?;
     let iters = r.u32("iteration count")? as usize;
@@ -651,11 +620,94 @@ pub(crate) fn decode_snapshot<P: GasProgram>(
     })
 }
 
+/// Validate the shared envelope of any snapshot-family file (`magic`,
+/// version, trailing whole-file checksum) and return a [`Reader`]
+/// positioned after the version field over the checksummed body.
+/// Integrity runs before any field is believed.
+pub(crate) fn check_envelope<'a>(
+    path: &'a Path,
+    buf: &'a [u8],
+    magic: &[u8; 4],
+) -> Result<Reader<'a>, SnapshotError> {
+    let mut r = Reader { buf, pos: 0, path };
+    let found = r.take(4, "magic")?;
+    if found != magic {
+        return Err(SnapshotError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = r.u32("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            path: path.to_path_buf(),
+            found: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    if buf.len() < 8 {
+        return Err(SnapshotError::ShortRead {
+            path: path.to_path_buf(),
+            offset: buf.len() as u64,
+            needed: 8,
+            what: "checksum",
+        });
+    }
+    let body = &buf[..buf.len() - 8];
+    let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            stored,
+            computed,
+        });
+    }
+    Ok(Reader {
+        buf: body,
+        pos: r.pos,
+        path,
+    })
+}
+
+/// Read and validate the fingerprint header (algorithm, graph hash,
+/// state-layout hash); any mismatch fails fast with field context.
+pub(crate) fn check_fingerprint(r: &mut Reader<'_>, fp: &Fingerprint) -> Result<(), SnapshotError> {
+    let algo_len = r.u32("algorithm name length")? as usize;
+    if algo_len > 4096 {
+        return Err(SnapshotError::Corrupt {
+            path: r.path.to_path_buf(),
+            offset: r.pos as u64 - 4,
+            what: "algorithm name length",
+        });
+    }
+    let algo = String::from_utf8_lossy(r.take(algo_len, "algorithm name")?).into_owned();
+    if algo != fp.algorithm {
+        return Err(r.mismatch("algorithm", algo, fp.algorithm.clone()));
+    }
+    let graph = r.u64("graph fingerprint")?;
+    if graph != fp.graph {
+        return Err(r.mismatch(
+            "graph fingerprint",
+            format!("{graph:#018x}"),
+            format!("{:#018x}", fp.graph),
+        ));
+    }
+    let state = r.u64("state fingerprint")?;
+    if state != fp.state {
+        return Err(r.mismatch(
+            "state-layout fingerprint",
+            format!("{state:#018x}"),
+            format!("{:#018x}", fp.state),
+        ));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Files: atomic write, retention, latest-intact scan
 // ---------------------------------------------------------------------------
 
-fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> SnapshotError {
+pub(crate) fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> SnapshotError {
     SnapshotError::Io {
         path: path.to_path_buf(),
         op,
@@ -676,28 +728,29 @@ fn parse_snapshot_name(name: &str) -> Option<u32> {
         .ok()
 }
 
-/// Write encoded snapshot bytes atomically (`.tmp` + fsync + rename) and
-/// prune snapshots beyond [`SNAPSHOTS_RETAINED`]. Returns bytes written.
-pub(crate) fn write_snapshot_file(
+/// Write `bytes` to `dir/name` atomically: `.tmp` + fsync + rename, so a
+/// crash mid-write never leaves a half file under a valid name. Returns
+/// bytes written. Shared by full snapshots, deltas, and the storage
+/// plane's fault-injectable write path.
+pub(crate) fn write_named_atomic(
     dir: &Path,
-    iterations: u32,
+    name: &str,
     bytes: &[u8],
 ) -> Result<u64, SnapshotError> {
     fs::create_dir_all(dir).map_err(|e| io_err(dir, "create directory", e))?;
-    let finalp = dir.join(snapshot_name(iterations));
-    let tmp = dir.join(format!("{}.tmp", snapshot_name(iterations)));
+    let finalp = dir.join(name);
+    let tmp = dir.join(format!("{name}.tmp"));
     {
         let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
         f.write_all(bytes).map_err(|e| io_err(&tmp, "write", e))?;
         f.sync_all().map_err(|e| io_err(&tmp, "sync", e))?;
     }
     fs::rename(&tmp, &finalp).map_err(|e| io_err(&finalp, "rename into place", e))?;
-    prune_old(dir)?;
     Ok(bytes.len() as u64)
 }
 
-/// All snapshot files under `dir`, newest (highest iteration) first.
-fn snapshot_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, SnapshotError> {
+/// All full-snapshot files under `dir`, newest (highest iteration) first.
+pub(crate) fn snapshot_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, SnapshotError> {
     let entries = fs::read_dir(dir).map_err(|e| io_err(dir, "read directory", e))?;
     let mut found = Vec::new();
     for entry in entries {
@@ -711,44 +764,11 @@ fn snapshot_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, SnapshotError> {
     Ok(found)
 }
 
-fn prune_old(dir: &Path) -> Result<(), SnapshotError> {
+pub(crate) fn prune_old(dir: &Path) -> Result<(), SnapshotError> {
     for (_, path) in snapshot_files(dir)?.into_iter().skip(SNAPSHOTS_RETAINED) {
         fs::remove_file(&path).map_err(|e| io_err(&path, "prune", e))?;
     }
     Ok(())
-}
-
-/// Load the newest intact snapshot under `dir` for the given fingerprint.
-///
-/// Corruption (bad checksum, truncation, unreadable file) falls back to
-/// the next-older snapshot; a *fingerprint* mismatch fails fast instead —
-/// resuming a different graph's checkpoint silently would be the worst
-/// possible outcome. Returns the restored state, the file it came from,
-/// and its size in bytes.
-pub(crate) fn load_latest<P: GasProgram>(
-    dir: &Path,
-    fp: &Fingerprint,
-) -> Result<(RestoredState<P>, PathBuf, u64), SnapshotError> {
-    let candidates = snapshot_files(dir)?;
-    let mut last_err: Option<SnapshotError> = None;
-    for (_, path) in &candidates {
-        let buf = match fs::read(path) {
-            Ok(b) => b,
-            Err(e) => {
-                last_err = Some(io_err(path, "read", e));
-                continue;
-            }
-        };
-        match decode_snapshot::<P>(path, &buf, fp) {
-            Ok(state) => return Ok((state, path.clone(), buf.len() as u64)),
-            Err(e @ SnapshotError::FingerprintMismatch { .. })
-            | Err(e @ SnapshotError::VersionMismatch { .. }) => return Err(e),
-            Err(e) => last_err = Some(e),
-        }
-    }
-    Err(last_err.unwrap_or(SnapshotError::NoSnapshot {
-        dir: dir.to_path_buf(),
-    }))
 }
 
 #[cfg(test)]
@@ -770,7 +790,9 @@ mod tests {
         d
     }
 
-    fn sample_state(fp: &Fingerprint) -> Vec<u8> {
+    /// Encoded snapshot whose vertex values carry `seed`, so tests can
+    /// tell which file a resume actually restored.
+    fn sample_state_seeded(fp: &Fingerprint, seed: u32) -> Vec<u8> {
         let mut frontier = Bitmap::new(96);
         frontier.set(3);
         frontier.set(77);
@@ -784,7 +806,7 @@ mod tests {
         }];
         encode_snapshot::<Cc>(
             fp,
-            &(0u32..96).collect::<Vec<_>>(),
+            &(0u32..96).map(|i| i + seed).collect::<Vec<_>>(),
             &[(); 800],
             &vec![u32::MAX; 96],
             &frontier,
@@ -792,6 +814,10 @@ mod tests {
             &Bitmap::new(96),
             &trace,
         )
+    }
+
+    fn sample_state(fp: &Fingerprint) -> Vec<u8> {
+        sample_state_seeded(fp, 0)
     }
 
     #[test]
@@ -944,8 +970,9 @@ mod tests {
         let fp = fingerprint_for(&Cc, &l);
         let dir = tmpdir("retain");
         for iters in [0u32, 2, 4, 6] {
-            let buf = sample_state(&fp);
-            write_snapshot_file(&dir, iters, &buf).unwrap();
+            let buf = sample_state_seeded(&fp, iters);
+            write_named_atomic(&dir, &snapshot_name(iters), &buf).unwrap();
+            prune_old(&dir).unwrap();
         }
         let files = snapshot_files(&dir).unwrap();
         assert_eq!(files.len(), SNAPSHOTS_RETAINED, "older snapshots pruned");
@@ -957,9 +984,9 @@ mod tests {
             .file_name()
             .to_string_lossy()
             .ends_with(".tmp")));
-        let (_, from, bytes) = load_latest::<Cc>(&dir, &fp).unwrap();
-        assert!(from.ends_with(snapshot_name(6)));
-        assert!(bytes > 0);
+        let r = crate::snapshot_delta::load_newest::<Cc>(&dir, &fp).unwrap();
+        assert_eq!(r.state.vertex_values[0], 6, "the newest file was loaded");
+        assert!(r.bytes > 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -968,22 +995,22 @@ mod tests {
         let l = layout();
         let fp = fingerprint_for(&Cc, &l);
         let dir = tmpdir("fallback");
-        write_snapshot_file(&dir, 4, &sample_state(&fp)).unwrap();
-        write_snapshot_file(&dir, 6, &sample_state(&fp)).unwrap();
+        write_named_atomic(&dir, &snapshot_name(4), &sample_state_seeded(&fp, 4)).unwrap();
+        write_named_atomic(&dir, &snapshot_name(6), &sample_state_seeded(&fp, 6)).unwrap();
         // Flip a byte in the newest file.
         let latest = dir.join(snapshot_name(6));
         let mut raw = fs::read(&latest).unwrap();
         raw[100] ^= 0xff;
         fs::write(&latest, &raw).unwrap();
-        let (_, from, _) = load_latest::<Cc>(&dir, &fp).unwrap();
-        assert!(from.ends_with(snapshot_name(4)), "fell back to {from:?}");
+        let r = crate::snapshot_delta::load_newest::<Cc>(&dir, &fp).unwrap();
+        assert_eq!(r.state.vertex_values[0], 4, "fell back to the intact file");
         // Both corrupt -> typed error, not garbage state.
         let prev = dir.join(snapshot_name(4));
         let mut raw = fs::read(&prev).unwrap();
         let at = raw.len() - 1;
         raw.truncate(at);
         fs::write(&prev, &raw).unwrap();
-        assert!(load_latest::<Cc>(&dir, &fp).is_err());
+        assert!(crate::snapshot_delta::load_newest::<Cc>(&dir, &fp).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -996,12 +1023,12 @@ mod tests {
             state: 2,
         };
         assert!(matches!(
-            load_latest::<Cc>(&dir, &fp),
+            crate::snapshot_delta::load_newest::<Cc>(&dir, &fp),
             Err(SnapshotError::NoSnapshot { .. })
         ));
         fs::remove_dir_all(&dir).unwrap();
         assert!(matches!(
-            load_latest::<Cc>(&dir, &fp),
+            crate::snapshot_delta::load_newest::<Cc>(&dir, &fp),
             Err(SnapshotError::Io { .. })
         ));
     }
@@ -1011,6 +1038,15 @@ mod tests {
         assert_eq!(CheckpointPolicy::default(), CheckpointPolicy::InMemoryOnly);
         match CheckpointPolicy::durable("/tmp/x", 0) {
             CheckpointPolicy::Durable { every, .. } => assert_eq!(every, 1, "0 clamps to 1"),
+            _ => unreachable!(),
+        }
+        match CheckpointPolicy::durable_delta("/tmp/x", 0, 0) {
+            CheckpointPolicy::DurableDelta {
+                every, full_every, ..
+            } => {
+                assert_eq!(every, 1, "0 clamps to 1");
+                assert_eq!(full_every, 1, "0 clamps to 1");
+            }
             _ => unreachable!(),
         }
     }

@@ -1,0 +1,100 @@
+//! The multi-GPU snapshot container.
+//!
+//! [`crate::multi::MultiGraphReduce`] computes exact results on one
+//! host-resident master state (device timelines only price the work), so
+//! a multi-GPU checkpoint is a single-GPU snapshot plus the cluster
+//! context it was taken under: the device count and the shard-placement
+//! map. The "GRCM" container wraps the inner GRCK/GRCD blob with exactly
+//! that, under its own whole-file checksum.
+//!
+//! On resume the placement map is *informational*: placement affects only
+//! the simulated timelines, never the results, and the resuming cluster
+//! may have a different device count (a node can come back short a GPU).
+//! The orchestrator therefore always re-derives placement for the current
+//! device set and lets the memory governor redistribute from there,
+//! while the decoded map lets tools and tests see where shards lived.
+
+use std::path::Path;
+
+use crate::snapshot::{check_envelope, fnv1a, SnapshotError, SNAPSHOT_VERSION};
+
+/// Magic bytes opening a multi-GPU snapshot container.
+pub const MULTI_MAGIC: [u8; 4] = *b"GRCM";
+
+/// The cluster context a multi-GPU snapshot was taken under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct MultiPlacement {
+    /// Devices the checkpointing run was using.
+    pub(crate) num_gpus: u32,
+    /// Owning device per shard at capture time.
+    pub(crate) owners: Vec<u32>,
+}
+
+/// Wrap inner snapshot bytes (GRCK or GRCD, checksum included) in a GRCM
+/// container recording the device count and shard-placement map.
+pub(crate) fn wrap_multi(num_gpus: u32, owners: &[usize], inner: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + owners.len() * 4 + inner.len());
+    out.extend_from_slice(&MULTI_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&num_gpus.to_le_bytes());
+    out.extend_from_slice(&(owners.len() as u32).to_le_bytes());
+    for &o in owners {
+        out.extend_from_slice(&(o as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+    out.extend_from_slice(inner);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// If `buf` is a GRCM container, validate it and return the inner bytes
+/// plus the recorded placement; otherwise hand `buf` back unchanged.
+pub(crate) fn unwrap_if_multi(
+    path: &Path,
+    buf: Vec<u8>,
+) -> Result<(Vec<u8>, Option<MultiPlacement>), SnapshotError> {
+    if buf.len() < 4 || buf[..4] != MULTI_MAGIC {
+        return Ok((buf, None));
+    }
+    let mut r = check_envelope(path, &buf, &MULTI_MAGIC)?;
+    let num_gpus = r.u32("device count")?;
+    let owners_len = r.u32("placement map length")? as usize;
+    let mut owners = Vec::with_capacity(owners_len);
+    for _ in 0..owners_len {
+        owners.push(r.u32("placement map entry")?);
+    }
+    let inner_len = r.u64("inner snapshot length")? as usize;
+    let inner = r.take(inner_len, "inner snapshot")?.to_vec();
+    Ok((inner, Some(MultiPlacement { num_gpus, owners })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_container_round_trips_placement_and_inner_bytes() {
+        let inner = vec![0xabu8; 193];
+        let owners = vec![0usize, 1, 2, 0, 1];
+        let wrapped = wrap_multi(3, &owners, &inner);
+        let path = Path::new("mem");
+        let (got_inner, placement) = unwrap_if_multi(path, wrapped.clone()).unwrap();
+        assert_eq!(got_inner, inner);
+        let placement = placement.expect("GRCM carries placement");
+        assert_eq!(placement.num_gpus, 3);
+        assert_eq!(placement.owners, vec![0u32, 1, 2, 0, 1]);
+        // Non-GRCM bytes pass through untouched.
+        let (passthrough, none) = unwrap_if_multi(path, inner.clone()).unwrap();
+        assert_eq!(passthrough, inner);
+        assert!(none.is_none());
+        // Any flipped bit fails the outer checksum.
+        let mut bad = wrapped;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x04;
+        assert!(matches!(
+            unwrap_if_multi(path, bad),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+}

@@ -80,10 +80,31 @@ pub struct RunStats {
     /// Durable snapshots written to disk (0 unless
     /// [`CheckpointPolicy::Durable`](crate::CheckpointPolicy) is armed).
     pub checkpoint_writes: u64,
-    /// Total bytes of durable snapshots written.
+    /// Total bytes of durable snapshots written (on-disk bytes, after
+    /// any snapshot compression).
     pub checkpoint_bytes_written: u64,
+    /// On-disk bytes of *full* snapshots (all of
+    /// [`RunStats::checkpoint_bytes_written`] unless delta mode is on).
+    pub checkpoint_full_bytes: u64,
+    /// Delta snapshots written (0 unless
+    /// [`CheckpointPolicy::DurableDelta`](crate::CheckpointPolicy) is armed).
+    pub checkpoint_delta_writes: u64,
+    /// On-disk bytes of delta snapshots.
+    pub checkpoint_delta_bytes: u64,
+    /// Pre-compression encoded snapshot bytes (equals
+    /// [`RunStats::checkpoint_bytes_written`] without a snapshot codec).
+    pub checkpoint_raw_bytes: u64,
     /// Durable snapshot restores (1 on a resumed run, else 0).
     pub checkpoint_restores: u64,
+    /// Checkpoint writes skipped after storage-retry exhaustion (the
+    /// run continues, covered by the previous snapshot).
+    pub checkpoints_skipped: u64,
+    /// Storage-op retries after injected or real I/O faults on the
+    /// spill/checkpoint path (0 without I/O faults).
+    pub storage_retries: u64,
+    /// Spill reads that exhausted retries and re-streamed the shard
+    /// from the source graph instead.
+    pub spill_restreams: u64,
     /// Shards evicted to the configured [`ShardStore`](crate::ShardStore)
     /// (out-of-host-core spill). 0 without a store.
     pub spilled_shards: u64,
@@ -245,7 +266,11 @@ impl std::fmt::Display for RunStats {
         }
         // Durability is opt-in twice over: the line appears only when a
         // durable policy, a resume, or a spill store actually did work.
-        if self.checkpoint_writes > 0 || self.checkpoint_restores > 0 || self.spilled_shards > 0 {
+        if self.checkpoint_writes > 0
+            || self.checkpoint_restores > 0
+            || self.spilled_shards > 0
+            || self.checkpoints_skipped > 0
+        {
             write!(
                 f,
                 "\n  durability: {} snapshots ({:.2} MB) written, {} restored | \
@@ -258,9 +283,29 @@ impl std::fmt::Display for RunStats {
                 self.spill_loads,
                 self.spill_load_bytes as f64 / 1e6
             )?;
+            // Delta mode adds the full-vs-delta byte split; full-only
+            // durable runs keep the exact line they always printed.
+            if self.checkpoint_delta_writes > 0 {
+                write!(
+                    f,
+                    " | {:.2} MB full + {} deltas ({:.2} MB)",
+                    self.checkpoint_full_bytes as f64 / 1e6,
+                    self.checkpoint_delta_writes,
+                    self.checkpoint_delta_bytes as f64 / 1e6
+                )?;
+            }
             if let Some(fp) = self.state_fingerprint {
                 write!(f, "\n  state fingerprint: {fp:#018x}")?;
             }
+        }
+        // Storage-fault handling is its own conditional line: fault-free
+        // durable runs stay byte-identical.
+        if self.storage_retries > 0 || self.checkpoints_skipped > 0 || self.spill_restreams > 0 {
+            write!(
+                f,
+                "\n  storage faults: {} retries | {} checkpoints skipped, {} spill re-streams",
+                self.storage_retries, self.checkpoints_skipped, self.spill_restreams
+            )?;
         }
         // Compression is opt-in: uncompressed output stays byte-identical.
         if let Some(codec) = self.compression_codec {
@@ -379,6 +424,47 @@ mod tests {
         );
         assert!(durable.contains("4 shards spilled (8.00 MB), 2 loaded back (4.00 MB)"));
         assert!(durable.contains("state fingerprint: 0x00000000deadbeef"));
+        assert!(!durable.contains("deltas"), "full-only line is unchanged");
+        assert!(!durable.contains("storage faults:"), "{durable}");
+    }
+
+    #[test]
+    fn delta_split_and_storage_fault_lines_are_conditional() {
+        let delta = RunStats {
+            checkpoint_writes: 5,
+            checkpoint_bytes_written: 3_000_000,
+            checkpoint_full_bytes: 2_000_000,
+            checkpoint_delta_writes: 3,
+            checkpoint_delta_bytes: 1_000_000,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(
+            delta.contains("2.00 MB full + 3 deltas (1.00 MB)"),
+            "{delta}"
+        );
+        let faulted = RunStats {
+            checkpoint_writes: 2,
+            storage_retries: 4,
+            checkpoints_skipped: 1,
+            spill_restreams: 1,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(
+            faulted
+                .contains("storage faults: 4 retries | 1 checkpoints skipped, 1 spill re-streams"),
+            "{faulted}"
+        );
+        let skipped_only = RunStats {
+            checkpoints_skipped: 1,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(
+            skipped_only.contains("durability: 0 snapshots"),
+            "skipped checkpoints surface the durability line: {skipped_only}"
+        );
     }
 
     #[test]

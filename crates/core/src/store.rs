@@ -384,14 +384,14 @@ impl ShardStore for FileShardStore {
 }
 
 /// Frame byte naming the v2 codec: 0 = varint, `k` = ζ_k.
-fn codec_tag(codec: CompressionCodec) -> u8 {
+pub(crate) fn codec_tag(codec: CompressionCodec) -> u8 {
     match codec {
         CompressionCodec::Varint => 0,
         CompressionCodec::Zeta(k) => k.clamp(1, 8) as u8,
     }
 }
 
-fn codec_from_tag(tag: u8) -> Option<CompressionCodec> {
+pub(crate) fn codec_from_tag(tag: u8) -> Option<CompressionCodec> {
     match tag {
         0 => Some(CompressionCodec::Varint),
         k @ 1..=8 => Some(CompressionCodec::Zeta(k as u32)),
@@ -405,7 +405,7 @@ fn codec_from_tag(tag: u8) -> Option<CompressionCodec> {
 /// deltas are the same small gaps the shard codecs were built for),
 /// zig-zagged, and written through `codec`. A non-multiple-of-4 tail
 /// rides as raw bytes after the coded words.
-fn compress_payload(codec: CompressionCodec, payload: &[u8]) -> Vec<u8> {
+pub(crate) fn compress_payload(codec: CompressionCodec, payload: &[u8]) -> Vec<u8> {
     let mut w = BitWriter::new();
     let words = payload.len() / 4;
     let mut prev = [0u32; 2];
@@ -429,7 +429,7 @@ fn compress_payload(codec: CompressionCodec, payload: &[u8]) -> Vec<u8> {
 /// Exact inverse of [`compress_payload`]; `rawlen` comes from the frame
 /// header (the checksum has already vouched for both by the time this
 /// runs).
-fn decompress_payload(codec: CompressionCodec, z: &[u8], rawlen: usize) -> Vec<u8> {
+pub(crate) fn decompress_payload(codec: CompressionCodec, z: &[u8], rawlen: usize) -> Vec<u8> {
     let mut bits = vec![0u64; z.len().div_ceil(8)];
     for (i, &b) in z.iter().enumerate() {
         bits[i / 8] |= (b as u64) << ((i % 8) * 8);

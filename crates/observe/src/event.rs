@@ -256,6 +256,46 @@ pub enum Decision {
         /// Snapshot file size read back.
         bytes: u64,
     },
+    /// A storage op (spill read/write, checkpoint write) faulted and was
+    /// retried after a host-side backoff. Exactly one decision per
+    /// injected storage fault that a retry absorbed.
+    StorageRetry {
+        iteration: u32,
+        /// Operation that faulted: `"spill.read"`, `"spill.write"`,
+        /// `"checkpoint.write"`.
+        op: &'static str,
+        /// Fault kind, e.g. `"io.spill.read"` or `"torn.checkpoint.write"`.
+        fault: &'static str,
+        /// Shard index for spill ops; 0 for checkpoint writes.
+        shard: u32,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Host-side backoff before the retry, in nanoseconds (never
+        /// charged to the virtual device timeline).
+        backoff_ns: u64,
+    },
+    /// Storage retries were exhausted and the engine degraded gracefully
+    /// instead of failing the run — e.g. a spill read re-streamed the
+    /// shard from the source graph, or a spill write kept the shard
+    /// resident. Exactly one decision per exhausting fault.
+    StorageDegraded {
+        iteration: u32,
+        /// Operation whose retries were exhausted.
+        op: &'static str,
+        /// Shard index for spill ops; 0 otherwise.
+        shard: u32,
+        /// Degradation taken, e.g. `"re-stream from source graph"`.
+        rationale: &'static str,
+    },
+    /// A durable checkpoint write ultimately failed and was skipped; the
+    /// run continues, covered by the previous snapshot. Exactly one
+    /// decision per exhausting fault.
+    CheckpointSkipped {
+        /// Iteration boundary whose snapshot was skipped.
+        iteration: u32,
+        /// Why, e.g. `"io.checkpoint.write"` after retry exhaustion.
+        rationale: &'static str,
+    },
 }
 
 impl Decision {
@@ -300,6 +340,21 @@ impl Decision {
                 | Decision::ShardLoad { .. }
                 | Decision::CheckpointWrite { .. }
                 | Decision::CheckpointRestore { .. }
+        )
+    }
+
+    /// True for storage-fault decisions (retries, graceful degradation,
+    /// skipped checkpoints on the spill/checkpoint I/O path). A class of
+    /// its own so the device-fault invariant (one recovery decision per
+    /// injected device fault) and the durability accounting stay exact
+    /// when storage faults are armed: one storage decision is recorded
+    /// per injected storage fault.
+    pub fn is_storage(&self) -> bool {
+        matches!(
+            self,
+            Decision::StorageRetry { .. }
+                | Decision::StorageDegraded { .. }
+                | Decision::CheckpointSkipped { .. }
         )
     }
 
@@ -434,6 +489,37 @@ mod tests {
             assert!(!d.is_recovery(), "durability is not fault recovery");
             assert!(!d.is_shard_skip());
             assert!(!d.is_compression());
+            assert!(!d.is_storage(), "durability is not storage-fault handling");
+        }
+    }
+
+    #[test]
+    fn storage_fault_classification() {
+        let retry = Decision::StorageRetry {
+            iteration: 2,
+            op: "spill.read",
+            fault: "io.spill.read",
+            shard: 3,
+            attempt: 1,
+            backoff_ns: 50_000,
+        };
+        let degraded = Decision::StorageDegraded {
+            iteration: 2,
+            op: "spill.read",
+            shard: 3,
+            rationale: "re-stream from source graph",
+        };
+        let skipped = Decision::CheckpointSkipped {
+            iteration: 4,
+            rationale: "io.checkpoint.write",
+        };
+        for d in [&retry, &degraded, &skipped] {
+            assert!(d.is_storage());
+            assert!(!d.is_durability(), "storage faults are not durability work");
+            assert!(!d.is_recovery(), "storage faults are not device recovery");
+            assert!(!d.is_memory());
+            assert!(!d.is_compression());
+            assert!(!d.is_shard_skip());
         }
     }
 

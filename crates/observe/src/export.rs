@@ -201,6 +201,39 @@ fn decision_line(d: &Decision) -> String {
             "{{\"type\":\"decision\",\"kind\":\"checkpoint_restore\",\"iteration\":{iteration},\
              \"bytes\":{bytes}}}"
         ),
+        Decision::StorageRetry {
+            iteration,
+            op,
+            fault,
+            shard,
+            attempt,
+            backoff_ns,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"storage_retry\",\"iteration\":{iteration},\
+             \"op\":{},\"fault\":{},\"shard\":{shard},\"attempt\":{attempt},\
+             \"backoff_ns\":{backoff_ns}}}",
+            json::string(op),
+            json::string(fault)
+        ),
+        Decision::StorageDegraded {
+            iteration,
+            op,
+            shard,
+            rationale,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"storage_degraded\",\"iteration\":{iteration},\
+             \"op\":{},\"shard\":{shard},\"rationale\":{}}}",
+            json::string(op),
+            json::string(rationale)
+        ),
+        Decision::CheckpointSkipped {
+            iteration,
+            rationale,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"checkpoint_skipped\",\"iteration\":{iteration},\
+             \"rationale\":{}}}",
+            json::string(rationale)
+        ),
     }
 }
 
@@ -708,6 +741,24 @@ mod tests {
             iteration: 2,
             bytes: 65536,
         });
+        obs.decision(|| Decision::StorageRetry {
+            iteration: 1,
+            op: "spill.read",
+            fault: "io.spill.read",
+            shard: 1,
+            attempt: 1,
+            backoff_ns: 50_000,
+        });
+        obs.decision(|| Decision::StorageDegraded {
+            iteration: 1,
+            op: "spill.read",
+            shard: 1,
+            rationale: "re-stream from source graph",
+        });
+        obs.decision(|| Decision::CheckpointSkipped {
+            iteration: 3,
+            rationale: "io.checkpoint.write",
+        });
         let mut m = MetricsRegistry::new();
         m.inc("h2d.bytes", 42);
         m.observe("h2d.size_bytes", 42);
@@ -715,7 +766,7 @@ mod tests {
         let rec = sink.recorded();
         let out = jsonl(&rec);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 11);
+        assert_eq!(lines.len(), 14);
         for line in &lines {
             assert!(jsonck::valid(line), "invalid JSONL line: {line}");
         }
@@ -732,8 +783,13 @@ mod tests {
         assert!(lines[8].contains("\"kind\":\"checkpoint_write\""));
         assert!(lines[8].contains("\"bytes\":65536"));
         assert!(lines[9].contains("\"kind\":\"checkpoint_restore\""));
-        assert!(lines[10].contains("\"scope\":\"run\""));
-        assert!(lines[10].contains("\"h2d.bytes\":42"));
-        assert!(lines[10].contains("\"buckets\":[[32,1]]"));
+        assert!(lines[10].contains("\"kind\":\"storage_retry\""));
+        assert!(lines[10].contains("\"fault\":\"io.spill.read\""));
+        assert!(lines[11].contains("\"kind\":\"storage_degraded\""));
+        assert!(lines[11].contains("\"rationale\":\"re-stream from source graph\""));
+        assert!(lines[12].contains("\"kind\":\"checkpoint_skipped\""));
+        assert!(lines[13].contains("\"scope\":\"run\""));
+        assert!(lines[13].contains("\"h2d.bytes\":42"));
+        assert!(lines[13].contains("\"buckets\":[[32,1]]"));
     }
 }

@@ -113,6 +113,13 @@ impl Recorded {
     pub fn compression_decisions(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_compression()).count()
     }
+
+    /// Storage-fault decisions only (retries, degradations, skipped
+    /// checkpoints) — chaos tests check one of these per injected
+    /// storage fault; zero when no I/O faults are armed.
+    pub fn storage_decisions(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_storage()).count()
+    }
 }
 
 /// In-memory sink: records everything for later export or assertions.

@@ -21,6 +21,12 @@
 //!   at iteration boundary `K` (the chaos stand-in for SIGKILL). Not a
 //!   device fault at all: nothing retries it, the engine unwinds, and only
 //!   a durable checkpoint makes the work resumable.
+//! * **Storage I/O faults** — the `n`-th spill read, spill write, or
+//!   checkpoint write (zero-based, counted per class over the run) fails
+//!   for `count` consecutive attempts, either as a clean transient error
+//!   or as a *torn write* (the bytes that reach disk are truncated before
+//!   the error surfaces). Same monotone-counter discipline as the device
+//!   windows, so retry always marches past a finite window.
 //!
 //! Plans are either built explicitly (chaos tests pin exact schedules) or
 //! derived from a seed via an inline SplitMix64 generator — same seed, same
@@ -64,6 +70,75 @@ impl FaultOp {
             FaultOp::Alloc => 3,
         }
     }
+}
+
+/// Storage-plane operation classes an I/O fault window can target.
+///
+/// These are host-side disk operations (shard spill, durable
+/// checkpoints), not device ops: they never touch the virtual timeline,
+/// only the storage layer's retry/degradation machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoOp {
+    /// Reading a spilled shard back from the shard store.
+    SpillRead,
+    /// Writing an evicted shard to the shard store.
+    SpillWrite,
+    /// Writing a durable checkpoint snapshot.
+    CheckpointWrite,
+}
+
+impl IoOp {
+    /// Stable name used in decision records, e.g. `"spill.read"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::SpillRead => "spill.read",
+            IoOp::SpillWrite => "spill.write",
+            IoOp::CheckpointWrite => "checkpoint.write",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            IoOp::SpillRead => 0,
+            IoOp::SpillWrite => 1,
+            IoOp::CheckpointWrite => 2,
+        }
+    }
+}
+
+/// Flavor of an injected storage fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoFault {
+    /// The operation fails cleanly; nothing reaches disk.
+    Transient,
+    /// A write is cut short: truncated bytes reach the temp location
+    /// before the error surfaces. Atomic rename discipline must ensure
+    /// the torn bytes are never installed as a valid artifact.
+    Torn,
+}
+
+impl IoFault {
+    /// Stable fault-kind name for decision logs, e.g. `"torn.checkpoint.write"`.
+    pub fn name(self, op: IoOp) -> &'static str {
+        match (self, op) {
+            (IoFault::Transient, IoOp::SpillRead) => "io.spill.read",
+            (IoFault::Transient, IoOp::SpillWrite) => "io.spill.write",
+            (IoFault::Transient, IoOp::CheckpointWrite) => "io.checkpoint.write",
+            (IoFault::Torn, IoOp::SpillRead) => "torn.spill.read",
+            (IoFault::Torn, IoOp::SpillWrite) => "torn.spill.write",
+            (IoFault::Torn, IoOp::CheckpointWrite) => "torn.checkpoint.write",
+        }
+    }
+}
+
+/// `count` consecutive storage ops of class `op`, starting at the
+/// zero-based per-class index `start`, fail (torn if `torn`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFaultWindow {
+    pub op: IoOp,
+    pub start: u64,
+    pub count: u64,
+    pub torn: bool,
 }
 
 /// Error surfaced by the fallible `Gpu::try_*` entry points.
@@ -141,6 +216,7 @@ pub struct FaultPlan {
     degraded: Vec<BandwidthWindow>,
     lose_at_ns: Option<u64>,
     kill_at_iteration: Option<u32>,
+    io_windows: Vec<IoFaultWindow>,
 }
 
 impl FaultPlan {
@@ -156,6 +232,7 @@ impl FaultPlan {
             && self.degraded.is_empty()
             && self.lose_at_ns.is_none()
             && self.kill_at_iteration.is_none()
+            && self.io_windows.is_empty()
     }
 
     /// Fail `count` consecutive ops of class `op` starting at index `start`.
@@ -224,6 +301,66 @@ impl FaultPlan {
     /// Scheduled process-kill iteration boundary, if any.
     pub fn kill_at(&self) -> Option<u32> {
         self.kill_at_iteration
+    }
+
+    /// Fail `count` consecutive storage ops of class `op` starting at
+    /// the zero-based per-class index `start`.
+    pub fn fail_io(mut self, op: IoOp, start: u64, count: u64, torn: bool) -> Self {
+        if count > 0 {
+            self.io_windows.push(IoFaultWindow {
+                op,
+                start,
+                count,
+                torn,
+            });
+        }
+        self
+    }
+
+    /// Fail `count` spill-store reads starting at the `start`-th read.
+    pub fn fail_spill_read(self, start: u64, count: u64) -> Self {
+        self.fail_io(IoOp::SpillRead, start, count, false)
+    }
+
+    /// Fail `count` spill-store writes starting at the `start`-th write.
+    pub fn fail_spill_write(self, start: u64, count: u64) -> Self {
+        self.fail_io(IoOp::SpillWrite, start, count, false)
+    }
+
+    /// Fail `count` checkpoint writes starting at the `start`-th write.
+    pub fn fail_checkpoint_write(self, start: u64, count: u64) -> Self {
+        self.fail_io(IoOp::CheckpointWrite, start, count, false)
+    }
+
+    /// Tear `count` checkpoint writes starting at the `start`-th write:
+    /// truncated bytes reach the temp file before the error surfaces.
+    pub fn torn_checkpoint_write(self, start: u64, count: u64) -> Self {
+        self.fail_io(IoOp::CheckpointWrite, start, count, true)
+    }
+
+    /// Does the `index`-th storage op of class `op` fault — and how?
+    /// Torn windows win over transient ones on overlap (the worse fault).
+    pub fn io_fault_at(&self, op: IoOp, index: u64) -> Option<IoFault> {
+        let mut hit = None;
+        for w in &self.io_windows {
+            if w.op == op && index >= w.start && index - w.start < w.count {
+                if w.torn {
+                    return Some(IoFault::Torn);
+                }
+                hit = Some(IoFault::Transient);
+            }
+        }
+        hit
+    }
+
+    /// True when the plan injects any storage-plane faults.
+    pub fn has_io_faults(&self) -> bool {
+        !self.io_windows.is_empty()
+    }
+
+    /// Total storage I/O faults the plan will inject.
+    pub fn io_fault_count(&self) -> u64 {
+        self.io_windows.iter().map(|w| w.count).sum()
     }
 
     /// Does the `index`-th op of class `op` fault?
@@ -308,10 +445,16 @@ impl FaultPlan {
             "chaos" => Ok(FaultPlan::from_seed(seed)),
             // `kill:<K>` reuses the seed slot as the iteration boundary.
             "kill" => Ok(FaultPlan::none().kill_at_iteration(seed as u32)),
+            "spill-io" => Ok(FaultPlan::none()
+                .fail_spill_read(0, 2)
+                .fail_spill_write(1, 1)),
+            "checkpoint-io" => Ok(FaultPlan::none()
+                .fail_checkpoint_write(0, 2)
+                .torn_checkpoint_write(3, 1)),
             other => Err(format!(
                 "unknown fault profile '{other}' (expected none, transient-copy, kernel-fault, \
                  oom-pressure, ecc-stall, degraded-pcie, device-loss, chaos, kill:<iteration>, \
-                 or a bare seed)"
+                 spill-io, checkpoint-io, or a bare seed)"
             )),
         }
     }
@@ -370,6 +513,52 @@ impl FaultState {
         let idx = self.seen[i];
         self.seen[i] += 1;
         idx
+    }
+}
+
+/// Mutable storage-fault state owned by the engine's storage layer:
+/// per-class monotone attempt counters over the plan's I/O windows
+/// (the host-side sibling of the device-op `FaultState`).
+#[derive(Clone, Debug)]
+pub struct IoFaultState {
+    plan: FaultPlan,
+    /// Per-class monotone attempt counters (indexed by [`IoOp::index`]).
+    seen: [u64; 3],
+    injected: u64,
+}
+
+impl IoFaultState {
+    /// Build state over `plan`'s I/O windows (device windows are ignored).
+    pub fn new(plan: &FaultPlan) -> Self {
+        IoFaultState {
+            plan: plan.clone(),
+            seen: [0; 3],
+            injected: 0,
+        }
+    }
+
+    /// True when the plan schedules at least one storage fault — the
+    /// single branch the disarmed fast path pays.
+    pub fn armed(&self) -> bool {
+        self.plan.has_io_faults()
+    }
+
+    /// Consume one attempt of class `op`; returns the injected fault,
+    /// if this attempt falls in a window.
+    pub fn next(&mut self, op: IoOp) -> Option<IoFault> {
+        let i = op.index();
+        let idx = self.seen[i];
+        self.seen[i] += 1;
+        let hit = self.plan.io_fault_at(op, idx);
+        if hit.is_some() {
+            self.injected += 1;
+        }
+        hit
+    }
+
+    /// Storage faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
     }
 }
 
@@ -489,6 +678,79 @@ mod tests {
         assert!(!st.is_lost());
         st.mark_lost();
         assert!(st.is_lost());
+    }
+
+    #[test]
+    fn io_windows_cover_their_range_and_arm_the_plan() {
+        let p = FaultPlan::none().fail_spill_read(1, 2);
+        assert!(!p.is_none(), "an I/O-armed plan is not the empty plan");
+        assert!(p.has_io_faults());
+        assert_eq!(p.io_fault_at(IoOp::SpillRead, 0), None);
+        assert_eq!(p.io_fault_at(IoOp::SpillRead, 1), Some(IoFault::Transient));
+        assert_eq!(p.io_fault_at(IoOp::SpillRead, 2), Some(IoFault::Transient));
+        assert_eq!(p.io_fault_at(IoOp::SpillRead, 3), None);
+        assert_eq!(
+            p.io_fault_at(IoOp::SpillWrite, 1),
+            None,
+            "classes are independent"
+        );
+        assert_eq!(p.io_fault_count(), 2);
+        assert!(!FaultPlan::none().has_io_faults());
+    }
+
+    #[test]
+    fn torn_windows_win_over_transient_on_overlap() {
+        let p = FaultPlan::none()
+            .fail_checkpoint_write(0, 3)
+            .torn_checkpoint_write(1, 1);
+        assert_eq!(
+            p.io_fault_at(IoOp::CheckpointWrite, 0),
+            Some(IoFault::Transient)
+        );
+        assert_eq!(p.io_fault_at(IoOp::CheckpointWrite, 1), Some(IoFault::Torn));
+        assert_eq!(
+            p.io_fault_at(IoOp::CheckpointWrite, 2),
+            Some(IoFault::Transient)
+        );
+    }
+
+    #[test]
+    fn io_state_counters_are_per_class_and_monotone() {
+        let mut st = IoFaultState::new(&FaultPlan::none().fail_spill_write(1, 1));
+        assert!(st.armed());
+        assert_eq!(st.next(IoOp::SpillWrite), None);
+        assert_eq!(st.next(IoOp::SpillRead), None, "classes are independent");
+        assert_eq!(st.next(IoOp::SpillWrite), Some(IoFault::Transient));
+        assert_eq!(st.next(IoOp::SpillWrite), None, "window marched past");
+        assert_eq!(st.injected(), 1);
+        assert!(!IoFaultState::new(&FaultPlan::none()).armed());
+    }
+
+    #[test]
+    fn io_profiles_parse_and_schedule_storage_faults() {
+        let spill = FaultPlan::parse("spill-io").unwrap();
+        assert_eq!(spill.io_fault_count(), 3);
+        assert_eq!(
+            spill.io_fault_at(IoOp::SpillRead, 0),
+            Some(IoFault::Transient)
+        );
+        let ckpt = FaultPlan::parse("checkpoint-io").unwrap();
+        assert_eq!(
+            ckpt.io_fault_at(IoOp::CheckpointWrite, 3),
+            Some(IoFault::Torn)
+        );
+        assert_eq!(ckpt.io_fault_count(), 3);
+        assert_eq!(ckpt.transient_fault_count(), 0, "no device faults");
+    }
+
+    #[test]
+    fn io_fault_names_are_stable() {
+        assert_eq!(IoFault::Transient.name(IoOp::SpillRead), "io.spill.read");
+        assert_eq!(
+            IoFault::Torn.name(IoOp::CheckpointWrite),
+            "torn.checkpoint.write"
+        );
+        assert_eq!(IoOp::CheckpointWrite.name(), "checkpoint.write");
     }
 
     #[test]

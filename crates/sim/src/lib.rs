@@ -41,7 +41,10 @@ pub mod xfer;
 
 pub use config::{DeviceConfig, HostConfig, PcieConfig, Platform, StorageConfig};
 pub use cpu::{cpu_time, CpuClock, CpuWork};
-pub use fault::{BandwidthWindow, DeviceFault, DeviceHealth, FaultOp, FaultPlan, FaultWindow};
+pub use fault::{
+    BandwidthWindow, DeviceFault, DeviceHealth, FaultOp, FaultPlan, FaultWindow, IoFault,
+    IoFaultState, IoFaultWindow, IoOp,
+};
 pub use gpu::{Event, Gpu, GpuStats, StreamId};
 pub use kernel::{kernel_time, KernelSpec};
 pub use memory::{Allocation, MemoryPool, OutOfMemory};
