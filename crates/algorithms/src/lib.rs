@@ -28,7 +28,7 @@ pub mod sssp;
 pub use bfs::{Bfs, UNREACHED};
 pub use cc::Cc;
 pub use heat::Heat;
-pub use msbfs::{MsBfs, MsBfsValue};
+pub use msbfs::{MsBfs, MsBfsLevels, MsBfsLevelsValue, MsBfsValue};
 pub use pagerank::{PageRank, PrValue};
 pub use spmv::{Spmv, SpmvValue};
 pub use sssp::{Sssp, UNREACHABLE};

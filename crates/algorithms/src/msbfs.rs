@@ -108,6 +108,174 @@ impl GasProgram for MsBfs {
     fn scatter(&self, _s: &MsBfsValue, _d: &MsBfsValue, _e: &mut ()) {}
 }
 
+/// Per-vertex state for [`MsBfsLevels`]: the reachability mask plus one
+/// BFS depth *per source lane*.
+///
+/// `levels[i]` is the iteration at which source `i`'s wave first reached
+/// this vertex — exactly the depth the standalone [`crate::Bfs`] program
+/// records (its Apply writes the iteration number on first touch, and the
+/// MS-BFS wave advances one hop per iteration from the same seeds), with
+/// [`crate::UNREACHED`] for lanes that never arrive. This is what lets a
+/// serving layer batch K point-BFS queries into one sweep and demultiplex
+/// bit-identical per-query answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsBfsLevelsValue {
+    /// Bit `i` set ⇔ source `i` reaches this vertex.
+    pub reached_by: u64,
+    /// Per-lane BFS depth (`u32::MAX` = lane never arrived).
+    pub levels: [u32; 64],
+}
+
+impl Default for MsBfsLevelsValue {
+    fn default() -> Self {
+        MsBfsLevelsValue {
+            reached_by: 0,
+            levels: [u32::MAX; 64],
+        }
+    }
+}
+
+// `impl_state_bytes!` handles named scalar fields only; the lane array is
+// serialized manually (fixed-width little-endian, like every other state).
+impl graphreduce::StateBytes for MsBfsLevelsValue {
+    const BYTES: usize = 8 + 4 * 64;
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.reached_by.to_le_bytes());
+        for (i, l) in self.levels.iter().enumerate() {
+            let o = 8 + i * 4;
+            out[o..o + 4].copy_from_slice(&l.to_le_bytes());
+        }
+    }
+
+    fn read_bytes(src: &[u8]) -> Self {
+        let reached_by = u64::from_le_bytes(src[..8].try_into().unwrap());
+        let mut levels = [u32::MAX; 64];
+        for (i, l) in levels.iter_mut().enumerate() {
+            let o = 8 + i * 4;
+            *l = u32::from_le_bytes(src[o..o + 4].try_into().unwrap());
+        }
+        MsBfsLevelsValue { reached_by, levels }
+    }
+}
+
+/// Multi-source BFS recording a full per-lane depth vector: the batched
+/// form of K independent [`crate::Bfs`] runs (up to 64 per sweep).
+///
+/// Same wavefront as [`MsBfs`] — `Gather` ORs in-neighbor masks, the
+/// seeding round activates everything once — but Apply stamps the arrival
+/// iteration into every newly set lane instead of collapsing to a single
+/// first-hit, so each lane demultiplexes to the exact standalone BFS
+/// depth vector for its source.
+#[derive(Clone, Debug)]
+pub struct MsBfsLevels {
+    /// Source vertices (lane `i` answers the query "BFS from
+    /// `sources[i]`"). At most 64; duplicates are allowed (identical
+    /// lanes).
+    pub sources: Vec<u32>,
+}
+
+impl MsBfsLevels {
+    pub fn new(sources: Vec<u32>) -> Self {
+        assert!(
+            (1..=64).contains(&sources.len()),
+            "MS-BFS runs 1..=64 sources per pass"
+        );
+        MsBfsLevels { sources }
+    }
+
+    fn initial_mask(&self, v: u32) -> u64 {
+        let mut m = 0;
+        for (i, &s) in self.sources.iter().enumerate() {
+            if s == v {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Lane `i`'s depth vector over `values` — the standalone
+    /// `Bfs::new(sources[i])` answer.
+    pub fn lane_depths(values: &[MsBfsLevelsValue], lane: usize) -> Vec<u32> {
+        values.iter().map(|v| v.levels[lane]).collect()
+    }
+
+    /// Demultiplex the first `lanes` lanes in one pass over `values`:
+    /// `result[i] == lane_depths(values, i)`. A serving batch demuxes
+    /// every lane, and one scan of the (large) value array beats `lanes`
+    /// strided scans by the lane count.
+    pub fn all_lane_depths(values: &[MsBfsLevelsValue], lanes: usize) -> Vec<Vec<u32>> {
+        assert!(lanes <= 64, "at most 64 lanes per sweep");
+        let mut out = vec![vec![0u32; values.len()]; lanes];
+        for (v_idx, v) in values.iter().enumerate() {
+            for (lane, depths) in out.iter_mut().enumerate() {
+                depths[v_idx] = v.levels[lane];
+            }
+        }
+        out
+    }
+}
+
+impl GasProgram for MsBfsLevels {
+    type VertexValue = MsBfsLevelsValue;
+    type EdgeValue = ();
+    type Gather = u64;
+
+    fn name(&self) -> &'static str {
+        "ms-bfs-levels"
+    }
+
+    fn init_vertex(&self, v: u32, _out_degree: u32) -> MsBfsLevelsValue {
+        let mask = self.initial_mask(v);
+        let mut levels = [u32::MAX; 64];
+        let mut bits = mask;
+        while bits != 0 {
+            levels[bits.trailing_zeros() as usize] = 0;
+            bits &= bits - 1;
+        }
+        MsBfsLevelsValue {
+            reached_by: mask,
+            levels,
+        }
+    }
+
+    fn initial_frontier(&self) -> InitialFrontier {
+        InitialFrontier::All
+    }
+
+    fn gather_identity(&self) -> u64 {
+        0
+    }
+
+    fn gather_map(&self, _dst: &MsBfsLevelsValue, src: &MsBfsLevelsValue, _e: &(), _w: f32) -> u64 {
+        src.reached_by
+    }
+
+    fn gather_reduce(&self, a: u64, b: u64) -> u64 {
+        a | b
+    }
+
+    fn apply(&self, v: &mut MsBfsLevelsValue, r: u64, iteration: u32) -> bool {
+        if iteration == 0 {
+            // Seeding round: only the sources propagate.
+            return v.reached_by != 0;
+        }
+        let new_bits = r & !v.reached_by;
+        if new_bits == 0 {
+            return false;
+        }
+        v.reached_by |= new_bits;
+        let mut bits = new_bits;
+        while bits != 0 {
+            v.levels[bits.trailing_zeros() as usize] = iteration;
+            bits &= bits - 1;
+        }
+        true
+    }
+
+    fn scatter(&self, _s: &MsBfsLevelsValue, _d: &MsBfsLevelsValue, _e: &mut ()) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +352,79 @@ mod tests {
     #[should_panic(expected = "1..=64")]
     fn rejects_too_many_sources() {
         MsBfs::new((0..65).collect());
+    }
+
+    fn run_levels(layout: &GraphLayout, sources: Vec<u32>) -> Vec<MsBfsLevelsValue> {
+        GraphReduce::new(
+            MsBfsLevels::new(sources),
+            layout,
+            Platform::paper_node(),
+            Options::optimized(),
+        )
+        .run()
+        .unwrap()
+        .vertex_values
+    }
+
+    #[test]
+    fn every_lane_matches_its_standalone_bfs_depths() {
+        let layout = GraphLayout::build(&gen::uniform(300, 1800, 21));
+        let sources: Vec<u32> = (0..64).map(|i| i * 4 + 1).collect();
+        let got = run_levels(&layout, sources.clone());
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                MsBfsLevels::lane_depths(&got, lane),
+                reference::bfs(&layout, s),
+                "lane {lane} (source {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_depths_match_the_engine_bfs_bit_for_bit() {
+        let layout = GraphLayout::build(&gen::rmat_g500(9, 4000, 33).symmetrize());
+        let sources = vec![0u32, 7, 500, 7]; // duplicate lanes allowed
+        let got = run_levels(&layout, sources.clone());
+        for (lane, &s) in sources.iter().enumerate() {
+            let standalone = GraphReduce::new(
+                crate::Bfs::new(s),
+                &layout,
+                Platform::paper_node(),
+                Options::optimized(),
+            )
+            .run()
+            .unwrap();
+            assert_eq!(
+                MsBfsLevels::lane_depths(&got, lane),
+                standalone.vertex_values,
+                "lane {lane} (source {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_lane_depths_matches_per_lane_demux() {
+        let layout = GraphLayout::build(&gen::uniform(150, 900, 34));
+        let sources = vec![1u32, 50, 149];
+        let got = run_levels(&layout, sources.clone());
+        let all = MsBfsLevels::all_lane_depths(&got, sources.len());
+        assert_eq!(all.len(), sources.len());
+        for (lane, depths) in all.iter().enumerate() {
+            assert_eq!(*depths, MsBfsLevels::lane_depths(&got, lane));
+        }
+    }
+
+    #[test]
+    fn levels_state_bytes_round_trip() {
+        use graphreduce::StateBytes;
+        let mut v = MsBfsLevelsValue {
+            reached_by: 0xdead_beef_0451,
+            ..Default::default()
+        };
+        v.levels[0] = 3;
+        v.levels[63] = 41;
+        let mut buf = vec![0u8; MsBfsLevelsValue::BYTES];
+        v.write_bytes(&mut buf);
+        assert_eq!(MsBfsLevelsValue::read_bytes(&buf), v);
     }
 }

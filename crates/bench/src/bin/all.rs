@@ -41,5 +41,16 @@ fn main() {
             .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
     }
+    // Session sweep: every algorithm against ONE shared GraphSession
+    // (layout/platform loaded once instead of once per algorithm), with
+    // the `run` binary asserting each report stays byte-identical to a
+    // dedicated per-algorithm construction.
+    println!("\n######## session sweep (run --algo all) ########");
+    let mut cmd = Command::new(dir.join("run"));
+    cmd.args(["--algo", "all", "--dataset", "quickstart"]);
+    let status = cmd
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn run: {e}"));
+    assert!(status.success(), "session sweep failed");
     println!("\nall experiments completed.");
 }

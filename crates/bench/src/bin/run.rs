@@ -12,7 +12,7 @@
 
 use gr_bench::{
     default_source, resume_gr_wall, run_cusha, run_gr_wall, run_graphchi, run_mapgraph,
-    run_xstream, set_host_threads, Algo, RunArtifacts,
+    run_session_all, run_xstream, set_host_threads, Algo, RunArtifacts,
 };
 use gr_graph::{gen, CompressionCodec, Dataset, EdgeList, GraphLayout, GraphStats};
 use gr_sim::Platform;
@@ -27,6 +27,8 @@ const EXIT_KILLED: i32 = 9;
 
 struct Args {
     algo: Algo,
+    /// `--algo all`: run every algorithm against one shared session.
+    algo_all: bool,
     dataset: Option<Dataset>,
     file: Option<String>,
     scale: u64,
@@ -69,12 +71,17 @@ fn parse_mem_cap(spec: &str, capacity: u64) -> u64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run --algo <bfs|sssp|pagerank|cc> (--dataset <name> | --file <path>) \
+        "usage: run --algo <bfs|sssp|pagerank|cc|all> (--dataset <name> | --file <path>) \
          [--scale N] [--engine gr|graphchi|xstream|cusha|mapgraph|totem] [--unoptimized] [--gpus N] \
          [--faults <profile[:seed]|seed>] [--mem-cap <bytes|pct%>] [--report <path.json>] \
          [--trace <path.json>] [--threads N] [--wall] [--checkpoint-dir <dir>] \
          [--checkpoint-every N] [--checkpoint-delta] [--checkpoint-full-every N] [--resume] \
          [--spill-dir <dir>] [--host-mem-cap <bytes|pct%>] [--compress <varint|zeta|zeta1..4>]"
+    );
+    eprintln!(
+        "  --algo all builds ONE graph session (layout + platform + partitioning loaded once) \
+         and runs every algorithm as a query against it, asserting each report matches a \
+         dedicated per-algorithm run byte-for-byte (gr engine, single GPU; see docs/SERVING.md)"
     );
     eprintln!(
         "  --compress streams shard topology gap+entropy-coded over PCIe and through the spill \
@@ -123,6 +130,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         algo: Algo::Bfs,
+        algo_all: false,
         dataset: None,
         file: None,
         scale: 64,
@@ -156,6 +164,10 @@ fn parse_args() -> Args {
                     Some("sssp") => Algo::Sssp,
                     Some("pagerank") | Some("pr") => Algo::Pagerank,
                     Some("cc") => Algo::Cc,
+                    Some("all") => {
+                        args.algo_all = true;
+                        Algo::Bfs
+                    }
                     _ => usage(),
                 };
             }
@@ -325,10 +337,16 @@ fn main() {
             eprintln!("error: no --dataset or --file given");
             usage();
         });
-        match args.algo {
-            Algo::Sssp => ds.generate_weighted(args.scale),
-            Algo::Cc => ds.generate(args.scale).symmetrize(),
-            _ => ds.generate(args.scale),
+        if args.algo_all {
+            // One layout every algorithm can run on: weighted (SSSP) and
+            // symmetrized (CC), loaded once for the whole session sweep.
+            ds.generate_weighted(args.scale).symmetrize()
+        } else {
+            match args.algo {
+                Algo::Sssp => ds.generate_weighted(args.scale),
+                Algo::Cc => ds.generate(args.scale).symmetrize(),
+                _ => ds.generate(args.scale),
+            }
         }
     };
     let layout = GraphLayout::build(&el);
@@ -412,6 +430,38 @@ fn main() {
     }
     if let Some(codec) = args.compress {
         opts = opts.with_shard_compression(codec);
+    }
+    if args.algo_all {
+        if args.engine != "gr" || args.gpus > 1 {
+            eprintln!("error: --algo all runs the single-GPU gr engine only");
+            std::process::exit(2);
+        }
+        if args.resume {
+            eprintln!("error: --algo all cannot --resume (snapshots are per-algorithm)");
+            std::process::exit(2);
+        }
+        if args.report.is_some() || args.trace.is_some() || args.wall {
+            eprintln!("--report/--trace/--wall instrument single-algorithm runs; ignoring");
+        }
+        // One session for the whole sweep: the layout, platform, and
+        // partitioning above are loaded exactly once; each algorithm is a
+        // query. `run_session_all` asserts every report is byte-identical
+        // to a dedicated per-algorithm construction.
+        let sweep = run_session_all(&layout, &platform, &opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        for (algo, stats) in sweep {
+            println!("######## {} (shared session) ########", algo.name());
+            println!("{stats}");
+            println!();
+        }
+        println!(
+            "session sweep: {} algorithms on one graph load; every report matched a \
+             dedicated run byte-for-byte",
+            Algo::ALL.len()
+        );
+        return;
     }
     let src = default_source(&layout);
     let artifacts = RunArtifacts::from_paths(args.report.clone(), args.trace.clone());

@@ -1,0 +1,409 @@
+//! Wall-clock serving benchmark: batched MS-BFS serving vs serial
+//! one-query-at-a-time on the **same** shared [`graphreduce::GraphSession`].
+//!
+//! ```sh
+//! cargo run --release -p gr-bench --bin serve              # scale-16 RMAT
+//! cargo run --release -p gr-bench --bin serve -- --tiny    # CI smoke
+//! ```
+//!
+//! Three measurements per invocation:
+//!
+//! - **serial** — every BFS query runs standalone on the shared session,
+//!   one at a time (the pre-serving lifecycle). Per-query latency is the
+//!   run's own wall time; saturation throughput is `queries / total`.
+//! - **batched** — the same queries drain through [`gr_serve::GraphServe`],
+//!   which folds up to `--batch` of them into one MS-BFS sweep. Every
+//!   demuxed depth vector is asserted bit-identical to the serial run's.
+//! - **open-loop trace** — queries arrive on a fixed synthetic schedule
+//!   (rate set above serial saturation, so batching must absorb the
+//!   excess); the server drains whatever has arrived, each batch timed
+//!   for real. Reported p50/p99 latency includes queueing delay.
+//!
+//! The run fails (exit 1) when batched throughput is below `--require`
+//! times serial throughput. Output: a `BENCH_serve.json` report, one
+//! `kind: "serve"` row per mode appended to `results/bench_trajectory.jsonl`
+//! (`--compare` gates against either format, serve rows only ever
+//! matching serve rows).
+
+use std::time::Instant;
+
+use gr_algorithms::MsBfsLevels;
+use gr_bench::trajectory::{self, BenchRow, TrajectoryEntry};
+use gr_bench::{effective_host_threads, set_host_threads};
+use gr_graph::{gen, GraphLayout};
+use gr_serve::{standalone_bfs, GraphServe, QueryOutput, QuerySpec, ServeConfig};
+use gr_sim::Platform;
+use graphreduce::{GraphSession, Options};
+
+struct Args {
+    scale: u32,
+    edges: u64,
+    queries: usize,
+    batch: usize,
+    require: f64,
+    threads: Option<usize>,
+    out: String,
+    compare: Option<String>,
+    trajectory: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 16,
+        edges: 1 << 20,
+        queries: 64,
+        batch: 64,
+        require: 3.0,
+        threads: None,
+        out: "BENCH_serve.json".to_string(),
+        compare: None,
+        trajectory: Some(trajectory::TRAJECTORY_PATH.to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => {
+                // The quickstart graph: small enough for CI smoke, large
+                // enough that a BFS sweep dominates per-query overhead.
+                args.scale = 14;
+                args.edges = 150_000;
+                args.queries = 32;
+            }
+            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+            "--edges" => args.edges = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+            "--queries" => {
+                args.queries = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage)
+            }
+            "--batch" => args.batch = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+            "--require" => {
+                args.require = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage)
+            }
+            "--threads" => {
+                args.threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage))
+            }
+            "--out" => args.out = it.next().unwrap_or_else(usage),
+            "--compare" => args.compare = Some(it.next().unwrap_or_else(usage)),
+            "--trajectory" => args.trajectory = Some(it.next().unwrap_or_else(usage)),
+            "--no-trajectory" => args.trajectory = None,
+            _ => usage(),
+        }
+    }
+    args.queries = args.queries.max(1);
+    args.batch = args.batch.clamp(1, 64);
+    args
+}
+
+fn usage<T>() -> T {
+    eprintln!(
+        "usage: serve [--tiny] [--scale N] [--edges N] [--queries N] [--batch K] \
+         [--require X] [--threads N] [--out path.json] \
+         [--compare baseline.json|trajectory.jsonl] \
+         [--trajectory path.jsonl | --no-trajectory]"
+    );
+    std::process::exit(2);
+}
+
+/// Deterministic source spread across the vertex range (duplicates kept —
+/// a server must tolerate them).
+fn sources(n: usize, vertices: u32) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| (i.wrapping_mul(2654435761) ^ 0x9e37) % vertices)
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn row(mode: &str, queries: usize, latencies: &mut [f64]) -> BenchRow {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    BenchRow {
+        kind: "serve".to_string(),
+        algo: "bfs".to_string(),
+        mode: mode.to_string(),
+        threads: effective_host_threads() as u64,
+        iterations: queries as u64,
+        median_ms: percentile(latencies, 0.50),
+        p95_ms: percentile(latencies, 0.95),
+        min_ms: latencies[0],
+    }
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn append_trajectory(path: &str, entry: &TrajectoryEntry) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    use std::io::Write;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{}", entry.to_line()));
+    match result {
+        Ok(()) => eprintln!("appended trajectory entry ({}) to {path}", entry.commit),
+        Err(e) => eprintln!("warning: cannot append trajectory to {path}: {e}"),
+    }
+}
+
+fn run_compare(baseline_path: &str, rows: &[BenchRow], scale: u64) -> ! {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = trajectory::baseline_rows(&text, scale).unwrap_or_else(|e| {
+        eprintln!("error: unusable baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let cmp = trajectory::compare(&baseline, rows).unwrap_or_else(|e| {
+        eprintln!("error: cannot compare against {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("comparison against {baseline_path}:");
+    for d in &cmp.deltas {
+        eprintln!(
+            "  {:>9} {:>8} {:>8} @{} thread(s): {:.3} -> {:.3} ms ({:+.1}%)",
+            d.kind, d.algo, d.mode, d.threads, d.baseline_ms, d.current_ms, d.delta_pct
+        );
+    }
+    for (kind, algo, mode, threads) in &cmp.unmatched {
+        eprintln!(
+            "  {kind:>9} {algo:>8} {mode:>8} @{threads} thread(s): no baseline row (not gated)"
+        );
+    }
+    eprintln!(
+        "  median delta {:+.1}% (gate: > +{:.0}% fails)",
+        cmp.median_delta_pct,
+        trajectory::REGRESSION_PCT
+    );
+    if cmp.regressed() {
+        eprintln!("REGRESSION: median serving latency is more than 10% above the baseline");
+        std::process::exit(1);
+    }
+    eprintln!("ok: within the regression budget");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(n) = args.threads {
+        set_host_threads(n);
+    }
+    eprintln!(
+        "graph: rmat_g500 scale {} ({} edges requested), {} quer{} (batch width {}), \
+         {} host thread(s)",
+        args.scale,
+        args.edges,
+        args.queries,
+        if args.queries == 1 { "y" } else { "ies" },
+        args.batch,
+        effective_host_threads()
+    );
+    let el = gen::rmat_g500(args.scale, args.edges, 42).symmetrize();
+    let layout = GraphLayout::build(&el);
+    let session = GraphSession::new(&layout, Platform::paper_node(), Options::optimized());
+    // Prime the session's partition-plan cache so neither mode pays the
+    // one-time planning cost inside its timed region (both would pay it in
+    // whichever mode runs first otherwise).
+    let srcs = sources(args.queries, layout.num_vertices() as u32);
+    let (first, _) = standalone_bfs(&session, srcs[0]).expect("fault-free serving graph");
+    drop(first);
+
+    // --- serial: one standalone BFS per query, back to back. -------------
+    let mut serial_lat = Vec::with_capacity(args.queries);
+    let mut serial_depths = Vec::with_capacity(args.queries);
+    let serial_t0 = Instant::now();
+    for &s in &srcs {
+        let t0 = Instant::now();
+        let (depths, _) = standalone_bfs(&session, s).expect("fault-free serial query");
+        serial_lat.push(t0.elapsed().as_secs_f64() * 1e3);
+        serial_depths.push(depths);
+    }
+    let serial_total_ms = serial_t0.elapsed().as_secs_f64() * 1e3;
+    let serial_qps = args.queries as f64 / (serial_total_ms / 1e3);
+
+    // --- batched: the same queries through one GraphServe drain. ----------
+    let cfg = ServeConfig {
+        max_pending: args.queries.max(1),
+        max_batch: args.batch,
+    };
+    let mut serve = GraphServe::with_config(&session, cfg);
+    for &s in &srcs {
+        serve
+            .submit(QuerySpec::Bfs { source: s }, None)
+            .expect("pending queue sized to the query count");
+    }
+    let batched_t0 = Instant::now();
+    let outcomes = serve.drain().expect("fault-free batched drain");
+    let batched_total_ms = batched_t0.elapsed().as_secs_f64() * 1e3;
+    let batched_qps = args.queries as f64 / (batched_total_ms / 1e3);
+    let batches = serve.ticks();
+
+    // Bit-identity: every demuxed depth vector equals its serial answer.
+    assert_eq!(outcomes.len(), args.queries);
+    for (o, want) in outcomes.iter().zip(&serial_depths) {
+        assert_eq!(
+            o.output,
+            QueryOutput::Depths(want.clone()),
+            "batched query {} diverged from its standalone run",
+            o.id
+        );
+    }
+    eprintln!(
+        "bit-identity: {} batched quer{} matched standalone depth vectors exactly",
+        args.queries,
+        if args.queries == 1 { "y" } else { "ies" }
+    );
+
+    // --- open-loop arrival trace. -----------------------------------------
+    // Arrivals at twice the serial saturation rate: a serial server falls
+    // behind without bound; batching must absorb the excess. Latency is
+    // completion minus arrival, queueing delay included, with each drained
+    // batch timed for real on the session.
+    let gap_ms = (serial_total_ms / args.queries as f64) / 2.0;
+    let arrivals: Vec<f64> = (0..args.queries).map(|i| i as f64 * gap_ms).collect();
+    let mut open_lat = Vec::with_capacity(args.queries);
+    let mut clock_ms = 0.0f64;
+    let mut next = 0usize;
+    while next < arrivals.len() {
+        if arrivals[next] > clock_ms {
+            clock_ms = arrivals[next]; // server idles until the next arrival
+        }
+        let mut batch_sources = Vec::new();
+        let first_in_batch = next;
+        while next < arrivals.len()
+            && arrivals[next] <= clock_ms
+            && batch_sources.len() < args.batch
+        {
+            batch_sources.push(srcs[next]);
+            next += 1;
+        }
+        let prog = MsBfsLevels::new(batch_sources.clone());
+        let t0 = Instant::now();
+        let res = session.query(&prog).run().expect("fault-free trace batch");
+        clock_ms += t0.elapsed().as_secs_f64() * 1e3;
+        for (lane, q) in (first_in_batch..next).enumerate() {
+            // Spot-check the trace path demuxes correctly too.
+            debug_assert_eq!(
+                MsBfsLevels::lane_depths(&res.vertex_values, lane),
+                serial_depths[q]
+            );
+            open_lat.push(clock_ms - arrivals[q]);
+        }
+        let _ = &res;
+    }
+    let mut sorted = open_lat.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+
+    let speedup = batched_qps / serial_qps;
+    println!(
+        "serial:  {:.3} ms total, {:.1} queries/sec saturation",
+        serial_total_ms, serial_qps
+    );
+    println!(
+        "batched: {:.3} ms total over {batches} batch(es), {:.1} queries/sec saturation \
+         ({speedup:.1}x serial)",
+        batched_total_ms, batched_qps
+    );
+    println!(
+        "open-loop trace: arrivals every {gap_ms:.3} ms (2x serial saturation), \
+         p50 {p50:.3} ms, p99 {p99:.3} ms"
+    );
+
+    let rows = vec![
+        row("serial", args.queries, &mut serial_lat),
+        row("batched", args.queries, &mut open_lat),
+    ];
+
+    let commit = git_commit();
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"gr-serve-v1\",\n");
+    json.push_str(&format!("  \"commit\": \"{commit}\",\n"));
+    json.push_str(&format!(
+        "  \"graph\": {{\"generator\": \"rmat_g500\", \"scale\": {}, \"vertices\": {}, \
+         \"edges\": {}, \"symmetrized\": true}},\n",
+        args.scale,
+        layout.num_vertices(),
+        layout.num_edges()
+    ));
+    json.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        effective_host_threads()
+    ));
+    json.push_str(&format!(
+        "  \"serving\": {{\"queries\": {}, \"batch_width\": {}, \"batches\": {batches}, \
+         \"serial_total_ms\": {serial_total_ms:.4}, \"serial_qps\": {serial_qps:.2}, \
+         \"batched_total_ms\": {batched_total_ms:.4}, \"batched_qps\": {batched_qps:.2}, \
+         \"speedup\": {speedup:.2}}},\n",
+        args.queries, args.batch
+    ));
+    json.push_str(&format!(
+        "  \"open_loop\": {{\"gap_ms\": {gap_ms:.4}, \"p50_ms\": {p50:.4}, \
+         \"p99_ms\": {p99:.4}}},\n"
+    ));
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kind\": \"{}\", \"algo\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+                 \"iterations\": {}, \"median_ms\": {:.4}, \"p95_ms\": {:.4}, \"min_ms\": {:.4}}}",
+                r.kind, r.algo, r.mode, r.threads, r.iterations, r.median_ms, r.p95_ms, r.min_ms
+            )
+        })
+        .collect();
+    json.push_str(&format!(
+        "  \"runs\": [\n{}\n  ]\n}}\n",
+        row_json.join(",\n")
+    ));
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => eprintln!("wrote {}", args.out),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", args.out),
+    }
+
+    // Gate before appending: `baseline_rows` keeps the newest entry per
+    // key, so appending first would make a trajectory-file compare judge
+    // the run against itself. Compare runs exit inside `run_compare` and
+    // leave the baseline file untouched.
+    if let Some(baseline) = &args.compare {
+        run_compare(baseline, &rows, args.scale as u64);
+    }
+
+    if let Some(path) = &args.trajectory {
+        append_trajectory(
+            path,
+            &TrajectoryEntry {
+                commit,
+                schema: "gr-serve-v1".to_string(),
+                scale: args.scale as u64,
+                rows: rows.clone(),
+            },
+        );
+    }
+
+    if speedup < args.require {
+        eprintln!(
+            "FAIL: batched serving reached only {speedup:.2}x serial throughput \
+             (required {:.2}x)",
+            args.require
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: batched serving at {speedup:.2}x serial throughput (required {:.2}x)",
+        args.require
+    );
+}

@@ -158,6 +158,7 @@ fn bench_run<P: GasProgram + Clone>(
             iterations = out.stats.iterations;
         });
         let row = BenchRow {
+            kind: "wallclock".to_string(),
             algo: program.name().to_string(),
             mode: label.to_string(),
             threads: effective_host_threads() as u64,
@@ -322,6 +323,7 @@ fn bench_compression_on(
             iterations = out.stats.iterations as u64;
         });
         rows.push(BenchRow {
+            kind: "wallclock".to_string(),
             algo: format!("cc@{graph}"),
             mode: mode.to_string(),
             threads: effective_host_threads() as u64,
@@ -596,12 +598,14 @@ fn run_compare(baseline_path: &str, rows: &[BenchRow], scale: u64) -> ! {
     eprintln!("comparison against {baseline_path}:");
     for d in &cmp.deltas {
         eprintln!(
-            "  {:>8} {:>8} @{} thread(s): {:.3} -> {:.3} ms ({:+.1}%)",
-            d.algo, d.mode, d.threads, d.baseline_ms, d.current_ms, d.delta_pct
+            "  {:>9} {:>8} {:>8} @{} thread(s): {:.3} -> {:.3} ms ({:+.1}%)",
+            d.kind, d.algo, d.mode, d.threads, d.baseline_ms, d.current_ms, d.delta_pct
         );
     }
-    for (algo, mode, threads) in &cmp.unmatched {
-        eprintln!("  {algo:>8} {mode:>8} @{threads} thread(s): no baseline row (not gated)");
+    for (kind, algo, mode, threads) in &cmp.unmatched {
+        eprintln!(
+            "  {kind:>9} {algo:>8} {mode:>8} @{threads} thread(s): no baseline row (not gated)"
+        );
     }
     eprintln!(
         "  median delta {:+.1}% (gate: > +{:.0}% fails)",
@@ -705,6 +709,14 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write benchmark json");
     eprintln!("wrote {}", args.out);
 
+    // Gate before appending: `baseline_rows` keeps the newest entry per
+    // key, so appending first would make a trajectory-file compare judge
+    // the run against itself. Compare runs exit inside `run_compare` and
+    // leave the baseline file untouched.
+    if let Some(baseline) = &args.compare {
+        run_compare(baseline, &rows, args.scale as u64);
+    }
+
     if let Some(path) = &args.trajectory {
         append_trajectory(
             path,
@@ -715,9 +727,5 @@ fn main() {
                 rows: rows.clone(),
             },
         );
-    }
-
-    if let Some(baseline) = &args.compare {
-        run_compare(baseline, &rows, args.scale as u64);
     }
 }

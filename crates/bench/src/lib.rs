@@ -28,7 +28,7 @@ use gr_graph::{Dataset, GraphLayout};
 use gr_observe::WallProfile;
 use gr_observe::{Observer, RecordingSink};
 use gr_sim::{OutOfMemory, Platform, SimDuration};
-use graphreduce::{EngineError, GraphReduce, Options, RunStats, WallProfiler};
+use graphreduce::{EngineError, GraphReduce, GraphSession, Options, RunStats, WallProfiler};
 
 pub mod matmul;
 pub mod trajectory;
@@ -241,6 +241,74 @@ fn gr_with_resume(
             wall,
         ),
     }
+}
+
+/// Run one algorithm as a query against an existing [`GraphSession`] —
+/// the serving-path equivalent of [`run_gr_wall`]: same source choice,
+/// same programs, but partitioning/compression are the session's, built
+/// once and shared across every query.
+pub fn run_session_gr(
+    algo: Algo,
+    session: &GraphSession<'_>,
+    observer: Observer,
+    wall: WallProfiler,
+) -> Result<RunStats, EngineError> {
+    let src = default_source(session.layout());
+    fn query<P: graphreduce::GasProgram>(
+        session: &GraphSession<'_>,
+        prog: &P,
+        observer: Observer,
+        wall: WallProfiler,
+    ) -> Result<RunStats, EngineError> {
+        Ok(session
+            .query(prog)
+            .with_observer(observer)
+            .with_wall_profiler(wall)
+            .run()?
+            .stats)
+    }
+    match algo {
+        Algo::Bfs => query(session, &gr_algorithms::Bfs::new(src), observer, wall),
+        Algo::Sssp => query(session, &gr_algorithms::Sssp::new(src), observer, wall),
+        Algo::Pagerank => query(session, &pagerank(), observer, wall),
+        Algo::Cc => query(session, &gr_algorithms::Cc, observer, wall),
+    }
+}
+
+/// A layout every algorithm can run on: weighted (SSSP) and symmetrized
+/// (CC), so one session serves the whole sweep.
+pub fn session_layout_for(ds: Dataset, scale: u64) -> GraphLayout {
+    GraphLayout::build(&ds.generate_weighted(scale).symmetrize())
+}
+
+/// Run all four algorithms against **one** shared session (layout and
+/// platform loaded once), asserting each report is byte-identical to a
+/// fresh pre-refactor-style `GraphReduce` construction on the same
+/// layout. Returns the per-algorithm stats in [`Algo::ALL`] order.
+pub fn run_session_all(
+    layout: &GraphLayout,
+    platform: &Platform,
+    opts: &Options,
+) -> Result<Vec<(Algo, RunStats)>, EngineError> {
+    let session = GraphSession::new(layout, platform.clone(), opts.clone());
+    let mut out = Vec::with_capacity(Algo::ALL.len());
+    for algo in Algo::ALL {
+        let stats = run_session_gr(
+            algo,
+            &session,
+            Observer::disabled(),
+            WallProfiler::disarmed(),
+        )?;
+        let standalone = run_gr(algo, layout, platform, opts.clone())?;
+        assert_eq!(
+            stats.to_string(),
+            standalone.to_string(),
+            "{} report diverged between the shared session and a dedicated GraphReduce",
+            algo.name()
+        );
+        out.push((algo, stats));
+    }
+    Ok(out)
 }
 
 /// Pin the host worker-thread count for this process: the vendored rayon

@@ -232,6 +232,12 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
 /// count. The unit every comparison works in.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRow {
+    /// What the row measures: `"wallclock"` (ms per engine run — the
+    /// original row kind, and the default when a row carries no tag) or
+    /// `"serve"` (serving-latency rows from the `serve` bin, where
+    /// `median_ms`/`p95_ms` are per-query latencies from an open-loop
+    /// arrival trace). Rows only ever compare within their own kind.
+    pub kind: String,
     pub algo: String,
     pub mode: String,
     pub threads: u64,
@@ -243,14 +249,20 @@ pub struct BenchRow {
 
 impl BenchRow {
     /// The identity rows are matched on across runs.
-    pub fn key(&self) -> (String, String, u64) {
-        (self.algo.clone(), self.mode.clone(), self.threads)
+    pub fn key(&self) -> (String, String, String, u64) {
+        (
+            self.kind.clone(),
+            self.algo.clone(),
+            self.mode.clone(),
+            self.threads,
+        )
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"algo\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"iterations\": {}, \
-             \"median_ms\": {:.4}, \"p95_ms\": {:.4}, \"min_ms\": {:.4}}}",
+            "{{\"kind\": \"{}\", \"algo\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"iterations\": {}, \"median_ms\": {:.4}, \"p95_ms\": {:.4}, \"min_ms\": {:.4}}}",
+            self.kind,
             self.algo,
             self.mode,
             self.threads,
@@ -268,6 +280,12 @@ impl BenchRow {
                 .ok_or_else(|| format!("run row lacks numeric {k:?}"))
         };
         Ok(BenchRow {
+            // Rows predating the serve bench carry no kind tag.
+            kind: v
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or("wallclock")
+                .to_string(),
             algo: v
                 .get("algo")
                 .and_then(Value::as_str)
@@ -382,7 +400,7 @@ pub fn baseline_rows(text: &str, scale: u64) -> Result<Vec<BenchRow>, String> {
         }
         return Ok(rows);
     }
-    let mut pool: BTreeMap<(String, String, u64), BenchRow> = BTreeMap::new();
+    let mut pool: BTreeMap<(String, String, String, u64), BenchRow> = BTreeMap::new();
     let mut entries = 0usize;
     for line in trimmed.lines().map(str::trim).filter(|l| !l.is_empty()) {
         let entry = TrajectoryEntry::from_line(line)?;
@@ -407,6 +425,7 @@ pub fn baseline_rows(text: &str, scale: u64) -> Result<Vec<BenchRow>, String> {
 /// One matched row's delta.
 #[derive(Clone, Debug)]
 pub struct RowDelta {
+    pub kind: String,
     pub algo: String,
     pub mode: String,
     pub threads: u64,
@@ -423,7 +442,7 @@ pub struct Comparison {
     pub deltas: Vec<RowDelta>,
     /// Current rows with no baseline counterpart (new configurations —
     /// reported, never gated on).
-    pub unmatched: Vec<(String, String, u64)>,
+    pub unmatched: Vec<(String, String, String, u64)>,
     /// Median of the per-row `delta_pct` values.
     pub median_delta_pct: f64,
 }
@@ -447,11 +466,11 @@ fn median_of(mut xs: Vec<f64>) -> f64 {
     }
 }
 
-/// Compare current rows against a baseline, matching on (algo, mode,
-/// threads). Errs when no row matches — a gate with nothing to gate on is
-/// a configuration mistake, not a pass.
+/// Compare current rows against a baseline, matching on (kind, algo,
+/// mode, threads). Errs when no row matches — a gate with nothing to gate
+/// on is a configuration mistake, not a pass.
 pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Comparison, String> {
-    let pool: BTreeMap<(String, String, u64), &BenchRow> =
+    let pool: BTreeMap<(String, String, String, u64), &BenchRow> =
         current.iter().map(|r| (r.key(), r)).collect();
     let mut deltas = Vec::new();
     for base in baseline {
@@ -462,6 +481,7 @@ pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Comparison
                 0.0
             };
             deltas.push(RowDelta {
+                kind: base.kind.clone(),
                 algo: base.algo.clone(),
                 mode: base.mode.clone(),
                 threads: base.threads,
@@ -473,13 +493,13 @@ pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Comparison
     }
     if deltas.is_empty() {
         return Err(format!(
-            "no current row matches any of the {} baseline rows (algo/mode/threads)",
+            "no current row matches any of the {} baseline rows (kind/algo/mode/threads)",
             baseline.len()
         ));
     }
     let matched: std::collections::BTreeSet<_> = deltas
         .iter()
-        .map(|d| (d.algo.clone(), d.mode.clone(), d.threads))
+        .map(|d| (d.kind.clone(), d.algo.clone(), d.mode.clone(), d.threads))
         .collect();
     let unmatched = current
         .iter()
@@ -500,6 +520,7 @@ mod tests {
 
     fn row(algo: &str, mode: &str, threads: u64, median_ms: f64) -> BenchRow {
         BenchRow {
+            kind: "wallclock".into(),
             algo: algo.into(),
             mode: mode.into(),
             threads,
@@ -607,6 +628,25 @@ mod tests {
     }
 
     #[test]
+    fn serve_rows_stay_isolated_from_wallclock_rows() {
+        let mut serve = row("bfs", "batched", 1, 2.0);
+        serve.kind = "serve".into();
+        let line = TrajectoryEntry {
+            commit: "c".into(),
+            schema: "gr-serve-v1".into(),
+            scale: 14,
+            rows: vec![serve.clone()],
+        }
+        .to_line();
+        let parsed = TrajectoryEntry::from_line(&line).unwrap();
+        assert_eq!(parsed.rows[0].kind, "serve");
+        // A wallclock row never gates a serve row (and vice versa), even
+        // with matching algo/mode/threads.
+        let wallclock = row("bfs", "batched", 1, 1.0);
+        assert!(compare(&[wallclock], &[serve]).is_err());
+    }
+
+    #[test]
     fn compare_gates_on_the_median_row_delta() {
         let base = vec![
             row("bfs", "serial", 1, 10.0),
@@ -654,7 +694,12 @@ mod tests {
         let cmp = compare(&base, &[row("bfs", "serial", 1, 10.0), cur[0].clone()]).unwrap();
         assert_eq!(
             cmp.unmatched,
-            vec![("bfs".to_string(), "serial".to_string(), 4)]
+            vec![(
+                "wallclock".to_string(),
+                "bfs".to_string(),
+                "serial".to_string(),
+                4
+            )]
         );
     }
 }

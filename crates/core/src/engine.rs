@@ -16,36 +16,24 @@
 //! (the optimizations are pure data-movement/scheduling transformations).
 //!
 //! The planning, data-movement, compute-spec, device, and iteration-loop
-//! layers themselves live under [`crate::exec`]; this module holds only
-//! the public API surface.
+//! layers themselves live under [`crate::exec`]; the graph-lifetime /
+//! query-lifetime split lives in [`crate::session`]. This module holds
+//! only the one-shot compatibility facade: [`GraphReduce`] is
+//! `GraphSession::new(..)` plus a single [`crate::session::Query`] per
+//! `run*` call.
 
 use gr_graph::GraphLayout;
 use gr_observe::{Observer, WallProfiler};
 use gr_sim::Platform;
 
 use crate::api::GasProgram;
-use crate::exec::driver::Runner;
 use crate::options::Options;
 use crate::recovery::EngineError;
+use crate::session::{GraphSession, Query};
 use crate::sizes::SizeModel;
 use crate::stats::RunStats;
 
-/// Warm-start state for incremental (dynamic-graph) processing — the
-/// paper's third future-work item. After mutating a graph (e.g. appending
-/// edges and rebuilding the [`GraphLayout`]), a previous run's vertex
-/// values can be carried over and only the vertices a mutation touched are
-/// re-activated; monotone algorithms (CC, SSSP, BFS levels with care)
-/// then converge in a handful of incremental iterations instead of a full
-/// re-run. Mutable edge state restarts from `Default` (canonical edge ids
-/// change when the layout is rebuilt).
-pub struct WarmStart<P: GasProgram> {
-    /// Vertex values from the previous run; padded with `init_vertex` for
-    /// vertices the mutation added.
-    pub vertex_values: Vec<P::VertexValue>,
-    /// Vertices to seed the frontier with (typically the endpoints of
-    /// inserted/removed edges).
-    pub frontier: Vec<gr_graph::VertexId>,
-}
+pub use crate::session::WarmStart;
 
 /// Output of one GraphReduce run.
 pub struct RunResult<P: GasProgram> {
@@ -58,12 +46,11 @@ pub struct RunResult<P: GasProgram> {
 }
 
 /// The GraphReduce framework instance: one program bound to one graph on
-/// one platform.
+/// one platform — a compatibility facade over [`GraphSession`] that runs
+/// exactly one query per `run*` call.
 pub struct GraphReduce<'g, P: GasProgram> {
     program: P,
-    layout: &'g GraphLayout,
-    platform: Platform,
-    opts: Options,
+    session: GraphSession<'g>,
     observer: Observer,
     wall: WallProfiler,
 }
@@ -72,9 +59,7 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
     pub fn new(program: P, layout: &'g GraphLayout, platform: Platform, opts: Options) -> Self {
         GraphReduce {
             program,
-            layout,
-            platform,
-            opts,
+            session: GraphSession::new(layout, platform, opts),
             observer: Observer::disabled(),
             wall: WallProfiler::disarmed(),
         }
@@ -107,14 +92,27 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
         SizeModel::for_program(&self.program)
     }
 
+    /// The underlying build-once session (shared partition plans and
+    /// compressed topology) this facade runs its queries against.
+    pub fn session(&self) -> &GraphSession<'g> {
+        &self.session
+    }
+
+    fn query(&self) -> Query<'_, 'g, P> {
+        self.session
+            .query(&self.program)
+            .with_observer(self.observer.clone())
+            .with_wall_profiler(self.wall.clone())
+    }
+
     /// Execute to convergence; returns final state and statistics.
     pub fn run(&self) -> Result<RunResult<P>, EngineError> {
-        self.run_inner(None, None)
+        self.query().run()
     }
 
     /// Execute incrementally from a previous run's state (dynamic graphs).
     pub fn run_warm(&self, warm: WarmStart<P>) -> Result<RunResult<P>, EngineError> {
-        self.run_inner(Some(warm), None)
+        self.query().warm(warm).run()
     }
 
     /// Resume a killed or interrupted run from the newest intact durable
@@ -131,39 +129,7 @@ impl<'g, P: GasProgram> GraphReduce<'g, P> {
     /// iteration boundary and converges bit-identically to an
     /// uninterrupted run.
     pub fn resume(&self, dir: impl AsRef<std::path::Path>) -> Result<RunResult<P>, EngineError> {
-        let fp = crate::snapshot::fingerprint_for(&self.program, self.layout);
-        let restored = crate::snapshot_delta::load_newest::<P>(dir.as_ref(), &fp)?;
-        self.run_inner(None, Some(restored))
-    }
-
-    fn run_inner(
-        &self,
-        warm: Option<WarmStart<P>>,
-        restored: Option<crate::snapshot_delta::RestoredFromDisk<P>>,
-    ) -> Result<RunResult<P>, EngineError> {
-        let sizes = self.size_model();
-        let plan = crate::sizes::plan_partition_with(
-            self.layout,
-            &sizes,
-            &self.platform.device,
-            &self.platform.pcie,
-            self.opts.concurrent_shards,
-            self.opts.num_shards,
-            &*self.opts.partition_logic,
-        )?;
-        Runner::new(
-            &self.program,
-            self.layout,
-            &self.platform,
-            &self.opts,
-            sizes,
-            plan,
-            warm,
-            restored,
-            self.observer.clone(),
-            self.wall.clone(),
-        )?
-        .run()
+        self.query().resume(dir)
     }
 }
 

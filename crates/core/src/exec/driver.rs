@@ -11,6 +11,8 @@
 //! recovery charges for identical fault schedules.
 
 use gr_graph::{GraphLayout, TopoView};
+use std::sync::Arc;
+
 use gr_observe::{Decision, MetricsRegistry, Observer, SpanEvent, WallProfiler};
 use gr_sim::{cpu_time, DeviceFault, HostConfig, KernelSpec, Platform, SimDuration, StreamId};
 
@@ -113,8 +115,9 @@ pub(crate) struct Runner<'a, P: GasProgram> {
     // through it so injected I/O faults retry and degrade gracefully.
     storage: StorageCtx,
     // Shard compression: the gap-coded topology (if armed) the host
-    // kernels decode through and the movement layer ships.
-    comp: Option<ShardCompression>,
+    // kernels decode through and the movement layer ships — built once per
+    // session and shared by every query over it.
+    comp: Option<Arc<ShardCompression>>,
     // Out-of-host-core spill: the store (if any), which shards were
     // evicted to it, and which have been verified back in already.
     store: Option<ShardStoreHandle>,
@@ -142,22 +145,19 @@ impl<'a, P: GasProgram> Runner<'a, P> {
         restored: Option<RestoredFromDisk<P>>,
         observer: Observer,
         wall: WallProfiler,
+        comp: Option<Arc<ShardCompression>>,
+        lane: Option<String>,
     ) -> Result<Self, EngineError> {
         let fault_active = !opts.fault_plan.is_none();
         let mut ctx = DeviceCtx::new(
             platform,
             0,
             observer.clone(),
-            None,
+            lane,
             opts.fault_plan.clone(),
             opts.mem_cap,
             opts.recovery.clone(),
         );
-        // Shard compression: build the gap-coded topology once, before
-        // planning — the governor budgets compressed bytes.
-        let comp = opts
-            .shard_compression
-            .map(|codec| ShardCompression::new(layout, codec));
         // Plan optimistically, govern at runtime: the partition plan was
         // sized for the nominal device; a memory cap shrinks the pool and
         // the governor degrades the plan until it fits (or errors).
@@ -168,7 +168,7 @@ impl<'a, P: GasProgram> Runner<'a, P> {
             layout,
             capacity,
             opts,
-            comp.as_ref(),
+            comp.as_deref(),
             &mut ctx.metrics,
             &observer,
         )?;

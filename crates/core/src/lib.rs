@@ -59,6 +59,7 @@ pub mod options;
 pub mod phases;
 pub mod recovery;
 pub mod report;
+pub mod session;
 pub mod sizes;
 pub mod snapshot;
 pub mod snapshot_delta;
@@ -78,6 +79,7 @@ pub use gr_sim::{DeviceFault, DeviceHealth, FaultPlan, IoFault, IoOp};
 pub use multi::{MultiGraphReduce, MultiRunResult, MultiRunStats};
 pub use options::{GatherMode, HostKernels, Options, PartitionLogicHandle, StreamingMode};
 pub use recovery::{EngineError, RecoveryPolicy};
+pub use session::{GraphSession, Query};
 pub use sizes::{
     optimal_concurrent_shards, pcie_saturating_bytes, plan_partition, plan_partition_with,
     PartitionPlan, PlanError, SizeModel,

@@ -59,9 +59,11 @@ use crate::exec::durable::{DurableConfig, DurableWriter};
 use crate::exec::host::HostState;
 use crate::exec::plan::emit_plan_decisions;
 use crate::options::HostKernels;
+use crate::options::Options;
 use crate::phases::ShardWork;
 use crate::recovery::{EngineError, RecoveryPolicy};
-use crate::sizes::{plan_partition, PartitionPlan, SizeModel};
+use crate::session::GraphSession;
+use crate::sizes::{PartitionPlan, SizeModel};
 use crate::snapshot::{self, CheckpointPolicy};
 use crate::snapshot_delta::{self, RestoredFromDisk};
 use crate::storage::StorageCtx;
@@ -191,8 +193,7 @@ pub struct MultiRunResult<P: GasProgram> {
 /// Multi-GPU engine: `num_gpus` identical devices from `platform`.
 pub struct MultiGraphReduce<'g, P: GasProgram> {
     program: P,
-    layout: &'g GraphLayout,
-    platform: Platform,
+    session: GraphSession<'g>,
     num_gpus: u32,
     observer: Observer,
     wall: WallProfiler,
@@ -206,8 +207,13 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
     pub fn new(program: P, layout: &'g GraphLayout, platform: Platform, num_gpus: u32) -> Self {
         MultiGraphReduce {
             program,
-            layout,
-            platform,
+            // The orchestrator is a facade over the same build-once
+            // session the single-GPU engine uses: the layout borrow, the
+            // platform, and the partition-plan cache are graph-lifetime;
+            // everything below (fault plans, caps, checkpoint policy) is
+            // query-lifetime. Compression/spill stay single-GPU features,
+            // so the session runs with default options.
+            session: GraphSession::new(layout, platform, Options::default()),
             num_gpus: num_gpus.max(1),
             observer: Observer::disabled(),
             wall: WallProfiler::disarmed(),
@@ -292,7 +298,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             .find(|(i, _)| *i == d)
             .map(|&(_, c)| c);
         DeviceCtx::new(
-            &self.platform,
+            self.session.platform(),
             d,
             self.observer.clone(),
             Some(format!("gpu{d}/")),
@@ -324,7 +330,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
         &self,
         dir: impl AsRef<std::path::Path>,
     ) -> Result<MultiRunResult<P>, EngineError> {
-        let fp = snapshot::fingerprint_for(&self.program, self.layout);
+        let fp = snapshot::fingerprint_for(&self.program, self.session.layout());
         let restored = snapshot_delta::load_newest::<P>(dir.as_ref(), &fp)?;
         self.run_inner(Some(restored))
     }
@@ -335,18 +341,15 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
     ) -> Result<MultiRunResult<P>, EngineError> {
         self.wall.set_algorithm(self.program.name());
         let sizes = SizeModel::for_program(&self.program);
-        let n = self.layout.num_vertices();
+        let layout = self.session.layout();
+        let n = layout.num_vertices();
         let ngpu = self.num_gpus as usize;
-        // Partition for a single device's memory (each device must hold its
-        // own static buffers + its in-flight shards).
-        let mut plan = plan_partition(
-            self.layout,
-            &sizes,
-            &self.platform.device,
-            &self.platform.pcie,
-            2,
-            None,
-        )?;
+        // Partition for a single device's memory (each device must hold
+        // its own static buffers + its in-flight shards). The optimistic
+        // plan is graph-lifetime state: the session caches it per byte
+        // model, so repeated queries (and the serving layer) replan only
+        // on the first run of each algorithm shape.
+        let mut plan = self.session.multi_partition_plan(&sizes)?;
 
         let mut ctxs: Vec<DeviceCtx> = (0..ngpu).map(|d| self.device_ctx(d)).collect();
         for c in ctxs.iter_mut() {
@@ -380,7 +383,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             &mut owners,
             &ctxs,
             &sizes,
-            self.layout,
+            layout,
             &self.observer,
         )?;
         let shards = &plan.shards;
@@ -472,14 +475,14 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
                 });
                 HostState::restored(r.state)
             }
-            None => HostState::<P>::cold(&self.program, self.layout),
+            None => HostState::<P>::cold(&self.program, layout),
         };
 
         // Durable checkpoint writer (single-GPU machinery reused whole):
         // the orchestrator only adds the GRCM placement frame, refreshed
         // before every write because eviction mutates `owners`.
         let mut durable = DurableConfig::from_policy(&self.checkpoint_policy).map(|cfg| {
-            let fp = snapshot::fingerprint_for(&self.program, self.layout);
+            let fp = snapshot::fingerprint_for(&self.program, self.session.layout());
             let mut w = DurableWriter::new(cfg, fp, n, None);
             if checkpoint_restores > 0 {
                 w.note_restored(host.iterations.len() as u32, restored_chain.take());
@@ -505,7 +508,7 @@ impl<'g, P: GasProgram> MultiGraphReduce<'g, P> {
             // ---- exact BSP computation (once, on the host) ----
             let work = host.compute_iteration(
                 &self.program,
-                TopoView::raw(self.layout),
+                TopoView::raw(layout),
                 shards,
                 HostKernels::Adaptive,
                 true,
@@ -1073,7 +1076,7 @@ mod tests {
             has_gather: true,
             has_scatter: false,
         };
-        plan_partition(l, &sizes, &plat.device, &plat.pcie, 2, None).unwrap()
+        crate::sizes::plan_partition(l, &sizes, &plat.device, &plat.pcie, 2, None).unwrap()
     }
 
     #[test]

@@ -228,7 +228,11 @@ pub fn run_report(stats: &RunStats, rec: &Recorded) -> String {
             | Decision::DecompressShard { .. }
             | Decision::StorageRetry { .. }
             | Decision::StorageDegraded { .. }
-            | Decision::CheckpointSkipped { .. } => None,
+            | Decision::CheckpointSkipped { .. }
+            | Decision::QueryAdmit { .. }
+            | Decision::QueryReject { .. }
+            | Decision::BatchFormed { .. }
+            | Decision::QueryDone { .. } => None,
         })
         .collect();
     // Durability decisions appear in the summary only when any were made

@@ -19,17 +19,7 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-#[test]
-fn no_core_source_file_exceeds_line_cap() {
-    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
-    let mut files = Vec::new();
-    rust_sources(&src, &mut files);
-    assert!(
-        files.len() >= 10,
-        "expected the decomposed module tree, found {} files",
-        files.len()
-    );
-
+fn assert_under_cap(files: &[PathBuf]) {
     let mut oversized: Vec<String> = files
         .iter()
         .filter_map(|f| {
@@ -46,4 +36,35 @@ fn no_core_source_file_exceeds_line_cap() {
         "source files exceed the {MAX_LINES}-line cap; split them into \
          focused modules (see docs/ARCHITECTURE.md): {oversized:?}"
     );
+}
+
+#[test]
+fn no_core_source_file_exceeds_line_cap() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    rust_sources(&src, &mut files);
+    assert!(
+        files.len() >= 10,
+        "expected the decomposed module tree, found {} files",
+        files.len()
+    );
+    assert_under_cap(&files);
+}
+
+#[test]
+fn no_serve_source_file_exceeds_line_cap() {
+    // The serving subsystem obeys the same cap from day one.
+    let src = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .join("serve")
+        .join("src");
+    let mut files = Vec::new();
+    rust_sources(&src, &mut files);
+    assert!(
+        files.len() >= 3,
+        "expected the serve module tree (lib/admission/query/server), found {} files",
+        files.len()
+    );
+    assert_under_cap(&files);
 }

@@ -296,6 +296,46 @@ pub enum Decision {
         /// Why, e.g. `"io.checkpoint.write"` after retry exhaustion.
         rationale: &'static str,
     },
+    /// The serving layer admitted a query into the pending queue.
+    /// Exactly one decision per accepted submission — together with
+    /// [`Decision::QueryDone`] this is the query's decision-log lane.
+    QueryAdmit {
+        /// Serving-layer query id (unique per server).
+        query: u64,
+        /// Query kind, e.g. `"bfs"`, `"sssp"`, `"pagerank"`, `"cc"`.
+        kind: &'static str,
+        /// Pending-queue depth *after* admission.
+        queue_depth: u64,
+    },
+    /// The admission controller rejected a submission (queue full).
+    /// Exactly one decision per rejected submission.
+    QueryReject {
+        kind: &'static str,
+        /// Pending-queue depth at rejection time (= the configured cap).
+        queue_depth: u64,
+        rationale: &'static str,
+    },
+    /// The batcher folded pending compatible queries into one execution
+    /// (K point-BFS queries → one MS-BFS sweep). Exactly one decision per
+    /// executed batch, including singleton batches.
+    BatchFormed {
+        /// Serving-layer batch id (unique per server).
+        batch: u64,
+        /// Queries multiplexed into this execution.
+        size: u32,
+        kind: &'static str,
+    },
+    /// A query's result was demultiplexed out of its batch and reported.
+    /// Exactly one decision per admitted query.
+    QueryDone {
+        query: u64,
+        /// Batch that carried it.
+        batch: u64,
+        /// Lane within the batch (bit index for MS-BFS; 0 for singletons).
+        lane: u32,
+        /// Whether the query met its deadline (true when none was set).
+        deadline_met: bool,
+    },
 }
 
 impl Decision {
@@ -366,6 +406,20 @@ impl Decision {
         matches!(
             self,
             Decision::CompressShard { .. } | Decision::DecompressShard { .. }
+        )
+    }
+
+    /// True for serving-layer decisions (admission, rejection, batching,
+    /// per-query completion). A class of its own so every engine-level
+    /// audit invariant is untouched by the queries multiplexed above it:
+    /// serve decisions carry query/batch ids, engine decisions never do.
+    pub fn is_serve(&self) -> bool {
+        matches!(
+            self,
+            Decision::QueryAdmit { .. }
+                | Decision::QueryReject { .. }
+                | Decision::BatchFormed { .. }
+                | Decision::QueryDone { .. }
         )
     }
 }
@@ -520,6 +574,40 @@ mod tests {
             assert!(!d.is_memory());
             assert!(!d.is_compression());
             assert!(!d.is_shard_skip());
+        }
+    }
+
+    #[test]
+    fn serve_classification() {
+        let admit = Decision::QueryAdmit {
+            query: 7,
+            kind: "bfs",
+            queue_depth: 3,
+        };
+        let reject = Decision::QueryReject {
+            kind: "bfs",
+            queue_depth: 64,
+            rationale: "queue full",
+        };
+        let batch = Decision::BatchFormed {
+            batch: 2,
+            size: 32,
+            kind: "bfs",
+        };
+        let done = Decision::QueryDone {
+            query: 7,
+            batch: 2,
+            lane: 5,
+            deadline_met: true,
+        };
+        for d in [&admit, &reject, &batch, &done] {
+            assert!(d.is_serve());
+            assert!(!d.is_shard_skip());
+            assert!(!d.is_recovery(), "serving is not fault recovery");
+            assert!(!d.is_memory());
+            assert!(!d.is_durability());
+            assert!(!d.is_storage());
+            assert!(!d.is_compression());
         }
     }
 

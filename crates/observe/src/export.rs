@@ -234,6 +234,39 @@ fn decision_line(d: &Decision) -> String {
              \"rationale\":{}}}",
             json::string(rationale)
         ),
+        Decision::QueryAdmit {
+            query,
+            kind,
+            queue_depth,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"query_admit\",\"query\":{query},\
+             \"query_kind\":{},\"queue_depth\":{queue_depth}}}",
+            json::string(kind)
+        ),
+        Decision::QueryReject {
+            kind,
+            queue_depth,
+            rationale,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"query_reject\",\"query_kind\":{},\
+             \"queue_depth\":{queue_depth},\"rationale\":{}}}",
+            json::string(kind),
+            json::string(rationale)
+        ),
+        Decision::BatchFormed { batch, size, kind } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"batch_formed\",\"batch\":{batch},\
+             \"size\":{size},\"query_kind\":{}}}",
+            json::string(kind)
+        ),
+        Decision::QueryDone {
+            query,
+            batch,
+            lane,
+            deadline_met,
+        } => format!(
+            "{{\"type\":\"decision\",\"kind\":\"query_done\",\"query\":{query},\
+             \"batch\":{batch},\"lane\":{lane},\"deadline_met\":{deadline_met}}}"
+        ),
     }
 }
 

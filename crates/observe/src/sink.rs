@@ -120,6 +120,14 @@ impl Recorded {
     pub fn storage_decisions(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_storage()).count()
     }
+
+    /// Serving-layer decisions only (admission, rejection, batching,
+    /// per-query completion) — the serve equivalence suite checks one
+    /// admit + one done per query and one per executed batch; zero for
+    /// anything below the serving layer.
+    pub fn serve_decisions(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_serve()).count()
+    }
 }
 
 /// In-memory sink: records everything for later export or assertions.

@@ -1,0 +1,131 @@
+//! Admission control: a bounded pending queue with audit decisions.
+
+use gr_observe::{Decision, Observer};
+
+/// Serving-policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Pending-queue cap: submissions beyond this are rejected.
+    pub max_pending: usize,
+    /// Largest BFS batch folded into one MS-BFS sweep (clamped to 64,
+    /// the bit-parallel lane width).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_pending: 256,
+            max_batch: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective batch width: at least 1, at most the 64 MS-BFS lanes.
+    pub fn batch_width(&self) -> usize {
+        self.max_batch.clamp(1, 64)
+    }
+}
+
+/// A submission the admission controller turned away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    /// Kind tag of the rejected query.
+    pub kind: &'static str,
+    /// Pending-queue depth at rejection time.
+    pub queue_depth: usize,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} query rejected: pending queue full ({} queued)",
+            self.kind, self.queue_depth
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Bounds the pending queue and logs one decision per verdict: admitted
+/// submissions get a `QueryAdmit` (their decision lane opens), rejected
+/// ones a `QueryReject`.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionController {
+    cfg: ServeConfig,
+}
+
+impl AdmissionController {
+    pub fn new(cfg: ServeConfig) -> Self {
+        AdmissionController { cfg }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Decide one submission against the current queue depth.
+    pub fn admit(
+        &self,
+        observer: &Observer,
+        query: u64,
+        kind: &'static str,
+        queue_depth: usize,
+    ) -> Result<(), Rejected> {
+        if queue_depth >= self.cfg.max_pending {
+            observer.decision(|| Decision::QueryReject {
+                kind,
+                queue_depth: queue_depth as u64,
+                rationale: "queue full",
+            });
+            return Err(Rejected { kind, queue_depth });
+        }
+        observer.decision(|| Decision::QueryAdmit {
+            query,
+            kind,
+            queue_depth: queue_depth as u64 + 1,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_observe::Observer;
+
+    #[test]
+    fn rejects_at_cap_and_logs_both_verdicts() {
+        let ctl = AdmissionController::new(ServeConfig {
+            max_pending: 2,
+            max_batch: 64,
+        });
+        let (obs, sink) = Observer::recording();
+        assert!(ctl.admit(&obs, 0, "bfs", 0).is_ok());
+        assert!(ctl.admit(&obs, 1, "bfs", 1).is_ok());
+        let err = ctl.admit(&obs, 2, "bfs", 2).unwrap_err();
+        assert_eq!(err.queue_depth, 2);
+        let rec = sink.recorded();
+        assert_eq!(rec.serve_decisions(), 3);
+        assert!(rec
+            .decisions
+            .iter()
+            .any(|d| matches!(d, gr_observe::Decision::QueryReject { .. })));
+    }
+
+    #[test]
+    fn batch_width_clamps_to_msbfs_lanes() {
+        let wide = ServeConfig {
+            max_pending: 8,
+            max_batch: 1000,
+        };
+        assert_eq!(wide.batch_width(), 64);
+        let zero = ServeConfig {
+            max_pending: 8,
+            max_batch: 0,
+        };
+        assert_eq!(zero.batch_width(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gr-serve — concurrent query serving over a shared graph session
+//!
+//! The ROADMAP's north star is queries/sec, not ms/run: load and govern a
+//! graph **once** (a [`graphreduce::GraphSession`]), then multiplex many
+//! point queries against the shared shards. This crate is that serving
+//! layer:
+//!
+//! * [`GraphServe`] — the server: a pending-query queue over one borrowed
+//!   session, drained deterministically in earliest-deadline-first order.
+//! * [`AdmissionController`] ([`ServeConfig`]) — bounds the pending queue;
+//!   over-cap submissions are rejected with a
+//!   [`Decision::QueryReject`](gr_observe::Decision) instead of queuing
+//!   without bound.
+//! * Batching — up to `max_batch` (≤ 64) compatible pending BFS queries
+//!   fold into **one** [`gr_algorithms::MsBfsLevels`] sweep; each query's
+//!   depth vector is demultiplexed from its lane bit-identically to a
+//!   standalone [`gr_algorithms::Bfs`] run (`levels[i]` records lane `i`'s
+//!   arrival iteration, which *is* the BFS depth).
+//! * Per-query observability — every query gets its own decision-log lane
+//!   (`QueryAdmit` → `QueryDone` with query/batch/lane ids), and every
+//!   outcome carries a per-query [`QueryStats`] demuxed from the batch's
+//!   [`graphreduce::RunStats`].
+//!
+//! Queries are *concurrent* in the serving sense: many are outstanding at
+//! once and share one session's plans and compressed topology; execution
+//! itself is a deterministic single-threaded pump (`drain`), which is what
+//! makes the equivalence suites exact. See `docs/SERVING.md`.
+
+mod admission;
+mod query;
+mod server;
+
+pub use admission::{AdmissionController, Rejected, ServeConfig};
+pub use query::{QueryId, QueryOutcome, QueryOutput, QuerySpec, QueryStats};
+pub use server::{pagerank_program, standalone_bfs, GraphServe};

@@ -1,0 +1,361 @@
+//! The serving pump: EDF-ordered batching over one shared session.
+
+use gr_algorithms::{Bfs, Cc, MsBfsLevels, PageRank, Sssp};
+use gr_observe::{Decision, Observer};
+use graphreduce::{EngineError, GraphSession, RunStats};
+
+use crate::admission::{AdmissionController, Rejected, ServeConfig};
+use crate::query::{QueryId, QueryOutcome, QueryOutput, QuerySpec, QueryStats};
+
+/// The PageRank program served for [`QuerySpec::PageRank`] snapshots —
+/// the paper's evaluation parameters (damping 0.85, ε 1e-4, 60-iteration
+/// budget). Public so equivalence tests and benches can run the identical
+/// standalone program.
+pub fn pagerank_program() -> PageRank {
+    PageRank {
+        damping: 0.85,
+        epsilon: 1e-4,
+        max_iters: 60,
+    }
+}
+
+struct Pending {
+    id: QueryId,
+    spec: QuerySpec,
+    deadline: Option<u64>,
+}
+
+/// A query server over one borrowed [`GraphSession`].
+///
+/// `submit` runs admission control and queues; `drain` executes everything
+/// pending: queries are ordered earliest-deadline-first (FIFO within a
+/// deadline), compatible BFS queries fold into one
+/// [`MsBfsLevels`] sweep of up to [`ServeConfig::max_batch`] lanes, and
+/// every query's answer + stats lane is demultiplexed from the batch that
+/// carried it. Time is counted in virtual *service ticks* — one tick per
+/// executed batch — which is what deadlines are checked against; the
+/// open-loop latency trace with real wall times lives in the serve bench.
+pub struct GraphServe<'s, 'g> {
+    session: &'s GraphSession<'g>,
+    admission: AdmissionController,
+    observer: Observer,
+    next_id: QueryId,
+    next_batch: u64,
+    ticks: u64,
+    pending: Vec<Pending>,
+}
+
+impl<'s, 'g> GraphServe<'s, 'g> {
+    /// Serve `session` under the default [`ServeConfig`].
+    pub fn new(session: &'s GraphSession<'g>) -> Self {
+        Self::with_config(session, ServeConfig::default())
+    }
+
+    pub fn with_config(session: &'s GraphSession<'g>, cfg: ServeConfig) -> Self {
+        GraphServe {
+            session,
+            admission: AdmissionController::new(cfg),
+            observer: Observer::disabled(),
+            next_id: 0,
+            next_batch: 0,
+            ticks: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Attach an observer: admission/rejection/batch/completion decisions
+    /// land in its sink, and each batch's engine run is tagged with a
+    /// `b<batch>/` device lane.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Queries queued and not yet drained.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completed service ticks (executed batches) so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Submit one query with an optional deadline in service ticks.
+    /// Admission may reject it (bounded queue); an admitted query is
+    /// answered by the next [`GraphServe::drain`].
+    pub fn submit(&mut self, spec: QuerySpec, deadline: Option<u64>) -> Result<QueryId, Rejected> {
+        self.admission.admit(
+            &self.observer,
+            self.next_id,
+            spec.kind(),
+            self.pending.len(),
+        )?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(Pending { id, spec, deadline });
+        Ok(id)
+    }
+
+    /// Execute every pending query; returns outcomes in completion order.
+    ///
+    /// Deterministic: the same set of admitted queries produces the same
+    /// batches and bit-identical per-query answers regardless of
+    /// submission order (deadlines only reorder *when* a query's batch
+    /// runs, never what it computes).
+    pub fn drain(&mut self) -> Result<Vec<QueryOutcome>, EngineError> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            // EDF with FIFO tiebreak: earliest deadline first, admission
+            // order within a deadline class (None sorts last).
+            self.pending
+                .sort_by_key(|p| (p.deadline.unwrap_or(u64::MAX), p.id));
+            let members: Vec<Pending> = if self.pending[0].spec.kind() == "bfs" {
+                // Fold every pending BFS (in EDF order) into this batch,
+                // up to the MS-BFS lane width.
+                let width = self.admission.config().batch_width();
+                let mut taken = Vec::new();
+                let mut i = 0;
+                while i < self.pending.len() && taken.len() < width {
+                    if self.pending[i].spec.kind() == "bfs" {
+                        taken.push(self.pending.remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                taken
+            } else {
+                vec![self.pending.remove(0)]
+            };
+            let batch = self.next_batch;
+            self.next_batch += 1;
+            let kind = members[0].spec.kind();
+            let size = members.len() as u32;
+            self.observer
+                .decision(|| Decision::BatchFormed { batch, size, kind });
+            self.execute_batch(batch, members, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn execute_batch(
+        &mut self,
+        batch: u64,
+        members: Vec<Pending>,
+        out: &mut Vec<QueryOutcome>,
+    ) -> Result<(), EngineError> {
+        let (outputs, run) = match &members[0].spec {
+            QuerySpec::Bfs { .. } => {
+                let sources: Vec<u32> = members
+                    .iter()
+                    .map(|p| match p.spec {
+                        QuerySpec::Bfs { source } => source,
+                        _ => unreachable!("batch members are kind-compatible"),
+                    })
+                    .collect();
+                let lanes = sources.len();
+                let prog = MsBfsLevels::new(sources);
+                let res = self.run_on_session(&prog, batch)?;
+                let outs = MsBfsLevels::all_lane_depths(&res.vertex_values, lanes)
+                    .into_iter()
+                    .map(QueryOutput::Depths)
+                    .collect();
+                (outs, res.stats)
+            }
+            QuerySpec::Sssp { source } => {
+                let prog = Sssp::new(*source);
+                let res = self.run_on_session(&prog, batch)?;
+                (vec![QueryOutput::Distances(res.vertex_values)], res.stats)
+            }
+            QuerySpec::PageRank => {
+                let prog = pagerank_program();
+                let res = self.run_on_session(&prog, batch)?;
+                let ranks = res.vertex_values.iter().map(|v| v.rank).collect();
+                (vec![QueryOutput::Ranks(ranks)], res.stats)
+            }
+            QuerySpec::Cc => {
+                let prog = Cc;
+                let res = self.run_on_session(&prog, batch)?;
+                (vec![QueryOutput::Components(res.vertex_values)], res.stats)
+            }
+        };
+        self.ticks += 1;
+        let size = outputs.len() as u32;
+        for (lane, (p, output)) in members.into_iter().zip(outputs).enumerate() {
+            let deadline_met = p.deadline.is_none_or(|d| self.ticks <= d);
+            let (query, lane32) = (p.id, lane as u32);
+            self.observer.decision(|| Decision::QueryDone {
+                query,
+                batch,
+                lane: lane32,
+                deadline_met,
+            });
+            out.push(QueryOutcome {
+                id: p.id,
+                spec: p.spec,
+                output,
+                stats: QueryStats {
+                    query,
+                    batch,
+                    lane: lane32,
+                    batch_size: size,
+                    deadline: p.deadline,
+                    deadline_met,
+                    run: run.clone(),
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn run_on_session<P: graphreduce::GasProgram>(
+        &self,
+        prog: &P,
+        batch: u64,
+    ) -> Result<graphreduce::RunResult<P>, EngineError> {
+        self.session
+            .query(prog)
+            .with_observer(self.observer.clone())
+            .with_lane(format!("b{batch}/"))
+            .run()
+    }
+}
+
+/// Convenience for serial baselines and tests: run one standalone BFS on
+/// the session (no batching, no serving state).
+pub fn standalone_bfs(
+    session: &GraphSession<'_>,
+    source: u32,
+) -> Result<(Vec<u32>, RunStats), EngineError> {
+    let prog = Bfs::new(source);
+    let res = session.query(&prog).run()?;
+    Ok((res.vertex_values, res.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_graph::{gen, GraphLayout};
+    use gr_sim::Platform;
+    use graphreduce::Options;
+
+    fn session_fixture(layout: &GraphLayout) -> GraphSession<'_> {
+        GraphSession::new(layout, Platform::paper_node(), Options::optimized())
+    }
+
+    #[test]
+    fn batched_bfs_queries_match_standalone_runs() {
+        let layout = GraphLayout::build(&gen::uniform(400, 2400, 5).symmetrize());
+        let session = session_fixture(&layout);
+        let mut serve = GraphServe::new(&session);
+        let sources = [0u32, 7, 100, 399];
+        for &s in &sources {
+            serve.submit(QuerySpec::Bfs { source: s }, None).unwrap();
+        }
+        let outcomes = serve.drain().unwrap();
+        assert_eq!(outcomes.len(), sources.len());
+        for o in &outcomes {
+            let QuerySpec::Bfs { source } = o.spec else {
+                panic!("bfs outcome")
+            };
+            let (want, _) = standalone_bfs(&session, source).unwrap();
+            assert_eq!(o.output, QueryOutput::Depths(want), "query {}", o.id);
+            assert_eq!(o.stats.batch_size, 4);
+            assert_eq!(o.stats.run.algorithm, "ms-bfs-levels");
+        }
+        // One batch for all four queries.
+        assert_eq!(serve.ticks(), 1);
+    }
+
+    #[test]
+    fn snapshot_queries_run_as_singletons() {
+        let layout = GraphLayout::build(&gen::uniform(300, 1500, 6).symmetrize());
+        let session = session_fixture(&layout);
+        let mut serve = GraphServe::new(&session);
+        serve.submit(QuerySpec::Cc, None).unwrap();
+        serve.submit(QuerySpec::PageRank, None).unwrap();
+        serve.submit(QuerySpec::Sssp { source: 3 }, None).unwrap();
+        let outcomes = serve.drain().unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            assert_eq!(o.stats.batch_size, 1);
+        }
+        let cc = session.query(&Cc).run().unwrap();
+        assert_eq!(
+            outcomes[0].output,
+            QueryOutput::Components(cc.vertex_values)
+        );
+        let sssp = session.query(&Sssp::new(3)).run().unwrap();
+        assert_eq!(
+            outcomes[2].output,
+            QueryOutput::Distances(sssp.vertex_values)
+        );
+    }
+
+    #[test]
+    fn deadlines_order_batches_not_results() {
+        let layout = GraphLayout::build(&gen::uniform(200, 1200, 7).symmetrize());
+        let session = session_fixture(&layout);
+        // Cap batches at 2 lanes so deadlines actually split the queries.
+        let cfg = ServeConfig {
+            max_pending: 16,
+            max_batch: 2,
+        };
+        let mut serve = GraphServe::with_config(&session, cfg);
+        // Submitted out of deadline order.
+        serve
+            .submit(QuerySpec::Bfs { source: 10 }, Some(9))
+            .unwrap(); // id 0
+        serve
+            .submit(QuerySpec::Bfs { source: 20 }, Some(1))
+            .unwrap(); // id 1
+        serve.submit(QuerySpec::Bfs { source: 30 }, None).unwrap(); //    id 2
+        serve
+            .submit(QuerySpec::Bfs { source: 40 }, Some(1))
+            .unwrap(); // id 3
+        let outcomes = serve.drain().unwrap();
+        // Batch 0 = the two deadline-1 queries (EDF), batch 1 = the rest.
+        let by_id: Vec<u64> = outcomes.iter().map(|o| o.stats.batch).collect();
+        let ids: Vec<QueryId> = outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, vec![1, 3, 0, 2]);
+        assert_eq!(by_id, vec![0, 0, 1, 1]);
+        // The tight deadline was met by the first batch; results are the
+        // standalone answers regardless of scheduling.
+        assert!(outcomes[0].stats.deadline_met);
+        for o in &outcomes {
+            let QuerySpec::Bfs { source } = o.spec else {
+                panic!()
+            };
+            let (want, _) = standalone_bfs(&session, source).unwrap();
+            assert_eq!(o.output, QueryOutput::Depths(want));
+        }
+    }
+
+    #[test]
+    fn per_query_decision_lanes_are_complete() {
+        let layout = GraphLayout::build(&gen::uniform(100, 500, 8).symmetrize());
+        let session = session_fixture(&layout);
+        let (obs, sink) = Observer::recording();
+        let mut serve = GraphServe::with_config(
+            &session,
+            ServeConfig {
+                max_pending: 2,
+                max_batch: 64,
+            },
+        )
+        .with_observer(obs);
+        serve.submit(QuerySpec::Bfs { source: 0 }, None).unwrap();
+        serve.submit(QuerySpec::Bfs { source: 1 }, None).unwrap();
+        assert!(serve.submit(QuerySpec::Bfs { source: 2 }, None).is_err());
+        serve.drain().unwrap();
+        let rec = sink.recorded();
+        // 2 admits + 1 reject + 1 batch + 2 dones.
+        assert_eq!(rec.serve_decisions(), 6);
+        let dones: Vec<_> = rec
+            .decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::QueryDone { .. }))
+            .collect();
+        assert_eq!(dones.len(), 2);
+    }
+}

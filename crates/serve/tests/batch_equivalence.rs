@@ -1,0 +1,200 @@
+//! Satellite: batched serving is bit-identical to standalone runs.
+//!
+//! For K ∈ {1, 4, 32} BFS queries, one `GraphServe` drain (which folds
+//! them into MS-BFS batches) must produce, per query, exactly the depth
+//! vector a standalone `GraphReduce::run` of `Bfs::new(source)` produces —
+//! and the per-query stats lanes must demux correctly (batch ids, lane
+//! ids, batch sizes). Mixed-deadline submission orders must not change any
+//! answer.
+
+use gr_algorithms::Bfs;
+use gr_graph::{gen, GraphLayout};
+use gr_observe::{Decision, Observer};
+use gr_serve::{GraphServe, QueryOutput, QuerySpec, ServeConfig};
+use gr_sim::Platform;
+use graphreduce::{GraphReduce, GraphSession, Options};
+
+fn fixture() -> GraphLayout {
+    GraphLayout::build(&gen::rmat_g500(10, 12_000, 7).symmetrize())
+}
+
+/// Sources spread across the vertex range, including repeats — serving
+/// must tolerate duplicate outstanding queries for the same source.
+fn sources(k: usize, n: u32) -> Vec<u32> {
+    (0..k as u32)
+        .map(|i| (i.wrapping_mul(2654435761) ^ 0x9e37) % n)
+        .collect()
+}
+
+fn standalone_depths(layout: &GraphLayout, source: u32) -> Vec<u32> {
+    // The pre-session facade path: construct, run, drop — the oracle the
+    // serving layer is measured against.
+    let gr = GraphReduce::new(
+        Bfs::new(source),
+        layout,
+        Platform::paper_node(),
+        Options::optimized(),
+    );
+    gr.run().expect("standalone bfs").vertex_values
+}
+
+fn check_k_batched_queries(k: usize) {
+    let layout = fixture();
+    let n = layout.num_vertices();
+    let session = GraphSession::new(&layout, Platform::paper_node(), Options::optimized());
+    let mut serve = GraphServe::new(&session);
+    let srcs = sources(k, n);
+    for &s in &srcs {
+        serve.submit(QuerySpec::Bfs { source: s }, None).unwrap();
+    }
+    let outcomes = serve.drain().unwrap();
+    assert_eq!(outcomes.len(), k);
+    // K ≤ 64 ⇒ exactly one MS-BFS batch carries every query.
+    assert_eq!(serve.ticks(), 1, "K={k} should fold into one batch");
+    for (i, o) in outcomes.iter().enumerate() {
+        let QuerySpec::Bfs { source } = o.spec else {
+            panic!("bfs outcome expected")
+        };
+        assert_eq!(source, srcs[i], "EDF with no deadlines preserves FIFO");
+        let want = standalone_depths(&layout, source);
+        assert_eq!(
+            o.output,
+            QueryOutput::Depths(want),
+            "K={k} query {} (source {source}) diverged from standalone",
+            o.id
+        );
+        // Stats demux: every query names the batch that carried it, its
+        // own lane bit, and the shared amortization width.
+        assert_eq!(o.stats.batch, 0);
+        assert_eq!(o.stats.lane, i as u32);
+        assert_eq!(o.stats.batch_size, k as u32);
+        assert_eq!(o.stats.run.algorithm, "ms-bfs-levels");
+        assert!(o.stats.deadline_met);
+    }
+}
+
+#[test]
+fn one_batched_query_matches_standalone() {
+    check_k_batched_queries(1);
+}
+
+#[test]
+fn four_batched_queries_match_standalone() {
+    check_k_batched_queries(4);
+}
+
+#[test]
+fn thirty_two_batched_queries_match_standalone() {
+    check_k_batched_queries(32);
+}
+
+#[test]
+fn mixed_deadline_orders_change_scheduling_not_answers() {
+    let layout = fixture();
+    let n = layout.num_vertices();
+    let session = GraphSession::new(&layout, Platform::paper_node(), Options::optimized());
+    let srcs = sources(8, n);
+
+    // Order A: tight deadlines interleaved with loose/no deadlines.
+    let deadlines_a: Vec<Option<u64>> = vec![
+        Some(5),
+        Some(1),
+        None,
+        Some(1),
+        Some(9),
+        None,
+        Some(2),
+        Some(1),
+    ];
+    // Order B: same queries submitted in reverse.
+    let cfg = ServeConfig {
+        max_pending: 64,
+        max_batch: 3, // force several batches so EDF ordering matters
+    };
+
+    let run = |order: Vec<(u32, Option<u64>)>| {
+        let mut serve = GraphServe::with_config(&session, cfg);
+        for (s, d) in order {
+            serve.submit(QuerySpec::Bfs { source: s }, d).unwrap();
+        }
+        let mut outcomes = serve.drain().unwrap();
+        // Completion order differs between A and B; compare per-source.
+        outcomes.sort_by_key(|o| match o.spec {
+            QuerySpec::Bfs { source } => source,
+            _ => unreachable!(),
+        });
+        outcomes
+    };
+
+    let order_a: Vec<(u32, Option<u64>)> = srcs
+        .iter()
+        .copied()
+        .zip(deadlines_a.iter().copied())
+        .collect();
+    let mut order_b = order_a.clone();
+    order_b.reverse();
+
+    let a = run(order_a);
+    let b = run(order_b);
+    assert_eq!(a.len(), b.len());
+    for (oa, ob) in a.iter().zip(&b) {
+        assert_eq!(oa.spec, ob.spec);
+        assert_eq!(
+            oa.output, ob.output,
+            "submission order changed an answer for {:?}",
+            oa.spec
+        );
+        let QuerySpec::Bfs { source } = oa.spec else {
+            panic!()
+        };
+        assert_eq!(
+            oa.output,
+            QueryOutput::Depths(standalone_depths(&layout, source))
+        );
+    }
+}
+
+#[test]
+fn stats_lanes_demux_one_decision_trail_per_query() {
+    let layout = fixture();
+    let session = GraphSession::new(&layout, Platform::paper_node(), Options::optimized());
+    let (obs, sink) = Observer::recording();
+    let mut serve = GraphServe::new(&session).with_observer(obs);
+    let srcs = sources(4, layout.num_vertices());
+    let ids: Vec<u64> = srcs
+        .iter()
+        .map(|&s| serve.submit(QuerySpec::Bfs { source: s }, None).unwrap())
+        .collect();
+    let outcomes = serve.drain().unwrap();
+    let rec = sink.recorded();
+
+    // Every query id appears exactly once as an admit and once as a done,
+    // with the done naming the (batch, lane) its stats lane claims.
+    for (o, id) in outcomes.iter().zip(&ids) {
+        assert_eq!(o.id, *id);
+        let admits = rec
+            .decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::QueryAdmit { query, .. } if query == id))
+            .count();
+        assert_eq!(admits, 1, "query {id} admit trail");
+        let done = rec
+            .decisions
+            .iter()
+            .find_map(|d| match d {
+                Decision::QueryDone {
+                    query, batch, lane, ..
+                } if query == id => Some((*batch, *lane)),
+                _ => None,
+            })
+            .expect("query done decision");
+        assert_eq!(done, (o.stats.batch, o.stats.lane));
+    }
+    // One BatchFormed for the single folded batch.
+    let batches = rec
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Decision::BatchFormed { .. }))
+        .count();
+    assert_eq!(batches, 1);
+}
